@@ -1,0 +1,27 @@
+# Convenience wrappers around dune; see README.md.
+
+.PHONY: all build test bench quick-bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force --no-buffer
+
+bench: build
+	dune exec bench/main.exe
+
+quick-bench: build
+	dune exec bench/main.exe -- --scale=0.2 all
+
+examples: build
+	dune exec examples/quickstart.exe
+	dune exec examples/edge_router.exe
+	dune exec examples/bgp_storm.exe
+	dune exec examples/lthd_playground.exe
+	dune exec examples/dual_stack.exe
+
+clean:
+	dune clean
