@@ -1,0 +1,350 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index) plus Bechamel
+   micro-benchmarks of the per-update control-plane cost.
+
+   Usage:
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe -- table2 fig9   # selected targets
+     dune exec bench/main.exe -- --scale=0.2 all
+   The scale factor multiplies RIB size, packet count and update count. *)
+
+open Cfca_prefix
+open Cfca_rib
+open Cfca_sim
+
+let scaled mult (s : Experiments.scale) =
+  if mult = 1.0 then s
+  else
+    Experiments.with_size s
+      ~rib_size:(max 1_000 (int_of_float (mult *. float_of_int s.Experiments.rib_size)))
+      ~packets:(max 100_000 (int_of_float (mult *. float_of_int s.Experiments.packets)))
+      ~updates:(max 100 (int_of_float (mult *. float_of_int s.Experiments.updates)))
+
+let section title =
+  Printf.printf "\n==================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==================================================\n"
+
+(* the standard-trace runs are shared by table2/table3/fig9/fig10 *)
+let standard_results = ref None
+
+let get_standard mult =
+  match !standard_results with
+  | Some r -> r
+  | None ->
+      let r =
+        Experiments.run_standard ~scale:(scaled mult Experiments.standard_scale) ()
+      in
+      standard_results := Some r;
+      r
+
+let verify_standard (r : Experiments.standard_results) =
+  let systems =
+    Array.to_list
+      (Array.map
+         (fun (run : Engine.run_result) ->
+           (run.Engine.r_name, run.Engine.r_lookup))
+         (Array.append r.Experiments.cfca_runs r.Experiments.pfca_runs))
+  in
+  match Experiments.verify_forwarding r.Experiments.workload systems with
+  | Ok () ->
+      print_endline
+        "forwarding equivalence: OK (all runs agree with the reference RIB)"
+  | Error msg -> Printf.printf "forwarding equivalence: FAILED -- %s\n" msg
+
+let table2 mult =
+  section "Table 2 -- CFCA vs PFCA (standard trace)";
+  let r = get_standard mult in
+  let w = r.Experiments.workload in
+  Printf.printf "workload: %s; %d packets; %d BGP updates\n\n"
+    (Format.asprintf "%a" Rib.pp_summary w.Experiments.rib)
+    w.Experiments.scale.Experiments.packets
+    (Array.length w.Experiments.updates_arr);
+  Report.print_table2 (Experiments.table2 r);
+  print_newline ();
+  verify_standard r
+
+let table3 mult =
+  section "Table 3 -- CFCA L1 cache vs FAQS / FIFA-S";
+  let r = get_standard mult in
+  Report.print_table3 (Experiments.table3 r)
+
+let fig9 mult =
+  section "Figure 9 -- cache-miss ratio per 100K packets (CFCA vs PFCA)";
+  Report.print_miss_series (Experiments.fig9 (get_standard mult))
+
+let fig10a mult =
+  section "Figure 10a -- L1 cache installations over time";
+  Report.print_install_series (Experiments.fig10a (get_standard mult))
+
+let fig10b mult =
+  section "Figure 10b -- BGP updates applied to L1 vs total";
+  Report.print_update_series (Experiments.fig10b (get_standard mult))
+
+let fig11 mult =
+  section "Figure 11 -- CFCA cache-miss ratio under a heavier trace";
+  let r = Experiments.fig11 ~scale:(scaled mult Experiments.heavy_scale) () in
+  Report.print_run_summary r;
+  Report.print_miss_series [ ("CFCA (heavy)", r.Engine.r_windows) ]
+
+let fig12 mult =
+  section "Figure 12 -- BGP update handling time (heavy update trace)";
+  let timings =
+    Experiments.fig12 ~scale:(scaled mult Experiments.heavy_scale) ()
+  in
+  Report.print_timings timings
+
+let ablations mult =
+  let scale = scaled mult Experiments.standard_scale in
+  section "Ablation -- cache-victim selection policy";
+  Report.print_ablation ~title:"(CFCA, 0.83% cache, flattened skew: eviction pressure)"
+    (Experiments.ablation_victim ~scale ());
+  section "Ablation -- LTHD pipeline dimensions";
+  Report.print_ablation ~title:"(CFCA, 0.83% cache, flattened skew: eviction pressure)"
+    (Experiments.ablation_lthd ~scale ());
+  section "Ablation -- promotion thresholds";
+  Report.print_ablation ~title:"(CFCA, 0.83% cache, flattened skew: eviction pressure)"
+    (Experiments.ablation_thresholds ~scale ());
+  section "Ablation -- traffic skew sensitivity";
+  Report.print_ablation ~title:"(2.50% cache, standard trace, per-exponent workloads)"
+    (Experiments.ablation_zipf ~scale ())
+
+let v6_bench mult =
+  section "Extension -- IPv6 table aggregation (the paper's growth motivation)";
+  let size = max 2_000 (int_of_float (mult *. 80_000.0)) in
+  let routes =
+    Cfca_v6.Rib6_gen.generate { Cfca_v6.Rib6_gen.default_params with size }
+  in
+  let t0 = Unix.gettimeofday () in
+  let agg = Cfca_v6.Ortc6.aggregate ~default_nh:(Nexthop.of_int 33) routes in
+  let dt = Unix.gettimeofday () -. t0 in
+  let h = Array.make 129 0 in
+  List.iter
+    (fun (q, _) ->
+      let l = Cfca_prefix.Prefix6.length q in
+      h.(l) <- h.(l) + 1)
+    routes;
+  Printf.printf "synthetic v6 DFZ: %d routes (/32 %.1f%%, /48 %.1f%%)\n"
+    (List.length routes)
+    (100.0 *. float_of_int h.(32) /. float_of_int (List.length routes))
+    (100.0 *. float_of_int h.(48) /. float_of_int (List.length routes));
+  Printf.printf
+    "ORTC aggregation: %d -> %d entries (%.2f%%) in %.0f ms\n"
+    (List.length routes) (List.length agg)
+    (100.0 *. float_of_int (List.length agg) /. float_of_int (List.length routes))
+    (1e3 *. dt);
+  (* the functorized CFCA control plane at 128 bits *)
+  let rm6 = Cfca_v6.Cfca6.Route_manager.create ~default_nh:(Nexthop.of_int 33) () in
+  let t0 = Unix.gettimeofday () in
+  Cfca_v6.Cfca6.Route_manager.load rm6 (List.to_seq routes);
+  let dt_cfca = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "CFCA-v6 control plane: %d routes -> %d non-overlapping entries in %.0f ms\n"
+    (List.length routes)
+    (Cfca_v6.Cfca6.Route_manager.fib_size rm6)
+    (1e3 *. dt_cfca);
+  Printf.printf
+    "a dual-stack TCAM carrying both families would hold the v4 cache\n\
+     plus this aggregated v6 table instead of the raw one.\n";
+  (* end-to-end v6 caching: the functorized data plane at 128 bits *)
+  let module D6 = Cfca_dataplane.Dataplane_f.Make (Cfca_prefix.Family.V6) in
+  let cfg =
+    Cfca_dataplane.Config.make
+      ~l1_capacity:(max 64 (List.length routes * 25 / 1000))
+      ~l2_capacity:(max 128 (List.length routes * 34 / 1000))
+      ()
+  in
+  let pl6 = D6.Pipeline.create cfg in
+  let rm6 =
+    D6.C.Route_manager.create ~sink:(D6.Pipeline.sink pl6)
+      ~default_nh:(Nexthop.of_int 33) ()
+  in
+  D6.C.Route_manager.load rm6 (List.to_seq routes);
+  D6.Pipeline.reset_stats pl6;
+  (* Zipf traffic with region-clustered popularity, as for v4 *)
+  let prefixes = Array.of_list (List.map fst routes) in
+  let key p =
+    let a = Cfca_prefix.Prefix6.network p in
+    let region = Int64.to_int (Int64.shift_right_logical a.Cfca_prefix.Ipv6.hi 32) in
+    ((Cfca_prefix.Ipv6.hash { a with Cfca_prefix.Ipv6.lo = 0L } lxor region)
+     land 0xFFFF lsl 24)
+    lor (Cfca_prefix.Ipv6.hash a land 0xFFFFFF)
+  in
+  Array.sort (fun a b -> compare (key a) (key b)) prefixes;
+  let zipf = Cfca_sim.Experiments.standard_scale.Cfca_sim.Experiments.zipf_exponent in
+  let sampler = Cfca_traffic.Zipf.create ~exponent:zipf ~n:(Array.length prefixes) () in
+  let st = Random.State.make [| 7; 6 |] in
+  let tree = D6.C.Route_manager.tree rm6 in
+  let n_packets = max 200_000 (int_of_float (mult *. 2_000_000.0)) in
+  let flows = Array.make 256 (Cfca_prefix.Ipv6.zero, 0) in
+  for i = 0 to n_packets - 1 do
+    let slot = Random.State.int st 256 in
+    let dst, remaining = flows.(slot) in
+    let dst, remaining =
+      if remaining <= 0 then
+        let p = prefixes.(Cfca_traffic.Zipf.draw sampler st) in
+        (Cfca_prefix.Prefix6.random_member st p, 12 + Random.State.int st 24)
+      else (dst, remaining)
+    in
+    flows.(slot) <- (dst, remaining - 1);
+    match D6.C.Bintrie.lookup_in_fib tree dst with
+    | Some node ->
+        ignore (D6.Pipeline.process pl6 node ~now:(float_of_int i /. 1e6))
+    | None -> assert false
+  done;
+  let s6 = D6.Pipeline.stats pl6 in
+  Printf.printf
+    "CFCA-v6 caching (%d-entry L1 = 2.5%% of routes, %d packets):\n\
+     L1 miss %.3f%%, L2 miss %.3f%% -- the paper's cache story carries\n\
+     over to the v6 family unchanged.\n"
+    cfg.Cfca_dataplane.Config.l1_capacity n_packets
+    (100.0 *. float_of_int s6.D6.Pipeline.l1_misses /. float_of_int s6.D6.Pipeline.packets)
+    (100.0 *. float_of_int s6.D6.Pipeline.l2_misses /. float_of_int s6.D6.Pipeline.packets)
+
+let robustness mult =
+  section "Robustness -- CFCA vs PFCA across independent workload seeds";
+  Report.print_robustness
+    (Experiments.robustness ~scale:(scaled mult Experiments.standard_scale) ())
+
+(* -- Bechamel micro-benchmarks -------------------------------------- *)
+
+let micro_rib () =
+  Rib_gen.generate
+    { Rib_gen.size = 20_000; peers = 32; locality = 0.90; seed = 11 }
+
+let micro_updates rib =
+  let spec = Cfca_traffic.Trace.make ~packets:0 ~updates:[||] () in
+  let flow = Cfca_traffic.Trace.flow_gen spec rib in
+  Cfca_traffic.Update_gen.generate
+    { Cfca_traffic.Update_gen.default_params with count = 20_000; seed = 12 }
+    flow
+
+let micro () =
+  section "Micro-benchmarks -- per-operation cost (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let rib = micro_rib () in
+  let updates = micro_updates rib in
+  let default_nh = Nexthop.of_int 33 in
+  let n = Array.length updates in
+  let update_bench name apply =
+    let i = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           apply updates.(!i mod n);
+           incr i))
+  in
+  let cfca_rm =
+    let rm = Cfca_core.Route_manager.create ~default_nh () in
+    Cfca_core.Route_manager.load rm (Rib.to_seq rib);
+    rm
+  in
+  let pfca =
+    let t = Cfca_pfca.Pfca.create ~default_nh () in
+    Cfca_pfca.Pfca.load t (Rib.to_seq rib);
+    t
+  in
+  let faqs =
+    let t = Cfca_aggr.Aggr.create ~policy:Cfca_aggr.Aggr.Faqs ~default_nh () in
+    Cfca_aggr.Aggr.load t (Rib.to_seq rib);
+    t
+  in
+  let fifa =
+    let t = Cfca_aggr.Aggr.create ~policy:Cfca_aggr.Aggr.Fifa ~default_nh () in
+    Cfca_aggr.Aggr.load t (Rib.to_seq rib);
+    t
+  in
+  let lookup_bench =
+    let st = Random.State.make [| 99 |] in
+    let addrs = Array.init 4096 (fun _ -> Ipv4.random st) in
+    let i = ref 0 in
+    Test.make ~name:"cfca/lookup_in_fib"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore
+             (Cfca_trie.Bintrie.lookup_in_fib
+                (Cfca_core.Route_manager.tree cfca_rm)
+                addrs.(!i land 4095))))
+  in
+  let update_tests =
+    Test.make_grouped ~name:"bgp-update"
+      [
+        update_bench "cfca" (Cfca_core.Route_manager.apply cfca_rm);
+        update_bench "pfca" (Cfca_pfca.Pfca.apply pfca);
+        update_bench "faqs" (Cfca_aggr.Aggr.apply faqs);
+        update_bench "fifa-s" (Cfca_aggr.Aggr.apply fifa);
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:3000 ~quota:(Time.second 1.0) ~stabilize:false () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"cfca-bench" [ update_tests; lookup_bench ])
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> (name, est) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+  in
+  Printf.printf "%-40s %14s\n" "benchmark" "ns/op";
+  print_endline (String.make 56 '-');
+  List.iter
+    (fun (name, est) -> Printf.printf "%-40s %14.1f\n" name est)
+    (List.sort compare rows)
+
+let usage () =
+  print_endline
+    "targets: table2 table3 fig9 fig10a fig10b fig11 fig12 ablations v6 robustness micro all";
+  print_endline "options: --scale=<float> (default 1.0)"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let scale = ref 1.0 in
+  let targets =
+    List.filter
+      (fun a ->
+        if String.length a > 8 && String.sub a 0 8 = "--scale=" then begin
+          scale := float_of_string (String.sub a 8 (String.length a - 8));
+          false
+        end
+        else true)
+      args
+  in
+  let targets = if targets = [] then [ "all" ] else targets in
+  let dispatch = function
+    | "table2" -> table2 !scale
+    | "table3" -> table3 !scale
+    | "fig9" -> fig9 !scale
+    | "fig10a" -> fig10a !scale
+    | "fig10b" -> fig10b !scale
+    | "fig11" -> fig11 !scale
+    | "fig12" -> fig12 !scale
+    | "micro" -> micro ()
+    | "ablations" -> ablations !scale
+    | "v6" -> v6_bench !scale
+    | "robustness" -> robustness !scale
+    | "all" ->
+        table2 !scale;
+        table3 !scale;
+        fig9 !scale;
+        fig10a !scale;
+        fig10b !scale;
+        fig11 !scale;
+        fig12 !scale;
+        ablations !scale;
+        v6_bench !scale;
+        robustness !scale;
+        micro ()
+    | other ->
+        Printf.printf "unknown target %S\n" other;
+        usage ();
+        exit 2
+  in
+  List.iter dispatch targets

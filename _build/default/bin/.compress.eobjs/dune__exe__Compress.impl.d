@@ -1,0 +1,1 @@
+bin/compress.ml: Arg Cfca_aggr Cfca_bgp Cfca_core Cfca_pfca Cfca_prefix Cfca_rib Cmd Cmdliner Filename List Nexthop Printf Rib Rib_io Term

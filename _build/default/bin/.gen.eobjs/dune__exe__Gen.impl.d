@@ -1,0 +1,1 @@
+bin/gen.ml: Arg Array Cfca_bgp Cfca_pcap Cfca_prefix Cfca_rib Cfca_traffic Cmd Cmdliner Format Ipv4 Printf Rib Rib_gen Rib_io Seq Term

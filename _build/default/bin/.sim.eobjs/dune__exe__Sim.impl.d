@@ -1,0 +1,1 @@
+bin/sim.ml: Arg Cfca_bgp Cfca_dataplane Cfca_rib Cfca_sim Cfca_traffic Cmd Cmdliner Engine Experiments Printf Report Rib_io Term

@@ -1,0 +1,1 @@
+bin/verify.ml: Arg Array Cfca_prefix Cfca_rib Cfca_veritable Cmd Cmdliner List Printf Rib Rib_io String Term

@@ -1,0 +1,82 @@
+(* cfca_compress: aggregate a FIB with any of the implemented schemes
+   and report size/compression; optionally write the compressed table. *)
+
+open Cmdliner
+open Cfca_prefix
+open Cfca_rib
+
+type scheme = Cfca_scheme | Pfca_scheme | Faqs_scheme | Fifa_scheme
+
+let scheme_conv =
+  Arg.enum
+    [
+      ("cfca", Cfca_scheme);
+      ("pfca", Pfca_scheme);
+      ("faqs", Faqs_scheme);
+      ("fifa", Fifa_scheme);
+    ]
+
+let scheme =
+  let doc = "Compression scheme: cfca (caching-compatible non-overlapping \
+             aggregation), pfca (extension only), faqs, fifa (optimal ORTC)." in
+  Arg.(value & opt scheme_conv Fifa_scheme & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+
+let input =
+  let doc = "Input RIB: text (\"prefix next-hop\" lines) or MRT (.mrt)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let output =
+  let doc = "Write the compressed table (text format)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let default_nh =
+  let doc = "Default next-hop covering unannounced space." in
+  Arg.(value & opt int 33 & info [ "default-nh" ] ~docv:"NH" ~doc)
+
+let load_rib path =
+  if Filename.check_suffix path ".mrt" then
+    match Cfca_bgp.Mrt.read_rib_file path with
+    | Ok rib -> rib
+    | Error msg -> failwith msg
+  else Rib_io.load_exn path
+
+let compress scheme input output default_nh =
+  let rib = load_rib input in
+  let default_nh = Nexthop.of_int default_nh in
+  let name, entries =
+    match scheme with
+    | Cfca_scheme ->
+        let rm = Cfca_core.Route_manager.create ~default_nh () in
+        Cfca_core.Route_manager.load rm (Rib.to_seq rib);
+        ("CFCA", Cfca_core.Route_manager.entries rm)
+    | Pfca_scheme ->
+        let t = Cfca_pfca.Pfca.create ~default_nh () in
+        Cfca_pfca.Pfca.load t (Rib.to_seq rib);
+        ("PFCA (extension)", Cfca_pfca.Pfca.entries t)
+    | Faqs_scheme ->
+        let t =
+          Cfca_aggr.Aggr.create ~policy:Cfca_aggr.Aggr.Faqs ~default_nh ()
+        in
+        Cfca_aggr.Aggr.load t (Rib.to_seq rib);
+        ("FAQS", Cfca_aggr.Aggr.entries t)
+    | Fifa_scheme ->
+        let t =
+          Cfca_aggr.Aggr.create ~policy:Cfca_aggr.Aggr.Fifa ~default_nh ()
+        in
+        Cfca_aggr.Aggr.load t (Rib.to_seq rib);
+        ("FIFA-S (ORTC)", Cfca_aggr.Aggr.entries t)
+  in
+  Printf.printf "%s: %d routes -> %d entries (%.2f%%)\n" name (Rib.size rib)
+    (List.length entries)
+    (100.0 *. float_of_int (List.length entries) /. float_of_int (Rib.size rib));
+  match output with
+  | None -> ()
+  | Some path ->
+      Rib_io.save path (Rib.of_list entries);
+      Printf.printf "wrote %s\n" path
+
+let () =
+  let doc = "FIB aggregation tool (CFCA / PFCA / FAQS / FIFA-S)" in
+  let info = Cmd.info "cfca_compress" ~doc ~version:"1.0.0" in
+  let term = Term.(const compress $ scheme $ input $ output $ default_nh) in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,109 @@
+(* cfca_gen: emit synthetic workloads in interchange formats — RIB
+   snapshots (text or MRT TABLE_DUMP_V2), BGP update streams (MRT
+   BGP4MP) and packet traces (pcap). *)
+
+open Cmdliner
+open Cfca_prefix
+open Cfca_rib
+
+let size =
+  let doc = "Number of RIB entries." in
+  Arg.(value & opt int 50_000 & info [ "size" ] ~docv:"N" ~doc)
+
+let seed =
+  let doc = "Generator seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let peers =
+  let doc = "Distinct next-hops (1-62)." in
+  Arg.(value & opt int 32 & info [ "peers" ] ~docv:"N" ~doc)
+
+let locality =
+  let doc = "Probability a route adopts its allocation block's next-hop." in
+  Arg.(value & opt float 0.80 & info [ "locality" ] ~docv:"P" ~doc)
+
+let out =
+  let doc = "Output file." in
+  Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let gen_rib params = Rib_gen.generate params
+
+let params size peers locality seed = { Rib_gen.size; peers; locality; seed }
+
+let rib_cmd =
+  let run size peers locality seed out mrt =
+    let rib = gen_rib (params size peers locality seed) in
+    if mrt then Cfca_bgp.Mrt.write_rib_file out rib else Rib_io.save out rib;
+    Printf.printf "wrote %s: %s\n" out (Format.asprintf "%a" Rib.pp_summary rib)
+  in
+  let mrt =
+    Arg.(value & flag & info [ "mrt" ] ~doc:"Write MRT TABLE_DUMP_V2 instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "rib" ~doc:"generate a synthetic routing table")
+    Term.(const run $ size $ peers $ locality $ seed $ out $ mrt)
+
+let updates_cmd =
+  let run size peers locality seed out count =
+    let rib = gen_rib (params size peers locality seed) in
+    let flow =
+      Cfca_traffic.Flow_gen.create Cfca_traffic.Flow_gen.default_params rib
+    in
+    let updates =
+      Cfca_traffic.Update_gen.generate
+        { Cfca_traffic.Update_gen.default_params with count; peers; seed }
+        flow
+    in
+    Cfca_bgp.Mrt.write_update_file out updates;
+    let a, w = Cfca_traffic.Update_gen.count_kinds updates in
+    Printf.printf "wrote %s: %d updates (%d announce, %d withdraw)\n" out
+      (Array.length updates) a w
+  in
+  let count =
+    Arg.(value & opt int 45_600 & info [ "count" ] ~docv:"N" ~doc:"Updates to generate.")
+  in
+  Cmd.v
+    (Cmd.info "updates" ~doc:"generate an MRT BGP4MP update stream")
+    Term.(const run $ size $ peers $ locality $ seed $ out $ count)
+
+let pcap_cmd =
+  let run size peers locality seed out count pps zipf =
+    let rib = gen_rib (params size peers locality seed) in
+    let flow =
+      Cfca_traffic.Flow_gen.create
+        {
+          Cfca_traffic.Flow_gen.default_params with
+          zipf_exponent = zipf;
+          seed;
+        }
+        rib
+    in
+    let src = Ipv4.of_octets 198 18 0 1 in
+    let packets =
+      Seq.init count (fun i ->
+          {
+            Cfca_pcap.Pcap.ts = float_of_int i /. pps;
+            src;
+            dst = Cfca_traffic.Flow_gen.next flow;
+          })
+    in
+    Cfca_pcap.Pcap.write_file out packets;
+    Printf.printf "wrote %s: %d packets\n" out count
+  in
+  let count =
+    Arg.(value & opt int 1_000_000 & info [ "count" ] ~docv:"N" ~doc:"Packets to generate.")
+  in
+  let pps =
+    Arg.(value & opt float 1e6 & info [ "pps" ] ~docv:"R" ~doc:"Packet rate (timestamps).")
+  in
+  let zipf =
+    Arg.(value & opt float 1.55 & info [ "zipf" ] ~docv:"S" ~doc:"Popularity skew.")
+  in
+  Cmd.v
+    (Cmd.info "pcap" ~doc:"generate a pcap packet trace")
+    Term.(const run $ size $ peers $ locality $ seed $ out $ count $ pps $ zipf)
+
+let () =
+  let doc = "synthetic RouteViews/CAIDA-style workload generator" in
+  let info = Cmd.info "cfca_gen" ~doc ~version:"1.0.0" in
+  exit (Cmd.eval (Cmd.group info [ rib_cmd; updates_cmd; pcap_cmd ]))

@@ -1,0 +1,179 @@
+(* cfca_sim: run a single trace-driven simulation with explicit knobs,
+   or regenerate a named experiment from the paper's evaluation. *)
+
+open Cmdliner
+open Cfca_rib
+open Cfca_sim
+
+let rib_size =
+  let doc = "Synthetic RIB size (ignored when $(b,--rib) is given)." in
+  Arg.(value & opt int 60_000 & info [ "rib-size" ] ~docv:"N" ~doc)
+
+let rib_file =
+  let doc = "Load the RIB from a text file (\"prefix next-hop\" lines)." in
+  Arg.(value & opt (some file) None & info [ "rib" ] ~docv:"FILE" ~doc)
+
+let pcap_file =
+  let doc = "Replay packets from a pcap capture instead of the synthetic \
+             trace (timestamps come from the capture)." in
+  Arg.(value & opt (some file) None & info [ "pcap" ] ~docv:"FILE" ~doc)
+
+let updates_mrt =
+  let doc = "Replay BGP updates from an MRT BGP4MP file instead of the \
+             synthetic stream." in
+  Arg.(value & opt (some file) None & info [ "updates-mrt" ] ~docv:"FILE" ~doc)
+
+let packets =
+  let doc = "Packets to replay." in
+  Arg.(value & opt int 3_000_000 & info [ "packets" ] ~docv:"N" ~doc)
+
+let updates =
+  let doc = "BGP updates mixed into the trace." in
+  Arg.(value & opt int 4_560 & info [ "updates" ] ~docv:"N" ~doc)
+
+let l1 =
+  let doc = "L1 (TCAM) cache capacity." in
+  Arg.(value & opt int 1_500 & info [ "l1" ] ~docv:"N" ~doc)
+
+let l2 =
+  let doc = "L2 (SRAM) cache capacity." in
+  Arg.(value & opt int 2_000 & info [ "l2" ] ~docv:"N" ~doc)
+
+let seed =
+  let doc = "Workload seed (deterministic replay)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let zipf =
+  let doc = "Zipf exponent of destination popularity." in
+  Arg.(value & opt float 1.55 & info [ "zipf" ] ~docv:"S" ~doc)
+
+let system_conv = Arg.enum [ ("cfca", Engine.Cfca); ("pfca", Engine.Pfca) ]
+
+let system =
+  let doc = "System to simulate: cfca or pfca." in
+  Arg.(value & opt system_conv Engine.Cfca & info [ "system" ] ~docv:"SYS" ~doc)
+
+let run_cmd =
+  let run system rib_file pcap_file updates_mrt rib_size packets updates l1 l2
+      seed zipf =
+    let scale =
+      {
+        Experiments.standard_scale with
+        Experiments.rib_size;
+        packets;
+        updates;
+        seed;
+        zipf_exponent = zipf;
+      }
+    in
+    let workload = Experiments.build_workload scale in
+    let workload =
+      match rib_file with
+      | None -> workload
+      | Some path ->
+          let rib = Rib_io.load_exn path in
+          (* rebuild the trace over the loaded table *)
+          { workload with Experiments.rib }
+    in
+    let update_stream =
+      match updates_mrt with
+      | None -> workload.Experiments.updates_arr
+      | Some path -> (
+          match Cfca_bgp.Mrt.read_update_file path with
+          | Ok updates -> updates
+          | Error msg ->
+              prerr_endline msg;
+              exit 1)
+    in
+    let cfg = Cfca_dataplane.Config.make ~l1_capacity:l1 ~l2_capacity:l2 () in
+    let result =
+      match pcap_file with
+      | Some pcap -> (
+          match
+            Engine.run_capture system cfg
+              ~default_nh:workload.Experiments.default_nh
+              workload.Experiments.rib ~pcap ~updates:update_stream
+          with
+          | Ok r -> r
+          | Error msg ->
+              prerr_endline msg;
+              exit 1)
+      | None ->
+          let spec =
+            if updates_mrt = None then workload.Experiments.spec
+            else
+              Cfca_traffic.Trace.make
+                ~flow_params:workload.Experiments.spec.Cfca_traffic.Trace.flow_params
+                ~pps:workload.Experiments.spec.Cfca_traffic.Trace.pps ~packets
+                ~updates:update_stream ()
+          in
+          Engine.run system cfg ~default_nh:workload.Experiments.default_nh
+            workload.Experiments.rib spec
+    in
+    Report.print_run_summary result;
+    if pcap_file = None && updates_mrt = None then
+      match
+        Experiments.verify_forwarding workload
+          [ (result.Engine.r_name, result.Engine.r_lookup) ]
+      with
+      | Ok () -> print_endline "forwarding equivalence: OK"
+      | Error msg ->
+          Printf.eprintf "forwarding equivalence FAILED: %s\n" msg;
+          exit 1
+  in
+  let doc = "replay a mixed packet/BGP trace against CFCA or PFCA" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const run $ system $ rib_file $ pcap_file $ updates_mrt $ rib_size
+      $ packets $ updates $ l1 $ l2 $ seed $ zipf)
+
+let experiment_cmd =
+  let run name scale_mult =
+    let scale (s : Experiments.scale) =
+      Experiments.with_size s
+        ~rib_size:(int_of_float (scale_mult *. float_of_int s.Experiments.rib_size))
+        ~packets:(int_of_float (scale_mult *. float_of_int s.Experiments.packets))
+        ~updates:(int_of_float (scale_mult *. float_of_int s.Experiments.updates))
+    in
+    match name with
+    | "table2" ->
+        let r = Experiments.run_standard ~scale:(scale Experiments.standard_scale) () in
+        Report.print_table2 (Experiments.table2 r)
+    | "table3" ->
+        let r = Experiments.run_standard ~scale:(scale Experiments.standard_scale) () in
+        Report.print_table3 (Experiments.table3 r)
+    | "fig9" ->
+        let r = Experiments.run_standard ~scale:(scale Experiments.standard_scale) () in
+        Report.print_miss_series (Experiments.fig9 r)
+    | "fig10a" ->
+        let r = Experiments.run_standard ~scale:(scale Experiments.standard_scale) () in
+        Report.print_install_series (Experiments.fig10a r)
+    | "fig10b" ->
+        let r = Experiments.run_standard ~scale:(scale Experiments.standard_scale) () in
+        Report.print_update_series (Experiments.fig10b r)
+    | "fig11" ->
+        Report.print_run_summary
+          (Experiments.fig11 ~scale:(scale Experiments.heavy_scale) ())
+    | "fig12" ->
+        Report.print_timings
+          (Experiments.fig12 ~scale:(scale Experiments.heavy_scale) ())
+    | other ->
+        Printf.eprintf "unknown experiment %S\n" other;
+        exit 2
+  in
+  let exp_name =
+    let doc = "table2 | table3 | fig9 | fig10a | fig10b | fig11 | fig12" in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let mult =
+    let doc = "Scale multiplier applied to the paper-derived workload." in
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"X" ~doc)
+  in
+  let doc = "regenerate one of the paper's tables or figures" in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ exp_name $ mult)
+
+let () =
+  let doc = "trace-driven simulator for Combined FIB Caching and Aggregation" in
+  let info = Cmd.info "sim" ~doc ~version:"1.0.0" in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; experiment_cmd ]))

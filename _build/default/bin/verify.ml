@@ -1,0 +1,42 @@
+(* cfca_verify: VeriTable-style forwarding-equivalence check of two or
+   more FIB snapshot files. *)
+
+open Cmdliner
+open Cfca_rib
+
+let files =
+  let doc = "FIB snapshots (text format) to compare." in
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+
+let limit =
+  let doc = "Maximum divergent regions to report." in
+  Arg.(value & opt int 10 & info [ "limit" ] ~docv:"N" ~doc)
+
+let verify files limit =
+  if List.length files < 2 then begin
+    prerr_endline "need at least two tables";
+    exit 2
+  end;
+  let tables =
+    List.map (fun path -> Array.to_list (Rib.entries (Rib_io.load_exn path))) files
+  in
+  match Cfca_veritable.Veritable.divergences ~limit tables with
+  | [] ->
+      Printf.printf "equivalent: %s\n" (String.concat ", " files);
+      exit 0
+  | ds ->
+      List.iter
+        (fun (d : Cfca_veritable.Veritable.divergence) ->
+          Printf.printf "diverge at %s: %s\n"
+            (Cfca_prefix.Prefix.to_string d.Cfca_veritable.Veritable.region)
+            (String.concat " vs "
+               (Array.to_list
+                  (Array.map Cfca_prefix.Nexthop.to_string
+                     d.Cfca_veritable.Veritable.next_hops))))
+        ds;
+      exit 1
+
+let () =
+  let doc = "verify forwarding equivalence of FIB snapshots (VeriTable)" in
+  let info = Cmd.info "cfca_verify" ~doc ~version:"1.0.0" in
+  exit (Cmd.eval (Cmd.v info Term.(const verify $ files $ limit)))

@@ -1,0 +1,1 @@
+examples/bgp_storm.ml: Aggr Array Cfca_aggr Cfca_core Cfca_pfca Cfca_prefix Cfca_rib Cfca_traffic Cfca_veritable Fib_op Flow_gen Format Nexthop Printf Rib Rib_gen Route_manager String Unix Update_gen

@@ -1,0 +1,1 @@
+examples/bgp_storm.mli:

@@ -1,0 +1,1 @@
+examples/dual_stack.ml: Cfca_aggr Cfca_prefix Cfca_rib Cfca_v6 List Nexthop Printf String

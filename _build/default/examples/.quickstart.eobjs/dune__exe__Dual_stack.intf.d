@@ -1,0 +1,1 @@
+examples/dual_stack.mli:

@@ -1,0 +1,1 @@
+examples/edge_router.ml: Cfca_dataplane Cfca_rib Cfca_sim Config Engine Experiments List Pipeline Printf String

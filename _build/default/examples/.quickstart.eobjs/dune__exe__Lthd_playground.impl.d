@@ -1,0 +1,1 @@
+examples/lthd_playground.ml: Array Bintrie Cfca_dataplane Cfca_prefix Cfca_traffic Cfca_trie Hashtbl Ipv4 List Lthd Prefix Printf Random String

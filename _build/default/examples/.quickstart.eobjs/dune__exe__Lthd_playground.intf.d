@@ -1,0 +1,1 @@
+examples/lthd_playground.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cfca_core Cfca_prefix Fib_op Format Ipv4 List Nexthop Prefix Route_manager

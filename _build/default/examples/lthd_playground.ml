@@ -1,0 +1,71 @@
+(* Light Traffic Hitters Detection quality study.
+
+   The LTHD pipeline (paper §3.3, Fig. 8) must surface *unpopular*
+   cache entries as eviction victims without ever scanning the cache.
+   This example feeds a skewed synthetic hit stream through an LTHD of
+   the paper's dimensions (4 stages x 10 slots) and measures how good
+   its victims are against the oracle (exact least-frequently-used):
+   the victim's popularity percentile, averaged over many picks.
+
+   Run with: dune exec examples/lthd_playground.exe *)
+
+open Cfca_prefix
+open Cfca_trie
+open Cfca_dataplane
+
+let build_entries n =
+  (* standalone leaf nodes standing in for cached FIB entries *)
+  Array.init n (fun i ->
+      let t = Bintrie.create ~default_nh:1 in
+      let p = Prefix.make (Ipv4.of_int (i lsl 12)) 20 in
+      let node = Bintrie.add_route t p 1 in
+      node.Bintrie.table <- Bintrie.L1;
+      node)
+
+let () =
+  let n = 1_000 in
+  let entries = build_entries n in
+  let zipf = Cfca_traffic.Zipf.create ~exponent:1.2 ~n () in
+  let st = Random.State.make [| 2024 |] in
+  Printf.printf "%8s %8s | %22s %18s\n" "stages" "width" "victim percentile"
+    "oracle agreement";
+  print_endline (String.make 64 '-');
+  List.iter
+    (fun (stages, width) ->
+      let lthd = Lthd.create ~stages ~width ~seed:5 in
+      Array.iter (fun e -> e.Bintrie.hits <- 0) entries;
+      (* replay 200K skewed hits *)
+      for _ = 1 to 200_000 do
+        let e = entries.(Cfca_traffic.Zipf.draw zipf st) in
+        e.Bintrie.hits <- e.Bintrie.hits + 1;
+        Lthd.observe lthd e e.Bintrie.hits
+      done;
+      (* rank entries by true popularity: percentile 0 = least popular *)
+      let sorted = Array.copy entries in
+      Array.sort (fun a b -> compare a.Bintrie.hits b.Bintrie.hits) sorted;
+      let percentile = Hashtbl.create n in
+      Array.iteri
+        (fun i e ->
+          Hashtbl.replace percentile e.Bintrie.prefix
+            (100.0 *. float_of_int i /. float_of_int n))
+        sorted;
+      let picks = 2_000 in
+      let total = ref 0.0 and bottom_decile = ref 0 and found = ref 0 in
+      for _ = 1 to picks do
+        match Lthd.pick_victim lthd ~table:Bintrie.L1 st with
+        | Some v ->
+            let pct = Hashtbl.find percentile v.Bintrie.prefix in
+            total := !total +. pct;
+            if pct <= 10.0 then incr bottom_decile;
+            incr found
+        | None -> ()
+      done;
+      Printf.printf "%8d %8d | %15.1f %% avg %13.1f %% in bottom 10%%\n" stages
+        width
+        (!total /. float_of_int (max 1 !found))
+        (100.0 *. float_of_int !bottom_decile /. float_of_int (max 1 !found)))
+    [ (1, 10); (2, 10); (4, 10); (4, 32); (8, 32) ];
+  print_endline
+    "\nA uniformly random victim would average the 50th percentile; the\n\
+     pipeline's victims sit far lower — unpopular entries, found at line\n\
+     rate with O(stages) work per hit and no cache scans."

@@ -1,0 +1,59 @@
+(* Quickstart: build a FIB, watch CFCA extend + aggregate it, apply BGP
+   updates, and look addresses up — on the paper's own running example
+   (Table 1 / Fig. 4 / Fig. 6).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Cfca_prefix
+open Cfca_core
+
+let () =
+  (* The original FIB of Table 1(a); next-hop 9 is the default route. *)
+  let routes =
+    [
+      (Prefix.v "129.10.124.0/24", 1);
+      (Prefix.v "129.10.124.0/27", 1);
+      (Prefix.v "129.10.124.64/26", 1);
+      (Prefix.v "129.10.124.192/26", 2);
+    ]
+  in
+  (* A sink lets us watch every FIB change the control plane pushes. *)
+  let sink op = Format.printf "  data plane <- %a@." Fib_op.pp op in
+  let rm = Route_manager.create ~default_nh:9 () in
+  print_endline "== initial installation (extension + aggregation) ==";
+  Route_manager.set_sink rm sink;
+  Route_manager.load rm (List.to_seq routes);
+  Format.printf "FIB: %d routes -> %d installed entries (tree: %d nodes)@."
+    (Route_manager.route_count rm)
+    (Route_manager.fib_size rm)
+    (Route_manager.node_count rm);
+
+  print_endline "\n== longest-prefix matches ==";
+  List.iter
+    (fun a ->
+      let addr = Ipv4.of_string_exn a in
+      Format.printf "  %-16s -> next-hop %a@." a Nexthop.pp
+        (Route_manager.lookup rm addr))
+    [ "129.10.124.1"; "129.10.124.65"; "129.10.124.192"; "8.8.8.8" ];
+
+  (* Fig. 6: a next-hop change followed by a new announcement. *)
+  print_endline "\n== BGP update: 129.10.124.64/26 -> next-hop 2 ==";
+  Route_manager.announce rm (Prefix.v "129.10.124.64/26") 2;
+
+  print_endline "\n== BGP announcement: 129.10.124.128/25 -> next-hop 2 ==";
+  Route_manager.announce rm (Prefix.v "129.10.124.128/25") 2;
+
+  print_endline "\n== BGP withdrawal: 129.10.124.64/26 ==";
+  Route_manager.withdraw rm (Prefix.v "129.10.124.64/26");
+
+  Format.printf "\nfinal FIB (%d entries):@." (Route_manager.fib_size rm);
+  List.iter
+    (fun (p, nh) ->
+      Format.printf "  %-20s -> %a@." (Prefix.to_string p) Nexthop.pp nh)
+    (Route_manager.entries rm);
+
+  (* The well-formedness checker proves the FIB is a non-overlapping
+     total cover: no cache hiding is possible. *)
+  match Route_manager.verify rm with
+  | Ok () -> print_endline "\ninvariants: OK (non-overlapping, total cover)"
+  | Error msg -> Format.printf "\ninvariants VIOLATED: %s@." msg

@@ -1,0 +1,1 @@
+lib/aggr/aggr.ml: Bgp_update Bintrie Cfca_bgp Cfca_core Cfca_prefix Cfca_trie Fib_op Ipv4 List Nexthop Nhset Prefix Printf Seq

@@ -1,0 +1,1 @@
+lib/aggr/aggr.mli: Bgp_update Bintrie Cfca_bgp Cfca_core Cfca_prefix Cfca_trie Fib_op Ipv4 Nexthop Prefix Seq

@@ -1,0 +1,1 @@
+lib/aggr/nhset.ml: Cfca_prefix Format List Nexthop Printf String

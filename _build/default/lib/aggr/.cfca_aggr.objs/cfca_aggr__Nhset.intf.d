@@ -1,0 +1,1 @@
+lib/aggr/nhset.mli: Cfca_prefix Format

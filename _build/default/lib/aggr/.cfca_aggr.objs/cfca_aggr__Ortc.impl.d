@@ -1,0 +1,1 @@
+lib/aggr/ortc.ml: Aggr Cfca_prefix List Prefix

@@ -1,0 +1,1 @@
+lib/aggr/ortc.mli: Cfca_prefix Nexthop Prefix

@@ -1,0 +1,289 @@
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_trie
+open Cfca_core
+open Bintrie
+
+type policy = Faqs | Fifa
+
+let policy_name = function Faqs -> "FAQS" | Fifa -> "FIFA-S"
+
+type t = {
+  tree : Bintrie.t;
+  policy : policy;
+  default_nh : Nexthop.t;
+  mutable sink : Fib_op.sink;
+  mutable loaded : bool;
+}
+
+let create ?(sink = Fib_op.null_sink) ~policy ~default_nh () =
+  { tree = Bintrie.create ~default_nh; policy; default_nh; sink; loaded = false }
+
+let set_sink t sink = t.sink <- sink
+
+let policy t = t.policy
+
+let tree t = t.tree
+
+(* The per-node selection state lives in the tree's [selected] slot:
+   the next-hop itself for FAQS, an Nhset bit mask for FIFA-S. *)
+
+let payload_of_leaf t nh =
+  match t.policy with
+  | Faqs -> Nexthop.to_int nh
+  | Fifa -> Nhset.to_bits (Nhset.singleton nh)
+
+(* FAQS's quick selection keeps a single next-hop per node: the common
+   one when the children agree, else the node's own (inherited) original
+   next-hop. Falling back to the original — which BGP updates rarely
+   move — is what keeps FAQS's churn low at a small cost in compression
+   versus the full ORTC candidate sets of FIFA-S. *)
+let combine_faqs n a b = if a = b then a else Nexthop.to_int n.original
+
+let undecided t payload =
+  match t.policy with Faqs -> payload = 0 | Fifa -> false
+
+(* Is the covering next-hop inherited from the nearest installed
+   ancestor an acceptable choice for this node? *)
+let covered t payload cover =
+  (not (Nexthop.is_none cover))
+  &&
+  match t.policy with
+  | Faqs -> payload = Nexthop.to_int cover
+  | Fifa -> Nhset.mem cover (Nhset.of_bits payload)
+
+let pick t payload =
+  match t.policy with
+  | Faqs -> Nexthop.of_int payload
+  | Fifa -> Nhset.pick (Nhset.of_bits payload)
+
+let set_selection t n =
+  n.selected <-
+    (match (n.left, n.right) with
+    | None, None -> payload_of_leaf t n.original
+    | Some l, Some r -> (
+        match t.policy with
+        | Faqs -> combine_faqs n l.selected r.selected
+        | Fifa ->
+            Nhset.to_bits
+              (Nhset.combine (Nhset.of_bits l.selected)
+                 (Nhset.of_bits r.selected)))
+    | _ -> assert false)
+
+let install t n nh =
+  n.status <- In_fib;
+  n.table <- Dram;
+  n.installed_nh <- nh;
+  t.sink (Fib_op.Install (n, Dram))
+
+let uninstall t n =
+  if n.status = In_fib then begin
+    let tbl = n.table in
+    n.status <- Non_fib;
+    n.table <- No_table;
+    n.installed_nh <- Nexthop.none;
+    t.sink (Fib_op.Remove (n, tbl))
+  end
+
+let refresh t n nh =
+  if not (Nexthop.equal n.installed_nh nh) then begin
+    n.installed_nh <- nh;
+    t.sink (Fib_op.Update (n, n.table, nh))
+  end
+
+(* ORTC pass 3 over a subtree, diffing against the current installed
+   state: a node whose candidate selection accepts the covering
+   next-hop needs no entry; otherwise it installs a representative and
+   becomes the cover for its descendants. *)
+let rec assign t n cover =
+  let cover' =
+    if undecided t n.selected then
+      if n.parent = None && Nexthop.is_none cover then begin
+        (* the root must provide total coverage even when its children
+           disagree: it installs its own (default) next-hop *)
+        if n.status = Non_fib then install t n n.original
+        else refresh t n n.original;
+        n.original
+      end
+      else begin
+        uninstall t n;
+        cover
+      end
+    else if covered t n.selected cover then begin
+      uninstall t n;
+      cover
+    end
+    else begin
+      let nh = pick t n.selected in
+      if n.status = Non_fib then install t n nh else refresh t n nh;
+      nh
+    end
+  in
+  match (n.left, n.right) with
+  | None, None -> ()
+  | Some l, Some r ->
+      assign t l cover';
+      assign t r cover'
+  | _ -> assert false
+
+(* Propagate a changed original next-hop through the FAKE-inheritance
+   region and recompute selections post-order. *)
+let rec reselect_down t n =
+  (match n.left with
+  | Some l when l.kind = Fake ->
+      l.original <- n.original;
+      reselect_down t l
+  | _ -> ());
+  (match n.right with
+  | Some r when r.kind = Fake ->
+      r.original <- n.original;
+      reselect_down t r
+  | _ -> ());
+  set_selection t n
+
+(* Re-select ancestors while their selection keeps changing; returns the
+   highest node whose selection changed. *)
+let climb t n =
+  let rec go n =
+    match n.parent with
+    | None -> n
+    | Some p ->
+        let old = p.selected in
+        set_selection t p;
+        if old = p.selected then n else go p
+  in
+  go n
+
+let cover_of n =
+  let rec go = function
+    | None -> Nexthop.none
+    | Some a -> if a.status = In_fib then a.installed_nh else go a.parent
+  in
+  go n.parent
+
+let reaggregate t n =
+  let h = climb t n in
+  assign t h (cover_of h)
+
+let load t routes =
+  if t.loaded then invalid_arg "Aggr.load: already loaded";
+  t.loaded <- true;
+  Seq.iter (fun (p, nh) -> ignore (Bintrie.add_route t.tree p nh)) routes;
+  Bintrie.extend t.tree;
+  Bintrie.iter_post (set_selection t) (Bintrie.root t.tree);
+  assign t (Bintrie.root t.tree) Nexthop.none
+
+let update_root t nh =
+  let root = Bintrie.root t.tree in
+  if not (Nexthop.equal root.original nh) then begin
+    root.original <- nh;
+    reselect_down t root;
+    assign t root Nexthop.none
+  end
+
+let announce t p nh =
+  if Nexthop.is_none nh then invalid_arg "Aggr.announce: null next-hop";
+  if Prefix.length p = 0 then update_root t nh
+  else
+    match Bintrie.find t.tree p with
+    | Some n ->
+        n.kind <- Real;
+        if not (Nexthop.equal n.original nh) then begin
+          n.original <- nh;
+          reselect_down t n;
+          reaggregate t n
+        end
+    | None ->
+        let frag = Bintrie.fragment t.tree p None in
+        frag.target.kind <- Real;
+        frag.target.original <- nh;
+        (* reselect_down skips REAL nodes, so seed the target's own
+           selection first (it is a fresh leaf) *)
+        set_selection t frag.target;
+        reselect_down t frag.anchor;
+        reaggregate t frag.anchor
+
+let withdraw t p =
+  if Prefix.length p = 0 then update_root t t.default_nh
+  else
+    match Bintrie.find t.tree p with
+    | None -> ()
+    | Some n when n.kind = Fake -> ()
+    | Some n ->
+        let inherited =
+          match n.parent with Some parent -> parent.original | None -> assert false
+        in
+        n.kind <- Fake;
+        n.original <- inherited;
+        reselect_down t n;
+        reaggregate t n;
+        ignore (Bintrie.compact_upward t.tree n)
+
+let apply t (u : Bgp_update.t) =
+  match u.action with
+  | Bgp_update.Announce nh -> announce t u.prefix nh
+  | Bgp_update.Withdraw -> withdraw t u.prefix
+
+let lookup t addr =
+  (* deepest installed entry on the address's path: the baselines allow
+     overlapping routes, so keep descending past matches *)
+  let rec go n best =
+    let best = if n.status = In_fib then n.installed_nh else best in
+    if Bintrie.is_leaf n then best
+    else
+      match Bintrie.child n (Ipv4.bit addr n.depth) with
+      | Some c -> go c best
+      | None -> best
+  in
+  go (Bintrie.root t.tree) t.default_nh
+
+let fib_size t = Bintrie.in_fib_count t.tree
+
+let route_count t =
+  Bintrie.fold_nodes (fun acc n -> if n.kind = Real then acc + 1 else acc) 0 t.tree
+
+let compression_ratio t =
+  float_of_int (fib_size t) /. float_of_int (max 1 (route_count t))
+
+let entries t =
+  List.rev
+    (Bintrie.fold_nodes
+       (fun acc n ->
+         if n.status = In_fib then (n.prefix, n.installed_nh) :: acc else acc)
+       [] t.tree)
+
+let verify t =
+  match Bintrie.invariant t.tree with
+  | Error _ as e -> e
+  | Ok () ->
+      let exception Violation of string in
+      let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt in
+      (try
+         Bintrie.fold_nodes
+           (fun () n ->
+             let expected =
+               match (n.left, n.right) with
+               | None, None -> payload_of_leaf t n.original
+               | Some l, Some r -> (
+                   match t.policy with
+                   | Faqs -> combine_faqs n l.selected r.selected
+                   | Fifa ->
+                       Nhset.to_bits
+                         (Nhset.combine (Nhset.of_bits l.selected)
+                            (Nhset.of_bits r.selected)))
+               | _ -> assert false
+             in
+             if n.selected <> expected then
+               fail "stale selection at %s" (Prefix.to_string n.prefix);
+             if
+               n.status = In_fib
+               && not (undecided t n.selected)
+               && not (covered t n.selected n.installed_nh)
+             then
+               fail "installed next-hop of %s not in its candidate set"
+                 (Prefix.to_string n.prefix))
+           () t.tree;
+         if (Bintrie.root t.tree).status <> In_fib then
+           fail "root not installed: incomplete coverage";
+         Ok ()
+       with Violation msg -> Error msg)

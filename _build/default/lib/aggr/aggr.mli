@@ -1,0 +1,68 @@
+(** The aggregation-only baselines of the paper's evaluation (§4):
+    FAQS-style low-churn aggregation and FIFA-S-style incremental
+    optimal (ORTC) aggregation.
+
+    Both maintain the whole FIB in a single table (no caching) and
+    handle BGP updates incrementally: only the affected branch is
+    re-selected bottom-up, and only the highest changed subtree is
+    re-assigned top-down, with churn counted as the diff of installed
+    entries. Unlike CFCA, both may install {e overlapping} routes
+    (a longer installed prefix overrides a shorter one) — which is
+    precisely why they cannot be combined naively with FIB caching
+    (§2's cache-hiding example).
+
+    The two differ only in the per-node selection state:
+    - {b FIFA-S} keeps the full ORTC candidate next-hop {e set}
+      (intersection when non-empty, else union), giving the optimal
+      compression ratio;
+    - {b FAQS} keeps a single quickly-selected next-hop (the common
+      child value when children agree, else the smaller), trading a few
+      percent of compression for cheaper updates and lower churn. *)
+
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_trie
+open Cfca_core
+
+type policy =
+  | Faqs  (** single selected next-hop per node *)
+  | Fifa  (** ORTC candidate set per node *)
+
+val policy_name : policy -> string
+
+type t
+
+val create : ?sink:Fib_op.sink -> policy:policy -> default_nh:Nexthop.t -> unit -> t
+
+val set_sink : t -> Fib_op.sink -> unit
+
+val policy : t -> policy
+
+val tree : t -> Bintrie.t
+
+val load : t -> (Prefix.t * Nexthop.t) Seq.t -> unit
+(** Build, extend, select bottom-up and assign top-down (for [Fifa]
+    this is exactly the three-pass ORTC construction). *)
+
+val announce : t -> Prefix.t -> Nexthop.t -> unit
+
+val withdraw : t -> Prefix.t -> unit
+
+val apply : t -> Bgp_update.t -> unit
+
+val lookup : t -> Ipv4.t -> Nexthop.t
+(** Longest installed prefix match (overlaps allowed). *)
+
+val fib_size : t -> int
+
+val route_count : t -> int
+
+val compression_ratio : t -> float
+(** [fib_size / route_count] — the paper's Table 3 metric. *)
+
+val entries : t -> (Prefix.t * Nexthop.t) list
+(** The installed FIB, in prefix order. *)
+
+val verify : t -> (unit, string) result
+(** Structural invariants plus: every installed next-hop is a member of
+    its node's candidate selection. *)

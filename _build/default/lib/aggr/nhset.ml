@@ -1,0 +1,56 @@
+open Cfca_prefix
+
+type t = int
+
+let max_nexthop = 62
+
+let empty = 0
+
+let singleton nh =
+  let i = Nexthop.to_int nh in
+  if i < 1 || i > max_nexthop then
+    invalid_arg
+      (Printf.sprintf "Nhset.singleton: next-hop %d outside [1, %d]" i
+         max_nexthop);
+  1 lsl i
+
+let mem nh s = (s lsr Nexthop.to_int nh) land 1 = 1
+
+let inter a b = a land b
+
+let union a b = a lor b
+
+let combine a b =
+  let i = a land b in
+  if i <> 0 then i else a lor b
+
+let is_empty s = s = 0
+
+let equal (a : int) (b : int) = a = b
+
+let pick s =
+  if s = 0 then invalid_arg "Nhset.pick: empty set";
+  (* index of the lowest set bit *)
+  let rec go i v = if v land 1 = 1 then i else go (i + 1) (v lsr 1) in
+  Nexthop.of_int (go 0 s)
+
+let cardinal s =
+  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in
+  go 0 s
+
+let of_list l = List.fold_left (fun s nh -> union s (singleton nh)) empty l
+
+let to_list s =
+  let rec go acc i =
+    if i > max_nexthop then List.rev acc
+    else go (if (s lsr i) land 1 = 1 then Nexthop.of_int i :: acc else acc) (i + 1)
+  in
+  go [] 1
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map Nexthop.to_string (to_list s)))
+
+let of_bits i = i
+
+let to_bits s = s

@@ -1,0 +1,51 @@
+(** Small next-hop sets as bit masks.
+
+    ORTC-style aggregation manipulates sets of candidate next-hops at
+    every tree node; encoding them as an [int] bit mask makes the
+    bottom-up combine pass branch-free. Next-hops must therefore fit in
+    [1, 62] — plenty for a router's adjacency set (the synthetic RIB
+    generator defaults to 32 peers). *)
+
+type t = private int
+
+val max_nexthop : int
+(** Largest representable next-hop (62). *)
+
+val empty : t
+
+val singleton : Cfca_prefix.Nexthop.t -> t
+(** @raise Invalid_argument if the next-hop is outside [1, max_nexthop]. *)
+
+val mem : Cfca_prefix.Nexthop.t -> t -> bool
+
+val inter : t -> t -> t
+
+val union : t -> t -> t
+
+val combine : t -> t -> t
+(** ORTC's merge: the intersection when non-empty, otherwise the
+    union. *)
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+
+val pick : t -> Cfca_prefix.Nexthop.t
+(** An arbitrary (lowest-numbered) element.
+    @raise Invalid_argument on the empty set. *)
+
+val cardinal : t -> int
+
+val of_list : Cfca_prefix.Nexthop.t list -> t
+
+val to_list : t -> Cfca_prefix.Nexthop.t list
+
+val pp : Format.formatter -> t -> unit
+
+val of_bits : int -> t
+(** Reinterpret a raw bit mask as a set — for modules that store masks
+    in pre-existing [int] fields (the aggregation engine keeps them in
+    the tree's [selected] slot). The caller guarantees the bits came
+    from this module. *)
+
+val to_bits : t -> int

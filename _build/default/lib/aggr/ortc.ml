@@ -1,0 +1,18 @@
+open Cfca_prefix
+
+let build ~default_nh routes =
+  let t = Aggr.create ~policy:Aggr.Fifa ~default_nh () in
+  Aggr.load t (List.to_seq routes);
+  t
+
+let aggregate ~default_nh routes = Aggr.entries (build ~default_nh routes)
+
+let size ~default_nh routes = Aggr.fib_size (build ~default_nh routes)
+
+let ratio ~default_nh routes =
+  let original =
+    1
+    + List.length
+        (List.filter (fun (p, _) -> Prefix.length p > 0) routes)
+  in
+  float_of_int (size ~default_nh routes) /. float_of_int original

@@ -1,0 +1,21 @@
+(** One-shot Optimal Routing Table Construction (Draves et al., 1999).
+
+    A convenience wrapper over the {!Aggr} engine with the [Fifa]
+    policy: building a FIFA-S instance from scratch is exactly the
+    three-pass ORTC algorithm. Used for compression-ratio reporting and
+    as the optimality reference in tests. *)
+
+open Cfca_prefix
+
+val aggregate :
+  default_nh:Nexthop.t ->
+  (Prefix.t * Nexthop.t) list ->
+  (Prefix.t * Nexthop.t) list
+(** The minimal forwarding-equivalent table (includes the entry for the
+    default route). *)
+
+val size : default_nh:Nexthop.t -> (Prefix.t * Nexthop.t) list -> int
+
+val ratio : default_nh:Nexthop.t -> (Prefix.t * Nexthop.t) list -> float
+(** Aggregated size over original size (counting the default route on
+    both sides). *)

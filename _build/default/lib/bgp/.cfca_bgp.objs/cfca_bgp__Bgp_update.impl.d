@@ -1,0 +1,1 @@
+lib/bgp/bgp_update.ml: Cfca_prefix Format Nexthop Prefix Printf

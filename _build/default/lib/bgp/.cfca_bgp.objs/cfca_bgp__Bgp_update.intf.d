@@ -1,0 +1,1 @@
+lib/bgp/bgp_update.mli: Cfca_prefix Format Nexthop Prefix

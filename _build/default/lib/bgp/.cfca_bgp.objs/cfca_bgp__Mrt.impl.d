@@ -1,0 +1,1 @@
+lib/bgp/mrt.ml: Array Bgp_update Cfca_prefix Cfca_rib Cfca_wire Fun Ipv4 List Nexthop Prefix Reader String Writer

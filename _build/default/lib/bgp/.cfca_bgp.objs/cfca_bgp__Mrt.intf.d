@@ -1,0 +1,1 @@
+lib/bgp/mrt.mli: Bgp_update Cfca_prefix Cfca_rib Cfca_wire Ipv4 Nexthop Prefix Reader Writer

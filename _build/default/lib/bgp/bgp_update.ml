@@ -1,0 +1,27 @@
+open Cfca_prefix
+
+type action = Announce of Nexthop.t | Withdraw
+
+type t = { prefix : Prefix.t; action : action }
+
+let announce prefix nh = { prefix; action = Announce nh }
+
+let withdraw prefix = { prefix; action = Withdraw }
+
+let prefix u = u.prefix
+
+let equal a b =
+  Prefix.equal a.prefix b.prefix
+  &&
+  match (a.action, b.action) with
+  | Announce x, Announce y -> Nexthop.equal x y
+  | Withdraw, Withdraw -> true
+  | Announce _, Withdraw | Withdraw, Announce _ -> false
+
+let to_string u =
+  match u.action with
+  | Announce nh ->
+      Printf.sprintf "A %s -> %s" (Prefix.to_string u.prefix) (Nexthop.to_string nh)
+  | Withdraw -> Printf.sprintf "W %s" (Prefix.to_string u.prefix)
+
+let pp ppf u = Format.pp_print_string ppf (to_string u)

@@ -1,0 +1,26 @@
+(** BGP routing updates as seen by the Route Manager (paper §3.1.2).
+
+    A single constructor covers both "announcement of a new route" and
+    "announcement of a new next-hop for an existing prefix": the receiver
+    distinguishes them by whether the prefix is already present, exactly
+    as a BGP speaker does. *)
+
+open Cfca_prefix
+
+type action =
+  | Announce of Nexthop.t  (** New route, or next-hop change if known. *)
+  | Withdraw
+
+type t = { prefix : Prefix.t; action : action }
+
+val announce : Prefix.t -> Nexthop.t -> t
+
+val withdraw : Prefix.t -> t
+
+val prefix : t -> Prefix.t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

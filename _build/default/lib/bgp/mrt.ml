@@ -1,0 +1,415 @@
+open Cfca_prefix
+open Cfca_wire
+
+type peer = { bgp_id : Ipv4.t; address : Ipv4.t; asn : int }
+
+type rib_entry = { peer_index : int; originated : int; next_hop : Nexthop.t }
+
+type update_message = {
+  withdrawn : Prefix.t list;
+  announced : Prefix.t list;
+  next_hop : Nexthop.t option;
+}
+
+type record =
+  | Peer_index_table of {
+      collector_id : Ipv4.t;
+      view_name : string;
+      peers : peer array;
+    }
+  | Rib_ipv4_unicast of {
+      sequence : int;
+      prefix : Prefix.t;
+      entries : rib_entry list;
+    }
+  | Bgp4mp_message of { peer_as : int; local_as : int; update : update_message }
+  | Unknown of { mrt_type : int; subtype : int; payload : string }
+
+(* MRT type / subtype codes (RFC 6396 §4). *)
+let t_table_dump_v2 = 13
+
+let st_peer_index_table = 1
+
+let st_rib_ipv4_unicast = 2
+
+let t_bgp4mp = 16
+
+let st_bgp4mp_message_as4 = 4
+
+(* BGP path attribute codes (RFC 4271 §5.1). *)
+let attr_origin = 1
+
+let attr_as_path = 2
+
+let attr_next_hop = 3
+
+let nexthop_address nh =
+  let k = Nexthop.to_int nh in
+  Ipv4.of_octets 10 0 ((k lsr 8) land 0xFF) (k land 0xFF)
+
+let address_nexthop a =
+  let o1, o2, o3, o4 = Ipv4.to_octets a in
+  if o1 = 10 && o2 = 0 then
+    let k = (o3 lsl 8) lor o4 in
+    if k >= 1 then Some (Nexthop.of_int k) else None
+  else None
+
+(* -- NLRI encoding: length byte + just enough prefix bytes ---------- *)
+
+let write_nlri w p =
+  let len = Prefix.length p in
+  Writer.u8 w len;
+  let bits = Ipv4.to_int (Prefix.network p) in
+  let nbytes = (len + 7) / 8 in
+  for i = 0 to nbytes - 1 do
+    Writer.u8 w ((bits lsr (24 - (8 * i))) land 0xFF)
+  done
+
+let read_nlri r =
+  let len = Reader.u8 r in
+  if len > 32 then failwith "Mrt: NLRI prefix length > 32";
+  let nbytes = (len + 7) / 8 in
+  let bits = ref 0 in
+  for i = 0 to nbytes - 1 do
+    bits := !bits lor (Reader.u8 r lsl (24 - (8 * i)))
+  done;
+  Prefix.make (Ipv4.of_int !bits) len
+
+(* -- BGP path attributes -------------------------------------------- *)
+
+let write_attributes w ~next_hop ~origin_as =
+  let body = Writer.create () in
+  (* ORIGIN = IGP *)
+  Writer.u8 body 0x40;
+  Writer.u8 body attr_origin;
+  Writer.u8 body 1;
+  Writer.u8 body 0;
+  (* AS_PATH: one AS_SEQUENCE segment with a single 4-byte AS *)
+  Writer.u8 body 0x40;
+  Writer.u8 body attr_as_path;
+  Writer.u8 body 6;
+  Writer.u8 body 2 (* AS_SEQUENCE *);
+  Writer.u8 body 1;
+  Writer.u32 body origin_as;
+  (* NEXT_HOP *)
+  Writer.u8 body 0x40;
+  Writer.u8 body attr_next_hop;
+  Writer.u8 body 4;
+  Writer.u32 body (Ipv4.to_int (nexthop_address next_hop));
+  Writer.u16 w (Writer.length body);
+  Writer.string w (Writer.contents body)
+
+(* Returns the next-hop found among the attributes, if any. *)
+let read_attributes r =
+  let total = Reader.u16 r in
+  let attrs = Reader.sub r total in
+  let next_hop = ref None in
+  while not (Reader.at_end attrs) do
+    let flags = Reader.u8 attrs in
+    let typ = Reader.u8 attrs in
+    let len =
+      if flags land 0x10 <> 0 then Reader.u16 attrs else Reader.u8 attrs
+    in
+    let value = Reader.sub attrs len in
+    if typ = attr_next_hop && len = 4 then begin
+      let a = Ipv4.of_int (Reader.u32 value) in
+      match address_nexthop a with
+      | Some nh -> next_hop := Some nh
+      | None -> ()
+    end
+  done;
+  !next_hop
+
+(* -- record payloads ------------------------------------------------ *)
+
+let write_peer_index w ~collector_id ~view_name ~peers =
+  Writer.u32 w (Ipv4.to_int collector_id);
+  Writer.u16 w (String.length view_name);
+  Writer.string w view_name;
+  Writer.u16 w (Array.length peers);
+  Array.iter
+    (fun p ->
+      (* peer type 0x02: IPv4 peer address, 4-byte AS *)
+      Writer.u8 w 0x02;
+      Writer.u32 w (Ipv4.to_int p.bgp_id);
+      Writer.u32 w (Ipv4.to_int p.address);
+      Writer.u32 w p.asn)
+    peers
+
+let read_peer_index r =
+  let collector_id = Ipv4.of_int (Reader.u32 r) in
+  let name_len = Reader.u16 r in
+  let view_name = Reader.take r name_len in
+  let count = Reader.u16 r in
+  let peers =
+    Array.init count (fun _ ->
+        let typ = Reader.u8 r in
+        let bgp_id = Ipv4.of_int (Reader.u32 r) in
+        let address =
+          if typ land 0x01 <> 0 then failwith "Mrt: IPv6 peers unsupported"
+          else Ipv4.of_int (Reader.u32 r)
+        in
+        let asn = if typ land 0x02 <> 0 then Reader.u32 r else Reader.u16 r in
+        { bgp_id; address; asn })
+  in
+  Peer_index_table { collector_id; view_name; peers }
+
+let write_rib_entry_record w ~sequence ~prefix ~entries =
+  Writer.u32 w sequence;
+  write_nlri w prefix;
+  Writer.u16 w (List.length entries);
+  List.iter
+    (fun e ->
+      Writer.u16 w e.peer_index;
+      Writer.u32 w e.originated;
+      write_attributes w ~next_hop:e.next_hop ~origin_as:(64_512 + e.peer_index))
+    entries
+
+let read_rib_entry_record r =
+  let sequence = Reader.u32 r in
+  let prefix = read_nlri r in
+  let count = Reader.u16 r in
+  let entries =
+    List.init count (fun _ ->
+        let peer_index = Reader.u16 r in
+        let originated = Reader.u32 r in
+        let next_hop =
+          match read_attributes r with
+          | Some nh -> nh
+          | None -> Nexthop.of_int (peer_index + 1)
+        in
+        { peer_index; originated; next_hop })
+  in
+  Rib_ipv4_unicast { sequence; prefix; entries }
+
+let bgp_marker = String.make 16 '\xff'
+
+let write_bgp4mp w ~peer_as ~local_as ~update =
+  Writer.u32 w peer_as;
+  Writer.u32 w local_as;
+  Writer.u16 w 0 (* interface index *);
+  Writer.u16 w 1 (* AFI = IPv4 *);
+  Writer.u32 w (Ipv4.to_int (Ipv4.of_octets 192 0 2 1)) (* peer IP *);
+  Writer.u32 w (Ipv4.to_int (Ipv4.of_octets 192 0 2 2)) (* local IP *);
+  (* the embedded BGP UPDATE message *)
+  let body = Writer.create () in
+  let withdrawn = Writer.create () in
+  List.iter (write_nlri withdrawn) update.withdrawn;
+  Writer.u16 body (Writer.length withdrawn);
+  Writer.string body (Writer.contents withdrawn);
+  (match (update.announced, update.next_hop) with
+  | [], _ -> Writer.u16 body 0
+  | _ :: _, Some nh -> write_attributes body ~next_hop:nh ~origin_as:peer_as
+  | _ :: _, None -> failwith "Mrt: announcement without a next-hop");
+  List.iter (write_nlri body) update.announced;
+  Writer.string w bgp_marker;
+  Writer.u16 w (16 + 2 + 1 + Writer.length body);
+  Writer.u8 w 2 (* UPDATE *);
+  Writer.string w (Writer.contents body)
+
+let read_bgp4mp r =
+  let peer_as = Reader.u32 r in
+  let local_as = Reader.u32 r in
+  let _ifindex = Reader.u16 r in
+  let afi = Reader.u16 r in
+  if afi <> 1 then failwith "Mrt: only AFI 1 (IPv4) is supported";
+  let _peer_ip = Reader.u32 r in
+  let _local_ip = Reader.u32 r in
+  let marker = Reader.take r 16 in
+  if marker <> bgp_marker then failwith "Mrt: bad BGP marker";
+  let msg_len = Reader.u16 r in
+  let typ = Reader.u8 r in
+  let body = Reader.sub r (msg_len - 19) in
+  if typ <> 2 then failwith "Mrt: embedded BGP message is not an UPDATE";
+  let withdrawn_len = Reader.u16 body in
+  let wr = Reader.sub body withdrawn_len in
+  let withdrawn = ref [] in
+  while not (Reader.at_end wr) do
+    withdrawn := read_nlri wr :: !withdrawn
+  done;
+  let next_hop = read_attributes body in
+  let announced = ref [] in
+  while not (Reader.at_end body) do
+    announced := read_nlri body :: !announced
+  done;
+  Bgp4mp_message
+    {
+      peer_as;
+      local_as;
+      update =
+        {
+          withdrawn = List.rev !withdrawn;
+          announced = List.rev !announced;
+          next_hop;
+        };
+    }
+
+(* -- common header --------------------------------------------------- *)
+
+let write_record w ~timestamp record =
+  let typ, subtype, payload =
+    let body = Writer.create () in
+    match record with
+    | Peer_index_table { collector_id; view_name; peers } ->
+        write_peer_index body ~collector_id ~view_name ~peers;
+        (t_table_dump_v2, st_peer_index_table, Writer.contents body)
+    | Rib_ipv4_unicast { sequence; prefix; entries } ->
+        write_rib_entry_record body ~sequence ~prefix ~entries;
+        (t_table_dump_v2, st_rib_ipv4_unicast, Writer.contents body)
+    | Bgp4mp_message { peer_as; local_as; update } ->
+        write_bgp4mp body ~peer_as ~local_as ~update;
+        (t_bgp4mp, st_bgp4mp_message_as4, Writer.contents body)
+    | Unknown { mrt_type; subtype; payload } -> (mrt_type, subtype, payload)
+  in
+  Writer.u32 w timestamp;
+  Writer.u16 w typ;
+  Writer.u16 w subtype;
+  Writer.u32 w (String.length payload);
+  Writer.string w payload
+
+let read_record r =
+  if Reader.at_end r then None
+  else begin
+    let timestamp = Reader.u32 r in
+    let typ = Reader.u16 r in
+    let subtype = Reader.u16 r in
+    let len = Reader.u32 r in
+    let body = Reader.sub r len in
+    let record =
+      if typ = t_table_dump_v2 && subtype = st_peer_index_table then
+        read_peer_index body
+      else if typ = t_table_dump_v2 && subtype = st_rib_ipv4_unicast then
+        read_rib_entry_record body
+      else if typ = t_bgp4mp && subtype = st_bgp4mp_message_as4 then
+        read_bgp4mp body
+      else
+        Unknown
+          { mrt_type = typ; subtype; payload = Reader.take body (Reader.remaining body) }
+    in
+    Some (timestamp, record)
+  end
+
+(* -- file-level interchange ------------------------------------------ *)
+
+let with_out path f =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let max_peer_count = 63
+
+let standard_peers =
+  Array.init max_peer_count (fun i ->
+      {
+        bgp_id = Ipv4.of_octets 198 51 100 (i + 1);
+        address = nexthop_address (Nexthop.of_int (i + 1));
+        asn = 64_512 + i;
+      })
+
+let write_rib_file path rib =
+  with_out path (fun oc ->
+      let w = Writer.create ~capacity:(1 lsl 16) () in
+      write_record w ~timestamp:0
+        (Peer_index_table
+           {
+             collector_id = Ipv4.of_octets 198 51 100 0;
+             view_name = "cfca-sim";
+             peers = standard_peers;
+           });
+      output_string oc (Writer.contents w);
+      let seq = ref 0 in
+      Array.iter
+        (fun (prefix, nh) ->
+          Writer.clear w;
+          write_record w ~timestamp:0
+            (Rib_ipv4_unicast
+               {
+                 sequence = !seq;
+                 prefix;
+                 entries =
+                   [
+                     {
+                       peer_index = Nexthop.to_int nh - 1;
+                       originated = 0;
+                       next_hop = nh;
+                     };
+                   ];
+               });
+          incr seq;
+          output_string oc (Writer.contents w))
+        (Cfca_rib.Rib.entries rib))
+
+let read_rib_file path =
+  match
+    let r = Reader.of_string (read_all path) in
+    let acc = ref [] in
+    let rec go () =
+      match read_record r with
+      | None -> ()
+      | Some (_, Rib_ipv4_unicast { prefix; entries; _ }) ->
+          (match entries with
+          | { next_hop; _ } :: _ -> acc := (prefix, next_hop) :: !acc
+          | [] -> ());
+          go ()
+      | Some (_, (Peer_index_table _ | Bgp4mp_message _ | Unknown _)) -> go ()
+    in
+    go ();
+    Cfca_rib.Rib.of_list !acc
+  with
+  | rib -> Ok rib
+  | exception Reader.Truncated -> Error (path ^ ": truncated MRT file")
+  | exception Failure msg -> Error (path ^ ": " ^ msg)
+  | exception Sys_error msg -> Error msg
+
+let write_update_file path updates =
+  with_out path (fun oc ->
+      let w = Writer.create ~capacity:(1 lsl 12) () in
+      Array.iteri
+        (fun i (u : Bgp_update.t) ->
+          Writer.clear w;
+          let update =
+            match u.action with
+            | Bgp_update.Announce nh ->
+                { withdrawn = []; announced = [ u.prefix ]; next_hop = Some nh }
+            | Bgp_update.Withdraw ->
+                { withdrawn = [ u.prefix ]; announced = []; next_hop = None }
+          in
+          write_record w ~timestamp:i
+            (Bgp4mp_message { peer_as = 64_512; local_as = 65_000; update });
+          output_string oc (Writer.contents w))
+        updates)
+
+let read_update_file path =
+  match
+    let r = Reader.of_string (read_all path) in
+    let acc = ref [] in
+    let rec go () =
+      match read_record r with
+      | None -> ()
+      | Some (_, Bgp4mp_message { update; _ }) ->
+          List.iter
+            (fun p -> acc := Bgp_update.withdraw p :: !acc)
+            update.withdrawn;
+          (match update.next_hop with
+          | Some nh ->
+              List.iter
+                (fun p -> acc := Bgp_update.announce p nh :: !acc)
+                update.announced
+          | None ->
+              if update.announced <> [] then
+                failwith "announcement without a NEXT_HOP attribute");
+          go ()
+      | Some (_, (Peer_index_table _ | Rib_ipv4_unicast _ | Unknown _)) -> go ()
+    in
+    go ();
+    Array.of_list (List.rev !acc)
+  with
+  | updates -> Ok updates
+  | exception Reader.Truncated -> Error (path ^ ": truncated MRT file")
+  | exception Failure msg -> Error (path ^ ": " ^ msg)
+  | exception Sys_error msg -> Error msg

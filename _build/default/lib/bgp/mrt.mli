@@ -1,0 +1,68 @@
+(** MRT (RFC 6396) binary codec — the format RouteViews publishes RIB
+    snapshots (TABLE_DUMP_V2) and update streams (BGP4MP) in.
+
+    Implemented subset, sufficient to interchange the paper's inputs:
+    - TABLE_DUMP_V2 / PEER_INDEX_TABLE,
+    - TABLE_DUMP_V2 / RIB_IPV4_UNICAST (ORIGIN + AS_PATH + NEXT_HOP
+      attributes),
+    - BGP4MP / BGP4MP_MESSAGE_AS4 carrying BGP UPDATE messages
+      (withdrawn routes + NLRI with a NEXT_HOP attribute).
+
+    Unrecognised record types round-trip as {!constructor:Unknown}.
+
+    The simulator's small-integer next-hops map onto MRT as follows: a
+    next-hop [k] is peer index [k-1] in the peer table and is also
+    written into the NEXT_HOP attribute as the address [10.0.(k lsr 8).(k land 0xff)].
+    The reader prefers the NEXT_HOP attribute and falls back to the
+    peer index. *)
+
+open Cfca_prefix
+open Cfca_wire
+
+type peer = { bgp_id : Ipv4.t; address : Ipv4.t; asn : int }
+
+type rib_entry = { peer_index : int; originated : int; next_hop : Nexthop.t }
+
+type update_message = {
+  withdrawn : Prefix.t list;
+  announced : Prefix.t list;
+  next_hop : Nexthop.t option;  (** applies to all [announced] NLRI *)
+}
+
+type record =
+  | Peer_index_table of {
+      collector_id : Ipv4.t;
+      view_name : string;
+      peers : peer array;
+    }
+  | Rib_ipv4_unicast of {
+      sequence : int;
+      prefix : Prefix.t;
+      entries : rib_entry list;
+    }
+  | Bgp4mp_message of { peer_as : int; local_as : int; update : update_message }
+  | Unknown of { mrt_type : int; subtype : int; payload : string }
+
+val write_record : Writer.t -> timestamp:int -> record -> unit
+
+val read_record : Reader.t -> (int * record) option
+(** [None] at clean end of input.
+    @raise Reader.Truncated on a short read.
+    @raise Failure on malformed contents. *)
+
+(** High-level file interchange with the simulator's types. *)
+
+val write_rib_file : string -> Cfca_rib.Rib.t -> unit
+(** A PEER_INDEX_TABLE followed by one RIB_IPV4_UNICAST per entry. *)
+
+val read_rib_file : string -> (Cfca_rib.Rib.t, string) result
+
+val write_update_file : string -> Bgp_update.t array -> unit
+(** One BGP4MP_MESSAGE_AS4 per update. *)
+
+val read_update_file : string -> (Bgp_update.t array, string) result
+
+val nexthop_address : Nexthop.t -> Ipv4.t
+(** The 10.0.x.y encoding described above. *)
+
+val address_nexthop : Ipv4.t -> Nexthop.t option

@@ -1,0 +1,1 @@
+lib/core/aggregation.ml: Cfca_prefix Control_f

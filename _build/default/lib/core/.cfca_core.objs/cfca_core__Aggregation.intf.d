@@ -1,0 +1,1 @@
+lib/core/aggregation.mli: Bintrie Cfca_prefix Cfca_trie Fib_op Nexthop

@@ -1,0 +1,1 @@
+lib/core/control_f.ml: Cfca_prefix Cfca_trie Family Format List Nexthop Printf Seq

@@ -1,0 +1,1 @@
+lib/core/fib_op.ml: Cfca_prefix Control_f

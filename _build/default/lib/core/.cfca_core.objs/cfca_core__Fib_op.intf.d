@@ -1,0 +1,1 @@
+lib/core/fib_op.mli: Bintrie Cfca_prefix Cfca_trie Control_f Format Nexthop

@@ -1,0 +1,1 @@
+lib/core/route_manager.ml: Cfca_bgp Cfca_prefix Control_f

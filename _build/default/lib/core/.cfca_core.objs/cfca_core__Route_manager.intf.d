@@ -1,0 +1,1 @@
+lib/core/route_manager.mli: Bgp_update Bintrie Cfca_bgp Cfca_prefix Cfca_trie Fib_op Ipv4 Nexthop Prefix Seq

@@ -1,0 +1,55 @@
+(** CFCA's FIB aggregation algorithms (paper §3.1, Algorithms 1–5).
+
+    All functions mutate the binary prefix tree in place and report the
+    resulting data-plane changes through a {!Fib_op.sink}. The FIB status
+    of a node is always decided by its {e parent} (the paper's key
+    design point): [set_fib_status n] manages the status of [n]'s
+    children, never of [n] itself. The root has no parent, so
+    {!fix_root} closes the loop.
+
+    Note on Algorithm 4: the paper's pseudo-code pushes {e both}
+    children into the FIB whenever [n.s = 0]; that contradicts
+    Algorithm 1 (and the paper's own prose), under which a child with a
+    zero selected next-hop is covered by its own IN_FIB descendants and
+    must stay out. We implement the Algorithm 1 semantics: a child is
+    IN_FIB iff the parent's selected next-hop is zero and the child's is
+    non-zero. *)
+
+open Cfca_prefix
+open Cfca_trie
+
+val set_selected_next_hop : Bintrie.node -> unit
+(** Algorithm 3: a leaf selects its original next-hop; an internal node
+    selects its children's common selected next-hop, or
+    {!Nexthop.none} if they disagree. *)
+
+val set_fib_status : sink:Fib_op.sink -> Bintrie.node -> unit
+(** Algorithm 4 (corrected, see above): reconcile the FIB status of the
+    node's children with the node's selected next-hop, emitting
+    install / remove / next-hop-update operations. Newly installed
+    entries go to DRAM; removals and updates are addressed to whichever
+    table currently holds the entry. No-op on leaves. *)
+
+val aggr_init : sink:Fib_op.sink -> Bintrie.node -> unit
+(** Algorithm 1: aggregate the subtree rooted at the node with a single
+    post-order traversal. Used for the initial FIB installation (from
+    the root) and to aggregate freshly fragmented branches. The caller
+    must fix the subtree root's own status afterwards ({!fix_root} or
+    {!bottom_up_update} from the subtree root). *)
+
+val post_order_update : sink:Fib_op.sink -> Bintrie.node -> Nexthop.t -> unit
+(** Algorithm 2: propagate a new original next-hop through the FAKE
+    descendants of a node (REAL descendants are unaffected by
+    inheritance and are skipped), recomputing selected next-hops and
+    FIB statuses on the way back up. The node's own [original] must
+    already be set to the new value. *)
+
+val bottom_up_update : sink:Fib_op.sink -> Bintrie.node -> unit
+(** Algorithm 5: re-aggregate the ancestors of a node whose selected
+    next-hop changed, walking up until an ancestor's selected next-hop
+    is unaffected. *)
+
+val fix_root : sink:Fib_op.sink -> Bintrie.t -> unit
+(** Install / remove / refresh the root entry itself: the root is IN_FIB
+    iff its selected next-hop is non-zero (the whole FIB aggregated into
+    the default route). *)

@@ -1,0 +1,316 @@
+(* CFCA's control plane, generic over the address family: the FIB
+   operation type, the aggregation algorithms (paper Algorithms 1-5)
+   and the Route Manager. The documented IPv4 instantiations live in
+   {!Fib_op}, {!Aggregation} and {!Route_manager}; IPv6 gets the same
+   control plane via [Make (Cfca_prefix.Family.V6)]. *)
+
+open Cfca_prefix
+
+module Make (P : Family.PREFIX) = struct
+  module Bintrie = Cfca_trie.Bintrie_f.Make (P)
+
+  module Fib_op = struct
+
+    type t =
+      | Install of Bintrie.node * Bintrie.table
+      | Remove of Bintrie.node * Bintrie.table
+      | Update of Bintrie.node * Bintrie.table * Nexthop.t
+
+    type sink = t -> unit
+
+    let null_sink (_ : t) = ()
+
+    let table = function
+      | Install (_, tbl) | Remove (_, tbl) | Update (_, tbl, _) -> tbl
+
+    let table_name : Bintrie.table -> string = function
+      | Bintrie.No_table -> "none"
+      | Bintrie.L1 -> "L1"
+      | Bintrie.L2 -> "L2"
+      | Bintrie.Dram -> "DRAM"
+
+    let pp ppf op =
+      let open Bintrie in
+      match op with
+      | Install (n, tbl) ->
+          Format.fprintf ppf "install %s -> %s @@ %s"
+            (P.to_string n.prefix)
+            (Nexthop.to_string n.installed_nh)
+            (table_name tbl)
+      | Remove (n, tbl) ->
+          Format.fprintf ppf "remove %s @@ %s" (P.to_string n.prefix)
+            (table_name tbl)
+      | Update (n, tbl, nh) ->
+          Format.fprintf ppf "update %s -> %s @@ %s"
+            (P.to_string n.prefix) (Nexthop.to_string nh) (table_name tbl)
+
+    let counting_sink () =
+      let count = ref 0 in
+      ((fun _ -> incr count), fun () -> !count)
+
+  end
+
+  module Aggregation = struct
+    open Bintrie
+
+    let set_selected_next_hop n =
+      match (n.left, n.right) with
+      | None, None -> n.selected <- n.original
+      | Some l, Some r ->
+          if Nexthop.equal l.selected r.selected then n.selected <- l.selected
+          else n.selected <- Nexthop.none
+      | _ ->
+          (* The tree is full everywhere the aggregation algorithms run. *)
+          assert false
+
+    (* Take [c] out of the FIB if present. *)
+    let demote ~sink c =
+      if c.status = In_fib then begin
+        let tbl = c.table in
+        c.status <- Non_fib;
+        c.table <- No_table;
+        c.installed_nh <- Nexthop.none;
+        sink (Fib_op.Remove (c, tbl))
+      end
+
+    (* Ensure [c] (a point of aggregation) is in the FIB with its selected
+       next-hop; fresh installs go to DRAM, existing entries get an in-place
+       next-hop rewrite only when the pushed value actually changes. *)
+    let promote_or_refresh ~sink c =
+      if c.status = Non_fib then begin
+        c.status <- In_fib;
+        c.table <- Dram;
+        c.installed_nh <- c.selected;
+        sink (Fib_op.Install (c, Dram))
+      end
+      else if not (Nexthop.equal c.installed_nh c.selected) then begin
+        c.installed_nh <- c.selected;
+        sink (Fib_op.Update (c, c.table, c.selected))
+      end
+
+    let reconcile_child ~sink c =
+      if Nexthop.is_none c.selected then demote ~sink c
+      else promote_or_refresh ~sink c
+
+    let set_fib_status ~sink n =
+      match (n.left, n.right) with
+      | None, None -> ()
+      | Some l, Some r ->
+          if not (Nexthop.is_none n.selected) then begin
+            (* n is (part of) a point of aggregation: its children must not
+               shadow it in the data plane. *)
+            demote ~sink l;
+            demote ~sink r
+          end
+          else begin
+            reconcile_child ~sink l;
+            reconcile_child ~sink r
+          end
+      | _ -> assert false
+
+    let aggr_init ~sink n =
+      Bintrie.iter_post
+        (fun n ->
+          set_selected_next_hop n;
+          set_fib_status ~sink n)
+        n
+
+    let rec post_order_update ~sink n nh =
+      (match n.left with
+      | Some l when l.kind = Fake ->
+          l.original <- nh;
+          post_order_update ~sink l nh
+      | _ -> ());
+      (match n.right with
+      | Some r when r.kind = Fake ->
+          r.original <- nh;
+          post_order_update ~sink r nh
+      | _ -> ());
+      set_selected_next_hop n;
+      set_fib_status ~sink n
+
+    let bottom_up_update ~sink n =
+      let rec go n =
+        match n.parent with
+        | None -> ()
+        | Some p ->
+            let old_selected = p.selected in
+            set_selected_next_hop p;
+            set_fib_status ~sink p;
+            if not (Nexthop.equal old_selected p.selected) then go p
+      in
+      go n
+
+    let fix_root ~sink t =
+      let root = Bintrie.root t in
+      if Nexthop.is_none root.selected then demote ~sink root
+      else promote_or_refresh ~sink root
+
+  end
+
+  module Route_manager = struct
+    open Bintrie
+
+    type t = {
+      tree : Bintrie.t;
+      default_nh : Nexthop.t;
+      mutable sink : Fib_op.sink;
+      mutable loaded : bool;
+    }
+
+    let create ?(sink = Fib_op.null_sink) ~default_nh () =
+      { tree = Bintrie.create ~default_nh; default_nh; sink; loaded = false }
+
+    let set_sink t sink = t.sink <- sink
+
+    let tree t = t.tree
+
+    let load t routes =
+      if t.loaded then invalid_arg "Route_manager.load: already loaded";
+      t.loaded <- true;
+      Seq.iter (fun (p, nh) -> ignore (Bintrie.add_route t.tree p nh)) routes;
+      Bintrie.extend t.tree;
+      Aggregation.aggr_init ~sink:t.sink (Bintrie.root t.tree);
+      Aggregation.fix_root ~sink:t.sink t.tree
+
+    (* Next-hop change of the default route: the root stays REAL, the new
+       value propagates through all FAKE-inheritance chains. *)
+    let update_root t nh =
+      let root = Bintrie.root t.tree in
+      if not (Nexthop.equal root.original nh) then begin
+        root.original <- nh;
+        Aggregation.post_order_update ~sink:t.sink root nh;
+        Aggregation.fix_root ~sink:t.sink t.tree
+      end
+
+    let announce t p nh =
+      if Nexthop.is_none nh then invalid_arg "Route_manager.announce: null next-hop";
+      if P.length p = 0 then update_root t nh
+      else
+        match Bintrie.find t.tree p with
+        | Some n ->
+            let was_real = n.kind = Real in
+            n.kind <- Real;
+            if not (was_real && Nexthop.equal n.original nh) then
+              if Nexthop.equal n.original nh then
+                (* FAKE -> REAL flip with an identical next-hop: the
+                   forwarding behaviour and the aggregated state are both
+                   unchanged. *)
+                ()
+              else begin
+                let old_selected = n.selected in
+                n.original <- nh;
+                Aggregation.post_order_update ~sink:t.sink n nh;
+                if not (Nexthop.equal old_selected n.selected) then
+                  Aggregation.bottom_up_update ~sink:t.sink n;
+                Aggregation.fix_root ~sink:t.sink t.tree
+              end
+        | None ->
+            let frag = Bintrie.fragment t.tree p None in
+            frag.target.kind <- Real;
+            frag.target.original <- nh;
+            let anchor = frag.anchor in
+            let old_selected = anchor.selected in
+            Aggregation.aggr_init ~sink:t.sink anchor;
+            if not (Nexthop.equal old_selected anchor.selected) then
+              Aggregation.bottom_up_update ~sink:t.sink anchor;
+            Aggregation.fix_root ~sink:t.sink t.tree
+
+    let withdraw t p =
+      if P.length p = 0 then update_root t t.default_nh
+      else
+        match Bintrie.find t.tree p with
+        | None -> ()
+        | Some n when n.kind = Fake -> ()
+        | Some n ->
+            let inherited =
+              match n.parent with Some parent -> parent.original | None -> assert false
+            in
+            n.kind <- Fake;
+            let old_selected = n.selected in
+            n.original <- inherited;
+            Aggregation.post_order_update ~sink:t.sink n inherited;
+            if not (Nexthop.equal old_selected n.selected) then
+              Aggregation.bottom_up_update ~sink:t.sink n;
+            ignore (Bintrie.compact_upward t.tree n);
+            Aggregation.fix_root ~sink:t.sink t.tree
+
+    type update = Announce of P.t * Nexthop.t | Withdraw of P.t
+
+    let apply t = function
+      | Announce (p, nh) -> announce t p nh
+      | Withdraw p -> withdraw t p
+
+    let lookup t addr =
+      match Bintrie.lookup_in_fib t.tree addr with
+      | Some n -> n.installed_nh
+      | None -> t.default_nh
+
+    let fib_size t = Bintrie.in_fib_count t.tree
+
+    let route_count t =
+      Bintrie.fold_nodes (fun acc n -> if n.kind = Real then acc + 1 else acc) 0 t.tree
+
+    let node_count t = Bintrie.node_count t.tree
+
+    let entries t =
+      List.rev
+        (Bintrie.fold_nodes
+           (fun acc n ->
+             if n.status = In_fib then (n.prefix, n.installed_nh) :: acc else acc)
+           [] t.tree)
+
+    let verify t =
+      match Bintrie.invariant t.tree with
+      | Error _ as e -> e
+      | Ok () ->
+          let exception Violation of string in
+          let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt in
+          let rec check n in_fib_above =
+            if n.status = In_fib then begin
+              if in_fib_above then
+                fail "overlapping IN_FIB entries at %s" (P.to_string n.prefix);
+              if Nexthop.is_none n.selected then
+                fail "IN_FIB node %s has no selected next-hop"
+                  (P.to_string n.prefix);
+              if not (Nexthop.equal n.installed_nh n.selected) then
+                fail "installed next-hop of %s (%s) differs from selected (%s)"
+                  (P.to_string n.prefix)
+                  (Nexthop.to_string n.installed_nh)
+                  (Nexthop.to_string n.selected)
+            end
+            else if not (Nexthop.equal n.installed_nh Nexthop.none) then
+              fail "NON_FIB node %s has a residual installed next-hop"
+                (P.to_string n.prefix);
+            let covered = in_fib_above || n.status = In_fib in
+            match (n.left, n.right) with
+            | None, None ->
+                if not (Nexthop.equal n.selected n.original) then
+                  fail "leaf %s: selected %s <> original %s"
+                    (P.to_string n.prefix)
+                    (Nexthop.to_string n.selected)
+                    (Nexthop.to_string n.original);
+                if not covered then
+                  fail "leaf %s is not covered by any IN_FIB entry"
+                    (P.to_string n.prefix)
+            | Some l, Some r ->
+                let expected =
+                  if Nexthop.equal l.selected r.selected then l.selected
+                  else Nexthop.none
+                in
+                if not (Nexthop.equal n.selected expected) then
+                  fail "internal %s: selected %s, children give %s"
+                    (P.to_string n.prefix)
+                    (Nexthop.to_string n.selected)
+                    (Nexthop.to_string expected);
+                check l covered;
+                check r covered
+            | _ -> fail "non-full node %s" (P.to_string n.prefix)
+          in
+          (try
+             check (Bintrie.root t.tree) false;
+             Ok ()
+           with Violation msg -> Error msg)
+
+  end
+end

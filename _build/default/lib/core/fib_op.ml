@@ -1,0 +1,2 @@
+module G = Control_f.Make (Cfca_prefix.Family.V4)
+include G.Fib_op

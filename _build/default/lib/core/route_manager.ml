@@ -1,0 +1,8 @@
+module G = Control_f.Make (Cfca_prefix.Family.V4)
+include G.Route_manager
+
+(* Re-expose update handling over the wire-level BGP update type. *)
+let apply t (u : Cfca_bgp.Bgp_update.t) =
+  match u.action with
+  | Cfca_bgp.Bgp_update.Announce nh -> announce t u.prefix nh
+  | Cfca_bgp.Bgp_update.Withdraw -> withdraw t u.prefix

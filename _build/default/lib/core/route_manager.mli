@@ -1,0 +1,64 @@
+(** CFCA's Route Manager (paper §3.1): collects routes, maintains the
+    extended + aggregated binary prefix tree, and pushes incremental FIB
+    changes to the data plane through a {!Fib_op.sink}.
+
+    The sink can be swapped after construction (e.g. the simulator uses
+    a null sink during the initial bulk installation and a churn-counting
+    sink while replaying BGP updates). *)
+
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_trie
+
+type t
+
+val create : ?sink:Fib_op.sink -> default_nh:Nexthop.t -> unit -> t
+(** An empty Route Manager whose tree holds only the default route.
+    [sink] defaults to {!Fib_op.null_sink}. *)
+
+val set_sink : t -> Fib_op.sink -> unit
+
+val tree : t -> Bintrie.t
+
+val load : t -> (Prefix.t * Nexthop.t) Seq.t -> unit
+(** Initial FIB installation (§3.1.1): bulk-insert a RIB snapshot,
+    extend it into a full tree of non-overlapping prefixes and run the
+    initial aggregation. Emits one [Install] per point of aggregation.
+    Must be called at most once, before any update. *)
+
+val announce : t -> Prefix.t -> Nexthop.t -> unit
+(** Announcement handling (§3.1.2): next-hop change if the prefix
+    exists, otherwise prefix fragmentation (Algorithm 6) followed by
+    re-aggregation of the affected branch. *)
+
+val withdraw : t -> Prefix.t -> unit
+(** Withdrawal handling (§3.1.2): the node turns FAKE, inherits its
+    parent's original next-hop, the branch re-aggregates, and redundant
+    FAKE sibling leaves are compacted away. Withdrawing the default
+    route resets it to the Route Manager's default next-hop; withdrawing
+    an unknown or already-FAKE prefix is a no-op. *)
+
+val apply : t -> Bgp_update.t -> unit
+
+val lookup : t -> Ipv4.t -> Nexthop.t
+(** The forwarding decision for an address, as the data plane would
+    make it (the installed next-hop of the unique IN_FIB entry covering
+    the address). *)
+
+val fib_size : t -> int
+(** Number of entries currently installed in the data plane. *)
+
+val route_count : t -> int
+(** Number of REAL (RIB-originated) routes, including the default. *)
+
+val node_count : t -> int
+
+val entries : t -> (Prefix.t * Nexthop.t) list
+(** The installed FIB (all three tables combined), in prefix order. *)
+
+val verify : t -> (unit, string) result
+(** Deep well-formedness check used by the test-suite: structural tree
+    invariants plus CFCA-specific ones — selected next-hops consistent
+    with Algorithm 3, every root-to-leaf path crossing exactly one
+    IN_FIB node (non-overlap + full coverage), installed next-hops
+    matching selected ones. *)

@@ -1,0 +1,1 @@
+lib/dataplane/config.mli: Format

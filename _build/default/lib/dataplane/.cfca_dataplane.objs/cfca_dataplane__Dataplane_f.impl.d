@@ -1,0 +1,1 @@
+lib/dataplane/dataplane_f.ml: Array Cfca_core Cfca_prefix Cfca_tcam Config Family Random Tcam

@@ -1,0 +1,1 @@
+lib/dataplane/lthd.ml: Cfca_prefix Dataplane_f

@@ -1,0 +1,1 @@
+lib/dataplane/lthd.mli: Bintrie Cfca_trie Random

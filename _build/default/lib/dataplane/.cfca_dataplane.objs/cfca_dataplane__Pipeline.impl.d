@@ -1,0 +1,1 @@
+lib/dataplane/pipeline.ml: Cfca_prefix Dataplane_f

@@ -1,0 +1,1 @@
+lib/dataplane/pipeline.mli: Bintrie Cfca_core Cfca_tcam Cfca_trie Config Fib_op Tcam

@@ -1,0 +1,1 @@
+lib/dataplane/table_set.ml: Cfca_prefix Dataplane_f

@@ -1,0 +1,1 @@
+lib/dataplane/table_set.mli: Bintrie Cfca_trie Random

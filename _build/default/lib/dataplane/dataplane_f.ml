@@ -1,0 +1,435 @@
+(* The data plane (membership vectors, LTHD, the Fig. 7 pipeline),
+   generic over the address family. The documented IPv4 instantiations
+   are {!Table_set}, {!Lthd} and {!Pipeline}; IPv6 gets an identical
+   data plane via [Make (Cfca_prefix.Family.V6)]. [Config] and
+   {!Cfca_tcam.Tcam} carry no family types and are shared. *)
+
+open Cfca_prefix
+open Cfca_tcam
+
+module Make (P : Family.PREFIX) = struct
+  module C = Cfca_core.Control_f.Make (P)
+  module Bintrie = C.Bintrie
+  module Fib_op = C.Fib_op
+
+  module Table_set = struct
+
+    type t = { mutable arr : Bintrie.node option array; mutable len : int }
+
+    let create ~capacity = { arr = Array.make (max 1 capacity) None; len = 0 }
+
+    let size t = t.len
+
+    let is_full t = t.len >= Array.length t.arr
+
+    let add t n =
+      if is_full t then invalid_arg "Table_set.add: full";
+      if n.Bintrie.table_idx >= 0 then
+        invalid_arg "Table_set.add: node already resident";
+      t.arr.(t.len) <- Some n;
+      n.Bintrie.table_idx <- t.len;
+      t.len <- t.len + 1
+
+    let remove t n =
+      let i = n.Bintrie.table_idx in
+      if i < 0 || i >= t.len then invalid_arg "Table_set.remove: not resident";
+      (match t.arr.(i) with
+      | Some m when m == n -> ()
+      | _ -> invalid_arg "Table_set.remove: node not in this set");
+      let last = t.len - 1 in
+      (match t.arr.(last) with
+      | Some moved ->
+          t.arr.(i) <- Some moved;
+          moved.Bintrie.table_idx <- i
+      | None -> assert false);
+      t.arr.(last) <- None;
+      t.len <- last;
+      n.Bintrie.table_idx <- -1
+
+    let mem t n =
+      let i = n.Bintrie.table_idx in
+      i >= 0 && i < t.len && (match t.arr.(i) with Some m -> m == n | None -> false)
+
+    let random t st =
+      if t.len = 0 then None else t.arr.(Random.State.int st t.len)
+
+    let iter f t =
+      for i = 0 to t.len - 1 do
+        match t.arr.(i) with Some n -> f n | None -> assert false
+      done
+
+    let clear t =
+      for i = 0 to t.len - 1 do
+        (match t.arr.(i) with
+        | Some n -> n.Bintrie.table_idx <- -1
+        | None -> ());
+        t.arr.(i) <- None
+      done;
+      t.len <- 0
+
+  end
+
+  module Lthd = struct
+
+    type slot = { mutable node : Bintrie.node option; mutable count : int }
+
+    type t = {
+      stages : slot array array;
+      seeds : int array;
+      width : int;
+    }
+
+    let create ~stages ~width ~seed =
+      if stages <= 0 || width <= 0 then invalid_arg "Lthd.create";
+      let st = Random.State.make [| seed; 0x17D7 |] in
+      {
+        stages =
+          Array.init stages (fun _ ->
+              Array.init width (fun _ -> { node = None; count = 0 }));
+        seeds = Array.init stages (fun _ -> Random.State.bits st);
+        width;
+      }
+
+    let slot_of t stage n =
+      let h = P.hash n.Bintrie.prefix lxor t.seeds.(stage) in
+      t.stages.(stage).((h land max_int) mod t.width)
+
+    let observe t node count =
+      (* Carry the more popular entry forward; the less popular one stays.
+         Whatever is still carried after the last stage is simply dropped —
+         it is a heavy hitter, not victim material. *)
+      let carried_node = ref node and carried_count = ref count in
+      let continue = ref true in
+      let stage = ref 0 in
+      while !continue && !stage < Array.length t.stages do
+        let slot = slot_of t !stage !carried_node in
+        (match slot.node with
+        | None ->
+            slot.node <- Some !carried_node;
+            slot.count <- !carried_count;
+            continue := false
+        | Some resident when resident == !carried_node ->
+            (* refreshed observation of the same entry *)
+            slot.count <- !carried_count;
+            continue := false
+        | Some resident ->
+            if slot.count > !carried_count then begin
+              (* resident is more popular: it moves on, we stay *)
+              let c = slot.count in
+              slot.node <- Some !carried_node;
+              slot.count <- !carried_count;
+              carried_node := resident;
+              carried_count := c
+            end
+            (* else: carried is more popular, it moves on unchanged *));
+        incr stage
+      done
+
+    let pick_victim t ~table st =
+      let attempts = Array.length t.stages * t.width in
+      let rec go k =
+        if k = 0 then None
+        else
+          let stage = Random.State.int st (Array.length t.stages) in
+          let slot = t.stages.(stage).(Random.State.int st t.width) in
+          match slot.node with
+          | Some n when n.Bintrie.table = table -> Some n
+          | _ -> go (k - 1)
+      in
+      go attempts
+
+    let clear t =
+      Array.iter
+        (Array.iter (fun s ->
+             s.node <- None;
+             s.count <- 0))
+        t.stages
+
+    let occupancy t =
+      Array.fold_left
+        (fun acc stage ->
+          Array.fold_left
+            (fun acc s -> if s.node = None then acc else acc + 1)
+            acc stage)
+        0 t.stages
+
+  end
+
+  module Pipeline = struct
+    open Bintrie
+
+    type result = L1_hit | L2_hit | Dram_hit
+
+    type stats = {
+      packets : int;
+      l1_misses : int;
+      l2_misses : int;
+      l1_installs : int;
+      l1_evictions : int;
+      l2_installs : int;
+      l2_evictions : int;
+      bgp_l1 : int;
+      bgp_l2 : int;
+      bgp_dram : int;
+    }
+
+    let zero_stats =
+      {
+        packets = 0;
+        l1_misses = 0;
+        l2_misses = 0;
+        l1_installs = 0;
+        l1_evictions = 0;
+        l2_installs = 0;
+        l2_evictions = 0;
+        bgp_l1 = 0;
+        bgp_l2 = 0;
+        bgp_dram = 0;
+      }
+
+    type t = {
+      cfg : Config.t;
+      tcam : Tcam.t;
+      l1_set : Table_set.t;
+      l2_set : Table_set.t;
+      lthd_l1 : Lthd.t;
+      lthd_l2 : Lthd.t;
+      rng : Random.State.t;
+      mutable packets : int;
+      mutable l1_misses : int;
+      mutable l2_misses : int;
+      mutable l1_installs : int;
+      mutable l1_evictions : int;
+      mutable l2_installs : int;
+      mutable l2_evictions : int;
+      mutable bgp_l1 : int;
+      mutable bgp_l2 : int;
+      mutable bgp_dram : int;
+    }
+
+    let create ?(seed = 0x5EED) cfg =
+      (match Config.validate cfg with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Pipeline.create: " ^ msg));
+      {
+        cfg;
+        tcam = Tcam.create ~capacity:cfg.Config.l1_capacity;
+        l1_set = Table_set.create ~capacity:cfg.Config.l1_capacity;
+        l2_set = Table_set.create ~capacity:cfg.Config.l2_capacity;
+        lthd_l1 =
+          Lthd.create ~stages:cfg.Config.lthd_stages ~width:cfg.Config.lthd_width
+            ~seed;
+        lthd_l2 =
+          Lthd.create ~stages:cfg.Config.lthd_stages ~width:cfg.Config.lthd_width
+            ~seed:(seed lxor 0xA5A5);
+        rng = Random.State.make [| seed; 0xCAFE |];
+        packets = 0;
+        l1_misses = 0;
+        l2_misses = 0;
+        l1_installs = 0;
+        l1_evictions = 0;
+        l2_installs = 0;
+        l2_evictions = 0;
+        bgp_l1 = 0;
+        bgp_l2 = 0;
+        bgp_dram = 0;
+      }
+
+    let config t = t.cfg
+
+    let l1_tcam t = t.tcam
+
+    let l1_size t = Table_set.size t.l1_set
+
+    let l2_size t = Table_set.size t.l2_set
+
+    let caches_full t = Table_set.is_full t.l1_set && Table_set.is_full t.l2_set
+
+    (* Per-window counter maintenance: "100 matches per minute" resets the
+       count at every window boundary. *)
+    let touch t n ~now =
+      let w = int_of_float (now /. t.cfg.Config.threshold_window) in
+      if n.window <> w then begin
+        n.window <- w;
+        n.hits <- 0
+      end;
+      n.hits <- n.hits + 1
+
+    let reset_counters n =
+      n.hits <- 0;
+      n.window <- -1
+
+    let dram_threshold t =
+      if Table_set.is_full t.l2_set then t.cfg.Config.dram_threshold
+      else t.cfg.Config.dram_threshold_initial
+
+    let l2_threshold t =
+      if Table_set.is_full t.l1_set then t.cfg.Config.l2_threshold
+      else t.cfg.Config.l2_threshold_initial
+
+    let lfu_scan set =
+      let best = ref None in
+      Table_set.iter
+        (fun n ->
+          match !best with
+          | Some b when b.hits <= n.hits -> ()
+          | _ -> best := Some n)
+        set;
+      !best
+
+    let victim t lthd set =
+      match t.cfg.Config.victim_policy with
+      | Config.Random_policy -> Table_set.random set t.rng
+      | Config.Lfu_oracle -> lfu_scan set
+      | Config.Lthd_policy -> (
+          match
+            Lthd.pick_victim lthd ~table:(if set == t.l1_set then L1 else L2) t.rng
+          with
+          | Some v -> Some v
+          | None -> Table_set.random set t.rng)
+
+    (* L2 -> DRAM demotion. *)
+    let evict_l2 t v =
+      Table_set.remove t.l2_set v;
+      v.table <- Dram;
+      reset_counters v;
+      t.l2_evictions <- t.l2_evictions + 1
+
+    (* L1 -> L2 demotion (evicting an L2 entry to DRAM first if needed). *)
+    let evict_l1 t v =
+      Table_set.remove t.l1_set v;
+      Tcam.remove t.tcam v.depth;
+      t.l1_evictions <- t.l1_evictions + 1;
+      if Table_set.is_full t.l2_set then begin
+        match victim t t.lthd_l2 t.l2_set with
+        | Some w -> evict_l2 t w
+        | None -> ()
+      end;
+      if Table_set.is_full t.l2_set then begin
+        (* no L2 room could be made: fall all the way back to DRAM *)
+        v.table <- Dram;
+        reset_counters v
+      end
+      else begin
+        v.table <- L2;
+        reset_counters v;
+        Table_set.add t.l2_set v
+      end
+
+    let promote_to_l1 t n =
+      (* leave L2 before any eviction cascade runs: the L1 victim's demotion
+         into a full L2 could otherwise evict [n] itself to DRAM first *)
+      Table_set.remove t.l2_set n;
+      n.table <- Dram;
+      reset_counters n;
+      if Table_set.is_full t.l1_set then begin
+        match victim t t.lthd_l1 t.l1_set with
+        | Some v -> evict_l1 t v
+        | None -> ()
+      end;
+      if not (Table_set.is_full t.l1_set) then begin
+        n.table <- L1;
+        Table_set.add t.l1_set n;
+        Tcam.install t.tcam n.depth;
+        t.l1_installs <- t.l1_installs + 1
+      end
+      else if not (Table_set.is_full t.l2_set) then begin
+        (* no room could be made in L1: return to L2 *)
+        n.table <- L2;
+        Table_set.add t.l2_set n
+      end
+
+    let promote_to_l2 t n =
+      if Table_set.is_full t.l2_set then begin
+        match victim t t.lthd_l2 t.l2_set with
+        | Some v -> evict_l2 t v
+        | None -> ()
+      end;
+      if not (Table_set.is_full t.l2_set) then begin
+        n.table <- L2;
+        reset_counters n;
+        Table_set.add t.l2_set n;
+        t.l2_installs <- t.l2_installs + 1
+      end
+
+    let process t n ~now =
+      t.packets <- t.packets + 1;
+      match n.table with
+      | L1 ->
+          touch t n ~now;
+          Lthd.observe t.lthd_l1 n n.hits;
+          L1_hit
+      | L2 ->
+          t.l1_misses <- t.l1_misses + 1;
+          touch t n ~now;
+          if n.hits >= l2_threshold t then promote_to_l1 t n
+          else Lthd.observe t.lthd_l2 n n.hits;
+          L2_hit
+      | Dram ->
+          t.l1_misses <- t.l1_misses + 1;
+          t.l2_misses <- t.l2_misses + 1;
+          touch t n ~now;
+          if n.hits >= dram_threshold t then promote_to_l2 t n;
+          Dram_hit
+      | No_table ->
+          (* an IN_FIB entry is always resident somewhere *)
+          assert false
+
+    let apply_op t (op : Fib_op.t) =
+      match op with
+      | Fib_op.Install (n, Dram) ->
+          reset_counters n;
+          t.bgp_dram <- t.bgp_dram + 1
+      | Fib_op.Install (_, (L1 | L2 | No_table)) ->
+          invalid_arg "Pipeline.apply_op: control plane installs target DRAM"
+      | Fib_op.Remove (n, tbl) -> (
+          reset_counters n;
+          match tbl with
+          | L1 ->
+              Table_set.remove t.l1_set n;
+              Tcam.remove t.tcam n.depth;
+              t.bgp_l1 <- t.bgp_l1 + 1
+          | L2 ->
+              Table_set.remove t.l2_set n;
+              t.bgp_l2 <- t.bgp_l2 + 1
+          | Dram -> t.bgp_dram <- t.bgp_dram + 1
+          | No_table -> invalid_arg "Pipeline.apply_op: remove from no table")
+      | Fib_op.Update (_, tbl, _) -> (
+          match tbl with
+          | L1 ->
+              Tcam.rewrite t.tcam;
+              t.bgp_l1 <- t.bgp_l1 + 1
+          | L2 -> t.bgp_l2 <- t.bgp_l2 + 1
+          | Dram -> t.bgp_dram <- t.bgp_dram + 1
+          | No_table -> invalid_arg "Pipeline.apply_op: update in no table")
+
+    let sink t op = apply_op t op
+
+    let stats t =
+      {
+        packets = t.packets;
+        l1_misses = t.l1_misses;
+        l2_misses = t.l2_misses;
+        l1_installs = t.l1_installs;
+        l1_evictions = t.l1_evictions;
+        l2_installs = t.l2_installs;
+        l2_evictions = t.l2_evictions;
+        bgp_l1 = t.bgp_l1;
+        bgp_l2 = t.bgp_l2;
+        bgp_dram = t.bgp_dram;
+      }
+
+    let reset_stats t =
+      t.packets <- 0;
+      t.l1_misses <- 0;
+      t.l2_misses <- 0;
+      t.l1_installs <- 0;
+      t.l1_evictions <- 0;
+      t.l2_installs <- 0;
+      t.l2_evictions <- 0;
+      t.bgp_l1 <- 0;
+      t.bgp_l2 <- 0;
+      t.bgp_dram <- 0
+
+  end
+end

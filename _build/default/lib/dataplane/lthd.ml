@@ -1,0 +1,2 @@
+module G = Dataplane_f.Make (Cfca_prefix.Family.V4)
+include G.Lthd

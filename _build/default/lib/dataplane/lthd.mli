@@ -1,0 +1,33 @@
+(** Light Traffic Hitters Detection (paper §3.3, Fig. 8).
+
+    An inverted heavy-hitters pipeline: [stages] hash tables of [width]
+    slots each. On every cache hit the matched entry and its counter
+    are pipelined through the stages; at each stage the {e more} popular
+    of (carried entry, resident entry) moves on and the less popular
+    stays, so the tables accumulate the cache's least popular entries.
+    When the cache is full, a victim is drawn at random from the
+    pipeline's slots.
+
+    Slots are never scrubbed when entries leave the cache; instead a
+    candidate victim is validated against the cache level it is supposed
+    to be resident in (the paper's design runs at line rate precisely
+    because nothing ever scans or cleans the tables). *)
+
+open Cfca_trie
+
+type t
+
+val create : stages:int -> width:int -> seed:int -> t
+
+val observe : t -> Bintrie.node -> int -> unit
+(** [observe t node counter] pipelines a cache hit (Fig. 8). *)
+
+val pick_victim : t -> table:Bintrie.table -> Random.State.t -> Bintrie.node option
+(** A random slot whose entry is still resident in [table]; a few
+    random probes are attempted before giving up with [None] (caller
+    falls back to a uniformly random cache entry). *)
+
+val clear : t -> unit
+
+val occupancy : t -> int
+(** Number of non-empty slots (diagnostics). *)

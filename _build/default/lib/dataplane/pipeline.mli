@@ -1,0 +1,65 @@
+(** The CFCA data-plane workflow (paper §3.2, Fig. 7): a three-level
+    table hierarchy — L1 cache in TCAM, L2 cache in SRAM, full FIB in
+    DRAM — with per-entry traffic counters, threshold-driven promotion
+    and LTHD-driven victim eviction.
+
+    The pipeline operates on the control plane's tree nodes: the
+    simulator resolves a packet's destination to its unique IN_FIB node
+    (non-overlap makes any-table LPM safe) and hands it to {!process},
+    which replicates what the match-action hierarchy would have done —
+    which table hit, counter maintenance, migrations.
+
+    Control-plane FIB changes enter through {!apply_op} (wired as the
+    Route Manager's sink), which maintains cache residency and the TCAM
+    churn accounting. *)
+
+open Cfca_trie
+open Cfca_core
+open Cfca_tcam
+
+type result = L1_hit | L2_hit | Dram_hit
+
+type stats = {
+  packets : int;
+  l1_misses : int;  (** packets that had to leave the TCAM (L2 or DRAM hits) *)
+  l2_misses : int;  (** packets that fell through to DRAM *)
+  l1_installs : int;  (** traffic-driven migrations into L1 *)
+  l1_evictions : int;
+  l2_installs : int;
+  l2_evictions : int;
+  bgp_l1 : int;  (** control-plane FIB changes that touched L1 (TCAM churn) *)
+  bgp_l2 : int;
+  bgp_dram : int;
+}
+
+val zero_stats : stats
+
+type t
+
+val create : ?seed:int -> Config.t -> t
+(** @raise Invalid_argument if the configuration fails
+    {!Config.validate}. *)
+
+val config : t -> Config.t
+
+val process : t -> Bintrie.node -> now:float -> result
+(** Route one packet that matched the given IN_FIB entry at simulated
+    time [now] (seconds). *)
+
+val apply_op : t -> Fib_op.t -> unit
+
+val sink : t -> Fib_op.sink
+
+val l1_tcam : t -> Tcam.t
+
+val l1_size : t -> int
+
+val l2_size : t -> int
+
+val caches_full : t -> bool
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zeroes the counters (cache contents are untouched) — used between
+    the warm-up and measurement phases. *)

@@ -1,0 +1,30 @@
+(** Membership vector of the entries currently resident in one cache
+    table. Supports O(1) add, remove (swap-with-last via the node's
+    [table_idx] back-pointer) and uniform random sampling — the fallback
+    victim selection when the LTHD pipeline has nothing valid to offer. *)
+
+open Cfca_trie
+
+type t
+
+val create : capacity:int -> t
+
+val size : t -> int
+
+val is_full : t -> bool
+
+val add : t -> Bintrie.node -> unit
+(** @raise Invalid_argument if full or if the node is already in a
+    table set ([table_idx >= 0]). *)
+
+val remove : t -> Bintrie.node -> unit
+(** @raise Invalid_argument if the node is not in this set. *)
+
+val mem : t -> Bintrie.node -> bool
+
+val random : t -> Random.State.t -> Bintrie.node option
+(** Uniformly random resident entry; [None] when empty. *)
+
+val iter : (Bintrie.node -> unit) -> t -> unit
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/pcap/ethernet.ml: Cfca_wire List Printf Reader String Writer

@@ -1,0 +1,1 @@
+lib/pcap/ethernet.mli: Cfca_wire

@@ -1,0 +1,1 @@
+lib/pcap/ipv4_packet.ml: Cfca_prefix Cfca_wire Char Ipv4 Reader String Writer

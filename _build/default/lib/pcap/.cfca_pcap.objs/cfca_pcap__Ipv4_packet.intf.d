@@ -1,0 +1,1 @@
+lib/pcap/ipv4_packet.mli: Cfca_prefix Cfca_wire Ipv4

@@ -1,0 +1,1 @@
+lib/pcap/pcap.ml: Cfca_prefix Cfca_wire Ethernet Float Fun Ipv4 Ipv4_packet List Reader Result Seq String Writer

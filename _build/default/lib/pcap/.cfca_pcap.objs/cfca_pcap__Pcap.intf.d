@@ -1,0 +1,1 @@
+lib/pcap/pcap.mli: Cfca_prefix Ipv4 Seq

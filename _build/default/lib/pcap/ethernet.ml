@@ -1,0 +1,53 @@
+open Cfca_wire
+
+type mac = int
+
+let broadcast = 0xFFFF_FFFF_FFFF
+
+type t = { dst : mac; src : mac; ethertype : int }
+
+let ethertype_ipv4 = 0x0800
+
+let header_length = 14
+
+let mac_to_string m =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" ((m lsr 40) land 0xFF)
+    ((m lsr 32) land 0xFF)
+    ((m lsr 24) land 0xFF)
+    ((m lsr 16) land 0xFF)
+    ((m lsr 8) land 0xFF)
+    (m land 0xFF)
+
+let mac_of_string s =
+  let parts = String.split_on_char ':' s in
+  if List.length parts <> 6 then None
+  else
+    let rec go acc = function
+      | [] -> Some acc
+      | p :: rest -> (
+          match int_of_string_opt ("0x" ^ p) with
+          | Some v when v >= 0 && v <= 0xFF && String.length p = 2 ->
+              go ((acc lsl 8) lor v) rest
+          | _ -> None)
+    in
+    go 0 parts
+
+let write_mac w m =
+  Writer.u16 w ((m lsr 32) land 0xFFFF);
+  Writer.u32 w (m land 0xFFFF_FFFF)
+
+let read_mac r =
+  let hi = Reader.u16 r in
+  let lo = Reader.u32 r in
+  (hi lsl 32) lor lo
+
+let encode w t =
+  write_mac w t.dst;
+  write_mac w t.src;
+  Writer.u16 w t.ethertype
+
+let decode r =
+  let dst = read_mac r in
+  let src = read_mac r in
+  let ethertype = Reader.u16 r in
+  { dst; src; ethertype }

@@ -1,0 +1,24 @@
+(** Ethernet II framing (the link type of CAIDA-style captures). *)
+
+type mac = int
+(** 48-bit address in the low bits of an [int]. *)
+
+val broadcast : mac
+
+val mac_of_string : string -> mac option
+(** ["aa:bb:cc:dd:ee:ff"]. *)
+
+val mac_to_string : mac -> string
+
+type t = { dst : mac; src : mac; ethertype : int }
+
+val ethertype_ipv4 : int
+(** 0x0800. *)
+
+val header_length : int
+(** 14. *)
+
+val encode : Cfca_wire.Writer.t -> t -> unit
+
+val decode : Cfca_wire.Reader.t -> t
+(** Consumes the 14-byte header, leaving the reader at the payload. *)

@@ -1,0 +1,64 @@
+open Cfca_prefix
+open Cfca_wire
+
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  protocol : int;
+  ttl : int;
+  payload_length : int;
+}
+
+let header_length = 20
+
+let checksum header =
+  let n = String.length header in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    sum := !sum + ((Char.code header.[!i] lsl 8) lor Char.code header.[!i + 1]);
+    i := !i + 2
+  done;
+  if !i < n then sum := !sum + (Char.code header.[!i] lsl 8);
+  while !sum > 0xFFFF do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let encode w t =
+  let h = Writer.create ~capacity:header_length () in
+  Writer.u8 h 0x45 (* version 4, IHL 5 *);
+  Writer.u8 h 0 (* DSCP/ECN *);
+  Writer.u16 h (header_length + t.payload_length);
+  Writer.u16 h 0 (* identification *);
+  Writer.u16 h 0x4000 (* DF, fragment offset 0 *);
+  Writer.u8 h t.ttl;
+  Writer.u8 h t.protocol;
+  Writer.u16 h 0 (* checksum placeholder *);
+  Writer.u32 h (Ipv4.to_int t.src);
+  Writer.u32 h (Ipv4.to_int t.dst);
+  let sum = checksum (Writer.contents h) in
+  Writer.patch_u16 h 10 sum;
+  Writer.string w (Writer.contents h)
+
+let decode r =
+  let vihl = Reader.peek_u8 r in
+  if vihl lsr 4 <> 4 then failwith "Ipv4_packet: not an IPv4 datagram";
+  let ihl = (vihl land 0xF) * 4 in
+  if ihl < header_length then failwith "Ipv4_packet: bad IHL";
+  let header = Reader.take r ihl in
+  if checksum header <> 0 then failwith "Ipv4_packet: bad header checksum";
+  let h = Reader.of_string header in
+  let _vihl = Reader.u8 h in
+  let _tos = Reader.u8 h in
+  let total_length = Reader.u16 h in
+  if total_length < ihl then failwith "Ipv4_packet: bad total length";
+  let _id = Reader.u16 h in
+  let _frag = Reader.u16 h in
+  let ttl = Reader.u8 h in
+  let protocol = Reader.u8 h in
+  let _checksum = Reader.u16 h in
+  let src = Ipv4.of_int (Reader.u32 h) in
+  let dst = Ipv4.of_int (Reader.u32 h) in
+  Reader.skip r (total_length - ihl);
+  { src; dst; protocol; ttl; payload_length = total_length - ihl }

@@ -1,0 +1,30 @@
+(** IPv4 header encode/decode with a correct Internet checksum — enough
+    to write replayable packet traces and extract destination addresses
+    from captures. *)
+
+open Cfca_prefix
+
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  protocol : int;  (** default 17 (UDP) when encoding traces *)
+  ttl : int;
+  payload_length : int;  (** bytes following the 20-byte header *)
+}
+
+val header_length : int
+(** 20 — options are not emitted and are skipped on decode. *)
+
+val encode : Cfca_wire.Writer.t -> t -> unit
+(** Writes the 20-byte header (checksum included). The caller appends
+    [payload_length] bytes of payload. *)
+
+val decode : Cfca_wire.Reader.t -> t
+(** Consumes the header {e and} skips options and payload, leaving the
+    reader positioned after the datagram.
+    @raise Failure on a non-IPv4 version, bad length or bad checksum. *)
+
+val checksum : string -> int
+(** RFC 1071 ones'-complement sum of a whole header (checksum field
+    zeroed or included — including it must yield 0 for a valid
+    header). *)

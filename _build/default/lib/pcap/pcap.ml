@@ -1,0 +1,118 @@
+open Cfca_prefix
+open Cfca_wire
+
+type packet = { ts : float; src : Ipv4.t; dst : Ipv4.t }
+
+let magic_le = 0xD4C3B2A1
+
+let magic_host = 0xA1B2C3D4
+
+let snaplen = 65_535
+
+let linktype_ethernet = 1
+
+let default_mac_src =
+  match Ethernet.mac_of_string "02:00:00:00:00:01" with
+  | Some m -> m
+  | None -> assert false
+
+let default_mac_dst =
+  match Ethernet.mac_of_string "02:00:00:00:00:02" with
+  | Some m -> m
+  | None -> assert false
+
+let write_file path packets =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let w = Writer.create ~capacity:4096 () in
+      Writer.u32le w magic_host;
+      Writer.u16le w 2;
+      Writer.u16le w 4;
+      Writer.u32le w 0 (* thiszone *);
+      Writer.u32le w 0 (* sigfigs *);
+      Writer.u32le w snaplen;
+      Writer.u32le w linktype_ethernet;
+      output_string oc (Writer.contents w);
+      Seq.iter
+        (fun p ->
+          Writer.clear w;
+          let frame = Writer.create ~capacity:64 () in
+          Ethernet.encode frame
+            {
+              Ethernet.dst = default_mac_dst;
+              src = default_mac_src;
+              ethertype = Ethernet.ethertype_ipv4;
+            };
+          Ipv4_packet.encode frame
+            {
+              Ipv4_packet.src = p.src;
+              dst = p.dst;
+              protocol = 17;
+              ttl = 64;
+              payload_length = 0;
+            };
+          let data = Writer.contents frame in
+          Writer.u32le w (int_of_float p.ts);
+          Writer.u32le w
+            (int_of_float (Float.rem p.ts 1.0 *. 1e6) land 0xFFFFF);
+          Writer.u32le w (String.length data);
+          Writer.u32le w (String.length data);
+          Writer.string w data;
+          output_string oc (Writer.contents w))
+        packets)
+
+let fold_file path ~init ~f =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let contents = really_input_string ic (in_channel_length ic) in
+        let r = Reader.of_string contents in
+        let magic = Reader.u32le r in
+        let u16x, u32x =
+          if magic = magic_host then (Reader.u16le, Reader.u32le)
+          else if magic = magic_le then (Reader.u16, Reader.u32)
+          else failwith "Pcap: bad magic"
+        in
+        let _vmaj = u16x r in
+        let _vmin = u16x r in
+        let _zone = u32x r in
+        let _sigfigs = u32x r in
+        let _snaplen = u32x r in
+        let link = u32x r in
+        if link <> linktype_ethernet then
+          failwith "Pcap: only Ethernet captures are supported";
+        let acc = ref init in
+        while not (Reader.at_end r) do
+          let ts_sec = u32x r in
+          let ts_usec = u32x r in
+          let incl = u32x r in
+          let _orig = u32x r in
+          let body = Reader.sub r incl in
+          let eth = Ethernet.decode body in
+          if eth.Ethernet.ethertype = Ethernet.ethertype_ipv4 then begin
+            let ip = Ipv4_packet.decode body in
+            acc :=
+              f !acc
+                {
+                  ts = float_of_int ts_sec +. (float_of_int ts_usec /. 1e6);
+                  src = ip.Ipv4_packet.src;
+                  dst = ip.Ipv4_packet.dst;
+                }
+          end
+        done;
+        !acc)
+  with
+  | acc -> Ok acc
+  | exception Reader.Truncated -> Error (path ^ ": truncated pcap file")
+  | exception Failure msg -> Error (path ^ ": " ^ msg)
+  | exception Sys_error msg -> Error msg
+
+let read_file path =
+  Result.map List.rev
+    (fold_file path ~init:[] ~f:(fun acc p -> p :: acc))
+
+let count_file path = fold_file path ~init:0 ~f:(fun n _ -> n + 1)

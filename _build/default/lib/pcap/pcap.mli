@@ -1,0 +1,23 @@
+(** Classic libpcap capture files (the format CAIDA traces ship in),
+    little- or big-endian, LINKTYPE_ETHERNET, with Ethernet + IPv4
+    decoding down to the destination addresses the simulator replays. *)
+
+open Cfca_prefix
+
+type packet = { ts : float; src : Ipv4.t; dst : Ipv4.t }
+
+val magic_le : int
+(** 0xd4c3b2a1 as stored by a little-endian writer. *)
+
+val write_file : string -> packet Seq.t -> unit
+(** Little-endian classic pcap, snaplen 65535, Ethernet link type; each
+    packet is written as Ethernet + IPv4 + an empty UDP-less payload. *)
+
+val read_file : string -> (packet list, string) result
+(** Reads either byte order. Non-IPv4 frames are skipped. *)
+
+val fold_file :
+  string -> init:'acc -> f:('acc -> packet -> 'acc) -> ('acc, string) result
+(** Streaming variant for large captures. *)
+
+val count_file : string -> (int, string) result

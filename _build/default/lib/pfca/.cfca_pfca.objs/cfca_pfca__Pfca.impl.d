@@ -1,0 +1,1 @@
+lib/pfca/pfca.ml: Cfca_bgp Cfca_prefix Pfca_f

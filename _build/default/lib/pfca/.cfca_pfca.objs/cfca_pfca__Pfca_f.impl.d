@@ -1,0 +1,1 @@
+lib/pfca/pfca_f.ml: Cfca_core Cfca_prefix Family List Nexthop Printf Seq

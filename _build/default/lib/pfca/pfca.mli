@@ -1,0 +1,46 @@
+(** PFCA — the Programmable FIB Caching Architecture of Grigoryan & Liu
+    (ANCS'18), the paper's caching-only baseline.
+
+    PFCA performs the same prefix extension as CFCA (the FIB is kept as
+    a set of non-overlapping prefixes, so cache hiding is impossible)
+    but has {e no aggregation layer}: every leaf of the extension tree
+    is an installed FIB entry. BGP updates are handled incrementally on
+    the same binary prefix tree; the withdrawn/announced regions simply
+    re-point leaves instead of re-aggregating branches. *)
+
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_trie
+open Cfca_core
+
+type t
+
+val create : ?sink:Fib_op.sink -> default_nh:Nexthop.t -> unit -> t
+
+val set_sink : t -> Fib_op.sink -> unit
+
+val tree : t -> Bintrie.t
+
+val load : t -> (Prefix.t * Nexthop.t) Seq.t -> unit
+(** Bulk RIB installation: extend and install every leaf into DRAM. *)
+
+val announce : t -> Prefix.t -> Nexthop.t -> unit
+
+val withdraw : t -> Prefix.t -> unit
+
+val apply : t -> Bgp_update.t -> unit
+
+val lookup : t -> Ipv4.t -> Nexthop.t
+
+val fib_size : t -> int
+
+val route_count : t -> int
+
+val node_count : t -> int
+
+val entries : t -> (Prefix.t * Nexthop.t) list
+(** The installed FIB, in prefix order. *)
+
+val verify : t -> (unit, string) result
+(** Tree invariants plus PFCA-specific ones: exactly the leaves are
+    IN_FIB and each is installed with its original next-hop. *)

@@ -1,0 +1,186 @@
+(* PFCA generic over the address family; the documented IPv4
+   instantiation is {!Pfca}. It shares the control functor's tree and
+   FIB-operation types so CFCA and PFCA instances of the same family
+   interoperate with one data plane. *)
+
+open Cfca_prefix
+
+module Make (P : Family.PREFIX) = struct
+  module C = Cfca_core.Control_f.Make (P)
+  module Bintrie = C.Bintrie
+  module Fib_op = C.Fib_op
+  open Bintrie
+
+
+  type t = {
+    tree : Bintrie.t;
+    default_nh : Nexthop.t;
+    mutable sink : Fib_op.sink;
+    mutable loaded : bool;
+  }
+
+  let create ?(sink = Fib_op.null_sink) ~default_nh () =
+    { tree = Bintrie.create ~default_nh; default_nh; sink; loaded = false }
+
+  let set_sink t sink = t.sink <- sink
+
+  let tree t = t.tree
+
+  let install t n =
+    n.status <- In_fib;
+    n.table <- Dram;
+    n.installed_nh <- n.original;
+    (* PFCA keeps [selected] mirroring the leaf's next-hop so shared
+       tooling (VeriTable adapters, the simulator) can read either. *)
+    n.selected <- n.original;
+    t.sink (Fib_op.Install (n, Dram))
+
+  let uninstall t n =
+    let tbl = n.table in
+    n.status <- Non_fib;
+    n.table <- No_table;
+    n.installed_nh <- Nexthop.none;
+    n.selected <- Nexthop.none;
+    t.sink (Fib_op.Remove (n, tbl))
+
+  let refresh t n =
+    if not (Nexthop.equal n.installed_nh n.original) then begin
+      n.installed_nh <- n.original;
+      n.selected <- n.original;
+      t.sink (Fib_op.Update (n, n.table, n.original))
+    end
+
+  let load t routes =
+    if t.loaded then invalid_arg "Pfca.load: already loaded";
+    t.loaded <- true;
+    Seq.iter (fun (p, nh) -> ignore (Bintrie.add_route t.tree p nh)) routes;
+    Bintrie.extend t.tree;
+    Bintrie.iter_leaves (fun n -> install t n) t.tree
+
+  (* Propagate a changed original next-hop through the FAKE-inheritance
+     region below [n] (REAL descendants are unaffected), refreshing the
+     installed value of every leaf reached. [n.original] is already set. *)
+  let rec propagate t n =
+    match (n.left, n.right) with
+    | None, None -> refresh t n
+    | Some l, Some r ->
+        if l.kind = Fake then begin
+          l.original <- n.original;
+          propagate t l
+        end;
+        if r.kind = Fake then begin
+          r.original <- n.original;
+          propagate t r
+        end
+    | _ -> assert false
+
+  (* Merge redundant FAKE sibling leaves after a withdrawal: the pair
+     leaves the FIB and the parent (now a leaf) enters it. *)
+  let rec compact t n =
+    if Bintrie.is_leaf n then
+      match n.parent with
+      | None -> ()
+      | Some parent -> (
+          match (parent.left, parent.right) with
+          | Some l, Some r
+            when Bintrie.is_leaf l && Bintrie.is_leaf r && l.kind = Fake
+                 && r.kind = Fake ->
+              uninstall t l;
+              uninstall t r;
+              Bintrie.remove_children t.tree parent;
+              install t parent;
+              compact t parent
+          | _ -> ())
+
+  let update_root t nh =
+    let root = Bintrie.root t.tree in
+    if not (Nexthop.equal root.original nh) then begin
+      root.original <- nh;
+      propagate t root
+    end
+
+  let announce t p nh =
+    if Nexthop.is_none nh then invalid_arg "Pfca.announce: null next-hop";
+    if P.length p = 0 then update_root t nh
+    else
+      match Bintrie.find t.tree p with
+      | Some n ->
+          n.kind <- Real;
+          if not (Nexthop.equal n.original nh) then begin
+            n.original <- nh;
+            propagate t n
+          end
+      | None ->
+          let frag = Bintrie.fragment t.tree p None in
+          frag.target.kind <- Real;
+          frag.target.original <- nh;
+          uninstall t frag.anchor;
+          List.iter (fun n -> if Bintrie.is_leaf n then install t n) frag.created
+
+  let withdraw t p =
+    if P.length p = 0 then update_root t t.default_nh
+    else
+      match Bintrie.find t.tree p with
+      | None -> ()
+      | Some n when n.kind = Fake -> ()
+      | Some n ->
+          let inherited =
+            match n.parent with Some parent -> parent.original | None -> assert false
+          in
+          n.kind <- Fake;
+          n.original <- inherited;
+          propagate t n;
+          compact t n
+
+  type update = C.Route_manager.update =
+    | Announce of P.t * Nexthop.t
+    | Withdraw of P.t
+
+  let apply t = function
+    | Announce (p, nh) -> announce t p nh
+    | Withdraw p -> withdraw t p
+
+  let lookup t addr =
+    match Bintrie.lookup_in_fib t.tree addr with
+    | Some n -> n.installed_nh
+    | None -> t.default_nh
+
+  let fib_size t = Bintrie.in_fib_count t.tree
+
+  let route_count t =
+    Bintrie.fold_nodes (fun acc n -> if n.kind = Real then acc + 1 else acc) 0 t.tree
+
+  let node_count t = Bintrie.node_count t.tree
+
+  let entries t =
+    List.rev
+      (Bintrie.fold_nodes
+         (fun acc n ->
+           if n.status = In_fib then (n.prefix, n.installed_nh) :: acc else acc)
+         [] t.tree)
+
+  let verify t =
+    match Bintrie.invariant t.tree with
+    | Error _ as e -> e
+    | Ok () ->
+        let exception Violation of string in
+        let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt in
+        (try
+           Bintrie.fold_nodes
+             (fun () n ->
+               if Bintrie.is_leaf n then begin
+                 if n.status <> In_fib then
+                   fail "leaf %s not IN_FIB" (P.to_string n.prefix);
+                 if not (Nexthop.equal n.installed_nh n.original) then
+                   fail "leaf %s installed %s <> original %s"
+                     (P.to_string n.prefix)
+                     (Nexthop.to_string n.installed_nh)
+                     (Nexthop.to_string n.original)
+               end
+               else if n.status <> Non_fib then
+                 fail "internal %s is IN_FIB" (P.to_string n.prefix))
+             () t.tree;
+           Ok ()
+         with Violation msg -> Error msg)
+
+end

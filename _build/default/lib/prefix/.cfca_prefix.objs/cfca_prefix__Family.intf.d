@@ -1,0 +1,1 @@
+lib/prefix/family.mli: Ipv4 Ipv6 Prefix Prefix6 Random

@@ -1,0 +1,1 @@
+lib/prefix/ipv4.ml: Char Format Int Printf Random String

@@ -1,0 +1,1 @@
+lib/prefix/ipv4.mli: Format Random

@@ -1,0 +1,1 @@
+lib/prefix/ipv6.ml: Array Buffer Char Format Int64 Ipv4 List Option Printf Random String

@@ -1,0 +1,1 @@
+lib/prefix/ipv6.mli: Format Random

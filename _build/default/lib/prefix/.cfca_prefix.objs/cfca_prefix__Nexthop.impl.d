@@ -1,0 +1,1 @@
+lib/prefix/nexthop.ml: Format Int

@@ -1,0 +1,1 @@
+lib/prefix/prefix.ml: Format Int Ipv4 Printf Random String

@@ -1,0 +1,1 @@
+lib/prefix/prefix.mli: Format Ipv4 Random

@@ -1,0 +1,1 @@
+lib/prefix/prefix6.ml: Format Int Int64 Ipv6 Printf String

@@ -1,0 +1,1 @@
+lib/prefix/prefix6.mli: Format Ipv6 Random

@@ -1,0 +1,63 @@
+module type ADDR = sig
+  type t
+
+  val bit : t -> int -> bool
+
+  val equal : t -> t -> bool
+
+  val to_string : t -> string
+
+  val random : Random.State.t -> t
+end
+
+module type PREFIX = sig
+  module Addr : ADDR
+
+  type t
+
+  val max_length : int
+
+  val default : t
+
+  val length : t -> int
+
+  val network : t -> Addr.t
+
+  val child : t -> bool -> t
+
+  val left : t -> t
+
+  val right : t -> t
+
+  val parent : t -> t
+
+  val sibling : t -> t
+
+  val bit : t -> int -> bool
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+
+  val hash : t -> int
+
+  val contains : t -> t -> bool
+
+  val mem : Addr.t -> t -> bool
+
+  val to_string : t -> string
+
+  val random_member : Random.State.t -> t -> Addr.t
+end
+
+module V4 = struct
+  module Addr = Ipv4
+  include Prefix
+
+  let max_length = 32
+end
+
+module V6 = struct
+  module Addr = Ipv6
+  include Prefix6
+end

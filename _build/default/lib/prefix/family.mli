@@ -1,0 +1,66 @@
+(** Address-family abstraction.
+
+    The binary-prefix-tree machinery (extension, aggregation, update
+    handling) is family-agnostic: it only ever asks a prefix for its
+    length, children, parent and a few predicates. This module captures
+    that contract so the tree and the CFCA control plane can be
+    instantiated for IPv4 (the paper's evaluation) and IPv6 (its growth
+    motivation). *)
+
+module type ADDR = sig
+  type t
+
+  val bit : t -> int -> bool
+  (** Counted from the most significant bit. *)
+
+  val equal : t -> t -> bool
+
+  val to_string : t -> string
+
+  val random : Random.State.t -> t
+end
+
+module type PREFIX = sig
+  module Addr : ADDR
+
+  type t
+
+  val max_length : int
+
+  val default : t
+  (** The zero-length prefix covering the whole family. *)
+
+  val length : t -> int
+
+  val network : t -> Addr.t
+
+  val child : t -> bool -> t
+
+  val left : t -> t
+
+  val right : t -> t
+
+  val parent : t -> t
+
+  val sibling : t -> t
+
+  val bit : t -> int -> bool
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+
+  val hash : t -> int
+
+  val contains : t -> t -> bool
+
+  val mem : Addr.t -> t -> bool
+
+  val to_string : t -> string
+
+  val random_member : Random.State.t -> t -> Addr.t
+end
+
+module V4 : PREFIX with module Addr = Ipv4 and type t = Prefix.t
+
+module V6 : PREFIX with module Addr = Ipv6 and type t = Prefix6.t

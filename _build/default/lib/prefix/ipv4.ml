@@ -1,0 +1,71 @@
+type t = int
+
+let mask32 = 0xFFFF_FFFF
+
+let of_int i = i land mask32
+
+let to_int a = a
+
+let of_octets a b c d =
+  ((a land 0xFF) lsl 24)
+  lor ((b land 0xFF) lsl 16)
+  lor ((c land 0xFF) lsl 8)
+  lor (d land 0xFF)
+
+let to_octets a = ((a lsr 24) land 0xFF, (a lsr 16) land 0xFF, (a lsr 8) land 0xFF, a land 0xFF)
+
+let of_string s =
+  (* Hand-rolled parser: [String.split_on_char]+[int_of_string] allocates
+     noticeably when loading multi-hundred-thousand-entry RIB dumps. *)
+  let n = String.length s in
+  let rec octet i acc digits =
+    if i >= n then
+      if digits > 0 && digits <= 3 && acc <= 255 then Some (acc, i) else None
+    else
+      match s.[i] with
+      | '0' .. '9' ->
+          let acc = (acc * 10) + (Char.code s.[i] - 48) in
+          if acc > 255 || digits >= 3 then None else octet (i + 1) acc (digits + 1)
+      | '.' -> if digits > 0 then Some (acc, i) else None
+      | _ -> None
+  in
+  let rec go i k addr =
+    match octet i 0 0 with
+    | None -> None
+    | Some (v, j) ->
+        let addr = (addr lsl 8) lor v in
+        if k = 3 then if j = n then Some addr else None
+        else if j < n && s.[j] = '.' then go (j + 1) (k + 1) addr
+        else None
+  in
+  go 0 0 0
+
+let of_string_exn s =
+  match of_string s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string_exn: %S" s)
+
+let to_string a =
+  let x, y, z, w = to_octets a in
+  Printf.sprintf "%d.%d.%d.%d" x y z w
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let compare (a : int) (b : int) = Int.compare a b
+
+let equal (a : int) (b : int) = a = b
+
+let bit a i = (a lsr (31 - i)) land 1 = 1
+
+let zero = 0
+
+let broadcast = mask32
+
+let succ a = (a + 1) land mask32
+
+let random st = Random.State.int st 0x1000_0000 lsl 4 lor Random.State.int st 16
+
+let hash (a : int) =
+  (* Multiplicative (Fibonacci) hashing: fast and well-spread for
+     addresses that share high-order bytes. *)
+  (a * 0x2545F4914F6CDD1D) lsr 32 land mask32

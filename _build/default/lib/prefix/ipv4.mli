@@ -1,0 +1,49 @@
+(** IPv4 addresses represented as unboxed OCaml [int]s in [0, 2^32).
+
+    Using native ints (rather than [Int32.t]) keeps addresses unboxed in
+    arrays and records, which matters for the packet-replay hot loop. *)
+
+type t = private int
+(** An IPv4 address. Always in [0, 0xFFFF_FFFF]. *)
+
+val of_int : int -> t
+(** [of_int i] truncates [i] to its low 32 bits. *)
+
+val to_int : t -> int
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] is the address [a.b.c.d]. Each octet is
+    truncated to 8 bits. *)
+
+val to_octets : t -> int * int * int * int
+
+val of_string : string -> t option
+(** Parse dotted-quad notation. Returns [None] on malformed input. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val bit : t -> int -> bool
+(** [bit a i] is bit [i] of [a], counting from the most-significant bit:
+    [bit a 0] is the top bit. [i] must be in [0, 31]. *)
+
+val zero : t
+
+val broadcast : t
+(** [255.255.255.255]. *)
+
+val succ : t -> t
+(** Successor address, wrapping at the top of the space. *)
+
+val random : Random.State.t -> t
+(** Uniformly random address. *)
+
+val hash : t -> int

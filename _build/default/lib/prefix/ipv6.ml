@@ -1,0 +1,179 @@
+type t = { hi : int64; lo : int64 }
+
+let zero = { hi = 0L; lo = 0L }
+
+let of_groups groups =
+  if Array.length groups <> 8 then invalid_arg "Ipv6.of_groups: need 8 groups";
+  Array.iter
+    (fun g ->
+      if g < 0 || g > 0xFFFF then invalid_arg "Ipv6.of_groups: group out of range")
+    groups;
+  let pack a b c d =
+    Int64.logor
+      (Int64.shift_left (Int64.of_int a) 48)
+      (Int64.logor
+         (Int64.shift_left (Int64.of_int b) 32)
+         (Int64.logor (Int64.shift_left (Int64.of_int c) 16) (Int64.of_int d)))
+  in
+  {
+    hi = pack groups.(0) groups.(1) groups.(2) groups.(3);
+    lo = pack groups.(4) groups.(5) groups.(6) groups.(7);
+  }
+
+let to_groups a =
+  let unpack v =
+    [|
+      Int64.to_int (Int64.logand (Int64.shift_right_logical v 48) 0xFFFFL);
+      Int64.to_int (Int64.logand (Int64.shift_right_logical v 32) 0xFFFFL);
+      Int64.to_int (Int64.logand (Int64.shift_right_logical v 16) 0xFFFFL);
+      Int64.to_int (Int64.logand v 0xFFFFL);
+    |]
+  in
+  Array.append (unpack a.hi) (unpack a.lo)
+
+(* -- parsing ---------------------------------------------------------- *)
+
+let hex_group s =
+  let n = String.length s in
+  if n = 0 || n > 4 then None
+  else
+    let rec go i acc =
+      if i = n then Some acc
+      else
+        match s.[i] with
+        | '0' .. '9' as c -> go (i + 1) ((acc lsl 4) lor (Char.code c - 48))
+        | 'a' .. 'f' as c -> go (i + 1) ((acc lsl 4) lor (Char.code c - 87))
+        | 'A' .. 'F' as c -> go (i + 1) ((acc lsl 4) lor (Char.code c - 55))
+        | _ -> None
+    in
+    go 0 0
+
+(* The final part may be an embedded IPv4 dotted quad (two groups). *)
+let tail_groups part =
+  if String.contains part '.' then
+    match Ipv4.of_string part with
+    | Some a ->
+        let v = Ipv4.to_int a in
+        Some [ (v lsr 16) land 0xFFFF; v land 0xFFFF ]
+    | None -> None
+  else Option.map (fun g -> [ g ]) (hex_group part)
+
+let split_groups s =
+  (* parse a run of ':'-separated groups; empty string -> [] *)
+  if s = "" then Some []
+  else
+    let parts = String.split_on_char ':' s in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | [ last ] -> (
+          match tail_groups last with
+          | Some gs -> Some (List.rev acc @ gs)
+          | None -> None)
+      | part :: rest -> (
+          match hex_group part with
+          | Some g -> go (g :: acc) rest
+          | None -> None)
+    in
+    go [] parts
+
+let of_string s =
+  let make front back =
+    let f = List.length front and b = List.length back in
+    if f + b > 8 then None
+    else
+      let groups = Array.make 8 0 in
+      List.iteri (fun i g -> groups.(i) <- g) front;
+      List.iteri (fun i g -> groups.(8 - b + i) <- g) back;
+      Some (of_groups groups)
+  in
+  (* at most one "::" *)
+  let rec find_gap i =
+    if i + 1 >= String.length s then None
+    else if s.[i] = ':' && s.[i + 1] = ':' then Some i
+    else find_gap (i + 1)
+  in
+  match find_gap 0 with
+  | None -> (
+      match split_groups s with
+      | Some groups when List.length groups = 8 -> make groups []
+      | _ -> None)
+  | Some i -> (
+      let front = String.sub s 0 i in
+      let back = String.sub s (i + 2) (String.length s - i - 2) in
+      if
+        String.length back >= 2
+        && String.length back > 0
+        && back.[0] = ':'
+      then None (* ":::" *)
+      else
+        match (split_groups front, split_groups back) with
+        | Some f, Some b when List.length f + List.length b < 8 -> make f b
+        | _ -> None)
+
+let of_string_exn s =
+  match of_string s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Ipv6.of_string_exn: %S" s)
+
+(* -- printing (RFC 5952) ---------------------------------------------- *)
+
+let to_string a =
+  let groups = to_groups a in
+  (* longest run of zero groups, leftmost on ties, length >= 2 *)
+  let best_start = ref (-1) and best_len = ref 0 in
+  let i = ref 0 in
+  while !i < 8 do
+    if groups.(!i) = 0 then begin
+      let j = ref !i in
+      while !j < 8 && groups.(!j) = 0 do
+        incr j
+      done;
+      let len = !j - !i in
+      if len > !best_len then begin
+        best_start := !i;
+        best_len := len
+      end;
+      i := !j
+    end
+    else incr i
+  done;
+  let buf = Buffer.create 40 in
+  if !best_len >= 2 then begin
+    for k = 0 to !best_start - 1 do
+      if k > 0 then Buffer.add_char buf ':';
+      Buffer.add_string buf (Printf.sprintf "%x" groups.(k))
+    done;
+    Buffer.add_string buf "::";
+    for k = !best_start + !best_len to 7 do
+      if k > !best_start + !best_len then Buffer.add_char buf ':';
+      Buffer.add_string buf (Printf.sprintf "%x" groups.(k))
+    done
+  end
+  else
+    for k = 0 to 7 do
+      if k > 0 then Buffer.add_char buf ':';
+      Buffer.add_string buf (Printf.sprintf "%x" groups.(k))
+    done;
+  Buffer.contents buf
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let compare a b =
+  let c = Int64.unsigned_compare a.hi b.hi in
+  if c <> 0 then c else Int64.unsigned_compare a.lo b.lo
+
+let equal a b = Int64.equal a.hi b.hi && Int64.equal a.lo b.lo
+
+let bit a i =
+  if i < 64 then
+    Int64.logand (Int64.shift_right_logical a.hi (63 - i)) 1L = 1L
+  else Int64.logand (Int64.shift_right_logical a.lo (127 - i)) 1L = 1L
+
+let random st = { hi = Random.State.bits64 st; lo = Random.State.bits64 st }
+
+let hash a =
+  let mix v =
+    Int64.to_int
+      (Int64.shift_right_logical (Int64.mul v 0x2545F4914F6CDD1DL) 32)
+  in
+  mix a.hi lxor (mix a.lo * 0x9E3779B1)

@@ -1,0 +1,41 @@
+(** IPv6 addresses.
+
+    The paper's motivation leans on IPv6 table growth ("the size of an
+    IPv6 table will at least double within the next 5 years") and on the
+    TCAM pressure of carrying both families; this module extends the
+    substrate to 128-bit addresses. Representation: two [int64]s.
+
+    Parsing accepts RFC 4291 text (hex groups, [::] compression, and
+    the embedded-IPv4 dotted-quad tail). Printing follows RFC 5952
+    canonical form: lowercase, no leading zeros, the longest (leftmost
+    on ties, length >= 2) zero run compressed. *)
+
+type t = { hi : int64; lo : int64 }
+
+val zero : t
+
+val of_groups : int array -> t
+(** From eight 16-bit groups, most significant first.
+    @raise Invalid_argument unless exactly 8 groups in [0, 0xFFFF]. *)
+
+val to_groups : t -> int array
+
+val of_string : string -> t option
+
+val of_string_exn : string -> t
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val bit : t -> int -> bool
+(** [bit a i] is bit [i] counted from the most significant; [i] in
+    [0, 127]. *)
+
+val random : Random.State.t -> t
+
+val hash : t -> int

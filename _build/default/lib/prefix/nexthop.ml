@@ -1,0 +1,21 @@
+type t = int
+
+let none = 0
+
+let is_none nh = nh = 0
+
+let is_real nh = nh > 0
+
+let of_int i =
+  if i < 0 then invalid_arg "Nexthop.of_int: negative";
+  i
+
+let to_int nh = nh
+
+let equal (a : int) (b : int) = a = b
+
+let compare (a : int) (b : int) = Int.compare a b
+
+let to_string nh = if nh = 0 then "-" else string_of_int nh
+
+let pp ppf nh = Format.pp_print_string ppf (to_string nh)

@@ -1,0 +1,31 @@
+(** Next-hop identifiers.
+
+    The paper encodes next-hops as small positive integers and reserves 0
+    as the sentinel "no selected next-hop" used by the aggregation
+    algorithm (a node whose descendants disagree). We keep that encoding
+    but confine the sentinel to this module so the rest of the code
+    manipulates it through named operations. *)
+
+type t = int
+(** A next-hop. Valid forwarding next-hops are [>= 1]. *)
+
+val none : t
+(** The sentinel 0: "descendants disagree / not a point of aggregation". *)
+
+val is_none : t -> bool
+
+val is_real : t -> bool
+(** [is_real nh] iff [nh] identifies an actual adjacency ([>= 1]). *)
+
+val of_int : int -> t
+(** @raise Invalid_argument if negative. *)
+
+val to_int : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

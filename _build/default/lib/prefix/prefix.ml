@@ -1,0 +1,87 @@
+type t = { bits : int; len : int }
+
+let mask_of_len len = if len = 0 then 0 else 0xFFFF_FFFF lsl (32 - len) land 0xFFFF_FFFF
+
+let default = { bits = 0; len = 0 }
+
+let make addr len =
+  if len < 0 || len > 32 then invalid_arg "Prefix.make: length out of [0, 32]";
+  { bits = Ipv4.to_int addr land mask_of_len len; len }
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i -> (
+      let addr = String.sub s 0 i in
+      let len = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Ipv4.of_string addr, int_of_string_opt len) with
+      | Some a, Some l when l >= 0 && l <= 32 -> Some (make a l)
+      | _ -> None)
+
+let v s =
+  match of_string s with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Prefix.v: %S" s)
+
+let to_string p = Printf.sprintf "%s/%d" (Ipv4.to_string (Ipv4.of_int p.bits)) p.len
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let network p = Ipv4.of_int p.bits
+
+let last_address p = Ipv4.of_int (p.bits lor (lnot (mask_of_len p.len) land 0xFFFF_FFFF))
+
+let length p = p.len
+
+let equal a b = a.bits = b.bits && a.len = b.len
+
+let compare a b =
+  let c = Int.compare a.bits b.bits in
+  if c <> 0 then c else Int.compare a.len b.len
+
+let hash p = Ipv4.hash (Ipv4.of_int p.bits) lxor (p.len * 0x9E3779B1)
+
+let mem a p = Ipv4.to_int a land mask_of_len p.len = p.bits
+
+let contains p q = q.len >= p.len && q.bits land mask_of_len p.len = p.bits
+
+let overlaps p q = contains p q || contains q p
+
+let parent p =
+  if p.len = 0 then invalid_arg "Prefix.parent: default route has no parent";
+  let len = p.len - 1 in
+  { bits = p.bits land mask_of_len len; len }
+
+let sibling p =
+  if p.len = 0 then invalid_arg "Prefix.sibling: default route has no sibling";
+  { p with bits = p.bits lxor (1 lsl (32 - p.len)) }
+
+let is_sibling a b = a.len > 0 && a.len = b.len && equal (sibling a) b
+
+let child p right =
+  if p.len = 32 then invalid_arg "Prefix.child: /32 has no children";
+  let len = p.len + 1 in
+  { bits = (if right then p.bits lor (1 lsl (32 - len)) else p.bits); len }
+
+let left p = child p false
+
+let right p = child p true
+
+let is_left_child p =
+  if p.len = 0 then invalid_arg "Prefix.is_left_child: default route";
+  p.bits land (1 lsl (32 - p.len)) = 0
+
+let bit p i =
+  assert (i < p.len);
+  (p.bits lsr (31 - i)) land 1 = 1
+
+let branch_bit p a = (Ipv4.to_int a lsr (31 - p.len)) land 1 = 1
+
+let random_member st p =
+  let host_bits = 32 - p.len in
+  let r = if host_bits = 0 then 0 else Ipv4.to_int (Ipv4.random st) land (lnot (mask_of_len p.len) land 0xFFFF_FFFF) in
+  Ipv4.of_int (p.bits lor r)
+
+let random st ?(min_len = 8) ?(max_len = 28) () =
+  let len = min_len + Random.State.int st (max_len - min_len + 1) in
+  make (Ipv4.random st) len

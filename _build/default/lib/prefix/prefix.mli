@@ -1,0 +1,88 @@
+(** IPv4 CIDR prefixes.
+
+    A prefix is a pair of a 32-bit network value and a length in [0, 32].
+    The representation is canonical: host bits below the prefix length are
+    always zero, so structural equality coincides with prefix equality. *)
+
+type t = private { bits : int; len : int }
+(** [bits] is the network address (host bits zeroed), [len] the mask
+    length. *)
+
+val default : t
+(** [0.0.0.0/0] — the default route, root of every prefix tree. *)
+
+val make : Ipv4.t -> int -> t
+(** [make addr len] masks [addr] down to [len] bits.
+    @raise Invalid_argument if [len] is outside [0, 32]. *)
+
+val v : string -> t
+(** [v "a.b.c.d/l"] — convenience constructor for tests and examples.
+    @raise Invalid_argument on malformed input. *)
+
+val of_string : string -> t option
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val network : t -> Ipv4.t
+(** First address covered by the prefix. *)
+
+val last_address : t -> Ipv4.t
+(** Last address covered by the prefix. *)
+
+val length : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order: by network bits, then by length (shorter first). This
+    places a prefix immediately before its descendants. *)
+
+val hash : t -> int
+
+val mem : Ipv4.t -> t -> bool
+(** [mem a p] — does [p] cover address [a]? *)
+
+val contains : t -> t -> bool
+(** [contains p q] — is [q] equal to or more specific than [p]
+    (i.e. [p]'s range includes [q]'s)? *)
+
+val overlaps : t -> t -> bool
+(** [overlaps p q] — does one contain the other? Distinct prefixes either
+    nest or are disjoint; they never partially overlap. *)
+
+val is_sibling : t -> t -> bool
+(** Same parent, opposite final bit. *)
+
+val parent : t -> t
+(** @raise Invalid_argument on the default route. *)
+
+val sibling : t -> t
+(** @raise Invalid_argument on the default route. *)
+
+val child : t -> bool -> t
+(** [child p false] is the left (0-bit) child, [child p true] the right.
+    @raise Invalid_argument if [length p = 32]. *)
+
+val left : t -> t
+val right : t -> t
+
+val is_left_child : t -> bool
+(** @raise Invalid_argument on the default route. *)
+
+val bit : t -> int -> bool
+(** [bit p i] is bit [i] (from the top) of the network value; [i] must be
+    below [length p]. *)
+
+val branch_bit : t -> Ipv4.t -> bool
+(** [branch_bit p a] is the bit of [a] just below [p]'s length — the bit
+    that decides which child of [p] the address [a] descends into.
+    Requires [length p < 32]. *)
+
+val random_member : Random.State.t -> t -> Ipv4.t
+(** Uniformly random address covered by the prefix. *)
+
+val random : Random.State.t -> ?min_len:int -> ?max_len:int -> unit -> t
+(** Random prefix with length uniform in [min_len, max_len]
+    (defaults 8 and 28). *)

@@ -1,0 +1,105 @@
+type t = { addr : Ipv6.t; len : int }
+
+let max_length = 128
+
+(* Masks for the high/low halves of a prefix of length [len]. *)
+let mask_hi len =
+  if len <= 0 then 0L
+  else if len >= 64 then -1L
+  else Int64.shift_left (-1L) (64 - len)
+
+let mask_lo len =
+  if len <= 64 then 0L
+  else if len >= 128 then -1L
+  else Int64.shift_left (-1L) (128 - len)
+
+let apply_mask (a : Ipv6.t) len =
+  { Ipv6.hi = Int64.logand a.Ipv6.hi (mask_hi len);
+    lo = Int64.logand a.Ipv6.lo (mask_lo len) }
+
+let default = { addr = Ipv6.zero; len = 0 }
+
+let make a len =
+  if len < 0 || len > max_length then
+    invalid_arg "Prefix6.make: length out of [0, 128]";
+  { addr = apply_mask a len; len }
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i -> (
+      let addr = String.sub s 0 i in
+      let len = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Ipv6.of_string addr, int_of_string_opt len) with
+      | Some a, Some l when l >= 0 && l <= max_length -> Some (make a l)
+      | _ -> None)
+
+let v s =
+  match of_string s with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Prefix6.v: %S" s)
+
+let to_string p = Printf.sprintf "%s/%d" (Ipv6.to_string p.addr) p.len
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let network p = p.addr
+
+let length p = p.len
+
+let equal a b = a.len = b.len && Ipv6.equal a.addr b.addr
+
+let compare a b =
+  let c = Ipv6.compare a.addr b.addr in
+  if c <> 0 then c else Int.compare a.len b.len
+
+let hash p = Ipv6.hash p.addr lxor (p.len * 0x9E3779B1)
+
+let mem a p = Ipv6.equal (apply_mask a p.len) p.addr
+
+let contains p q = q.len >= p.len && Ipv6.equal (apply_mask q.addr p.len) p.addr
+
+let set_bit (a : Ipv6.t) i =
+  if i < 64 then
+    { a with Ipv6.hi = Int64.logor a.Ipv6.hi (Int64.shift_left 1L (63 - i)) }
+  else
+    { a with Ipv6.lo = Int64.logor a.Ipv6.lo (Int64.shift_left 1L (127 - i)) }
+
+let child p right =
+  if p.len = max_length then invalid_arg "Prefix6.child: /128 has no children";
+  let len = p.len + 1 in
+  { addr = (if right then set_bit p.addr (len - 1) else p.addr); len }
+
+let left p = child p false
+
+let right p = child p true
+
+let parent p =
+  if p.len = 0 then invalid_arg "Prefix6.parent: default route has no parent";
+  let len = p.len - 1 in
+  { addr = apply_mask p.addr len; len }
+
+let sibling p =
+  if p.len = 0 then invalid_arg "Prefix6.sibling: default route has no sibling";
+  let flip (a : Ipv6.t) i =
+    if i < 64 then
+      { a with Ipv6.hi = Int64.logxor a.Ipv6.hi (Int64.shift_left 1L (63 - i)) }
+    else
+      { a with Ipv6.lo = Int64.logxor a.Ipv6.lo (Int64.shift_left 1L (127 - i)) }
+  in
+  { p with addr = flip p.addr (p.len - 1) }
+
+let bit p i =
+  assert (i < p.len);
+  Ipv6.bit p.addr i
+
+let random_member st p =
+  let r = Ipv6.random st in
+  let host =
+    {
+      Ipv6.hi = Int64.logand r.Ipv6.hi (Int64.lognot (mask_hi p.len));
+      lo = Int64.logand r.Ipv6.lo (Int64.lognot (mask_lo p.len));
+    }
+  in
+  { Ipv6.hi = Int64.logor p.addr.Ipv6.hi host.Ipv6.hi;
+    lo = Int64.logor p.addr.Ipv6.lo host.Ipv6.lo }

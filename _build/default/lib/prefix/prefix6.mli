@@ -1,0 +1,59 @@
+(** IPv6 CIDR prefixes, mirroring {!Prefix} for the 128-bit family.
+    The representation is canonical: bits below the prefix length are
+    zero. *)
+
+type t = private { addr : Ipv6.t; len : int }
+
+val default : t
+(** [::/0]. *)
+
+val max_length : int
+(** 128. *)
+
+val make : Ipv6.t -> int -> t
+(** Masks the address to [len] bits.
+    @raise Invalid_argument if [len] is outside [0, 128]. *)
+
+val v : string -> t
+(** ["2001:db8::/32"].
+    @raise Invalid_argument on malformed input. *)
+
+val of_string : string -> t option
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val network : t -> Ipv6.t
+
+val length : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** By network bits, then by length — a prefix sorts immediately before
+    its descendants. *)
+
+val hash : t -> int
+
+val mem : Ipv6.t -> t -> bool
+
+val contains : t -> t -> bool
+
+val child : t -> bool -> t
+(** @raise Invalid_argument on a /128. *)
+
+val left : t -> t
+
+val right : t -> t
+
+val parent : t -> t
+(** @raise Invalid_argument on the default route. *)
+
+val sibling : t -> t
+(** @raise Invalid_argument on the default route. *)
+
+val bit : t -> int -> bool
+(** Bit [i] of the network value; [i] must be below [length]. *)
+
+val random_member : Random.State.t -> t -> Ipv6.t

@@ -1,0 +1,1 @@
+lib/rib/rib.ml: Array Cfca_prefix Format Int List Nexthop Prefix Set

@@ -1,0 +1,1 @@
+lib/rib/rib.mli: Cfca_prefix Format Nexthop Prefix Seq

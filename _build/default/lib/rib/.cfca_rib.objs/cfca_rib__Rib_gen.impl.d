@@ -1,0 +1,1 @@
+lib/rib/rib_gen.ml: Array Cfca_prefix Hashtbl Ipv4 Nexthop Prefix Random Rib

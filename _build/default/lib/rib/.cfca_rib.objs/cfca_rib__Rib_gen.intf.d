@@ -1,0 +1,1 @@
+lib/rib/rib_gen.mli: Rib

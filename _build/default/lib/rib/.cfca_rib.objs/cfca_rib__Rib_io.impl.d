@@ -1,0 +1,1 @@
+lib/rib/rib_io.ml: Array Cfca_prefix Fun Nexthop Prefix Printf Rib String

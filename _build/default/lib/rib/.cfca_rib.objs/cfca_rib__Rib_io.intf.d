@@ -1,0 +1,1 @@
+lib/rib/rib_io.mli: Cfca_prefix Rib

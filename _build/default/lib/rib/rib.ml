@@ -1,0 +1,82 @@
+open Cfca_prefix
+
+type entry = Prefix.t * Nexthop.t
+
+type t = { entries : entry array }
+
+let of_array arr =
+  (* last binding wins; Array.sort is not stable, so order duplicate
+     prefixes by their original position explicitly *)
+  let indexed = Array.mapi (fun i e -> (i, e)) arr in
+  Array.sort
+    (fun (i, (a, _)) (j, (b, _)) ->
+      let c = Prefix.compare a b in
+      if c <> 0 then c else Int.compare i j)
+    indexed;
+  let n = Array.length indexed in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while
+      !j + 1 < n && Prefix.equal (fst (snd indexed.(!j + 1))) (fst (snd indexed.(!i)))
+    do
+      incr j
+    done;
+    out := snd indexed.(!j) :: !out;
+    i := !j + 1
+  done;
+  { entries = Array.of_list (List.rev !out) }
+
+let of_list l = of_array (Array.of_list l)
+
+let entries t = t.entries
+
+let to_seq t = Array.to_seq t.entries
+
+let size t = Array.length t.entries
+
+let prefixes t = Array.map fst t.entries
+
+let next_hops t =
+  let module S = Set.Make (Int) in
+  let s =
+    Array.fold_left
+      (fun s (_, nh) -> S.add (Nexthop.to_int nh) s)
+      S.empty t.entries
+  in
+  List.map Nexthop.of_int (S.elements s)
+
+let find t p =
+  let lo = ref 0 and hi = ref (Array.length t.entries - 1) in
+  let res = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let q, nh = t.entries.(mid) in
+    let c = Prefix.compare p q in
+    if c = 0 then begin
+      res := Some nh;
+      lo := !hi + 1
+    end
+    else if c < 0 then hi := mid - 1
+    else lo := mid + 1
+  done;
+  !res
+
+let length_histogram t =
+  let h = Array.make 33 0 in
+  Array.iter (fun (p, _) -> h.(Prefix.length p) <- h.(Prefix.length p) + 1) t.entries;
+  h
+
+let pp_summary ppf t =
+  let h = length_histogram t in
+  let shortest = ref (-1) and longest = ref (-1) in
+  Array.iteri
+    (fun l c ->
+      if c > 0 then begin
+        if !shortest < 0 then shortest := l;
+        longest := l
+      end)
+    h;
+  Format.fprintf ppf "%d entries, %d next-hops, lengths /%d../%d" (size t)
+    (List.length (next_hops t)) !shortest !longest

@@ -1,0 +1,33 @@
+(** RIB snapshots: the routing-table input to every system. *)
+
+open Cfca_prefix
+
+type entry = Prefix.t * Nexthop.t
+
+type t
+
+val of_list : entry list -> t
+(** Deduplicates (last binding wins) and sorts in prefix order. The
+    default route, if present, is kept like any other entry. *)
+
+val of_array : entry array -> t
+
+val entries : t -> entry array
+(** Sorted, deduplicated entries. Callers must not mutate. *)
+
+val to_seq : t -> entry Seq.t
+
+val size : t -> int
+
+val prefixes : t -> Prefix.t array
+
+val next_hops : t -> Nexthop.t list
+(** The distinct next-hops in use, ascending. *)
+
+val find : t -> Prefix.t -> Nexthop.t option
+(** Exact-match lookup (binary search). *)
+
+val length_histogram : t -> int array
+(** 33 buckets by prefix length. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,121 @@
+open Cfca_prefix
+
+type params = { size : int; peers : int; locality : float; seed : int }
+
+let default_params = { size = 50_000; peers = 32; locality = 0.90; seed = 42 }
+
+(* Kept for reference and for the histogram-shape test: the approximate
+   per-length fractions of the 2019 global IPv4 table (bgp.potaroo.net).
+   The block-fragmentation generator below reproduces this shape
+   emergently rather than by direct sampling. *)
+let realistic_length_weights =
+  let w = Array.make 33 0.0 in
+  w.(8) <- 0.0007;
+  w.(9) <- 0.0004;
+  w.(10) <- 0.0012;
+  w.(11) <- 0.0025;
+  w.(12) <- 0.0050;
+  w.(13) <- 0.0090;
+  w.(14) <- 0.0130;
+  w.(15) <- 0.0160;
+  w.(16) <- 0.0320;
+  w.(17) <- 0.0150;
+  w.(18) <- 0.0250;
+  w.(19) <- 0.0330;
+  w.(20) <- 0.0500;
+  w.(21) <- 0.0500;
+  w.(22) <- 0.1150;
+  w.(23) <- 0.0950;
+  w.(24) <- 0.5900;
+  w.(25) <- 0.0008;
+  w.(26) <- 0.0008;
+  w.(27) <- 0.0008;
+  w.(28) <- 0.0008;
+  w.(29) <- 0.0008;
+  w.(30) <- 0.0006;
+  w.(31) <- 0.0002;
+  w.(32) <- 0.0004;
+  w
+
+(* Global tables are born from contiguous allocation blocks that their
+   origin ASes fragment for traffic engineering and multi-homing
+   (the paper's refs [26, 37]): a /14..../17 allocation typically
+   appears as a run of adjacent /20-/24 routes, mostly sharing the
+   allocation's egress, plus a covering route and occasional
+   more-specific punch-outs. Adjacency of same-next-hop routes is what
+   gives real tables their ~25 % ORTC compression, so the generator
+   works block-wise rather than sampling prefixes independently. *)
+
+let random_unicast_block st len =
+  let o1 = 1 + Random.State.int st 222 in
+  let o1 = if o1 = 10 || o1 = 127 then o1 + 1 else o1 in
+  let rest = Random.State.int st 0x1000000 in
+  Prefix.make (Ipv4.of_int ((o1 lsl 24) lor rest)) len
+
+let generate params =
+  if params.size <= 0 then invalid_arg "Rib_gen.generate: size must be positive";
+  if params.peers < 1 || params.peers > 62 then
+    invalid_arg "Rib_gen.generate: peers must be in [1, 62]";
+  let st = Random.State.make [| params.seed; 0x51B |] in
+  let seen = Hashtbl.create (params.size * 2) in
+  let acc = ref [] in
+  let count = ref 0 in
+  let emit p nh =
+    if (not (Hashtbl.mem seen p)) && !count < params.size then begin
+      Hashtbl.add seen p ();
+      acc := (p, Nexthop.of_int nh) :: !acc;
+      incr count
+    end
+  in
+  let random_nh () = 1 + Random.State.int st params.peers in
+  let pick_nh base =
+    if Random.State.float st 1.0 < params.locality then base else random_nh ()
+  in
+  (* stop-splitting probabilities per level; whatever reaches /24
+     stops there (bar a small chance of deeper punch-outs), yielding
+     the real table's /24-heavy histogram *)
+  let stop_prob = function
+    | l when l <= 18 -> 0.10
+    | 19 -> 0.16
+    | 20 -> 0.22
+    | 21 -> 0.18
+    | 22 -> 0.38
+    | 23 -> 0.30
+    | _ -> 1.0
+  in
+  let rec fragment p base =
+    if !count >= params.size then ()
+    else if
+      Prefix.length p >= 24 || Random.State.float st 1.0 < stop_prob (Prefix.length p)
+    then begin
+      (* a small fraction of announced space is punched even deeper
+         (/25../32 anti-hijack or infrastructure routes) *)
+      if Prefix.length p = 24 && Random.State.float st 1.0 < 0.008 then begin
+        emit p (pick_nh base);
+        let deep_len = 25 + Random.State.int st 8 in
+        let sub = Prefix.make (Prefix.random_member st p) deep_len in
+        emit sub (random_nh ())
+      end
+      else if Random.State.float st 1.0 < 0.18 then
+        (* an unannounced hole in the allocation: holes are what make
+           prefix extension generate FAKE filler leaves (the +40 %
+           table growth PFCA pays, paper §2) *)
+        ()
+      else emit p (pick_nh base)
+    end
+    else begin
+      fragment (Prefix.left p) base;
+      fragment (Prefix.right p) base
+    end
+  in
+  while !count < params.size do
+    (* allocation blocks: /13../18, biased toward /15../17 *)
+    let len = 13 + Random.State.int st 6 in
+    let len = if len <= 14 && Random.State.bool st then len + 2 else len in
+    let block = random_unicast_block st len in
+    let base = random_nh () in
+    (* the covering (aggregate) route is announced for most blocks *)
+    if Random.State.float st 1.0 < 0.6 then emit block base;
+    fragment block base
+  done;
+  Rib.of_list !acc

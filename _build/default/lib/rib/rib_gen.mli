@@ -1,0 +1,36 @@
+(** Synthetic global-routing-table generator.
+
+    RouteViews RIBs are not shippable in a sealed environment, so the
+    evaluation runs on synthetic tables whose {e shape} matches a real
+    2019/2020 IPv4 global table:
+
+    - the prefix-length histogram peaks hard at /24 (~60 % of entries)
+      with the bulk in /16–/24 — the fragmentation the paper's
+      introduction attributes to traffic engineering and multi-homing;
+    - next-hops exhibit spatial locality: prefixes inside the same
+      address region tend to share an egress, which is what makes real
+      tables aggregate to roughly a quarter of their size under ORTC
+      (the generator is calibrated so FIFA-S lands in that band);
+    - more-specific prefixes nested under covering routes occur
+      naturally, so prefix extension and cache hiding are exercised. *)
+
+
+
+type params = {
+  size : int;  (** target number of entries *)
+  peers : int;  (** distinct next-hops, must fit next-hop ids in \[1, 62\] *)
+  locality : float;
+      (** probability that a prefix adopts its address region's
+          preferred next-hop instead of a uniformly random one *)
+  seed : int;
+}
+
+val default_params : params
+(** 50 K entries, 32 peers, locality 0.90, seed 42. *)
+
+val generate : params -> Rib.t
+
+val realistic_length_weights : float array
+(** The per-length sampling weights (index = prefix length), matching
+    the published shape of the 2019 global IPv4 table. Exposed for
+    tests. *)

@@ -1,0 +1,59 @@
+open Cfca_prefix
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then None
+  else
+    match String.index_opt line ' ' with
+    | None -> failwith "expected \"prefix next-hop\""
+    | Some i -> (
+        let ps = String.sub line 0 i in
+        let ns = String.trim (String.sub line i (String.length line - i)) in
+        match (Prefix.of_string ps, int_of_string_opt ns) with
+        | Some p, Some nh when nh >= 1 -> Some (p, Nexthop.of_int nh)
+        | None, _ -> failwith ("bad prefix: " ^ ps)
+        | _, _ -> failwith ("bad next-hop: " ^ ns))
+
+let save path rib =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iter
+        (fun (p, nh) ->
+          output_string oc (Prefix.to_string p);
+          output_char oc ' ';
+          output_string oc (string_of_int (Nexthop.to_int nh));
+          output_char oc '\n')
+        (Rib.entries rib))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let acc = ref [] in
+      let lineno = ref 0 in
+      let err = ref None in
+      (try
+         while !err = None do
+           let line = input_line ic in
+           incr lineno;
+           match parse_line line with
+           | Some entry -> acc := entry :: !acc
+           | None -> ()
+           | exception Failure msg ->
+               err := Some (Printf.sprintf "%s:%d: %s" path !lineno msg)
+         done
+       with End_of_file -> ());
+      match !err with
+      | Some msg -> Error msg
+      | None -> Ok (Rib.of_list !acc))
+
+let load_exn path =
+  match load path with Ok rib -> rib | Error msg -> failwith msg

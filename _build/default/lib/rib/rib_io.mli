@@ -1,0 +1,15 @@
+(** Plain-text RIB snapshots: one ["prefix next-hop"] pair per line
+    (the format RouteViews table dumps reduce to after resolving peer
+    next-hops to adjacency indices). Lines starting with ['#'] and blank
+    lines are ignored. *)
+
+val save : string -> Rib.t -> unit
+
+val load : string -> (Rib.t, string) result
+(** Reports the first malformed line with its number. *)
+
+val load_exn : string -> Rib.t
+
+val parse_line : string -> (Cfca_prefix.Prefix.t * Cfca_prefix.Nexthop.t) option
+(** [None] for comments/blank lines.
+    @raise Failure on malformed input. *)

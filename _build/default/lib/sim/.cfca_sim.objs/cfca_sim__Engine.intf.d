@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Bgp_update Cfca_aggr Cfca_bgp Cfca_dataplane Cfca_prefix Cfca_rib Cfca_tcam Cfca_traffic Config Ipv4 Nexthop Pipeline Rib Tcam Trace

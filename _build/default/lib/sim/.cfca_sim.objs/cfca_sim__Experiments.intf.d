@@ -1,0 +1,1 @@
+lib/sim/experiments.mli: Bgp_update Cfca_bgp Cfca_dataplane Cfca_prefix Cfca_rib Cfca_traffic Engine Ipv4 Nexthop Rib Trace

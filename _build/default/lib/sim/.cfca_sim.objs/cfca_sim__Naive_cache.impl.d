@@ -1,0 +1,1 @@
+lib/sim/naive_cache.ml: Array Cfca_prefix Cfca_rib Cfca_trie Lpm Nexthop Prefix Random Rib

@@ -1,0 +1,1 @@
+lib/sim/naive_cache.mli: Cfca_prefix Cfca_rib Ipv4 Nexthop Rib

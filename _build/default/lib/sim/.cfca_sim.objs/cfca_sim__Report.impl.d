@@ -1,0 +1,1 @@
+lib/sim/report.ml: Array Cfca_dataplane Cfca_tcam Config Engine Experiments Format List Pipeline Printf String

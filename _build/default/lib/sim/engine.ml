@@ -1,0 +1,264 @@
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_trie
+open Cfca_core
+open Cfca_rib
+open Cfca_traffic
+open Cfca_dataplane
+open Cfca_tcam
+
+type kind = Cfca | Pfca
+
+let kind_name = function Cfca -> "CFCA" | Pfca -> "PFCA"
+
+type window = {
+  w_packets : int;
+  w_l1_misses : int;
+  w_l2_misses : int;
+  w_l1_installs : int;
+  w_l1_evictions : int;
+  w_l2_installs : int;
+  w_l2_evictions : int;
+  w_updates : int;
+  w_updates_l1 : int;
+}
+
+type run_result = {
+  r_name : string;
+  r_config : Config.t;
+  r_windows : window array;
+  r_totals : Pipeline.stats;
+  r_rib_size : int;
+  r_fib_initial : int;
+  r_fib_final : int;
+  r_updates : int;
+  r_updates_l1 : int;
+  r_burst_l1 : int;
+  r_update_seconds : float;
+  r_tcam : Tcam.stats;
+  r_lookup : Ipv4.t -> Nexthop.t;
+}
+
+(* A uniform handle over the two cached control planes. *)
+type cached = {
+  c_tree : Bintrie.t;
+  c_apply : Bgp_update.t -> unit;
+  c_fib_size : unit -> int;
+  c_lookup : Ipv4.t -> Nexthop.t;
+}
+
+let make_cached kind ~sink ~default_nh rib =
+  match kind with
+  | Cfca ->
+      let rm = Route_manager.create ~sink ~default_nh () in
+      Route_manager.load rm (Rib.to_seq rib);
+      {
+        c_tree = Route_manager.tree rm;
+        c_apply = Route_manager.apply rm;
+        c_fib_size = (fun () -> Route_manager.fib_size rm);
+        c_lookup = Route_manager.lookup rm;
+      }
+  | Pfca ->
+      let pf = Cfca_pfca.Pfca.create ~sink ~default_nh () in
+      Cfca_pfca.Pfca.load pf (Rib.to_seq rib);
+      {
+        c_tree = Cfca_pfca.Pfca.tree pf;
+        c_apply = Cfca_pfca.Pfca.apply pf;
+        c_fib_size = (fun () -> Cfca_pfca.Pfca.fib_size pf);
+        c_lookup = Cfca_pfca.Pfca.lookup pf;
+      }
+
+let run_events ?(window = 100_000) ?(seed = 0x5EED) kind cfg ~default_nh rib
+    iter_events =
+  let pipeline = Pipeline.create ~seed cfg in
+  let system =
+    make_cached kind ~sink:(Pipeline.sink pipeline) ~default_nh rib
+  in
+  let fib_initial = system.c_fib_size () in
+  (* the initial bulk installation is not churn *)
+  Pipeline.reset_stats pipeline;
+  Tcam.reset_stats (Pipeline.l1_tcam pipeline);
+  let windows = ref [] in
+  let prev = ref (Pipeline.stats pipeline) in
+  let win_updates = ref 0 and win_updates_l1 = ref 0 in
+  let updates = ref 0 and updates_l1 = ref 0 and burst = ref 0 in
+  let update_seconds = ref 0.0 in
+  let in_window = ref 0 in
+  let close_window () =
+    let s = Pipeline.stats pipeline in
+    let p = !prev in
+    windows :=
+      {
+        w_packets = s.Pipeline.packets - p.Pipeline.packets;
+        w_l1_misses = s.Pipeline.l1_misses - p.Pipeline.l1_misses;
+        w_l2_misses = s.Pipeline.l2_misses - p.Pipeline.l2_misses;
+        w_l1_installs = s.Pipeline.l1_installs - p.Pipeline.l1_installs;
+        w_l1_evictions = s.Pipeline.l1_evictions - p.Pipeline.l1_evictions;
+        w_l2_installs = s.Pipeline.l2_installs - p.Pipeline.l2_installs;
+        w_l2_evictions = s.Pipeline.l2_evictions - p.Pipeline.l2_evictions;
+        w_updates = !win_updates;
+        w_updates_l1 = !win_updates_l1;
+      }
+      :: !windows;
+    prev := s;
+    win_updates := 0;
+    win_updates_l1 := 0;
+    in_window := 0
+  in
+  iter_events (fun ~time event ->
+      match event with
+      | Trace.Packet dst -> (
+          match Bintrie.lookup_in_fib system.c_tree dst with
+          | Some node ->
+              ignore (Pipeline.process pipeline node ~now:time);
+              incr in_window;
+              if !in_window >= window then close_window ()
+          | None ->
+              (* total coverage is a system invariant *)
+              assert false)
+      | Trace.Update u ->
+          let l1_before = (Pipeline.stats pipeline).Pipeline.bgp_l1 in
+          let t0 = Unix.gettimeofday () in
+          system.c_apply u;
+          update_seconds := !update_seconds +. (Unix.gettimeofday () -. t0);
+          let l1_delta =
+            (Pipeline.stats pipeline).Pipeline.bgp_l1 - l1_before
+          in
+          incr updates;
+          incr win_updates;
+          if l1_delta > 0 then begin
+            incr updates_l1;
+            incr win_updates_l1
+          end;
+          if l1_delta > !burst then burst := l1_delta);
+  if !in_window > 0 then close_window ();
+  {
+    r_name = kind_name kind;
+    r_config = cfg;
+    r_windows = Array.of_list (List.rev !windows);
+    r_totals = Pipeline.stats pipeline;
+    r_rib_size = Rib.size rib;
+    r_fib_initial = fib_initial;
+    r_fib_final = system.c_fib_size ();
+    r_updates = !updates;
+    r_updates_l1 = !updates_l1;
+    r_burst_l1 = !burst;
+    r_update_seconds = !update_seconds;
+    r_tcam = Tcam.stats (Pipeline.l1_tcam pipeline);
+    r_lookup = system.c_lookup;
+  }
+
+let run ?window ?seed kind cfg ~default_nh rib spec =
+  run_events ?window ?seed kind cfg ~default_nh rib (fun f ->
+      Trace.iter spec rib f)
+
+let run_capture ?window ?seed kind cfg ~default_nh rib ~pcap ~updates =
+  match Cfca_pcap.Pcap.count_file pcap with
+  | Error _ as e -> e
+  | Ok total ->
+      let n_updates = Array.length updates in
+      let gap = if n_updates = 0 then max_int else max 1 (total / (n_updates + 1)) in
+      let result =
+        run_events ?window ?seed kind cfg ~default_nh rib (fun f ->
+            let i = ref 0 in
+            let next_update = ref 0 in
+            let last_time = ref 0.0 in
+            (match
+               Cfca_pcap.Pcap.fold_file pcap ~init:() ~f:(fun () p ->
+                   last_time := p.Cfca_pcap.Pcap.ts;
+                   if
+                     !next_update < n_updates
+                     && !i > 0
+                     && !i mod gap = 0
+                     && (!i / gap) - 1 = !next_update
+                   then begin
+                     f ~time:p.Cfca_pcap.Pcap.ts
+                       (Trace.Update updates.(!next_update));
+                     incr next_update
+                   end;
+                   f ~time:p.Cfca_pcap.Pcap.ts (Trace.Packet p.Cfca_pcap.Pcap.dst);
+                   incr i)
+             with
+            | Ok () -> ()
+            | Error msg -> failwith msg);
+            while !next_update < n_updates do
+              f ~time:!last_time (Trace.Update updates.(!next_update));
+              incr next_update
+            done)
+      in
+      Ok result
+
+type aggr_result = {
+  a_name : string;
+  a_rib_size : int;
+  a_fib_initial : int;
+  a_fib_final : int;
+  a_compression : float;
+  a_updates : int;
+  a_churn : int;
+  a_burst : int;
+  a_update_seconds : float;
+  a_lookup : Ipv4.t -> Nexthop.t;
+}
+
+let run_aggr policy ~default_nh rib updates =
+  let open Cfca_aggr in
+  let churn = ref 0 in
+  let t = Aggr.create ~policy ~default_nh () in
+  Aggr.load t (Rib.to_seq rib);
+  let fib_initial = Aggr.fib_size t in
+  Aggr.set_sink t (fun _ -> incr churn);
+  let burst = ref 0 in
+  let seconds = ref 0.0 in
+  Array.iter
+    (fun u ->
+      let before = !churn in
+      let t0 = Unix.gettimeofday () in
+      Aggr.apply t u;
+      seconds := !seconds +. (Unix.gettimeofday () -. t0);
+      let delta = !churn - before in
+      if delta > !burst then burst := delta)
+    updates;
+  {
+    a_name = Aggr.policy_name policy;
+    a_rib_size = Rib.size rib;
+    a_fib_initial = fib_initial;
+    a_fib_final = Aggr.fib_size t;
+    a_compression = float_of_int fib_initial /. float_of_int (Rib.size rib);
+    a_updates = Array.length updates;
+    a_churn = !churn;
+    a_burst = !burst;
+    a_update_seconds = !seconds;
+    a_lookup = Aggr.lookup t;
+  }
+
+type timing = { t_name : string; t_checkpoints : (int * float) list }
+
+let time_updates ?(checkpoints = 4) target ~default_nh rib updates =
+  let name, apply =
+    match target with
+    | `Cached kind ->
+        let system = make_cached kind ~sink:Fib_op.null_sink ~default_nh rib in
+        (kind_name kind, system.c_apply)
+    | `Aggr policy ->
+        let t = Cfca_aggr.Aggr.create ~policy ~default_nh () in
+        Cfca_aggr.Aggr.load t (Rib.to_seq rib);
+        (Cfca_aggr.Aggr.policy_name policy, Cfca_aggr.Aggr.apply t)
+  in
+  let n = Array.length updates in
+  let step = max 1 (n / max 1 checkpoints) in
+  let marks = ref [] in
+  let elapsed = ref 0.0 in
+  Array.iteri
+    (fun i u ->
+      let t0 = Unix.gettimeofday () in
+      apply u;
+      elapsed := !elapsed +. (Unix.gettimeofday () -. t0);
+      if (i + 1) mod step = 0 || i + 1 = n then
+        marks := (i + 1, !elapsed) :: !marks)
+    updates;
+  (* keep only the distinct marks, ascending *)
+  let marks =
+    List.sort_uniq (fun (a, _) (b, _) -> compare a b) !marks
+  in
+  { t_name = name; t_checkpoints = marks }

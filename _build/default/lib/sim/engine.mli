@@ -1,0 +1,120 @@
+(** The trace-driven simulator of the paper's §4: replays a mixed
+    packet/BGP-update trace against a caching system (CFCA or PFCA) or
+    an update trace against an aggregation-only system (FAQS, FIFA-S),
+    collecting every metric the evaluation reports. *)
+
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_rib
+open Cfca_traffic
+open Cfca_dataplane
+open Cfca_tcam
+
+type kind = Cfca | Pfca
+
+val kind_name : kind -> string
+
+(** Per-100K-packets measurement window (Fig. 9/10 series). *)
+type window = {
+  w_packets : int;
+  w_l1_misses : int;
+  w_l2_misses : int;
+  w_l1_installs : int;
+  w_l1_evictions : int;
+  w_l2_installs : int;
+  w_l2_evictions : int;
+  w_updates : int;  (** BGP updates processed in this window *)
+  w_updates_l1 : int;  (** of which touched the L1 cache *)
+}
+
+type run_result = {
+  r_name : string;
+  r_config : Config.t;
+  r_windows : window array;
+  r_totals : Pipeline.stats;
+  r_rib_size : int;  (** routes loaded initially *)
+  r_fib_initial : int;  (** installed FIB entries right after load *)
+  r_fib_final : int;
+  r_updates : int;  (** BGP updates replayed *)
+  r_updates_l1 : int;  (** updates causing at least one L1 change *)
+  r_burst_l1 : int;  (** max L1 changes from a single update *)
+  r_update_seconds : float;  (** control-plane time spent in update handling *)
+  r_tcam : Tcam.stats;
+  r_lookup : Ipv4.t -> Nexthop.t;  (** forwarding function after the run (verification) *)
+}
+
+val run :
+  ?window:int ->
+  ?seed:int ->
+  kind ->
+  Config.t ->
+  default_nh:Nexthop.t ->
+  Rib.t ->
+  Trace.spec ->
+  run_result
+(** Cold-start replay: load the RIB (installs go to DRAM and do not
+    count as churn), then replay the trace. [window] defaults to
+    100_000 packets as in the paper's figures. *)
+
+val run_events :
+  ?window:int ->
+  ?seed:int ->
+  kind ->
+  Config.t ->
+  default_nh:Nexthop.t ->
+  Rib.t ->
+  ((time:float -> Trace.event -> unit) -> unit) ->
+  run_result
+(** Like {!run} but over an arbitrary event iterator — the hook for
+    replaying captured workloads. *)
+
+val run_capture :
+  ?window:int ->
+  ?seed:int ->
+  kind ->
+  Config.t ->
+  default_nh:Nexthop.t ->
+  Rib.t ->
+  pcap:string ->
+  updates:Bgp_update.t array ->
+  (run_result, string) result
+(** Replay a real packet capture (classic pcap, as CAIDA ships) with a
+    BGP update stream (e.g. from {!Cfca_bgp.Mrt.read_update_file})
+    spread evenly across it. Packet timestamps come from the capture.
+    Needs two passes over the file (the update spacing depends on the
+    packet count). *)
+
+type aggr_result = {
+  a_name : string;
+  a_rib_size : int;
+  a_fib_initial : int;
+  a_fib_final : int;
+  a_compression : float;  (** initial FIB size / RIB size, the Table 3 ratio *)
+  a_updates : int;
+  a_churn : int;  (** total FIB changes caused by the updates *)
+  a_burst : int;  (** max FIB changes from a single update *)
+  a_update_seconds : float;
+  a_lookup : Ipv4.t -> Nexthop.t;
+}
+
+val run_aggr :
+  Cfca_aggr.Aggr.policy ->
+  default_nh:Nexthop.t ->
+  Rib.t ->
+  Bgp_update.t array ->
+  aggr_result
+
+type timing = { t_name : string; t_checkpoints : (int * float) list }
+(** Cumulative control-plane seconds after each checkpoint count of
+    updates (Fig. 12's x/y series). *)
+
+val time_updates :
+  ?checkpoints:int ->
+  [ `Cached of kind | `Aggr of Cfca_aggr.Aggr.policy ] ->
+  default_nh:Nexthop.t ->
+  Rib.t ->
+  Bgp_update.t array ->
+  timing
+(** Update-handling time sweep: replay the update array (no packets)
+    and record cumulative time at [checkpoints] (default 4) evenly
+    spaced marks. *)

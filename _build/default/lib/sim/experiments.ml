@@ -1,0 +1,384 @@
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_trie
+open Cfca_rib
+open Cfca_traffic
+open Cfca_dataplane
+
+type scale = {
+  rib_size : int;
+  packets : int;
+  updates : int;
+  pps : float;
+  peers : int;
+  zipf_exponent : float;
+  seed : int;
+}
+
+let standard_scale =
+  {
+    rib_size = 60_000;
+    packets = 3_000_000;
+    updates = 4_560;
+    pps = 1e6;
+    peers = 32;
+    zipf_exponent = 1.55;
+    seed = 42;
+  }
+
+let heavy_scale =
+  {
+    rib_size = 72_000;
+    packets = 7_000_000;
+    updates = 120_000;
+    pps = 2.2e6;
+    peers = 32;
+    zipf_exponent = 1.55;
+    seed = 43;
+  }
+
+let with_size scale ~rib_size ~packets ~updates =
+  { scale with rib_size; packets; updates }
+
+type workload = {
+  rib : Rib.t;
+  spec : Trace.spec;
+  updates_arr : Bgp_update.t array;
+  default_nh : Nexthop.t;
+  scale : scale;
+}
+
+(* The default next-hop is kept outside the peer range so that default
+   forwarding is distinguishable in verification. *)
+let default_nh_of scale = Nexthop.of_int (min 62 (scale.peers + 1))
+
+let build_workload scale =
+  let rib =
+    Rib_gen.generate
+      {
+        Rib_gen.size = scale.rib_size;
+        peers = scale.peers;
+        locality = 0.80;
+        seed = scale.seed;
+      }
+  in
+  let flow_params =
+    {
+      Flow_gen.default_params with
+      Flow_gen.zipf_exponent = scale.zipf_exponent;
+      mean_train = 24.0;
+      seed = scale.seed lxor 0xF00;
+    }
+  in
+  (* the popularity ranking used by the trace also drives the
+     unpopular-biased update generator *)
+  let probe_spec = Trace.make ~flow_params ~packets:0 ~updates:[||] () in
+  let flow = Trace.flow_gen probe_spec rib in
+  let updates_arr =
+    Update_gen.generate
+      {
+        Update_gen.default_params with
+        Update_gen.count = scale.updates;
+        peers = scale.peers;
+        seed = scale.seed lxor 0xBEEF;
+      }
+      flow
+  in
+  let spec =
+    Trace.make ~flow_params ~pps:scale.pps ~packets:scale.packets
+      ~updates:updates_arr ()
+  in
+  { rib; spec; updates_arr; default_nh = default_nh_of scale; scale }
+
+let cache_ratios = [| (0.83, 1.67); (1.67, 2.50); (2.50, 3.34) |]
+
+let config_for workload (l1_pct, l2_pct) =
+  let of_pct pct =
+    max 64 (int_of_float (pct /. 100.0 *. float_of_int (Rib.size workload.rib)))
+  in
+  Config.make ~l1_capacity:(of_pct l1_pct) ~l2_capacity:(of_pct l2_pct) ()
+
+type standard_results = {
+  workload : workload;
+  cfca_runs : Engine.run_result array;
+  pfca_runs : Engine.run_result array;
+}
+
+let run_standard ?(scale = standard_scale) () =
+  let workload = build_workload scale in
+  let run kind ratios =
+    Engine.run kind
+      (config_for workload ratios)
+      ~default_nh:workload.default_nh workload.rib workload.spec
+  in
+  {
+    workload;
+    cfca_runs = Array.map (run Engine.Cfca) cache_ratios;
+    pfca_runs = Array.map (run Engine.Pfca) cache_ratios;
+  }
+
+type table2_row = {
+  t2_system : string;
+  t2_l1_ratio : float;
+  t2_l1 : int;
+  t2_l2 : int;
+  t2_l1_miss : float;
+  t2_l2_miss : float;
+  t2_l1_installs : int;
+  t2_l2_installs : int;
+  t2_l1_churn : int;
+  t2_l1_burst : int;
+}
+
+let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let table2_row ratios (r : Engine.run_result) =
+  let open Cfca_dataplane.Pipeline in
+  let s = r.Engine.r_totals in
+  {
+    t2_system = r.Engine.r_name;
+    t2_l1_ratio = fst ratios;
+    t2_l1 = r.Engine.r_config.Config.l1_capacity;
+    t2_l2 = r.Engine.r_config.Config.l2_capacity;
+    t2_l1_miss = pct s.l1_misses s.packets;
+    t2_l2_miss = pct s.l2_misses s.packets;
+    t2_l1_installs = s.l1_installs;
+    t2_l2_installs = s.l2_installs;
+    t2_l1_churn = s.bgp_l1;
+    t2_l1_burst = r.Engine.r_burst_l1;
+  }
+
+let table2 results =
+  let rows_of runs =
+    Array.to_list (Array.mapi (fun i r -> table2_row cache_ratios.(i) r) runs)
+  in
+  rows_of results.cfca_runs @ rows_of results.pfca_runs
+
+type table3_row = {
+  t3_system : string;
+  t3_compression : float;
+  t3_churn : int;
+  t3_burst : int;
+}
+
+let table3 results =
+  let workload = results.workload in
+  let cfca = results.cfca_runs.(Array.length results.cfca_runs - 1) in
+  let open Cfca_dataplane.Pipeline in
+  let s = cfca.Engine.r_totals in
+  let cfca_row =
+    {
+      t3_system = "CFCA";
+      (* the paper compares the L1 cache footprint against the
+         aggregation schemes' full-FIB footprint *)
+      t3_compression =
+        100.0
+        *. float_of_int cfca.Engine.r_config.Config.l1_capacity
+        /. float_of_int cfca.Engine.r_rib_size;
+      t3_churn = s.l1_installs + s.l1_evictions + s.bgp_l1;
+      t3_burst = cfca.Engine.r_burst_l1;
+    }
+  in
+  let aggr_row policy =
+    let a =
+      Engine.run_aggr policy ~default_nh:workload.default_nh workload.rib
+        workload.updates_arr
+    in
+    {
+      t3_system = a.Engine.a_name;
+      t3_compression = 100.0 *. a.Engine.a_compression;
+      t3_churn = a.Engine.a_churn;
+      t3_burst = a.Engine.a_burst;
+    }
+  in
+  [ cfca_row; aggr_row Cfca_aggr.Aggr.Faqs; aggr_row Cfca_aggr.Aggr.Fifa ]
+
+let largest runs = runs.(Array.length runs - 1)
+
+let fig9 results =
+  [
+    ("CFCA", (largest results.cfca_runs).Engine.r_windows);
+    ("PFCA", (largest results.pfca_runs).Engine.r_windows);
+  ]
+
+let fig10a = fig9
+
+let fig10b = fig9
+
+let fig11 ?(scale = heavy_scale) () =
+  let workload = build_workload scale in
+  (* §4.4 uses 20K/30K caches against 725K routes: 2.76 % / 4.14 % *)
+  let cfg = config_for workload (2.76, 4.14) in
+  Engine.run Engine.Cfca cfg ~default_nh:workload.default_nh workload.rib
+    workload.spec
+
+let fig12 ?(scale = heavy_scale) () =
+  let workload = build_workload { scale with packets = 0 } in
+  let time target =
+    Engine.time_updates target ~default_nh:workload.default_nh workload.rib
+      workload.updates_arr
+  in
+  [
+    time (`Cached Engine.Cfca);
+    time (`Cached Engine.Pfca);
+    time (`Aggr Cfca_aggr.Aggr.Faqs);
+    time (`Aggr Cfca_aggr.Aggr.Fifa);
+  ]
+
+type ablation_row = {
+  ab_label : string;
+  ab_l1_miss : float;
+  ab_l2_miss : float;
+  ab_l1_installs : int;
+  ab_l1_evictions : int;
+  ab_tcam_writes : int;
+}
+
+let ablation_run workload cfg label =
+  let r =
+    Engine.run Engine.Cfca cfg ~default_nh:workload.default_nh workload.rib
+      workload.spec
+  in
+  let s = r.Engine.r_totals in
+  let open Cfca_dataplane.Pipeline in
+  {
+    ab_label = label;
+    ab_l1_miss = pct s.l1_misses s.packets;
+    ab_l2_miss = pct s.l2_misses s.packets;
+    ab_l1_installs = s.l1_installs;
+    ab_l1_evictions = s.l1_evictions;
+    ab_tcam_writes = r.Engine.r_tcam.Cfca_tcam.Tcam.slot_writes;
+  }
+
+(* Victim selection and LTHD dimensioning only matter under eviction
+   pressure: run those ablations with a flatter popularity curve and the
+   smallest cache so the L1 actually churns. *)
+let pressured_workload scale =
+  build_workload { scale with zipf_exponent = 1.30 }
+
+let ablation_victim ?(scale = standard_scale) () =
+  let workload = pressured_workload scale in
+  let base = config_for workload cache_ratios.(0) in
+  List.map
+    (fun policy ->
+      ablation_run workload
+        { base with Config.victim_policy = policy }
+        (Config.policy_name policy))
+    [ Config.Lthd_policy; Config.Random_policy; Config.Lfu_oracle ]
+
+let ablation_lthd ?(scale = standard_scale) () =
+  let workload = pressured_workload scale in
+  let base = config_for workload cache_ratios.(0) in
+  List.map
+    (fun (stages, width) ->
+      ablation_run workload
+        { base with Config.lthd_stages = stages; lthd_width = width }
+        (Printf.sprintf "%d stages x %d slots" stages width))
+    [ (1, 10); (2, 10); (4, 10); (4, 40); (8, 40) ]
+
+let ablation_thresholds ?(scale = standard_scale) () =
+  let workload = pressured_workload scale in
+  let base = config_for workload cache_ratios.(0) in
+  List.map
+    (fun (dram, l2) ->
+      ablation_run workload
+        { base with Config.dram_threshold = dram; l2_threshold = l2 }
+        (Printf.sprintf "DRAM>=%d L2>=%d per min" dram l2))
+    [ (10, 30); (50, 150); (100, 300); (300, 900); (1000, 3000) ]
+
+let ablation_zipf ?(scale = standard_scale) () =
+  List.concat_map
+    (fun exponent ->
+      let workload = build_workload { scale with zipf_exponent = exponent } in
+      let cfg = config_for workload cache_ratios.(2) in
+      let cfca = ablation_run workload cfg (Printf.sprintf "CFCA  zipf %.2f" exponent) in
+      let pfca =
+        let r =
+          Engine.run Engine.Pfca cfg ~default_nh:workload.default_nh
+            workload.rib workload.spec
+        in
+        let s = r.Engine.r_totals in
+        let open Cfca_dataplane.Pipeline in
+        {
+          ab_label = Printf.sprintf "PFCA  zipf %.2f" exponent;
+          ab_l1_miss = pct s.l1_misses s.packets;
+          ab_l2_miss = pct s.l2_misses s.packets;
+          ab_l1_installs = s.l1_installs;
+          ab_l1_evictions = s.l1_evictions;
+          ab_tcam_writes = r.Engine.r_tcam.Cfca_tcam.Tcam.slot_writes;
+        }
+      in
+      [ cfca; pfca ])
+    [ 1.2; 1.4; 1.55; 1.7; 1.9 ]
+
+type robustness_row = {
+  rb_system : string;
+  rb_mean : float;
+  rb_min : float;
+  rb_max : float;
+  rb_seeds : int;
+}
+
+let robustness ?(scale = standard_scale) ?(seeds = [ 101; 202; 303; 404; 505 ]) () =
+  let scale =
+    with_size scale
+      ~rib_size:(scale.rib_size * 2 / 5)
+      ~packets:(scale.packets * 2 / 5)
+      ~updates:(scale.updates * 2 / 5)
+  in
+  let miss kind seed =
+    let workload = build_workload { scale with seed } in
+    let cfg = config_for workload cache_ratios.(2) in
+    let r =
+      Engine.run kind cfg ~default_nh:workload.default_nh workload.rib
+        workload.spec
+    in
+    let s = r.Engine.r_totals in
+    pct s.Cfca_dataplane.Pipeline.l1_misses s.Cfca_dataplane.Pipeline.packets
+  in
+  let summarize name kind =
+    let values = List.map (miss kind) seeds in
+    {
+      rb_system = name;
+      rb_mean = List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values);
+      rb_min = List.fold_left min infinity values;
+      rb_max = List.fold_left max neg_infinity values;
+      rb_seeds = List.length seeds;
+    }
+  in
+  [ summarize "CFCA" Engine.Cfca; summarize "PFCA" Engine.Pfca ]
+
+let verify_forwarding workload systems =
+  (* reference: a plain LPM table that saw the same final state *)
+  let model = Lpm.create () in
+  Lpm.add model Prefix.default workload.default_nh;
+  Array.iter (fun (p, nh) -> Lpm.add model p nh) (Rib.entries workload.rib);
+  Array.iter
+    (fun (u : Bgp_update.t) ->
+      match u.action with
+      | Bgp_update.Announce nh -> Lpm.add model u.prefix nh
+      | Bgp_update.Withdraw -> Lpm.remove model u.prefix)
+    workload.updates_arr;
+  let st = Random.State.make [| workload.scale.seed; 0x7E57 |] in
+  let exception Mismatch of string in
+  try
+    for _ = 1 to 20_000 do
+      let a = Ipv4.random st in
+      let want =
+        match Lpm.lookup model a with
+        | Some (_, nh) -> nh
+        | None -> workload.default_nh
+      in
+      List.iter
+        (fun (name, lookup) ->
+          let got = lookup a in
+          if not (Nexthop.equal got want) then
+            raise
+              (Mismatch
+                 (Printf.sprintf "%s forwards %s to %s, reference says %s" name
+                    (Ipv4.to_string a) (Nexthop.to_string got)
+                    (Nexthop.to_string want))))
+        systems
+    done;
+    Ok ()
+  with Mismatch msg -> Error msg

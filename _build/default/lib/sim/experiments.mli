@@ -1,0 +1,145 @@
+(** The paper's evaluation (§4), experiment by experiment.
+
+    Every table and figure of the paper has a generator here; the
+    workload is a synthetic, deterministically seeded scale model of the
+    paper's RouteViews + CAIDA setup (see DESIGN.md for the
+    substitution argument). Scales are expressed relative to the RIB so
+    the cache-size {e ratios} match the paper exactly (5K/10K/15K L1
+    caches against a 599K-route table = 0.83 % / 1.67 % / 2.50 %). *)
+
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_rib
+open Cfca_traffic
+
+type scale = {
+  rib_size : int;
+  packets : int;
+  updates : int;
+  pps : float;
+  peers : int;
+  zipf_exponent : float;
+  seed : int;
+}
+
+val standard_scale : scale
+(** 1:10-ish scale model of the paper's first trace: 60 K routes, 3 M
+    packets, 4,560 updates at 1 M pps. *)
+
+val heavy_scale : scale
+(** Scale model of §4.4's heavier trace: larger RIB, more packets, a
+    much denser update stream. *)
+
+val with_size : scale -> rib_size:int -> packets:int -> updates:int -> scale
+
+type workload = {
+  rib : Rib.t;
+  spec : Trace.spec;
+  updates_arr : Bgp_update.t array;
+  default_nh : Nexthop.t;
+  scale : scale;
+}
+
+val build_workload : scale -> workload
+
+val cache_ratios : (float * float) array
+(** The paper's three (L1, L2) cache-size ratios of the FIB:
+    (0.83, 1.67), (1.67, 2.50), (2.50, 3.34) percent. *)
+
+val config_for : workload -> float * float -> Cfca_dataplane.Config.t
+
+(** Results of the standard trace replayed by CFCA and PFCA at all
+    three cache sizes — the data behind Table 2, Fig. 9 and Fig. 10. *)
+type standard_results = {
+  workload : workload;
+  cfca_runs : Engine.run_result array;
+  pfca_runs : Engine.run_result array;
+}
+
+val run_standard : ?scale:scale -> unit -> standard_results
+
+type table2_row = {
+  t2_system : string;
+  t2_l1_ratio : float;  (** L1 size as % of the FIB *)
+  t2_l1 : int;
+  t2_l2 : int;
+  t2_l1_miss : float;  (** percent *)
+  t2_l2_miss : float;
+  t2_l1_installs : int;
+  t2_l2_installs : int;
+  t2_l1_churn : int;  (** BGP-caused L1 changes *)
+  t2_l1_burst : int;
+}
+
+val table2 : standard_results -> table2_row list
+
+type table3_row = {
+  t3_system : string;
+  t3_compression : float;  (** FIB (or L1 cache) size as % of routes *)
+  t3_churn : int;  (** total churn incl. installs, evictions, updates *)
+  t3_burst : int;
+}
+
+val table3 : standard_results -> table3_row list
+(** CFCA's row is derived from the 2.50 % run of [standard_results];
+    FAQS and FIFA-S replay the same update stream standalone. *)
+
+val fig9 : standard_results -> (string * Engine.window array) list
+(** Per-100K-packet L1/L2 miss series for CFCA and PFCA at the largest
+    cache configuration. *)
+
+val fig10a : standard_results -> (string * Engine.window array) list
+(** L1 installation series (same runs as {!fig9}). *)
+
+val fig10b : standard_results -> (string * Engine.window array) list
+(** BGP updates applied to L1 vs total, per window. *)
+
+val fig11 : ?scale:scale -> unit -> Engine.run_result
+(** CFCA under the heavier trace (20K/30K-equivalent caches). *)
+
+val fig12 : ?scale:scale -> unit -> Engine.timing list
+(** Update-handling-time sweep for CFCA, PFCA, FAQS and FIFA-S over the
+    heavy update trace. *)
+
+(** Ablation studies of the design choices DESIGN.md calls out. Each
+    row replays the standard trace through CFCA at the 2.50 % cache
+    configuration with one knob changed. *)
+type ablation_row = {
+  ab_label : string;
+  ab_l1_miss : float;  (** percent *)
+  ab_l2_miss : float;
+  ab_l1_installs : int;
+  ab_l1_evictions : int;
+  ab_tcam_writes : int;  (** estimated physical TCAM slot writes *)
+}
+
+val ablation_victim : ?scale:scale -> unit -> ablation_row list
+(** LTHD vs random vs exact-LFU-oracle victim selection. *)
+
+val ablation_lthd : ?scale:scale -> unit -> ablation_row list
+(** LTHD pipeline dimensions (stages x width). *)
+
+val ablation_thresholds : ?scale:scale -> unit -> ablation_row list
+(** Promotion-threshold (DRAM->L2 / L2->L1) sweep. *)
+
+val ablation_zipf : ?scale:scale -> unit -> ablation_row list
+(** Traffic-skew sensitivity: CFCA and PFCA across Zipf exponents. *)
+
+type robustness_row = {
+  rb_system : string;
+  rb_mean : float;  (** mean L1 miss % across seeds *)
+  rb_min : float;
+  rb_max : float;
+  rb_seeds : int;
+}
+
+val robustness : ?scale:scale -> ?seeds:int list -> unit -> robustness_row list
+(** The headline CFCA-vs-PFCA comparison repeated across independently
+    seeded workloads (2.50 % caches): the conclusion must not be a seed
+    artifact. Defaults to 5 seeds at 40 %% of the standard scale. *)
+
+val verify_forwarding :
+  workload -> (string * (Ipv4.t -> Nexthop.t)) list -> (unit, string) result
+(** Post-run sanity check in the spirit of the paper's VeriTable usage:
+    sample addresses and require every system to agree with a reference
+    LPM table that replayed the same updates. *)

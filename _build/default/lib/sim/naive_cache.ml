@@ -1,0 +1,85 @@
+open Cfca_prefix
+open Cfca_trie
+open Cfca_rib
+
+type t = {
+  full : Nexthop.t Lpm.t;
+  cache : Nexthop.t Lpm.t;
+  slots : Prefix.t array;  (* resident prefixes, for random eviction *)
+  mutable filled : int;
+  default_nh : Nexthop.t;
+  rng : Random.State.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable errors : int;
+}
+
+type outcome = Cache_hit of Nexthop.t | Cache_miss of Nexthop.t
+
+let create ?(seed = 0xBAD) ~capacity ~default_nh rib =
+  if capacity <= 0 then invalid_arg "Naive_cache.create: capacity";
+  let full = Lpm.create () in
+  Lpm.add full Prefix.default default_nh;
+  Array.iter (fun (p, nh) -> Lpm.add full p nh) (Rib.entries rib);
+  {
+    full;
+    cache = Lpm.create ();
+    slots = Array.make capacity Prefix.default;
+    filled = 0;
+    default_nh;
+    rng = Random.State.make [| seed |];
+    hits = 0;
+    misses = 0;
+    errors = 0;
+  }
+
+let truth t addr =
+  match Lpm.lookup t.full addr with
+  | Some (_, nh) -> nh
+  | None -> t.default_nh
+
+let install t p nh =
+  if Lpm.mem t.cache p then Lpm.add t.cache p nh
+  else begin
+    let slot =
+      if t.filled < Array.length t.slots then begin
+        let i = t.filled in
+        t.filled <- t.filled + 1;
+        i
+      end
+      else begin
+        let i = Random.State.int t.rng (Array.length t.slots) in
+        Lpm.remove t.cache t.slots.(i);
+        i
+      end
+    in
+    t.slots.(slot) <- p;
+    Lpm.add t.cache p nh
+  end
+
+let process t addr =
+  match Lpm.lookup t.cache addr with
+  | Some (_, nh) ->
+      t.hits <- t.hits + 1;
+      (* the cache answers — but a more specific route may be hiding in
+         the slow path *)
+      if not (Nexthop.equal nh (truth t addr)) then t.errors <- t.errors + 1;
+      Cache_hit nh
+  | None ->
+      t.misses <- t.misses + 1;
+      let nh =
+        match Lpm.lookup t.full addr with
+        | Some (p, nh) ->
+            install t p nh;
+            nh
+        | None -> t.default_nh
+      in
+      Cache_miss nh
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let forwarding_errors t = t.errors
+
+let resident t = Lpm.cardinal t.cache

@@ -1,0 +1,35 @@
+(** The strawman the paper's §2 warns against: caching {e original}
+    (overlapping) routes with no prefix extension and no dependency
+    tracking.
+
+    When a less specific prefix is cached while a more specific one
+    stays in the slow path, the cache's longest match is wrong —
+    {e cache hiding}. This baseline exists to demonstrate the failure
+    concretely: {!process} forwards from the cache whenever it matches
+    and counts every disagreement with the full table. CFCA/PFCA make
+    such disagreements impossible by construction (their installed sets
+    are non-overlapping); the test-suite asserts this baseline really
+    does mis-forward on nested tables. *)
+
+open Cfca_prefix
+open Cfca_rib
+
+type t
+
+val create : ?seed:int -> capacity:int -> default_nh:Nexthop.t -> Rib.t -> t
+
+type outcome = Cache_hit of Nexthop.t | Cache_miss of Nexthop.t
+
+val process : t -> Ipv4.t -> outcome
+(** Forward one packet: the cache's decision on a hit (possibly wrong!),
+    the full table's on a miss. A miss installs the matched route,
+    evicting a uniformly random resident entry when full. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val forwarding_errors : t -> int
+(** Packets the cache forwarded differently from the full table. *)
+
+val resident : t -> int

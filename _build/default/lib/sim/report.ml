@@ -1,0 +1,168 @@
+open Experiments
+
+let hr width = print_endline (String.make width '-')
+
+let print_table2 rows =
+  Printf.printf "%-6s %7s %8s %8s %10s %10s %10s %10s %9s %6s\n" "system"
+    "L1 %" "L1 size" "L2 size" "L1 miss %" "L2 miss %" "L1 inst" "L2 inst"
+    "L1 churn" "burst";
+  hr 94;
+  List.iter
+    (fun r ->
+      Printf.printf "%-6s %7.2f %8d %8d %10.3f %10.3f %10d %10d %9d %6d\n"
+        r.t2_system r.t2_l1_ratio r.t2_l1 r.t2_l2 r.t2_l1_miss r.t2_l2_miss
+        r.t2_l1_installs r.t2_l2_installs r.t2_l1_churn r.t2_l1_burst)
+    rows
+
+let print_table3 rows =
+  Printf.printf "%-8s %15s %10s %6s\n" "system" "compression %" "churn" "burst";
+  hr 44;
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %15.2f %10d %6d\n" r.t3_system r.t3_compression
+        r.t3_churn r.t3_burst)
+    rows
+
+let miss_pct mis packets =
+  if packets = 0 then 0.0 else 100.0 *. float_of_int mis /. float_of_int packets
+
+let print_miss_series series =
+  List.iter
+    (fun (name, windows) ->
+      let total_p = ref 0 and total_m1 = ref 0 and total_m2 = ref 0 in
+      Printf.printf "\n%s: cache-miss ratio per window (%%)\n" name;
+      Printf.printf "%8s %10s %10s\n" "window" "L1 miss" "L2 miss";
+      hr 30;
+      Array.iteri
+        (fun i (w : Engine.window) ->
+          total_p := !total_p + w.Engine.w_packets;
+          total_m1 := !total_m1 + w.Engine.w_l1_misses;
+          total_m2 := !total_m2 + w.Engine.w_l2_misses;
+          Printf.printf "%8d %10.3f %10.3f\n" (i + 1)
+            (miss_pct w.Engine.w_l1_misses w.Engine.w_packets)
+            (miss_pct w.Engine.w_l2_misses w.Engine.w_packets))
+        windows;
+      Printf.printf "%8s %10.3f %10.3f  (average)\n" "-"
+        (miss_pct !total_m1 !total_p)
+        (miss_pct !total_m2 !total_p))
+    series
+
+let print_install_series series =
+  List.iter
+    (fun (name, windows) ->
+      Printf.printf "\n%s: L1 cache installations / evictions per window\n" name;
+      Printf.printf "%8s %10s %10s %12s\n" "window" "installs" "evictions"
+        "cumulative";
+      hr 44;
+      let cum = ref 0 in
+      Array.iteri
+        (fun i (w : Engine.window) ->
+          cum := !cum + w.Engine.w_l1_installs;
+          Printf.printf "%8d %10d %10d %12d\n" (i + 1) w.Engine.w_l1_installs
+            w.Engine.w_l1_evictions !cum)
+        windows)
+    series
+
+let print_update_series series =
+  List.iter
+    (fun (name, windows) ->
+      Printf.printf "\n%s: BGP updates per window (total vs applied to L1)\n"
+        name;
+      Printf.printf "%8s %10s %10s %12s %12s\n" "window" "total" "in L1"
+        "cum total" "cum L1";
+      hr 56;
+      let ct = ref 0 and cl = ref 0 in
+      Array.iteri
+        (fun i (w : Engine.window) ->
+          ct := !ct + w.Engine.w_updates;
+          cl := !cl + w.Engine.w_updates_l1;
+          Printf.printf "%8d %10d %10d %12d %12d\n" (i + 1) w.Engine.w_updates
+            w.Engine.w_updates_l1 !ct !cl)
+        windows)
+    series
+
+let print_run_summary (r : Engine.run_result) =
+  let open Cfca_dataplane in
+  let s = r.Engine.r_totals in
+  Printf.printf "%s | L1=%d L2=%d | packets=%d\n" r.Engine.r_name
+    r.Engine.r_config.Config.l1_capacity r.Engine.r_config.Config.l2_capacity
+    s.Pipeline.packets;
+  Printf.printf
+    "  L1 miss %.3f%%  L2 miss %.3f%%  (hit ratio %.2f%% with %.2f%% of the \
+     FIB in L1)\n"
+    (miss_pct s.Pipeline.l1_misses s.Pipeline.packets)
+    (miss_pct s.Pipeline.l2_misses s.Pipeline.packets)
+    (100.0 -. miss_pct s.Pipeline.l1_misses s.Pipeline.packets)
+    (100.0
+    *. float_of_int r.Engine.r_config.Config.l1_capacity
+    /. float_of_int r.Engine.r_rib_size);
+  Printf.printf "  installs L1=%d L2=%d  evictions L1=%d L2=%d\n"
+    s.Pipeline.l1_installs s.Pipeline.l2_installs s.Pipeline.l1_evictions
+    s.Pipeline.l2_evictions;
+  Printf.printf
+    "  BGP: %d updates, %d touched L1 (%.3f%%), burst=%d, %.2f us/update\n"
+    r.Engine.r_updates r.Engine.r_updates_l1
+    (if r.Engine.r_updates = 0 then 0.0
+     else
+       100.0 *. float_of_int r.Engine.r_updates_l1
+       /. float_of_int r.Engine.r_updates)
+    r.Engine.r_burst_l1
+    (if r.Engine.r_updates = 0 then 0.0
+     else 1e6 *. r.Engine.r_update_seconds /. float_of_int r.Engine.r_updates);
+  Printf.printf "  FIB: %d routes -> %d installed initially, %d at end\n"
+    r.Engine.r_rib_size r.Engine.r_fib_initial r.Engine.r_fib_final;
+  Printf.printf "  TCAM: %s\n"
+    (Format.asprintf "%a" Cfca_tcam.Tcam.pp_stats r.Engine.r_tcam)
+
+let print_timings timings =
+  Printf.printf "%-8s" "updates";
+  List.iter (fun (t : Engine.timing) -> Printf.printf " %12s" t.Engine.t_name) timings;
+  print_newline ();
+  hr (8 + (13 * List.length timings));
+  (* checkpoints are aligned across systems (same update array) *)
+  (match timings with
+  | [] -> ()
+  | first :: _ ->
+      List.iteri
+        (fun i (count, _) ->
+          Printf.printf "%-8d" count;
+          List.iter
+            (fun (t : Engine.timing) ->
+              match List.nth_opt t.Engine.t_checkpoints i with
+              | Some (_, secs) -> Printf.printf " %9.1f ms" (1e3 *. secs)
+              | None -> Printf.printf " %12s" "-")
+            timings;
+          print_newline ())
+        first.Engine.t_checkpoints);
+  List.iter
+    (fun (t : Engine.timing) ->
+      match List.rev t.Engine.t_checkpoints with
+      | (count, secs) :: _ when count > 0 ->
+          Printf.printf "%-8s mean %.2f us/update\n" t.Engine.t_name
+            (1e6 *. secs /. float_of_int count)
+      | _ -> ())
+    timings
+
+let print_ablation ~title rows =
+  Printf.printf "%s\n" title;
+  Printf.printf "%-24s %10s %10s %10s %10s %12s\n" "variant" "L1 miss %"
+    "L2 miss %" "L1 inst" "L1 evict" "TCAM writes";
+  hr 82;
+  List.iter
+    (fun (r : Experiments.ablation_row) ->
+      Printf.printf "%-24s %10.3f %10.3f %10d %10d %12d\n"
+        r.Experiments.ab_label r.Experiments.ab_l1_miss r.Experiments.ab_l2_miss
+        r.Experiments.ab_l1_installs r.Experiments.ab_l1_evictions
+        r.Experiments.ab_tcam_writes)
+    rows
+
+let print_robustness rows =
+  Printf.printf "%-8s %8s | %12s %12s %12s\n" "system" "seeds" "mean miss %"
+    "min" "max";
+  hr 60;
+  List.iter
+    (fun (r : Experiments.robustness_row) ->
+      Printf.printf "%-8s %8d | %12.3f %12.3f %12.3f\n"
+        r.Experiments.rb_system r.Experiments.rb_seeds r.Experiments.rb_mean
+        r.Experiments.rb_min r.Experiments.rb_max)
+    rows

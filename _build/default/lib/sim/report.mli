@@ -1,0 +1,26 @@
+(** Plain-text rendering of experiment results, shaped like the paper's
+    tables and figure series. *)
+
+val print_table2 : Experiments.table2_row list -> unit
+
+val print_table3 : Experiments.table3_row list -> unit
+
+val print_miss_series : (string * Engine.window array) list -> unit
+(** Fig. 9 / Fig. 11: L1 and L2 cache-miss %, one row per 100 K-packet
+    window. *)
+
+val print_install_series : (string * Engine.window array) list -> unit
+(** Fig. 10a. *)
+
+val print_update_series : (string * Engine.window array) list -> unit
+(** Fig. 10b: cumulative BGP updates vs updates applied to L1. *)
+
+val print_run_summary : Engine.run_result -> unit
+
+val print_timings : Engine.timing list -> unit
+(** Fig. 12: cumulative handling time at each checkpoint plus the mean
+    per-update cost. *)
+
+val print_ablation : title:string -> Experiments.ablation_row list -> unit
+
+val print_robustness : Experiments.robustness_row list -> unit

@@ -1,0 +1,1 @@
+lib/tcam/tcam.mli: Format

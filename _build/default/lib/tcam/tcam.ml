@@ -1,0 +1,86 @@
+type stats = {
+  installs : int;
+  removes : int;
+  rewrites : int;
+  slot_writes : int;
+}
+
+type t = {
+  cap : int;
+  by_length : int array;  (* index 0..32: entries per prefix length *)
+  mutable total : int;
+  mutable installs : int;
+  mutable removes : int;
+  mutable rewrites : int;
+  mutable slot_writes : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Tcam.create: capacity must be positive";
+  {
+    cap = capacity;
+    by_length = Array.make 129 0;
+    total = 0;
+    installs = 0;
+    removes = 0;
+    rewrites = 0;
+    slot_writes = 0;
+  }
+
+let capacity t = t.cap
+
+let size t = t.total
+
+let is_full t = t.total >= t.cap
+
+let occupancy t = float_of_int t.total /. float_of_int t.cap
+
+(* One boundary move per occupied length group strictly longer than the
+   inserted length, plus the write of the entry itself. *)
+let chain_moves t len =
+  let moves = ref 0 in
+  for l = len + 1 to 128 do
+    if t.by_length.(l) > 0 then incr moves
+  done;
+  !moves
+
+let install t len =
+  if len < 0 || len > 128 then invalid_arg "Tcam.install: bad prefix length";
+  if is_full t then invalid_arg "Tcam.install: full";
+  t.slot_writes <- t.slot_writes + 1 + chain_moves t len;
+  t.by_length.(len) <- t.by_length.(len) + 1;
+  t.total <- t.total + 1;
+  t.installs <- t.installs + 1
+
+let remove t len =
+  if len < 0 || len > 128 || t.by_length.(len) = 0 then
+    invalid_arg "Tcam.remove: no entry of that length";
+  (* deletion is a single valid-bit clear; the hole is reused later *)
+  t.slot_writes <- t.slot_writes + 1;
+  t.by_length.(len) <- t.by_length.(len) - 1;
+  t.total <- t.total - 1;
+  t.removes <- t.removes + 1
+
+let rewrite t =
+  t.slot_writes <- t.slot_writes + 1;
+  t.rewrites <- t.rewrites + 1
+
+let length_histogram t = Array.copy t.by_length
+
+let stats t : stats =
+  {
+    installs = t.installs;
+    removes = t.removes;
+    rewrites = t.rewrites;
+    slot_writes = t.slot_writes;
+  }
+
+let reset_stats t =
+  t.installs <- 0;
+  t.removes <- 0;
+  t.rewrites <- 0;
+  t.slot_writes <- 0
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "installs=%d removes=%d rewrites=%d slot_writes=%d"
+    s.installs s.removes s.rewrites s.slot_writes

@@ -1,0 +1,56 @@
+(** A behavioural model of a TCAM forwarding chip.
+
+    The model tracks occupancy and — because the paper's motivation is
+    that "a single entry insertion can require up to 1,000 operations in
+    a TCAM" (He et al.) — estimates the low-level slot writes behind
+    every logical FIB change. TCAM banks must keep longer prefixes at
+    higher match priority; with the standard length-ordered layout, an
+    insert at prefix length [l] displaces one boundary entry per
+    occupied length group longer than [l] (the chain-move scheme).
+    In-place next-hop rewrites touch only the associated SRAM word and
+    cost a single write.
+
+    The model is deliberately independent of what is stored: callers
+    pass prefix lengths. *)
+
+type t
+
+type stats = {
+  installs : int;  (** logical entry insertions *)
+  removes : int;  (** logical entry deletions *)
+  rewrites : int;  (** in-place next-hop updates *)
+  slot_writes : int;
+      (** estimated physical slot writes, including chain moves *)
+}
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if capacity is not positive. *)
+
+val capacity : t -> int
+
+val size : t -> int
+
+val is_full : t -> bool
+
+val occupancy : t -> float
+(** [size / capacity]. *)
+
+val install : t -> int -> unit
+(** [install t len] adds an entry with prefix length [len].
+    @raise Invalid_argument if the TCAM is full or [len] is outside
+    [0, 128] (both address families share the model). *)
+
+val remove : t -> int -> unit
+(** @raise Invalid_argument if no entry of that length is present. *)
+
+val rewrite : t -> unit
+(** In-place next-hop update of an existing entry. *)
+
+val length_histogram : t -> int array
+(** 129 buckets: how many entries of each prefix length are present. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/traffic/flow_gen.ml: Array Cfca_prefix Cfca_rib Float Hashtbl Ipv4 Prefix Random Zipf

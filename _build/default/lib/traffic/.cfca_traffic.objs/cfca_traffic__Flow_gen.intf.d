@@ -1,0 +1,1 @@
+lib/traffic/flow_gen.mli: Cfca_prefix Cfca_rib Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/traffic/trace.ml: Array Bgp_update Cfca_bgp Cfca_prefix Flow_gen Ipv4

@@ -1,0 +1,1 @@
+lib/traffic/trace.mli: Bgp_update Cfca_bgp Cfca_prefix Cfca_rib Flow_gen Ipv4

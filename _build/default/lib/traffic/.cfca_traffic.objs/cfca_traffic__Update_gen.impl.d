@@ -1,0 +1,1 @@
+lib/traffic/update_gen.ml: Array Bgp_update Cfca_bgp Cfca_prefix Flow_gen List Nexthop Prefix Random

@@ -1,0 +1,1 @@
+lib/traffic/update_gen.mli: Bgp_update Cfca_bgp Flow_gen

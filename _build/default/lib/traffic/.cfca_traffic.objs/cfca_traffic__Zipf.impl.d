@@ -1,0 +1,1 @@
+lib/traffic/zipf.ml: Array Float Random

@@ -1,0 +1,84 @@
+open Cfca_prefix
+
+type params = {
+  flow_slots : int;
+  mean_train : float;
+  zipf_exponent : float;
+  seed : int;
+}
+
+let default_params =
+  { flow_slots = 256; mean_train = 12.0; zipf_exponent = 1.0; seed = 7 }
+
+type flow = { mutable dst : Ipv4.t; mutable remaining : int }
+
+type t = {
+  params : params;
+  zipf : Zipf.t;
+  ranked : Prefix.t array;  (* index = popularity rank *)
+  rank_tbl : (Prefix.t, int) Hashtbl.t;
+  flows : flow array;
+  st : Random.State.t;
+}
+
+(* Popularity is spatially correlated: traffic concentrates on a small
+   set of destination ASes, and an AS's prefixes live in the same
+   address region. Ranks are therefore assigned by ordering /12 regions
+   pseudo-randomly and prefixes pseudo-randomly within a region, instead
+   of by an uncorrelated global shuffle — this is what lets aggregated
+   cache entries (which merge adjacent prefixes) concentrate traffic. *)
+let cluster_rank params st prefixes =
+  let salt = Random.State.bits st in
+  let key p =
+    let bits = Ipv4.to_int (Prefix.network p) in
+    let region = Ipv4.hash (Ipv4.of_int ((bits lsr 20) lsl 20)) lxor salt in
+    let fine = Ipv4.hash (Ipv4.of_int bits) lxor params.seed in
+    ((region land 0xFFFF) lsl 24) lor (fine land 0xFFFFFF)
+  in
+  Array.sort (fun a b -> compare (key a) (key b)) prefixes
+
+let create params rib =
+  let prefixes = Array.copy (Cfca_rib.Rib.prefixes rib) in
+  if Array.length prefixes = 0 then invalid_arg "Flow_gen.create: empty RIB";
+  if params.flow_slots <= 0 then invalid_arg "Flow_gen.create: flow_slots";
+  if params.mean_train < 1.0 then invalid_arg "Flow_gen.create: mean_train";
+  let st = Random.State.make [| params.seed; 0xF10B |] in
+  cluster_rank params st prefixes;
+  let rank_tbl = Hashtbl.create (Array.length prefixes) in
+  Array.iteri (fun i p -> Hashtbl.replace rank_tbl p i) prefixes;
+  {
+    params;
+    zipf = Zipf.create ~exponent:params.zipf_exponent ~n:(Array.length prefixes) ();
+    ranked = prefixes;
+    rank_tbl;
+    flows =
+      Array.init params.flow_slots (fun _ -> { dst = Ipv4.zero; remaining = 0 });
+    st;
+  }
+
+(* Geometric train length with the configured mean (>= 1 packet). *)
+let train_length t =
+  let p = 1.0 /. t.params.mean_train in
+  let u = Random.State.float t.st 1.0 in
+  1 + int_of_float (Float.log1p (-.u) /. Float.log1p (-.p))
+
+let reseed t flow =
+  let rank = Zipf.draw t.zipf t.st in
+  let prefix = t.ranked.(rank) in
+  flow.dst <- Prefix.random_member t.st prefix;
+  flow.remaining <- train_length t
+
+let next t =
+  let flow = t.flows.(Random.State.int t.st t.params.flow_slots) in
+  if flow.remaining <= 0 then reseed t flow;
+  flow.remaining <- flow.remaining - 1;
+  flow.dst
+
+let rank_of_prefix t p = Hashtbl.find_opt t.rank_tbl p
+
+let prefix_of_rank t r =
+  if r < 0 || r >= Array.length t.ranked then
+    invalid_arg "Flow_gen.prefix_of_rank";
+  t.ranked.(r)
+
+let universe t = Array.length t.ranked

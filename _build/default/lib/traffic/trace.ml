@@ -1,0 +1,50 @@
+open Cfca_prefix
+open Cfca_bgp
+
+type event = Packet of Ipv4.t | Update of Bgp_update.t
+
+type spec = {
+  flow_params : Flow_gen.params;
+  packets : int;
+  pps : float;
+  updates : Bgp_update.t array;
+}
+
+let make ?(flow_params = Flow_gen.default_params) ?(pps = 1e6) ~packets
+    ~updates () =
+  if packets < 0 then invalid_arg "Trace.make: negative packet count";
+  if pps <= 0.0 then invalid_arg "Trace.make: pps must be positive";
+  { flow_params; packets; pps; updates }
+
+let duration spec = float_of_int spec.packets /. spec.pps
+
+let flow_gen spec rib = Flow_gen.create spec.flow_params rib
+
+let iter spec rib f =
+  let flow = flow_gen spec rib in
+  let n_updates = Array.length spec.updates in
+  (* one update every [gap] packets, spread evenly *)
+  let gap =
+    if n_updates = 0 then max_int
+    else max 1 (spec.packets / (n_updates + 1))
+  in
+  let next_update = ref 0 in
+  for i = 0 to spec.packets - 1 do
+    let time = float_of_int i /. spec.pps in
+    if
+      !next_update < n_updates
+      && i > 0
+      && i mod gap = 0
+      && i / gap - 1 = !next_update
+    then begin
+      f ~time (Update spec.updates.(!next_update));
+      incr next_update
+    end;
+    f ~time (Packet (Flow_gen.next flow))
+  done;
+  (* flush updates the integer spacing left over *)
+  let final_time = duration spec in
+  while !next_update < n_updates do
+    f ~time:final_time (Update spec.updates.(!next_update));
+    incr next_update
+  done

@@ -1,0 +1,41 @@
+(** Mixed replay traces: packets interleaved with BGP updates, the
+    input shape of the paper's evaluation ("a mixed trace of 45,600 BGP
+    updates ... and a traffic trace ... with 3.5 billion packets").
+
+    A trace is a {e specification}, not a materialised event list:
+    iteration re-derives the identical deterministic event stream from
+    the seeds, so several systems can replay exactly the same workload
+    without holding millions of events in memory. *)
+
+open Cfca_prefix
+open Cfca_bgp
+
+type event = Packet of Ipv4.t | Update of Bgp_update.t
+
+type spec = {
+  flow_params : Flow_gen.params;
+  packets : int;
+  pps : float;  (** simulated packets per second (drives threshold windows) *)
+  updates : Bgp_update.t array;
+      (** spread evenly across the packet stream *)
+}
+
+val make :
+  ?flow_params:Flow_gen.params ->
+  ?pps:float ->
+  packets:int ->
+  updates:Bgp_update.t array ->
+  unit ->
+  spec
+(** [pps] defaults to 1e6 (the paper's first trace's mean rate). *)
+
+val duration : spec -> float
+(** Simulated seconds covered by the trace. *)
+
+val iter : spec -> Cfca_rib.Rib.t -> (time:float -> event -> unit) -> unit
+(** Replay. A fresh flow generator is built internally, so repeated
+    calls (or calls from different systems) observe identical streams. *)
+
+val flow_gen : spec -> Cfca_rib.Rib.t -> Flow_gen.t
+(** The popularity ranking the trace will use — needed to generate
+    popularity-biased updates before building the final spec. *)

@@ -1,0 +1,88 @@
+open Cfca_prefix
+open Cfca_bgp
+
+type params = {
+  count : int;
+  nh_change_frac : float;
+  new_announce_frac : float;
+  peers : int;
+  tail_start : float;
+  popular_frac : float;
+  seed : int;
+}
+
+let default_params =
+  {
+    count = 45_600;
+    nh_change_frac = 0.50;
+    new_announce_frac = 0.25;
+    peers = 32;
+    tail_start = 0.10;
+    popular_frac = 0.02;
+    seed = 1337;
+  }
+
+let generate params flow =
+  if params.count < 0 then invalid_arg "Update_gen.generate: negative count";
+  if params.peers < 1 || params.peers > 62 then
+    invalid_arg "Update_gen.generate: peers must be in [1, 62]";
+  let st = Random.State.make [| params.seed; 0xB6D |] in
+  let n = Flow_gen.universe flow in
+  let tail_floor = int_of_float (float_of_int n *. params.tail_start) in
+  let tail_floor = min tail_floor (n - 1) in
+  let pick_unpopular () =
+    (* a small fraction of updates concern popular routes — the reason
+       the paper's PFCA sees TCAM churn at all *)
+    if Random.State.float st 1.0 < params.popular_frac then
+      Flow_gen.prefix_of_rank flow (Random.State.int st n)
+    else
+      Flow_gen.prefix_of_rank flow
+        (tail_floor + Random.State.int st (max 1 (n - tail_floor)))
+  in
+  let random_nh () = Nexthop.of_int (1 + Random.State.int st params.peers) in
+  let withdrawn = ref [] in
+  let withdrawn_count = ref 0 in
+  let fresh_more_specific () =
+    let base = pick_unpopular () in
+    let len = Prefix.length base in
+    if len >= 32 then base
+    else begin
+      let extra = 1 + Random.State.int st (min 4 (32 - len)) in
+      Prefix.make (Prefix.random_member st base) (len + extra)
+    end
+  in
+  Array.init params.count (fun _ ->
+      let r = Random.State.float st 1.0 in
+      if r < params.nh_change_frac then
+        Bgp_update.announce (pick_unpopular ()) (random_nh ())
+      else if r < params.nh_change_frac +. params.new_announce_frac then begin
+        (* half the "new" announcements are flaps re-announcing a
+           previously withdrawn prefix *)
+        match !withdrawn with
+        | p :: rest when Random.State.bool st ->
+            withdrawn := rest;
+            decr withdrawn_count;
+            Bgp_update.announce p (random_nh ())
+        | _ -> Bgp_update.announce (fresh_more_specific ()) (random_nh ())
+      end
+      else begin
+        let p = pick_unpopular () in
+        withdrawn := p :: !withdrawn;
+        incr withdrawn_count;
+        (* keep the flap pool bounded *)
+        if !withdrawn_count > 4096 then begin
+          (match List.rev !withdrawn with
+          | _ :: rest -> withdrawn := List.rev rest
+          | [] -> ());
+          decr withdrawn_count
+        end;
+        Bgp_update.withdraw p
+      end)
+
+let count_kinds updates =
+  Array.fold_left
+    (fun (a, w) (u : Bgp_update.t) ->
+      match u.action with
+      | Bgp_update.Announce _ -> (a + 1, w)
+      | Bgp_update.Withdraw -> (a, w + 1))
+    (0, 0) updates

@@ -1,0 +1,38 @@
+(** Synthetic BGP update traces.
+
+    Mirrors the composition of RouteViews update streams against the
+    observation the paper leans on (§4.3): updates overwhelmingly
+    concern {e unpopular} routes. Targets are therefore drawn from the
+    tail of the traffic generator's popularity ranking, with a mix of
+    next-hop changes, fresh (more-specific) announcements, withdrawals
+    and re-announcements of previously withdrawn prefixes (flaps). *)
+
+
+open Cfca_bgp
+
+type params = {
+  count : int;
+  nh_change_frac : float;  (** next-hop updates (default 0.50) *)
+  new_announce_frac : float;
+      (** announcements of new, typically more-specific prefixes
+          (default 0.25); the remainder are withdrawals/flaps *)
+  peers : int;  (** next-hop space for new assignments *)
+  tail_start : float;
+      (** popularity quantile where "unpopular" begins (default 0.10:
+          targets are drawn uniformly from the bottom 90 %) *)
+  popular_frac : float;
+      (** fraction of updates that ignore the unpopular bias and target
+          a uniformly random rank, popular prefixes included
+          (default 0.02) *)
+  seed : int;
+}
+
+val default_params : params
+
+val generate : params -> Flow_gen.t -> Bgp_update.t array
+(** Deterministic for a given seed. The flow generator supplies the
+    popularity ranking so that updates and traffic share one notion of
+    popularity. *)
+
+val count_kinds : Bgp_update.t array -> int * int
+(** [(announces, withdrawals)] — for reporting. *)

@@ -1,0 +1,35 @@
+type t = { cdf : float array; exponent : float }
+
+let create ?(exponent = 1.0) ~n () =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if exponent < 0.0 then invalid_arg "Zipf.create: exponent must be >= 0";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) exponent);
+    cdf.(r) <- !acc
+  done;
+  let total = !acc in
+  for r = 0 to n - 1 do
+    cdf.(r) <- cdf.(r) /. total
+  done;
+  { cdf; exponent }
+
+let n t = Array.length t.cdf
+
+let exponent t = t.exponent
+
+let draw t st =
+  let r = Random.State.float st 1.0 in
+  (* smallest index with cdf.(i) >= r *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= r then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let mass t k =
+  if k <= 0 then 0.0
+  else if k >= Array.length t.cdf then 1.0
+  else t.cdf.(k - 1)

@@ -1,0 +1,25 @@
+(** Zipf-distributed rank sampling.
+
+    The FIB-caching literature (Kim et al., Sarrar et al. — the paper's
+    refs [20, 30]) models destination popularity as Zipfian: the
+    [r]-th most popular prefix attracts traffic proportional to
+    [1 / r^s]. The sampler precomputes the CDF once and draws by binary
+    search. *)
+
+type t
+
+val create : ?exponent:float -> n:int -> unit -> t
+(** [n] ranks, exponent [s] defaulting to 1.0 (classic Zipf).
+    @raise Invalid_argument if [n <= 0] or [exponent < 0]. *)
+
+val n : t -> int
+
+val exponent : t -> float
+
+val draw : t -> Random.State.t -> int
+(** A rank in [0, n), rank 0 being the most popular. *)
+
+val mass : t -> int -> float
+(** [mass t k] — total probability of the [k] most popular ranks
+    (diagnostics: the paper's premise is that a tiny [k] carries almost
+    all traffic). *)

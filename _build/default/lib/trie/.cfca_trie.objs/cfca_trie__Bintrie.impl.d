@@ -1,0 +1,1 @@
+lib/trie/bintrie.ml: Bintrie_f Cfca_prefix

@@ -1,0 +1,1 @@
+lib/trie/bintrie.mli: Bintrie_f Cfca_prefix Ipv4 Nexthop Prefix

@@ -1,0 +1,1 @@
+lib/trie/bintrie_f.ml: Cfca_prefix Family List Nexthop Printf

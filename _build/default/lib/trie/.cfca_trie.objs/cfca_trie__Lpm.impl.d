@@ -1,0 +1,1 @@
+lib/trie/lpm.ml: Cfca_prefix Ipv4 List Prefix

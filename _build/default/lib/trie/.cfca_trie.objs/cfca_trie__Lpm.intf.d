@@ -1,0 +1,1 @@
+lib/trie/lpm.mli: Cfca_prefix

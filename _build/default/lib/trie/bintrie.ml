@@ -1,0 +1,1 @@
+include Bintrie_f.Make (Cfca_prefix.Family.V4)

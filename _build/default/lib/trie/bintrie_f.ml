@@ -1,0 +1,300 @@
+(* The binary prefix tree, generic over the address family. The
+   documented IPv4 instantiation lives in {!Bintrie}; see its interface
+   for the semantics of every operation. *)
+
+open Cfca_prefix
+
+module Make (P : Family.PREFIX) = struct
+
+  type kind = Real | Fake
+
+  type fib_status = In_fib | Non_fib
+
+  type table = No_table | L1 | L2 | Dram
+
+  type node = {
+    prefix : P.t;
+    depth : int;
+    mutable kind : kind;
+    mutable original : Nexthop.t;
+    mutable selected : Nexthop.t;
+    mutable status : fib_status;
+    mutable table : table;
+    mutable installed_nh : Nexthop.t;
+    mutable hits : int;
+    mutable window : int;
+    mutable table_idx : int;
+    mutable left : node option;
+    mutable right : node option;
+    mutable parent : node option;
+  }
+
+  type t = { root : node; mutable nodes : int }
+
+  let make_node ?parent ~kind ~original prefix =
+    {
+      prefix;
+      depth = P.length prefix;
+      kind;
+      original;
+      selected = Nexthop.none;
+      status = Non_fib;
+      table = No_table;
+      installed_nh = Nexthop.none;
+      hits = 0;
+      window = -1;
+      table_idx = -1;
+      left = None;
+      right = None;
+      parent;
+    }
+
+  let create ~default_nh =
+    if Nexthop.is_none default_nh then
+      invalid_arg "Bintrie.create: default next-hop must be a real next-hop";
+    let root = make_node ~kind:Real ~original:default_nh P.default in
+    { root; nodes = 1 }
+
+  let root t = t.root
+
+  let node_count t = t.nodes
+
+  let is_leaf n = n.left = None && n.right = None
+
+  let child n right = if right then n.right else n.left
+
+  let set_child parent right c =
+    if right then parent.right <- Some c else parent.left <- Some c
+
+  let new_child t parent right ~kind ~original =
+    let c =
+      make_node ~parent ~kind ~original (P.child parent.prefix right)
+    in
+    set_child parent right c;
+    t.nodes <- t.nodes + 1;
+    c
+
+  let add_route t p nh =
+    if P.length p = 0 then begin
+      t.root.original <- nh;
+      t.root.kind <- Real;
+      t.root
+    end
+    else begin
+      let len = P.length p in
+      let rec go n depth =
+        if depth = len then begin
+          n.kind <- Real;
+          n.original <- nh;
+          n
+        end
+        else
+          let right = P.bit p depth in
+          let next =
+            match child n right with
+            | Some c -> c
+            | None -> new_child t n right ~kind:Fake ~original:Nexthop.none
+          in
+          go next (depth + 1)
+      in
+      go t.root 0
+    end
+
+  let extend t =
+    (* Single DFS: fill FAKE originals with the nearest REAL ancestor's
+       next-hop and generate the missing sibling of any single child. *)
+    let rec go n inherited =
+      let inherited =
+        if n.kind = Real then n.original
+        else begin
+          n.original <- inherited;
+          inherited
+        end
+      in
+      (match (n.left, n.right) with
+      | None, None -> ()
+      | Some _, None -> ignore (new_child t n true ~kind:Fake ~original:inherited)
+      | None, Some _ -> ignore (new_child t n false ~kind:Fake ~original:inherited)
+      | Some _, Some _ -> ());
+      (match n.left with Some c -> go c inherited | None -> ());
+      match n.right with Some c -> go c inherited | None -> ()
+    in
+    go t.root t.root.original
+
+  let find t p =
+    let len = P.length p in
+    let rec go n depth =
+      if depth = len then Some n
+      else
+        match child n (P.bit p depth) with
+        | Some c -> go c (depth + 1)
+        | None -> None
+    in
+    go t.root 0
+
+  let descend_to_leaf t addr =
+    let rec go n =
+      if is_leaf n then n
+      else
+        match child n (P.Addr.bit addr n.depth) with
+        | Some c -> go c
+        | None -> n (* non-full trees only happen pre-extension *)
+    in
+    go t.root
+
+  let lookup_in_fib t addr =
+    let rec go n =
+      if n.status = In_fib then Some n
+      else if is_leaf n then None
+      else
+        match child n (P.Addr.bit addr n.depth) with
+        | Some c -> go c
+        | None -> None
+    in
+    go t.root
+
+  type fragmentation = { target : node; anchor : node; created : node list }
+
+  let fragment t p anchor_hint =
+    let anchor =
+      match anchor_hint with
+      | Some n -> n
+      | None ->
+          let len = P.length p in
+          let rec go n =
+            if is_leaf n || n.depth = len then n
+            else
+              match child n (P.bit p n.depth) with
+              | Some c -> go c
+              | None -> n
+          in
+          go t.root
+    in
+    if not (is_leaf anchor) then
+      invalid_arg "Bintrie.fragment: anchor is not a leaf";
+    if not (P.contains anchor.prefix p) || P.equal anchor.prefix p then
+      invalid_arg "Bintrie.fragment: prefix does not extend the anchor";
+    let inherited = anchor.original in
+    let len = P.length p in
+    let rec grow n created =
+      let right = P.bit p n.depth in
+      let on_path = new_child t n right ~kind:Fake ~original:inherited in
+      let sibling = new_child t n (not right) ~kind:Fake ~original:inherited in
+      let created = sibling :: on_path :: created in
+      if on_path.depth = len then (on_path, created) else grow on_path created
+    in
+    let target, created_rev = grow anchor [] in
+    { target; anchor; created = List.rev created_rev }
+
+  let remove_children t n =
+    (match (n.left, n.right) with
+    | Some l, Some r ->
+        if not (is_leaf l && is_leaf r) then
+          invalid_arg "Bintrie.remove_children: children are not leaves";
+        l.parent <- None;
+        r.parent <- None;
+        t.nodes <- t.nodes - 2
+    | _ -> invalid_arg "Bintrie.remove_children: not an internal full node");
+    n.left <- None;
+    n.right <- None
+
+  let removable n =
+    is_leaf n && n.kind = Fake && n.status = Non_fib
+
+  let compact_upward t n =
+    let rec go n =
+      match n.parent with
+      | None -> n
+      | Some parent -> (
+          match (parent.left, parent.right) with
+          | Some l, Some r
+            when removable l && removable r && Nexthop.equal l.original r.original
+            ->
+              remove_children t parent;
+              go parent
+          | _ -> n)
+    in
+    go n
+
+  let rec iter_post f n =
+    (match n.left with Some c -> iter_post f c | None -> ());
+    (match n.right with Some c -> iter_post f c | None -> ());
+    f n
+
+  let iter_leaves f t =
+    let rec go n =
+      if is_leaf n then f n
+      else begin
+        (match n.left with Some c -> go c | None -> ());
+        match n.right with Some c -> go c | None -> ()
+      end
+    in
+    go t.root
+
+  let iter_in_fib f t =
+    let rec go n =
+      if n.status = In_fib then f n
+      else begin
+        (match n.left with Some c -> go c | None -> ());
+        match n.right with Some c -> go c | None -> ()
+      end
+    in
+    go t.root
+
+  let fold_nodes f acc t =
+    let rec go acc n =
+      let acc = f acc n in
+      let acc = match n.left with Some c -> go acc c | None -> acc in
+      match n.right with Some c -> go acc c | None -> acc
+    in
+    go acc t.root
+
+  let leaf_count t =
+    fold_nodes (fun acc n -> if is_leaf n then acc + 1 else acc) 0 t
+
+  let in_fib_count t =
+    fold_nodes (fun acc n -> if n.status = In_fib then acc + 1 else acc) 0 t
+
+  let invariant t =
+    let exception Violation of string in
+    let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt in
+    let count = ref 0 in
+    let rec check n =
+      incr count;
+      (match (n.left, n.right) with
+      | None, None -> ()
+      | Some _, Some _ -> ()
+      | _ -> fail "node %s has exactly one child" (P.to_string n.prefix));
+      if n.kind = Fake then begin
+        (match n.parent with
+        | None -> fail "root is FAKE"
+        | Some p ->
+            if not (Nexthop.equal n.original p.original) then
+              fail "FAKE node %s original %s differs from parent's %s"
+                (P.to_string n.prefix)
+                (Nexthop.to_string n.original)
+                (Nexthop.to_string p.original))
+      end;
+      if Nexthop.is_none n.original then
+        fail "node %s has no original next-hop" (P.to_string n.prefix);
+      let check_child right c =
+        if not (P.equal c.prefix (P.child n.prefix right)) then
+          fail "child prefix mismatch under %s" (P.to_string n.prefix);
+        (match c.parent with
+        | Some p when p == n -> ()
+        | _ -> fail "broken parent link at %s" (P.to_string c.prefix));
+        check c
+      in
+      (match n.left with Some c -> check_child false c | None -> ());
+      match n.right with Some c -> check_child true c | None -> ()
+    in
+    match check t.root with
+    | () ->
+        if !count <> t.nodes then
+          Error
+            (Printf.sprintf "node count drift: counted %d, recorded %d" !count
+               t.nodes)
+        else Ok ()
+    | exception Violation msg -> Error msg
+
+end

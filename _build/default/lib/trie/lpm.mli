@@ -1,0 +1,40 @@
+(** A plain longest-prefix-match table over an uncompressed binary trie.
+
+    This is the workhorse table used by the aggregation-only baselines
+    (ORTC / FAQS / FIFA-S), the forwarding-equivalence checker and the
+    data-plane table models. It knows nothing about CFCA's REAL/FAKE or
+    IN_FIB annotations — see {!Bintrie} for the extension tree. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val cardinal : 'a t -> int
+(** Number of bound prefixes. O(1). *)
+
+val add : 'a t -> Cfca_prefix.Prefix.t -> 'a -> unit
+(** Bind a value to a prefix, replacing any previous binding. *)
+
+val remove : 'a t -> Cfca_prefix.Prefix.t -> unit
+(** Remove a binding; no-op if absent. Prunes empty branches. *)
+
+val find : 'a t -> Cfca_prefix.Prefix.t -> 'a option
+(** Exact-match lookup. *)
+
+val mem : 'a t -> Cfca_prefix.Prefix.t -> bool
+
+val lookup : 'a t -> Cfca_prefix.Ipv4.t -> (Cfca_prefix.Prefix.t * 'a) option
+(** Longest-prefix match for an address. *)
+
+val iter : (Cfca_prefix.Prefix.t -> 'a -> unit) -> 'a t -> unit
+(** In prefix order (pre-order: a prefix before its descendants). *)
+
+val fold : (Cfca_prefix.Prefix.t -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+
+val to_list : 'a t -> (Cfca_prefix.Prefix.t * 'a) list
+
+val of_list : (Cfca_prefix.Prefix.t * 'a) list -> 'a t
+
+val copy : 'a t -> 'a t

@@ -1,0 +1,1 @@
+lib/v6/cfca6.ml: Cfca_core Cfca_prefix

@@ -1,0 +1,1 @@
+lib/v6/lpm6.ml: Cfca_prefix Ipv6 List Prefix6

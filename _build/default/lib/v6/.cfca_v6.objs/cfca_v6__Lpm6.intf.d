@@ -1,0 +1,1 @@
+lib/v6/lpm6.mli: Cfca_prefix Ipv6 Prefix6

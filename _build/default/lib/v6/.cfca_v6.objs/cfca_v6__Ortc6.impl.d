@@ -1,0 +1,1 @@
+lib/v6/ortc6.ml: Cfca_aggr Cfca_prefix List Nexthop Nhset Prefix6

@@ -1,0 +1,1 @@
+lib/v6/ortc6.mli: Cfca_prefix Nexthop Prefix6

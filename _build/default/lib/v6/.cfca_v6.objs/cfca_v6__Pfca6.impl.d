@@ -1,0 +1,1 @@
+lib/v6/pfca6.ml: Cfca_pfca Cfca_prefix

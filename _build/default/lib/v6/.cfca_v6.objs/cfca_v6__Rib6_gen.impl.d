@@ -1,0 +1,1 @@
+lib/v6/rib6_gen.ml: Cfca_prefix Hashtbl Int64 Ipv6 List Nexthop Prefix6 Random

@@ -1,0 +1,1 @@
+lib/v6/rib6_gen.mli: Cfca_prefix Nexthop Prefix6

@@ -1,0 +1,10 @@
+(* CFCA's full control plane instantiated for IPv6 — the binary prefix
+   tree with extension, the aggregation algorithms and the Route
+   Manager all come from [Cfca_core.Control_f]; only the address family
+   changes. [Route_manager.apply] takes the functor's own [update] type
+   ([Announce of Prefix6.t * Nexthop.t | Withdraw of Prefix6.t]) since
+   the wire-level {!Cfca_bgp.Bgp_update} is IPv4-typed.
+
+   See {!Cfca_core.Route_manager} for the documented IPv4 twin. *)
+
+include Cfca_core.Control_f.Make (Cfca_prefix.Family.V6)

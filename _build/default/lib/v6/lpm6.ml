@@ -1,0 +1,105 @@
+open Cfca_prefix
+
+type 'a node = {
+  mutable value : 'a option;
+  mutable left : 'a node option;
+  mutable right : 'a node option;
+}
+
+type 'a t = { root : 'a node; mutable count : int }
+
+let fresh_node () = { value = None; left = None; right = None }
+
+let create () = { root = fresh_node (); count = 0 }
+
+let is_empty t = t.count = 0
+
+let cardinal t = t.count
+
+let descend ~create t p =
+  let len = Prefix6.length p in
+  let rec go node depth =
+    if depth = len then Some node
+    else
+      let right = Prefix6.bit p depth in
+      let child = if right then node.right else node.left in
+      match child with
+      | Some c -> go c (depth + 1)
+      | None ->
+          if not create then None
+          else begin
+            let c = fresh_node () in
+            if right then node.right <- Some c else node.left <- Some c;
+            go c (depth + 1)
+          end
+  in
+  go t.root 0
+
+let add t p v =
+  match descend ~create:true t p with
+  | Some node ->
+      if node.value = None then t.count <- t.count + 1;
+      node.value <- Some v
+  | None -> assert false
+
+let find t p =
+  match descend ~create:false t p with Some node -> node.value | None -> None
+
+let mem t p = find t p <> None
+
+let remove t p =
+  let len = Prefix6.length p in
+  let rec go node depth =
+    if depth = len then begin
+      if node.value <> None then t.count <- t.count - 1;
+      node.value <- None
+    end
+    else begin
+      let right = Prefix6.bit p depth in
+      let child = if right then node.right else node.left in
+      match child with
+      | None -> ()
+      | Some c ->
+          go c (depth + 1);
+          if c.value = None && c.left = None && c.right = None then
+            if right then node.right <- None else node.left <- None
+    end
+  in
+  go t.root 0
+
+let lookup t addr =
+  let rec go node depth best =
+    let best =
+      match node.value with
+      | Some v -> Some (Prefix6.make addr depth, v)
+      | None -> best
+    in
+    if depth = Prefix6.max_length then best
+    else
+      let child = if Ipv6.bit addr depth then node.right else node.left in
+      match child with None -> best | Some c -> go c (depth + 1) best
+  in
+  go t.root 0 None
+
+let fold f t acc =
+  let rec go node prefix acc =
+    let acc = match node.value with Some v -> f prefix v acc | None -> acc in
+    let acc =
+      match node.left with
+      | Some c -> go c (Prefix6.left prefix) acc
+      | None -> acc
+    in
+    match node.right with
+    | Some c -> go c (Prefix6.right prefix) acc
+    | None -> acc
+  in
+  go t.root Prefix6.default acc
+
+let iter f t = fold (fun p v () -> f p v) t ()
+
+let to_list t = List.rev (fold (fun p v acc -> (p, v) :: acc) t [])
+
+let of_list l =
+  let t = create () in
+  List.iter (fun (p, v) -> add t p v) l;
+  t

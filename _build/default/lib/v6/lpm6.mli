@@ -1,0 +1,30 @@
+(** Longest-prefix-match table over IPv6 prefixes — the 128-bit
+    counterpart of {!Cfca_trie.Lpm}. *)
+
+open Cfca_prefix
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val cardinal : 'a t -> int
+
+val add : 'a t -> Prefix6.t -> 'a -> unit
+
+val remove : 'a t -> Prefix6.t -> unit
+
+val find : 'a t -> Prefix6.t -> 'a option
+
+val mem : 'a t -> Prefix6.t -> bool
+
+val lookup : 'a t -> Ipv6.t -> (Prefix6.t * 'a) option
+
+val iter : (Prefix6.t -> 'a -> unit) -> 'a t -> unit
+
+val fold : (Prefix6.t -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+
+val to_list : 'a t -> (Prefix6.t * 'a) list
+
+val of_list : (Prefix6.t * 'a) list -> 'a t

@@ -1,0 +1,83 @@
+open Cfca_prefix
+open Cfca_aggr
+
+type node = {
+  mutable nh : Nexthop.t;  (* bound next-hop; none when transit *)
+  mutable set : Nhset.t;  (* ORTC candidate set, filled bottom-up *)
+  mutable left : node option;
+  mutable right : node option;
+}
+
+let fresh () = { nh = Nexthop.none; set = Nhset.empty; left = None; right = None }
+
+let insert root p nh =
+  let len = Prefix6.length p in
+  let rec go node depth =
+    if depth = len then node.nh <- nh
+    else begin
+      let right = Prefix6.bit p depth in
+      let child =
+        match (if right then node.right else node.left) with
+        | Some c -> c
+        | None ->
+            let c = fresh () in
+            if right then node.right <- Some c else node.left <- Some c;
+            c
+      in
+      go child (depth + 1)
+    end
+  in
+  go root 0
+
+(* Pass 1+2 fused: complete into a full tree while pushing inherited
+   next-hops to the leaves, then merge candidate sets post-order. *)
+let rec select node inherited =
+  let inherited = if Nexthop.is_none node.nh then inherited else node.nh in
+  match (node.left, node.right) with
+  | None, None -> node.set <- Nhset.singleton inherited
+  | l, r ->
+      let l = match l with Some c -> c | None -> fresh () in
+      let r = match r with Some c -> c | None -> fresh () in
+      node.left <- Some l;
+      node.right <- Some r;
+      select l inherited;
+      select r inherited;
+      node.set <- Nhset.combine l.set r.set
+
+(* Pass 3: emit entries top-down. *)
+let assign root =
+  let out = ref [] in
+  let rec go node prefix cover =
+    let cover =
+      if (not (Nexthop.is_none cover)) && Nhset.mem cover node.set then cover
+      else begin
+        let nh = Nhset.pick node.set in
+        out := (prefix, nh) :: !out;
+        nh
+      end
+    in
+    match (node.left, node.right) with
+    | Some l, Some r ->
+        go l (Prefix6.left prefix) cover;
+        go r (Prefix6.right prefix) cover
+    | None, None -> ()
+    | _ -> assert false
+  in
+  go root Prefix6.default Nexthop.none;
+  List.rev !out
+
+let aggregate ~default_nh routes =
+  if Nexthop.is_none default_nh then invalid_arg "Ortc6.aggregate: null default";
+  let root = fresh () in
+  root.nh <- default_nh;
+  List.iter (fun (p, nh) -> insert root p nh) routes;
+  select root default_nh;
+  assign root
+
+let size ~default_nh routes = List.length (aggregate ~default_nh routes)
+
+let ratio ~default_nh routes =
+  let original =
+    1 + List.length (List.filter (fun (p, _) -> Prefix6.length p > 0) routes)
+  in
+  float_of_int (size ~default_nh routes) /. float_of_int original

@@ -1,0 +1,27 @@
+(** ORTC aggregation for IPv6 tables.
+
+    The paper's motivation includes the IPv6 table at least doubling
+    within five years while competing with IPv4 for the same TCAM; this
+    module extends the optimal aggregation to the 128-bit family so the
+    compression head-room of v6 tables can be quantified (see the [v6]
+    benchmark target).
+
+    Same three-pass algorithm as {!Cfca_aggr.Ortc}: leaf-push the
+    inherited next-hops, merge candidate next-hop sets bottom-up
+    (intersection when non-empty, else union), assign top-down skipping
+    nodes whose covering next-hop is acceptable. *)
+
+open Cfca_prefix
+
+val aggregate :
+  default_nh:Nexthop.t ->
+  (Prefix6.t * Nexthop.t) list ->
+  (Prefix6.t * Nexthop.t) list
+(** The minimal forwarding-equivalent table (includes the ::/0 entry).
+    Next-hops must fit {!Cfca_aggr.Nhset} ([1, 62]). *)
+
+val size : default_nh:Nexthop.t -> (Prefix6.t * Nexthop.t) list -> int
+
+val ratio : default_nh:Nexthop.t -> (Prefix6.t * Nexthop.t) list -> float
+(** Aggregated size over original size (counting the default route on
+    both sides). *)

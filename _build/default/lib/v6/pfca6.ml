@@ -1,0 +1,5 @@
+(* PFCA (extension-only caching baseline) instantiated for IPv6 — see
+   {!Cfca_pfca.Pfca} for the documented IPv4 twin. Exists mainly to
+   quantify the v6 extension blowup that CFCA's aggregation absorbs. *)
+
+include Cfca_pfca.Pfca_f.Make (Cfca_prefix.Family.V6)

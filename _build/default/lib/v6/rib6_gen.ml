@@ -1,0 +1,66 @@
+open Cfca_prefix
+
+type params = { size : int; peers : int; locality : float; seed : int }
+
+let default_params = { size = 80_000; peers = 32; locality = 0.85; seed = 42 }
+
+(* A random allocation block inside 2000::/3 (global unicast). *)
+let random_block st len =
+  let r = Ipv6.random st in
+  let hi =
+    Int64.logor 0x2000_0000_0000_0000L
+      (Int64.logand r.Ipv6.hi 0x1FFF_FFFF_FFFF_FFFFL)
+  in
+  Prefix6.make { r with Ipv6.hi } len
+
+let generate params =
+  if params.size <= 0 then invalid_arg "Rib6_gen.generate: size must be positive";
+  if params.peers < 1 || params.peers > 62 then
+    invalid_arg "Rib6_gen.generate: peers must be in [1, 62]";
+  let st = Random.State.make [| params.seed; 0x6B10 |] in
+  let seen = Hashtbl.create (params.size * 2) in
+  let acc = ref [] in
+  let count = ref 0 in
+  let emit p nh =
+    if (not (Hashtbl.mem seen p)) && !count < params.size then begin
+      Hashtbl.add seen p ();
+      acc := (p, Nexthop.of_int nh) :: !acc;
+      incr count
+    end
+  in
+  let random_nh () = 1 + Random.State.int st params.peers in
+  let pick_nh base =
+    if Random.State.float st 1.0 < params.locality then base else random_nh ()
+  in
+  (* nibble-aligned fragmentation, as v6 allocation policy encourages:
+     a block emits a handful of sub-routes at /36, /40, /44 and mostly
+     /48, staying sparse like real v6 space *)
+  let rec fragment p base =
+    if !count >= params.size then ()
+    else
+      let len = Prefix6.length p in
+      if len >= 48 then emit p (pick_nh base)
+      else if Random.State.float st 1.0 < 0.10 then emit p (pick_nh base)
+      else begin
+        let visits = 1 + Random.State.int st 2 in
+        for _ = 1 to visits do
+          let sub =
+            Prefix6.make (Prefix6.random_member st p) (min 48 (len + 4))
+          in
+          fragment sub base
+        done
+      end
+  in
+  while !count < params.size do
+    let len =
+      if Random.State.float st 1.0 < 0.7 then 32 else 28 + Random.State.int st 5
+    in
+    let block = random_block st len in
+    let base = random_nh () in
+    (* most allocations announce the covering route too *)
+    if Random.State.float st 1.0 < 0.85 then emit block base;
+    fragment block base
+  done;
+  List.sort_uniq
+    (fun (a, _) (b, _) -> Prefix6.compare a b)
+    !acc

@@ -1,0 +1,22 @@
+(** Synthetic global IPv6 routing tables.
+
+    Shape matched to the published 2020 v6 DFZ: ~80 K entries dominated
+    by /48s (~47 %) and /32s (~13 %) inside 2000::/3, generated
+    block-wise (a /32 allocation fragments into /36../48 sub-routes
+    sharing the allocation's egress with high probability) so that the
+    table aggregates the way real v6 tables do. *)
+
+open Cfca_prefix
+
+type params = {
+  size : int;
+  peers : int;  (** distinct next-hops in [1, 62] *)
+  locality : float;
+  seed : int;
+}
+
+val default_params : params
+(** 80 K entries, 32 peers, locality 0.85, seed 42. *)
+
+val generate : params -> (Prefix6.t * Nexthop.t) list
+(** Sorted, duplicate-free. *)

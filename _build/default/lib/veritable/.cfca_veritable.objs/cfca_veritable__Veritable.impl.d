@@ -1,0 +1,1 @@
+lib/veritable/veritable.ml: Array Cfca_prefix Format List Nexthop Prefix String

@@ -1,0 +1,1 @@
+lib/veritable/veritable.mli: Cfca_prefix Format Nexthop Prefix

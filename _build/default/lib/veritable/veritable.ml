@@ -1,0 +1,115 @@
+open Cfca_prefix
+
+type table = (Prefix.t * Nexthop.t) list
+
+type divergence = { region : Prefix.t; next_hops : Nexthop.t array }
+
+type verdict = Equivalent | Diverges of divergence
+
+(* Joint trie: at each node, [bound.(i)] is the next-hop table [i]
+   assigns to exactly this prefix (none if unbound). *)
+type node = {
+  mutable bound : int array option;
+  mutable left : node option;
+  mutable right : node option;
+}
+
+let fresh () = { bound = None; left = None; right = None }
+
+let bind k node i nh =
+  let arr =
+    match node.bound with
+    | Some arr -> arr
+    | None ->
+        let arr = Array.make k Nexthop.none in
+        node.bound <- Some arr;
+        arr
+  in
+  arr.(i) <- nh
+
+let load k root i table =
+  List.iter
+    (fun (p, nh) ->
+      let len = Prefix.length p in
+      let rec go node depth =
+        if depth = len then bind k node i nh
+        else begin
+          let right = Prefix.bit p depth in
+          let child =
+            match (if right then node.right else node.left) with
+            | Some c -> c
+            | None ->
+                let c = fresh () in
+                if right then node.right <- Some c else node.left <- Some c;
+                c
+          in
+          go child (depth + 1)
+        end
+      in
+      go root 0)
+    table
+
+(* Visit every finest-granularity region: a node's effective vector
+   applies to whatever part of its range is not refined by children, so
+   regions needing comparison are exactly the nodes with at most one
+   child (the uncovered half, or the whole leaf range). *)
+let traverse k root on_region =
+  let rec go node prefix inherited =
+    let effective =
+      match node.bound with
+      | None -> inherited
+      | Some bound ->
+          let eff = Array.copy inherited in
+          for i = 0 to k - 1 do
+            if not (Nexthop.is_none bound.(i)) then eff.(i) <- bound.(i)
+          done;
+          eff
+    in
+    (match (node.left, node.right) with
+    | Some _, Some _ -> ()
+    | _ -> on_region prefix effective);
+    (match node.left with
+    | Some c -> go c (Prefix.left prefix) effective
+    | None -> ());
+    match node.right with
+    | Some c -> go c (Prefix.right prefix) effective
+    | None -> ()
+  in
+  go root Prefix.default (Array.make k Nexthop.none)
+
+let all_equal arr =
+  let v = arr.(0) in
+  Array.for_all (fun x -> Nexthop.equal x v) arr
+
+let build tables =
+  let k = List.length tables in
+  if k = 0 then invalid_arg "Veritable: no tables";
+  let root = fresh () in
+  List.iteri (fun i table -> load k root i table) tables;
+  (k, root)
+
+let divergences ?(limit = 100) tables =
+  let k, root = build tables in
+  let acc = ref [] in
+  let count = ref 0 in
+  traverse k root (fun prefix eff ->
+      if !count < limit && not (all_equal eff) then begin
+        incr count;
+        acc := { region = prefix; next_hops = Array.copy eff } :: !acc
+      end);
+  List.rev !acc
+
+let compare_tables tables =
+  match divergences ~limit:1 tables with
+  | [] -> Equivalent
+  | d :: _ -> Diverges d
+
+let equivalent a b = compare_tables [ a; b ] = Equivalent
+
+let pp_verdict ppf = function
+  | Equivalent -> Format.pp_print_string ppf "equivalent"
+  | Diverges d ->
+      Format.fprintf ppf "diverge at %s: [%s]"
+        (Prefix.to_string d.region)
+        (String.concat "; "
+           (Array.to_list (Array.map Nexthop.to_string d.next_hops)))

@@ -1,0 +1,38 @@
+(** Forwarding-equivalence verification of multiple FIBs — a
+    reimplementation of the authors' VeriTable tool (INFOCOM'18), which
+    the paper uses to validate that CFCA, PFCA, FAQS and FIFA-S all
+    forward exactly like the original RIB.
+
+    All tables are loaded into one joint binary trie; a single
+    depth-first traversal then compares, for every finest-granularity
+    region of the address space, the next-hop each table assigns by
+    longest-prefix match. This is O(total prefixes) instead of the 2^32
+    of address-by-address comparison. *)
+
+open Cfca_prefix
+
+type table = (Prefix.t * Nexthop.t) list
+(** A forwarding table as an entry list. Entries must not repeat a
+    prefix; tables may freely overlap (LPM semantics). A table without
+    a 0/0 entry forwards uncovered space to "no route"
+    ({!Nexthop.none}), which is itself compared. *)
+
+type divergence = {
+  region : Prefix.t;
+      (** A finest-granularity region on which the tables disagree. *)
+  next_hops : Nexthop.t array;
+      (** What each table (in input order) does with that region. *)
+}
+
+type verdict = Equivalent | Diverges of divergence
+
+val compare_tables : table list -> verdict
+(** @raise Invalid_argument on an empty input list. *)
+
+val equivalent : table -> table -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val divergences : ?limit:int -> table list -> divergence list
+(** All disagreement regions up to [limit] (default 100), for
+    diagnostics. *)

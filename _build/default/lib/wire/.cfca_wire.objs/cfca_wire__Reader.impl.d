@@ -1,0 +1,1 @@
+lib/wire/reader.ml: Bytes Char String

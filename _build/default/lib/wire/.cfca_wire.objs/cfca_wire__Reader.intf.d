@@ -1,0 +1,1 @@
+lib/wire/reader.mli:

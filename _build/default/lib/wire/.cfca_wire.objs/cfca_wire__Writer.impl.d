@@ -1,0 +1,1 @@
+lib/wire/writer.ml: Bytes Char String

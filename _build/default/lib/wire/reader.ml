@@ -1,0 +1,63 @@
+exception Truncated
+
+type t = { buf : string; limit : int; mutable cur : int }
+
+let of_string s = { buf = s; limit = String.length s; cur = 0 }
+
+let of_bytes b = of_string (Bytes.unsafe_to_string b)
+
+let pos t = t.cur
+
+let length t = t.limit
+
+let remaining t = t.limit - t.cur
+
+let at_end t = t.cur >= t.limit
+
+let check t n = if t.cur + n > t.limit then raise Truncated
+
+let peek_u8 t =
+  check t 1;
+  Char.code (String.unsafe_get t.buf t.cur)
+
+let u8 t =
+  check t 1;
+  let v = Char.code (String.unsafe_get t.buf t.cur) in
+  t.cur <- t.cur + 1;
+  v
+
+let u16 t =
+  let a = u8 t in
+  let b = u8 t in
+  (a lsl 8) lor b
+
+let u32 t =
+  let a = u16 t in
+  let b = u16 t in
+  (a lsl 16) lor b
+
+let u16le t =
+  let a = u8 t in
+  let b = u8 t in
+  (b lsl 8) lor a
+
+let u32le t =
+  let a = u16le t in
+  let b = u16le t in
+  (b lsl 16) lor a
+
+let take t n =
+  check t n;
+  let s = String.sub t.buf t.cur n in
+  t.cur <- t.cur + n;
+  s
+
+let skip t n =
+  check t n;
+  t.cur <- t.cur + n
+
+let sub t n =
+  check t n;
+  let child = { buf = t.buf; limit = t.cur + n; cur = t.cur } in
+  t.cur <- t.cur + n;
+  child

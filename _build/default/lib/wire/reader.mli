@@ -1,0 +1,42 @@
+(** Cursor-based big-endian binary reader used by the MRT and pcap
+    codecs. All reads raise {!Truncated} past the end of input, so codec
+    code can parse straight-line and report clean errors. *)
+
+exception Truncated
+(** Raised when a read runs past the end of the buffer. *)
+
+type t
+
+val of_string : string -> t
+
+val of_bytes : bytes -> t
+
+val pos : t -> int
+
+val length : t -> int
+
+val remaining : t -> int
+
+val at_end : t -> bool
+
+val peek_u8 : t -> int
+(** Read one byte without advancing. *)
+
+val u8 : t -> int
+
+val u16 : t -> int
+
+val u32 : t -> int
+
+val u16le : t -> int
+
+val u32le : t -> int
+
+val take : t -> int -> string
+(** Read [n] raw bytes. *)
+
+val skip : t -> int -> unit
+
+val sub : t -> int -> t
+(** [sub t n] carves out a child reader over the next [n] bytes and
+    advances the parent past them — for length-delimited records. *)

@@ -1,0 +1,68 @@
+type t = { mutable buf : bytes; mutable len : int }
+
+let create ?(capacity = 256) () = { buf = Bytes.create (max 16 capacity); len = 0 }
+
+let length t = t.len
+
+let ensure t n =
+  let needed = t.len + n in
+  if needed > Bytes.length t.buf then begin
+    let cap = ref (Bytes.length t.buf * 2) in
+    while needed > !cap do
+      cap := !cap * 2
+    done;
+    let buf = Bytes.create !cap in
+    Bytes.blit t.buf 0 buf 0 t.len;
+    t.buf <- buf
+  end
+
+let u8 t v =
+  ensure t 1;
+  Bytes.unsafe_set t.buf t.len (Char.unsafe_chr (v land 0xFF));
+  t.len <- t.len + 1
+
+let u16 t v =
+  u8 t (v lsr 8);
+  u8 t v
+
+let u32 t v =
+  u8 t (v lsr 24);
+  u8 t (v lsr 16);
+  u8 t (v lsr 8);
+  u8 t v
+
+let u16le t v =
+  u8 t v;
+  u8 t (v lsr 8)
+
+let u32le t v =
+  u8 t v;
+  u8 t (v lsr 8);
+  u8 t (v lsr 16);
+  u8 t (v lsr 24)
+
+let bytes t b =
+  ensure t (Bytes.length b);
+  Bytes.blit b 0 t.buf t.len (Bytes.length b);
+  t.len <- t.len + Bytes.length b
+
+let string t s =
+  ensure t (String.length s);
+  Bytes.blit_string s 0 t.buf t.len (String.length s);
+  t.len <- t.len + String.length s
+
+let patch_u16 t pos v =
+  if pos < 0 || pos + 2 > t.len then invalid_arg "Writer.patch_u16";
+  Bytes.set t.buf pos (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set t.buf (pos + 1) (Char.chr (v land 0xFF))
+
+let patch_u32 t pos v =
+  if pos < 0 || pos + 4 > t.len then invalid_arg "Writer.patch_u32";
+  patch_u16 t pos (v lsr 16);
+  patch_u16 t (pos + 2) v
+
+let contents t = Bytes.sub_string t.buf 0 t.len
+
+let to_bytes t = Bytes.sub t.buf 0 t.len
+
+let clear t = t.len <- 0

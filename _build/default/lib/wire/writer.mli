@@ -1,0 +1,38 @@
+(** Growable big-endian binary writer used by the MRT and pcap codecs. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val contents : t -> string
+
+val to_bytes : t -> bytes
+
+val u8 : t -> int -> unit
+(** Append one byte (low 8 bits). *)
+
+val u16 : t -> int -> unit
+(** Append a 16-bit big-endian value. *)
+
+val u32 : t -> int -> unit
+(** Append a 32-bit big-endian value. *)
+
+val u16le : t -> int -> unit
+
+val u32le : t -> int -> unit
+(** Little-endian variants (pcap headers are host-endian; we write
+    little-endian and the reader handles both byte orders). *)
+
+val bytes : t -> bytes -> unit
+
+val string : t -> string -> unit
+
+val patch_u16 : t -> int -> int -> unit
+(** [patch_u16 t pos v] overwrites 2 bytes at [pos] — for length fields
+    known only after the payload is written. *)
+
+val patch_u32 : t -> int -> int -> unit
+
+val clear : t -> unit

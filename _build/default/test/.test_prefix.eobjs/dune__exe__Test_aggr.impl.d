@@ -1,0 +1,1 @@
+test/test_aggr.ml: Aggr Alcotest Bintrie Cfca_aggr Cfca_prefix Cfca_trie Ipv4 List Lpm Ortc Prefix Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_cfca.ml: Alcotest Bintrie Cfca_core Cfca_prefix Cfca_trie Fib_op Ipv4 List Lpm Prefix Printf QCheck QCheck_alcotest Random Route_manager Seq String

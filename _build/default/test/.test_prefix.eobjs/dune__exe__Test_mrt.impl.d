@@ -1,0 +1,1 @@
+test/test_mrt.ml: Alcotest Array Bgp_update Bytes Cfca_bgp Cfca_prefix Cfca_rib Cfca_wire Filename Fun Ipv4 List Mrt Nexthop Prefix QCheck QCheck_alcotest Reader Rib Rib_gen String Sys Writer

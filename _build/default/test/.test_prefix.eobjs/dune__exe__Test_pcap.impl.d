@@ -1,0 +1,1 @@
+test/test_pcap.ml: Alcotest Bytes Cfca_pcap Cfca_prefix Cfca_wire Ethernet Filename Fun In_channel Ipv4 Ipv4_packet List Option Pcap QCheck QCheck_alcotest Reader Result Seq String Sys Writer

@@ -1,0 +1,1 @@
+test/test_pfca.ml: Alcotest Bintrie Cfca_core Cfca_pfca Cfca_prefix Cfca_trie Fib_op Ipv4 List Lpm Prefix Printf QCheck QCheck_alcotest Random Route_manager String

@@ -1,0 +1,1 @@
+test/test_prefix.ml: Alcotest Cfca_prefix Ipv4 List Prefix QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_rib.ml: Alcotest Array Cfca_aggr Cfca_prefix Cfca_rib Cfca_trie Filename Fun List Nexthop Prefix QCheck QCheck_alcotest Rib Rib_gen Rib_io String Sys

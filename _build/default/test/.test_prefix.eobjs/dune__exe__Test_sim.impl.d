@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cfca_aggr Cfca_dataplane Cfca_pcap Cfca_prefix Cfca_rib Cfca_sim Cfca_tcam Cfca_traffic Engine Experiments Filename Fun Lazy List Naive_cache Pipeline Result Sys

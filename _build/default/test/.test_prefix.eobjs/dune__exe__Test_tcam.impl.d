@@ -1,0 +1,1 @@
+test/test_tcam.ml: Alcotest Array Cfca_tcam List QCheck QCheck_alcotest Tcam

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Bgp_update Cfca_bgp Cfca_prefix Cfca_rib Cfca_traffic Cfca_trie Flow_gen Hashtbl Ipv4 Prefix Random Rib Rib_gen Trace Update_gen Zipf

@@ -1,0 +1,1 @@
+test/test_trie.ml: Alcotest Bintrie Cfca_prefix Cfca_trie Ipv4 List Lpm Prefix QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_v6.ml: Alcotest Array Cfca6 Cfca_prefix Cfca_v6 Ipv6 List Lpm6 Ortc6 Pfca6 Prefix6 QCheck QCheck_alcotest Random Rib6_gen

@@ -1,0 +1,1 @@
+test/test_veritable.ml: Alcotest Array Cfca_aggr Cfca_core Cfca_pfca Cfca_prefix Cfca_trie Cfca_veritable Format Ipv4 List Lpm Nexthop Prefix Printf QCheck QCheck_alcotest Route_manager

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Cfca_wire QCheck QCheck_alcotest Reader Writer

@@ -1,0 +1,228 @@
+(* Tests for the FAQS / FIFA-S aggregation baselines and one-shot ORTC. *)
+
+open Cfca_prefix
+open Cfca_trie
+open Cfca_aggr
+
+let p = Prefix.v
+let addr = Ipv4.of_string_exn
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let default_nh = 9
+
+let paper_routes =
+  [
+    ("129.10.124.0/24", 1);
+    ("129.10.124.0/27", 1);
+    ("129.10.124.64/26", 1);
+    ("129.10.124.192/26", 2);
+  ]
+
+let mk policy routes =
+  let t = Aggr.create ~policy ~default_nh () in
+  Aggr.load t (List.to_seq (List.map (fun (q, nh) -> (p q, nh)) routes));
+  t
+
+let expect_verify t =
+  match Aggr.verify t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "verify failed: %s" msg
+
+(* -- the paper's Table 1 example ------------------------------------ *)
+
+let test_ortc_paper_example () =
+  (* Table 1(b): the optimal table keeps A (/24 -> 1) and D (/26 -> 2);
+     with our mandatory default route that is 3 entries. *)
+  let routes = List.map (fun (q, nh) -> (p q, nh)) paper_routes in
+  let agg = Ortc.aggregate ~default_nh routes in
+  check_int "optimal size" 3 (List.length agg);
+  check "keeps A" true
+    (List.exists (fun (q, nh) -> Prefix.equal q (p "129.10.124.0/24") && nh = 1) agg);
+  check "keeps D" true
+    (List.exists
+       (fun (q, nh) -> Prefix.equal q (p "129.10.124.192/26") && nh = 2)
+       agg);
+  check "keeps default" true
+    (List.exists (fun (q, nh) -> Prefix.length q = 0 && nh = default_nh) agg)
+
+let test_fifa_forwarding () =
+  let t = mk Aggr.Fifa paper_routes in
+  expect_verify t;
+  let nh a = Aggr.lookup t (addr a) in
+  check_int "B region" 1 (nh "129.10.124.1");
+  check_int "C region" 1 (nh "129.10.124.65");
+  check_int "D region" 2 (nh "129.10.124.193");
+  check_int "D network" 2 (nh "129.10.124.192");
+  check_int "default" default_nh (nh "8.8.8.8");
+  check_int "3 entries" 3 (Aggr.fib_size t)
+
+let test_faqs_not_larger_than_extension () =
+  let t = mk Aggr.Faqs paper_routes in
+  expect_verify t;
+  check "compresses" true (Aggr.fib_size t <= 5);
+  check "fifa <= faqs" true
+    (Aggr.fib_size (mk Aggr.Fifa paper_routes) <= Aggr.fib_size t)
+
+let test_incremental_update () =
+  let ops = ref 0 in
+  let t = mk Aggr.Fifa paper_routes in
+  Aggr.set_sink t (fun _ -> incr ops);
+  (* same update as the paper's Fig. 6: C's next-hop becomes 2 *)
+  Aggr.announce t (p "129.10.124.64/26") 2;
+  expect_verify t;
+  check_int "C region now 2" 2 (Aggr.lookup t (addr "129.10.124.65"));
+  check_int "B region still 1" 1 (Aggr.lookup t (addr "129.10.124.1"));
+  check "bounded churn" true (!ops > 0 && !ops <= 6);
+  (* withdrawing restores the original aggregated state *)
+  Aggr.withdraw t (p "129.10.124.64/26");
+  expect_verify t;
+  check_int "back to 3 entries" 3 (Aggr.fib_size t);
+  check_int "C region back to 1" 1 (Aggr.lookup t (addr "129.10.124.65"))
+
+let test_withdraw_everything () =
+  let t = mk Aggr.Fifa paper_routes in
+  List.iter (fun (q, _) -> Aggr.withdraw t (p q)) paper_routes;
+  expect_verify t;
+  check_int "only default remains" 1 (Aggr.fib_size t);
+  check_int "forwarding is default" default_nh (Aggr.lookup t (addr "129.10.124.1"))
+
+(* -- randomized properties ------------------------------------------ *)
+
+type op = Ann of Prefix.t * int | Wd of Prefix.t
+
+let gen_scoped_prefix =
+  QCheck.Gen.(
+    map2
+      (fun a l ->
+        let base =
+          Ipv4.of_octets 10 ((a lsr 16) land 0xFF) ((a lsr 8) land 0xFF) (a land 0xFF)
+        in
+        Prefix.make base l)
+      (int_bound 0xFFFFFF)
+      (int_range 9 32))
+
+let arb_scenario =
+  QCheck.make
+    ~print:(fun (routes, ops) ->
+      Printf.sprintf "routes=[%s] ops=[%s]"
+        (String.concat ";"
+           (List.map
+              (fun (q, nh) -> Prefix.to_string q ^ "=" ^ string_of_int nh)
+              routes))
+        (String.concat ";"
+           (List.map
+              (function
+                | Ann (q, nh) -> Printf.sprintf "A(%s,%d)" (Prefix.to_string q) nh
+                | Wd q -> Printf.sprintf "W(%s)" (Prefix.to_string q))
+              ops)))
+    QCheck.Gen.(
+      pair
+        (list_size (int_bound 30) (pair gen_scoped_prefix (int_range 1 8)))
+        (list_size (int_bound 40)
+           (frequency
+              [
+                (3, map2 (fun q nh -> Ann (q, nh)) gen_scoped_prefix (int_range 1 8));
+                (1, map (fun q -> Wd q) gen_scoped_prefix);
+              ])))
+
+let run_scenario policy (routes, ops) =
+  let t = Aggr.create ~policy ~default_nh () in
+  Aggr.load t (List.to_seq routes);
+  let model = Lpm.create () in
+  Lpm.add model Prefix.default default_nh;
+  List.iter (fun (q, nh) -> Lpm.add model q nh) routes;
+  List.iter
+    (function
+      | Ann (q, nh) ->
+          Aggr.announce t q nh;
+          Lpm.add model q nh
+      | Wd q ->
+          Aggr.withdraw t q;
+          Lpm.remove model q)
+    ops;
+  (t, model)
+
+let equivalence_prop policy =
+  QCheck.Test.make ~count:250
+    ~name:
+      (Printf.sprintf "%s stays forwarding-equivalent under updates"
+         (Aggr.policy_name policy))
+    arb_scenario
+    (fun ((routes, ops) as sc) ->
+      let t, model = run_scenario policy sc in
+      (match Aggr.verify t with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_report m);
+      let st = Random.State.make [| List.length ops; 31 |] in
+      let ok = ref true in
+      let checkpoint a =
+        let want =
+          match Lpm.lookup model a with Some (_, nh) -> nh | None -> default_nh
+        in
+        if Aggr.lookup t a <> want then ok := false
+      in
+      List.iter
+        (fun (q, _) ->
+          checkpoint (Prefix.network q);
+          checkpoint (Prefix.last_address q);
+          checkpoint (Prefix.random_member st q))
+        routes;
+      List.iter
+        (function
+          | Ann (q, _) | Wd q ->
+              checkpoint (Prefix.network q);
+              checkpoint (Prefix.random_member st q))
+        ops;
+      for _ = 1 to 30 do
+        checkpoint (Ipv4.random st)
+      done;
+      !ok)
+
+let prop_fifa_is_optimal_vs_rebuild =
+  (* Incremental maintenance must land on the same FIB size as
+     re-running ORTC from scratch on the final table: that is the
+     "incremental = from-scratch optimal" guarantee of FIFA-S. *)
+  QCheck.Test.make ~count:200 ~name:"incremental FIFA-S matches from-scratch ORTC size"
+    arb_scenario
+    (fun ((_, ops) as sc) ->
+      let t, model = run_scenario Aggr.Fifa sc in
+      ignore ops;
+      let final_routes =
+        Lpm.fold
+          (fun q nh acc -> if Prefix.length q > 0 then (q, nh) :: acc else acc)
+          model []
+      in
+      Aggr.fib_size t = Ortc.size ~default_nh final_routes)
+
+let prop_fifa_never_beats_faqs_wait_reversed =
+  QCheck.Test.make ~count:200 ~name:"FIFA-S (optimal) <= FAQS <= extension leaves"
+    arb_scenario
+    (fun sc ->
+      let fifa, _ = run_scenario Aggr.Fifa sc in
+      let faqs, _ = run_scenario Aggr.Faqs sc in
+      Aggr.fib_size fifa <= Aggr.fib_size faqs
+      && Aggr.fib_size faqs <= Bintrie.leaf_count (Aggr.tree faqs))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "aggr"
+    [
+      ( "ortc",
+        [
+          Alcotest.test_case "paper Table 1 example" `Quick test_ortc_paper_example;
+          Alcotest.test_case "fifa forwarding" `Quick test_fifa_forwarding;
+          Alcotest.test_case "faqs compresses" `Quick
+            test_faqs_not_larger_than_extension;
+          Alcotest.test_case "incremental update" `Quick test_incremental_update;
+          Alcotest.test_case "withdraw everything" `Quick test_withdraw_everything;
+        ] );
+      ( "properties",
+        qt
+          [
+            equivalence_prop Aggr.Faqs;
+            equivalence_prop Aggr.Fifa;
+            prop_fifa_is_optimal_vs_rebuild;
+            prop_fifa_never_beats_faqs_wait_reversed;
+          ] );
+    ]

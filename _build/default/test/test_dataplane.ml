@@ -1,0 +1,289 @@
+(* Data-plane tests: membership vectors, the LTHD pipeline (including
+   the paper's Fig. 8 walk-through semantics) and the full three-level
+   match workflow of Fig. 7. *)
+
+open Cfca_prefix
+open Cfca_trie
+open Cfca_core
+open Cfca_dataplane
+
+let p = Prefix.v
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* standalone nodes standing in for FIB entries *)
+let make_nodes n =
+  Array.init n (fun i ->
+      let t = Bintrie.create ~default_nh:1 in
+      let node = Bintrie.add_route t (Prefix.make (Ipv4.of_int (i lsl 8)) 24) 1 in
+      node)
+
+(* -- Table_set ------------------------------------------------------- *)
+
+let test_table_set_basics () =
+  let nodes = make_nodes 4 in
+  let s = Table_set.create ~capacity:3 in
+  check_int "empty" 0 (Table_set.size s);
+  Table_set.add s nodes.(0);
+  Table_set.add s nodes.(1);
+  Table_set.add s nodes.(2);
+  check "full" true (Table_set.is_full s);
+  check "mem" true (Table_set.mem s nodes.(1));
+  check "not mem" false (Table_set.mem s nodes.(3));
+  check "overflow rejected" true
+    (match Table_set.add s nodes.(3) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Table_set.remove s nodes.(1);
+  check "removed" false (Table_set.mem s nodes.(1));
+  check_int "size" 2 (Table_set.size s);
+  (* the swap-with-last kept the others resident *)
+  check "others kept" true (Table_set.mem s nodes.(0) && Table_set.mem s nodes.(2));
+  check "double add rejected after remove-add" true
+    (Table_set.add s nodes.(1);
+     match Table_set.add s nodes.(1) with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_table_set_random () =
+  let nodes = make_nodes 8 in
+  let s = Table_set.create ~capacity:8 in
+  let st = Random.State.make [| 1 |] in
+  check "random of empty" true (Table_set.random s st = None);
+  Array.iter (Table_set.add s) nodes;
+  let seen = Hashtbl.create 8 in
+  for _ = 1 to 1000 do
+    match Table_set.random s st with
+    | Some n -> Hashtbl.replace seen n.Bintrie.prefix ()
+    | None -> Alcotest.fail "no pick"
+  done;
+  check_int "uniform pick reaches everyone" 8 (Hashtbl.length seen)
+
+let test_table_set_clear () =
+  let nodes = make_nodes 3 in
+  let s = Table_set.create ~capacity:3 in
+  Array.iter (Table_set.add s) nodes;
+  Table_set.clear s;
+  check_int "cleared" 0 (Table_set.size s);
+  check "indices reset" true
+    (Array.for_all (fun n -> n.Bintrie.table_idx = -1) nodes);
+  (* nodes can be re-added after a clear *)
+  Table_set.add s nodes.(0);
+  check_int "re-add" 1 (Table_set.size s)
+
+(* -- LTHD ------------------------------------------------------------- *)
+
+let test_lthd_retains_light_hitters () =
+  (* 200 entries compete for 4 x 10 slots, so the pipeline must be
+     selective; entry i gets i+1 hits, interleaved round-robin the way
+     real cache hits would arrive, so low indices are the light
+     hitters *)
+  let n_entries = 200 in
+  let nodes = make_nodes n_entries in
+  Array.iter (fun n -> n.Bintrie.table <- Bintrie.L1) nodes;
+  let lthd = Lthd.create ~stages:4 ~width:10 ~seed:7 in
+  for c = 1 to n_entries do
+    Array.iteri
+      (fun i n ->
+        if i + 1 >= c then begin
+          n.Bintrie.hits <- c;
+          Lthd.observe lthd n c
+        end)
+      nodes
+  done;
+  let st = Random.State.make [| 3 |] in
+  let total = ref 0 and picks = 500 in
+  for _ = 1 to picks do
+    match Lthd.pick_victim lthd ~table:Bintrie.L1 st with
+    | Some v -> total := !total + v.Bintrie.hits
+    | None -> Alcotest.fail "expected a victim"
+  done;
+  (* a uniformly random victim would average ~100 hits; the pipeline's
+     victims must sit far below *)
+  let mean = float_of_int !total /. float_of_int picks in
+  check "victims are unpopular" true (mean < 50.0)
+
+let test_lthd_validates_table () =
+  let nodes = make_nodes 4 in
+  let lthd = Lthd.create ~stages:2 ~width:4 ~seed:1 in
+  Array.iter
+    (fun n ->
+      n.Bintrie.table <- Bintrie.L2;
+      Lthd.observe lthd n 1)
+    nodes;
+  let st = Random.State.make [| 9 |] in
+  check "stale entries rejected" true
+    (Lthd.pick_victim lthd ~table:Bintrie.L1 st = None);
+  check "right table accepted" true
+    (Lthd.pick_victim lthd ~table:Bintrie.L2 st <> None)
+
+let test_lthd_clear_occupancy () =
+  let nodes = make_nodes 4 in
+  let lthd = Lthd.create ~stages:2 ~width:4 ~seed:1 in
+  check_int "empty" 0 (Lthd.occupancy lthd);
+  Array.iter (fun n -> Lthd.observe lthd n 1) nodes;
+  check "occupied" true (Lthd.occupancy lthd > 0);
+  Lthd.clear lthd;
+  check_int "cleared" 0 (Lthd.occupancy lthd)
+
+(* -- Pipeline ---------------------------------------------------------- *)
+
+let paper_routes =
+  [
+    (p "129.10.124.0/24", 1);
+    (p "129.10.124.0/27", 1);
+    (p "129.10.124.64/26", 1);
+    (p "129.10.124.192/26", 2);
+  ]
+
+let small_cfg =
+  {
+    Config.default with
+    Config.l1_capacity = 2;
+    l2_capacity = 3;
+    dram_threshold_initial = 1;
+    l2_threshold_initial = 2;
+    dram_threshold = 1;
+    l2_threshold = 2;
+  }
+
+let setup () =
+  let pl = Pipeline.create small_cfg in
+  let rm = Route_manager.create ~sink:(Pipeline.sink pl) ~default_nh:9 () in
+  Route_manager.load rm (List.to_seq paper_routes);
+  Pipeline.reset_stats pl;
+  (pl, rm)
+
+let hit pl rm a =
+  match Bintrie.lookup_in_fib (Route_manager.tree rm) (Ipv4.of_string_exn a) with
+  | Some n -> Pipeline.process pl n ~now:0.0
+  | None -> Alcotest.fail "no covering entry"
+
+let test_promotion_chain () =
+  let pl, rm = setup () in
+  (* first hit: DRAM; counter reaches the DRAM threshold -> L2 *)
+  check "first hit in DRAM" true (hit pl rm "129.10.124.193" = Pipeline.Dram_hit);
+  check "second hit in L2" true (hit pl rm "129.10.124.193" = Pipeline.L2_hit);
+  (* the L2 threshold is 2 hits: the second L2 hit promotes to L1 *)
+  check "third hit in L2" true (hit pl rm "129.10.124.193" = Pipeline.L2_hit);
+  check "fourth hit in L1" true (hit pl rm "129.10.124.193" = Pipeline.L1_hit);
+  let s = Pipeline.stats pl in
+  check_int "l2 installs" 1 s.Pipeline.l2_installs;
+  check_int "l1 installs" 1 s.Pipeline.l1_installs;
+  check_int "packets" 4 s.Pipeline.packets;
+  check_int "l1 misses" 3 s.Pipeline.l1_misses;
+  check_int "l2 misses" 1 s.Pipeline.l2_misses
+
+let test_eviction_when_full () =
+  let pl, rm = setup () in
+  (* warm three distinct entries through to L1 (capacity 2): the third
+     promotion must evict one of the first two back to L2 *)
+  let warm a =
+    for _ = 1 to 4 do
+      ignore (hit pl rm a)
+    done
+  in
+  warm "129.10.124.193" (* D region *);
+  warm "129.10.124.1" (* E region *);
+  check_int "L1 full" 2 (Pipeline.l1_size pl);
+  warm "8.8.8.8" (* a default sibling *);
+  let s = Pipeline.stats pl in
+  check_int "L1 stays at capacity" 2 (Pipeline.l1_size pl);
+  check_int "three L1 installs" 3 s.Pipeline.l1_installs;
+  check_int "one L1 eviction" 1 s.Pipeline.l1_evictions;
+  check "tcam occupancy matches" true
+    (Cfca_tcam.Tcam.size (Pipeline.l1_tcam pl) = 2)
+
+let test_window_resets_counters () =
+  let pl, rm = setup () in
+  let node =
+    Option.get
+      (Bintrie.lookup_in_fib (Route_manager.tree rm) (Ipv4.of_string_exn "8.8.8.8"))
+  in
+  ignore (Pipeline.process pl node ~now:0.0);
+  (* entry promoted to L2 after one hit; its counter restarts *)
+  ignore (Pipeline.process pl node ~now:1.0);
+  check_int "hits in window" 1 node.Bintrie.hits;
+  (* crossing a 60 s window boundary resets the counter *)
+  ignore (Pipeline.process pl node ~now:61.0);
+  check_int "hits reset at window boundary" 1 node.Bintrie.hits
+
+let test_bgp_ops_update_structures () =
+  let pl, rm = setup () in
+  (* warm D into L1 *)
+  for _ = 1 to 4 do
+    ignore (hit pl rm "129.10.124.193")
+  done;
+  check_int "in L1" 1 (Pipeline.l1_size pl);
+  (* withdrawing everything that distinguishes D re-aggregates it away:
+     the Remove op must come back through the pipeline and clean L1 *)
+  Route_manager.withdraw rm (p "129.10.124.192/26");
+  let s = Pipeline.stats pl in
+  check "L1 bgp churn counted" true (s.Pipeline.bgp_l1 >= 1);
+  check_int "L1 emptied" 0 (Pipeline.l1_size pl);
+  check_int "tcam emptied" 0 (Cfca_tcam.Tcam.size (Pipeline.l1_tcam pl));
+  match Route_manager.verify rm with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "verify: %s" m
+
+let test_rejects_bad_config () =
+  check "zero l1 rejected" true
+    (match Pipeline.create { small_cfg with Config.l1_capacity = 0 } with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* the pipeline invariant: every IN_FIB entry is in exactly one table
+   and table sizes always match occupancy counters *)
+let prop_residency_exclusive =
+  QCheck.Test.make ~count:100 ~name:"cache residency stays consistent"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let pl, rm = setup () in
+      for _ = 1 to 500 do
+        let a = Ipv4.random st in
+        match Bintrie.lookup_in_fib (Route_manager.tree rm) a with
+        | Some n -> ignore (Pipeline.process pl n ~now:0.0)
+        | None -> ()
+      done;
+      let l1 = ref 0 and l2 = ref 0 in
+      Bintrie.iter_in_fib
+        (fun n ->
+          match n.Bintrie.table with
+          | Bintrie.L1 -> incr l1
+          | Bintrie.L2 -> incr l2
+          | Bintrie.Dram -> ()
+          | Bintrie.No_table -> failwith "IN_FIB entry in no table")
+        (Route_manager.tree rm);
+      !l1 = Pipeline.l1_size pl
+      && !l2 = Pipeline.l2_size pl
+      && !l1 = Cfca_tcam.Tcam.size (Pipeline.l1_tcam pl)
+      && !l1 <= small_cfg.Config.l1_capacity
+      && !l2 <= small_cfg.Config.l2_capacity)
+
+let () =
+  Alcotest.run "dataplane"
+    [
+      ( "table_set",
+        [
+          Alcotest.test_case "basics" `Quick test_table_set_basics;
+          Alcotest.test_case "random" `Quick test_table_set_random;
+          Alcotest.test_case "clear" `Quick test_table_set_clear;
+        ] );
+      ( "lthd",
+        [
+          Alcotest.test_case "retains light hitters" `Quick
+            test_lthd_retains_light_hitters;
+          Alcotest.test_case "validates table" `Quick test_lthd_validates_table;
+          Alcotest.test_case "clear/occupancy" `Quick test_lthd_clear_occupancy;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "promotion chain" `Quick test_promotion_chain;
+          Alcotest.test_case "eviction when full" `Quick test_eviction_when_full;
+          Alcotest.test_case "window resets" `Quick test_window_resets_counters;
+          Alcotest.test_case "bgp ops" `Quick test_bgp_ops_update_structures;
+          Alcotest.test_case "bad config" `Quick test_rejects_bad_config;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_residency_exclusive ]);
+    ]

@@ -1,0 +1,243 @@
+(* MRT codec tests: record-level and file-level roundtrips plus
+   malformed-input handling. *)
+
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_rib
+open Cfca_wire
+
+let p = Prefix.v
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let roundtrip record =
+  let w = Writer.create () in
+  Mrt.write_record w ~timestamp:1234 record;
+  let r = Reader.of_string (Writer.contents w) in
+  match Mrt.read_record r with
+  | Some (ts, record') ->
+      check_int "timestamp" 1234 ts;
+      check "reader exhausted" true (Reader.at_end r);
+      record'
+  | None -> Alcotest.fail "no record"
+
+let test_peer_index_roundtrip () =
+  let peers =
+    Array.init 5 (fun i ->
+        {
+          Mrt.bgp_id = Ipv4.of_octets 198 51 100 (i + 1);
+          address = Ipv4.of_octets 10 0 0 (i + 1);
+          asn = 64_512 + i;
+        })
+  in
+  match
+    roundtrip
+      (Mrt.Peer_index_table
+         {
+           collector_id = Ipv4.of_octets 203 0 113 1;
+           view_name = "test-view";
+           peers;
+         })
+  with
+  | Mrt.Peer_index_table { collector_id; view_name; peers = peers' } ->
+      check_str "view" "test-view" view_name;
+      check_int "peer count" 5 (Array.length peers');
+      check "peers equal" true (peers' = peers);
+      check "collector" true
+        (Ipv4.equal collector_id (Ipv4.of_octets 203 0 113 1))
+  | _ -> Alcotest.fail "wrong record kind"
+
+let test_rib_entry_roundtrip () =
+  match
+    roundtrip
+      (Mrt.Rib_ipv4_unicast
+         {
+           sequence = 77;
+           prefix = p "129.10.124.192/26";
+           entries =
+             [ { Mrt.peer_index = 4; originated = 99; next_hop = Nexthop.of_int 5 } ];
+         })
+  with
+  | Mrt.Rib_ipv4_unicast { sequence; prefix; entries } ->
+      check_int "seq" 77 sequence;
+      check "prefix" true (Prefix.equal prefix (p "129.10.124.192/26"));
+      (match entries with
+      | [ e ] ->
+          check_int "peer" 4 e.Mrt.peer_index;
+          check_int "nh from NEXT_HOP attr" 5 (Nexthop.to_int e.Mrt.next_hop)
+      | _ -> Alcotest.fail "entry count")
+  | _ -> Alcotest.fail "wrong record kind"
+
+let test_nlri_edge_lengths () =
+  (* /0, /1, /8, /9, /32 exercise the variable-length NLRI encoding *)
+  List.iter
+    (fun q ->
+      match
+        roundtrip
+          (Mrt.Rib_ipv4_unicast { sequence = 0; prefix = p q; entries = [] })
+      with
+      | Mrt.Rib_ipv4_unicast { prefix; _ } ->
+          check ("nlri " ^ q) true (Prefix.equal prefix (p q))
+      | _ -> Alcotest.fail "wrong record kind")
+    [ "0.0.0.0/0"; "128.0.0.0/1"; "10.0.0.0/8"; "10.128.0.0/9"; "1.2.3.4/32" ]
+
+let test_bgp4mp_roundtrip () =
+  match
+    roundtrip
+      (Mrt.Bgp4mp_message
+         {
+           peer_as = 65_001;
+           local_as = 65_000;
+           update =
+             {
+               Mrt.withdrawn = [ p "10.0.0.0/8"; p "10.1.0.0/16" ];
+               announced = [ p "192.0.2.0/24" ];
+               next_hop = Some (Nexthop.of_int 7);
+             };
+         })
+  with
+  | Mrt.Bgp4mp_message { peer_as; update; _ } ->
+      check_int "peer as" 65_001 peer_as;
+      check_int "withdrawn" 2 (List.length update.Mrt.withdrawn);
+      check "announced" true (update.Mrt.announced = [ p "192.0.2.0/24" ]);
+      check "next hop" true (update.Mrt.next_hop = Some (Nexthop.of_int 7))
+  | _ -> Alcotest.fail "wrong record kind"
+
+let test_unknown_passthrough () =
+  match
+    roundtrip (Mrt.Unknown { mrt_type = 48; subtype = 3; payload = "opaque-data" })
+  with
+  | Mrt.Unknown { mrt_type; payload; _ } ->
+      check_int "type" 48 mrt_type;
+      check_str "payload" "opaque-data" payload
+  | _ -> Alcotest.fail "wrong record kind"
+
+let test_nexthop_address_mapping () =
+  check "roundtrip small" true
+    (Mrt.address_nexthop (Mrt.nexthop_address (Nexthop.of_int 5))
+    = Some (Nexthop.of_int 5));
+  check "roundtrip large" true
+    (Mrt.address_nexthop (Mrt.nexthop_address (Nexthop.of_int 300))
+    = Some (Nexthop.of_int 300));
+  check "foreign address" true
+    (Mrt.address_nexthop (Ipv4.of_octets 8 8 8 8) = None)
+
+let with_tmp f =
+  let path = Filename.temp_file "cfca_mrt" ".mrt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_rib_file_roundtrip () =
+  let rib =
+    Rib_gen.generate { Rib_gen.size = 2_000; peers = 16; locality = 0.8; seed = 3 }
+  in
+  with_tmp (fun path ->
+      Mrt.write_rib_file path rib;
+      match Mrt.read_rib_file path with
+      | Ok rib' ->
+          check_int "size" (Rib.size rib) (Rib.size rib');
+          check "entries equal" true (Rib.entries rib = Rib.entries rib')
+      | Error msg -> Alcotest.fail msg)
+
+let test_update_file_roundtrip () =
+  let updates =
+    [|
+      Bgp_update.announce (p "10.0.0.0/8") (Nexthop.of_int 3);
+      Bgp_update.withdraw (p "10.1.0.0/16");
+      Bgp_update.announce (p "192.0.2.128/25") (Nexthop.of_int 12);
+    |]
+  in
+  with_tmp (fun path ->
+      Mrt.write_update_file path updates;
+      match Mrt.read_update_file path with
+      | Ok updates' ->
+          check_int "count" 3 (Array.length updates');
+          check "equal" true
+            (Array.for_all2 Bgp_update.equal updates updates')
+      | Error msg -> Alcotest.fail msg)
+
+let test_truncated_file () =
+  let w = Writer.create () in
+  Mrt.write_record w ~timestamp:0
+    (Mrt.Rib_ipv4_unicast { sequence = 0; prefix = p "10.0.0.0/8"; entries = [] });
+  let full = Writer.contents w in
+  let cut = String.sub full 0 (String.length full - 3) in
+  with_tmp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc cut;
+      close_out oc;
+      match Mrt.read_rib_file path with
+      | Error msg -> check "reports truncation" true (String.length msg > 0)
+      | Ok _ -> Alcotest.fail "accepted a truncated file")
+
+let test_bad_marker () =
+  let w = Writer.create () in
+  Mrt.write_record w ~timestamp:0
+    (Mrt.Bgp4mp_message
+       {
+         peer_as = 1;
+         local_as = 2;
+         update = { Mrt.withdrawn = [ p "10.0.0.0/8" ]; announced = []; next_hop = None };
+       });
+  let b = Bytes.of_string (Writer.contents w) in
+  (* corrupt the first BGP marker byte: 12B MRT header + 4+4 peer/local
+     AS + 2 ifindex + 2 AFI + 4+4 peer/local IP = offset 32 *)
+  Bytes.set b 32 '\x00';
+  let r = Reader.of_bytes b in
+  check "bad marker rejected" true
+    (match Mrt.read_record r with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let prop_update_file_roundtrip =
+  let gen_update =
+    QCheck.Gen.(
+      let gen_prefix =
+        map2
+          (fun a l -> Prefix.make (Ipv4.of_int (a * 8192)) l)
+          (int_bound 0x7FFFF) (int_range 0 32)
+      in
+      frequency
+        [
+          ( 3,
+            map2
+              (fun q nh -> Bgp_update.announce q (Nexthop.of_int (1 + nh)))
+              gen_prefix (int_bound 61) );
+          (1, map Bgp_update.withdraw gen_prefix);
+        ])
+  in
+  QCheck.Test.make ~count:50 ~name:"MRT update files roundtrip"
+    (QCheck.make
+       ~print:(fun l -> String.concat ";" (List.map Bgp_update.to_string l))
+       QCheck.Gen.(list_size (int_bound 50) gen_update))
+    (fun updates ->
+      let updates = Array.of_list updates in
+      with_tmp (fun path ->
+          Mrt.write_update_file path updates;
+          match Mrt.read_update_file path with
+          | Ok updates' ->
+              Array.length updates = Array.length updates'
+              && Array.for_all2 Bgp_update.equal updates updates'
+          | Error _ -> false))
+
+let () =
+  Alcotest.run "mrt"
+    [
+      ( "records",
+        [
+          Alcotest.test_case "peer index" `Quick test_peer_index_roundtrip;
+          Alcotest.test_case "rib entry" `Quick test_rib_entry_roundtrip;
+          Alcotest.test_case "nlri lengths" `Quick test_nlri_edge_lengths;
+          Alcotest.test_case "bgp4mp" `Quick test_bgp4mp_roundtrip;
+          Alcotest.test_case "unknown passthrough" `Quick test_unknown_passthrough;
+          Alcotest.test_case "next-hop mapping" `Quick test_nexthop_address_mapping;
+        ] );
+      ( "files",
+        [
+          Alcotest.test_case "rib file" `Quick test_rib_file_roundtrip;
+          Alcotest.test_case "update file" `Quick test_update_file_roundtrip;
+          Alcotest.test_case "truncated" `Quick test_truncated_file;
+          Alcotest.test_case "bad marker" `Quick test_bad_marker;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_update_file_roundtrip ]);
+    ]

@@ -1,0 +1,182 @@
+(* pcap / Ethernet / IPv4 codec tests. *)
+
+open Cfca_prefix
+open Cfca_pcap
+open Cfca_wire
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* -- IPv4 ------------------------------------------------------------ *)
+
+let test_checksum_rfc_example () =
+  (* classic worked example: header from RFC 1071 discussions *)
+  let header =
+    "\x45\x00\x00\x73\x00\x00\x40\x00\x40\x11\x00\x00\xc0\xa8\x00\x01\xc0\xa8\x00\xc7"
+  in
+  check_int "checksum" 0xB861 (Ipv4_packet.checksum header)
+
+let test_ipv4_roundtrip () =
+  let t =
+    {
+      Ipv4_packet.src = Ipv4.of_octets 192 168 0 1;
+      dst = Ipv4.of_octets 10 1 2 3;
+      protocol = 17;
+      ttl = 63;
+      payload_length = 0;
+    }
+  in
+  let w = Writer.create () in
+  Ipv4_packet.encode w t;
+  let r = Reader.of_string (Writer.contents w) in
+  let t' = Ipv4_packet.decode r in
+  check "roundtrip" true (t = t');
+  check "consumed" true (Reader.at_end r)
+
+let test_ipv4_checksum_validated () =
+  let w = Writer.create () in
+  Ipv4_packet.encode w
+    {
+      Ipv4_packet.src = Ipv4.of_octets 1 2 3 4;
+      dst = Ipv4.of_octets 5 6 7 8;
+      protocol = 6;
+      ttl = 10;
+      payload_length = 0;
+    };
+  let b = Bytes.of_string (Writer.contents w) in
+  Bytes.set b 8 '\x00' (* corrupt the TTL *);
+  check "corruption detected" true
+    (match Ipv4_packet.decode (Reader.of_bytes b) with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_ipv4_rejects_v6 () =
+  check "version check" true
+    (match Ipv4_packet.decode (Reader.of_string "\x60\x00\x00\x00") with
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* -- Ethernet --------------------------------------------------------- *)
+
+let test_mac_strings () =
+  (match Ethernet.mac_of_string "aa:bb:cc:dd:ee:ff" with
+  | Some m -> check_str "to_string" "aa:bb:cc:dd:ee:ff" (Ethernet.mac_to_string m)
+  | None -> Alcotest.fail "parse failed");
+  check "short rejected" true (Ethernet.mac_of_string "aa:bb:cc" = None);
+  check "junk rejected" true (Ethernet.mac_of_string "zz:bb:cc:dd:ee:ff" = None)
+
+let test_ethernet_roundtrip () =
+  let t =
+    {
+      Ethernet.dst = Ethernet.broadcast;
+      src = Option.get (Ethernet.mac_of_string "02:00:00:00:00:07");
+      ethertype = Ethernet.ethertype_ipv4;
+    }
+  in
+  let w = Writer.create () in
+  Ethernet.encode w t;
+  check_int "header length" Ethernet.header_length (Writer.length w);
+  let t' = Ethernet.decode (Reader.of_string (Writer.contents w)) in
+  check "roundtrip" true (t = t')
+
+(* -- pcap ------------------------------------------------------------- *)
+
+let with_tmp f =
+  let path = Filename.temp_file "cfca_pcap" ".pcap" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_pcap_roundtrip () =
+  let packets =
+    List.init 100 (fun i ->
+        {
+          Pcap.ts = float_of_int i /. 1000.0;
+          src = Ipv4.of_octets 198 18 0 1;
+          dst = Ipv4.of_int (Ipv4.to_int (Ipv4.of_octets 10 0 0 0) + i);
+        })
+  in
+  with_tmp (fun path ->
+      Pcap.write_file path (List.to_seq packets);
+      match Pcap.read_file path with
+      | Ok packets' ->
+          check_int "count" 100 (List.length packets');
+          List.iter2
+            (fun a b ->
+              check "src" true (Ipv4.equal a.Pcap.src b.Pcap.src);
+              check "dst" true (Ipv4.equal a.Pcap.dst b.Pcap.dst))
+            packets packets'
+      | Error msg -> Alcotest.fail msg)
+
+let test_pcap_count_and_fold () =
+  with_tmp (fun path ->
+      Pcap.write_file path
+        (Seq.init 42 (fun i ->
+             { Pcap.ts = 0.0; src = Ipv4.zero; dst = Ipv4.of_int i }));
+      (match Pcap.count_file path with
+      | Ok n -> check_int "count" 42 n
+      | Error m -> Alcotest.fail m);
+      match
+        Pcap.fold_file path ~init:0 ~f:(fun acc p -> acc + Ipv4.to_int p.Pcap.dst)
+      with
+      | Ok sum -> check_int "fold" (42 * 41 / 2) sum
+      | Error m -> Alcotest.fail m)
+
+let test_pcap_bad_magic () =
+  with_tmp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "not a pcap file at all";
+      close_out oc;
+      check "rejected" true (Result.is_error (Pcap.read_file path)))
+
+let test_pcap_truncated () =
+  with_tmp (fun path ->
+      Pcap.write_file path
+        (Seq.return { Pcap.ts = 0.0; src = Ipv4.zero; dst = Ipv4.broadcast });
+      let contents = In_channel.with_open_bin path In_channel.input_all in
+      let oc = open_out_bin path in
+      output_string oc (String.sub contents 0 (String.length contents - 5));
+      close_out oc;
+      check "truncation reported" true (Result.is_error (Pcap.read_file path)))
+
+let prop_pcap_roundtrip =
+  QCheck.Test.make ~count:30 ~name:"pcap files roundtrip dst addresses"
+    QCheck.(list_of_size (QCheck.Gen.int_bound 64) (int_bound 0xFFFFFF))
+    (fun dsts ->
+      with_tmp (fun path ->
+          Pcap.write_file path
+            (List.to_seq
+               (List.map
+                  (fun d ->
+                    { Pcap.ts = 1.5; src = Ipv4.zero; dst = Ipv4.of_int (d * 64) })
+                  dsts));
+          match Pcap.read_file path with
+          | Ok packets ->
+              List.map (fun p -> Ipv4.to_int p.Pcap.dst) packets
+              = List.map (fun d -> d * 64) dsts
+          | Error _ -> false))
+
+let () =
+  Alcotest.run "pcap"
+    [
+      ( "ipv4",
+        [
+          Alcotest.test_case "checksum vector" `Quick test_checksum_rfc_example;
+          Alcotest.test_case "roundtrip" `Quick test_ipv4_roundtrip;
+          Alcotest.test_case "checksum validated" `Quick
+            test_ipv4_checksum_validated;
+          Alcotest.test_case "rejects v6" `Quick test_ipv4_rejects_v6;
+        ] );
+      ( "ethernet",
+        [
+          Alcotest.test_case "mac strings" `Quick test_mac_strings;
+          Alcotest.test_case "roundtrip" `Quick test_ethernet_roundtrip;
+        ] );
+      ( "pcap",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pcap_roundtrip;
+          Alcotest.test_case "count/fold" `Quick test_pcap_count_and_fold;
+          Alcotest.test_case "bad magic" `Quick test_pcap_bad_magic;
+          Alcotest.test_case "truncated" `Quick test_pcap_truncated;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_pcap_roundtrip ]);
+    ]

@@ -1,0 +1,222 @@
+(* PFCA baseline tests: extension-only caching semantics, plus
+   three-way forwarding equivalence (PFCA = CFCA = reference LPM) and
+   the headline compression invariant |CFCA FIB| <= |PFCA FIB|. *)
+
+open Cfca_prefix
+open Cfca_trie
+open Cfca_core
+
+let p = Prefix.v
+let addr = Ipv4.of_string_exn
+let check_int = Alcotest.(check int)
+
+let default_nh = 9
+
+let paper_routes =
+  [
+    ("129.10.124.0/24", 1);
+    ("129.10.124.0/27", 1);
+    ("129.10.124.64/26", 1);
+    ("129.10.124.192/26", 2);
+  ]
+
+let load_pfca routes =
+  let t = Cfca_pfca.Pfca.create ~default_nh () in
+  Cfca_pfca.Pfca.load t (List.to_seq (List.map (fun (q, nh) -> (p q, nh)) routes));
+  t
+
+let expect_verify t =
+  match Cfca_pfca.Pfca.verify t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "verify failed: %s" msg
+
+let test_initial_install () =
+  let t = load_pfca paper_routes in
+  expect_verify t;
+  (* every extension leaf is installed: 5 under the /24 (Fig. 4a) plus
+     one default sibling per level of the path to the /24 *)
+  check_int "fib = leaves" (Bintrie.leaf_count (Cfca_pfca.Pfca.tree t))
+    (Cfca_pfca.Pfca.fib_size t);
+  check_int "fib size" (5 + 24) (Cfca_pfca.Pfca.fib_size t)
+
+let test_forwarding () =
+  let t = load_pfca paper_routes in
+  let nh a = Cfca_pfca.Pfca.lookup t (addr a) in
+  check_int "B" 1 (nh "129.10.124.1");
+  check_int "C" 1 (nh "129.10.124.65");
+  check_int "D" 2 (nh "129.10.124.193");
+  check_int "cache hiding canary" 2 (nh "129.10.124.192");
+  check_int "default" default_nh (nh "8.8.8.8")
+
+let test_update_touches_leaves_only () =
+  let t = load_pfca paper_routes in
+  let ops = ref [] in
+  Cfca_pfca.Pfca.set_sink t (fun op -> ops := op :: !ops);
+  (* a next-hop change of the /24 re-points the FAKE leaves G and I but
+     leaves REAL descendants (B, C, D) alone *)
+  Cfca_pfca.Pfca.announce t (p "129.10.124.0/24") 5;
+  expect_verify t;
+  check_int "two updates (G and I)" 2 (List.length !ops);
+  List.iter
+    (fun op ->
+      match op with
+      | Fib_op.Update (_, _, nh) -> check_int "new nh" 5 nh
+      | _ -> Alcotest.fail "expected in-place updates only")
+    !ops;
+  check_int "G region" 5 (Cfca_pfca.Pfca.lookup t (addr "129.10.124.33"));
+  check_int "B region unchanged" 1 (Cfca_pfca.Pfca.lookup t (addr "129.10.124.1"))
+
+let test_announce_new_fragments () =
+  let t = load_pfca paper_routes in
+  let before = Cfca_pfca.Pfca.fib_size t in
+  Cfca_pfca.Pfca.announce t (p "129.10.124.144/28") 5;
+  expect_verify t;
+  (* the /26 anchor leaves the FIB, 2 levels x 2 nodes of which 3 are
+     leaves enter it: net +2 *)
+  check_int "net growth" (before + 2) (Cfca_pfca.Pfca.fib_size t);
+  check_int "new region" 5 (Cfca_pfca.Pfca.lookup t (addr "129.10.124.150"))
+
+let test_withdraw_compacts () =
+  let t = load_pfca paper_routes in
+  let before_nodes = Cfca_pfca.Pfca.node_count t in
+  let before_fib = Cfca_pfca.Pfca.fib_size t in
+  Cfca_pfca.Pfca.announce t (p "129.10.124.144/28") 5;
+  Cfca_pfca.Pfca.withdraw t (p "129.10.124.144/28");
+  expect_verify t;
+  check_int "nodes restored" before_nodes (Cfca_pfca.Pfca.node_count t);
+  check_int "fib restored" before_fib (Cfca_pfca.Pfca.fib_size t);
+  check_int "region reverts" 1 (Cfca_pfca.Pfca.lookup t (addr "129.10.124.150"))
+
+(* -- randomized three-way equivalence ------------------------------- *)
+
+type op = Ann of Prefix.t * int | Wd of Prefix.t
+
+let gen_scoped_prefix =
+  QCheck.Gen.(
+    map2
+      (fun a l ->
+        let base =
+          Ipv4.of_octets 10 ((a lsr 16) land 0xFF) ((a lsr 8) land 0xFF) (a land 0xFF)
+        in
+        Prefix.make base l)
+      (int_bound 0xFFFFFF)
+      (int_range 9 32))
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun q nh -> Ann (q, nh)) gen_scoped_prefix (int_range 1 8));
+        (1, map (fun q -> Wd q) gen_scoped_prefix);
+      ])
+
+let arb_scenario =
+  QCheck.make
+    ~print:(fun (routes, ops) ->
+      Printf.sprintf "routes=%d ops=[%s]" (List.length routes)
+        (String.concat ";"
+           (List.map
+              (function
+                | Ann (q, nh) -> Printf.sprintf "A(%s,%d)" (Prefix.to_string q) nh
+                | Wd q -> Printf.sprintf "W(%s)" (Prefix.to_string q))
+              ops)))
+    QCheck.Gen.(
+      pair
+        (list_size (int_bound 30) (pair gen_scoped_prefix (int_range 1 8)))
+        (list_size (int_bound 50) gen_op))
+
+let prop_three_way_equivalence =
+  QCheck.Test.make ~count:250
+    ~name:"PFCA = CFCA = reference LPM after random updates" arb_scenario
+    (fun (routes, ops) ->
+      let pf = Cfca_pfca.Pfca.create ~default_nh () in
+      let rm = Route_manager.create ~default_nh () in
+      let model = Lpm.create () in
+      Lpm.add model Prefix.default default_nh;
+      let seq = List.to_seq routes in
+      Cfca_pfca.Pfca.load pf seq;
+      Route_manager.load rm seq;
+      List.iter (fun (q, nh) -> Lpm.add model q nh) routes;
+      List.iter
+        (function
+          | Ann (q, nh) ->
+              Cfca_pfca.Pfca.announce pf q nh;
+              Route_manager.announce rm q nh;
+              Lpm.add model q nh
+          | Wd q ->
+              Cfca_pfca.Pfca.withdraw pf q;
+              Route_manager.withdraw rm q;
+              Lpm.remove model q)
+        ops;
+      (match Cfca_pfca.Pfca.verify pf with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_report ("pfca: " ^ m));
+      (match Route_manager.verify rm with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_report ("cfca: " ^ m));
+      let st = Random.State.make [| List.length ops; 23 |] in
+      let ok = ref true in
+      let checkpoint a =
+        let want =
+          match Lpm.lookup model a with Some (_, nh) -> nh | None -> default_nh
+        in
+        if Cfca_pfca.Pfca.lookup pf a <> want then ok := false;
+        if Route_manager.lookup rm a <> want then ok := false
+      in
+      List.iter
+        (fun (q, _) ->
+          checkpoint (Prefix.network q);
+          checkpoint (Prefix.last_address q);
+          checkpoint (Prefix.random_member st q))
+        routes;
+      List.iter
+        (function
+          | Ann (q, _) | Wd q ->
+              checkpoint (Prefix.network q);
+              checkpoint (Prefix.random_member st q))
+        ops;
+      for _ = 1 to 30 do
+        checkpoint (Ipv4.random st)
+      done;
+      !ok)
+
+let prop_cfca_never_larger =
+  QCheck.Test.make ~count:250
+    ~name:"CFCA's FIB is never larger than PFCA's" arb_scenario
+    (fun (routes, ops) ->
+      let pf = Cfca_pfca.Pfca.create ~default_nh () in
+      let rm = Route_manager.create ~default_nh () in
+      let seq = List.to_seq routes in
+      Cfca_pfca.Pfca.load pf seq;
+      Route_manager.load rm seq;
+      let ok = ref (Route_manager.fib_size rm <= Cfca_pfca.Pfca.fib_size pf) in
+      List.iter
+        (fun op ->
+          (match op with
+          | Ann (q, nh) ->
+              Cfca_pfca.Pfca.announce pf q nh;
+              Route_manager.announce rm q nh
+          | Wd q ->
+              Cfca_pfca.Pfca.withdraw pf q;
+              Route_manager.withdraw rm q);
+          if Route_manager.fib_size rm > Cfca_pfca.Pfca.fib_size pf then
+            ok := false)
+        ops;
+      !ok)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "pfca"
+    [
+      ( "pfca",
+        [
+          Alcotest.test_case "initial install" `Quick test_initial_install;
+          Alcotest.test_case "forwarding" `Quick test_forwarding;
+          Alcotest.test_case "update touches leaves only" `Quick
+            test_update_touches_leaves_only;
+          Alcotest.test_case "announce fragments" `Quick
+            test_announce_new_fragments;
+          Alcotest.test_case "withdraw compacts" `Quick test_withdraw_compacts;
+        ] );
+      ("properties", qt [ prop_three_way_equivalence; prop_cfca_never_larger ]);
+    ]

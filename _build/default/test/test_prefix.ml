@@ -1,0 +1,202 @@
+(* Unit and property tests for the address/prefix substrate. *)
+
+open Cfca_prefix
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* -- Ipv4 ---------------------------------------------------------- *)
+
+let test_ipv4_roundtrip () =
+  List.iter
+    (fun s ->
+      match Ipv4.of_string s with
+      | Some a -> check_str s s (Ipv4.to_string a)
+      | None -> Alcotest.failf "failed to parse %s" s)
+    [ "0.0.0.0"; "255.255.255.255"; "129.10.124.0"; "10.0.0.1"; "1.2.3.4" ]
+
+let test_ipv4_malformed () =
+  List.iter
+    (fun s -> check ("rejects " ^ s) true (Ipv4.of_string s = None))
+    [
+      ""; "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "1..2.3"; "a.b.c.d"; "1.2.3.4 ";
+      "-1.2.3.4"; "01x.2.3.4"; "1.2.3."; ".1.2.3"; "999.999.999.999";
+    ]
+
+let test_ipv4_octets () =
+  let a = Ipv4.of_octets 129 10 124 192 in
+  check_str "string" "129.10.124.192" (Ipv4.to_string a);
+  let x, y, z, w = Ipv4.to_octets a in
+  check_int "o1" 129 x;
+  check_int "o2" 10 y;
+  check_int "o3" 124 z;
+  check_int "o4" 192 w
+
+let test_ipv4_bits () =
+  let a = Ipv4.of_octets 0x80 0 0 1 in
+  check "top bit" true (Ipv4.bit a 0);
+  check "second bit" false (Ipv4.bit a 1);
+  check "last bit" true (Ipv4.bit a 31);
+  check "bit 30" false (Ipv4.bit a 30)
+
+let test_ipv4_succ () =
+  check "wraps" true Ipv4.(equal (succ broadcast) zero);
+  check "increments" true
+    Ipv4.(equal (succ (of_octets 1 2 3 255)) (of_octets 1 2 4 0))
+
+(* -- Prefix -------------------------------------------------------- *)
+
+let p = Prefix.v
+
+let test_prefix_parse () =
+  check_str "canonical" "129.10.124.0/24" (Prefix.to_string (p "129.10.124.0/24"));
+  check_str "masks host bits" "129.10.124.0/24"
+    (Prefix.to_string (p "129.10.124.77/24"));
+  check_str "default" "0.0.0.0/0" (Prefix.to_string Prefix.default);
+  check_str "host route" "1.2.3.4/32" (Prefix.to_string (p "1.2.3.4/32"))
+
+let test_prefix_malformed () =
+  List.iter
+    (fun s -> check ("rejects " ^ s) true (Prefix.of_string s = None))
+    [ ""; "1.2.3.4"; "1.2.3.4/33"; "1.2.3.4/-1"; "1.2.3/24"; "1.2.3.4/x" ]
+
+let test_prefix_contains () =
+  check "contains deeper" true
+    (Prefix.contains (p "129.10.124.0/24") (p "129.10.124.192/26"));
+  check "contains self" true
+    (Prefix.contains (p "129.10.124.0/24") (p "129.10.124.0/24"));
+  check "no reverse" false
+    (Prefix.contains (p "129.10.124.192/26") (p "129.10.124.0/24"));
+  check "disjoint" false
+    (Prefix.contains (p "129.10.124.0/24") (p "129.10.125.0/24"));
+  check "default contains all" true
+    (Prefix.contains Prefix.default (p "1.2.3.4/32"))
+
+let test_prefix_mem () =
+  check "member" true (Prefix.mem (Ipv4.of_string_exn "129.10.124.5") (p "129.10.124.0/24"));
+  check "not member" false
+    (Prefix.mem (Ipv4.of_string_exn "129.10.125.5") (p "129.10.124.0/24"));
+  check "last" true (Prefix.mem (Prefix.last_address (p "10.0.0.0/8")) (p "10.0.0.0/8"))
+
+let test_prefix_family () =
+  let q = p "129.10.124.128/25" in
+  check "parent" true (Prefix.equal (Prefix.parent q) (p "129.10.124.0/24"));
+  check "sibling" true (Prefix.equal (Prefix.sibling q) (p "129.10.124.0/25"));
+  check "left" true (Prefix.equal (Prefix.left q) (p "129.10.124.128/26"));
+  check "right" true (Prefix.equal (Prefix.right q) (p "129.10.124.192/26"));
+  check "is_left" false (Prefix.is_left_child q);
+  check "is_left sib" true (Prefix.is_left_child (Prefix.sibling q));
+  check "siblings" true (Prefix.is_sibling q (Prefix.sibling q));
+  check "not own sibling" false (Prefix.is_sibling q q)
+
+let test_prefix_order () =
+  (* A prefix sorts immediately before its descendants. *)
+  check "parent first" true (Prefix.compare (p "10.0.0.0/8") (p "10.0.0.0/9") < 0);
+  check "by bits" true (Prefix.compare (p "10.0.0.0/8") (p "11.0.0.0/8") < 0);
+  check_int "equal" 0 (Prefix.compare (p "10.0.0.0/8") (p "10.0.0.0/8"))
+
+let test_default_edge_cases () =
+  check "default no parent" true
+    (match Prefix.parent Prefix.default with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "default no sibling" true
+    (match Prefix.sibling Prefix.default with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "no children of /32" true
+    (match Prefix.left (p "1.2.3.4/32") with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* -- properties ---------------------------------------------------- *)
+
+let gen_prefix =
+  QCheck.Gen.(
+    map2
+      (fun addr len -> Prefix.make (Ipv4.of_int addr) len)
+      (int_bound 0xFFFFFF |> map (fun x -> x * 256))
+      (int_bound 32))
+
+let arb_prefix = QCheck.make ~print:Prefix.to_string gen_prefix
+
+let arb_addr =
+  QCheck.make
+    ~print:Ipv4.to_string
+    QCheck.Gen.(map Ipv4.of_int (int_bound 0xFFFFFF |> map (fun x -> (x * 257) land 0xFFFFFFFF)))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"prefix of_string/to_string roundtrip" ~count:500
+    arb_prefix (fun p ->
+      match Prefix.of_string (Prefix.to_string p) with
+      | Some q -> Prefix.equal p q
+      | None -> false)
+
+let prop_children_partition =
+  QCheck.Test.make ~name:"children partition the parent" ~count:500
+    (QCheck.pair arb_prefix arb_addr) (fun (p, a) ->
+      QCheck.assume (Prefix.length p < 32);
+      let l = Prefix.left p and r = Prefix.right p in
+      let in_p = Prefix.mem a p in
+      let in_l = Prefix.mem a l and in_r = Prefix.mem a r in
+      if in_p then in_l <> in_r else (not in_l) && not in_r)
+
+let prop_parent_of_child =
+  QCheck.Test.make ~name:"parent of child is identity" ~count:500 arb_prefix
+    (fun p ->
+      QCheck.assume (Prefix.length p < 32);
+      Prefix.equal (Prefix.parent (Prefix.left p)) p
+      && Prefix.equal (Prefix.parent (Prefix.right p)) p)
+
+let prop_sibling_involution =
+  QCheck.Test.make ~name:"sibling is an involution" ~count:500 arb_prefix
+    (fun p ->
+      QCheck.assume (Prefix.length p > 0);
+      Prefix.equal (Prefix.sibling (Prefix.sibling p)) p)
+
+let prop_random_member =
+  QCheck.Test.make ~name:"random_member is a member" ~count:500 arb_prefix
+    (fun p ->
+      let st = Random.State.make [| Prefix.hash p |] in
+      Prefix.mem (Prefix.random_member st p) p)
+
+let prop_contains_transitive =
+  QCheck.Test.make ~name:"containment is transitive via parent chain"
+    ~count:500 arb_prefix (fun p ->
+      QCheck.assume (Prefix.length p > 0);
+      Prefix.contains (Prefix.parent p) p)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "prefix"
+    [
+      ( "ipv4",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ipv4_roundtrip;
+          Alcotest.test_case "malformed" `Quick test_ipv4_malformed;
+          Alcotest.test_case "octets" `Quick test_ipv4_octets;
+          Alcotest.test_case "bits" `Quick test_ipv4_bits;
+          Alcotest.test_case "succ" `Quick test_ipv4_succ;
+        ] );
+      ( "prefix",
+        [
+          Alcotest.test_case "parse" `Quick test_prefix_parse;
+          Alcotest.test_case "malformed" `Quick test_prefix_malformed;
+          Alcotest.test_case "contains" `Quick test_prefix_contains;
+          Alcotest.test_case "mem" `Quick test_prefix_mem;
+          Alcotest.test_case "family" `Quick test_prefix_family;
+          Alcotest.test_case "order" `Quick test_prefix_order;
+          Alcotest.test_case "edge cases" `Quick test_default_edge_cases;
+        ] );
+      ( "properties",
+        qt
+          [
+            prop_string_roundtrip;
+            prop_children_partition;
+            prop_parent_of_child;
+            prop_sibling_involution;
+            prop_random_member;
+            prop_contains_transitive;
+          ] );
+    ]

@@ -1,0 +1,170 @@
+(* RIB container, text IO and synthetic generator tests. *)
+
+open Cfca_prefix
+open Cfca_rib
+
+let p = Prefix.v
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_rib_dedupe_sort () =
+  let rib =
+    Rib.of_list
+      [ (p "10.0.0.0/8", 1); (p "9.0.0.0/8", 2); (p "10.0.0.0/8", 3) ]
+  in
+  check_int "dedupe" 2 (Rib.size rib);
+  check "last wins" true (Rib.find rib (p "10.0.0.0/8") = Some 3);
+  check "sorted" true
+    (Array.to_list (Rib.prefixes rib) = [ p "9.0.0.0/8"; p "10.0.0.0/8" ])
+
+let test_rib_find () =
+  let rib = Rib.of_list [ (p "10.0.0.0/8", 1); (p "10.0.0.0/16", 2) ] in
+  check "exact /8" true (Rib.find rib (p "10.0.0.0/8") = Some 1);
+  check "exact /16" true (Rib.find rib (p "10.0.0.0/16") = Some 2);
+  check "absent" true (Rib.find rib (p "10.0.0.0/12") = None)
+
+let test_rib_next_hops_histogram () =
+  let rib =
+    Rib.of_list [ (p "10.0.0.0/8", 5); (p "11.0.0.0/8", 1); (p "12.0.0.0/24", 5) ]
+  in
+  check "next hops" true (Rib.next_hops rib = [ 1; 5 ]);
+  let h = Rib.length_histogram rib in
+  check_int "/8s" 2 h.(8);
+  check_int "/24s" 1 h.(24)
+
+let test_rib_io_roundtrip () =
+  let rib =
+    Rib_gen.generate { Rib_gen.size = 1_000; peers = 8; locality = 0.8; seed = 5 }
+  in
+  let path = Filename.temp_file "cfca_rib" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Rib_io.save path rib;
+      match Rib_io.load path with
+      | Ok rib' -> check "roundtrip" true (Rib.entries rib = Rib.entries rib')
+      | Error m -> Alcotest.fail m)
+
+let test_rib_io_comments_and_errors () =
+  check "comment skipped" true (Rib_io.parse_line "# a comment" = None);
+  check "blank skipped" true (Rib_io.parse_line "   " = None);
+  check "inline comment" true
+    (Rib_io.parse_line "10.0.0.0/8 5 # core" = Some (p "10.0.0.0/8", 5));
+  check "malformed prefix" true
+    (match Rib_io.parse_line "10.0.0/8 5" with
+    | exception Failure _ -> true
+    | _ -> false);
+  check "malformed nh" true
+    (match Rib_io.parse_line "10.0.0.0/8 zero" with
+    | exception Failure _ -> true
+    | _ -> false);
+  let path = Filename.temp_file "cfca_rib" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "10.0.0.0/8 1\nbroken line\n";
+      close_out oc;
+      match Rib_io.load path with
+      | Error msg -> check "line number reported" true (String.length msg > 0)
+      | Ok _ -> Alcotest.fail "accepted malformed file")
+
+let gen_params seed =
+  { Rib_gen.size = 8_000; peers = 32; locality = 0.80; seed }
+
+let test_gen_size_and_determinism () =
+  let a = Rib_gen.generate (gen_params 11) in
+  let b = Rib_gen.generate (gen_params 11) in
+  let c = Rib_gen.generate (gen_params 12) in
+  check_int "target size" 8_000 (Rib.size a);
+  check "deterministic" true (Rib.entries a = Rib.entries b);
+  check "seed matters" true (Rib.entries a <> Rib.entries c)
+
+let test_gen_shape () =
+  let rib = Rib_gen.generate (gen_params 21) in
+  let h = Rib.length_histogram rib in
+  let total = float_of_int (Rib.size rib) in
+  let frac l = float_of_int h.(l) /. total in
+  (* the real global table's signature: /24 dominates *)
+  check "/24 dominates" true (frac 24 > 0.35 && frac 24 < 0.75);
+  check "some covering routes" true (h.(13) + h.(14) + h.(15) + h.(16) + h.(17) > 0);
+  check "few host routes" true (frac 32 < 0.02);
+  check "next-hops within peers" true
+    (List.for_all (fun nh -> nh >= 1 && nh <= 32) (Rib.next_hops rib))
+
+let test_gen_aggregability () =
+  (* calibration guard: FIFA-S/ORTC must land in the real-table band *)
+  let rib = Rib_gen.generate (gen_params 31) in
+  let ratio =
+    Cfca_aggr.Ortc.ratio ~default_nh:33 (Array.to_list (Rib.entries rib))
+  in
+  check "ORTC ratio in band" true (ratio > 0.10 && ratio < 0.45)
+
+let test_gen_overlaps_exist () =
+  (* covering routes + punched-out more-specifics must coexist, or
+     prefix extension / cache hiding would go unexercised *)
+  let rib = Rib_gen.generate (gen_params 41) in
+  let entries = Rib.entries rib in
+  let t = Cfca_trie.Lpm.create () in
+  Array.iter (fun (q, nh) -> Cfca_trie.Lpm.add t q nh) entries;
+  let overlapping = ref 0 in
+  Array.iter
+    (fun (q, _) ->
+      if Prefix.length q > 0 then
+        match Cfca_trie.Lpm.lookup t (Prefix.network q) with
+        | Some (m, _) when not (Prefix.equal m q) -> incr overlapping
+        | _ ->
+            (* q itself is the longest match at its own network address;
+               check whether it has a strictly shorter cover instead *)
+            let rec covered l =
+              l >= 8
+              &&
+              (Cfca_trie.Lpm.mem t (Prefix.make (Prefix.network q) l)
+              || covered (l - 1))
+            in
+            if covered (Prefix.length q - 1) then incr overlapping)
+    entries;
+  check "nested prefixes present" true
+    (float_of_int !overlapping /. float_of_int (Rib.size rib) > 0.10)
+
+let prop_gen_valid =
+  QCheck.Test.make ~count:20 ~name:"generated tables are well-formed"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rib =
+        Rib_gen.generate { Rib_gen.size = 500; peers = 16; locality = 0.7; seed }
+      in
+      Rib.size rib = 500
+      && Array.for_all
+           (fun (q, nh) ->
+             Prefix.length q >= 8 && Prefix.length q <= 32
+             && Nexthop.to_int nh >= 1
+             && Nexthop.to_int nh <= 16)
+           (Rib.entries rib))
+
+let () =
+  Alcotest.run "rib"
+    [
+      ( "rib",
+        [
+          Alcotest.test_case "dedupe/sort" `Quick test_rib_dedupe_sort;
+          Alcotest.test_case "find" `Quick test_rib_find;
+          Alcotest.test_case "next-hops/histogram" `Quick
+            test_rib_next_hops_histogram;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rib_io_roundtrip;
+          Alcotest.test_case "comments and errors" `Quick
+            test_rib_io_comments_and_errors;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "size/determinism" `Quick
+            test_gen_size_and_determinism;
+          Alcotest.test_case "length shape" `Quick test_gen_shape;
+          Alcotest.test_case "aggregability" `Quick test_gen_aggregability;
+          Alcotest.test_case "overlaps" `Quick test_gen_overlaps_exist;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_gen_valid ]);
+    ]

@@ -1,0 +1,106 @@
+(* TCAM model tests. *)
+
+open Cfca_tcam
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_capacity () =
+  let t = Tcam.create ~capacity:2 in
+  check_int "capacity" 2 (Tcam.capacity t);
+  check "not full" false (Tcam.is_full t);
+  Tcam.install t 24;
+  Tcam.install t 16;
+  check "full" true (Tcam.is_full t);
+  check_int "size" 2 (Tcam.size t);
+  check "over-install rejected" true
+    (match Tcam.install t 8 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check (float 0.001)) "occupancy" 1.0 (Tcam.occupancy t)
+
+let test_remove () =
+  let t = Tcam.create ~capacity:4 in
+  Tcam.install t 24;
+  Tcam.remove t 24;
+  check_int "empty" 0 (Tcam.size t);
+  check "removing absent length rejected" true
+    (match Tcam.remove t 24 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_chain_move_cost () =
+  let t = Tcam.create ~capacity:100 in
+  (* an empty TCAM: one slot write per insert *)
+  Tcam.install t 24;
+  check_int "first insert" 1 (Tcam.stats t).Tcam.slot_writes;
+  (* inserting a *shorter* prefix under one occupied longer group costs
+     one boundary move on top of the write itself *)
+  Tcam.install t 16;
+  check_int "insert below /24" 3 (Tcam.stats t).Tcam.slot_writes;
+  (* inserting the longest prefix so far displaces nobody *)
+  Tcam.install t 32;
+  check_int "insert /32 on top" 4 (Tcam.stats t).Tcam.slot_writes;
+  (* now a /8 has three occupied longer groups above it: cost 1 + 3 *)
+  Tcam.install t 8;
+  check_int "insert /8 below three groups" 8 (Tcam.stats t).Tcam.slot_writes
+
+let test_rewrite_and_reset () =
+  let t = Tcam.create ~capacity:4 in
+  Tcam.install t 24;
+  Tcam.rewrite t;
+  let s = Tcam.stats t in
+  check_int "rewrites" 1 s.Tcam.rewrites;
+  check_int "installs" 1 s.Tcam.installs;
+  Tcam.reset_stats t;
+  let s = Tcam.stats t in
+  check_int "reset installs" 0 s.Tcam.installs;
+  check_int "reset writes" 0 s.Tcam.slot_writes;
+  check_int "contents kept" 1 (Tcam.size t)
+
+let test_histogram () =
+  let t = Tcam.create ~capacity:10 in
+  Tcam.install t 24;
+  Tcam.install t 24;
+  Tcam.install t 8;
+  let h = Tcam.length_histogram t in
+  check_int "/24 bucket" 2 h.(24);
+  check_int "/8 bucket" 1 h.(8);
+  check_int "untouched bucket" 0 h.(16)
+
+let prop_size_tracks_operations =
+  QCheck.Test.make ~count:200 ~name:"size = installs - removes, never negative"
+    QCheck.(list_of_size (QCheck.Gen.int_bound 60) (QCheck.int_bound 32))
+    (fun lens ->
+      let t = Tcam.create ~capacity:1000 in
+      let live = Array.make 33 0 in
+      List.iter
+        (fun len ->
+          (* alternate: install, and remove when the bucket has entries *)
+          if live.(len) > 0 && len mod 2 = 0 then begin
+            Tcam.remove t len;
+            live.(len) <- live.(len) - 1
+          end
+          else begin
+            Tcam.install t len;
+            live.(len) <- live.(len) + 1
+          end)
+        lens;
+      let s = Tcam.stats t in
+      Tcam.size t = s.Tcam.installs - s.Tcam.removes
+      && Tcam.size t = Array.fold_left ( + ) 0 live
+      && s.Tcam.slot_writes >= s.Tcam.installs + s.Tcam.removes)
+
+let () =
+  Alcotest.run "tcam"
+    [
+      ( "tcam",
+        [
+          Alcotest.test_case "capacity" `Quick test_capacity;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "chain-move cost" `Quick test_chain_move_cost;
+          Alcotest.test_case "rewrite/reset" `Quick test_rewrite_and_reset;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_size_tracks_operations ]);
+    ]

@@ -1,0 +1,254 @@
+(* Traffic generation tests: Zipf sampling, flow/train structure,
+   update synthesis and the mixed trace. *)
+
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_rib
+open Cfca_traffic
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_rib seed =
+  Rib_gen.generate { Rib_gen.size = 2_000; peers = 16; locality = 0.8; seed }
+
+(* -- Zipf -------------------------------------------------------------- *)
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~exponent:1.2 ~n:100 () in
+  let st = Random.State.make [| 5 |] in
+  let ok = ref true in
+  for _ = 1 to 1_000 do
+    let r = Zipf.draw z st in
+    if r < 0 || r >= 100 then ok := false
+  done;
+  check "draws in range" true !ok;
+  check_int "n" 100 (Zipf.n z);
+  check "rejects n=0" true
+    (match Zipf.create ~n:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_zipf_mass () =
+  let z = Zipf.create ~exponent:1.0 ~n:1_000 () in
+  check "mass monotone" true (Zipf.mass z 10 < Zipf.mass z 100);
+  check "total mass" true (abs_float (Zipf.mass z 1_000 -. 1.0) < 1e-9);
+  check "zero mass" true (Zipf.mass z 0 = 0.0);
+  (* skew: the top 1% must beat a uniform top 1% by a wide margin *)
+  check "skew" true (Zipf.mass z 10 > 0.2)
+
+let test_zipf_skew_ordering () =
+  let st = Random.State.make [| 5 |] in
+  let freq_of z =
+    let counts = Array.make 100 0 in
+    for _ = 1 to 20_000 do
+      let r = Zipf.draw z st in
+      counts.(r) <- counts.(r) + 1
+    done;
+    counts
+  in
+  let flat = freq_of (Zipf.create ~exponent:0.0 ~n:100 ()) in
+  let steep = freq_of (Zipf.create ~exponent:2.0 ~n:100 ()) in
+  check "steep concentrates rank 0" true (steep.(0) > 3 * flat.(0));
+  check "rank 0 >= rank 50 under skew" true (steep.(0) > steep.(50))
+
+(* -- Flow_gen ----------------------------------------------------------- *)
+
+let test_flow_determinism () =
+  let rib = small_rib 1 in
+  let mk () = Flow_gen.create { Flow_gen.default_params with seed = 9 } rib in
+  let a = mk () and b = mk () in
+  let same = ref true in
+  for _ = 1 to 1_000 do
+    if not (Ipv4.equal (Flow_gen.next a) (Flow_gen.next b)) then same := false
+  done;
+  check "deterministic" true !same
+
+let test_flow_dsts_covered () =
+  let rib = small_rib 2 in
+  let flow = Flow_gen.create Flow_gen.default_params rib in
+  let t = Cfca_trie.Lpm.create () in
+  Array.iter (fun (q, nh) -> Cfca_trie.Lpm.add t q nh) (Rib.entries rib);
+  let covered = ref 0 and total = 5_000 in
+  for _ = 1 to total do
+    match Cfca_trie.Lpm.lookup t (Flow_gen.next flow) with
+    | Some _ -> incr covered
+    | None -> ()
+  done;
+  (* every destination is drawn from inside some RIB prefix *)
+  check_int "all dsts covered by the RIB" total !covered
+
+let test_flow_ranking () =
+  let rib = small_rib 3 in
+  let flow = Flow_gen.create Flow_gen.default_params rib in
+  check_int "universe" (Rib.size rib) (Flow_gen.universe flow);
+  let q = Flow_gen.prefix_of_rank flow 0 in
+  check "rank roundtrip" true (Flow_gen.rank_of_prefix flow q = Some 0);
+  check "out of range" true
+    (match Flow_gen.prefix_of_rank flow (Rib.size rib) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_flow_popular_prefixes_dominate () =
+  let rib = small_rib 4 in
+  let flow =
+    Flow_gen.create { Flow_gen.default_params with zipf_exponent = 1.5; seed = 17 } rib
+  in
+  (* count traffic landing inside the top-100 ranked prefixes *)
+  let top = Hashtbl.create 100 in
+  for r = 0 to 99 do
+    Hashtbl.replace top (Flow_gen.prefix_of_rank flow r) ()
+  done;
+  let hits = ref 0 and total = 20_000 in
+  for _ = 1 to total do
+    let dst = Flow_gen.next flow in
+    if Hashtbl.fold (fun q () acc -> acc || Prefix.mem dst q) top false then
+      incr hits
+  done;
+  check "top 5% of prefixes carry most traffic" true
+    (float_of_int !hits /. float_of_int total > 0.5)
+
+(* -- Update_gen ---------------------------------------------------------- *)
+
+let test_update_gen_mix () =
+  let rib = small_rib 5 in
+  let flow = Flow_gen.create Flow_gen.default_params rib in
+  let updates =
+    Update_gen.generate { Update_gen.default_params with count = 4_000 } flow
+  in
+  check_int "count" 4_000 (Array.length updates);
+  let announces, withdraws = Update_gen.count_kinds updates in
+  check "announce majority" true (announces > withdraws);
+  check "withdrawals present" true (withdraws > 400)
+
+let test_update_gen_deterministic () =
+  let rib = small_rib 6 in
+  let mk () =
+    let flow = Flow_gen.create Flow_gen.default_params rib in
+    Update_gen.generate { Update_gen.default_params with count = 500 } flow
+  in
+  check "deterministic" true (Array.for_all2 Bgp_update.equal (mk ()) (mk ()))
+
+let test_update_gen_unpopular_bias () =
+  let rib = small_rib 7 in
+  let flow = Flow_gen.create Flow_gen.default_params rib in
+  let updates =
+    Update_gen.generate
+      { Update_gen.default_params with count = 2_000; popular_frac = 0.0 }
+      flow
+  in
+  let n = Flow_gen.universe flow in
+  let popular_touched = ref 0 in
+  Array.iter
+    (fun (u : Bgp_update.t) ->
+      match Flow_gen.rank_of_prefix flow u.prefix with
+      | Some r when r < n / 10 -> incr popular_touched
+      | _ -> ())
+    updates;
+  check "top decile untouched with popular_frac=0" true (!popular_touched = 0)
+
+(* -- Trace ---------------------------------------------------------------- *)
+
+let test_trace_counts () =
+  let rib = small_rib 8 in
+  let flow = Flow_gen.create Flow_gen.default_params rib in
+  let updates =
+    Update_gen.generate { Update_gen.default_params with count = 37 } flow
+  in
+  let spec = Trace.make ~packets:10_000 ~updates () in
+  let packets = ref 0 and ups = ref 0 and last_time = ref (-1.0) in
+  Trace.iter spec rib (fun ~time ev ->
+      check "time monotone" true (time >= !last_time);
+      last_time := time;
+      match ev with
+      | Trace.Packet _ -> incr packets
+      | Trace.Update _ -> incr ups);
+  check_int "packets" 10_000 !packets;
+  check_int "updates all delivered" 37 !ups
+
+let test_trace_determinism_across_iterations () =
+  let rib = small_rib 9 in
+  let spec = Trace.make ~packets:2_000 ~updates:[||] () in
+  let collect () =
+    let acc = ref [] in
+    Trace.iter spec rib (fun ~time:_ ev ->
+        match ev with
+        | Trace.Packet d -> acc := d :: !acc
+        | Trace.Update _ -> ());
+    !acc
+  in
+  check "identical replays" true (collect () = collect ())
+
+let test_zipf_uniform_when_flat () =
+  let z = Zipf.create ~exponent:0.0 ~n:4 () in
+  (* exponent 0: every rank equally likely; mass is linear *)
+  Alcotest.(check (float 1e-9)) "mass 2/4" 0.5 (Zipf.mass z 2);
+  Alcotest.(check (float 1e-9)) "exponent" 0.0 (Zipf.exponent z)
+
+let test_trace_no_updates () =
+  let rib = small_rib 10 in
+  let spec = Trace.make ~packets:100 ~updates:[||] () in
+  let ups = ref 0 in
+  Trace.iter spec rib (fun ~time:_ -> function
+    | Trace.Update _ -> incr ups
+    | Trace.Packet _ -> ());
+  check_int "no updates" 0 !ups
+
+let test_trace_more_updates_than_packets () =
+  let rib = small_rib 11 in
+  let flow = Flow_gen.create Flow_gen.default_params rib in
+  let updates =
+    Update_gen.generate { Update_gen.default_params with count = 50 } flow
+  in
+  let spec = Trace.make ~packets:10 ~updates () in
+  let ups = ref 0 and pkts = ref 0 in
+  Trace.iter spec rib (fun ~time:_ -> function
+    | Trace.Update _ -> incr ups
+    | Trace.Packet _ -> incr pkts);
+  check_int "all updates flushed" 50 !ups;
+  check_int "all packets" 10 !pkts
+
+let test_trace_duration () =
+  let spec = Trace.make ~pps:1000.0 ~packets:5_000 ~updates:[||] () in
+  Alcotest.(check (float 1e-9)) "duration" 5.0 (Trace.duration spec);
+  check "rejects bad pps" true
+    (match Trace.make ~pps:0.0 ~packets:1 ~updates:[||] () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "traffic"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "mass" `Quick test_zipf_mass;
+          Alcotest.test_case "skew" `Quick test_zipf_skew_ordering;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "determinism" `Quick test_flow_determinism;
+          Alcotest.test_case "dsts covered" `Quick test_flow_dsts_covered;
+          Alcotest.test_case "ranking" `Quick test_flow_ranking;
+          Alcotest.test_case "popularity dominance" `Quick
+            test_flow_popular_prefixes_dominate;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "mix" `Quick test_update_gen_mix;
+          Alcotest.test_case "determinism" `Quick test_update_gen_deterministic;
+          Alcotest.test_case "unpopular bias" `Quick
+            test_update_gen_unpopular_bias;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "counts" `Quick test_trace_counts;
+          Alcotest.test_case "flat zipf" `Quick test_zipf_uniform_when_flat;
+          Alcotest.test_case "no updates" `Quick test_trace_no_updates;
+          Alcotest.test_case "updates > packets" `Quick
+            test_trace_more_updates_than_packets;
+          Alcotest.test_case "replay determinism" `Quick
+            test_trace_determinism_across_iterations;
+          Alcotest.test_case "duration" `Quick test_trace_duration;
+        ] );
+    ]

@@ -1,0 +1,307 @@
+(* Tests for the LPM table and the binary extension tree. *)
+
+open Cfca_prefix
+open Cfca_trie
+
+let p = Prefix.v
+let addr = Ipv4.of_string_exn
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -- Lpm ----------------------------------------------------------- *)
+
+let test_lpm_basic () =
+  let t = Lpm.create () in
+  check "empty" true (Lpm.is_empty t);
+  Lpm.add t (p "10.0.0.0/8") 1;
+  Lpm.add t (p "10.1.0.0/16") 2;
+  Lpm.add t (p "0.0.0.0/0") 9;
+  check_int "cardinal" 3 (Lpm.cardinal t);
+  let nh a =
+    match Lpm.lookup t (addr a) with Some (_, v) -> v | None -> -1
+  in
+  check_int "lpm /16" 2 (nh "10.1.2.3");
+  check_int "lpm /8" 1 (nh "10.2.2.3");
+  check_int "default" 9 (nh "11.0.0.1");
+  check "exact" true (Lpm.find t (p "10.0.0.0/8") = Some 1);
+  check "no exact" true (Lpm.find t (p "10.0.0.0/9") = None)
+
+let test_lpm_replace_remove () =
+  let t = Lpm.create () in
+  Lpm.add t (p "10.0.0.0/8") 1;
+  Lpm.add t (p "10.0.0.0/8") 5;
+  check_int "replace keeps cardinal" 1 (Lpm.cardinal t);
+  check "replaced" true (Lpm.find t (p "10.0.0.0/8") = Some 5);
+  Lpm.remove t (p "10.0.0.0/8");
+  check_int "removed" 0 (Lpm.cardinal t);
+  check "lookup empty" true (Lpm.lookup t (addr "10.0.0.1") = None);
+  (* removing twice is a no-op *)
+  Lpm.remove t (p "10.0.0.0/8");
+  check_int "still zero" 0 (Lpm.cardinal t)
+
+let test_lpm_match_length_tie () =
+  let t = Lpm.create () in
+  Lpm.add t (p "128.0.0.0/1") 1;
+  Lpm.add t (p "128.0.0.0/2") 2;
+  Lpm.add t (p "192.0.0.0/2") 3;
+  let nh a =
+    match Lpm.lookup t (addr a) with Some (_, v) -> v | None -> -1
+  in
+  check_int "deepest of nested" 2 (nh "128.0.0.1");
+  check_int "other branch" 3 (nh "192.0.0.1");
+  check_int "no match" (-1) (nh "1.0.0.1")
+
+let test_lpm_iter_order () =
+  let t = Lpm.create () in
+  List.iter (fun (q, v) -> Lpm.add t (p q) v)
+    [ ("10.0.0.0/8", 1); ("10.0.0.0/16", 2); ("9.0.0.0/8", 3) ];
+  let order = List.map fst (Lpm.to_list t) in
+  check "pre-order" true
+    (order = [ p "9.0.0.0/8"; p "10.0.0.0/8"; p "10.0.0.0/16" ])
+
+(* Reference model: association list + linear longest-match scan. *)
+let prop_lpm_vs_model =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 60)
+        (pair
+           (map2
+              (fun a l -> Prefix.make (Ipv4.of_int a) l)
+              (int_bound 0xFFFFFFF |> map (fun x -> x * 16))
+              (int_bound 32))
+           (int_range 1 9)))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"Lpm.lookup agrees with a linear-scan model"
+    (QCheck.make
+       ~print:(fun l ->
+         String.concat ";"
+           (List.map (fun (q, v) -> Prefix.to_string q ^ "=" ^ string_of_int v) l))
+       gen)
+    (fun entries ->
+      let t = Lpm.create () in
+      List.iter (fun (q, v) -> Lpm.add t q v) entries;
+      (* last binding wins in the model, as in Lpm.add *)
+      let model a =
+        List.fold_left
+          (fun best (q, v) ->
+            if Prefix.mem a q then
+              match best with
+              | Some (bq, _) when Prefix.length bq > Prefix.length q -> best
+              | _ -> Some (q, v)
+            else best)
+          None
+          (List.rev
+             (List.fold_left
+                (fun acc (q, v) ->
+                  (q, v) :: List.filter (fun (q', _) -> not (Prefix.equal q q')) acc)
+                [] entries))
+      in
+      let st = Random.State.make [| List.length entries |] in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let a =
+          match entries with
+          | [] -> Ipv4.random st
+          | _ ->
+              let q, _ = List.nth entries (Random.State.int st (List.length entries)) in
+              if Random.State.bool st then Prefix.random_member st q
+              else Ipv4.random st
+        in
+        let got = Lpm.lookup t a in
+        let want = model a in
+        (match (got, want) with
+        | None, None -> ()
+        | Some (qp, qv), Some (wp, wv)
+          when Prefix.equal qp wp && qv = wv -> ()
+        | _ -> ok := false)
+      done;
+      !ok)
+
+(* -- Bintrie ------------------------------------------------------- *)
+
+let build routes =
+  let t = Bintrie.create ~default_nh:9 in
+  List.iter (fun (q, nh) -> ignore (Bintrie.add_route t (p q) nh)) routes;
+  Bintrie.extend t;
+  t
+
+let paper_routes =
+  (* Table 1(a) of the paper. *)
+  [
+    ("129.10.124.0/24", 1);
+    ("129.10.124.0/27", 1);
+    ("129.10.124.64/26", 1);
+    ("129.10.124.192/26", 2);
+  ]
+
+let test_extension_fullness () =
+  let t = build paper_routes in
+  check "invariant" true (Bintrie.invariant t = Ok ());
+  (* Fig. 4(a): below the /24 the extension yields 5 leaves. *)
+  let leaves_below_24 = ref 0 in
+  Bintrie.iter_leaves
+    (fun n ->
+      if Prefix.contains (p "129.10.124.0/24") n.Bintrie.prefix then
+        incr leaves_below_24)
+    t;
+  check_int "five leaves under /24" 5 !leaves_below_24
+
+let test_extension_inheritance () =
+  let t = build paper_routes in
+  (* G = 129.10.124.32/27 is generated FAKE and inherits B/A's next-hop 1;
+     I = 129.10.124.128/26 inherits A's next-hop 1. *)
+  (match Bintrie.find t (p "129.10.124.32/27") with
+  | Some n ->
+      check "G fake" true (n.Bintrie.kind = Bintrie.Fake);
+      check_int "G inherits 1" 1 n.Bintrie.original
+  | None -> Alcotest.fail "node G missing");
+  (match Bintrie.find t (p "129.10.124.128/26") with
+  | Some n ->
+      check "I fake" true (n.Bintrie.kind = Bintrie.Fake);
+      check_int "I inherits 1" 1 n.Bintrie.original
+  | None -> Alcotest.fail "node I missing");
+  (* outside the /24 everything inherits the default 9 *)
+  let leaf = Bintrie.descend_to_leaf t (addr "8.8.8.8") in
+  check_int "outside inherits default" 9 leaf.Bintrie.original
+
+let test_descend_to_leaf () =
+  let t = build paper_routes in
+  let leaf = Bintrie.descend_to_leaf t (addr "129.10.124.193") in
+  check "leaf is D" true (Prefix.equal leaf.Bintrie.prefix (p "129.10.124.192/26"));
+  let leaf2 = Bintrie.descend_to_leaf t (addr "129.10.124.1") in
+  check "leaf is B" true (Prefix.equal leaf2.Bintrie.prefix (p "129.10.124.0/27"))
+
+let test_fragment () =
+  let t = build paper_routes in
+  let before = Bintrie.node_count t in
+  (* fragment I (a /26 FAKE leaf) down to a /28 *)
+  let frag = Bintrie.fragment t (p "129.10.124.144/28") None in
+  check "anchor is I" true
+    (Prefix.equal frag.Bintrie.anchor.Bintrie.prefix (p "129.10.124.128/26"));
+  check "target prefix" true
+    (Prefix.equal frag.Bintrie.target.Bintrie.prefix (p "129.10.124.144/28"));
+  check_int "two nodes per level" (before + 4) (Bintrie.node_count t);
+  check "still full" true (Bintrie.invariant t = Ok ());
+  List.iter
+    (fun n ->
+      check "created are FAKE" true (n.Bintrie.kind = Bintrie.Fake);
+      check_int "created inherit anchor" 1 n.Bintrie.original)
+    frag.Bintrie.created
+
+let test_fragment_rejects_existing () =
+  let t = build paper_routes in
+  check "existing prefix rejected" true
+    (match Bintrie.fragment t (p "129.10.124.192/26") None with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_compact () =
+  let t = build paper_routes in
+  let frag = Bintrie.fragment t (p "129.10.124.144/28") None in
+  let before = Bintrie.node_count t in
+  (* all created nodes are FAKE NON_FIB leaves or internals; compacting
+     from the target removes the whole fragmentation again *)
+  let top = Bintrie.compact_upward t frag.Bintrie.target in
+  check "compacted back to anchor" true
+    (Prefix.equal top.Bintrie.prefix (p "129.10.124.128/26"));
+  check_int "nodes removed" (before - 4) (Bintrie.node_count t);
+  check "anchor is leaf again" true (Bintrie.is_leaf top);
+  check "invariant" true (Bintrie.invariant t = Ok ())
+
+let test_compact_stops_at_real () =
+  let t = build paper_routes in
+  (* B and G are sibling leaves but B is REAL: no compaction. *)
+  match Bintrie.find t (p "129.10.124.32/27") with
+  | Some g ->
+      let top = Bintrie.compact_upward t g in
+      check "no compaction past REAL sibling" true
+        (Prefix.equal top.Bintrie.prefix (p "129.10.124.32/27"))
+  | None -> Alcotest.fail "G missing"
+
+let test_add_route_updates_root () =
+  let t = Bintrie.create ~default_nh:9 in
+  let n = Bintrie.add_route t Prefix.default 4 in
+  check "root returned" true (n == Bintrie.root t);
+  check_int "root nh updated" 4 (Bintrie.root t).Bintrie.original;
+  check_int "single node" 1 (Bintrie.node_count t)
+
+let prop_extension_invariant =
+  let gen_routes =
+    QCheck.Gen.(
+      list_size (int_bound 80)
+        (pair
+           (map2
+              (fun a l -> Prefix.make (Ipv4.of_int a) l)
+              (int_bound 0xFFFFF |> map (fun x -> x * 4096))
+              (int_range 1 32))
+           (int_range 1 8)))
+  in
+  QCheck.Test.make ~count:200 ~name:"extension produces a full tree"
+    (QCheck.make
+       ~print:(fun l ->
+         String.concat ";"
+           (List.map (fun (q, v) -> Prefix.to_string q ^ "=" ^ string_of_int v) l))
+       gen_routes)
+    (fun routes ->
+      let t = Bintrie.create ~default_nh:9 in
+      List.iter (fun (q, nh) -> ignore (Bintrie.add_route t q nh)) routes;
+      Bintrie.extend t;
+      Bintrie.invariant t = Ok ())
+
+let prop_leaves_cover_address_space =
+  let gen_routes =
+    QCheck.Gen.(
+      list_size (int_bound 40)
+        (pair
+           (map2
+              (fun a l -> Prefix.make (Ipv4.of_int a) l)
+              (int_bound 0xFFFFF |> map (fun x -> x * 4096))
+              (int_range 1 28))
+           (int_range 1 8)))
+  in
+  QCheck.Test.make ~count:100
+    ~name:"every address descends to exactly one leaf that covers it"
+    (QCheck.make ~print:(fun _ -> "<routes>") gen_routes)
+    (fun routes ->
+      let t = Bintrie.create ~default_nh:9 in
+      List.iter (fun (q, nh) -> ignore (Bintrie.add_route t q nh)) routes;
+      Bintrie.extend t;
+      let st = Random.State.make [| List.length routes; 42 |] in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let a = Ipv4.random st in
+        let leaf = Bintrie.descend_to_leaf t a in
+        if not (Prefix.mem a leaf.Bintrie.prefix) then ok := false
+      done;
+      !ok)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "trie"
+    [
+      ( "lpm",
+        [
+          Alcotest.test_case "basic" `Quick test_lpm_basic;
+          Alcotest.test_case "replace/remove" `Quick test_lpm_replace_remove;
+          Alcotest.test_case "nested" `Quick test_lpm_match_length_tie;
+          Alcotest.test_case "iter order" `Quick test_lpm_iter_order;
+        ] );
+      ("lpm-properties", qt [ prop_lpm_vs_model ]);
+      ( "bintrie",
+        [
+          Alcotest.test_case "extension fullness" `Quick test_extension_fullness;
+          Alcotest.test_case "extension inheritance" `Quick
+            test_extension_inheritance;
+          Alcotest.test_case "descend to leaf" `Quick test_descend_to_leaf;
+          Alcotest.test_case "fragment" `Quick test_fragment;
+          Alcotest.test_case "fragment rejects existing" `Quick
+            test_fragment_rejects_existing;
+          Alcotest.test_case "compact" `Quick test_compact;
+          Alcotest.test_case "compact stops at REAL" `Quick
+            test_compact_stops_at_real;
+          Alcotest.test_case "default route" `Quick test_add_route_updates_root;
+        ] );
+      ( "bintrie-properties",
+        qt [ prop_extension_invariant; prop_leaves_cover_address_space ] );
+    ]

@@ -1,0 +1,431 @@
+(* IPv6 substrate tests: address parsing/printing (RFC 5952 vectors),
+   prefix algebra, the v6 LPM table, v6 ORTC aggregation and the
+   synthetic v6 table generator. *)
+
+open Cfca_prefix
+open Cfca_v6
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* -- Ipv6 parsing/printing -------------------------------------------- *)
+
+let test_parse_vectors () =
+  List.iter
+    (fun (input, canonical) ->
+      match Ipv6.of_string input with
+      | Some a -> check_str input canonical (Ipv6.to_string a)
+      | None -> Alcotest.failf "failed to parse %s" input)
+    [
+      ("::", "::");
+      ("::1", "::1");
+      ("2001:db8::1", "2001:db8::1");
+      ("2001:DB8::1", "2001:db8::1");
+      (* RFC 5952 §4.2.3: leftmost longest run *)
+      ("2001:db8:0:0:1:0:0:1", "2001:db8::1:0:0:1");
+      ("2001:0db8:0:0:1:0:0:1", "2001:db8::1:0:0:1");
+      (* no compression of a single zero group *)
+      ("2001:db8:0:1:1:1:1:1", "2001:db8:0:1:1:1:1:1");
+      ("fe80::", "fe80::");
+      ("1:2:3:4:5:6:7:8", "1:2:3:4:5:6:7:8");
+      (* embedded IPv4 *)
+      ("::ffff:192.0.2.1", "::ffff:c000:201");
+      ("64:ff9b::192.0.2.33", "64:ff9b::c000:221");
+      ("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff",
+       "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff");
+    ]
+
+let test_parse_malformed () =
+  List.iter
+    (fun s -> check ("rejects " ^ s) true (Ipv6.of_string s = None))
+    [
+      ""; ":"; ":::"; "1::2::3"; "1:2:3:4:5:6:7"; "1:2:3:4:5:6:7:8:9";
+      "12345::"; "g::1"; "1:2:3:4:5:6:7:8::"; "::1:2:3:4:5:6:7:8";
+      "fe80::1%eth0"; "192.0.2.1";
+    ]
+
+let test_groups_roundtrip () =
+  let groups = [| 0x2001; 0xdb8; 0; 0x42; 0; 0; 0xdead; 0xbeef |] in
+  check "groups roundtrip" true (Ipv6.to_groups (Ipv6.of_groups groups) = groups)
+
+let test_bits () =
+  let a = Ipv6.of_string_exn "8000::" in
+  check "top bit" true (Ipv6.bit a 0);
+  check "bit 1" false (Ipv6.bit a 1);
+  let b = Ipv6.of_string_exn "::1" in
+  check "last bit" true (Ipv6.bit b 127);
+  check "bit 64" false (Ipv6.bit b 64);
+  let c = Ipv6.of_string_exn "::1:0:0:0" in
+  (* group 4 (bits 64..79) = 1 -> bit 79 set *)
+  check "bit 79" true (Ipv6.bit c 79)
+
+let test_compare_unsigned () =
+  (* addresses with the top bit set must compare above ones without *)
+  let low = Ipv6.of_string_exn "7fff::" in
+  let high = Ipv6.of_string_exn "8000::" in
+  check "unsigned order" true (Ipv6.compare low high < 0);
+  check "equal" true (Ipv6.compare low low = 0)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"Ipv6 to_string/of_string roundtrip"
+    QCheck.(int_bound 0xFFFFFF)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      (* bias toward zero-rich addresses to exercise :: compression *)
+      let groups =
+        Array.init 8 (fun _ ->
+            if Random.State.bool st then 0 else Random.State.int st 0x10000)
+      in
+      let a = Ipv6.of_groups groups in
+      match Ipv6.of_string (Ipv6.to_string a) with
+      | Some b -> Ipv6.equal a b
+      | None -> false)
+
+(* -- Prefix6 ------------------------------------------------------------ *)
+
+let p6 = Prefix6.v
+
+let test_prefix6_basics () =
+  check_str "canonical" "2001:db8::/32" (Prefix6.to_string (p6 "2001:db8::ff/32"));
+  check "contains" true (Prefix6.contains (p6 "2001:db8::/32") (p6 "2001:db8:1::/48"));
+  check "no reverse" false
+    (Prefix6.contains (p6 "2001:db8:1::/48") (p6 "2001:db8::/32"));
+  check "mem" true
+    (Prefix6.mem (Ipv6.of_string_exn "2001:db8::1") (p6 "2001:db8::/32"));
+  check "not mem" false
+    (Prefix6.mem (Ipv6.of_string_exn "2001:db9::1") (p6 "2001:db8::/32"))
+
+let test_prefix6_family () =
+  let q = p6 "2001:db8:8000::/33" in
+  check "parent" true (Prefix6.equal (Prefix6.parent q) (p6 "2001:db8::/32"));
+  check "sibling" true (Prefix6.equal (Prefix6.sibling q) (p6 "2001:db8::/33"));
+  check "left of parent" true
+    (Prefix6.equal (Prefix6.left (p6 "2001:db8::/32")) (p6 "2001:db8::/33"));
+  check "right of parent" true
+    (Prefix6.equal (Prefix6.right (p6 "2001:db8::/32")) q);
+  (* crossing the 64-bit boundary *)
+  let deep = p6 "2001:db8::8000:0:0:0/65" in
+  check "deep parent" true
+    (Prefix6.equal (Prefix6.parent deep) (p6 "2001:db8::/64"));
+  check "deep sibling" true
+    (Prefix6.equal (Prefix6.sibling deep) (p6 "2001:db8::/65"))
+
+let test_prefix6_edges () =
+  check "default no parent" true
+    (match Prefix6.parent Prefix6.default with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "/128 no children" true
+    (match Prefix6.left (p6 "::1/128") with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "bad length" true
+    (match Prefix6.make Ipv6.zero 129 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_prefix6_member =
+  QCheck.Test.make ~count:500 ~name:"random_member lands inside the prefix"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 128))
+    (fun (seed, len) ->
+      let st = Random.State.make [| seed |] in
+      let p = Prefix6.make (Ipv6.random st) len in
+      Prefix6.mem (Prefix6.random_member st p) p)
+
+let prop_prefix6_children_partition =
+  QCheck.Test.make ~count:500 ~name:"children partition the parent"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 127))
+    (fun (seed, len) ->
+      let st = Random.State.make [| seed |] in
+      let p = Prefix6.make (Ipv6.random st) len in
+      let a = Prefix6.random_member st p in
+      let in_l = Prefix6.mem a (Prefix6.left p)
+      and in_r = Prefix6.mem a (Prefix6.right p) in
+      in_l <> in_r)
+
+(* -- Lpm6 ---------------------------------------------------------------- *)
+
+let test_lpm6_basic () =
+  let t = Lpm6.create () in
+  Lpm6.add t (p6 "2001:db8::/32") 1;
+  Lpm6.add t (p6 "2001:db8:1::/48") 2;
+  Lpm6.add t Prefix6.default 9;
+  check_int "cardinal" 3 (Lpm6.cardinal t);
+  let nh a =
+    match Lpm6.lookup t (Ipv6.of_string_exn a) with
+    | Some (_, v) -> v
+    | None -> -1
+  in
+  check_int "/48 wins" 2 (nh "2001:db8:1::1");
+  check_int "/32" 1 (nh "2001:db8:2::1");
+  check_int "default" 9 (nh "2600::1");
+  Lpm6.remove t (p6 "2001:db8:1::/48");
+  check_int "removed" 1 (nh "2001:db8:1::1")
+
+let prop_lpm6_vs_model =
+  QCheck.Test.make ~count:100 ~name:"Lpm6 agrees with a linear-scan model"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let entries =
+        List.init 40 (fun i ->
+            let len = 16 + (4 * Random.State.int st 9) in
+            (* confined space so prefixes nest *)
+            let base = Ipv6.of_string_exn "2001:db8::" in
+            let a = Prefix6.random_member st (Prefix6.make base 28) in
+            (Prefix6.make a len, 1 + (i mod 9)))
+      in
+      let t = Lpm6.create () in
+      List.iter (fun (q, v) -> Lpm6.add t q v) entries;
+      let dedup =
+        List.fold_left
+          (fun acc (q, v) ->
+            (q, v) :: List.filter (fun (q', _) -> not (Prefix6.equal q q')) acc)
+          [] entries
+      in
+      let model a =
+        List.fold_left
+          (fun best (q, v) ->
+            if Prefix6.mem a q then
+              match best with
+              | Some (bq, _) when Prefix6.length bq >= Prefix6.length q -> best
+              | _ -> Some (q, v)
+            else best)
+          None dedup
+      in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let q, _ = List.nth entries (Random.State.int st (List.length entries)) in
+        let a = Prefix6.random_member st q in
+        match (Lpm6.lookup t a, model a) with
+        | None, None -> ()
+        | Some (qp, qv), Some (wp, wv)
+          when Prefix6.equal qp wp && qv = wv -> ()
+        | _ -> ok := false
+      done;
+      !ok)
+
+(* -- Ortc6 ----------------------------------------------------------------- *)
+
+let test_ortc6_merges_siblings () =
+  let agg =
+    Ortc6.aggregate ~default_nh:9
+      [ (p6 "2001:db8::/33", 1); (p6 "2001:db8:8000::/33", 1) ]
+  in
+  check_int "sibling /33s merge under the default" 2 (List.length agg);
+  check "keeps /32" true
+    (List.exists (fun (q, nh) -> Prefix6.equal q (p6 "2001:db8::/32") && nh = 1) agg)
+
+let prop_ortc6_equivalent =
+  QCheck.Test.make ~count:50 ~name:"Ortc6 output is forwarding-equivalent"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let routes =
+        Rib6_gen.generate { Rib6_gen.size = 400; peers = 8; locality = 0.8; seed }
+      in
+      let agg = Ortc6.aggregate ~default_nh:9 routes in
+      let original = Lpm6.create () and compressed = Lpm6.create () in
+      Lpm6.add original Prefix6.default 9;
+      List.iter (fun (q, nh) -> Lpm6.add original q nh) routes;
+      List.iter (fun (q, nh) -> Lpm6.add compressed q nh) agg;
+      let st = Random.State.make [| seed; 77 |] in
+      let ok = ref true in
+      let probe a =
+        let v t = match Lpm6.lookup t a with Some (_, nh) -> nh | None -> -1 in
+        if v original <> v compressed then ok := false
+      in
+      List.iter
+        (fun (q, _) ->
+          probe (Prefix6.network q);
+          probe (Prefix6.random_member st q))
+        routes;
+      for _ = 1 to 50 do
+        probe (Ipv6.random st)
+      done;
+      !ok && List.length agg <= List.length routes + 1)
+
+let test_rib6_gen_shape () =
+  let routes = Rib6_gen.generate { Rib6_gen.default_params with size = 5_000 } in
+  check_int "size" 5_000 (List.length routes);
+  let h = Array.make 129 0 in
+  List.iter (fun (q, _) -> h.(Prefix6.length q) <- h.(Prefix6.length q) + 1) routes;
+  let frac l = float_of_int h.(l) /. 5_000.0 in
+  check "/48 dominates" true (frac 48 > 0.3);
+  check "/32s present" true (frac 32 > 0.03);
+  check "inside 2000::/3" true
+    (List.for_all
+       (fun (q, _) -> Prefix6.contains (p6 "2000::/3") q)
+       routes);
+  (* v6 tables compress substantially under ORTC *)
+  let ratio = Ortc6.ratio ~default_nh:62 routes in
+  check "compresses" true (ratio < 0.7)
+
+(* -- CFCA for IPv6 (the functorized control plane) -------------------- *)
+
+let test_cfca6_aggregates () =
+  (* the Table 1 example transposed to v6: three adjacent /34s sharing a
+     next-hop and one differing, under a /32 *)
+  let rm = Cfca6.Route_manager.create ~default_nh:9 () in
+  Cfca6.Route_manager.load rm
+    (List.to_seq
+       [
+         (p6 "2001:db8::/32", 1);
+         (p6 "2001:db8::/34", 1);
+         (p6 "2001:db8:4000::/34", 1);
+         (p6 "2001:db8:c000::/34", 2);
+       ]);
+  (match Cfca6.Route_manager.verify rm with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "verify: %s" m);
+  let nh a = Cfca6.Route_manager.lookup rm (Ipv6.of_string_exn a) in
+  check_int "first /34" 1 (nh "2001:db8::1");
+  check_int "third quarter (FAKE, inherits 1)" 1 (nh "2001:db8:8000::1");
+  check_int "fourth /34" 2 (nh "2001:db8:c000::1");
+  check_int "outside" 9 (nh "2600::1");
+  (* left /33 merges its two REAL /34s; the FAKE third quarter sits in
+     the right /33 next to the differing fourth, so 3 entries under the
+     /32 plus the 32 default siblings on the path from ::/0 *)
+  check_int "aggregated fib" (3 + 32) (Cfca6.Route_manager.fib_size rm)
+
+let test_cfca6_update_handling () =
+  let rm = Cfca6.Route_manager.create ~default_nh:9 () in
+  Cfca6.Route_manager.load rm (List.to_seq [ (p6 "2001:db8::/32", 1) ]);
+  Cfca6.Route_manager.announce rm (p6 "2001:db8:dead::/48") 5;
+  (match Cfca6.Route_manager.verify rm with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "verify: %s" m);
+  check_int "fragment forwards" 5
+    (Cfca6.Route_manager.lookup rm (Ipv6.of_string_exn "2001:db8:dead::1"));
+  check_int "around it" 1
+    (Cfca6.Route_manager.lookup rm (Ipv6.of_string_exn "2001:db8:beef::1"));
+  Cfca6.Route_manager.withdraw rm (p6 "2001:db8:dead::/48");
+  (match Cfca6.Route_manager.verify rm with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "verify: %s" m);
+  check_int "reverts" 1
+    (Cfca6.Route_manager.lookup rm (Ipv6.of_string_exn "2001:db8:dead::1"))
+
+let prop_cfca6_equivalence =
+  QCheck.Test.make ~count:60
+    ~name:"v6 CFCA stays forwarding-equivalent under random updates"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let routes =
+        Rib6_gen.generate { Rib6_gen.size = 300; peers = 8; locality = 0.8; seed }
+      in
+      let st = Random.State.make [| seed; 5 |] in
+      let rm = Cfca6.Route_manager.create ~default_nh:9 () in
+      Cfca6.Route_manager.load rm (List.to_seq routes);
+      let model = Lpm6.create () in
+      Lpm6.add model Prefix6.default 9;
+      List.iter (fun (q, nh) -> Lpm6.add model q nh) routes;
+      (* random announce / next-hop change / withdraw churn *)
+      for _ = 1 to 80 do
+        let q, _ = List.nth routes (Random.State.int st (List.length routes)) in
+        let q =
+          if Random.State.bool st then q
+          else
+            Prefix6.make
+              (Prefix6.random_member st q)
+              (min 128 (Prefix6.length q + 1 + Random.State.int st 8))
+        in
+        if Random.State.int st 4 = 0 then begin
+          Cfca6.Route_manager.withdraw rm q;
+          Lpm6.remove model q
+        end
+        else begin
+          let nh = 1 + Random.State.int st 8 in
+          Cfca6.Route_manager.announce rm q nh;
+          Lpm6.add model q nh
+        end
+      done;
+      (match Cfca6.Route_manager.verify rm with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_report m);
+      let ok = ref true in
+      let probe a =
+        let want =
+          match Lpm6.lookup model a with Some (_, nh) -> nh | None -> 9
+        in
+        if Cfca6.Route_manager.lookup rm a <> want then ok := false
+      in
+      List.iter
+        (fun (q, _) ->
+          probe (Prefix6.network q);
+          probe (Prefix6.random_member st q))
+        routes;
+      for _ = 1 to 40 do
+        probe (Ipv6.random st)
+      done;
+      !ok)
+
+let test_pfca6_extension_blowup () =
+  (* the finding the dual_stack example reports: v6 extension inflates
+     the FIB hard, and CFCA's aggregation wins back most of it *)
+  let routes =
+    Rib6_gen.generate { Rib6_gen.default_params with size = 2_000; seed = 9 }
+  in
+  let pf = Pfca6.create ~default_nh:9 () in
+  Pfca6.load pf (List.to_seq routes);
+  (match Pfca6.verify pf with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "pfca6 verify: %s" m);
+  let rm = Cfca6.Route_manager.create ~default_nh:9 () in
+  Cfca6.Route_manager.load rm (List.to_seq routes);
+  check "extension blows up sparse v6 space" true
+    (Pfca6.fib_size pf > 3 * List.length routes);
+  check "aggregation wins back a large share" true
+    (Cfca6.Route_manager.fib_size rm * 3 < Pfca6.fib_size pf * 2);
+  (* both forward identically *)
+  let st = Random.State.make [| 9; 11 |] in
+  let ok = ref true in
+  List.iter
+    (fun (q, _) ->
+      let a = Prefix6.random_member st q in
+      if Pfca6.lookup pf a <> Cfca6.Route_manager.lookup rm a then ok := false)
+    routes;
+  check "pfca6 = cfca6 forwarding" true !ok
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "v6"
+    [
+      ( "ipv6",
+        [
+          Alcotest.test_case "parse vectors" `Quick test_parse_vectors;
+          Alcotest.test_case "malformed" `Quick test_parse_malformed;
+          Alcotest.test_case "groups" `Quick test_groups_roundtrip;
+          Alcotest.test_case "bits" `Quick test_bits;
+          Alcotest.test_case "unsigned compare" `Quick test_compare_unsigned;
+        ] );
+      ( "prefix6",
+        [
+          Alcotest.test_case "basics" `Quick test_prefix6_basics;
+          Alcotest.test_case "family" `Quick test_prefix6_family;
+          Alcotest.test_case "edges" `Quick test_prefix6_edges;
+        ] );
+      ("lpm6", [ Alcotest.test_case "basic" `Quick test_lpm6_basic ]);
+      ( "ortc6",
+        [
+          Alcotest.test_case "merges siblings" `Quick test_ortc6_merges_siblings;
+          Alcotest.test_case "generator shape" `Quick test_rib6_gen_shape;
+        ] );
+      ( "cfca6",
+        [
+          Alcotest.test_case "aggregation" `Quick test_cfca6_aggregates;
+          Alcotest.test_case "update handling" `Quick test_cfca6_update_handling;
+          Alcotest.test_case "pfca6 extension blowup" `Quick
+            test_pfca6_extension_blowup;
+        ] );
+      ( "properties",
+        qt
+          [
+            prop_string_roundtrip;
+            prop_prefix6_member;
+            prop_prefix6_children_partition;
+            prop_lpm6_vs_model;
+            prop_ortc6_equivalent;
+            prop_cfca6_equivalence;
+          ] );
+    ]

@@ -1,0 +1,163 @@
+(* VeriTable tests: hand-built divergences plus the paper's §4.1 usage —
+   verifying that CFCA, PFCA, FAQS and FIFA-S all stay
+   forwarding-equivalent to the raw RIB through BGP updates. *)
+
+open Cfca_prefix
+open Cfca_trie
+open Cfca_core
+open Cfca_veritable.Veritable
+
+let p = Prefix.v
+let check = Alcotest.(check bool)
+
+let default_nh = 9
+
+let test_identical () =
+  let t = [ (Prefix.default, 9); (p "10.0.0.0/8", 1) ] in
+  check "same list" true (equivalent t t);
+  check "order irrelevant" true (equivalent t (List.rev t))
+
+let test_aggregated_equivalent () =
+  (* Table 1 of the paper: original vs optimally aggregated. *)
+  let original =
+    [
+      (Prefix.default, 9);
+      (p "129.10.124.0/24", 1);
+      (p "129.10.124.0/27", 1);
+      (p "129.10.124.64/26", 1);
+      (p "129.10.124.192/26", 2);
+    ]
+  in
+  let aggregated =
+    [ (Prefix.default, 9); (p "129.10.124.0/24", 1); (p "129.10.124.192/26", 2) ]
+  in
+  check "paper Table 1" true (equivalent original aggregated)
+
+let test_divergence_found () =
+  let a = [ (Prefix.default, 9); (p "10.0.0.0/8", 1) ] in
+  let b = [ (Prefix.default, 9); (p "10.0.0.0/8", 1); (p "10.5.0.0/16", 2) ] in
+  (match compare_tables [ a; b ] with
+  | Diverges d ->
+      check "region under the /16" true
+        (Prefix.contains (p "10.5.0.0/16") d.region);
+      check "next-hops differ" true
+        (d.next_hops.(0) = 1 && d.next_hops.(1) = 2)
+  | Equivalent -> Alcotest.fail "missed divergence");
+  check "divergences nonempty" true (divergences [ a; b ] <> [])
+
+let test_cache_hiding_detected () =
+  (* §2's cache-hiding example: the naively aggregated FIB *without*
+     the /26 (as a cache that dropped it would look) is NOT equivalent. *)
+  let full =
+    [ (Prefix.default, 9); (p "129.10.124.0/24", 1); (p "129.10.124.192/26", 2) ]
+  in
+  let hiding = [ (Prefix.default, 9); (p "129.10.124.0/24", 1) ] in
+  check "hiding detected" false (equivalent full hiding)
+
+let test_missing_default () =
+  let a = [ (Prefix.default, 9) ] in
+  let b = [] in
+  (match compare_tables [ a; b ] with
+  | Diverges d ->
+      check "diverges at root" true (Prefix.length d.region = 0);
+      check "no-route side" true (Nexthop.is_none d.next_hops.(1))
+  | Equivalent -> Alcotest.fail "missed missing default")
+
+let test_three_way () =
+  let a = [ (Prefix.default, 1) ] in
+  let b = [ (Prefix.default, 1); (p "10.0.0.0/8", 1) ] in
+  let c = [ (Prefix.default, 1); (p "10.0.0.0/8", 2) ] in
+  check "a=b" true (equivalent a b);
+  check "abc diverge" true (compare_tables [ a; b; c ] <> Equivalent)
+
+(* -- the paper's §4.1 verification, randomized ----------------------- *)
+
+type op = Ann of Prefix.t * int | Wd of Prefix.t
+
+let gen_scoped_prefix =
+  QCheck.Gen.(
+    map2
+      (fun a l ->
+        let base =
+          Ipv4.of_octets 10 ((a lsr 16) land 0xFF) ((a lsr 8) land 0xFF) (a land 0xFF)
+        in
+        Prefix.make base l)
+      (int_bound 0xFFFFFF)
+      (int_range 9 30))
+
+let arb_scenario =
+  QCheck.make
+    ~print:(fun (routes, ops) ->
+      Printf.sprintf "routes=%d ops=%d" (List.length routes) (List.length ops))
+    QCheck.Gen.(
+      pair
+        (list_size (int_bound 25) (pair gen_scoped_prefix (int_range 1 8)))
+        (list_size (int_bound 35)
+           (frequency
+              [
+                (3, map2 (fun q nh -> Ann (q, nh)) gen_scoped_prefix (int_range 1 8));
+                (1, map (fun q -> Wd q) gen_scoped_prefix);
+              ])))
+
+let prop_all_four_systems_equivalent =
+  QCheck.Test.make ~count:150
+    ~name:"VeriTable: CFCA = PFCA = FAQS = FIFA-S = RIB through updates"
+    arb_scenario
+    (fun (routes, ops) ->
+      let rm = Route_manager.create ~default_nh () in
+      let pf = Cfca_pfca.Pfca.create ~default_nh () in
+      let faqs = Cfca_aggr.Aggr.create ~policy:Cfca_aggr.Aggr.Faqs ~default_nh () in
+      let fifa = Cfca_aggr.Aggr.create ~policy:Cfca_aggr.Aggr.Fifa ~default_nh () in
+      let model = Lpm.create () in
+      Lpm.add model Prefix.default default_nh;
+      Route_manager.load rm (List.to_seq routes);
+      Cfca_pfca.Pfca.load pf (List.to_seq routes);
+      Cfca_aggr.Aggr.load faqs (List.to_seq routes);
+      Cfca_aggr.Aggr.load fifa (List.to_seq routes);
+      List.iter (fun (q, nh) -> Lpm.add model q nh) routes;
+      List.iter
+        (function
+          | Ann (q, nh) ->
+              Route_manager.announce rm q nh;
+              Cfca_pfca.Pfca.announce pf q nh;
+              Cfca_aggr.Aggr.announce faqs q nh;
+              Cfca_aggr.Aggr.announce fifa q nh;
+              Lpm.add model q nh
+          | Wd q ->
+              Route_manager.withdraw rm q;
+              Cfca_pfca.Pfca.withdraw pf q;
+              Cfca_aggr.Aggr.withdraw faqs q;
+              Cfca_aggr.Aggr.withdraw fifa q;
+              Lpm.remove model q)
+        ops;
+      let tables =
+        [
+          Lpm.to_list model;
+          Route_manager.entries rm;
+          Cfca_pfca.Pfca.entries pf;
+          Cfca_aggr.Aggr.entries faqs;
+          Cfca_aggr.Aggr.entries fifa;
+        ]
+      in
+      match compare_tables tables with
+      | Equivalent -> true
+      | Diverges _ as v ->
+          QCheck.Test.fail_report (Format.asprintf "%a" pp_verdict v))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "veritable"
+    [
+      ( "veritable",
+        [
+          Alcotest.test_case "identical" `Quick test_identical;
+          Alcotest.test_case "aggregated equivalent" `Quick
+            test_aggregated_equivalent;
+          Alcotest.test_case "divergence found" `Quick test_divergence_found;
+          Alcotest.test_case "cache hiding detected" `Quick
+            test_cache_hiding_detected;
+          Alcotest.test_case "missing default" `Quick test_missing_default;
+          Alcotest.test_case "three way" `Quick test_three_way;
+        ] );
+      ("properties", qt [ prop_all_four_systems_equivalent ]);
+    ]

@@ -1,0 +1,128 @@
+(* Binary writer/reader tests. *)
+
+open Cfca_wire
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let test_roundtrip_scalars () =
+  let w = Writer.create () in
+  Writer.u8 w 0xAB;
+  Writer.u16 w 0xBEEF;
+  Writer.u32 w 0xDEADBEEF;
+  Writer.u16le w 0xBEEF;
+  Writer.u32le w 0xDEADBEEF;
+  Writer.string w "hello";
+  let r = Reader.of_string (Writer.contents w) in
+  check_int "u8" 0xAB (Reader.u8 r);
+  check_int "u16" 0xBEEF (Reader.u16 r);
+  check_int "u32" 0xDEADBEEF (Reader.u32 r);
+  check_int "u16le" 0xBEEF (Reader.u16le r);
+  check_int "u32le" 0xDEADBEEF (Reader.u32le r);
+  check_str "string" "hello" (Reader.take r 5);
+  check "at end" true (Reader.at_end r)
+
+let test_endianness_bytes () =
+  let w = Writer.create () in
+  Writer.u16 w 0x0102;
+  Writer.u16le w 0x0102;
+  check_str "big then little" "\x01\x02\x02\x01" (Writer.contents w)
+
+let test_truncation () =
+  let w = Writer.create () in
+  Writer.u16 w 7;
+  let r = Reader.of_string (Writer.contents w) in
+  let _ = Reader.u8 r in
+  check "u32 past end raises" true
+    (match Reader.u32 r with
+    | exception Reader.Truncated -> true
+    | _ -> false)
+
+let test_patch () =
+  let w = Writer.create () in
+  Writer.u16 w 0 (* placeholder *);
+  Writer.string w "body";
+  Writer.patch_u16 w 0 (Writer.length w - 2);
+  let r = Reader.of_string (Writer.contents w) in
+  check_int "patched length" 4 (Reader.u16 r);
+  check "patch out of range" true
+    (match Writer.patch_u16 w 100 1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_patch_u32 () =
+  let w = Writer.create () in
+  Writer.u32 w 0;
+  Writer.patch_u32 w 0 0xCAFEBABE;
+  let r = Reader.of_string (Writer.contents w) in
+  check_int "patched" 0xCAFEBABE (Reader.u32 r)
+
+let test_sub () =
+  let w = Writer.create () in
+  Writer.string w "aabbbcc";
+  let r = Reader.of_string (Writer.contents w) in
+  Reader.skip r 2;
+  let child = Reader.sub r 3 in
+  check_str "child reads bbb" "bbb" (Reader.take child 3);
+  check "child exhausted" true (Reader.at_end child);
+  check "child bounded" true
+    (match Reader.u8 child with
+    | exception Reader.Truncated -> true
+    | _ -> false);
+  check_str "parent continues past child" "cc" (Reader.take r 2)
+
+let test_peek () =
+  let r = Reader.of_string "\x42" in
+  check_int "peek" 0x42 (Reader.peek_u8 r);
+  check_int "pos unchanged" 0 (Reader.pos r);
+  check_int "read" 0x42 (Reader.u8 r)
+
+let test_growth () =
+  let w = Writer.create ~capacity:1 () in
+  for i = 0 to 9_999 do
+    Writer.u32 w i
+  done;
+  check_int "length" 40_000 (Writer.length w);
+  let r = Reader.of_string (Writer.contents w) in
+  let ok = ref true in
+  for i = 0 to 9_999 do
+    if Reader.u32 r <> i then ok := false
+  done;
+  check "contents" true !ok
+
+let test_clear () =
+  let w = Writer.create () in
+  Writer.string w "junk";
+  Writer.clear w;
+  Writer.u8 w 1;
+  check_str "cleared" "\x01" (Writer.contents w)
+
+let prop_u32_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"u32 roundtrips any 32-bit value"
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun base ->
+      let v = base * 16 in
+      let w = Writer.create () in
+      Writer.u32 w v;
+      Writer.u32le w v;
+      let r = Reader.of_string (Writer.contents w) in
+      Reader.u32 r = v land 0xFFFFFFFF && Reader.u32le r = v land 0xFFFFFFFF)
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "scalar roundtrip" `Quick test_roundtrip_scalars;
+          Alcotest.test_case "endianness" `Quick test_endianness_bytes;
+          Alcotest.test_case "truncation" `Quick test_truncation;
+          Alcotest.test_case "patch u16" `Quick test_patch;
+          Alcotest.test_case "patch u32" `Quick test_patch_u32;
+          Alcotest.test_case "sub reader" `Quick test_sub;
+          Alcotest.test_case "peek" `Quick test_peek;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "clear" `Quick test_clear;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_u32_roundtrip ]);
+    ]
