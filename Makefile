@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md.
 
-.PHONY: all build test bench quick-bench examples clean
+.PHONY: all build test fuzz bench quick-bench examples clean
 
 all: build
 
@@ -9,6 +9,15 @@ build:
 
 test:
 	dune runtest --force --no-buffer
+
+# Seeded scenario fuzzer (lib/check): invariants + differential oracle
+# after every event, shrunk replayable reproducers on failure.
+# Override e.g.: make fuzz FUZZ_SEEDS=500 FUZZ_EVENTS=400
+FUZZ_SEEDS ?= 100
+FUZZ_EVENTS ?= 150
+
+fuzz: build
+	dune exec bin/verify.exe -- fuzz --seeds $(FUZZ_SEEDS) --events $(FUZZ_EVENTS)
 
 bench: build
 	dune exec bench/main.exe

@@ -1,8 +1,19 @@
-(* cfca_verify: VeriTable-style forwarding-equivalence check of two or
-   more FIB snapshot files. *)
+(* cfca_verify: correctness tooling.
+
+   - [verify equiv FILES...]: VeriTable-style forwarding-equivalence
+     check of two or more FIB snapshot files (the original CLI).
+   - [verify fuzz]: seeded scenario fuzzer — random RIBs + interleaved
+     BGP updates and packets driven through CFCA/PFCA with invariants
+     and a differential oracle checked after every event; failures are
+     shrunk to minimal replayable reproducers.
+   - [verify replay FILE]: re-run a reproducer script emitted by the
+     fuzzer. *)
 
 open Cmdliner
 open Cfca_rib
+open Cfca_check
+
+(* -- equiv ----------------------------------------------------------- *)
 
 let files =
   let doc = "FIB snapshots (text format) to compare." in
@@ -12,7 +23,7 @@ let limit =
   let doc = "Maximum divergent regions to report." in
   Arg.(value & opt int 10 & info [ "limit" ] ~docv:"N" ~doc)
 
-let verify files limit =
+let equiv files limit =
   if List.length files < 2 then begin
     prerr_endline "need at least two tables";
     exit 2
@@ -26,17 +37,116 @@ let verify files limit =
       exit 0
   | ds ->
       List.iter
-        (fun (d : Cfca_veritable.Veritable.divergence) ->
-          Printf.printf "diverge at %s: %s\n"
-            (Cfca_prefix.Prefix.to_string d.Cfca_veritable.Veritable.region)
-            (String.concat " vs "
-               (Array.to_list
-                  (Array.map Cfca_prefix.Nexthop.to_string
-                     d.Cfca_veritable.Veritable.next_hops))))
+        (fun d ->
+          Format.printf "%a@." Cfca_veritable.Veritable.pp_divergence d)
         ds;
       exit 1
 
-let () =
+let equiv_cmd =
   let doc = "verify forwarding equivalence of FIB snapshots (VeriTable)" in
+  Cmd.v (Cmd.info "equiv" ~doc) Term.(const equiv $ files $ limit)
+
+(* -- fuzz ------------------------------------------------------------ *)
+
+type target = Cfca_only | Pfca_only | Both
+
+let target_conv =
+  Arg.enum [ ("cfca", Cfca_only); ("pfca", Pfca_only); ("both", Both) ]
+
+let system_arg =
+  let doc = "System(s) to fuzz: cfca, pfca or both." in
+  Arg.(value & opt target_conv Both & info [ "system" ] ~docv:"SYS" ~doc)
+
+let seeds_arg =
+  let doc = "Number of consecutive seeds to fuzz." in
+  Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc)
+
+let first_seed_arg =
+  let doc = "First seed (each seed derives one whole scenario)." in
+  Arg.(value & opt int 1 & info [ "first-seed" ] ~docv:"SEED" ~doc)
+
+let one_seed_arg =
+  let doc = "Run exactly this one seed (overrides --seeds/--first-seed)." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let events_arg =
+  let doc = "Events (updates + packets) per scenario." in
+  Arg.(value & opt int 150 & info [ "events" ] ~docv:"M" ~doc)
+
+let routes_arg =
+  let doc = "Maximum initial routes per scenario." in
+  Arg.(value & opt int 40 & info [ "routes" ] ~docv:"R" ~doc)
+
+let default_nh = Cfca_prefix.Nexthop.of_int 9
+
+let makers = function
+  | Cfca_only -> [ ("cfca", fun seed -> Fuzz.cfca ~default_nh ~seed ()) ]
+  | Pfca_only -> [ ("pfca", fun seed -> Fuzz.pfca ~default_nh ~seed ()) ]
+  | Both ->
+      [
+        ("cfca", fun seed -> Fuzz.cfca ~default_nh ~seed ());
+        ("pfca", fun seed -> Fuzz.pfca ~default_nh ~seed ());
+      ]
+
+let fuzz target seeds first_seed one_seed events routes =
+  let seeds, first_seed =
+    match one_seed with None -> (seeds, first_seed) | Some s -> (1, s)
+  in
+  let cfg = { Fuzz.default_config with Fuzz.events; max_routes = routes } in
+  let failed = ref false in
+  List.iter
+    (fun (name, make) ->
+      let failures = Fuzz.run ~cfg ~first_seed ~make ~seeds () in
+      if failures = [] then
+        Printf.printf "%s: %d seeds x %d events clean\n%!" name seeds events
+      else begin
+        failed := true;
+        List.iter
+          (fun f -> Format.printf "%s: %a@." name Fuzz.pp_failure f)
+          failures
+      end)
+    (makers target);
+  exit (if !failed then 1 else 0)
+
+let fuzz_cmd =
+  let doc =
+    "fuzz CFCA/PFCA with random scenarios, checking invariants and \
+     oracle equivalence after every event"
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const fuzz $ system_arg $ seeds_arg $ first_seed_arg $ one_seed_arg
+      $ events_arg $ routes_arg)
+
+(* -- replay ---------------------------------------------------------- *)
+
+let script_arg =
+  let doc = "Reproducer script written by $(b,verify fuzz)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc)
+
+let replay target path =
+  let script = In_channel.with_open_text path In_channel.input_all in
+  match Fuzz.scenario_of_script script with
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+  | Ok sc ->
+      let failed = ref false in
+      List.iter
+        (fun (name, make) ->
+          match Fuzz.run_scenario ~make:(fun () -> make (max sc.Fuzz.seed 0)) sc with
+          | None -> Printf.printf "%s: scenario passes\n%!" name
+          | Some (step, err) ->
+              failed := true;
+              Printf.printf "%s: step %d: %s\n%!" name step err)
+        (makers target);
+      exit (if !failed then 1 else 0)
+
+let replay_cmd =
+  let doc = "replay a fuzzer reproducer script" in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const replay $ system_arg $ script_arg)
+
+let () =
+  let doc = "CFCA correctness tooling: equivalence, fuzzing, replay" in
   let info = Cmd.info "cfca_verify" ~doc ~version:"1.0.0" in
-  exit (Cmd.eval (Cmd.v info Term.(const verify $ files $ limit)))
+  exit (Cmd.eval (Cmd.group info [ equiv_cmd; fuzz_cmd; replay_cmd ]))

@@ -1,0 +1,102 @@
+(** Seeded scenario fuzzer: random RIBs with interleaved BGP updates
+    and packets, driven step-by-step through CFCA or PFCA with
+    {!Invariants} and the differential {!Oracle} checked after every
+    event, plus a VeriTable cross-check of the installed FIB after
+    every control-plane change.
+
+    On failure the event sequence is {e shrunk} to a minimal
+    reproducer, printed as a replayable seed + script
+    ({!script_of_scenario} / {!scenario_of_script} round-trip), so a
+    regression test can be written straight from the fuzzer output. *)
+
+open Cfca_prefix
+
+type event =
+  | Announce of Prefix.t * Nexthop.t
+  | Withdraw of Prefix.t
+  | Packet of Ipv4.t
+
+type scenario = {
+  seed : int;  (** generator seed, [-1] for hand-written scenarios *)
+  routes : (Prefix.t * Nexthop.t) list;  (** initial RIB *)
+  events : event list;
+}
+
+(** A system under test. Factories close over fresh state so that a
+    scenario (or a shrinking candidate) always replays from scratch. *)
+type system = {
+  sys_name : string;
+  sys_default_nh : Nexthop.t;  (** what uncovered space forwards to *)
+  sys_load : (Prefix.t * Nexthop.t) list -> unit;
+  sys_announce : Prefix.t -> Nexthop.t -> unit;
+  sys_withdraw : Prefix.t -> unit;
+  sys_packet : Ipv4.t -> unit;
+  sys_lookup : Ipv4.t -> Nexthop.t;
+  sys_entries : unit -> (Prefix.t * Nexthop.t) list;
+      (** the installed FIB, for the VeriTable cross-check *)
+  sys_check : unit -> (unit, string) result;  (** {!Invariants} *)
+}
+
+val cfca : ?l1:int -> ?l2:int -> default_nh:Nexthop.t -> seed:int -> unit -> system
+(** A fresh CFCA instance (Route Manager + data-plane pipeline wired
+    through its sink) with deliberately tiny caches and low promotion
+    thresholds so eviction and migration churn happens within a few
+    packets. *)
+
+val pfca : ?l1:int -> ?l2:int -> default_nh:Nexthop.t -> seed:int -> unit -> system
+
+type config = {
+  max_routes : int;  (** initial RIB size bound (default 40) *)
+  events : int;  (** events per scenario (default 150) *)
+  default_nh : Nexthop.t;  (** default 9 *)
+}
+
+val default_config : config
+
+val generate : ?cfg:config -> int -> scenario
+(** Deterministic scenario for a seed. Prefixes are confined to
+    10.0.0.0/8 (lengths 9–32) so announcements, withdrawals and
+    packets collide and overlap frequently; packets are biased toward
+    recently announced space. *)
+
+val run_scenario : make:(unit -> system) -> scenario -> (int * string) option
+(** Replay a scenario against a fresh system, checking after every
+    event. [Some (step, error)] on the first violation — [step] is the
+    0-based index of the offending event, or [-1] when the initial
+    load already violates. [None] when the scenario passes. *)
+
+type failure = {
+  f_seed : int;
+  f_step : int;  (** failing step in the {e shrunk} scenario *)
+  f_error : string;
+  f_original_events : int;  (** event count before shrinking *)
+  f_scenario : scenario;  (** the shrunk reproducer *)
+}
+
+val shrink : ?budget:int -> make:(unit -> system) -> scenario -> scenario
+(** Greedy delta-debugging: repeatedly drop event chunks, then initial
+    routes, keeping every candidate that still fails, until a fixpoint
+    (or [budget] candidate replays, default 2000). The result still
+    fails and is usually a handful of lines. *)
+
+val run :
+  ?cfg:config ->
+  ?first_seed:int ->
+  make:(int -> system) ->
+  seeds:int ->
+  unit ->
+  failure list
+(** Fuzz [seeds] consecutive seeds starting at [first_seed] (default
+    1). Each failing seed contributes one shrunk {!failure}. *)
+
+val script_of_scenario : scenario -> string
+(** Replayable text form: [R prefix nh] initial-route lines, then
+    [A prefix nh] / [W prefix] / [P address] event lines, with a
+    [# seed=N] header. *)
+
+val scenario_of_script : string -> (scenario, string) result
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp_failure : Format.formatter -> failure -> unit
+(** Human-readable report: seed, error, and the shrunk script. *)

@@ -1,0 +1,181 @@
+open Cfca_prefix
+open Cfca_trie
+open Cfca_dataplane
+
+type mode = Cfca_mode | Pfca_mode
+
+exception Violation of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+let ps = Prefix.to_string
+
+let nhs = Nexthop.to_string
+
+(* Exactly one IN_FIB node on every root-to-leaf path (non-overlap +
+   full coverage), plus per-node flag consistency. *)
+let check_node mode n covered =
+  let open Bintrie in
+  (match n.status with
+  | In_fib ->
+      if covered then fail "overlapping IN_FIB entries at %s" (ps n.prefix);
+      if not (Nexthop.is_real n.installed_nh) then
+        fail "IN_FIB node %s installed with non-forwarding next-hop %s"
+          (ps n.prefix) (nhs n.installed_nh);
+      if n.table = No_table then
+        fail "IN_FIB node %s is in no data-plane table" (ps n.prefix);
+      (match mode with
+      | Cfca_mode ->
+          if not (Nexthop.equal n.installed_nh n.selected) then
+            fail "IN_FIB node %s: installed %s <> selected %s" (ps n.prefix)
+              (nhs n.installed_nh) (nhs n.selected)
+      | Pfca_mode ->
+          if not (is_leaf n) then
+            fail "PFCA installed an internal node %s" (ps n.prefix);
+          if not (Nexthop.equal n.installed_nh n.original) then
+            fail "PFCA leaf %s: installed %s <> original %s" (ps n.prefix)
+              (nhs n.installed_nh) (nhs n.original))
+  | Non_fib ->
+      if not (Nexthop.is_none n.installed_nh) then
+        fail "NON_FIB node %s has residual installed next-hop %s" (ps n.prefix)
+          (nhs n.installed_nh);
+      if n.table <> No_table then
+        fail "NON_FIB node %s still flagged in a table" (ps n.prefix);
+      if n.table_idx >= 0 then
+        fail "NON_FIB node %s holds a membership-vector slot" (ps n.prefix);
+      if mode = Pfca_mode && is_leaf n then
+        fail "PFCA leaf %s is not installed" (ps n.prefix));
+  (* selected-next-hop algebra (Algorithm 3) *)
+  match (n.left, n.right, mode) with
+  | None, None, _ ->
+      if not (Nexthop.equal n.selected n.original) then
+        fail "leaf %s: selected %s <> original %s" (ps n.prefix)
+          (nhs n.selected) (nhs n.original);
+      if not covered && n.status <> In_fib then
+        fail "leaf %s is covered by no IN_FIB entry" (ps n.prefix)
+  | Some l, Some r, Cfca_mode ->
+      let merged =
+        if Nexthop.equal l.selected r.selected then l.selected
+        else Nexthop.none
+      in
+      if not (Nexthop.equal n.selected merged) then
+        fail "internal %s: selected %s, children merge to %s" (ps n.prefix)
+          (nhs n.selected) (nhs merged)
+  | Some _, Some _, Pfca_mode ->
+      if not (Nexthop.is_none n.selected) then
+        fail "PFCA internal %s carries a selected next-hop %s" (ps n.prefix)
+          (nhs n.selected)
+  | _ -> fail "non-full node %s" (ps n.prefix)
+
+(* No cache hiding, checked against the actual lookup path: the first
+   and last address of every installed region must resolve back to the
+   entry itself.  Together with non-overlap this pins the whole region:
+   an intermediate address diverging would need another IN_FIB node
+   nested inside the region. *)
+let check_no_hiding t =
+  let open Bintrie in
+  iter_in_fib
+    (fun n ->
+      let probe a =
+        match lookup_in_fib t a with
+        | Some m when m == n -> ()
+        | Some m ->
+            fail "cache hiding: %s resolves %s, not its own entry %s"
+              (Ipv4.to_string a) (ps m.prefix) (ps n.prefix)
+        | None ->
+            fail "address %s inside installed %s resolves to nothing"
+              (Ipv4.to_string a) (ps n.prefix)
+      in
+      probe (Prefix.network n.prefix);
+      probe (Prefix.last_address n.prefix))
+    t
+
+let check_tree ~mode t =
+  match Bintrie.invariant t with
+  | Error _ as e -> e
+  | Ok () -> (
+      let rec walk n covered =
+        check_node mode n covered;
+        let covered = covered || n.Bintrie.status = Bintrie.In_fib in
+        match (n.Bintrie.left, n.Bintrie.right) with
+        | None, None -> ()
+        | Some l, Some r ->
+            walk l covered;
+            walk r covered
+        | _ -> fail "non-full node %s" (ps n.Bintrie.prefix)
+      in
+      try
+        walk (Bintrie.root t) false;
+        check_no_hiding t;
+        Ok ()
+      with Violation msg -> Error msg)
+
+let check_pipeline t pl =
+  let open Bintrie in
+  try
+    (* tree flags -> membership vectors *)
+    let l1_flags = ref 0 and l2_flags = ref 0 in
+    Bintrie.fold_nodes
+      (fun () n ->
+        match n.table with
+        | L1 ->
+            incr l1_flags;
+            if n.status <> In_fib then
+              fail "L1 holds uninstalled %s" (ps n.prefix);
+            if Pipeline.resident pl n <> Some L1 then
+              fail "%s flagged L1 but absent from the L1 vector" (ps n.prefix)
+        | L2 ->
+            incr l2_flags;
+            if n.status <> In_fib then
+              fail "L2 holds uninstalled %s" (ps n.prefix);
+            if Pipeline.resident pl n <> Some L2 then
+              fail "%s flagged L2 but absent from the L2 vector" (ps n.prefix)
+        | Dram ->
+            if Pipeline.resident pl n <> None then
+              fail "%s flagged DRAM but cached in a vector" (ps n.prefix)
+        | No_table ->
+            if Pipeline.resident pl n <> None then
+              fail "uninstalled %s still cached in a vector" (ps n.prefix))
+      () t;
+    (* membership vectors -> tree flags, and size agreement *)
+    if !l1_flags <> Pipeline.l1_size pl then
+      fail "L1 size drift: %d nodes flagged, vector holds %d" !l1_flags
+        (Pipeline.l1_size pl);
+    if !l2_flags <> Pipeline.l2_size pl then
+      fail "L2 size drift: %d nodes flagged, vector holds %d" !l2_flags
+        (Pipeline.l2_size pl);
+    Pipeline.iter_l1
+      (fun n ->
+        if n.table <> L1 then
+          fail "L1 vector member %s flagged %s" (ps n.prefix)
+            (match n.table with
+            | L1 -> "L1"
+            | L2 -> "L2"
+            | Dram -> "DRAM"
+            | No_table -> "none"))
+      pl;
+    Pipeline.iter_l2
+      (fun n -> if n.table <> L2 then fail "L2 vector member %s misflagged" (ps n.prefix))
+      pl;
+    (* capacity and LTHD occupancy bounds *)
+    let cfg = Pipeline.config pl in
+    if Pipeline.l1_size pl > cfg.Config.l1_capacity then
+      fail "L1 over capacity: %d > %d" (Pipeline.l1_size pl)
+        cfg.Config.l1_capacity;
+    if Pipeline.l2_size pl > cfg.Config.l2_capacity then
+      fail "L2 over capacity: %d > %d" (Pipeline.l2_size pl)
+        cfg.Config.l2_capacity;
+    let occ1, occ2 = Pipeline.lthd_occupancy pl in
+    let slots = Pipeline.lthd_slots pl in
+    if occ1 < 0 || occ1 > slots then
+      fail "L1 LTHD occupancy %d outside [0, %d]" occ1 slots;
+    if occ2 < 0 || occ2 > slots then
+      fail "L2 LTHD occupancy %d outside [0, %d]" occ2 slots;
+    Ok ()
+  with Violation msg -> Error msg
+
+let check ~mode ?pipeline t =
+  match check_tree ~mode t with
+  | Error _ as e -> e
+  | Ok () -> (
+      match pipeline with None -> Ok () | Some pl -> check_pipeline t pl)

@@ -1,0 +1,46 @@
+(** Machine-checked structural invariants of the CFCA/PFCA state
+    (paper §3.1–§3.2) — the safety net every perf/scale PR runs against.
+
+    {!check_tree} walks a {!Bintrie.t} and asserts everything the
+    paper's correctness argument rests on:
+
+    - the installed (IN_FIB) prefix set is {e non-overlapping} and
+      {e covers} the whole address space: every root-to-leaf path
+      crosses exactly one IN_FIB node;
+    - {e no cache hiding}: the address space covered by every installed
+      entry — wherever it resides, L1/L2/DRAM — resolves to that entry
+      (and hence its next-hop) in the full FIB, checked at the region
+      boundaries through {!Bintrie.lookup_in_fib};
+    - FAKE/REAL and selected-next-hop consistency: leaves select their
+      original next-hop, internal nodes select the merge of their
+      children (CFCA), installed next-hops match selected ones, and
+      NON_FIB nodes carry no residual installation state;
+    - table-location sanity: IN_FIB entries name a real table, NON_FIB
+      entries name none and hold no membership-vector back-pointer.
+
+    {!check_pipeline} additionally reconciles the tree's per-node table
+    flags against a live data plane: cache membership vectors agree
+    with the flags in both directions, cache sizes respect their
+    capacities, only installed entries are cached, and LTHD occupancy
+    stays within the pipeline's slot bounds. *)
+
+open Cfca_trie
+open Cfca_dataplane
+
+type mode =
+  | Cfca_mode  (** aggregated FIB: IN_FIB nodes are points of aggregation *)
+  | Pfca_mode  (** extension-only FIB: IN_FIB nodes are exactly the leaves *)
+
+val check_tree : mode:mode -> Bintrie.t -> (unit, string) result
+(** [Ok ()] or the first violated invariant, as a human-readable
+    message naming the offending prefix. Includes
+    {!Bintrie.invariant}'s structural checks (fullness, FAKE
+    inheritance, prefix/parent links). *)
+
+val check_pipeline : Bintrie.t -> Pipeline.t -> (unit, string) result
+(** Tree/data-plane agreement (see above). Only meaningful when every
+    control-plane operation on the tree was sinked into this pipeline. *)
+
+val check :
+  mode:mode -> ?pipeline:Pipeline.t -> Bintrie.t -> (unit, string) result
+(** {!check_tree}, then {!check_pipeline} when a pipeline is given. *)

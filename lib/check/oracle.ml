@@ -1,0 +1,81 @@
+open Cfca_prefix
+
+type t = {
+  default_nh : Nexthop.t;
+  mutable routes : (Prefix.t * Nexthop.t) list;  (* no repeated prefixes *)
+}
+
+let create ~default_nh =
+  if not (Nexthop.is_real default_nh) then invalid_arg "Oracle.create";
+  { default_nh; routes = [] }
+
+let announce t p nh =
+  if not (Nexthop.is_real nh) then invalid_arg "Oracle.announce";
+  t.routes <- (p, nh) :: List.remove_assoc p t.routes
+
+let withdraw t p = t.routes <- List.remove_assoc p t.routes
+
+let load t routes = List.iter (fun (p, nh) -> announce t p nh) routes
+
+let lookup t a =
+  let best = ref None in
+  List.iter
+    (fun (p, nh) ->
+      if Prefix.mem a p then
+        match !best with
+        | Some (q, _) when Prefix.length q >= Prefix.length p -> ()
+        | _ -> best := Some (p, nh))
+    t.routes;
+  match !best with Some (_, nh) -> nh | None -> t.default_nh
+
+let routes t = t.routes
+
+let route_count t = List.length t.routes
+
+let table t =
+  if List.mem_assoc Prefix.default t.routes then t.routes
+  else (Prefix.default, t.default_nh) :: t.routes
+
+let addresses_of ?(exhaustive_limit = 32) p st =
+  let len = Prefix.length p in
+  if 32 - len <= 5 && 1 lsl (32 - len) <= exhaustive_limit then begin
+    (* enumerate the whole range *)
+    let acc = ref [] in
+    let a = ref (Prefix.network p) in
+    let stop = Prefix.last_address p in
+    let continue = ref true in
+    while !continue do
+      acc := !a :: !acc;
+      if Ipv4.equal !a stop then continue := false else a := Ipv4.succ !a
+    done;
+    !acc
+  end
+  else
+    Prefix.network p :: Prefix.last_address p
+    :: List.init 4 (fun _ -> Prefix.random_member st p)
+
+let probes t ~touched st =
+  let acc = ref [] in
+  List.iter (fun p -> acc := addresses_of p st @ !acc) touched;
+  List.iter
+    (fun (p, _) ->
+      acc := Prefix.network p :: Prefix.last_address p :: !acc)
+    t.routes;
+  for _ = 1 to 16 do
+    acc := Ipv4.random st :: !acc
+  done;
+  !acc
+
+let equiv t ~lookup:sys addrs =
+  let rec go = function
+    | [] -> Ok ()
+    | a :: rest ->
+        let want = lookup t a and got = sys a in
+        if Nexthop.equal want got then go rest
+        else
+          Error
+            (Printf.sprintf "forwarding divergence at %s: oracle %s, system %s"
+               (Ipv4.to_string a) (Nexthop.to_string want)
+               (Nexthop.to_string got))
+  in
+  go addrs

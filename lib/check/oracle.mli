@@ -1,0 +1,54 @@
+(** A deliberately naive reference model of the RIB and its forwarding
+    behaviour — the differential oracle the fuzzer compares CFCA/PFCA
+    against.
+
+    The model is an assoc list of routes plus a linear-scan
+    longest-prefix match: slow, obviously correct, and sharing no code
+    with the trees under test. It is fed the same announce/withdraw
+    stream as the system under test; forwarding equivalence is then
+    checked exhaustively over the address ranges an event touched
+    (small ranges are enumerated completely) and by sampling
+    elsewhere. *)
+
+open Cfca_prefix
+
+type t
+
+val create : default_nh:Nexthop.t -> t
+
+val load : t -> (Prefix.t * Nexthop.t) list -> unit
+(** Initial RIB (last binding of a repeated prefix wins, mirroring
+    {!Cfca_trie.Bintrie.add_route}). *)
+
+val announce : t -> Prefix.t -> Nexthop.t -> unit
+
+val withdraw : t -> Prefix.t -> unit
+(** No-op if the prefix holds no route, like the Route Manager. *)
+
+val lookup : t -> Ipv4.t -> Nexthop.t
+(** Linear-scan LPM; the default next-hop when nothing matches. *)
+
+val routes : t -> (Prefix.t * Nexthop.t) list
+(** The current route set (excluding the implicit default). *)
+
+val route_count : t -> int
+
+val table : t -> (Prefix.t * Nexthop.t) list
+(** The routes plus an explicit default entry — directly comparable to
+    an installed FIB with {!Cfca_veritable.Veritable}. *)
+
+val addresses_of : ?exhaustive_limit:int -> Prefix.t -> Random.State.t -> Ipv4.t list
+(** Probe addresses for one prefix: every address of the range when it
+    has at most [exhaustive_limit] (default 32) of them, otherwise the
+    two boundaries plus random members. *)
+
+val probes : t -> touched:Prefix.t list -> Random.State.t -> Ipv4.t list
+(** Probe addresses for an equivalence check after an event: exhaustive
+    or boundary+sampled coverage of every touched prefix ({!addresses_of}),
+    boundary probes of every live route, and uniform random addresses. *)
+
+val equiv :
+  t -> lookup:(Ipv4.t -> Nexthop.t) -> Ipv4.t list -> (unit, string) result
+(** Compare the system's forwarding function against the oracle on the
+    given addresses; the first divergence is reported with address,
+    oracle verdict and system verdict. *)

@@ -165,6 +165,8 @@ module Make (P : Family.PREFIX) = struct
 
     let tree t = t.tree
 
+    let default_nh t = t.default_nh
+
     let load t routes =
       if t.loaded then invalid_arg "Route_manager.load: already loaded";
       t.loaded <- true;

@@ -20,6 +20,9 @@ val set_sink : t -> Fib_op.sink -> unit
 
 val tree : t -> Bintrie.t
 
+val default_nh : t -> Nexthop.t
+(** The fallback next-hop the manager was created with. *)
+
 val load : t -> (Prefix.t * Nexthop.t) Seq.t -> unit
 (** Initial FIB installation (§3.1.1): bulk-insert a RIB snapshot,
     extend it into a full tree of non-overlapping prefixes and run the

@@ -245,6 +245,24 @@ module Make (P : Family.PREFIX) = struct
 
     let caches_full t = Table_set.is_full t.l1_set && Table_set.is_full t.l2_set
 
+    let iter_l1 f t = Table_set.iter f t.l1_set
+
+    let iter_l2 f t = Table_set.iter f t.l2_set
+
+    (* Which cache's membership vector actually holds the node — the
+       ground truth the node's [table] flag must agree with (checked by
+       Cfca_check.Invariants). DRAM has no membership vector, so a
+       DRAM-resident entry reports [None] here like an uninstalled one;
+       the caller distinguishes them by [status]. *)
+    let resident t n =
+      if Table_set.mem t.l1_set n then Some L1
+      else if Table_set.mem t.l2_set n then Some L2
+      else None
+
+    let lthd_occupancy t = (Lthd.occupancy t.lthd_l1, Lthd.occupancy t.lthd_l2)
+
+    let lthd_slots t = t.cfg.Config.lthd_stages * t.cfg.Config.lthd_width
+
     (* Per-window counter maintenance: "100 matches per minute" resets the
        count at every window boundary. *)
     let touch t n ~now =

@@ -58,6 +58,22 @@ val l2_size : t -> int
 
 val caches_full : t -> bool
 
+val iter_l1 : (Bintrie.node -> unit) -> t -> unit
+(** Visit the entries the L1 membership vector actually holds. *)
+
+val iter_l2 : (Bintrie.node -> unit) -> t -> unit
+
+val resident : t -> Bintrie.node -> Bintrie.table option
+(** The cache whose membership vector holds the node ([None] for DRAM
+    and uninstalled entries) — ground truth for invariant checking
+    against the node's own [table] flag. *)
+
+val lthd_occupancy : t -> int * int
+(** Non-empty slots of the (L1, L2) LTHD pipelines. *)
+
+val lthd_slots : t -> int
+(** Slot capacity of each LTHD pipeline (stages x width). *)
+
 val stats : t -> stats
 
 val reset_stats : t -> unit

@@ -106,10 +106,12 @@ let compare_tables tables =
 
 let equivalent a b = compare_tables [ a; b ] = Equivalent
 
+let pp_divergence ppf d =
+  Format.fprintf ppf "diverge at %s: [%s]"
+    (Prefix.to_string d.region)
+    (String.concat "; "
+       (Array.to_list (Array.map Nexthop.to_string d.next_hops)))
+
 let pp_verdict ppf = function
   | Equivalent -> Format.pp_print_string ppf "equivalent"
-  | Diverges d ->
-      Format.fprintf ppf "diverge at %s: [%s]"
-        (Prefix.to_string d.region)
-        (String.concat "; "
-           (Array.to_list (Array.map Nexthop.to_string d.next_hops)))
+  | Diverges d -> pp_divergence ppf d

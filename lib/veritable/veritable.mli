@@ -31,6 +31,8 @@ val compare_tables : table list -> verdict
 
 val equivalent : table -> table -> bool
 
+val pp_divergence : Format.formatter -> divergence -> unit
+
 val pp_verdict : Format.formatter -> verdict -> unit
 
 val divergences : ?limit:int -> table list -> divergence list

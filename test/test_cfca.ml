@@ -328,6 +328,51 @@ let prop_withdraw_all_returns_to_default =
       | Error m -> QCheck.Test.fail_report m);
       Route_manager.fib_size rm = 1 && Route_manager.node_count rm = 1)
 
+(* Differential test against the naive oracle from lib/check: apply a
+   random RIB plus ~200 random updates to both CFCA and the assoc-list
+   oracle, then rebuild a standalone LPM trie from the oracle's final
+   route set and require exact forwarding agreement. Unlike the
+   incremental-model properties above, the reference state here is
+   reconstructed from scratch, so an update mis-handled by *both*
+   incremental paths would still be caught. *)
+let gen_many_ops = QCheck.Gen.(list_size (int_range 150 220) gen_op)
+
+let arb_oracle_scenario =
+  QCheck.make
+    ~print:(fun (routes, ops) ->
+      Printf.sprintf "routes=%d ops=[%s]" (List.length routes)
+        (String.concat ";" (List.map pp_op ops)))
+    QCheck.Gen.(
+      pair (list_size (int_bound 40) (pair gen_scoped_prefix (int_range 1 8)))
+        gen_many_ops)
+
+let prop_differential_oracle =
+  QCheck.Test.make ~count:60
+    ~name:"~200 updates: CFCA lookup agrees with LPM of the oracle's routes"
+    arb_oracle_scenario
+    (fun ((routes, ops) as sc) ->
+      let rm = load_rm (List.map (fun (q, nh) -> (Prefix.to_string q, nh)) routes) in
+      let oracle = Cfca_check.Oracle.create ~default_nh in
+      Cfca_check.Oracle.load oracle routes;
+      List.iter
+        (fun op ->
+          match op with
+          | Ann (q, nh) ->
+              Route_manager.announce rm q nh;
+              Cfca_check.Oracle.announce oracle q nh
+          | Wd q ->
+              Route_manager.withdraw rm q;
+              Cfca_check.Oracle.withdraw oracle q)
+        ops;
+      (* reference: a fresh LPM trie over the oracle's final route set *)
+      let model = Lpm.create () in
+      Lpm.add model Prefix.default default_nh;
+      List.iter
+        (fun (q, nh) -> Lpm.add model q nh)
+        (List.rev (Cfca_check.Oracle.routes oracle));
+      let st = Random.State.make [| List.length ops; 29 |] in
+      equivalent rm model (sample_addresses sc st))
+
 let prop_churn_accounting =
   QCheck.Test.make ~count:250
     ~name:"data-plane ops account exactly for FIB size changes" arb_scenario
@@ -387,6 +432,7 @@ let () =
           [
             prop_equivalence_after_load;
             prop_equivalence_after_updates;
+            prop_differential_oracle;
             prop_withdraw_all_returns_to_default;
             prop_churn_accounting;
           ] );

@@ -1,0 +1,286 @@
+(* Tests for the invariant-checking & differential-oracle subsystem:
+   the checkers accept healthy CFCA/PFCA states, reject deliberately
+   corrupted ones, and the fuzzer finds an injected bug and shrinks it
+   to a minimal replayable reproducer. *)
+
+open Cfca_prefix
+open Cfca_trie
+open Cfca_core
+open Cfca_dataplane
+open Cfca_check
+
+let p = Prefix.v
+let addr = Ipv4.of_string_exn
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let default_nh = 9
+
+let paper_routes =
+  [
+    (p "129.10.124.0/24", 1);
+    (p "129.10.124.0/27", 1);
+    (p "129.10.124.64/26", 1);
+    (p "129.10.124.192/26", 2);
+  ]
+
+let expect_ok what = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+let expect_error what = function
+  | Ok () -> Alcotest.failf "%s: corruption not detected" what
+  | Error _ -> ()
+
+let node_exn tree q =
+  match Bintrie.find tree (p q) with
+  | Some n -> n
+  | None -> Alcotest.failf "node %s missing" q
+
+(* -- Invariants ----------------------------------------------------- *)
+
+let test_invariants_accept_cfca () =
+  let rm = Route_manager.create ~default_nh () in
+  Route_manager.load rm (List.to_seq paper_routes);
+  expect_ok "after load"
+    (Invariants.check ~mode:Invariants.Cfca_mode (Route_manager.tree rm));
+  Route_manager.announce rm (p "129.10.124.64/26") 2;
+  Route_manager.withdraw rm (p "129.10.124.0/27");
+  expect_ok "after updates"
+    (Invariants.check ~mode:Invariants.Cfca_mode (Route_manager.tree rm))
+
+let test_invariants_accept_pfca () =
+  let open Cfca_pfca in
+  let sys = Pfca.create ~default_nh () in
+  Pfca.load sys (List.to_seq paper_routes);
+  expect_ok "after load"
+    (Invariants.check ~mode:Invariants.Pfca_mode (Pfca.tree sys));
+  Pfca.announce sys (p "129.10.124.64/26") 5;
+  Pfca.withdraw sys (p "129.10.124.192/26");
+  expect_ok "after updates"
+    (Invariants.check ~mode:Invariants.Pfca_mode (Pfca.tree sys))
+
+let test_invariants_catch_bad_installed_nh () =
+  let rm = Route_manager.create ~default_nh () in
+  Route_manager.load rm (List.to_seq paper_routes);
+  let n = node_exn (Route_manager.tree rm) "129.10.124.192/26" in
+  n.Bintrie.installed_nh <- 7;
+  expect_error "installed <> selected"
+    (Invariants.check ~mode:Invariants.Cfca_mode (Route_manager.tree rm))
+
+let test_invariants_catch_overlap () =
+  let rm = Route_manager.create ~default_nh () in
+  Route_manager.load rm (List.to_seq paper_routes);
+  (* force the /24 (an ancestor of installed entries) into the FIB *)
+  let n = node_exn (Route_manager.tree rm) "129.10.124.0/24" in
+  n.Bintrie.status <- Bintrie.In_fib;
+  n.Bintrie.table <- Bintrie.Dram;
+  n.Bintrie.installed_nh <- n.Bintrie.selected;
+  expect_error "overlapping install"
+    (Invariants.check ~mode:Invariants.Cfca_mode (Route_manager.tree rm))
+
+let test_invariants_catch_coverage_hole () =
+  let rm = Route_manager.create ~default_nh () in
+  Route_manager.load rm (List.to_seq paper_routes);
+  (* uninstall a point of aggregation without re-aggregating: the
+     region it covered now resolves to nothing *)
+  let n = node_exn (Route_manager.tree rm) "129.10.124.192/26" in
+  n.Bintrie.status <- Bintrie.Non_fib;
+  n.Bintrie.table <- Bintrie.No_table;
+  n.Bintrie.installed_nh <- Nexthop.none;
+  expect_error "coverage hole"
+    (Invariants.check ~mode:Invariants.Cfca_mode (Route_manager.tree rm))
+
+let test_invariants_catch_pipeline_drift () =
+  let rm = Route_manager.create ~default_nh () in
+  let pl = Pipeline.create Config.default in
+  Route_manager.set_sink rm (Pipeline.sink pl);
+  Route_manager.load rm (List.to_seq paper_routes);
+  expect_ok "healthy pipeline"
+    (Invariants.check ~mode:Invariants.Cfca_mode ~pipeline:pl
+       (Route_manager.tree rm));
+  (* claim cache residency without membership-vector backing *)
+  let n = node_exn (Route_manager.tree rm) "129.10.124.192/26" in
+  n.Bintrie.table <- Bintrie.L1;
+  expect_error "flag/vector drift"
+    (Invariants.check ~mode:Invariants.Cfca_mode ~pipeline:pl
+       (Route_manager.tree rm))
+
+let test_invariants_with_traffic () =
+  (* drive real packets through tiny caches so promotion, eviction and
+     LTHD churn all happen, then re-check everything *)
+  let sys = Fuzz.cfca ~default_nh:(Nexthop.of_int default_nh) ~seed:7 () in
+  sys.Fuzz.sys_load paper_routes;
+  let st = Random.State.make [| 11 |] in
+  for _ = 1 to 2_000 do
+    let q, _ = List.nth paper_routes (Random.State.int st 4) in
+    sys.Fuzz.sys_packet (Prefix.random_member st q)
+  done;
+  expect_ok "after 2K packets" (sys.Fuzz.sys_check ())
+
+(* -- Oracle --------------------------------------------------------- *)
+
+let test_oracle_lpm () =
+  let o = Oracle.create ~default_nh in
+  Oracle.load o [ (p "10.0.0.0/8", 1); (p "10.1.0.0/16", 2) ];
+  check_int "longest match wins" 2 (Oracle.lookup o (addr "10.1.2.3"));
+  check_int "shorter covers rest" 1 (Oracle.lookup o (addr "10.2.0.1"));
+  check_int "default elsewhere" default_nh (Oracle.lookup o (addr "8.8.8.8"));
+  Oracle.announce o (p "10.1.0.0/16") 5;
+  check_int "re-announce overwrites" 5 (Oracle.lookup o (addr "10.1.2.3"));
+  check_int "no duplicate entries" 2 (Oracle.route_count o);
+  Oracle.withdraw o (p "10.1.0.0/16");
+  check_int "withdraw uncovers" 1 (Oracle.lookup o (addr "10.1.2.3"));
+  Oracle.withdraw o (p "10.9.0.0/16") (* unknown: no-op *);
+  check_int "one route left" 1 (Oracle.route_count o)
+
+let test_oracle_matches_cfca () =
+  let rm = Route_manager.create ~default_nh () in
+  Route_manager.load rm (List.to_seq paper_routes);
+  let o = Oracle.create ~default_nh in
+  Oracle.load o paper_routes;
+  let st = Random.State.make [| 3 |] in
+  expect_ok "oracle equivalence"
+    (Oracle.equiv o
+       ~lookup:(Route_manager.lookup rm)
+       (Oracle.probes o ~touched:(List.map fst paper_routes) st))
+
+let test_oracle_addresses_exhaustive () =
+  (* a /30 is enumerated completely *)
+  let st = Random.State.make [| 1 |] in
+  let addrs = Oracle.addresses_of (p "10.0.0.4/30") st in
+  check_int "four addresses" 4 (List.length addrs);
+  List.iter
+    (fun a -> check "inside" true (Prefix.mem a (p "10.0.0.4/30")))
+    addrs;
+  (* a /8 is sampled, not enumerated *)
+  check "sampled" true (List.length (Oracle.addresses_of (p "10.0.0.0/8") st) < 10)
+
+(* -- Fuzz ----------------------------------------------------------- *)
+
+let dnh = Nexthop.of_int default_nh
+
+let test_fuzz_clean () =
+  let cfg = { Fuzz.default_config with Fuzz.events = 80; max_routes = 25 } in
+  let failures =
+    Fuzz.run ~cfg ~make:(fun seed -> Fuzz.cfca ~default_nh:dnh ~seed ()) ~seeds:5 ()
+  in
+  (match failures with
+  | [] -> ()
+  | f :: _ -> Alcotest.failf "unexpected: %s" (Format.asprintf "%a" Fuzz.pp_failure f));
+  let failures =
+    Fuzz.run ~cfg ~make:(fun seed -> Fuzz.pfca ~default_nh:dnh ~seed ()) ~seeds:5 ()
+  in
+  check_int "pfca clean" 0 (List.length failures)
+
+(* A deliberately broken CFCA: withdrawals are silently dropped. The
+   fuzzer must catch the divergence and shrink it to a near-minimal
+   reproducer that replays. *)
+let broken_cfca seed =
+  let sys = Fuzz.cfca ~default_nh:dnh ~seed () in
+  { sys with Fuzz.sys_withdraw = (fun _ -> ()) }
+
+let test_fuzz_finds_and_shrinks () =
+  let cfg = { Fuzz.default_config with Fuzz.events = 150; max_routes = 40 } in
+  let failures = Fuzz.run ~cfg ~make:broken_cfca ~seeds:10 () in
+  check "bug found" true (failures <> []);
+  let f = List.hd failures in
+  let sc = f.Fuzz.f_scenario in
+  (* minimal: a route (or announce) plus the dropped withdrawal, maybe
+     a probe packet — certainly nowhere near the original 150 events *)
+  check "shrunk events" true (List.length sc.Fuzz.events <= 4);
+  check "shrunk routes" true (List.length sc.Fuzz.routes <= 3);
+  check "original size recorded" true (f.Fuzz.f_original_events = 150);
+  (* the shrunk scenario is a real reproducer *)
+  check "replays" true
+    (Fuzz.run_scenario ~make:(fun () -> broken_cfca f.Fuzz.f_seed) sc <> None);
+  (* and the pristine system passes the very same scenario *)
+  check "healthy system passes" true
+    (Fuzz.run_scenario
+       ~make:(fun () -> Fuzz.cfca ~default_nh:dnh ~seed:f.Fuzz.f_seed ())
+       sc
+    = None)
+
+let test_script_roundtrip () =
+  let sc = Fuzz.generate ~cfg:{ Fuzz.default_config with Fuzz.events = 30 } 42 in
+  match Fuzz.scenario_of_script (Fuzz.script_of_scenario sc) with
+  | Error msg -> Alcotest.fail msg
+  | Ok sc' ->
+      check_int "seed" sc.Fuzz.seed sc'.Fuzz.seed;
+      check "routes" true (sc.Fuzz.routes = sc'.Fuzz.routes);
+      check "events" true (sc.Fuzz.events = sc'.Fuzz.events)
+
+let test_script_reproducer_replays () =
+  (* end-to-end: fuzz a broken system, print the reproducer, parse it
+     back, replay it — the failure survives the text round-trip *)
+  let cfg = { Fuzz.default_config with Fuzz.events = 100 } in
+  let failures = Fuzz.run ~cfg ~make:broken_cfca ~seeds:5 () in
+  check "bug found" true (failures <> []);
+  let f = List.hd failures in
+  let script = Fuzz.script_of_scenario f.Fuzz.f_scenario in
+  match Fuzz.scenario_of_script script with
+  | Error msg -> Alcotest.fail msg
+  | Ok sc ->
+      check "parsed seed" true (sc.Fuzz.seed = f.Fuzz.f_seed);
+      check "replayed failure" true
+        (Fuzz.run_scenario ~make:(fun () -> broken_cfca sc.Fuzz.seed) sc <> None)
+
+let test_script_rejects_garbage () =
+  check "garbage rejected" true
+    (Result.is_error (Fuzz.scenario_of_script "A not-a-prefix 3"));
+  check "unknown op rejected" true
+    (Result.is_error (Fuzz.scenario_of_script "X 10.0.0.0/8"))
+
+(* -- property: fuzz systems stay oracle-equivalent ------------------- *)
+
+let prop_scenarios_clean =
+  QCheck.Test.make ~count:40 ~name:"random scenarios pass both systems"
+    QCheck.(make Gen.(int_range 1000 9999))
+    (fun seed ->
+      let cfg = { Fuzz.default_config with Fuzz.events = 60; max_routes = 20 } in
+      let sc = Fuzz.generate ~cfg seed in
+      Fuzz.run_scenario ~make:(fun () -> Fuzz.cfca ~default_nh:dnh ~seed ()) sc
+      = None
+      && Fuzz.run_scenario ~make:(fun () -> Fuzz.pfca ~default_nh:dnh ~seed ()) sc
+         = None)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "check"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "accept healthy cfca" `Quick
+            test_invariants_accept_cfca;
+          Alcotest.test_case "accept healthy pfca" `Quick
+            test_invariants_accept_pfca;
+          Alcotest.test_case "catch bad installed nh" `Quick
+            test_invariants_catch_bad_installed_nh;
+          Alcotest.test_case "catch overlap" `Quick test_invariants_catch_overlap;
+          Alcotest.test_case "catch coverage hole" `Quick
+            test_invariants_catch_coverage_hole;
+          Alcotest.test_case "catch pipeline drift" `Quick
+            test_invariants_catch_pipeline_drift;
+          Alcotest.test_case "hold under traffic" `Quick
+            test_invariants_with_traffic;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "linear-scan lpm" `Quick test_oracle_lpm;
+          Alcotest.test_case "matches cfca" `Quick test_oracle_matches_cfca;
+          Alcotest.test_case "exhaustive small ranges" `Quick
+            test_oracle_addresses_exhaustive;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "clean on healthy systems" `Quick test_fuzz_clean;
+          Alcotest.test_case "finds and shrinks injected bug" `Quick
+            test_fuzz_finds_and_shrinks;
+          Alcotest.test_case "script roundtrip" `Quick test_script_roundtrip;
+          Alcotest.test_case "reproducer survives text roundtrip" `Quick
+            test_script_reproducer_replays;
+          Alcotest.test_case "script rejects garbage" `Quick
+            test_script_rejects_garbage;
+        ] );
+      ("properties", qt [ prop_scenarios_clean ]);
+    ]

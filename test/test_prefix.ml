@@ -96,6 +96,30 @@ let test_prefix_order () =
   check "by bits" true (Prefix.compare (p "10.0.0.0/8") (p "11.0.0.0/8") < 0);
   check_int "equal" 0 (Prefix.compare (p "10.0.0.0/8") (p "10.0.0.0/8"))
 
+let test_len_boundaries () =
+  (* /32: a host route still has a parent and a sibling *)
+  let host = p "1.2.3.4/32" in
+  check "parent of /32" true (Prefix.equal (Prefix.parent host) (p "1.2.3.4/31"));
+  check "sibling of /32" true (Prefix.equal (Prefix.sibling host) (p "1.2.3.5/32"));
+  check "sibling twice is identity" true
+    (Prefix.equal (Prefix.sibling (Prefix.sibling host)) host);
+  check "/32 contains only itself" true (Prefix.contains host host);
+  check "/32 contains nothing else" false
+    (Prefix.contains host (p "1.2.3.5/32"));
+  check "/32 covers exactly one address" true
+    (Ipv4.equal (Prefix.network host) (Prefix.last_address host));
+  (* /0: contains everything, is contained only by itself *)
+  check "/0 contains /32" true (Prefix.contains Prefix.default host);
+  check "/0 contains /0" true (Prefix.contains Prefix.default Prefix.default);
+  check "/32 does not contain /0" false (Prefix.contains host Prefix.default);
+  check "/0 covers all space" true
+    (Ipv4.equal (Prefix.network Prefix.default) Ipv4.zero
+    && Ipv4.equal (Prefix.last_address Prefix.default) Ipv4.broadcast);
+  (* /1 children of the default route are each other's siblings *)
+  let l = Prefix.left Prefix.default and r = Prefix.right Prefix.default in
+  check "/1 siblings" true (Prefix.is_sibling l r);
+  check "/1 parent is default" true (Prefix.equal (Prefix.parent l) Prefix.default)
+
 let test_default_edge_cases () =
   check "default no parent" true
     (match Prefix.parent Prefix.default with
@@ -149,11 +173,21 @@ let prop_parent_of_child =
       Prefix.equal (Prefix.parent (Prefix.left p)) p
       && Prefix.equal (Prefix.parent (Prefix.right p)) p)
 
+(* sibling ∘ sibling = identity for every len >= 1 — length is forced
+   into [1, 32] (no assume) so /32 host routes are exercised too *)
 let prop_sibling_involution =
-  QCheck.Test.make ~name:"sibling is an involution" ~count:500 arb_prefix
+  QCheck.Test.make ~name:"sibling is an involution for len >= 1" ~count:500
+    (QCheck.make
+       ~print:Prefix.to_string
+       QCheck.Gen.(
+         map2
+           (fun addr len -> Prefix.make (Ipv4.of_int addr) len)
+           (int_bound 0xFFFFFFF)
+           (int_range 1 32)))
     (fun p ->
-      QCheck.assume (Prefix.length p > 0);
-      Prefix.equal (Prefix.sibling (Prefix.sibling p)) p)
+      Prefix.equal (Prefix.sibling (Prefix.sibling p)) p
+      && Prefix.is_sibling p (Prefix.sibling p)
+      && Prefix.length (Prefix.sibling p) = Prefix.length p)
 
 let prop_random_member =
   QCheck.Test.make ~name:"random_member is a member" ~count:500 arb_prefix
@@ -187,6 +221,7 @@ let () =
           Alcotest.test_case "mem" `Quick test_prefix_mem;
           Alcotest.test_case "family" `Quick test_prefix_family;
           Alcotest.test_case "order" `Quick test_prefix_order;
+          Alcotest.test_case "/0 and /32 boundaries" `Quick test_len_boundaries;
           Alcotest.test_case "edge cases" `Quick test_default_edge_cases;
         ] );
       ( "properties",

@@ -158,6 +158,46 @@ let test_time_updates_monotone () =
   | (last, _) :: _ -> check_int "covers all updates" tiny_scale.Experiments.updates last
   | [] -> Alcotest.fail "no checkpoints"
 
+(* -- golden regression: pinned totals for a fixed seed --------------- *)
+
+(* Every count the engine reports for this fixed seed/scale, pinned
+   exactly. The workload and the pipeline are deliberately seeded and
+   deterministic (see test_run_determinism), so any drift here means a
+   behavioural change — intended ones must update these constants in
+   the same PR and say why; unintended ones are perf-PR regressions
+   this test exists to catch. Wall-clock fields are not pinned. *)
+let test_golden_totals () =
+  let scale =
+    Experiments.with_size Experiments.standard_scale ~rib_size:3_000
+      ~packets:200_000 ~updates:400
+  in
+  let w = Experiments.build_workload scale in
+  let cfg = Experiments.config_for w Experiments.cache_ratios.(2) in
+  let r =
+    Engine.run Engine.Cfca cfg ~default_nh:w.Experiments.default_nh
+      w.Experiments.rib w.Experiments.spec
+  in
+  let s = r.Engine.r_totals in
+  check_int "cache config l1" 75 cfg.Config.l1_capacity;
+  check_int "cache config l2" 100 cfg.Config.l2_capacity;
+  check_int "windows" 2 (Array.length r.Engine.r_windows);
+  check_int "packets" 200_000 s.Pipeline.packets;
+  check_int "l1 misses" 10_223 s.Pipeline.l1_misses;
+  check_int "l2 misses" 3_371 s.Pipeline.l2_misses;
+  check_int "l1 installs" 82 s.Pipeline.l1_installs;
+  check_int "l1 evictions" 1 s.Pipeline.l1_evictions;
+  check_int "l2 installs" 196 s.Pipeline.l2_installs;
+  check_int "l2 evictions" 3 s.Pipeline.l2_evictions;
+  check_int "bgp l1 churn" 7 s.Pipeline.bgp_l1;
+  check_int "bgp l2 churn" 13 s.Pipeline.bgp_l2;
+  check_int "bgp dram churn" 1_078 s.Pipeline.bgp_dram;
+  check_int "rib size" 3_000 r.Engine.r_rib_size;
+  check_int "initial fib" 2_585 r.Engine.r_fib_initial;
+  check_int "final fib" 3_011 r.Engine.r_fib_final;
+  check_int "updates" 400 r.Engine.r_updates;
+  check_int "updates touching l1" 7 r.Engine.r_updates_l1;
+  check_int "max l1 burst" 1 r.Engine.r_burst_l1
+
 (* -- naive baseline: cache hiding really happens --------------------- *)
 
 let test_naive_cache_hides () =
@@ -289,6 +329,8 @@ let () =
             test_forwarding_equivalence;
           Alcotest.test_case "tcam consistency" `Quick test_tcam_consistency;
           Alcotest.test_case "determinism" `Quick test_run_determinism;
+          Alcotest.test_case "golden totals (fixed seed)" `Quick
+            test_golden_totals;
         ] );
       ( "experiments",
         [
