@@ -19,6 +19,15 @@ FUZZ_EVENTS ?= 150
 fuzz: build
 	dune exec bin/verify.exe -- fuzz --seeds $(FUZZ_SEEDS) --events $(FUZZ_EVENTS)
 
+# Seeded fault-injection sweep (lib/resilience): every decoder corpus
+# damaged with every corruption class, lenient decoding must never
+# raise and must account for every byte.
+# Override e.g.: make inject INJECT_SEEDS=200
+INJECT_SEEDS ?= 25
+
+inject: build
+	dune exec bin/verify.exe -- inject --seeds $(INJECT_SEEDS)
+
 bench: build
 	dune exec bench/main.exe
 

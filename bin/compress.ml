@@ -33,15 +33,32 @@ let default_nh =
   let doc = "Default next-hop covering unannounced space." in
   Arg.(value & opt int 33 & info [ "default-nh" ] ~docv:"NH" ~doc)
 
-let load_rib path =
-  if Filename.check_suffix path ".mrt" then
-    match Cfca_bgp.Mrt.read_rib_file path with
-    | Ok rib -> rib
-    | Error msg -> failwith msg
-  else Rib_io.load_exn path
+let lenient =
+  let doc = "Skip (and count) malformed input records instead of failing." in
+  Arg.(value & flag & info [ "lenient" ] ~doc)
 
-let compress scheme input output default_nh =
-  let rib = load_rib input in
+let load_rib ~policy path =
+  let open Cfca_resilience in
+  let finish = function
+    | Ok (rib, report) ->
+        if not (Errors.is_clean report) then
+          Printf.eprintf "%s:\n%s%!" path
+            (Format.asprintf "%a" Errors.pp_report report);
+        rib
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path (Errors.to_string e);
+        exit 1
+  in
+  if Filename.check_suffix path ".mrt" then
+    finish (Cfca_bgp.Mrt.read_rib_file ~policy path)
+  else finish (Rib_io.load ~policy path)
+
+let compress scheme input output default_nh lenient =
+  let policy =
+    if lenient then Cfca_resilience.Errors.Lenient
+    else Cfca_resilience.Errors.Strict
+  in
+  let rib = load_rib ~policy input in
   let default_nh = Nexthop.of_int default_nh in
   let name, entries =
     match scheme with
@@ -78,5 +95,7 @@ let compress scheme input output default_nh =
 let () =
   let doc = "FIB aggregation tool (CFCA / PFCA / FAQS / FIFA-S)" in
   let info = Cmd.info "cfca_compress" ~doc ~version:"1.0.0" in
-  let term = Term.(const compress $ scheme $ input $ output $ default_nh) in
+  let term =
+    Term.(const compress $ scheme $ input $ output $ default_nh $ lenient)
+  in
   exit (Cmd.eval (Cmd.v info term))

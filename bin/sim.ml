@@ -53,9 +53,31 @@ let system =
   let doc = "System to simulate: cfca or pfca." in
   Arg.(value & opt system_conv Engine.Cfca & info [ "system" ] ~docv:"SYS" ~doc)
 
+let lenient =
+  let doc =
+    "Tolerate damaged input files: skip malformed records, count them and \
+     keep going (default: the first malformed record is a fatal error)."
+  in
+  Arg.(value & flag & info [ "lenient" ] ~doc)
+
+let policy lenient =
+  if lenient then Cfca_resilience.Errors.Lenient
+  else Cfca_resilience.Errors.Strict
+
+(* surface any ingestion damage on stderr, keep stdout for results *)
+let surface_report name rep =
+  if not (Cfca_resilience.Errors.is_clean rep) then
+    Printf.eprintf "%s:\n%s%!" name
+      (Format.asprintf "%a" Cfca_resilience.Errors.pp_report rep)
+
+let ingest_fail name e =
+  Printf.eprintf "%s: %s\n" name (Cfca_resilience.Errors.to_string e);
+  exit 1
+
 let run_cmd =
   let run system rib_file pcap_file updates_mrt rib_size packets updates l1 l2
-      seed zipf =
+      seed zipf lenient =
+    let policy = policy lenient in
     let scale =
       {
         Experiments.standard_scale with
@@ -70,27 +92,30 @@ let run_cmd =
     let workload =
       match rib_file with
       | None -> workload
-      | Some path ->
-          let rib = Rib_io.load_exn path in
-          (* rebuild the trace over the loaded table *)
-          { workload with Experiments.rib }
+      | Some path -> (
+          match Rib_io.load ~policy path with
+          | Ok (rib, report) ->
+              surface_report path report;
+              (* rebuild the trace over the loaded table *)
+              { workload with Experiments.rib }
+          | Error e -> ingest_fail path e)
     in
     let update_stream =
       match updates_mrt with
       | None -> workload.Experiments.updates_arr
       | Some path -> (
-          match Cfca_bgp.Mrt.read_update_file path with
-          | Ok updates -> updates
-          | Error msg ->
-              prerr_endline msg;
-              exit 1)
+          match Cfca_bgp.Mrt.read_update_file ~policy path with
+          | Ok (updates, report) ->
+              surface_report path report;
+              updates
+          | Error e -> ingest_fail path e)
     in
     let cfg = Cfca_dataplane.Config.make ~l1_capacity:l1 ~l2_capacity:l2 () in
     let result =
       match pcap_file with
       | Some pcap -> (
           match
-            Engine.run_capture system cfg
+            Engine.run_capture ~policy system cfg
               ~default_nh:workload.Experiments.default_nh
               workload.Experiments.rib ~pcap ~updates:update_stream
           with
@@ -126,7 +151,7 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ system $ rib_file $ pcap_file $ updates_mrt $ rib_size
-      $ packets $ updates $ l1 $ l2 $ seed $ zipf)
+      $ packets $ updates $ l1 $ l2 $ seed $ zipf $ lenient)
 
 let experiment_cmd =
   let run name scale_mult =

@@ -28,9 +28,14 @@ let equiv files limit =
     prerr_endline "need at least two tables";
     exit 2
   end;
-  let tables =
-    List.map (fun path -> Array.to_list (Rib.entries (Rib_io.load_exn path))) files
+  let load path =
+    match Rib_io.load path with
+    | Ok (rib, _) -> Array.to_list (Rib.entries rib)
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path (Cfca_resilience.Errors.to_string e);
+        exit 2
   in
+  let tables = List.map load files in
   match Cfca_veritable.Veritable.divergences ~limit tables with
   | [] ->
       Printf.printf "equivalent: %s\n" (String.concat ", " files);
@@ -146,7 +151,44 @@ let replay_cmd =
   let doc = "replay a fuzzer reproducer script" in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const replay $ system_arg $ script_arg)
 
+(* -- inject ---------------------------------------------------------- *)
+
+let inject_seeds_arg =
+  let doc = "Number of consecutive seeds to sweep." in
+  Arg.(value & opt int 25 & info [ "seeds" ] ~docv:"N" ~doc)
+
+let inject_first_seed_arg =
+  let doc = "First seed of the sweep." in
+  Arg.(value & opt int 0 & info [ "first-seed" ] ~docv:"SEED" ~doc)
+
+let inject seeds first_seed =
+  let open Cfca_inject in
+  match Inject.sweep ~first_seed ~seeds () with
+  | Ok trials ->
+      let dropped =
+        List.fold_left (fun a t -> a + t.Inject.t_dropped) 0 trials
+      in
+      Printf.printf
+        "inject: %d seeds, %d corruption trials clean (%d damaged records \
+         dropped and accounted)\n"
+        seeds (List.length trials) dropped;
+      exit 0
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+let inject_cmd =
+  let doc =
+    "corrupt well-formed MRT/pcap corpora (bit flips, truncations, lying \
+     lengths, garbage records, mid-stream EOF) and assert the resilient \
+     decoders never crash and account for every byte"
+  in
+  Cmd.v (Cmd.info "inject" ~doc)
+    Term.(const inject $ inject_seeds_arg $ inject_first_seed_arg)
+
 let () =
-  let doc = "CFCA correctness tooling: equivalence, fuzzing, replay" in
+  let doc =
+    "CFCA correctness tooling: equivalence, fuzzing, replay, fault injection"
+  in
   let info = Cmd.info "cfca_verify" ~doc ~version:"1.0.0" in
-  exit (Cmd.eval (Cmd.group info [ equiv_cmd; fuzz_cmd; replay_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ equiv_cmd; fuzz_cmd; replay_cmd; inject_cmd ]))

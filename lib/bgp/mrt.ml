@@ -1,5 +1,6 @@
 open Cfca_prefix
 open Cfca_wire
+open Cfca_resilience
 
 type peer = { bgp_id : Ipv4.t; address : Ipv4.t; asn : int }
 
@@ -65,9 +66,15 @@ let write_nlri w p =
     Writer.u8 w ((bits lsr (24 - (8 * i))) land 0xFF)
   done
 
+let corrupt r reason =
+  raise (Errors.Fault (Errors.Corrupt_record { offset = Reader.pos r; reason }))
+
+let unsupported r what =
+  raise (Errors.Fault (Errors.Unsupported { offset = Reader.pos r; what }))
+
 let read_nlri r =
   let len = Reader.u8 r in
-  if len > 32 then failwith "Mrt: NLRI prefix length > 32";
+  if len > 32 then corrupt r "NLRI prefix length > 32";
   let nbytes = (len + 7) / 8 in
   let bits = ref 0 in
   for i = 0 to nbytes - 1 do
@@ -146,7 +153,7 @@ let read_peer_index r =
         let typ = Reader.u8 r in
         let bgp_id = Ipv4.of_int (Reader.u32 r) in
         let address =
-          if typ land 0x01 <> 0 then failwith "Mrt: IPv6 peers unsupported"
+          if typ land 0x01 <> 0 then unsupported r "IPv6 peer address"
           else Ipv4.of_int (Reader.u32 r)
         in
         let asn = if typ land 0x02 <> 0 then Reader.u32 r else Reader.u16 r in
@@ -212,15 +219,18 @@ let read_bgp4mp r =
   let local_as = Reader.u32 r in
   let _ifindex = Reader.u16 r in
   let afi = Reader.u16 r in
-  if afi <> 1 then failwith "Mrt: only AFI 1 (IPv4) is supported";
+  if afi <> 1 then
+    unsupported r (Printf.sprintf "AFI %d (only AFI 1, IPv4)" afi);
   let _peer_ip = Reader.u32 r in
   let _local_ip = Reader.u32 r in
   let marker = Reader.take r 16 in
-  if marker <> bgp_marker then failwith "Mrt: bad BGP marker";
+  if marker <> bgp_marker then corrupt r "bad BGP marker";
   let msg_len = Reader.u16 r in
   let typ = Reader.u8 r in
-  let body = Reader.sub r (msg_len - 19) in
-  if typ <> 2 then failwith "Mrt: embedded BGP message is not an UPDATE";
+  if msg_len < 19 then corrupt r "embedded BGP message length < 19";
+  let body = Reader.sub_reader r (msg_len - 19) in
+  if typ <> 2 then
+    unsupported r (Printf.sprintf "embedded BGP message type %d (not UPDATE)" typ);
   let withdrawn_len = Reader.u16 body in
   let wr = Reader.sub body withdrawn_len in
   let withdrawn = ref [] in
@@ -267,27 +277,81 @@ let write_record w ~timestamp record =
   Writer.u32 w (String.length payload);
   Writer.string w payload
 
-let read_record r =
-  if Reader.at_end r then None
+let header_bytes = 12
+
+(* The resync point: MRT records are length-delimited, so the parent
+   reader is advanced past the whole declared body ([Reader.sub])
+   before the body is parsed. A fault inside the body leaves the
+   parent at the next record boundary and the stream continues. *)
+let next_record r =
+  if Reader.at_end r then `End
   else begin
-    let timestamp = Reader.u32 r in
-    let typ = Reader.u16 r in
-    let subtype = Reader.u16 r in
-    let len = Reader.u32 r in
-    let body = Reader.sub r len in
-    let record =
-      if typ = t_table_dump_v2 && subtype = st_peer_index_table then
-        read_peer_index body
-      else if typ = t_table_dump_v2 && subtype = st_rib_ipv4_unicast then
-        read_rib_entry_record body
-      else if typ = t_bgp4mp && subtype = st_bgp4mp_message_as4 then
-        read_bgp4mp body
+    let start = Reader.pos r in
+    let avail = Reader.remaining r in
+    if avail < header_bytes then begin
+      Reader.skip r avail;
+      `Skip
+        (Errors.Truncated { offset = start; wanted = header_bytes; available = avail })
+    end
+    else begin
+      let timestamp = Reader.u32 r in
+      let typ = Reader.u16 r in
+      let subtype = Reader.u16 r in
+      let len = Reader.u32 r in
+      let avail = Reader.remaining r in
+      if len > avail then begin
+        Reader.skip r avail;
+        `Skip (Errors.Truncated { offset = start; wanted = len; available = avail })
+      end
       else
-        Unknown
-          { mrt_type = typ; subtype; payload = Reader.take body (Reader.remaining body) }
-    in
-    Some (timestamp, record)
+        let body = Reader.sub r len in
+        match
+          if typ = t_table_dump_v2 && subtype = st_peer_index_table then
+            read_peer_index body
+          else if typ = t_table_dump_v2 && subtype = st_rib_ipv4_unicast then
+            read_rib_entry_record body
+          else if typ = t_bgp4mp && subtype = st_bgp4mp_message_as4 then
+            read_bgp4mp body
+          else
+            Unknown
+              { mrt_type = typ; subtype; payload = Reader.take body (Reader.remaining body) }
+        with
+        | record -> `Record (timestamp, record)
+        | exception Errors.Fault e -> `Skip e
+        | exception Reader.Truncated ->
+            `Skip
+              (Errors.Corrupt_record
+                 { offset = start; reason = "record body shorter than its contents" })
+        | exception Failure reason ->
+            `Skip (Errors.Corrupt_record { offset = start; reason })
+    end
   end
+
+let read_record r =
+  match next_record r with
+  | `End -> None
+  | `Record (ts, record) -> Some (ts, record)
+  | `Skip e -> raise (Errors.Fault e)
+
+let fold_records ?(policy = Errors.Strict) r ~init ~f =
+  let report = Errors.report () in
+  let rec go acc =
+    let start = Reader.pos r in
+    match next_record r with
+    | `End -> Ok (acc, report)
+    | `Record (ts, record) -> (
+        let bytes = Reader.pos r - start in
+        match f acc ts record with
+        | Ok acc ->
+            Errors.note_parsed report ~bytes;
+            go acc
+        | Error e -> reject acc ~bytes e)
+    | `Skip e -> reject acc ~bytes:(Reader.pos r - start) e
+  and reject acc ~bytes e =
+    Errors.note_drop report ~bytes e;
+    match policy with Errors.Strict -> Error e | Errors.Lenient -> go acc
+  in
+  go init
 
 (* -- file-level interchange ------------------------------------------ *)
 
@@ -311,105 +375,109 @@ let standard_peers =
         asn = 64_512 + i;
       })
 
-let write_rib_file path rib =
-  with_out path (fun oc ->
-      let w = Writer.create ~capacity:(1 lsl 16) () in
+let encode_rib rib =
+  let w = Writer.create ~capacity:(1 lsl 16) () in
+  write_record w ~timestamp:0
+    (Peer_index_table
+       {
+         collector_id = Ipv4.of_octets 198 51 100 0;
+         view_name = "cfca-sim";
+         peers = standard_peers;
+       });
+  let seq = ref 0 in
+  Array.iter
+    (fun (prefix, nh) ->
       write_record w ~timestamp:0
-        (Peer_index_table
+        (Rib_ipv4_unicast
            {
-             collector_id = Ipv4.of_octets 198 51 100 0;
-             view_name = "cfca-sim";
-             peers = standard_peers;
+             sequence = !seq;
+             prefix;
+             entries =
+               [
+                 {
+                   peer_index = Nexthop.to_int nh - 1;
+                   originated = 0;
+                   next_hop = nh;
+                 };
+               ];
            });
-      output_string oc (Writer.contents w);
-      let seq = ref 0 in
-      Array.iter
-        (fun (prefix, nh) ->
-          Writer.clear w;
-          write_record w ~timestamp:0
-            (Rib_ipv4_unicast
-               {
-                 sequence = !seq;
-                 prefix;
-                 entries =
-                   [
-                     {
-                       peer_index = Nexthop.to_int nh - 1;
-                       originated = 0;
-                       next_hop = nh;
-                     };
-                   ];
-               });
-          incr seq;
-          output_string oc (Writer.contents w))
-        (Cfca_rib.Rib.entries rib))
+      incr seq)
+    (Cfca_rib.Rib.entries rib);
+  Writer.contents w
 
-let read_rib_file path =
+let write_rib_file path rib =
+  with_out path (fun oc -> output_string oc (encode_rib rib))
+
+let read_rib_string ?policy contents =
   match
-    let r = Reader.of_string (read_all path) in
-    let acc = ref [] in
-    let rec go () =
-      match read_record r with
-      | None -> ()
-      | Some (_, Rib_ipv4_unicast { prefix; entries; _ }) ->
-          (match entries with
-          | { next_hop; _ } :: _ -> acc := (prefix, next_hop) :: !acc
-          | [] -> ());
-          go ()
-      | Some (_, (Peer_index_table _ | Bgp4mp_message _ | Unknown _)) -> go ()
-    in
-    go ();
-    Cfca_rib.Rib.of_list !acc
+    fold_records ?policy (Reader.of_string contents) ~init:[] ~f:(fun acc _ record ->
+        match record with
+        | Rib_ipv4_unicast { prefix; entries = { next_hop; _ } :: _; _ } ->
+            Ok ((prefix, next_hop) :: acc)
+        | Rib_ipv4_unicast { entries = []; _ }
+        | Peer_index_table _ | Bgp4mp_message _ | Unknown _ ->
+            Ok acc)
   with
-  | rib -> Ok rib
-  | exception Reader.Truncated -> Error (path ^ ": truncated MRT file")
-  | exception Failure msg -> Error (path ^ ": " ^ msg)
-  | exception Sys_error msg -> Error msg
+  | Ok (acc, report) -> Ok (Cfca_rib.Rib.of_list acc, report)
+  | Error _ as e -> e
+
+let read_rib_file ?policy path =
+  match read_all path with
+  | contents -> read_rib_string ?policy contents
+  | exception Sys_error msg -> Error (Errors.Io_error msg)
+
+let encode_updates updates =
+  let w = Writer.create ~capacity:(1 lsl 12) () in
+  Array.iteri
+    (fun i (u : Bgp_update.t) ->
+      let update =
+        match u.action with
+        | Bgp_update.Announce nh ->
+            { withdrawn = []; announced = [ u.prefix ]; next_hop = Some nh }
+        | Bgp_update.Withdraw ->
+            { withdrawn = [ u.prefix ]; announced = []; next_hop = None }
+      in
+      write_record w ~timestamp:i
+        (Bgp4mp_message { peer_as = 64_512; local_as = 65_000; update }))
+    updates;
+  Writer.contents w
 
 let write_update_file path updates =
-  with_out path (fun oc ->
-      let w = Writer.create ~capacity:(1 lsl 12) () in
-      Array.iteri
-        (fun i (u : Bgp_update.t) ->
-          Writer.clear w;
-          let update =
-            match u.action with
-            | Bgp_update.Announce nh ->
-                { withdrawn = []; announced = [ u.prefix ]; next_hop = Some nh }
-            | Bgp_update.Withdraw ->
-                { withdrawn = [ u.prefix ]; announced = []; next_hop = None }
-          in
-          write_record w ~timestamp:i
-            (Bgp4mp_message { peer_as = 64_512; local_as = 65_000; update });
-          output_string oc (Writer.contents w))
-        updates)
+  with_out path (fun oc -> output_string oc (encode_updates updates))
 
-let read_update_file path =
+let read_update_string ?policy contents =
+  let r = Reader.of_string contents in
   match
-    let r = Reader.of_string (read_all path) in
-    let acc = ref [] in
-    let rec go () =
-      match read_record r with
-      | None -> ()
-      | Some (_, Bgp4mp_message { update; _ }) ->
-          List.iter
-            (fun p -> acc := Bgp_update.withdraw p :: !acc)
-            update.withdrawn;
-          (match update.next_hop with
-          | Some nh ->
-              List.iter
-                (fun p -> acc := Bgp_update.announce p nh :: !acc)
-                update.announced
-          | None ->
-              if update.announced <> [] then
-                failwith "announcement without a NEXT_HOP attribute");
-          go ()
-      | Some (_, (Peer_index_table _ | Rib_ipv4_unicast _ | Unknown _)) -> go ()
-    in
-    go ();
-    Array.of_list (List.rev !acc)
+    fold_records ?policy r ~init:[] ~f:(fun acc _ record ->
+        match record with
+        | Bgp4mp_message { update = { announced = _ :: _; next_hop = None; _ }; _ } ->
+            Error
+              (Errors.Corrupt_record
+                 {
+                   offset = Reader.pos r;
+                   reason = "announcement without a NEXT_HOP attribute";
+                 })
+        | Bgp4mp_message { update; _ } ->
+            let acc =
+              List.fold_left
+                (fun acc p -> Bgp_update.withdraw p :: acc)
+                acc update.withdrawn
+            in
+            let acc =
+              match update.next_hop with
+              | Some nh ->
+                  List.fold_left
+                    (fun acc p -> Bgp_update.announce p nh :: acc)
+                    acc update.announced
+              | None -> acc
+            in
+            Ok acc
+        | Peer_index_table _ | Rib_ipv4_unicast _ | Unknown _ -> Ok acc)
   with
-  | updates -> Ok updates
-  | exception Reader.Truncated -> Error (path ^ ": truncated MRT file")
-  | exception Failure msg -> Error (path ^ ": " ^ msg)
-  | exception Sys_error msg -> Error msg
+  | Ok (acc, report) -> Ok (Array.of_list (List.rev acc), report)
+  | Error _ as e -> e
+
+let read_update_file ?policy path =
+  match read_all path with
+  | contents -> read_update_string ?policy contents
+  | exception Sys_error msg -> Error (Errors.Io_error msg)

@@ -18,6 +18,7 @@
 
 open Cfca_prefix
 open Cfca_wire
+open Cfca_resilience
 
 type peer = { bgp_id : Ipv4.t; address : Ipv4.t; asn : int }
 
@@ -45,22 +46,54 @@ type record =
 
 val write_record : Writer.t -> timestamp:int -> record -> unit
 
+val next_record :
+  Reader.t -> [ `End | `Record of int * record | `Skip of Errors.t ]
+(** The resilient record framing layer: reads one length-delimited
+    record, always leaving the reader at the next record boundary (or
+    the end of input). A malformed header/body yields [`Skip] with the
+    typed fault — never an exception — so lenient decoding is a loop
+    over [next_record]. *)
+
 val read_record : Reader.t -> (int * record) option
 (** [None] at clean end of input.
-    @raise Reader.Truncated on a short read.
-    @raise Failure on malformed contents. *)
+    @raise Errors.Fault on a truncated or malformed record (the reader
+    is still advanced to the next record boundary). *)
+
+val fold_records :
+  ?policy:Errors.policy ->
+  Reader.t ->
+  init:'acc ->
+  f:('acc -> int -> record -> ('acc, Errors.t) result) ->
+  ('acc * Errors.report, Errors.t) result
+(** Drive {!next_record} to the end of input under [policy] (default
+    [Strict]). [f acc timestamp record] may reject a structurally valid
+    record with a typed error (a semantic drop). Under [Strict] the
+    first fault is returned as [Error]; under [Lenient] faults are
+    counted in the report and the stream resyncs. Never raises. *)
 
 (** High-level file interchange with the simulator's types. *)
 
-val write_rib_file : string -> Cfca_rib.Rib.t -> unit
+val encode_rib : Cfca_rib.Rib.t -> string
 (** A PEER_INDEX_TABLE followed by one RIB_IPV4_UNICAST per entry. *)
 
-val read_rib_file : string -> (Cfca_rib.Rib.t, string) result
+val write_rib_file : string -> Cfca_rib.Rib.t -> unit
 
-val write_update_file : string -> Bgp_update.t array -> unit
+val read_rib_string :
+  ?policy:Errors.policy -> string -> (Cfca_rib.Rib.t * Errors.report, Errors.t) result
+
+val read_rib_file :
+  ?policy:Errors.policy -> string -> (Cfca_rib.Rib.t * Errors.report, Errors.t) result
+
+val encode_updates : Bgp_update.t array -> string
 (** One BGP4MP_MESSAGE_AS4 per update. *)
 
-val read_update_file : string -> (Bgp_update.t array, string) result
+val write_update_file : string -> Bgp_update.t array -> unit
+
+val read_update_string :
+  ?policy:Errors.policy -> string -> (Bgp_update.t array * Errors.report, Errors.t) result
+
+val read_update_file :
+  ?policy:Errors.policy -> string -> (Bgp_update.t array * Errors.report, Errors.t) result
 
 val nexthop_address : Nexthop.t -> Ipv4.t
 (** The 10.0.x.y encoding described above. *)

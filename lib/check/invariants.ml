@@ -174,6 +174,75 @@ let check_pipeline t pl =
     Ok ()
   with Violation msg -> Error msg
 
+(* The watchdog's fast path: one cheap walk (flag counting + per-node
+   flag sanity, no next-hop algebra, no boundary probing) plus bounds
+   and a handful of sampled lookup/residency probes. Detects any
+   corrupted table flag: a flipped flag either breaks the flag-count /
+   vector-size agreement or the sampled residency cross-check. *)
+let quick_check ?(samples = 32) ?rng t pl =
+  let open Bintrie in
+  try
+    let l1_flags = ref 0 and l2_flags = ref 0 in
+    Bintrie.fold_nodes
+      (fun () n ->
+        (match n.table with
+        | L1 -> incr l1_flags
+        | L2 -> incr l2_flags
+        | Dram | No_table -> ());
+        match n.status with
+        | In_fib ->
+            if n.table = No_table then
+              fail "IN_FIB node %s is in no data-plane table" (ps n.prefix)
+        | Non_fib ->
+            if n.table <> No_table then
+              fail "NON_FIB node %s still flagged in a table" (ps n.prefix);
+            if n.table_idx >= 0 then
+              fail "NON_FIB node %s holds a membership-vector slot" (ps n.prefix))
+      () t;
+    if !l1_flags <> Pipeline.l1_size pl then
+      fail "L1 size drift: %d nodes flagged, vector holds %d" !l1_flags
+        (Pipeline.l1_size pl);
+    if !l2_flags <> Pipeline.l2_size pl then
+      fail "L2 size drift: %d nodes flagged, vector holds %d" !l2_flags
+        (Pipeline.l2_size pl);
+    let cfg = Pipeline.config pl in
+    if Pipeline.l1_size pl > cfg.Config.l1_capacity then
+      fail "L1 over capacity: %d > %d" (Pipeline.l1_size pl)
+        cfg.Config.l1_capacity;
+    if Pipeline.l2_size pl > cfg.Config.l2_capacity then
+      fail "L2 over capacity: %d > %d" (Pipeline.l2_size pl)
+        cfg.Config.l2_capacity;
+    let occ1, occ2 = Pipeline.lthd_occupancy pl in
+    let slots = Pipeline.lthd_slots pl in
+    if occ1 < 0 || occ1 > slots then
+      fail "L1 LTHD occupancy %d outside [0, %d]" occ1 slots;
+    if occ2 < 0 || occ2 > slots then
+      fail "L2 LTHD occupancy %d outside [0, %d]" occ2 slots;
+    (match rng with
+    | None -> ()
+    | Some st ->
+        for _ = 1 to samples do
+          let a = Ipv4.random st in
+          match Bintrie.lookup_in_fib t a with
+          | None ->
+              fail "address %s is covered by no IN_FIB entry" (Ipv4.to_string a)
+          | Some n -> (
+              match (n.table, Pipeline.resident pl n) with
+              | L1, Some L1 | L2, Some L2 | Dram, None -> ()
+              | tbl, res ->
+                  let name = function
+                    | Some L1 -> "L1"
+                    | Some L2 -> "L2"
+                    | Some Dram -> "DRAM"
+                    | Some No_table -> "none"
+                    | None -> "no vector"
+                  in
+                  fail "%s flagged %s but vectors say %s" (ps n.prefix)
+                    (name (Some tbl)) (name res))
+        done);
+    Ok ()
+  with Violation msg -> Error msg
+
 let check ~mode ?pipeline t =
   match check_tree ~mode t with
   | Error _ as e -> e

@@ -44,3 +44,17 @@ val check_pipeline : Bintrie.t -> Pipeline.t -> (unit, string) result
 val check :
   mode:mode -> ?pipeline:Pipeline.t -> Bintrie.t -> (unit, string) result
 (** {!check_tree}, then {!check_pipeline} when a pipeline is given. *)
+
+val quick_check :
+  ?samples:int ->
+  ?rng:Random.State.t ->
+  Bintrie.t ->
+  Pipeline.t ->
+  (unit, string) result
+(** The cheap subset the engine watchdog runs periodically: a single
+    walk counting table flags against the membership-vector sizes with
+    per-node flag sanity, capacity + LTHD occupancy bounds, and
+    [samples] random-address probes cross-checking each resolved
+    entry's [table] flag against {!Pipeline.resident} (skipped without
+    an [rng]). Mode-independent — no next-hop algebra and no boundary
+    probing; use {!check} for the full audit. *)

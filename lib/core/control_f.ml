@@ -152,7 +152,7 @@ module Make (P : Family.PREFIX) = struct
     open Bintrie
 
     type t = {
-      tree : Bintrie.t;
+      mutable tree : Bintrie.t;
       default_nh : Nexthop.t;
       mutable sink : Fib_op.sink;
       mutable loaded : bool;
@@ -174,6 +174,16 @@ module Make (P : Family.PREFIX) = struct
       Bintrie.extend t.tree;
       Aggregation.aggr_init ~sink:t.sink (Bintrie.root t.tree);
       Aggregation.fix_root ~sink:t.sink t.tree
+
+    (* Watchdog recovery: abandon the (possibly corrupted) tree and
+       reload from an authoritative route set. The old tree's nodes
+       are garbage after this; any data plane that cached them must be
+       cleared first (Pipeline.clear), and the fresh installs flow
+       through the current sink like an initial load. *)
+    let rebuild t routes =
+      t.tree <- Bintrie.create ~default_nh:t.default_nh;
+      t.loaded <- false;
+      load t routes
 
     (* Next-hop change of the default route: the root stays REAL, the new
        value propagates through all FAKE-inheritance chains. *)

@@ -29,6 +29,13 @@ val load : t -> (Prefix.t * Nexthop.t) Seq.t -> unit
     initial aggregation. Emits one [Install] per point of aggregation.
     Must be called at most once, before any update. *)
 
+val rebuild : t -> (Prefix.t * Nexthop.t) Seq.t -> unit
+(** Full-reset recovery: discard the current tree (however corrupted)
+    and run {!load} over a fresh one from the authoritative route set.
+    The data plane holding nodes of the old tree must be cleared first
+    ({!Cfca_dataplane.Pipeline.clear}); reinstalls flow through the
+    current sink. Unlike {!load}, may be called at any time. *)
+
 val announce : t -> Prefix.t -> Nexthop.t -> unit
 (** Announcement handling (§3.1.2): next-hop change if the prefix
     exists, otherwise prefix fragmentation (Algorithm 6) followed by

@@ -437,6 +437,19 @@ module Make (P : Family.PREFIX) = struct
         bgp_dram = t.bgp_dram;
       }
 
+    (* Full-reset recovery: drop every cache residency (membership
+       vectors, LTHD pipelines, TCAM occupancy) so the control plane
+       can rebuild from its authoritative RIB. Cumulative statistics
+       are kept — recovery is churn, not amnesia. The tree nodes the
+       vectors pointed at are NOT re-flagged here; the caller is
+       expected to discard or rebuild the tree itself. *)
+    let clear t =
+      Table_set.clear t.l1_set;
+      Table_set.clear t.l2_set;
+      Lthd.clear t.lthd_l1;
+      Lthd.clear t.lthd_l2;
+      Tcam.clear t.tcam
+
     let reset_stats t =
       t.packets <- 0;
       t.l1_misses <- 0;

@@ -79,3 +79,10 @@ val stats : t -> stats
 val reset_stats : t -> unit
 (** Zeroes the counters (cache contents are untouched) — used between
     the warm-up and measurement phases. *)
+
+val clear : t -> unit
+(** Full-reset recovery: empty both membership vectors (releasing the
+    nodes' vector back-pointers), both LTHD pipelines and the TCAM,
+    keeping cumulative statistics. The caller rebuilds the control
+    plane (e.g. {!Cfca_core.Route_manager.rebuild}) afterwards; tree
+    nodes' own [table] flags are the discarded tree's business. *)

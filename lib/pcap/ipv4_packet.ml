@@ -41,18 +41,36 @@ let encode w t =
   Writer.patch_u16 h 10 sum;
   Writer.string w (Writer.contents h)
 
+let corrupt r reason =
+  raise
+    (Cfca_resilience.Errors.Fault
+       (Cfca_resilience.Errors.Corrupt_record { offset = Reader.pos r; reason }))
+
 let decode r =
   let vihl = Reader.peek_u8 r in
-  if vihl lsr 4 <> 4 then failwith "Ipv4_packet: not an IPv4 datagram";
+  let version = vihl lsr 4 in
+  if version = 6 then
+    raise
+      (Cfca_resilience.Errors.Fault
+         (Cfca_resilience.Errors.Unsupported
+            { offset = Reader.pos r; what = "IPv6 datagram" }));
+  if version <> 4 then
+    corrupt r (Printf.sprintf "not an IPv4 datagram (version %d)" version);
   let ihl = (vihl land 0xF) * 4 in
-  if ihl < header_length then failwith "Ipv4_packet: bad IHL";
+  if ihl < header_length then
+    corrupt r (Printf.sprintf "bad IHL %d" (vihl land 0xF));
+  let checksum_offset = Reader.pos r in
   let header = Reader.take r ihl in
-  if checksum header <> 0 then failwith "Ipv4_packet: bad header checksum";
+  if checksum header <> 0 then
+    raise
+      (Cfca_resilience.Errors.Fault
+         (Cfca_resilience.Errors.Bad_checksum { offset = checksum_offset }));
   let h = Reader.of_string header in
   let _vihl = Reader.u8 h in
   let _tos = Reader.u8 h in
   let total_length = Reader.u16 h in
-  if total_length < ihl then failwith "Ipv4_packet: bad total length";
+  if total_length < ihl then
+    corrupt r (Printf.sprintf "total length %d < header length %d" total_length ihl);
   let _id = Reader.u16 h in
   let _frag = Reader.u16 h in
   let ttl = Reader.u8 h in

@@ -22,7 +22,10 @@ val encode : Cfca_wire.Writer.t -> t -> unit
 val decode : Cfca_wire.Reader.t -> t
 (** Consumes the header {e and} skips options and payload, leaving the
     reader positioned after the datagram.
-    @raise Failure on a non-IPv4 version, bad length or bad checksum. *)
+    @raise Cfca_resilience.Errors.Fault with [Unsupported] for an IPv6
+    datagram, [Bad_checksum] for a failed Internet checksum and
+    [Corrupt_record] for any other malformed header.
+    @raise Cfca_wire.Reader.Truncated on a short read. *)
 
 val checksum : string -> int
 (** RFC 1071 ones'-complement sum of a whole header (checksum field

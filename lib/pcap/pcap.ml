@@ -1,5 +1,6 @@
 open Cfca_prefix
 open Cfca_wire
+open Cfca_resilience
 
 type packet = { ts : float; src : Ipv4.t; dst : Ipv4.t }
 
@@ -11,6 +12,10 @@ let snaplen = 65_535
 
 let linktype_ethernet = 1
 
+let global_header_bytes = 24
+
+let packet_header_bytes = 16
+
 let default_mac_src =
   match Ethernet.mac_of_string "02:00:00:00:00:01" with
   | Some m -> m
@@ -21,98 +26,180 @@ let default_mac_dst =
   | Some m -> m
   | None -> assert false
 
+let encode packets =
+  let w = Writer.create ~capacity:4096 () in
+  Writer.u32le w magic_host;
+  Writer.u16le w 2;
+  Writer.u16le w 4;
+  Writer.u32le w 0 (* thiszone *);
+  Writer.u32le w 0 (* sigfigs *);
+  Writer.u32le w snaplen;
+  Writer.u32le w linktype_ethernet;
+  Seq.iter
+    (fun p ->
+      let frame = Writer.create ~capacity:64 () in
+      Ethernet.encode frame
+        {
+          Ethernet.dst = default_mac_dst;
+          src = default_mac_src;
+          ethertype = Ethernet.ethertype_ipv4;
+        };
+      Ipv4_packet.encode frame
+        {
+          Ipv4_packet.src = p.src;
+          dst = p.dst;
+          protocol = 17;
+          ttl = 64;
+          payload_length = 0;
+        };
+      let data = Writer.contents frame in
+      Writer.u32le w (int_of_float p.ts);
+      Writer.u32le w (int_of_float (Float.rem p.ts 1.0 *. 1e6) land 0xFFFFF);
+      Writer.u32le w (String.length data);
+      Writer.u32le w (String.length data);
+      Writer.string w data)
+    packets;
+  Writer.contents w
+
 let write_file path packets =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () ->
-      let w = Writer.create ~capacity:4096 () in
-      Writer.u32le w magic_host;
-      Writer.u16le w 2;
-      Writer.u16le w 4;
-      Writer.u32le w 0 (* thiszone *);
-      Writer.u32le w 0 (* sigfigs *);
-      Writer.u32le w snaplen;
-      Writer.u32le w linktype_ethernet;
-      output_string oc (Writer.contents w);
-      Seq.iter
-        (fun p ->
-          Writer.clear w;
-          let frame = Writer.create ~capacity:64 () in
-          Ethernet.encode frame
-            {
-              Ethernet.dst = default_mac_dst;
-              src = default_mac_src;
-              ethertype = Ethernet.ethertype_ipv4;
-            };
-          Ipv4_packet.encode frame
-            {
-              Ipv4_packet.src = p.src;
-              dst = p.dst;
-              protocol = 17;
-              ttl = 64;
-              payload_length = 0;
-            };
-          let data = Writer.contents frame in
-          Writer.u32le w (int_of_float p.ts);
-          Writer.u32le w
-            (int_of_float (Float.rem p.ts 1.0 *. 1e6) land 0xFFFFF);
-          Writer.u32le w (String.length data);
-          Writer.u32le w (String.length data);
-          Writer.string w data;
-          output_string oc (Writer.contents w))
-        packets)
+    (fun () -> output_string oc (encode packets))
 
-let fold_file path ~init ~f =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let contents = really_input_string ic (in_channel_length ic) in
-        let r = Reader.of_string contents in
-        let magic = Reader.u32le r in
-        let u16x, u32x =
-          if magic = magic_host then (Reader.u16le, Reader.u32le)
-          else if magic = magic_le then (Reader.u16, Reader.u32)
-          else failwith "Pcap: bad magic"
-        in
+(* Per-packet decoding with record-level resync: the 16-byte packet
+   header declares the captured length, [Reader.sub] advances the
+   parent past the whole frame before the frame is parsed, so a
+   corrupt frame is dropped and the stream continues at the next
+   packet boundary. Fatal faults (bad magic, non-Ethernet link) end
+   the stream under either policy — there is no boundary to resync
+   to. *)
+let fold_string ?(policy = Errors.Strict) contents ~init ~f =
+  let report = Errors.report () in
+  let r = Reader.of_string contents in
+  if Reader.remaining r < global_header_bytes then
+    Error
+      (Errors.Truncated
+         { offset = 0; wanted = global_header_bytes; available = Reader.remaining r })
+  else begin
+    let magic = Reader.u32le r in
+    let endian =
+      if magic = magic_host then Ok (Reader.u16le, Reader.u32le)
+      else if magic = magic_le then Ok (Reader.u16, Reader.u32)
+      else
+        Error
+          (Errors.Bad_magic
+             {
+               offset = 0;
+               found = Printf.sprintf "0x%08lx" (Int32.of_int magic);
+               expected = "0xa1b2c3d4";
+             })
+    in
+    match endian with
+    | Error _ as e -> e
+    | Ok (u16x, u32x) ->
         let _vmaj = u16x r in
         let _vmin = u16x r in
         let _zone = u32x r in
         let _sigfigs = u32x r in
         let _snaplen = u32x r in
+        let link_offset = Reader.pos r in
         let link = u32x r in
         if link <> linktype_ethernet then
-          failwith "Pcap: only Ethernet captures are supported";
-        let acc = ref init in
-        while not (Reader.at_end r) do
-          let ts_sec = u32x r in
-          let ts_usec = u32x r in
-          let incl = u32x r in
-          let _orig = u32x r in
-          let body = Reader.sub r incl in
-          let eth = Ethernet.decode body in
-          if eth.Ethernet.ethertype = Ethernet.ethertype_ipv4 then begin
-            let ip = Ipv4_packet.decode body in
-            acc :=
-              f !acc
-                {
-                  ts = float_of_int ts_sec +. (float_of_int ts_usec /. 1e6);
-                  src = ip.Ipv4_packet.src;
-                  dst = ip.Ipv4_packet.dst;
-                }
-          end
-        done;
-        !acc)
+          Error
+            (Errors.Unsupported
+               {
+                 offset = link_offset;
+                 what = Printf.sprintf "link type %d (only Ethernet)" link;
+               })
+        else begin
+          let rec go acc =
+            if Reader.at_end r then Ok (acc, report)
+            else begin
+              let start = Reader.pos r in
+              let avail = Reader.remaining r in
+              if avail < packet_header_bytes then begin
+                Reader.skip r avail;
+                drop acc ~bytes:avail
+                  (Errors.Truncated
+                     { offset = start; wanted = packet_header_bytes; available = avail })
+              end
+              else begin
+                let ts_sec = u32x r in
+                let ts_usec = u32x r in
+                let incl = u32x r in
+                let _orig = u32x r in
+                let avail = Reader.remaining r in
+                if incl > avail then begin
+                  Reader.skip r avail;
+                  drop acc
+                    ~bytes:(packet_header_bytes + avail)
+                    (Errors.Truncated { offset = start; wanted = incl; available = avail })
+                end
+                else begin
+                  let body = Reader.sub r incl in
+                  let bytes = Reader.pos r - start in
+                  match Ethernet.decode body with
+                  | exception Reader.Truncated ->
+                      drop acc ~bytes
+                        (Errors.Truncated
+                           {
+                             offset = start;
+                             wanted = Ethernet.header_length;
+                             available = incl;
+                           })
+                  | eth ->
+                      if eth.Ethernet.ethertype <> Ethernet.ethertype_ipv4 then begin
+                        (* well-formed, just not interesting *)
+                        Errors.note_skipped report ~bytes;
+                        go acc
+                      end
+                      else begin
+                        match Ipv4_packet.decode body with
+                        | ip ->
+                            Errors.note_parsed report ~bytes;
+                            go
+                              (f acc
+                                 {
+                                   ts =
+                                     float_of_int ts_sec
+                                     +. (float_of_int ts_usec /. 1e6);
+                                   src = ip.Ipv4_packet.src;
+                                   dst = ip.Ipv4_packet.dst;
+                                 })
+                        | exception Errors.Fault e -> drop acc ~bytes e
+                        | exception Reader.Truncated ->
+                            drop acc ~bytes
+                              (Errors.Corrupt_record
+                                 {
+                                   offset = start;
+                                   reason = "IPv4 datagram shorter than its headers";
+                                 })
+                      end
+                end
+              end
+            end
+          and drop acc ~bytes e =
+            Errors.note_drop report ~bytes e;
+            match policy with Errors.Strict -> Error e | Errors.Lenient -> go acc
+          in
+          go init
+        end
+  end
+
+let fold_file ?policy path ~init ~f =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | acc -> Ok acc
-  | exception Reader.Truncated -> Error (path ^ ": truncated pcap file")
-  | exception Failure msg -> Error (path ^ ": " ^ msg)
-  | exception Sys_error msg -> Error msg
+  | contents -> fold_string ?policy contents ~init ~f
+  | exception Sys_error msg -> Error (Errors.Io_error msg)
 
-let read_file path =
-  Result.map List.rev
-    (fold_file path ~init:[] ~f:(fun acc p -> p :: acc))
+let read_file ?policy path =
+  Result.map
+    (fun (acc, report) -> (List.rev acc, report))
+    (fold_file ?policy path ~init:[] ~f:(fun acc p -> p :: acc))
 
-let count_file path = fold_file path ~init:0 ~f:(fun n _ -> n + 1)
+let count_file ?policy path = fold_file ?policy path ~init:0 ~f:(fun n _ -> n + 1)

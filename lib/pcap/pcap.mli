@@ -1,23 +1,54 @@
 (** Classic libpcap capture files (the format CAIDA traces ship in),
     little- or big-endian, LINKTYPE_ETHERNET, with Ethernet + IPv4
-    decoding down to the destination addresses the simulator replays. *)
+    decoding down to the destination addresses the simulator replays.
+
+    Decoding is record-level resilient: each 16-byte packet header
+    declares the captured frame length, so a damaged frame is skipped
+    and the stream resyncs at the next packet boundary. Under
+    [Errors.Lenient] damage is counted in the returned
+    {!Cfca_resilience.Errors.report}; under [Errors.Strict] (the
+    default) the first fault is returned as a typed [Error]. Faults in
+    the global header (bad magic, unsupported link type) are fatal
+    under either policy. Well-formed non-IPv4 Ethernet frames count as
+    [skipped], never as errors. *)
 
 open Cfca_prefix
+open Cfca_resilience
 
 type packet = { ts : float; src : Ipv4.t; dst : Ipv4.t }
 
 val magic_le : int
 (** 0xd4c3b2a1 as stored by a little-endian writer. *)
 
-val write_file : string -> packet Seq.t -> unit
+val global_header_bytes : int
+
+val packet_header_bytes : int
+
+val encode : packet Seq.t -> string
 (** Little-endian classic pcap, snaplen 65535, Ethernet link type; each
     packet is written as Ethernet + IPv4 + an empty UDP-less payload. *)
 
-val read_file : string -> (packet list, string) result
-(** Reads either byte order. Non-IPv4 frames are skipped. *)
+val write_file : string -> packet Seq.t -> unit
+
+val read_file :
+  ?policy:Errors.policy -> string -> (packet list * Errors.report, Errors.t) result
+
+val fold_string :
+  ?policy:Errors.policy ->
+  string ->
+  init:'acc ->
+  f:('acc -> packet -> 'acc) ->
+  ('acc * Errors.report, Errors.t) result
+(** In-memory variant — the fault-injection harness decodes corrupted
+    corpora without touching the filesystem. *)
 
 val fold_file :
-  string -> init:'acc -> f:('acc -> packet -> 'acc) -> ('acc, string) result
+  ?policy:Errors.policy ->
+  string ->
+  init:'acc ->
+  f:('acc -> packet -> 'acc) ->
+  ('acc * Errors.report, Errors.t) result
 (** Streaming variant for large captures. *)
 
-val count_file : string -> (int, string) result
+val count_file :
+  ?policy:Errors.policy -> string -> (int * Errors.report, Errors.t) result

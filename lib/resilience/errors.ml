@@ -1,0 +1,137 @@
+type policy = Strict | Lenient
+
+type t =
+  | Truncated of { offset : int; wanted : int; available : int }
+  | Bad_magic of { offset : int; found : string; expected : string }
+  | Unsupported of { offset : int; what : string }
+  | Corrupt_record of { offset : int; reason : string }
+  | Bad_checksum of { offset : int }
+  | Io_error of string
+
+type severity = Recoverable | Fatal
+
+let severity = function
+  | Bad_magic _ | Io_error _ -> Fatal
+  | Truncated _ | Unsupported _ | Corrupt_record _ | Bad_checksum _ ->
+      Recoverable
+
+exception Fault of t
+
+let offset = function
+  | Truncated { offset; _ }
+  | Bad_magic { offset; _ }
+  | Unsupported { offset; _ }
+  | Corrupt_record { offset; _ }
+  | Bad_checksum { offset } ->
+      offset
+  | Io_error _ -> -1
+
+let to_string = function
+  | Truncated { offset; wanted; available } ->
+      Printf.sprintf "offset %d: truncated: wanted %d bytes, %d available"
+        offset wanted available
+  | Bad_magic { offset; found; expected } ->
+      Printf.sprintf "offset %d: bad magic: found %s, expected %s" offset
+        found expected
+  | Unsupported { offset; what } ->
+      Printf.sprintf "offset %d: unsupported: %s" offset what
+  | Corrupt_record { offset; reason } ->
+      Printf.sprintf "offset %d: corrupt record: %s" offset reason
+  | Bad_checksum { offset } ->
+      Printf.sprintf "offset %d: bad header checksum" offset
+  | Io_error msg -> "i/o error: " ^ msg
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+type counters = {
+  mutable truncated : int;
+  mutable bad_magic : int;
+  mutable unsupported : int;
+  mutable corrupt : int;
+  mutable checksum : int;
+  mutable io : int;
+}
+
+let counters () =
+  { truncated = 0; bad_magic = 0; unsupported = 0; corrupt = 0; checksum = 0; io = 0 }
+
+let count c = function
+  | Truncated _ -> c.truncated <- c.truncated + 1
+  | Bad_magic _ -> c.bad_magic <- c.bad_magic + 1
+  | Unsupported _ -> c.unsupported <- c.unsupported + 1
+  | Corrupt_record _ -> c.corrupt <- c.corrupt + 1
+  | Bad_checksum _ -> c.checksum <- c.checksum + 1
+  | Io_error _ -> c.io <- c.io + 1
+
+let total c =
+  c.truncated + c.bad_magic + c.unsupported + c.corrupt + c.checksum + c.io
+
+type report = {
+  mutable parsed : int;
+  mutable parsed_bytes : int;
+  mutable skipped : int;
+  mutable skipped_bytes : int;
+  mutable dropped : int;
+  mutable dropped_bytes : int;
+  errors : counters;
+  mutable samples : t list;
+}
+
+let max_samples = 4
+
+let report () =
+  {
+    parsed = 0;
+    parsed_bytes = 0;
+    skipped = 0;
+    skipped_bytes = 0;
+    dropped = 0;
+    dropped_bytes = 0;
+    errors = counters ();
+    samples = [];
+  }
+
+let note_parsed r ~bytes =
+  r.parsed <- r.parsed + 1;
+  r.parsed_bytes <- r.parsed_bytes + bytes
+
+let note_skipped r ~bytes =
+  r.skipped <- r.skipped + 1;
+  r.skipped_bytes <- r.skipped_bytes + bytes
+
+let note_drop r ~bytes e =
+  r.dropped <- r.dropped + 1;
+  r.dropped_bytes <- r.dropped_bytes + bytes;
+  count r.errors e;
+  if List.length r.samples < max_samples then r.samples <- r.samples @ [ e ]
+
+let is_clean r = r.dropped = 0 && total r.errors = 0
+
+let total_records r = r.parsed + r.skipped + r.dropped
+
+let total_bytes r = r.parsed_bytes + r.skipped_bytes + r.dropped_bytes
+
+let pp_report ppf r =
+  Format.fprintf ppf "parsed %d  skipped %d  dropped %d" r.parsed r.skipped
+    r.dropped;
+  Format.fprintf ppf "  (bytes: parsed %d, skipped %d, dropped %d)"
+    r.parsed_bytes r.skipped_bytes r.dropped_bytes;
+  let c = r.errors in
+  if total c > 0 then begin
+    Format.fprintf ppf "@\nerrors:";
+    List.iter
+      (fun (name, n) -> if n > 0 then Format.fprintf ppf " %s=%d" name n)
+      [
+        ("truncated", c.truncated);
+        ("bad-magic", c.bad_magic);
+        ("unsupported", c.unsupported);
+        ("corrupt", c.corrupt);
+        ("checksum", c.checksum);
+        ("io", c.io);
+      ]
+  end;
+  List.iter (fun e -> Format.fprintf ppf "@\n  %s" (to_string e)) r.samples
+
+let summary r =
+  Printf.sprintf "parsed %d, skipped %d, dropped %d" r.parsed r.skipped
+    r.dropped

@@ -1,0 +1,110 @@
+(** Structured decode-error taxonomy shared by every ingestion codec
+    (MRT, pcap, text RIBs) plus the per-stream damage report the
+    lenient decoders accumulate.
+
+    MRT and pcap are length-delimited formats: a malformed record can
+    be skipped and the stream resynchronised at the next record
+    boundary. Each decoder therefore takes a {!policy}: [Strict] turns
+    the first recoverable fault into a typed [Error] (never an
+    exception at the file level), [Lenient] drops the damaged record,
+    counts it in a {!report} and keeps going. Faults that destroy the
+    framing itself (a bad file magic, an I/O error) are {!Fatal} and
+    end the stream under either policy. *)
+
+type policy = Strict | Lenient
+
+type t =
+  | Truncated of { offset : int; wanted : int; available : int }
+      (** The input ends inside a header or a declared record body. *)
+  | Bad_magic of { offset : int; found : string; expected : string }
+      (** File-level framing is unrecognisable; no resync possible. *)
+  | Unsupported of { offset : int; what : string }
+      (** Well-formed but outside the implemented subset (IPv6 peers,
+          non-IPv4 AFIs, exotic link types...). *)
+  | Corrupt_record of { offset : int; reason : string }
+      (** A record whose body contradicts its own framing or encoding
+          rules (bad BGP marker, NLRI length > 32, IP version 15...). *)
+  | Bad_checksum of { offset : int }
+      (** An IPv4 header whose Internet checksum does not verify. *)
+  | Io_error of string
+
+type severity =
+  | Recoverable  (** skip the record, resync at the next boundary *)
+  | Fatal  (** the stream cannot continue *)
+
+val severity : t -> severity
+
+exception Fault of t
+(** Raised by record-body parsers; caught at the record-framing layer
+    and converted into a skip (lenient) or a typed error (strict).
+    Never escapes the file-level decoding entry points. *)
+
+val offset : t -> int
+(** Byte offset of the fault ([-1] for I/O errors). For the text RIB
+    loader the "offset" is a 1-based line number. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Per-category counters} *)
+
+type counters = {
+  mutable truncated : int;
+  mutable bad_magic : int;
+  mutable unsupported : int;
+  mutable corrupt : int;
+  mutable checksum : int;
+  mutable io : int;
+}
+
+val counters : unit -> counters
+
+val count : counters -> t -> unit
+
+val total : counters -> int
+
+(** {2 Damage report}
+
+    One per decoded stream. Every byte a decoder consumes is
+    attributed to exactly one of [parsed] (records decoded), [skipped]
+    (well-formed records outside the caller's interest, e.g. non-IPv4
+    Ethernet frames) or [dropped] (damaged records), so
+    [parsed_bytes + skipped_bytes + dropped_bytes] always equals the
+    bytes consumed after the file header. *)
+
+type report = {
+  mutable parsed : int;
+  mutable parsed_bytes : int;
+  mutable skipped : int;
+  mutable skipped_bytes : int;
+  mutable dropped : int;
+  mutable dropped_bytes : int;
+  errors : counters;
+  mutable samples : t list;  (** first {!max_samples} faults, in order *)
+}
+
+val max_samples : int
+
+val report : unit -> report
+
+val note_parsed : report -> bytes:int -> unit
+
+val note_skipped : report -> bytes:int -> unit
+
+val note_drop : report -> bytes:int -> t -> unit
+
+val is_clean : report -> bool
+(** No drops and no recorded errors. *)
+
+val total_records : report -> int
+(** [parsed + skipped + dropped]. *)
+
+val total_bytes : report -> int
+
+val pp_report : Format.formatter -> report -> unit
+(** Deterministic multi-line rendering (counter block + first fault
+    samples) — pinned by the test-suite, printed by [bin/sim]. *)
+
+val summary : report -> string
+(** One-line [parsed/skipped/dropped] summary. *)

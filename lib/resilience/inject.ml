@@ -1,0 +1,368 @@
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_rib
+open Cfca_resilience
+
+(* ------------------------------------------------------------------ *)
+(* Corpora: small well-formed inputs built deterministically per seed  *)
+(* ------------------------------------------------------------------ *)
+
+type corpus = Mrt_rib | Mrt_updates | Pcap_trace
+
+let corpus_name = function
+  | Mrt_rib -> "mrt-rib"
+  | Mrt_updates -> "mrt-updates"
+  | Pcap_trace -> "pcap"
+
+let all_corpora = [ Mrt_rib; Mrt_updates; Pcap_trace ]
+
+let build_rib seed =
+  Mrt.encode_rib
+    (Rib_gen.generate { Rib_gen.size = 60; peers = 4; locality = 0.8; seed })
+
+let build_updates seed =
+  let st = Random.State.make [| seed; 0x11 |] in
+  Mrt.encode_updates
+    (Array.init 40 (fun i ->
+         let p = Prefix.random st ~min_len:8 ~max_len:24 () in
+         if i mod 4 = 3 then Bgp_update.withdraw p
+         else Bgp_update.announce p (1 + Random.State.int st 4)))
+
+let build_pcap seed =
+  let st = Random.State.make [| seed; 0x17 |] in
+  Cfca_pcap.Pcap.encode
+    (Seq.init 50 (fun i ->
+         {
+           Cfca_pcap.Pcap.ts = 0.001 *. float_of_int i;
+           src = Ipv4.random st;
+           dst = Ipv4.random st;
+         }))
+
+let build = function
+  | Mrt_rib -> build_rib
+  | Mrt_updates -> build_updates
+  | Pcap_trace -> build_pcap
+
+(* ------------------------------------------------------------------ *)
+(* Record extents: where the length-delimited framing says records are *)
+(* ------------------------------------------------------------------ *)
+
+let u32be s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let u32le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let file_header = function
+  | Mrt_rib | Mrt_updates -> 0
+  | Pcap_trace -> Cfca_pcap.Pcap.global_header_bytes
+
+let record_header = function
+  | Mrt_rib | Mrt_updates -> 12
+  | Pcap_trace -> Cfca_pcap.Pcap.packet_header_bytes
+
+let body_length kind s off =
+  match kind with
+  | Mrt_rib | Mrt_updates -> u32be s (off + 8)
+  | Pcap_trace -> u32le s (off + 8)
+
+(* [(offset, total_size)] of every record, in order *)
+let extents kind s =
+  let len = String.length s in
+  let hdr = record_header kind in
+  let rec go off acc =
+    if off + hdr > len then List.rev acc
+    else
+      let total = hdr + body_length kind s off in
+      if off + total > len then List.rev acc
+      else go (off + total) ((off, total) :: acc)
+  in
+  go (file_header kind) []
+
+(* ------------------------------------------------------------------ *)
+(* Corruptions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type corruption = Flip_body | Truncate | Lie_length | Garbage_record | Mid_eof
+
+let corruption_name = function
+  | Flip_body -> "flip-body"
+  | Truncate -> "truncate"
+  | Lie_length -> "lie-length"
+  | Garbage_record -> "garbage-record"
+  | Mid_eof -> "mid-eof"
+
+let all_corruptions = [ Flip_body; Truncate; Lie_length; Garbage_record; Mid_eof ]
+
+let set_u32be b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let set_u32le b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+(* A syntactically well-framed record whose body cannot decode. *)
+let garbage kind =
+  match kind with
+  | Mrt_rib | Mrt_updates ->
+      (* TABLE_DUMP_V2 / RIB_IPV4_UNICAST whose NLRI length byte is 255 *)
+      let b = Bytes.make (12 + 16) '\xff' in
+      set_u32be b 0 0;
+      set_u32be b 4 ((13 lsl 16) lor 2);
+      set_u32be b 8 16;
+      Bytes.to_string b
+  | Pcap_trace ->
+      (* valid pcap + Ethernet framing, IP version nibble 15 *)
+      let incl = 14 + 20 in
+      let b = Bytes.make (16 + incl) '\x00' in
+      set_u32le b 8 incl;
+      set_u32le b 12 incl;
+      (* ethertype 0x0800 at frame offset 12 *)
+      Bytes.set b (16 + 12) '\x08';
+      Bytes.set b (16 + 13) '\x00';
+      Bytes.set b (16 + 14) '\xf5';
+      Bytes.to_string b
+
+(* What the lenient decode of the damaged input must reconcile to,
+   relative to the pristine record count. *)
+type expect = {
+  e_total : int option;  (** parsed + skipped + dropped, exactly *)
+  e_parsed : int option;
+  e_min_parsed : int;
+  e_max_dropped : int option;
+}
+
+let any =
+  { e_total = None; e_parsed = None; e_min_parsed = 0; e_max_dropped = None }
+
+let apply kind st s =
+  let exts = extents kind s in
+  let n = List.length exts in
+  if n = 0 then invalid_arg "Inject.apply: empty corpus";
+  let nth_ext i = List.nth exts i in
+  let hdr = record_header kind in
+  fun corruption ->
+    match corruption with
+    | Flip_body ->
+        (* flip one bit inside a record body: framing intact, so every
+           record stays delimited; at most the damaged one drops *)
+        let with_body = List.filter (fun (_, total) -> total > hdr) exts in
+        if with_body = [] then (s, any)
+        else
+          let off, total =
+            List.nth with_body (Random.State.int st (List.length with_body))
+          in
+          let i = off + hdr + Random.State.int st (total - hdr) in
+          let b = Bytes.of_string s in
+          Bytes.set b i
+            (Char.chr (Char.code s.[i] lxor (1 lsl Random.State.int st 8)));
+          ( Bytes.to_string b,
+            {
+              e_total = Some n;
+              e_parsed = None;
+              e_min_parsed = 0;
+              e_max_dropped = Some 1;
+            } )
+    | Truncate ->
+        let cut =
+          file_header kind
+          + Random.State.int st (String.length s - file_header kind)
+        in
+        let before =
+          List.length (List.filter (fun (o, t) -> o + t <= cut) exts)
+        in
+        let on_boundary =
+          cut = file_header kind || List.exists (fun (o, t) -> o + t = cut) exts
+        in
+        ( String.sub s 0 cut,
+          {
+            e_total = Some (before + if on_boundary then 0 else 1);
+            e_parsed = Some before;
+            e_min_parsed = before;
+            e_max_dropped = Some (if on_boundary then 0 else 1);
+          } )
+    | Mid_eof ->
+        (* cut inside a record header: a short tail the framing layer
+           must turn into a single clean drop *)
+        let off, _ = nth_ext (Random.State.int st n) in
+        let cut = off + 1 + Random.State.int st (hdr - 1) in
+        let before =
+          List.length (List.filter (fun (o, t) -> o + t <= cut) exts)
+        in
+        ( String.sub s 0 cut,
+          {
+            e_total = Some (before + 1);
+            e_parsed = Some before;
+            e_min_parsed = before;
+            e_max_dropped = Some 1;
+          } )
+    | Lie_length ->
+        (* make one record claim to be far longer than the input: the
+           decoder must drop the tail as truncated, not read wild *)
+        let idx = Random.State.int st n in
+        let off, _ = nth_ext idx in
+        let b = Bytes.of_string s in
+        (match kind with
+        | Mrt_rib | Mrt_updates -> set_u32be b (off + 8) 0xff_ffff
+        | Pcap_trace -> set_u32le b (off + 8) 0xff_ffff);
+        ( Bytes.to_string b,
+          {
+            e_total = Some (idx + 1);
+            e_parsed = Some idx;
+            e_min_parsed = idx;
+            e_max_dropped = Some 1;
+          } )
+    | Garbage_record ->
+        (* splice a well-framed undecodable record between two real ones *)
+        let at =
+          let i = Random.State.int st (n + 1) in
+          if i = n then String.length s else fst (nth_ext i)
+        in
+        ( String.sub s 0 at ^ garbage kind
+          ^ String.sub s at (String.length s - at),
+          {
+            e_total = Some (n + 1);
+            e_parsed = Some n;
+            e_min_parsed = n;
+            e_max_dropped = Some 1;
+          } )
+
+(* ------------------------------------------------------------------ *)
+(* Decoding + assertions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let decode kind ~policy s =
+  match kind with
+  | Mrt_rib -> (
+      match Mrt.read_rib_string ~policy s with
+      | Ok (_, rep) -> Ok rep
+      | Error e -> Error e)
+  | Mrt_updates -> (
+      match Mrt.read_update_string ~policy s with
+      | Ok (_, rep) -> Ok rep
+      | Error e -> Error e)
+  | Pcap_trace -> (
+      match
+        Cfca_pcap.Pcap.fold_string ~policy s ~init:() ~f:(fun () _ -> ())
+      with
+      | Ok ((), rep) -> Ok rep
+      | Error e -> Error e)
+
+let failf fmt = Printf.ksprintf failwith fmt
+
+type trial = {
+  t_seed : int;
+  t_corpus : string;
+  t_corruption : string;
+  t_parsed : int;
+  t_dropped : int;
+}
+
+let check_trial ~seed kind corruption s' expect =
+  let ctx fmt =
+    Printf.ksprintf
+      (fun msg ->
+        failf "seed %d, %s/%s: %s" seed (corpus_name kind)
+          (corruption_name corruption) msg)
+      fmt
+  in
+  (* 1. lenient decode never raises, and — no corruption class here
+     damages the file-level framing — always succeeds *)
+  let rep =
+    match
+      try decode kind ~policy:Errors.Lenient s'
+      with e -> ctx "lenient decode raised %s" (Printexc.to_string e)
+    with
+    | Ok rep -> rep
+    | Error e -> ctx "lenient decode failed fatally: %s" (Errors.to_string e)
+  in
+  (* 2. every consumed byte is attributed *)
+  let consumed = String.length s' - file_header kind in
+  if Errors.total_bytes rep <> consumed then
+    ctx "byte accounting: %d attributed <> %d consumed"
+      (Errors.total_bytes rep) consumed;
+  (* 3. record accounting reconciles with the damage class *)
+  (match expect.e_total with
+  | Some t when Errors.total_records rep <> t ->
+      ctx "expected %d total records, saw %d (parsed %d skipped %d dropped %d)"
+        t (Errors.total_records rep) rep.Errors.parsed rep.Errors.skipped
+        rep.Errors.dropped
+  | _ -> ());
+  (match expect.e_parsed with
+  | Some p when rep.Errors.parsed <> p ->
+      ctx "expected exactly %d parsed, got %d" p rep.Errors.parsed
+  | _ -> ());
+  if rep.Errors.parsed < expect.e_min_parsed then
+    ctx "expected at least %d parsed, got %d" expect.e_min_parsed
+      rep.Errors.parsed;
+  (match expect.e_max_dropped with
+  | Some d when rep.Errors.dropped > d ->
+      ctx "expected at most %d dropped, got %d" d rep.Errors.dropped
+  | _ -> ());
+  if rep.Errors.dropped > 0 && Errors.total rep.Errors.errors = 0 then
+    ctx "%d drops but no error counted" rep.Errors.dropped;
+  (* 4. strict decode must not raise either: Ok or a typed error *)
+  (match
+     try Ok (decode kind ~policy:Errors.Strict s')
+     with e -> Error (Printexc.to_string e)
+   with
+  | Ok _ -> ()
+  | Error exn -> ctx "strict decode raised %s" exn);
+  {
+    t_seed = seed;
+    t_corpus = corpus_name kind;
+    t_corruption = corruption_name corruption;
+    t_parsed = rep.Errors.parsed;
+    t_dropped = rep.Errors.dropped;
+  }
+
+let check_pristine ~seed kind s n =
+  let ctx fmt =
+    Printf.ksprintf
+      (fun msg -> failf "seed %d, %s/pristine: %s" seed (corpus_name kind) msg)
+      fmt
+  in
+  match decode kind ~policy:Errors.Lenient s with
+  | Error e -> ctx "decode failed: %s" (Errors.to_string e)
+  | Ok rep ->
+      if not (Errors.is_clean rep) then
+        ctx "pristine corpus not clean: %s" (Errors.summary rep);
+      if rep.Errors.parsed <> n then
+        ctx "pristine corpus: %d records framed, %d parsed" n rep.Errors.parsed;
+      if Errors.total_bytes rep <> String.length s - file_header kind then
+        ctx "pristine byte accounting off"
+
+let run_seed seed =
+  List.concat_map
+    (fun kind ->
+      let s = build kind seed in
+      let n = List.length (extents kind s) in
+      check_pristine ~seed kind s n;
+      let st = Random.State.make [| seed; 0x29 |] in
+      let damage = apply kind st s in
+      List.map
+        (fun c ->
+          let s', expect = damage c in
+          check_trial ~seed kind c s' expect)
+        all_corruptions)
+    all_corpora
+
+let sweep ?(first_seed = 0) ~seeds () =
+  try
+    let trials = ref [] in
+    for seed = first_seed to first_seed + seeds - 1 do
+      trials := List.rev_append (run_seed seed) !trials
+    done;
+    Ok (List.rev !trials)
+  with Failure msg -> Error msg

@@ -1,0 +1,55 @@
+(** Seeded fault-injection harness for the resilient decoders.
+
+    Each seed deterministically builds three well-formed corpora (an
+    MRT TABLE_DUMP_V2 RIB, an MRT BGP4MP update stream, a classic pcap
+    trace), then damages each with every corruption class and asserts
+    the decoder contract:
+
+    - lenient decoding never raises and never fails fatally (no class
+      here touches the file-level framing);
+    - byte accounting holds: parsed + skipped + dropped bytes equal the
+      bytes after the file header, for any damage;
+    - record accounting reconciles with the injected damage (e.g. a
+      spliced garbage record leaves every pristine record parsed and
+      adds exactly one drop);
+    - strict decoding returns a typed [Error], never an exception.
+
+    Driven by [bin/verify inject] and the test-suite. *)
+
+type corpus = Mrt_rib | Mrt_updates | Pcap_trace
+
+val corpus_name : corpus -> string
+
+val all_corpora : corpus list
+
+val build : corpus -> int -> string
+(** [build kind seed] is the pristine encoded corpus. *)
+
+type corruption =
+  | Flip_body  (** one bit flipped inside a record body *)
+  | Truncate  (** the file cut at a uniformly random point *)
+  | Lie_length  (** a record's length field claims ~16 MB *)
+  | Garbage_record  (** a well-framed but undecodable record spliced in *)
+  | Mid_eof  (** the file ends inside a record header *)
+
+val corruption_name : corruption -> string
+
+val all_corruptions : corruption list
+
+type trial = {
+  t_seed : int;
+  t_corpus : string;
+  t_corruption : string;
+  t_parsed : int;  (** records the lenient decode still recovered *)
+  t_dropped : int;  (** records it dropped (with a counted error) *)
+}
+
+val run_seed : int -> trial list
+(** All corpora x all corruptions for one seed (15 trials), plus a
+    pristine-decode check per corpus.
+    @raise Failure naming seed/corpus/corruption on the first violated
+    assertion. *)
+
+val sweep : ?first_seed:int -> seeds:int -> unit -> (trial list, string) result
+(** [run_seed] over [seeds] consecutive seeds; [Error] carries the
+    first failure message. *)

@@ -1,4 +1,5 @@
 open Cfca_prefix
+open Cfca_resilience
 
 let parse_line line =
   let line =
@@ -7,17 +8,17 @@ let parse_line line =
     | None -> line
   in
   let line = String.trim line in
-  if line = "" then None
+  if line = "" then Ok None
   else
     match String.index_opt line ' ' with
-    | None -> failwith "expected \"prefix next-hop\""
+    | None -> Error "expected \"prefix next-hop\""
     | Some i -> (
         let ps = String.sub line 0 i in
         let ns = String.trim (String.sub line i (String.length line - i)) in
         match (Prefix.of_string ps, int_of_string_opt ns) with
-        | Some p, Some nh when nh >= 1 -> Some (p, Nexthop.of_int nh)
-        | None, _ -> failwith ("bad prefix: " ^ ps)
-        | _, _ -> failwith ("bad next-hop: " ^ ns))
+        | Some p, Some nh when nh >= 1 -> Ok (Some (p, Nexthop.of_int nh))
+        | None, _ -> Error ("bad prefix: " ^ ps)
+        | _, _ -> Error ("bad next-hop: " ^ ns))
 
 let save path rib =
   let oc = open_out path in
@@ -32,28 +33,38 @@ let save path rib =
           output_char oc '\n')
         (Rib.entries rib))
 
-let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let acc = ref [] in
-      let lineno = ref 0 in
-      let err = ref None in
-      (try
-         while !err = None do
-           let line = input_line ic in
-           incr lineno;
-           match parse_line line with
-           | Some entry -> acc := entry :: !acc
-           | None -> ()
-           | exception Failure msg ->
-               err := Some (Printf.sprintf "%s:%d: %s" path !lineno msg)
-         done
-       with End_of_file -> ());
-      match !err with
-      | Some msg -> Error msg
-      | None -> Ok (Rib.of_list !acc))
-
-let load_exn path =
-  match load path with Ok rib -> rib | Error msg -> failwith msg
+(* Text RIBs are line-delimited, so the resync unit is the line: a
+   malformed line is dropped (lenient) or reported (strict) with its
+   1-based line number as the fault "offset". *)
+let load ?(policy = Errors.Strict) path =
+  match open_in path with
+  | exception Sys_error msg -> Error (Errors.Io_error msg)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let report = Errors.report () in
+          let acc = ref [] in
+          let lineno = ref 0 in
+          let err = ref None in
+          (try
+             while !err = None do
+               let line = input_line ic in
+               incr lineno;
+               let bytes = String.length line + 1 in
+               match parse_line line with
+               | Ok (Some entry) ->
+                   Errors.note_parsed report ~bytes;
+                   acc := entry :: !acc
+               | Ok None -> Errors.note_skipped report ~bytes
+               | Error reason ->
+                   let e =
+                     Errors.Corrupt_record { offset = !lineno; reason }
+                   in
+                   Errors.note_drop report ~bytes e;
+                   if policy = Errors.Strict then err := Some e
+             done
+           with End_of_file -> ());
+          match !err with
+          | Some e -> Error e
+          | None -> Ok (Rib.of_list !acc, report))

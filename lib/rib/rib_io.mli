@@ -3,13 +3,19 @@
     next-hops to adjacency indices). Lines starting with ['#'] and blank
     lines are ignored. *)
 
+open Cfca_resilience
+
 val save : string -> Rib.t -> unit
 
-val load : string -> (Rib.t, string) result
-(** Reports the first malformed line with its number. *)
+val load :
+  ?policy:Errors.policy -> string -> (Rib.t * Errors.report, Errors.t) result
+(** Under [Strict] (the default) the first malformed line is reported
+    as a typed [Corrupt_record] whose offset is the 1-based line
+    number; under [Lenient] malformed lines are dropped and counted in
+    the report. Never raises. *)
 
-val load_exn : string -> Rib.t
-
-val parse_line : string -> (Cfca_prefix.Prefix.t * Cfca_prefix.Nexthop.t) option
-(** [None] for comments/blank lines.
-    @raise Failure on malformed input. *)
+val parse_line :
+  string ->
+  ((Cfca_prefix.Prefix.t * Cfca_prefix.Nexthop.t) option, string) result
+(** [Ok None] for comments/blank lines, [Error reason] for malformed
+    input. *)

@@ -6,6 +6,7 @@ open Cfca_rib
 open Cfca_traffic
 open Cfca_dataplane
 open Cfca_tcam
+open Cfca_resilience
 
 type kind = Cfca | Pfca
 
@@ -37,14 +38,20 @@ type run_result = {
   r_update_seconds : float;
   r_tcam : Tcam.stats;
   r_lookup : Ipv4.t -> Nexthop.t;
+  r_recoveries : int;
+  r_watchdog_checks : int;
+  r_ingest : (string * Errors.report) list;
 }
 
-(* A uniform handle over the two cached control planes. *)
+(* A uniform handle over the two cached control planes. [c_tree] is a
+   thunk because full-reset recovery swaps the live tree; the CFCA
+   Route Manager rebuilds in place, PFCA is recreated behind a ref. *)
 type cached = {
-  c_tree : Bintrie.t;
+  c_tree : unit -> Bintrie.t;
   c_apply : Bgp_update.t -> unit;
   c_fib_size : unit -> int;
   c_lookup : Ipv4.t -> Nexthop.t;
+  c_rebuild : (Prefix.t * Nexthop.t) Seq.t -> unit;
 }
 
 let make_cached kind ~sink ~default_nh rib =
@@ -53,26 +60,49 @@ let make_cached kind ~sink ~default_nh rib =
       let rm = Route_manager.create ~sink ~default_nh () in
       Route_manager.load rm (Rib.to_seq rib);
       {
-        c_tree = Route_manager.tree rm;
+        c_tree = (fun () -> Route_manager.tree rm);
         c_apply = Route_manager.apply rm;
         c_fib_size = (fun () -> Route_manager.fib_size rm);
         c_lookup = Route_manager.lookup rm;
+        c_rebuild = Route_manager.rebuild rm;
       }
   | Pfca ->
-      let pf = Cfca_pfca.Pfca.create ~sink ~default_nh () in
-      Cfca_pfca.Pfca.load pf (Rib.to_seq rib);
+      let pf = ref (Cfca_pfca.Pfca.create ~sink ~default_nh ()) in
+      Cfca_pfca.Pfca.load !pf (Rib.to_seq rib);
       {
-        c_tree = Cfca_pfca.Pfca.tree pf;
-        c_apply = Cfca_pfca.Pfca.apply pf;
-        c_fib_size = (fun () -> Cfca_pfca.Pfca.fib_size pf);
-        c_lookup = Cfca_pfca.Pfca.lookup pf;
+        c_tree = (fun () -> Cfca_pfca.Pfca.tree !pf);
+        c_apply = (fun u -> Cfca_pfca.Pfca.apply !pf u);
+        c_fib_size = (fun () -> Cfca_pfca.Pfca.fib_size !pf);
+        c_lookup = (fun a -> Cfca_pfca.Pfca.lookup !pf a);
+        c_rebuild =
+          (fun routes ->
+            pf := Cfca_pfca.Pfca.create ~sink ~default_nh ();
+            Cfca_pfca.Pfca.load !pf routes);
       }
 
-let run_events ?(window = 100_000) ?(seed = 0x5EED) kind cfg ~default_nh rib
+let run_events ?(window = 100_000) ?(seed = 0x5EED)
+    ?(watchdog = Watchdog.default_config) kind cfg ~default_nh rib
     iter_events =
   let pipeline = Pipeline.create ~seed cfg in
   let system =
     make_cached kind ~sink:(Pipeline.sink pipeline) ~default_nh rib
+  in
+  (* The authoritative route set: RIB snapshot + replayed updates,
+     independent of the (corruptible) tree — what recovery rebuilds
+     from. *)
+  let authoritative = Hashtbl.create (max 16 (Rib.size rib)) in
+  Seq.iter
+    (fun (p, nh) -> Hashtbl.replace authoritative p nh)
+    (Rib.to_seq rib);
+  let wd = Watchdog.create ~config:watchdog () in
+  let recover ~violation:_ =
+    Pipeline.clear pipeline;
+    system.c_rebuild
+      (List.to_seq
+         (Hashtbl.fold (fun p nh acc -> (p, nh) :: acc) authoritative []))
+  in
+  let observe () =
+    Watchdog.observe wd ~tree:system.c_tree ~pipeline ~recover
   in
   let fib_initial = system.c_fib_size () in
   (* the initial bulk installation is not churn *)
@@ -106,9 +136,9 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED) kind cfg ~default_nh rib
     in_window := 0
   in
   iter_events (fun ~time event ->
-      match event with
+      (match event with
       | Trace.Packet dst -> (
-          match Bintrie.lookup_in_fib system.c_tree dst with
+          match Bintrie.lookup_in_fib (system.c_tree ()) dst with
           | Some node ->
               ignore (Pipeline.process pipeline node ~now:time);
               incr in_window;
@@ -117,6 +147,11 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED) kind cfg ~default_nh rib
               (* total coverage is a system invariant *)
               assert false)
       | Trace.Update u ->
+          (match u.Bgp_update.action with
+          | Bgp_update.Announce nh ->
+              Hashtbl.replace authoritative u.Bgp_update.prefix nh
+          | Bgp_update.Withdraw ->
+              Hashtbl.remove authoritative u.Bgp_update.prefix);
           let l1_before = (Pipeline.stats pipeline).Pipeline.bgp_l1 in
           let t0 = Unix.gettimeofday () in
           system.c_apply u;
@@ -131,6 +166,7 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED) kind cfg ~default_nh rib
             incr win_updates_l1
           end;
           if l1_delta > !burst then burst := l1_delta);
+      observe ());
   if !in_window > 0 then close_window ();
   {
     r_name = kind_name kind;
@@ -146,47 +182,56 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED) kind cfg ~default_nh rib
     r_update_seconds = !update_seconds;
     r_tcam = Tcam.stats (Pipeline.l1_tcam pipeline);
     r_lookup = system.c_lookup;
+    r_recoveries = Watchdog.recoveries wd;
+    r_watchdog_checks = Watchdog.checks wd;
+    r_ingest = [];
   }
 
-let run ?window ?seed kind cfg ~default_nh rib spec =
-  run_events ?window ?seed kind cfg ~default_nh rib (fun f ->
+let run ?window ?seed ?watchdog kind cfg ~default_nh rib spec =
+  run_events ?window ?seed ?watchdog kind cfg ~default_nh rib (fun f ->
       Trace.iter spec rib f)
 
-let run_capture ?window ?seed kind cfg ~default_nh rib ~pcap ~updates =
-  match Cfca_pcap.Pcap.count_file pcap with
-  | Error _ as e -> e
-  | Ok total ->
+let run_capture ?window ?seed ?watchdog ?policy kind cfg ~default_nh rib
+    ~pcap ~updates =
+  let fail e = Error (pcap ^ ": " ^ Errors.to_string e) in
+  match Cfca_pcap.Pcap.count_file ?policy pcap with
+  | Error e -> fail e
+  | Ok (total, _) -> (
       let n_updates = Array.length updates in
       let gap = if n_updates = 0 then max_int else max 1 (total / (n_updates + 1)) in
-      let result =
-        run_events ?window ?seed kind cfg ~default_nh rib (fun f ->
-            let i = ref 0 in
-            let next_update = ref 0 in
-            let last_time = ref 0.0 in
-            (match
-               Cfca_pcap.Pcap.fold_file pcap ~init:() ~f:(fun () p ->
-                   last_time := p.Cfca_pcap.Pcap.ts;
-                   if
-                     !next_update < n_updates
-                     && !i > 0
-                     && !i mod gap = 0
-                     && (!i / gap) - 1 = !next_update
-                   then begin
-                     f ~time:p.Cfca_pcap.Pcap.ts
-                       (Trace.Update updates.(!next_update));
-                     incr next_update
-                   end;
-                   f ~time:p.Cfca_pcap.Pcap.ts (Trace.Packet p.Cfca_pcap.Pcap.dst);
-                   incr i)
-             with
-            | Ok () -> ()
-            | Error msg -> failwith msg);
-            while !next_update < n_updates do
-              f ~time:!last_time (Trace.Update updates.(!next_update));
-              incr next_update
-            done)
-      in
-      Ok result
+      let ingest = ref [] in
+      try
+        let result =
+          run_events ?window ?seed ?watchdog kind cfg ~default_nh rib
+            (fun f ->
+              let i = ref 0 in
+              let next_update = ref 0 in
+              let last_time = ref 0.0 in
+              (match
+                 Cfca_pcap.Pcap.fold_file ?policy pcap ~init:() ~f:(fun () p ->
+                     last_time := p.Cfca_pcap.Pcap.ts;
+                     if
+                       !next_update < n_updates
+                       && !i > 0
+                       && !i mod gap = 0
+                       && (!i / gap) - 1 = !next_update
+                     then begin
+                       f ~time:p.Cfca_pcap.Pcap.ts
+                         (Trace.Update updates.(!next_update));
+                       incr next_update
+                     end;
+                     f ~time:p.Cfca_pcap.Pcap.ts (Trace.Packet p.Cfca_pcap.Pcap.dst);
+                     incr i)
+               with
+              | Ok ((), report) -> ingest := [ (pcap, report) ]
+              | Error e -> raise (Errors.Fault e));
+              while !next_update < n_updates do
+                f ~time:!last_time (Trace.Update updates.(!next_update));
+                incr next_update
+              done)
+        in
+        Ok { result with r_ingest = !ingest }
+      with Errors.Fault e -> fail e)
 
 type aggr_result = {
   a_name : string;

@@ -9,6 +9,7 @@ open Cfca_rib
 open Cfca_traffic
 open Cfca_dataplane
 open Cfca_tcam
+open Cfca_resilience
 
 type kind = Cfca | Pfca
 
@@ -41,11 +42,16 @@ type run_result = {
   r_update_seconds : float;  (** control-plane time spent in update handling *)
   r_tcam : Tcam.stats;
   r_lookup : Ipv4.t -> Nexthop.t;  (** forwarding function after the run (verification) *)
+  r_recoveries : int;  (** watchdog-driven full-reset recoveries *)
+  r_watchdog_checks : int;  (** periodic invariant sweeps run *)
+  r_ingest : (string * Errors.report) list;
+      (** per-input-stream decode accounting (capture replays) *)
 }
 
 val run :
   ?window:int ->
   ?seed:int ->
+  ?watchdog:Watchdog.config ->
   kind ->
   Config.t ->
   default_nh:Nexthop.t ->
@@ -54,11 +60,19 @@ val run :
   run_result
 (** Cold-start replay: load the RIB (installs go to DRAM and do not
     count as churn), then replay the trace. [window] defaults to
-    100_000 packets as in the paper's figures. *)
+    100_000 packets as in the paper's figures.
+
+    A {!Watchdog} (default {!Watchdog.default_config}) periodically
+    runs the cheap invariant subset over the live state; on a
+    violation it clears the data plane and rebuilds the control plane
+    from the authoritative route set (RIB snapshot + replayed updates),
+    then continues the replay. The watchdog uses its own PRNG, so
+    counters are identical with or without it on healthy runs. *)
 
 val run_events :
   ?window:int ->
   ?seed:int ->
+  ?watchdog:Watchdog.config ->
   kind ->
   Config.t ->
   default_nh:Nexthop.t ->
@@ -71,6 +85,8 @@ val run_events :
 val run_capture :
   ?window:int ->
   ?seed:int ->
+  ?watchdog:Watchdog.config ->
+  ?policy:Errors.policy ->
   kind ->
   Config.t ->
   default_nh:Nexthop.t ->
@@ -82,7 +98,9 @@ val run_capture :
     BGP update stream (e.g. from {!Cfca_bgp.Mrt.read_update_file})
     spread evenly across it. Packet timestamps come from the capture.
     Needs two passes over the file (the update spacing depends on the
-    packet count). *)
+    packet count). [policy] is the decode policy (default strict);
+    under [Errors.Lenient] damaged frames are skipped and accounted in
+    [r_ingest]. *)
 
 type aggr_result = {
   a_name : string;

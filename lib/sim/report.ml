@@ -81,6 +81,17 @@ let print_update_series series =
         windows)
     series
 
+let print_resilience (r : Engine.run_result) =
+  let open Cfca_resilience in
+  Printf.printf "  watchdog: %d checks, %d recoveries\n"
+    r.Engine.r_watchdog_checks r.Engine.r_recoveries;
+  List.iter
+    (fun (stream, rep) ->
+      Printf.printf "  ingest %s: %s\n" stream (Errors.summary rep);
+      if not (Errors.is_clean rep) then
+        print_string (Format.asprintf "%a" Errors.pp_report rep))
+    r.Engine.r_ingest
+
 let print_run_summary (r : Engine.run_result) =
   let open Cfca_dataplane in
   let s = r.Engine.r_totals in
@@ -112,7 +123,8 @@ let print_run_summary (r : Engine.run_result) =
   Printf.printf "  FIB: %d routes -> %d installed initially, %d at end\n"
     r.Engine.r_rib_size r.Engine.r_fib_initial r.Engine.r_fib_final;
   Printf.printf "  TCAM: %s\n"
-    (Format.asprintf "%a" Cfca_tcam.Tcam.pp_stats r.Engine.r_tcam)
+    (Format.asprintf "%a" Cfca_tcam.Tcam.pp_stats r.Engine.r_tcam);
+  print_resilience r
 
 let print_timings timings =
   Printf.printf "%-8s" "updates";

@@ -15,7 +15,13 @@ val print_install_series : (string * Engine.window array) list -> unit
 val print_update_series : (string * Engine.window array) list -> unit
 (** Fig. 10b: cumulative BGP updates vs updates applied to L1. *)
 
+val print_resilience : Engine.run_result -> unit
+(** Watchdog check/recovery counters plus the per-stream decode
+    accounting ([r_ingest]); non-clean streams get their full
+    {!Cfca_resilience.Errors.pp_report} counter block. *)
+
 val print_run_summary : Engine.run_result -> unit
+(** Includes {!print_resilience}. *)
 
 val print_timings : Engine.timing list -> unit
 (** Fig. 12: cumulative handling time at each checkpoint plus the mean

@@ -1,0 +1,80 @@
+open Cfca_trie
+open Cfca_dataplane
+open Cfca_check
+
+type config = { interval : int; samples : int; seed : int }
+
+let default_config = { interval = 100_000; samples = 32; seed = 0x57a7 }
+
+type snapshot = {
+  s_event : int;
+  s_violation : string;
+  s_l1_size : int;
+  s_l2_size : int;
+  s_fib_size : int;
+}
+
+type t = {
+  cfg : config;
+  rng : Random.State.t;
+  mutable events : int;
+  mutable checks : int;
+  mutable recoveries : int;
+  mutable snapshots : snapshot list; (* newest first *)
+}
+
+let create ?(config = default_config) () =
+  if config.interval < 0 then invalid_arg "Watchdog.create: negative interval";
+  {
+    cfg = config;
+    rng = Random.State.make [| config.seed |];
+    events = 0;
+    checks = 0;
+    recoveries = 0;
+    snapshots = [];
+  }
+
+let checks t = t.checks
+
+let recoveries t = t.recoveries
+
+let snapshots t = List.rev t.snapshots
+
+let snap t tree pipeline violation =
+  {
+    s_event = t.events;
+    s_violation = violation;
+    s_l1_size = Pipeline.l1_size pipeline;
+    s_l2_size = Pipeline.l2_size pipeline;
+    s_fib_size = Bintrie.in_fib_count tree;
+  }
+
+(* [tree] is a thunk: recovery abandons the corrupted tree and builds a
+   fresh one, so the post-recovery re-check must re-fetch it. *)
+let check_now t ~tree ~pipeline ~recover =
+  t.checks <- t.checks + 1;
+  match
+    Invariants.quick_check ~samples:t.cfg.samples ~rng:t.rng (tree ()) pipeline
+  with
+  | Ok () -> false
+  | Error violation ->
+      t.snapshots <- snap t (tree ()) pipeline violation :: t.snapshots;
+      recover ~violation;
+      t.recoveries <- t.recoveries + 1;
+      (* the whole point of recovery is a provably clean state; a
+         rebuild that still violates the invariants is a hard bug *)
+      (match
+         Invariants.quick_check ~samples:t.cfg.samples ~rng:t.rng (tree ())
+           pipeline
+       with
+      | Ok () -> ()
+      | Error still ->
+          failwith
+            (Printf.sprintf "Watchdog: state still corrupt after recovery: %s"
+               still));
+      true
+
+let observe t ~tree ~pipeline ~recover =
+  t.events <- t.events + 1;
+  if t.cfg.interval > 0 && t.events mod t.cfg.interval = 0 then
+    ignore (check_now t ~tree ~pipeline ~recover)

@@ -1,0 +1,70 @@
+(** Engine watchdog: periodic self-check and full-reset recovery.
+
+    Every [interval] observed events the watchdog runs the cheap
+    invariant subset ({!Cfca_check.Invariants.quick_check}) over the
+    live tree/pipeline pair. On a violation it snapshots the offending
+    state, invokes the caller's [recover] closure (which is expected to
+    clear the data plane and rebuild the control plane from an
+    authoritative route set — see {!Cfca_dataplane.Pipeline.clear} and
+    {!Cfca_core.Route_manager.rebuild}), re-checks, and keeps going.
+
+    The watchdog draws sample addresses from its own PRNG so that
+    enabling it never perturbs the pipeline's replacement decisions —
+    golden simulation counters are byte-identical with or without it. *)
+
+open Cfca_trie
+open Cfca_dataplane
+
+type config = {
+  interval : int;  (** events between checks; [0] disables the watchdog *)
+  samples : int;  (** random-address probes per check *)
+  seed : int;  (** seed of the watchdog's private PRNG *)
+}
+
+val default_config : config
+(** [{ interval = 100_000; samples = 32; seed = 0x57a7 }] *)
+
+type snapshot = {
+  s_event : int;  (** observed-event count when the violation fired *)
+  s_violation : string;  (** the violated invariant, human-readable *)
+  s_l1_size : int;
+  s_l2_size : int;
+  s_fib_size : int;
+}
+(** What the state looked like at detection time, kept for the run
+    report. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val observe :
+  t ->
+  tree:(unit -> Bintrie.t) ->
+  pipeline:Pipeline.t ->
+  recover:(violation:string -> unit) ->
+  unit
+(** Count one event; every [interval]-th call runs the check and, on a
+    violation, drives recovery. [tree] is a thunk because recovery
+    swaps the live tree out from under the engine — the post-recovery
+    re-check must observe the fresh one. *)
+
+val check_now :
+  t ->
+  tree:(unit -> Bintrie.t) ->
+  pipeline:Pipeline.t ->
+  recover:(violation:string -> unit) ->
+  bool
+(** Run the check immediately regardless of the interval; [true] iff a
+    violation was found (and recovery run). After [recover] returns the
+    state is re-checked; a still-violating state raises [Failure] —
+    recovery must produce a provably clean state or the run is void. *)
+
+val checks : t -> int
+(** Invariant sweeps run so far. *)
+
+val recoveries : t -> int
+(** Violations detected (each one triggered a recovery). *)
+
+val snapshots : t -> snapshot list
+(** Detection-time snapshots, oldest first. *)

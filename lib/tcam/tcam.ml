@@ -81,6 +81,10 @@ let reset_stats t =
   t.rewrites <- 0;
   t.slot_writes <- 0
 
+let clear t =
+  Array.fill t.by_length 0 (Array.length t.by_length) 0;
+  t.total <- 0
+
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "installs=%d removes=%d rewrites=%d slot_writes=%d"
     s.installs s.removes s.rewrites s.slot_writes

@@ -53,4 +53,9 @@ val stats : t -> stats
 
 val reset_stats : t -> unit
 
+val clear : t -> unit
+(** Empty the TCAM (occupancy and length histogram to zero) while
+    keeping the cumulative write statistics — the recovery path's bulk
+    invalidate. *)
+
 val pp_stats : Format.formatter -> stats -> unit

@@ -14,7 +14,10 @@ let remaining t = t.limit - t.cur
 
 let at_end t = t.cur >= t.limit
 
-let check t n = if t.cur + n > t.limit then raise Truncated
+(* A negative [n] (from e.g. a lying length field after arithmetic)
+   must never move the cursor backwards: resynchronising decoders rely
+   on forward progress for termination. *)
+let check t n = if n < 0 || t.cur + n > t.limit then raise Truncated
 
 let peek_u8 t =
   check t 1;
@@ -61,3 +64,7 @@ let sub t n =
   let child = { buf = t.buf; limit = t.cur + n; cur = t.cur } in
   t.cur <- t.cur + n;
   child
+
+let sub_reader t n =
+  let n = if n < 0 then 0 else min n (remaining t) in
+  sub t n

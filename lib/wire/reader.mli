@@ -39,4 +39,12 @@ val skip : t -> int -> unit
 
 val sub : t -> int -> t
 (** [sub t n] carves out a child reader over the next [n] bytes and
-    advances the parent past them — for length-delimited records. *)
+    advances the parent past them — for length-delimited records.
+    @raise Truncated if fewer than [n] bytes remain or [n] is
+    negative (a negative count never moves the cursor backwards). *)
+
+val sub_reader : t -> int -> t
+(** Like {!sub} but clamped: the child covers [min n (remaining t)]
+    bytes (0 for a negative [n]) and never raises. A record whose
+    length field lies past the end of input yields a short child
+    instead of reading into the next record. *)

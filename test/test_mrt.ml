@@ -5,6 +5,7 @@ open Cfca_prefix
 open Cfca_bgp
 open Cfca_rib
 open Cfca_wire
+open Cfca_resilience
 
 let p = Prefix.v
 let check = Alcotest.(check bool)
@@ -134,10 +135,11 @@ let test_rib_file_roundtrip () =
   with_tmp (fun path ->
       Mrt.write_rib_file path rib;
       match Mrt.read_rib_file path with
-      | Ok rib' ->
+      | Ok (rib', report) ->
           check_int "size" (Rib.size rib) (Rib.size rib');
-          check "entries equal" true (Rib.entries rib = Rib.entries rib')
-      | Error msg -> Alcotest.fail msg)
+          check "entries equal" true (Rib.entries rib = Rib.entries rib');
+          check "clean report" true (Errors.is_clean report)
+      | Error e -> Alcotest.fail (Errors.to_string e))
 
 let test_update_file_roundtrip () =
   let updates =
@@ -150,44 +152,120 @@ let test_update_file_roundtrip () =
   with_tmp (fun path ->
       Mrt.write_update_file path updates;
       match Mrt.read_update_file path with
-      | Ok updates' ->
+      | Ok (updates', report) ->
           check_int "count" 3 (Array.length updates');
           check "equal" true
-            (Array.for_all2 Bgp_update.equal updates updates')
-      | Error msg -> Alcotest.fail msg)
+            (Array.for_all2 Bgp_update.equal updates updates');
+          check "clean report" true (Errors.is_clean report)
+      | Error e -> Alcotest.fail (Errors.to_string e))
+
+(* two good records with a truncated one at the end: strict reports the
+   typed fault, lenient keeps the good ones and counts the damage *)
+let truncated_stream () =
+  let w = Writer.create () in
+  let entry nh = { Mrt.peer_index = 0; originated = 0; next_hop = nh } in
+  Mrt.write_record w ~timestamp:0
+    (Mrt.Rib_ipv4_unicast
+       { sequence = 0; prefix = p "10.0.0.0/8"; entries = [ entry 1 ] });
+  Mrt.write_record w ~timestamp:1
+    (Mrt.Rib_ipv4_unicast
+       { sequence = 1; prefix = p "10.1.0.0/16"; entries = [ entry 2 ] });
+  let full = Writer.contents w in
+  String.sub full 0 (String.length full - 3)
 
 let test_truncated_file () =
-  let w = Writer.create () in
-  Mrt.write_record w ~timestamp:0
-    (Mrt.Rib_ipv4_unicast { sequence = 0; prefix = p "10.0.0.0/8"; entries = [] });
-  let full = Writer.contents w in
-  let cut = String.sub full 0 (String.length full - 3) in
+  let cut = truncated_stream () in
   with_tmp (fun path ->
       let oc = open_out_bin path in
       output_string oc cut;
       close_out oc;
       match Mrt.read_rib_file path with
-      | Error msg -> check "reports truncation" true (String.length msg > 0)
-      | Ok _ -> Alcotest.fail "accepted a truncated file")
+      | Error (Errors.Truncated _) -> ()
+      | Error e -> Alcotest.fail ("wrong fault: " ^ Errors.to_string e)
+      | Ok _ -> Alcotest.fail "strict accepted a truncated file")
 
-let test_bad_marker () =
+let test_truncated_lenient () =
+  match Mrt.read_rib_string ~policy:Errors.Lenient (truncated_stream ()) with
+  | Error e -> Alcotest.fail (Errors.to_string e)
+  | Ok (rib, report) ->
+      check_int "good records survive" 1 (Rib.size rib);
+      check_int "parsed" 1 report.Errors.parsed;
+      check_int "dropped" 1 report.Errors.dropped;
+      check_int "truncation counted" 1 report.Errors.errors.Errors.truncated;
+      check "not clean" false (Errors.is_clean report)
+
+let bad_marker_stream () =
   let w = Writer.create () in
   Mrt.write_record w ~timestamp:0
     (Mrt.Bgp4mp_message
        {
          peer_as = 1;
          local_as = 2;
+         update =
+           { Mrt.withdrawn = []; announced = [ p "10.2.0.0/16" ];
+             next_hop = Some (Nexthop.of_int 4) };
+       });
+  Mrt.write_record w ~timestamp:1
+    (Mrt.Bgp4mp_message
+       {
+         peer_as = 1;
+         local_as = 2;
          update = { Mrt.withdrawn = [ p "10.0.0.0/8" ]; announced = []; next_hop = None };
        });
-  let b = Bytes.of_string (Writer.contents w) in
-  (* corrupt the first BGP marker byte: 12B MRT header + 4+4 peer/local
-     AS + 2 ifindex + 2 AFI + 4+4 peer/local IP = offset 32 *)
-  Bytes.set b 32 '\x00';
+  Bytes.of_string (Writer.contents w)
+
+(* records are length-delimited: 12-byte header, length at +8 *)
+let second_record_offset s =
+  12
+  + ((Char.code s.[8] lsl 24)
+    lor (Char.code s.[9] lsl 16)
+    lor (Char.code s.[10] lsl 8)
+    lor Char.code s.[11])
+
+let test_bad_marker () =
+  let b = bad_marker_stream () in
+  let s = Bytes.to_string b in
+  Bytes.set b (second_record_offset s + 32) '\x00';
   let r = Reader.of_bytes b in
+  (* first record is fine *)
+  check "first record parses" true (Mrt.read_record r <> None);
+  (* the damaged one raises the typed fault, not a bare Failure *)
   check "bad marker rejected" true
     (match Mrt.read_record r with
-    | exception Failure _ -> true
-    | _ -> false)
+    | exception Errors.Fault (Errors.Corrupt_record _) -> true
+    | _ -> false);
+  (* ... and the reader resynced to the end of the stream *)
+  check "resynced" true (Reader.at_end r)
+
+let test_bad_marker_policies () =
+  let corrupt () =
+    let b = bad_marker_stream () in
+    Bytes.set b (second_record_offset (Bytes.to_string b) + 32) '\x00';
+    Bytes.to_string b
+  in
+  (match Mrt.read_update_string ~policy:Errors.Lenient (corrupt ()) with
+  | Error e -> Alcotest.fail (Errors.to_string e)
+  | Ok (updates, report) ->
+      check_int "good update survives" 1 (Array.length updates);
+      check_int "dropped" 1 report.Errors.dropped;
+      check_int "corruption counted" 1 report.Errors.errors.Errors.corrupt);
+  match Mrt.read_update_string ~policy:Errors.Strict (corrupt ()) with
+  | Error (Errors.Corrupt_record _) -> ()
+  | Error e -> Alcotest.fail ("wrong fault: " ^ Errors.to_string e)
+  | Ok _ -> Alcotest.fail "strict accepted a corrupt marker"
+
+let test_unsupported_afi () =
+  let b = bad_marker_stream () in
+  let s = Bytes.to_string b in
+  (* AFI field of the second record: 12B header + 4+4 AS + 2 ifindex *)
+  let off = second_record_offset s + 12 + 10 in
+  Bytes.set b off '\x00';
+  Bytes.set b (off + 1) '\x02';
+  match Mrt.read_update_string ~policy:Errors.Lenient (Bytes.to_string b) with
+  | Error e -> Alcotest.fail (Errors.to_string e)
+  | Ok (updates, report) ->
+      check_int "good update survives" 1 (Array.length updates);
+      check_int "unsupported counted" 1 report.Errors.errors.Errors.unsupported
 
 let prop_update_file_roundtrip =
   let gen_update =
@@ -215,9 +293,10 @@ let prop_update_file_roundtrip =
       with_tmp (fun path ->
           Mrt.write_update_file path updates;
           match Mrt.read_update_file path with
-          | Ok updates' ->
+          | Ok (updates', report) ->
               Array.length updates = Array.length updates'
               && Array.for_all2 Bgp_update.equal updates updates'
+              && Errors.is_clean report
           | Error _ -> false))
 
 let () =
@@ -237,7 +316,11 @@ let () =
           Alcotest.test_case "rib file" `Quick test_rib_file_roundtrip;
           Alcotest.test_case "update file" `Quick test_update_file_roundtrip;
           Alcotest.test_case "truncated" `Quick test_truncated_file;
+          Alcotest.test_case "truncated lenient" `Quick test_truncated_lenient;
           Alcotest.test_case "bad marker" `Quick test_bad_marker;
+          Alcotest.test_case "bad marker policies" `Quick
+            test_bad_marker_policies;
+          Alcotest.test_case "unsupported afi" `Quick test_unsupported_afi;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_update_file_roundtrip ]);
     ]

@@ -3,6 +3,7 @@
 open Cfca_prefix
 open Cfca_pcap
 open Cfca_wire
+open Cfca_resilience
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -48,13 +49,13 @@ let test_ipv4_checksum_validated () =
   Bytes.set b 8 '\x00' (* corrupt the TTL *);
   check "corruption detected" true
     (match Ipv4_packet.decode (Reader.of_bytes b) with
-    | exception Failure _ -> true
+    | exception Errors.Fault (Errors.Bad_checksum _) -> true
     | _ -> false)
 
 let test_ipv4_rejects_v6 () =
   check "version check" true
     (match Ipv4_packet.decode (Reader.of_string "\x60\x00\x00\x00") with
-    | exception Failure _ -> true
+    | exception Errors.Fault (Errors.Unsupported _) -> true
     | _ -> false)
 
 (* -- Ethernet --------------------------------------------------------- *)
@@ -98,14 +99,15 @@ let test_pcap_roundtrip () =
   with_tmp (fun path ->
       Pcap.write_file path (List.to_seq packets);
       match Pcap.read_file path with
-      | Ok packets' ->
+      | Ok (packets', report) ->
           check_int "count" 100 (List.length packets');
           List.iter2
             (fun a b ->
               check "src" true (Ipv4.equal a.Pcap.src b.Pcap.src);
               check "dst" true (Ipv4.equal a.Pcap.dst b.Pcap.dst))
-            packets packets'
-      | Error msg -> Alcotest.fail msg)
+            packets packets';
+          check "clean report" true (Errors.is_clean report)
+      | Error e -> Alcotest.fail (Errors.to_string e))
 
 let test_pcap_count_and_fold () =
   with_tmp (fun path ->
@@ -113,30 +115,138 @@ let test_pcap_count_and_fold () =
         (Seq.init 42 (fun i ->
              { Pcap.ts = 0.0; src = Ipv4.zero; dst = Ipv4.of_int i }));
       (match Pcap.count_file path with
-      | Ok n -> check_int "count" 42 n
-      | Error m -> Alcotest.fail m);
+      | Ok (n, _) -> check_int "count" 42 n
+      | Error e -> Alcotest.fail (Errors.to_string e));
       match
         Pcap.fold_file path ~init:0 ~f:(fun acc p -> acc + Ipv4.to_int p.Pcap.dst)
       with
-      | Ok sum -> check_int "fold" (42 * 41 / 2) sum
-      | Error m -> Alcotest.fail m)
+      | Ok (sum, _) -> check_int "fold" (42 * 41 / 2) sum
+      | Error e -> Alcotest.fail (Errors.to_string e))
 
 let test_pcap_bad_magic () =
   with_tmp (fun path ->
       let oc = open_out_bin path in
-      output_string oc "not a pcap file at all";
+      output_string oc "not a pcap file at all, but long enough for a header";
       close_out oc;
-      check "rejected" true (Result.is_error (Pcap.read_file path)))
+      (* an unrecognisable global header is fatal under either policy *)
+      check "strict rejected" true
+        (match Pcap.read_file path with
+        | Error (Errors.Bad_magic _) -> true
+        | _ -> false);
+      check "lenient rejected too" true
+        (match Pcap.read_file ~policy:Errors.Lenient path with
+        | Error (Errors.Bad_magic _) -> true
+        | _ -> false))
 
 let test_pcap_truncated () =
   with_tmp (fun path ->
       Pcap.write_file path
-        (Seq.return { Pcap.ts = 0.0; src = Ipv4.zero; dst = Ipv4.broadcast });
+        (Seq.init 2 (fun i ->
+             { Pcap.ts = 0.0; src = Ipv4.zero; dst = Ipv4.of_int i }));
       let contents = In_channel.with_open_bin path In_channel.input_all in
       let oc = open_out_bin path in
       output_string oc (String.sub contents 0 (String.length contents - 5));
       close_out oc;
-      check "truncation reported" true (Result.is_error (Pcap.read_file path)))
+      (* strict: typed truncation error *)
+      check "truncation reported" true
+        (match Pcap.read_file path with
+        | Error (Errors.Truncated _) -> true
+        | _ -> false);
+      (* lenient: the intact packet survives, the damage is counted *)
+      match Pcap.read_file ~policy:Errors.Lenient path with
+      | Error e -> Alcotest.fail (Errors.to_string e)
+      | Ok (packets, report) ->
+          check_int "survivors" 1 (List.length packets);
+          check_int "dropped" 1 report.Errors.dropped;
+          check_int "truncation counted" 1 report.Errors.errors.Errors.truncated)
+
+(* a non-IPv4 ethertype is benign (skipped) under both policies; an
+   IPv4 frame with a bad checksum is damage *)
+let craft_frames frames =
+  (* [frames] are raw Ethernet payload builders; wrap in pcap framing *)
+  let w = Writer.create () in
+  Writer.u32 w 0xa1b2c3d4;
+  Writer.u16 w 2;
+  Writer.u16 w 4;
+  Writer.u32 w 0;
+  Writer.u32 w 0;
+  Writer.u32 w 65535;
+  Writer.u32 w 1;
+  List.iter
+    (fun frame ->
+      Writer.u32 w 0;
+      Writer.u32 w 0;
+      Writer.u32 w (String.length frame);
+      Writer.u32 w (String.length frame);
+      Writer.string w frame)
+    frames;
+  Writer.contents w
+
+let ipv4_frame ~break_checksum dst =
+  let w = Writer.create () in
+  Ethernet.encode w
+    {
+      Ethernet.dst = Ethernet.broadcast;
+      src = Ethernet.broadcast;
+      ethertype = Ethernet.ethertype_ipv4;
+    };
+  Ipv4_packet.encode w
+    { Ipv4_packet.src = Ipv4.zero; dst; protocol = 6; ttl = 8; payload_length = 0 };
+  let s = Writer.contents w in
+  if not break_checksum then s
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.set b (14 + 8) '\xee' (* TTL byte: checksum now wrong *);
+    Bytes.to_string b
+  end
+
+let arp_frame () =
+  let w = Writer.create () in
+  Ethernet.encode w
+    {
+      Ethernet.dst = Ethernet.broadcast;
+      src = Ethernet.broadcast;
+      ethertype = 0x0806;
+    };
+  Writer.string w (String.make 28 '\x00');
+  Writer.contents w
+
+let test_pcap_mixed_frames () =
+  let contents =
+    craft_frames
+      [
+        ipv4_frame ~break_checksum:false (Ipv4.of_int 1);
+        arp_frame ();
+        ipv4_frame ~break_checksum:true (Ipv4.of_int 2);
+        ipv4_frame ~break_checksum:false (Ipv4.of_int 3);
+      ]
+  in
+  (match
+     Pcap.fold_string ~policy:Errors.Lenient contents ~init:[]
+       ~f:(fun acc p -> Ipv4.to_int p.Pcap.dst :: acc)
+   with
+  | Error e -> Alcotest.fail (Errors.to_string e)
+  | Ok (dsts, report) ->
+      check "ipv4 frames decoded" true (List.rev dsts = [ 1; 3 ]);
+      check_int "parsed" 2 report.Errors.parsed;
+      check_int "arp skipped, not an error" 1 report.Errors.skipped;
+      check_int "bad checksum dropped" 1 report.Errors.dropped;
+      check_int "checksum counted" 1 report.Errors.errors.Errors.checksum);
+  (* strict: the checksum fault surfaces as a typed error... *)
+  (match Pcap.fold_string contents ~init:() ~f:(fun () _ -> ()) with
+  | Error (Errors.Bad_checksum _) -> ()
+  | Error e -> Alcotest.fail ("wrong fault: " ^ Errors.to_string e)
+  | Ok _ -> Alcotest.fail "strict accepted a bad checksum");
+  (* ...but a pure IPv4+ARP mix is clean even under strict *)
+  match
+    Pcap.fold_string
+      (craft_frames [ ipv4_frame ~break_checksum:false Ipv4.zero; arp_frame () ])
+      ~init:() ~f:(fun () _ -> ())
+  with
+  | Error e -> Alcotest.fail (Errors.to_string e)
+  | Ok ((), report) ->
+      check_int "skipped" 1 report.Errors.skipped;
+      check "clean" true (Errors.is_clean report)
 
 let prop_pcap_roundtrip =
   QCheck.Test.make ~count:30 ~name:"pcap files roundtrip dst addresses"
@@ -150,9 +260,10 @@ let prop_pcap_roundtrip =
                     { Pcap.ts = 1.5; src = Ipv4.zero; dst = Ipv4.of_int (d * 64) })
                   dsts));
           match Pcap.read_file path with
-          | Ok packets ->
+          | Ok (packets, report) ->
               List.map (fun p -> Ipv4.to_int p.Pcap.dst) packets
-              = List.map (fun d -> d * 64) dsts
+                = List.map (fun d -> d * 64) dsts
+              && Errors.is_clean report
           | Error _ -> false))
 
 let () =
@@ -177,6 +288,7 @@ let () =
           Alcotest.test_case "count/fold" `Quick test_pcap_count_and_fold;
           Alcotest.test_case "bad magic" `Quick test_pcap_bad_magic;
           Alcotest.test_case "truncated" `Quick test_pcap_truncated;
+          Alcotest.test_case "mixed frames" `Quick test_pcap_mixed_frames;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_pcap_roundtrip ]);
     ]

@@ -1,0 +1,298 @@
+(* Resilience subsystem tests: the error taxonomy and damage reports,
+   the seeded fault-injection harness, and the engine watchdog's
+   detect-and-rebuild recovery path. *)
+
+open Cfca_prefix
+open Cfca_trie
+open Cfca_core
+open Cfca_dataplane
+open Cfca_bgp
+open Cfca_check
+open Cfca_sim
+open Cfca_resilience
+open Cfca_inject
+
+let p = Prefix.v
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* -- Errors ---------------------------------------------------------- *)
+
+let test_severity_and_offset () =
+  check "bad magic is fatal" true
+    (Errors.severity (Errors.Bad_magic { offset = 0; found = "x"; expected = "y" })
+    = Errors.Fatal);
+  check "io error is fatal" true
+    (Errors.severity (Errors.Io_error "gone") = Errors.Fatal);
+  List.iter
+    (fun e -> check "recoverable" true (Errors.severity e = Errors.Recoverable))
+    [
+      Errors.Truncated { offset = 3; wanted = 4; available = 1 };
+      Errors.Unsupported { offset = 3; what = "afi 2" };
+      Errors.Corrupt_record { offset = 3; reason = "marker" };
+      Errors.Bad_checksum { offset = 3 };
+    ];
+  check_int "typed offset" 3
+    (Errors.offset (Errors.Bad_checksum { offset = 3 }));
+  check_int "io offset" (-1) (Errors.offset (Errors.Io_error "gone"))
+
+let test_report_accounting () =
+  let r = Errors.report () in
+  check "fresh is clean" true (Errors.is_clean r);
+  Errors.note_parsed r ~bytes:10;
+  Errors.note_skipped r ~bytes:5;
+  check "parsed/skipped stay clean" true (Errors.is_clean r);
+  for i = 1 to 6 do
+    Errors.note_drop r ~bytes:2
+      (Errors.Corrupt_record { offset = i; reason = "r" })
+  done;
+  check "drops dirty" false (Errors.is_clean r);
+  check_int "records" 8 (Errors.total_records r);
+  check_int "bytes" 27 (Errors.total_bytes r);
+  check_int "corrupt counter" 6 r.Errors.errors.Errors.corrupt;
+  check_int "counter total" 6 (Errors.total r.Errors.errors);
+  check_int "samples capped" Errors.max_samples (List.length r.Errors.samples)
+
+(* the counter block bin/sim prints, pinned exactly *)
+let test_pp_report_pinned () =
+  let r = Errors.report () in
+  Errors.note_parsed r ~bytes:40;
+  Errors.note_skipped r ~bytes:20;
+  Errors.note_drop r ~bytes:7
+    (Errors.Truncated { offset = 60; wanted = 12; available = 7 });
+  Errors.note_drop r ~bytes:30
+    (Errors.Corrupt_record { offset = 67; reason = "bad BGP marker" });
+  let expected =
+    String.concat "\n"
+      [
+        "parsed 1  skipped 1  dropped 2  (bytes: parsed 40, skipped 20, \
+         dropped 37)";
+        "errors: truncated=1 corrupt=1";
+        "  offset 60: truncated: wanted 12 bytes, 7 available";
+        "  offset 67: corrupt record: bad BGP marker";
+      ]
+  in
+  check_str "pinned rendering" expected
+    (Format.asprintf "%a" Errors.pp_report r);
+  check_str "one-line summary" "parsed 1, skipped 1, dropped 2"
+    (Errors.summary r)
+
+(* a known-corrupt fixture must produce exactly this counter block *)
+let test_corrupt_fixture_counters () =
+  let updates =
+    [|
+      { Bgp_update.prefix = p "10.0.0.0/8"; action = Bgp_update.Announce 1 };
+      { Bgp_update.prefix = p "10.1.0.0/16"; action = Bgp_update.Withdraw };
+    |]
+  in
+  let s = Mrt.encode_updates updates in
+  let cut = String.sub s 0 (String.length s - 3) in
+  match Mrt.read_update_string ~policy:Errors.Lenient cut with
+  | Error e -> Alcotest.fail (Errors.to_string e)
+  | Ok (survivors, report) ->
+      check_int "survivors" 1 (Array.length survivors);
+      check_int "parsed" 1 report.Errors.parsed;
+      check_int "dropped" 1 report.Errors.dropped;
+      check_int "truncation counted" 1 report.Errors.errors.Errors.truncated;
+      check_int "every byte attributed" (String.length cut)
+        (Errors.total_bytes report);
+      let rendered = Format.asprintf "%a" Errors.pp_report report in
+      check "counter block rendered" true
+        (contains rendered "errors: truncated=1")
+
+(* -- Fault injection ------------------------------------------------- *)
+
+let test_inject_mini_sweep () =
+  match Inject.sweep ~seeds:3 () with
+  | Error msg -> Alcotest.fail msg
+  | Ok trials ->
+      (* 3 corpora x 5 corruption classes per seed *)
+      check_int "trial count" 45 (List.length trials);
+      check "damage was actually inflicted" true
+        (List.exists (fun t -> t.Inject.t_dropped > 0) trials);
+      check "records still recovered" true
+        (List.exists (fun t -> t.Inject.t_parsed > 0) trials)
+
+let test_inject_corpora_decode_clean () =
+  List.iter
+    (fun kind ->
+      let s = Inject.build kind 7 in
+      check "non-empty" true (String.length s > 0))
+    Inject.all_corpora
+
+(* -- Watchdog -------------------------------------------------------- *)
+
+let default_nh = 9
+
+let paper_routes =
+  [
+    (p "129.10.124.0/24", 1);
+    (p "129.10.124.0/27", 1);
+    (p "129.10.124.64/26", 1);
+    (p "129.10.124.192/26", 2);
+  ]
+
+(* tiny caches + near-immediate promotion, as in the fuzzer: a couple
+   of thousand packets fill both cache levels *)
+let small_config =
+  {
+    Config.default with
+    Config.l1_capacity = 8;
+    l2_capacity = 16;
+    lthd_stages = 2;
+    lthd_width = 4;
+    threshold_window = 0.005;
+    dram_threshold_initial = 1;
+    l2_threshold_initial = 2;
+    dram_threshold = 2;
+    l2_threshold = 3;
+  }
+
+let build_system () =
+  let rm = Route_manager.create ~default_nh () in
+  let pl = Pipeline.create ~seed:5 small_config in
+  Route_manager.set_sink rm (Pipeline.sink pl);
+  Route_manager.load rm (List.to_seq paper_routes);
+  let st = Random.State.make [| 23 |] in
+  let clock = ref 0 in
+  for _ = 1 to 2_000 do
+    let q, _ = List.nth paper_routes (Random.State.int st 4) in
+    let a = Prefix.random_member st q in
+    match Bintrie.lookup_in_fib (Route_manager.tree rm) a with
+    | Some n ->
+        incr clock;
+        ignore (Pipeline.process pl n ~now:(float_of_int !clock *. 1e-4))
+    | None -> Alcotest.fail "packet not covered"
+  done;
+  (rm, pl)
+
+let test_watchdog_interval () =
+  let rm, pl = build_system () in
+  let tree () = Route_manager.tree rm in
+  let recover ~violation = Alcotest.fail ("unexpected recovery: " ^ violation) in
+  let wd =
+    Watchdog.create ~config:{ Watchdog.interval = 5; samples = 8; seed = 1 } ()
+  in
+  for _ = 1 to 12 do
+    Watchdog.observe wd ~tree ~pipeline:pl ~recover
+  done;
+  check_int "two sweeps in 12 events" 2 (Watchdog.checks wd);
+  check_int "healthy: no recoveries" 0 (Watchdog.recoveries wd);
+  (* interval 0 disables the watchdog entirely *)
+  let off =
+    Watchdog.create ~config:{ Watchdog.interval = 0; samples = 8; seed = 1 } ()
+  in
+  for _ = 1 to 100 do
+    Watchdog.observe off ~tree ~pipeline:pl ~recover
+  done;
+  check_int "disabled" 0 (Watchdog.checks off)
+
+(* the acceptance scenario: corrupt a live cached node's table flag
+   mid-run; the watchdog must detect it, rebuild from the authoritative
+   routes, and leave a provably clean, oracle-equivalent state *)
+let test_watchdog_recovers () =
+  let rm, pl = build_system () in
+  check "caches warmed" true (Pipeline.l1_size pl > 0);
+  (* corruption: a node the L1 membership vector holds claims DRAM *)
+  let victim = ref None in
+  Pipeline.iter_l1 (fun n -> if !victim = None then victim := Some n) pl;
+  (match !victim with
+  | Some n -> n.Bintrie.table <- Bintrie.Dram
+  | None -> Alcotest.fail "empty L1");
+  let tree () = Route_manager.tree rm in
+  let recover ~violation:_ =
+    Pipeline.clear pl;
+    Route_manager.rebuild rm (List.to_seq paper_routes)
+  in
+  let wd =
+    Watchdog.create
+      ~config:{ Watchdog.interval = 1; samples = 16; seed = 3 }
+      ()
+  in
+  let fired = Watchdog.check_now wd ~tree ~pipeline:pl ~recover in
+  check "violation detected" true fired;
+  check_int "one recovery" 1 (Watchdog.recoveries wd);
+  (match Watchdog.snapshots wd with
+  | [ s ] ->
+      check "violation recorded" true (String.length s.Watchdog.s_violation > 0)
+  | _ -> Alcotest.fail "expected one snapshot");
+  (* post-recovery: the full (not just quick) invariant suite is clean *)
+  (match
+     Invariants.check ~mode:Invariants.Cfca_mode ~pipeline:pl (tree ())
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("post-recovery invariants: " ^ msg));
+  (* ...and forwarding agrees with the linear-scan oracle *)
+  let o = Oracle.create ~default_nh in
+  Oracle.load o paper_routes;
+  let st = Random.State.make [| 41 |] in
+  match
+    Oracle.equiv o
+      ~lookup:(Route_manager.lookup rm)
+      (Oracle.probes o ~touched:(List.map fst paper_routes) st)
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("post-recovery oracle: " ^ msg)
+
+(* a repeat detection after recovery is counted separately *)
+let test_watchdog_repeat_detection () =
+  let rm, pl = build_system () in
+  let tree () = Route_manager.tree rm in
+  let recover ~violation:_ =
+    Pipeline.clear pl;
+    Route_manager.rebuild rm (List.to_seq paper_routes)
+  in
+  let wd = Watchdog.create () in
+  let corrupt () =
+    (* a DRAM entry claiming L1 residency without vector backing *)
+    let victim = ref None in
+    Bintrie.iter_in_fib
+      (fun n ->
+        if !victim = None && n.Bintrie.table = Bintrie.Dram then victim := Some n)
+      (tree ());
+    match !victim with
+    | Some n -> n.Bintrie.table <- Bintrie.L1
+    | None -> Alcotest.fail "no dram-resident in-fib node"
+  in
+  corrupt ();
+  check "first hit" true (Watchdog.check_now wd ~tree ~pipeline:pl ~recover);
+  corrupt ();
+  check "second hit" true (Watchdog.check_now wd ~tree ~pipeline:pl ~recover);
+  check_int "recoveries accumulate" 2 (Watchdog.recoveries wd);
+  check_int "snapshots accumulate" 2 (List.length (Watchdog.snapshots wd));
+  check "clean after second rebuild" false
+    (Watchdog.check_now wd ~tree ~pipeline:pl ~recover)
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "errors",
+        [
+          Alcotest.test_case "severity and offsets" `Quick
+            test_severity_and_offset;
+          Alcotest.test_case "report accounting" `Quick test_report_accounting;
+          Alcotest.test_case "pinned rendering" `Quick test_pp_report_pinned;
+          Alcotest.test_case "corrupt fixture counters" `Quick
+            test_corrupt_fixture_counters;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "mini sweep" `Quick test_inject_mini_sweep;
+          Alcotest.test_case "corpora build" `Quick
+            test_inject_corpora_decode_clean;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "interval semantics" `Quick test_watchdog_interval;
+          Alcotest.test_case "detects and recovers" `Quick
+            test_watchdog_recovers;
+          Alcotest.test_case "repeat detection" `Quick
+            test_watchdog_repeat_detection;
+        ] );
+    ]

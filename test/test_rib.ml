@@ -2,6 +2,7 @@
 
 open Cfca_prefix
 open Cfca_rib
+open Cfca_resilience
 
 let p = Prefix.v
 let check = Alcotest.(check bool)
@@ -42,32 +43,49 @@ let test_rib_io_roundtrip () =
     (fun () ->
       Rib_io.save path rib;
       match Rib_io.load path with
-      | Ok rib' -> check "roundtrip" true (Rib.entries rib = Rib.entries rib')
-      | Error m -> Alcotest.fail m)
+      | Ok (rib', report) ->
+          check "roundtrip" true (Rib.entries rib = Rib.entries rib');
+          check "clean report" true (Errors.is_clean report)
+      | Error e -> Alcotest.fail (Errors.to_string e))
 
 let test_rib_io_comments_and_errors () =
-  check "comment skipped" true (Rib_io.parse_line "# a comment" = None);
-  check "blank skipped" true (Rib_io.parse_line "   " = None);
+  check "comment skipped" true (Rib_io.parse_line "# a comment" = Ok None);
+  check "blank skipped" true (Rib_io.parse_line "   " = Ok None);
   check "inline comment" true
-    (Rib_io.parse_line "10.0.0.0/8 5 # core" = Some (p "10.0.0.0/8", 5));
-  check "malformed prefix" true
-    (match Rib_io.parse_line "10.0.0/8 5" with
-    | exception Failure _ -> true
-    | _ -> false);
+    (Rib_io.parse_line "10.0.0.0/8 5 # core" = Ok (Some (p "10.0.0.0/8", 5)));
+  check "malformed prefix" true (Result.is_error (Rib_io.parse_line "10.0.0/8 5"));
   check "malformed nh" true
-    (match Rib_io.parse_line "10.0.0.0/8 zero" with
-    | exception Failure _ -> true
-    | _ -> false);
-  let path = Filename.temp_file "cfca_rib" ".txt" in
-  Fun.protect
-    ~finally:(fun () -> Sys.remove path)
-    (fun () ->
-      let oc = open_out path in
-      output_string oc "10.0.0.0/8 1\nbroken line\n";
-      close_out oc;
-      match Rib_io.load path with
-      | Error msg -> check "line number reported" true (String.length msg > 0)
-      | Ok _ -> Alcotest.fail "accepted malformed file")
+    (Result.is_error (Rib_io.parse_line "10.0.0.0/8 zero"));
+  let with_broken_file f =
+    let path = Filename.temp_file "cfca_rib" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc "10.0.0.0/8 1\nbroken line\n11.0.0.0/8 2\n";
+        close_out oc;
+        f path)
+  in
+  with_broken_file (fun path ->
+      (* strict: typed error carrying the 1-based line number *)
+      (match Rib_io.load path with
+      | Error (Errors.Corrupt_record { offset; _ }) ->
+          check_int "line number reported" 2 offset
+      | Error e -> Alcotest.fail ("wrong fault: " ^ Errors.to_string e)
+      | Ok _ -> Alcotest.fail "accepted malformed file");
+      (* lenient: good lines survive, the bad one is counted *)
+      match Rib_io.load ~policy:Errors.Lenient path with
+      | Error e -> Alcotest.fail (Errors.to_string e)
+      | Ok (rib, report) ->
+          check_int "good lines survive" 2 (Rib.size rib);
+          check_int "dropped" 1 report.Errors.dropped;
+          check_int "corruption counted" 1 report.Errors.errors.Errors.corrupt)
+
+let test_rib_io_missing_file () =
+  match Rib_io.load "/nonexistent/cfca/rib.txt" with
+  | Error (Errors.Io_error _) -> ()
+  | Error e -> Alcotest.fail ("wrong fault: " ^ Errors.to_string e)
+  | Ok _ -> Alcotest.fail "loaded a missing file"
 
 let gen_params seed =
   { Rib_gen.size = 8_000; peers = 32; locality = 0.80; seed }
@@ -157,6 +175,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_rib_io_roundtrip;
           Alcotest.test_case "comments and errors" `Quick
             test_rib_io_comments_and_errors;
+          Alcotest.test_case "missing file" `Quick test_rib_io_missing_file;
         ] );
       ( "generator",
         [

@@ -196,7 +196,11 @@ let test_golden_totals () =
   check_int "final fib" 3_011 r.Engine.r_fib_final;
   check_int "updates" 400 r.Engine.r_updates;
   check_int "updates touching l1" 7 r.Engine.r_updates_l1;
-  check_int "max l1 burst" 1 r.Engine.r_burst_l1
+  check_int "max l1 burst" 1 r.Engine.r_burst_l1;
+  (* the watchdog ran (packets + updates > interval) but a healthy run
+     never needs recovery, and enabling it must not move any pin above *)
+  check "watchdog checked" true (r.Engine.r_watchdog_checks > 0);
+  check_int "no recoveries" 0 r.Engine.r_recoveries
 
 (* -- naive baseline: cache hiding really happens --------------------- *)
 
@@ -272,6 +276,11 @@ let test_capture_replay_matches_synthetic () =
       | Ok r ->
           check_int "packet count" tiny_scale.Experiments.packets
             r.Engine.r_totals.Pipeline.packets;
+          (* a pristine capture yields one clean ingest report *)
+          (match r.Engine.r_ingest with
+          | [ (_, report) ] ->
+              check "ingest clean" true (Cfca_resilience.Errors.is_clean report)
+          | _ -> Alcotest.fail "expected one ingest report");
           (* identical packet order and cold caches, no updates: the
              miss counts track a no-update synthetic run *)
           let synth =

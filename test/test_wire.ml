@@ -72,6 +72,55 @@ let test_sub () =
     | _ -> false);
   check_str "parent continues past child" "cc" (Reader.take r 2)
 
+let test_remaining_skip () =
+  let r = Reader.of_string "abcdef" in
+  check_int "fresh remaining" 6 (Reader.remaining r);
+  Reader.skip r 2;
+  check_int "after skip" 4 (Reader.remaining r);
+  let _ = Reader.u16 r in
+  check_int "after read" 2 (Reader.remaining r);
+  check "skip past end raises" true
+    (match Reader.skip r 3 with
+    | exception Reader.Truncated -> true
+    | _ -> false);
+  check_int "failed skip moved nothing" 2 (Reader.remaining r);
+  check "negative skip raises" true
+    (match Reader.skip r (-1) with
+    | exception Reader.Truncated -> true
+    | _ -> false);
+  Reader.skip r 2;
+  check "exhausted" true (Reader.at_end r)
+
+let test_sub_bounds () =
+  let r = Reader.of_string "abcd" in
+  check "sub past end raises" true
+    (match Reader.sub r 5 with
+    | exception Reader.Truncated -> true
+    | _ -> false);
+  check "negative sub raises" true
+    (match Reader.sub r (-1) with
+    | exception Reader.Truncated -> true
+    | _ -> false);
+  check_int "failed sub moved nothing" 0 (Reader.pos r)
+
+let test_sub_reader_clamps () =
+  (* a record whose length field lies past the end of input *)
+  let r = Reader.of_string "aabbb" in
+  Reader.skip r 2;
+  let child = Reader.sub_reader r 100 in
+  check_int "child clamped to remaining" 3 (Reader.remaining child);
+  check_str "child content" "bbb" (Reader.take child 3);
+  check "parent drained" true (Reader.at_end r);
+  (* a negative length yields an empty child and moves nothing *)
+  let r = Reader.of_string "xy" in
+  let child = Reader.sub_reader r (-7) in
+  check "empty child" true (Reader.at_end child);
+  check_int "parent unmoved" 0 (Reader.pos r);
+  (* in-range behaves exactly like sub *)
+  let child = Reader.sub_reader r 1 in
+  check_str "exact child" "x" (Reader.take child 1);
+  check_int "parent advanced" 1 (Reader.pos r)
+
 let test_peek () =
   let r = Reader.of_string "\x42" in
   check_int "peek" 0x42 (Reader.peek_u8 r);
@@ -120,6 +169,9 @@ let () =
           Alcotest.test_case "patch u16" `Quick test_patch;
           Alcotest.test_case "patch u32" `Quick test_patch_u32;
           Alcotest.test_case "sub reader" `Quick test_sub;
+          Alcotest.test_case "remaining/skip bounds" `Quick test_remaining_skip;
+          Alcotest.test_case "sub bounds" `Quick test_sub_bounds;
+          Alcotest.test_case "sub_reader clamps" `Quick test_sub_reader_clamps;
           Alcotest.test_case "peek" `Quick test_peek;
           Alcotest.test_case "growth" `Quick test_growth;
           Alcotest.test_case "clear" `Quick test_clear;
