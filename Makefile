@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see README.md.
 
-.PHONY: all build test fuzz bench quick-bench examples clean
+.PHONY: all build test fuzz bench quick-bench bench-smoke examples clean
 
 all: build
 
@@ -33,6 +33,12 @@ bench: build
 
 quick-bench: build
 	dune exec bench/main.exe -- --scale=0.2 all
+
+# Lookup microbench at smoke scale; correctness-gated (exits non-zero
+# on any divergence from the reference Lpm) and writes BENCH_lookup.json
+# so CI can record the perf trajectory.
+bench-smoke: build
+	dune exec bench/main.exe -- --scale=0.05 --json lookup
 
 examples: build
 	dune exec examples/quickstart.exe

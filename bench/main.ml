@@ -299,19 +299,247 @@ let micro () =
     (fun (name, est) -> Printf.printf "%-40s %14.1f\n" name est)
     (List.sort compare rows)
 
+(* -- lookup microbench: compiled data plane vs pointer chasing ------- *)
+
+(* Cross-check a compiled table against the reference Lpm on both the
+   forwarded value and the matched length; returns the divergence count
+   (first few printed). *)
+let check_against_lpm ~name lpm flat probes =
+  let bad = ref 0 in
+  List.iter
+    (fun a ->
+      let r = Cfca_trie.Flat_lpm.lookup flat a in
+      let ok =
+        match Cfca_trie.Lpm.lookup lpm a with
+        | Some (p, v) ->
+            r >= 0
+            && Cfca_trie.Flat_lpm.result_value r = v
+            && Cfca_trie.Flat_lpm.result_length r = Prefix.length p
+        | None -> r < 0
+      in
+      if not ok then begin
+        incr bad;
+        if !bad <= 3 then
+          Printf.printf "DIVERGENCE %s at %s: flat=%d reference=%s\n" name
+            (Ipv4.to_string a) r
+            (match Cfca_trie.Lpm.lookup lpm a with
+            | Some (p, v) -> Printf.sprintf "%s->%d" (Prefix.to_string p) v
+            | None -> "miss")
+      end)
+    probes;
+  !bad
+
+let lookup_target mult ~emit_json =
+  section "Lookup microbench -- compiled data plane vs pointer chasing";
+  let open Bechamel in
+  let open Toolkit in
+  let scale = scaled mult Experiments.standard_scale in
+  let rib =
+    Rib_gen.generate
+      {
+        Rib_gen.size = scale.Experiments.rib_size;
+        peers = scale.Experiments.peers;
+        locality = 0.90;
+        seed = scale.Experiments.seed;
+      }
+  in
+  let default_nh = Nexthop.of_int 33 in
+  let entries = Rib.entries rib in
+  let routes =
+    (Prefix.default, default_nh)
+    :: List.map (fun (p, nh) -> (p, Nexthop.to_int nh)) (Array.to_list entries)
+  in
+  Printf.printf "table: %d routes (+default), seed %d\n" (Array.length entries)
+    scale.Experiments.seed;
+  (* reference and compiled tables over the identical route set *)
+  let lpm = Cfca_trie.Lpm.create () in
+  List.iter (fun (p, v) -> Cfca_trie.Lpm.add lpm p v) routes;
+  let dir24 = Cfca_trie.Flat_lpm.build ~variant:`Dir ~root_bits:24 routes in
+  let pop16 = Cfca_trie.Flat_lpm.build ~variant:`Poptrie ~root_bits:16 routes in
+  Printf.printf "flat-dir24: %d entries, %.1f MB; flat-pop16: %.2f MB\n"
+    (Cfca_trie.Flat_lpm.entries dir24)
+    (float_of_int (Cfca_trie.Flat_lpm.memory_words dir24) *. 8e-6)
+    (float_of_int (Cfca_trie.Flat_lpm.memory_words pop16) *. 8e-6);
+  (* the end-to-end pipeline view: control-plane tree + compiled snapshot *)
+  let rm = Cfca_core.Route_manager.create ~default_nh () in
+  Cfca_core.Route_manager.load rm (Rib.to_seq rib);
+  let tree = Cfca_core.Route_manager.tree rm in
+  let snap = Cfca_dataplane.Fib_snapshot.create () in
+  Cfca_dataplane.Fib_snapshot.refresh snap tree;
+  (* probe sets: warm = zipf-weighted members of routed prefixes (the
+     cache-resident regime), cold = uniform addresses (worst case) *)
+  let st = Random.State.make [| scale.Experiments.seed; 0x10CA1 |] in
+  let prefixes = Array.map fst entries in
+  let zipf =
+    Cfca_traffic.Zipf.create ~exponent:scale.Experiments.zipf_exponent
+      ~n:(Array.length prefixes) ()
+  in
+  let warm =
+    Array.init 4096 (fun _ ->
+        Prefix.random_member st prefixes.(Cfca_traffic.Zipf.draw zipf st))
+  in
+  let cold = Array.init 65536 (fun _ -> Ipv4.random st) in
+  (* -- correctness gate before any timing -- *)
+  let boundary_probes =
+    List.concat_map
+      (fun (p, _) ->
+        let net = Prefix.network p and last = Prefix.last_address p in
+        [ net; last; Ipv4.succ last ])
+      routes
+    @ Array.to_list (Array.init 1024 (fun _ -> Ipv4.random st))
+  in
+  let divergences =
+    check_against_lpm ~name:"flat-dir24" lpm dir24 boundary_probes
+    + check_against_lpm ~name:"flat-pop16" lpm pop16 boundary_probes
+  in
+  (* independent oracle (shares no code with either trie): linear-scan
+     LPM over a bounded probe subsample — O(routes) per probe *)
+  let oracle = Cfca_check.Oracle.create ~default_nh in
+  Cfca_check.Oracle.load oracle
+    (List.map (fun (p, nh) -> (p, nh)) (Array.to_list entries));
+  let n_bound = List.length boundary_probes in
+  let stride = max 1 (n_bound / 4096) in
+  let oracle_probes =
+    List.filteri (fun i _ -> i mod stride = 0) boundary_probes
+  in
+  let oracle_div =
+    match
+      Cfca_check.Oracle.equiv oracle
+        ~lookup:(fun a ->
+          Nexthop.of_int (Cfca_trie.Flat_lpm.find_value dir24 a))
+        oracle_probes
+    with
+    | Ok () -> 0
+    | Error msg ->
+        Printf.printf "ORACLE DIVERGENCE: %s\n" msg;
+        1
+  in
+  (* the snapshot must return the very node the authoritative walk finds *)
+  let snap_div = ref 0 in
+  Array.iter
+    (fun a ->
+      let walked = Cfca_trie.Bintrie.lookup_in_fib tree a in
+      let fast = Cfca_dataplane.Fib_snapshot.lookup snap tree a in
+      match walked with
+      | Some n when n == fast -> ()
+      | _ -> incr snap_div)
+    (Array.append warm (Array.sub cold 0 16384));
+  let divergences = divergences + oracle_div + !snap_div in
+  let probes_total =
+    (2 * List.length boundary_probes)
+    + List.length oracle_probes
+    + Array.length warm + 16384
+  in
+  Printf.printf "correctness: %d probes, %d divergences\n" probes_total
+    divergences;
+  (* -- timing -- *)
+  let bench name addrs f =
+    let mask = Array.length addrs - 1 in
+    let i = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           incr i;
+           f addrs.(!i land mask)))
+  in
+  let tables =
+    [
+      ("lpm-pointer", fun a -> ignore (Cfca_trie.Lpm.lookup lpm a));
+      ("lpm-value", fun a -> ignore (Cfca_trie.Lpm.lookup_value lpm a));
+      ("flat-dir24", fun a -> ignore (Cfca_trie.Flat_lpm.lookup dir24 a));
+      ("flat-pop16", fun a -> ignore (Cfca_trie.Flat_lpm.lookup pop16 a));
+      ("bintrie-walk", fun a -> ignore (Cfca_trie.Bintrie.lookup_in_fib tree a));
+      ( "snapshot",
+        fun a -> ignore (Cfca_dataplane.Fib_snapshot.lookup snap tree a) );
+    ]
+  in
+  let tests =
+    List.concat_map
+      (fun (name, f) ->
+        [ bench (name ^ ":warm") warm f; bench (name ^ ":cold") cold f ])
+      tables
+  in
+  let cfg =
+    Benchmark.cfg ~limit:3000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"lookup" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimates =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> (name, est) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+  in
+  let ns_of key =
+    match
+      List.find_opt (fun (n, _) -> String.ends_with ~suffix:key n) estimates
+    with
+    | Some (_, est) -> est
+    | None -> nan
+  in
+  let rows =
+    List.concat_map
+      (fun (name, _) ->
+        List.map
+          (fun mode ->
+            {
+              Report.lb_name = name;
+              lb_mode = mode;
+              lb_ns = ns_of (name ^ ":" ^ mode);
+            })
+          [ "warm"; "cold" ])
+      tables
+  in
+  let speedup mode = ns_of ("lpm-pointer:" ^ mode) /. ns_of ("flat-dir24:" ^ mode) in
+  let bench_result =
+    {
+      Report.lb_scale = mult;
+      lb_entries = Array.length entries;
+      lb_rows = rows;
+      lb_speedup_warm = speedup "warm";
+      lb_speedup_cold = speedup "cold";
+      lb_oracle_probes = probes_total;
+      lb_oracle_divergences = divergences;
+    }
+  in
+  Report.print_lookup_bench bench_result;
+  if emit_json then begin
+    let oc = open_out "BENCH_lookup.json" in
+    output_string oc (Report.json_of_lookup_bench bench_result);
+    close_out oc;
+    print_endline "wrote BENCH_lookup.json"
+  end;
+  if divergences > 0 then begin
+    print_endline "lookup bench: FAILED (compiled tables diverge from reference)";
+    exit 1
+  end
+
 let usage () =
   print_endline
-    "targets: table2 table3 fig9 fig10a fig10b fig11 fig12 ablations v6 robustness micro all";
-  print_endline "options: --scale=<float> (default 1.0)"
+    "targets: table2 table3 fig9 fig10a fig10b fig11 fig12 ablations v6 robustness micro lookup all";
+  print_endline "options: --scale=<float> (default 1.0)  --json (write BENCH_lookup.json)"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let scale = ref 1.0 in
+  let json = ref false in
   let targets =
     List.filter
       (fun a ->
         if String.length a > 8 && String.sub a 0 8 = "--scale=" then begin
           scale := float_of_string (String.sub a 8 (String.length a - 8));
+          false
+        end
+        else if a = "--json" then begin
+          json := true;
           false
         end
         else true)
@@ -327,6 +555,7 @@ let () =
     | "fig11" -> fig11 !scale
     | "fig12" -> fig12 !scale
     | "micro" -> micro ()
+    | "lookup" -> lookup_target !scale ~emit_json:!json
     | "ablations" -> ablations !scale
     | "v6" -> v6_bench !scale
     | "robustness" -> robustness !scale
@@ -341,7 +570,8 @@ let () =
         ablations !scale;
         v6_bench !scale;
         robustness !scale;
-        micro ()
+        micro ();
+        lookup_target !scale ~emit_json:!json
     | other ->
         Printf.printf "unknown target %S\n" other;
         usage ();

@@ -97,33 +97,35 @@ module Make (P : Family.PREFIX) = struct
     let observe t node count =
       (* Carry the more popular entry forward; the less popular one stays.
          Whatever is still carried after the last stage is simply dropped —
-         it is a heavy hitter, not victim material. *)
-      let carried_node = ref node and carried_count = ref count in
-      let continue = ref true in
-      let stage = ref 0 in
-      while !continue && !stage < Array.length t.stages do
-        let slot = slot_of t !stage !carried_node in
-        (match slot.node with
-        | None ->
-            slot.node <- Some !carried_node;
-            slot.count <- !carried_count;
-            continue := false
-        | Some resident when resident == !carried_node ->
-            (* refreshed observation of the same entry *)
-            slot.count <- !carried_count;
-            continue := false
-        | Some resident ->
-            if slot.count > !carried_count then begin
-              (* resident is more popular: it moves on, we stay *)
-              let c = slot.count in
-              slot.node <- Some !carried_node;
-              slot.count <- !carried_count;
-              carried_node := resident;
-              carried_count := c
-            end
-            (* else: carried is more popular, it moves on unchanged *));
-        incr stage
-      done
+         it is a heavy hitter, not victim material. The recursion threads
+         the carried entry through arguments so the per-packet path
+         allocates nothing (the stored [Some node] reuses the carried
+         pointer only on displacement, which is rare). *)
+      let stages = Array.length t.stages in
+      let rec go stage node count =
+        if stage < stages then begin
+          let slot = slot_of t stage node in
+          match slot.node with
+          | None ->
+              slot.node <- Some node;
+              slot.count <- count
+          | Some resident when resident == node ->
+              (* refreshed observation of the same entry *)
+              slot.count <- count
+          | Some resident ->
+              if slot.count > count then begin
+                (* resident is more popular: it moves on, we stay *)
+                let c = slot.count in
+                slot.node <- Some node;
+                slot.count <- count;
+                go (stage + 1) resident c
+              end
+              else
+                (* carried is more popular, it moves on unchanged *)
+                go (stage + 1) node count
+        end
+      in
+      go 0 node count
 
     let pick_victim t ~table st =
       let attempts = Array.length t.stages * t.width in

@@ -1,0 +1,119 @@
+open Cfca_prefix
+open Cfca_trie
+
+type stats = {
+  epoch : int;
+  rebuilds : int;
+  invalidations : int;
+  fast_hits : int;
+  fallbacks : int;
+}
+
+type t = {
+  rebuild_after : int;
+  mutable nodes : Bintrie.node array;  (* payload i of [flat] -> node *)
+  mutable flat : Flat_lpm.t;
+  mutable dirty : bool;
+  mutable dirty_lookups : int;
+  mutable epoch : int;
+  mutable rebuilds : int;
+  mutable invalidations : int;
+  mutable fast_hits : int;
+  mutable fallbacks : int;
+}
+
+let create ?(rebuild_after = 64) () =
+  if rebuild_after < 0 then invalid_arg "Fib_snapshot.create: rebuild_after";
+  {
+    rebuild_after;
+    nodes = [||];
+    flat = Flat_lpm.build [];
+    dirty = true;
+    dirty_lookups = 0;
+    epoch = 0;
+    rebuilds = 0;
+    invalidations = 0;
+    fast_hits = 0;
+    fallbacks = 0;
+  }
+
+let invalidate t =
+  if not t.dirty then begin
+    t.dirty <- true;
+    t.dirty_lookups <- 0;
+    t.invalidations <- t.invalidations + 1
+  end
+
+let refresh t tree =
+  let acc = ref [] in
+  let n = ref 0 in
+  Bintrie.iter_in_fib
+    (fun node ->
+      acc := node :: !acc;
+      incr n)
+    tree;
+  let nodes = Array.make (max 1 !n) (Bintrie.root tree) in
+  let i = ref !n in
+  (* [acc] is reversed; indices just need to be consistent with the
+     prefix list below, not ordered. *)
+  let prefixes =
+    List.rev_map
+      (fun node ->
+        decr i;
+        nodes.(!i) <- node;
+        (node.Bintrie.prefix, !i))
+      !acc
+  in
+  t.nodes <- nodes;
+  t.flat <- Flat_lpm.build prefixes;
+  t.dirty <- false;
+  t.dirty_lookups <- 0;
+  t.epoch <- t.epoch + 1
+
+(* The authoritative walk, equivalent to [Bintrie.lookup_in_fib] but
+   allocation-free (no [Some node] result; the option reads below are
+   the stored child fields themselves). *)
+let rec walk_in_fib node addr =
+  match node.Bintrie.status with
+  | Bintrie.In_fib -> node
+  | Bintrie.Non_fib -> (
+      match
+        (if Ipv4.bit addr node.Bintrie.depth then node.Bintrie.right
+         else node.Bintrie.left)
+      with
+      | Some c -> walk_in_fib c addr
+      | None -> raise Not_found)
+
+let lookup t tree addr =
+  if t.dirty then begin
+    t.dirty_lookups <- t.dirty_lookups + 1;
+    if t.dirty_lookups > t.rebuild_after then begin
+      refresh t tree;
+      t.rebuilds <- t.rebuilds + 1
+    end
+  end;
+  if t.dirty then begin
+    t.fallbacks <- t.fallbacks + 1;
+    walk_in_fib (Bintrie.root tree) addr
+  end
+  else
+    let r = Flat_lpm.lookup t.flat addr in
+    if r >= 0 then begin
+      t.fast_hits <- t.fast_hits + 1;
+      Array.unsafe_get t.nodes (r lsr 6)
+    end
+    else begin
+      (* no IN_FIB coverage compiled for this address: defer to the
+         authoritative tree (it will raise if coverage truly lapsed) *)
+      t.fallbacks <- t.fallbacks + 1;
+      walk_in_fib (Bintrie.root tree) addr
+    end
+
+let stats t =
+  {
+    epoch = t.epoch;
+    rebuilds = t.rebuilds;
+    invalidations = t.invalidations;
+    fast_hits = t.fast_hits;
+    fallbacks = t.fallbacks;
+  }

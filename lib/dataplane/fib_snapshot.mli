@@ -1,0 +1,62 @@
+(** Compiled FIB snapshot: the per-packet fast path of the simulator.
+
+    The authoritative forwarding view is the control plane's mutable
+    {!Cfca_trie.Bintrie} — every update mutates it in place and the
+    IN_FIB flags on its nodes are the ground truth of what the data
+    plane holds. Walking that tree per packet is a pointer chase of one
+    dependent load per prefix bit; this module compiles the
+    (non-overlapping) IN_FIB prefix set into a {!Cfca_trie.Flat_lpm}
+    mapping addresses to node indices, so the steady-state per-packet
+    cost is a couple of flat array reads and zero allocation.
+
+    Epoch protocol: the snapshot is immutable. Writers call
+    {!invalidate} whenever the IN_FIB set may have changed (in the
+    simulator: on every [Fib_op] emitted by the control plane, since all
+    status transitions go through the sink). While dirty, {!lookup}
+    transparently falls back to walking the authoritative tree; after
+    [rebuild_after] dirty lookups it recompiles and bumps the epoch, so
+    an update burst pays one tree walk per packet briefly instead of a
+    rebuild per update.
+
+    The IN_FIB set is non-overlapping (a cover — see
+    {!Cfca_trie.Bintrie.lookup_in_fib}), so the compiled longest-match
+    answer is the unique IN_FIB node on the address's path: byte-for-
+    byte the node the authoritative walk returns. This is the invariant
+    the differential tests pin. *)
+
+open Cfca_prefix
+open Cfca_trie
+
+type t
+
+type stats = {
+  epoch : int;  (** Generations compiled so far. *)
+  rebuilds : int;  (** Recompilations triggered lazily by dirty lookups. *)
+  invalidations : int;  (** Distinct dirty transitions (bursts, not ops). *)
+  fast_hits : int;  (** Lookups answered by the compiled structure. *)
+  fallbacks : int;  (** Lookups that walked the authoritative tree. *)
+}
+
+val create : ?rebuild_after:int -> unit -> t
+(** A snapshot in the dirty state (no generation compiled yet).
+    [rebuild_after] (default 64) is the number of dirty lookups
+    tolerated before recompiling; it trades walk cost against rebuild
+    churn under update bursts. *)
+
+val invalidate : t -> unit
+(** Mark the compiled generation stale. O(1); idempotent within a
+    burst. *)
+
+val refresh : t -> Bintrie.t -> unit
+(** Recompile eagerly from the tree's current IN_FIB set and clear the
+    dirty flag. *)
+
+val lookup : t -> Bintrie.t -> Ipv4.t -> Bintrie.node
+(** The IN_FIB node covering the address. Uses the compiled structure
+    when clean; walks [tree] when dirty (recompiling first once the
+    dirty-lookup budget is spent). Allocation-free on the compiled
+    path.
+    @raise Not_found if no IN_FIB node covers the address (cannot
+    happen once initial aggregation has installed default coverage). *)
+
+val stats : t -> stats

@@ -41,6 +41,7 @@ type run_result = {
   r_recoveries : int;
   r_watchdog_checks : int;
   r_ingest : (string * Errors.report) list;
+  r_fastpath : Fib_snapshot.stats;
 }
 
 (* A uniform handle over the two cached control planes. [c_tree] is a
@@ -84,9 +85,15 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
     ?(watchdog = Watchdog.default_config) kind cfg ~default_nh rib
     iter_events =
   let pipeline = Pipeline.create ~seed cfg in
-  let system =
-    make_cached kind ~sink:(Pipeline.sink pipeline) ~default_nh rib
+  (* Per-packet fast path: the IN_FIB set compiled into a flat LPM.
+     Every control-plane op can change the set, so the sink doubles as
+     the invalidation hook (all IN_FIB transitions emit a Fib_op). *)
+  let snapshot = Fib_snapshot.create () in
+  let sink op =
+    Fib_snapshot.invalidate snapshot;
+    Pipeline.sink pipeline op
   in
+  let system = make_cached kind ~sink ~default_nh rib in
   (* The authoritative route set: RIB snapshot + replayed updates,
      independent of the (corruptible) tree — what recovery rebuilds
      from. *)
@@ -97,6 +104,7 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
   let wd = Watchdog.create ~config:watchdog () in
   let recover ~violation:_ =
     Pipeline.clear pipeline;
+    Fib_snapshot.invalidate snapshot;
     system.c_rebuild
       (List.to_seq
          (Hashtbl.fold (fun p nh acc -> (p, nh) :: acc) authoritative []))
@@ -108,6 +116,8 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
   (* the initial bulk installation is not churn *)
   Pipeline.reset_stats pipeline;
   Tcam.reset_stats (Pipeline.l1_tcam pipeline);
+  (* compile the initial generation so the first packets are fast *)
+  Fib_snapshot.refresh snapshot (system.c_tree ());
   let windows = ref [] in
   let prev = ref (Pipeline.stats pipeline) in
   let win_updates = ref 0 and win_updates_l1 = ref 0 in
@@ -138,12 +148,12 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
   iter_events (fun ~time event ->
       (match event with
       | Trace.Packet dst -> (
-          match Bintrie.lookup_in_fib (system.c_tree ()) dst with
-          | Some node ->
+          match Fib_snapshot.lookup snapshot (system.c_tree ()) dst with
+          | node ->
               ignore (Pipeline.process pipeline node ~now:time);
               incr in_window;
               if !in_window >= window then close_window ()
-          | None ->
+          | exception Not_found ->
               (* total coverage is a system invariant *)
               assert false)
       | Trace.Update u ->
@@ -185,6 +195,7 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
     r_recoveries = Watchdog.recoveries wd;
     r_watchdog_checks = Watchdog.checks wd;
     r_ingest = [];
+    r_fastpath = Fib_snapshot.stats snapshot;
   }
 
 let run ?window ?seed ?watchdog kind cfg ~default_nh rib spec =

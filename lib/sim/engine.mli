@@ -46,6 +46,9 @@ type run_result = {
   r_watchdog_checks : int;  (** periodic invariant sweeps run *)
   r_ingest : (string * Errors.report) list;
       (** per-input-stream decode accounting (capture replays) *)
+  r_fastpath : Fib_snapshot.stats;
+      (** compiled fast-path accounting: epochs, rebuilds, and the
+          fast-hit/fallback split of the per-packet lookups *)
 }
 
 val run :

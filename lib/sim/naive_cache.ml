@@ -34,8 +34,8 @@ let create ?(seed = 0xBAD) ~capacity ~default_nh rib =
   }
 
 let truth t addr =
-  match Lpm.lookup t.full addr with
-  | Some (_, nh) -> nh
+  match Lpm.lookup_value t.full addr with
+  | Some nh -> nh
   | None -> t.default_nh
 
 let install t p nh =

@@ -124,6 +124,12 @@ let print_run_summary (r : Engine.run_result) =
     r.Engine.r_rib_size r.Engine.r_fib_initial r.Engine.r_fib_final;
   Printf.printf "  TCAM: %s\n"
     (Format.asprintf "%a" Cfca_tcam.Tcam.pp_stats r.Engine.r_tcam);
+  let fp = r.Engine.r_fastpath in
+  Printf.printf
+    "  fast path: %d compiled hits, %d tree walks (%d epochs, %d lazy \
+     rebuilds, %d invalidations)\n"
+    fp.Fib_snapshot.fast_hits fp.Fib_snapshot.fallbacks fp.Fib_snapshot.epoch
+    fp.Fib_snapshot.rebuilds fp.Fib_snapshot.invalidations;
   print_resilience r
 
 let print_timings timings =
@@ -167,6 +173,80 @@ let print_ablation ~title rows =
         r.Experiments.ab_l1_installs r.Experiments.ab_l1_evictions
         r.Experiments.ab_tcam_writes)
     rows
+
+(* -- lookup microbench (compiled data plane baseline) --------------- *)
+
+type lookup_row = { lb_name : string; lb_mode : string; lb_ns : float }
+
+type lookup_bench = {
+  lb_scale : float;
+  lb_entries : int;
+  lb_rows : lookup_row list;
+  lb_speedup_warm : float;
+  lb_speedup_cold : float;
+  lb_oracle_probes : int;
+  lb_oracle_divergences : int;
+}
+
+(* Hand-rolled JSON: the bench must not grow a dependency for one
+   artifact. Numbers are clamped finite so the output always parses. *)
+let json_float f =
+  if f <> f || f = infinity || f = neg_infinity then "0.0"
+  else Printf.sprintf "%.4f" f
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_of_lookup_bench b =
+  let row r =
+    Printf.sprintf "{\"name\": %s, \"mode\": %s, \"ns_per_op\": %s}"
+      (json_string r.lb_name) (json_string r.lb_mode) (json_float r.lb_ns)
+  in
+  String.concat ""
+    [
+      "{\n";
+      "  \"bench\": \"lookup\",\n";
+      Printf.sprintf "  \"scale\": %s,\n" (json_float b.lb_scale);
+      Printf.sprintf "  \"table_entries\": %d,\n" b.lb_entries;
+      "  \"results\": [\n    ";
+      String.concat ",\n    " (List.map row b.lb_rows);
+      "\n  ],\n";
+      Printf.sprintf
+        "  \"speedup\": {\"warm\": %s, \"cold\": %s},\n"
+        (json_float b.lb_speedup_warm)
+        (json_float b.lb_speedup_cold);
+      Printf.sprintf
+        "  \"oracle\": {\"probes\": %d, \"divergences\": %d}\n"
+        b.lb_oracle_probes b.lb_oracle_divergences;
+      "}\n";
+    ]
+
+let print_lookup_bench b =
+  Printf.printf "lookup microbench (scale %.2f, %d routes)\n" b.lb_scale
+    b.lb_entries;
+  Printf.printf "%-24s %-6s %12s\n" "table" "mode" "ns/lookup";
+  hr 44;
+  List.iter
+    (fun r -> Printf.printf "%-24s %-6s %12.1f\n" r.lb_name r.lb_mode r.lb_ns)
+    b.lb_rows;
+  Printf.printf
+    "compiled vs pointer-chasing Lpm: %.2fx warm, %.2fx cold\n"
+    b.lb_speedup_warm b.lb_speedup_cold;
+  Printf.printf "oracle: %d probes, %d divergences\n" b.lb_oracle_probes
+    b.lb_oracle_divergences
 
 let print_robustness rows =
   Printf.printf "%-8s %8s | %12s %12s %12s\n" "system" "seeds" "mean miss %"

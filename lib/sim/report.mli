@@ -30,3 +30,29 @@ val print_timings : Engine.timing list -> unit
 val print_ablation : title:string -> Experiments.ablation_row list -> unit
 
 val print_robustness : Experiments.robustness_row list -> unit
+
+(** One measured configuration of the lookup microbench. *)
+type lookup_row = {
+  lb_name : string;  (** table under test, e.g. ["flat-dir24"] *)
+  lb_mode : string;  (** ["warm"] (zipf working set) or ["cold"] (uniform) *)
+  lb_ns : float;  (** nanoseconds per lookup (Bechamel OLS estimate) *)
+}
+
+type lookup_bench = {
+  lb_scale : float;
+  lb_entries : int;  (** routes in the table under test *)
+  lb_rows : lookup_row list;
+  lb_speedup_warm : float;  (** pointer-chasing Lpm ns / compiled DIR ns *)
+  lb_speedup_cold : float;
+  lb_oracle_probes : int;
+  lb_oracle_divergences : int;  (** must be 0; the bench exits non-zero otherwise *)
+}
+
+val json_of_lookup_bench : lookup_bench -> string
+(** Stable machine-readable rendering ([BENCH_lookup.json]): keys
+    [bench], [scale], [table_entries], [results] (objects with [name],
+    [mode], [ns_per_op]), [speedup.warm]/[speedup.cold] and
+    [oracle.probes]/[oracle.divergences]. Always valid JSON — non-finite
+    numbers are clamped. *)
+
+val print_lookup_bench : lookup_bench -> unit

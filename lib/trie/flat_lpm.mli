@@ -1,0 +1,87 @@
+(** Compiled, cache-friendly longest-prefix-match structures.
+
+    {!Lpm} is the mutable, authoritative view: a pointer-chasing binary
+    trie whose per-lookup cost is one dependent load per prefix bit —
+    exactly the access pattern that defeats CPU caches on real
+    forwarding tables. [Flat_lpm] is the compiled counterpart: an
+    immutable snapshot built from a prefix set that answers lookups
+    with a handful of flat array probes and {e zero allocation}.
+
+    Two layouts are provided behind one lookup interface:
+
+    - {b DIR-24-8 style} ([Dir]): a direct-indexed root array of
+      [2^root_bits] slots (16 or 24 bits of stride) whose entries are
+      either a sentinel-encoded result or a pointer into chained
+      256-slot spill blocks covering 8 further bits each. Lookup cost:
+      1 array read for prefixes no longer than the root stride, plus
+      one read per extra 8-bit level.
+    - {b poptrie style} ([Poptrie]): the same direct-indexed root, but
+      spill levels are bitmap-compressed multibit nodes with a 5-bit
+      stride (32-bit bitmaps fit OCaml's 63-bit native int), children
+      and deduplicated leaf runs packed contiguously and located with
+      popcounts — far denser when the covered ranges are sparse.
+
+    Results are sentinel-encoded ints so the hot path never allocates:
+    [(payload lsl 6) lor matched_length], or {!miss} ([-1]) when no
+    prefix covers the address. Payloads are caller-chosen non-negative
+    ints (a next-hop, or an index into a node array — see
+    {!Cfca_dataplane.Fib_snapshot}).
+
+    The structure is a build-once snapshot: there is no update
+    operation by design. Writers keep mutating the authoritative
+    {!Lpm}/{!Bintrie} view and rebuild the snapshot when the dirty set
+    warrants it (the epoch protocol of [Fib_snapshot]). *)
+
+open Cfca_prefix
+
+type t
+
+type variant = Dir | Poptrie
+
+val build :
+  ?variant:[ `Auto | `Dir | `Poptrie ] ->
+  ?root_bits:int ->
+  (Prefix.t * int) list ->
+  t
+(** Compile a prefix set. Later bindings of a repeated prefix win,
+    matching {!Lpm.add}; nested (overlapping) prefixes are handled by
+    leaf-pushing, so any prefix set is accepted — non-overlapping
+    covers (the FIB snapshot case) are simply the fastest to build.
+
+    [root_bits] (default 16, accepted range 8–24) is the direct-index
+    stride of the root array. [`Auto] (default) picks [`Dir] when the
+    table is dense enough to pay for the flat root
+    ([2^root_bits <= 64 * max 256 n]) and a poptrie with a smaller
+    root otherwise.
+
+    @raise Invalid_argument on a negative payload or [root_bits]
+    outside [8, 24]. *)
+
+val lookup : t -> Ipv4.t -> int
+(** Longest-prefix match. Returns {!miss} ([-1]) when no prefix covers
+    the address, otherwise [(payload lsl 6) lor matched_length].
+    Allocation-free. *)
+
+val find_value : t -> Ipv4.t -> int
+(** The payload alone: [-1] on miss. Allocation-free. *)
+
+val miss : int
+(** [-1], the lookup sentinel. *)
+
+val result_value : int -> int
+(** Decode the payload of a non-miss {!lookup} result. *)
+
+val result_length : int -> int
+(** Decode the matched prefix length of a non-miss {!lookup} result. *)
+
+val encode : value:int -> length:int -> int
+(** The encoding used by {!lookup} results (exposed for tests). *)
+
+val variant : t -> variant
+
+val entries : t -> int
+(** Number of (deduplicated) prefixes the snapshot was built from. *)
+
+val memory_words : t -> int
+(** Total words of flat-array payload (root + spill/node/leaf arrays) —
+    the footprint the variant heuristic trades off. *)

@@ -39,14 +39,19 @@ let descend ~create t p =
 let add t p v =
   match descend ~create:true t p with
   | Some node ->
-      if node.value = None then t.count <- t.count + 1;
+      (match node.value with
+      | None -> t.count <- t.count + 1
+      | Some _ -> ());
       node.value <- Some v
   | None -> assert false
 
 let find t p =
   match descend ~create:false t p with Some node -> node.value | None -> None
 
-let mem t p = find t p <> None
+let mem t p =
+  match descend ~create:false t p with
+  | Some { value = Some _; _ } -> true
+  | Some { value = None; _ } | None -> false
 
 let remove t p =
   (* Recursive removal that reports whether the visited subtree became
@@ -54,7 +59,9 @@ let remove t p =
   let len = Prefix.length p in
   let rec go node depth =
     if depth = len then begin
-      if node.value <> None then t.count <- t.count - 1;
+      (match node.value with
+      | Some _ -> t.count <- t.count - 1
+      | None -> ());
       node.value <- None
     end
     else begin
@@ -64,25 +71,54 @@ let remove t p =
       | None -> ()
       | Some c ->
           go c (depth + 1);
-          if c.value = None && c.left = None && c.right = None then
-            if right then node.right <- None else node.left <- None
+          (match (c.value, c.left, c.right) with
+          | None, None, None ->
+              if right then node.right <- None else node.left <- None
+          | _ -> ())
     end
   in
   go t.root 0
 
+(* Two-pass lookup: find the depth of the deepest bound node first
+   (allocation-free), then materialize the winning prefix once — not a
+   [Prefix.make] per value node passed on the way down. *)
 let lookup t addr =
-  let rec go node depth best =
-    let best =
-      match node.value with
-      | Some v -> Some (Prefix.make addr depth, v)
-      | None -> best
-    in
+  let rec deepest node depth best =
+    let best = match node.value with Some _ -> depth | None -> best in
     if depth = 32 then best
     else
-      let child = if Ipv4.bit addr depth then node.right else node.left in
-      match child with None -> best | Some c -> go c (depth + 1) best
+      match (if Ipv4.bit addr depth then node.right else node.left) with
+      | None -> best
+      | Some c -> deepest c (depth + 1) best
   in
-  go t.root 0 None
+  let best = deepest t.root 0 (-1) in
+  if best < 0 then None
+  else
+    let rec fetch node depth =
+      if depth = best then
+        match node.value with
+        | Some v -> Some (Prefix.make addr best, v)
+        | None -> assert false
+      else
+        match (if Ipv4.bit addr depth then node.right else node.left) with
+        | Some c -> fetch c (depth + 1)
+        | None -> assert false
+    in
+    fetch t.root 0
+
+(* Single-pass and allocation-free: the returned [Some] is the stored
+   field itself, never a fresh block. [addr] is threaded through the
+   recursion so the helper captures nothing (a capturing local closure
+   would be re-allocated on every call). *)
+let rec lookup_value_at node addr depth best =
+  let best = match node.value with Some _ as s -> s | None -> best in
+  if depth = 32 then best
+  else
+    match (if Ipv4.bit addr depth then node.right else node.left) with
+    | None -> best
+    | Some c -> lookup_value_at c addr (depth + 1) best
+
+let lookup_value t addr = lookup_value_at t.root addr 0 None
 
 let fold f t acc =
   let rec go node prefix acc =

@@ -26,7 +26,12 @@ val find : 'a t -> Cfca_prefix.Prefix.t -> 'a option
 val mem : 'a t -> Cfca_prefix.Prefix.t -> bool
 
 val lookup : 'a t -> Cfca_prefix.Ipv4.t -> (Cfca_prefix.Prefix.t * 'a) option
-(** Longest-prefix match for an address. *)
+(** Longest-prefix match for an address. The winning prefix is
+    materialized once, after the match is decided. *)
+
+val lookup_value : 'a t -> Cfca_prefix.Ipv4.t -> 'a option
+(** Longest-prefix match returning only the bound value. Allocation-free:
+    the returned [Some] is the stored binding itself. *)
 
 val iter : (Cfca_prefix.Prefix.t -> 'a -> unit) -> 'a t -> unit
 (** In prefix order (pre-order: a prefix before its descendants). *)

@@ -261,9 +261,82 @@ let prop_residency_exclusive =
       && !l1 <= small_cfg.Config.l1_capacity
       && !l2 <= small_cfg.Config.l2_capacity)
 
+(* -- Fib_snapshot ---------------------------------------------------- *)
+
+let snapshot_fixture ~rebuild_after seed =
+  let snap = Fib_snapshot.create ~rebuild_after () in
+  let rm =
+    Route_manager.create
+      ~sink:(fun _ -> Fib_snapshot.invalidate snap)
+      ~default_nh:9 ()
+  in
+  let st = Random.State.make [| seed; 0x5A9 |] in
+  let routes = List.init 200 (fun i -> (Prefix.random st (), (i mod 30) + 1)) in
+  Route_manager.load rm (List.to_seq routes);
+  Fib_snapshot.refresh snap (Route_manager.tree rm);
+  (snap, rm, st)
+
+let assert_agreement label snap rm st n =
+  let tree = Route_manager.tree rm in
+  for _ = 1 to n do
+    let a = Ipv4.random st in
+    match Bintrie.lookup_in_fib tree a with
+    | Some node ->
+        if not (node == Fib_snapshot.lookup snap tree a) then
+          Alcotest.failf "%s: snapshot returned a different node for %s" label
+            (Ipv4.to_string a)
+    | None -> Alcotest.fail "no IN_FIB coverage"
+  done
+
+let test_fib_snapshot_agrees () =
+  let snap, rm, st = snapshot_fixture ~rebuild_after:8 7 in
+  assert_agreement "clean" snap rm st 500;
+  let s = Fib_snapshot.stats snap in
+  check_int "no fallbacks while clean" 0 s.Fib_snapshot.fallbacks;
+  check "every lookup took the compiled path" true
+    (s.Fib_snapshot.fast_hits >= 500);
+  check_int "initial generation" 1 s.Fib_snapshot.epoch;
+  (* dirty protocol: fall back immediately, recompile once the dirty
+     budget (8) is spent, agree throughout *)
+  Fib_snapshot.invalidate snap;
+  assert_agreement "dirty" snap rm st 4;
+  let s = Fib_snapshot.stats snap in
+  check_int "fallbacks while dirty" 4 s.Fib_snapshot.fallbacks;
+  check_int "not rebuilt inside the budget" 1 s.Fib_snapshot.epoch;
+  assert_agreement "after budget" snap rm st 50;
+  let s = Fib_snapshot.stats snap in
+  check_int "recompiled exactly once" 2 s.Fib_snapshot.epoch;
+  check_int "lazy rebuild counted" 1 s.Fib_snapshot.rebuilds;
+  check_int "one dirty transition" 1 s.Fib_snapshot.invalidations
+
+let test_fib_snapshot_updates () =
+  let snap, rm, st = snapshot_fixture ~rebuild_after:4 11 in
+  (* churn the FIB through the sink-wrapped control plane; the snapshot
+     must keep returning exactly the node the tree walk returns, whether
+     it is dirty, freshly recompiled, or untouched by a no-op update *)
+  for i = 1 to 20 do
+    let u =
+      if i mod 4 = 0 then
+        { Cfca_bgp.Bgp_update.prefix = Prefix.random st ();
+          action = Cfca_bgp.Bgp_update.Withdraw }
+      else
+        { Cfca_bgp.Bgp_update.prefix = Prefix.random st ();
+          action = Cfca_bgp.Bgp_update.Announce ((i mod 30) + 1) }
+    in
+    Route_manager.apply rm u;
+    assert_agreement "under churn" snap rm st 25
+  done
+
 let () =
   Alcotest.run "dataplane"
     [
+      ( "fib_snapshot",
+        [
+          Alcotest.test_case "agrees with the authoritative walk" `Quick
+            test_fib_snapshot_agrees;
+          Alcotest.test_case "stays correct across updates" `Quick
+            test_fib_snapshot_updates;
+        ] );
       ( "table_set",
         [
           Alcotest.test_case "basics" `Quick test_table_set_basics;

@@ -314,6 +314,200 @@ let test_naive_cache_capacity_one () =
   | Naive_cache.Cache_hit _ -> Alcotest.fail "should have been evicted");
   check_int "misses" 3 (Naive_cache.misses cache)
 
+(* -- compiled fast path: engine accounting --------------------------- *)
+
+let test_fastpath_accounting () =
+  Array.iter
+    (fun (r : Engine.run_result) ->
+      let fp = r.Engine.r_fastpath in
+      check_int "every packet went through the snapshot"
+        r.Engine.r_totals.Pipeline.packets
+        (fp.Fib_snapshot.fast_hits + fp.Fib_snapshot.fallbacks);
+      check "steady state is the compiled path" true
+        (fp.Fib_snapshot.fast_hits > fp.Fib_snapshot.fallbacks);
+      check "at least the initial generation" true (fp.Fib_snapshot.epoch >= 1))
+    (Lazy.force results).Experiments.cfca_runs
+
+(* -- lookup-bench JSON: golden structure ----------------------------- *)
+
+(* A minimal recursive-descent JSON reader — just enough to prove the
+   emitter's output parses and carries the pinned keys, sharing no code
+   with the emitter. *)
+type json =
+  | J_obj of (string * json) list
+  | J_arr of json list
+  | J_str of string
+  | J_num of float
+
+let parse_json src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let fail msg =
+    Alcotest.failf "JSON parse error at offset %d: %s" !pos msg
+  in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match src.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let str () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match src.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            if !pos + 1 >= n then fail "dangling escape";
+            Buffer.add_char b src.[!pos + 1];
+            pos := !pos + 2;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let num () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match src.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if start = !pos then fail "expected a number"
+    else
+      match float_of_string_opt (String.sub src start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> J_str (str ())
+    | Some _ -> J_num (num ())
+    | None -> fail "unexpected end of input"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      incr pos;
+      J_obj []
+    end
+    else
+      let rec fields acc =
+        skip_ws ();
+        let k = str () in
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        if peek () = Some ',' then begin
+          incr pos;
+          fields ((k, v) :: acc)
+        end
+        else begin
+          expect '}';
+          J_obj (List.rev ((k, v) :: acc))
+        end
+      in
+      fields []
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      incr pos;
+      J_arr []
+    end
+    else
+      let rec elems acc =
+        let v = value () in
+        skip_ws ();
+        if peek () = Some ',' then begin
+          incr pos;
+          elems (v :: acc)
+        end
+        else begin
+          expect ']';
+          J_arr (List.rev (v :: acc))
+        end
+      in
+      elems []
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field name = function
+  | J_obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> Alcotest.failf "missing key %S" name)
+  | _ -> Alcotest.failf "expected an object around %S" name
+
+let test_lookup_json_golden () =
+  let b =
+    {
+      Report.lb_scale = 0.05;
+      lb_entries = 3_000;
+      lb_rows =
+        [
+          { Report.lb_name = "lpm-pointer"; lb_mode = "warm"; lb_ns = 120.5 };
+          { Report.lb_name = "flat-dir24"; lb_mode = "warm"; lb_ns = 10.25 };
+          { Report.lb_name = "flat-dir24"; lb_mode = "cold"; lb_ns = nan };
+        ];
+      lb_speedup_warm = 11.7561;
+      lb_speedup_cold = infinity;
+      lb_oracle_probes = 4_096;
+      lb_oracle_divergences = 0;
+    }
+  in
+  let j = parse_json (Report.json_of_lookup_bench b) in
+  check "bench tag" true (field "bench" j = J_str "lookup");
+  check "scale" true (field "scale" j = J_num 0.05);
+  check "entries" true (field "table_entries" j = J_num 3_000.0);
+  (match field "results" j with
+  | J_arr rows ->
+      check_int "all rows present" 3 (List.length rows);
+      List.iter
+        (fun row ->
+          (match field "name" row with J_str _ -> () | _ -> Alcotest.fail "name");
+          (match field "mode" row with
+          | J_str ("warm" | "cold") -> ()
+          | _ -> Alcotest.fail "mode");
+          match field "ns_per_op" row with
+          | J_num f -> check "finite ns" true (f = f)
+          | _ -> Alcotest.fail "ns_per_op")
+        rows;
+      (* the NaN row was clamped, not emitted as unparsable [nan] *)
+      check "nan clamped" true
+        (field "ns_per_op" (List.nth rows 2) = J_num 0.0)
+  | _ -> Alcotest.fail "results must be an array");
+  let speedup = field "speedup" j in
+  check "speedup warm" true (field "warm" speedup = J_num 11.7561);
+  check "infinite speedup clamped" true (field "cold" speedup = J_num 0.0);
+  let oracle = field "oracle" j in
+  check "oracle probes" true (field "probes" oracle = J_num 4_096.0);
+  check "oracle divergences" true (field "divergences" oracle = J_num 0.0)
+
 let test_run_capture_missing_file () =
   let workload = (Lazy.force results).Experiments.workload in
   let cfg = Experiments.config_for workload Experiments.cache_ratios.(0) in
@@ -340,6 +534,10 @@ let () =
           Alcotest.test_case "determinism" `Quick test_run_determinism;
           Alcotest.test_case "golden totals (fixed seed)" `Quick
             test_golden_totals;
+          Alcotest.test_case "fast-path accounting" `Quick
+            test_fastpath_accounting;
+          Alcotest.test_case "lookup-bench JSON golden" `Quick
+            test_lookup_json_golden;
         ] );
       ( "experiments",
         [

@@ -276,6 +276,151 @@ let prop_leaves_cover_address_space =
       done;
       !ok)
 
+(* -- Flat_lpm ------------------------------------------------------- *)
+
+let flat_variants =
+  [
+    ("dir24", `Dir, 24);
+    ("dir16", `Dir, 16);
+    ("dir13", `Dir, 13);  (* root stride not a multiple of 8: pad path *)
+    ("pop16", `Poptrie, 16);
+    ("pop8", `Poptrie, 8);  (* pad path for the 5-bit stride too *)
+  ]
+
+let test_flat_basic () =
+  let routes =
+    [
+      (p "0.0.0.0/0", 9);
+      (p "10.0.0.0/8", 1);
+      (p "10.1.0.0/16", 2);
+      (p "10.1.2.3/32", 3);
+      (p "192.168.0.0/24", 4);
+    ]
+  in
+  List.iter
+    (fun (name, variant, root_bits) ->
+      let t = Flat_lpm.build ~variant ~root_bits routes in
+      let got a = Flat_lpm.find_value t (addr a) in
+      check_int (name ^ " /32") 3 (got "10.1.2.3");
+      check_int (name ^ " /16") 2 (got "10.1.2.4");
+      check_int (name ^ " /8") 1 (got "10.2.0.0");
+      check_int (name ^ " /24") 4 (got "192.168.0.77");
+      check_int (name ^ " default") 9 (got "8.8.8.8");
+      let r = Flat_lpm.lookup t (addr "10.1.2.3") in
+      check_int (name ^ " matched length") 32 (Flat_lpm.result_length r);
+      check_int (name ^ " value") 3 (Flat_lpm.result_value r);
+      let r0 = Flat_lpm.lookup t (addr "8.8.8.8") in
+      check_int (name ^ " default length") 0 (Flat_lpm.result_length r0))
+    flat_variants;
+  (* empty table: everything misses *)
+  let e = Flat_lpm.build [] in
+  check_int "empty misses" Flat_lpm.miss (Flat_lpm.lookup e (addr "1.2.3.4"))
+
+(* One probe list for a route set: every covering-range boundary (the
+   addresses where the winning prefix changes), near-boundary spill, a
+   couple of members, plus uniform noise. *)
+let probes_for routes st =
+  let near =
+    List.concat_map
+      (fun (q, _) ->
+        let net = Prefix.network q and last = Prefix.last_address q in
+        [
+          net;
+          last;
+          Ipv4.succ last;
+          Ipv4.of_int (Ipv4.to_int net - 1);
+          Prefix.random_member st q;
+          Prefix.random_member st q;
+        ])
+      routes
+  in
+  near @ List.init 20 (fun _ -> Ipv4.random st)
+
+let agrees_with_lpm lpm flat a =
+  let r = Flat_lpm.lookup flat a in
+  match Lpm.lookup lpm a with
+  | Some (q, v) ->
+      r >= 0
+      && Flat_lpm.result_value r = v
+      && Flat_lpm.result_length r = Prefix.length q
+  | None -> r < 0
+
+let gen_flat_routes =
+  QCheck.Gen.(
+    let len = frequency [ (1, return 0); (2, return 32); (6, int_range 1 31) ] in
+    let addr32 =
+      map2 (fun hi lo -> (hi lsl 16) lor lo) (int_bound 0xFFFF) (int_bound 0xFFFF)
+    in
+    list_size (int_bound 50)
+      (pair (map2 (fun a l -> Prefix.make (Ipv4.of_int a) l) addr32 len)
+         (int_range 0 1000)))
+
+let print_flat_routes l =
+  String.concat ";"
+    (List.map (fun (q, v) -> Prefix.to_string q ^ "=" ^ string_of_int v) l)
+
+(* Keep only mutually disjoint prefixes (first binding wins) — the FIB
+   snapshot case the issue names; nested sets get their own property. *)
+let disjoint routes =
+  List.rev
+    (List.fold_left
+       (fun acc (q, v) ->
+         if List.exists (fun (q', _) -> Prefix.overlaps q q') acc then acc
+         else (q, v) :: acc)
+       [] routes)
+
+let flat_agreement_prop routes =
+  let lpm = Lpm.create () in
+  List.iter (fun (q, v) -> Lpm.add lpm q v) routes;
+  let st = Random.State.make [| List.length routes; 0xF1A7 |] in
+  let probes = probes_for routes st in
+  List.for_all
+    (fun (_, variant, root_bits) ->
+      let flat = Flat_lpm.build ~variant ~root_bits routes in
+      List.for_all (agrees_with_lpm lpm flat) probes)
+    (("auto", `Auto, 16)
+    :: List.filter (fun (_, _, rb) -> rb <= 16) flat_variants)
+
+let prop_flat_vs_lpm_disjoint =
+  QCheck.Test.make ~count:150
+    ~name:"Flat_lpm agrees with Lpm on disjoint sets at boundary addresses"
+    (QCheck.make ~print:print_flat_routes gen_flat_routes)
+    (fun routes -> flat_agreement_prop (disjoint routes))
+
+let prop_flat_vs_lpm_nested =
+  QCheck.Test.make ~count:150
+    ~name:"Flat_lpm agrees with Lpm on nested sets (leaf pushing)"
+    (QCheck.make ~print:print_flat_routes gen_flat_routes)
+    flat_agreement_prop
+
+(* The hot-path contract: steady-state lookups allocate nothing. *)
+let test_flat_alloc_free () =
+  let st = Random.State.make [| 7; 0xA110C |] in
+  let routes = List.init 500 (fun i -> (Prefix.random st (), i)) in
+  let dir = Flat_lpm.build ~variant:`Dir ~root_bits:16 routes in
+  let pop = Flat_lpm.build ~variant:`Poptrie ~root_bits:12 routes in
+  let lpm = Lpm.of_list routes in
+  let addrs = Array.init 1024 (fun _ -> Ipv4.random st) in
+  let minor_words_of f =
+    (* warm up so any one-time allocation is done *)
+    f addrs.(0);
+    let before = Gc.minor_words () in
+    for i = 0 to 99_999 do
+      f addrs.(i land 1023)
+    done;
+    Gc.minor_words () -. before
+  in
+  let assert_alloc_free name f =
+    let words = minor_words_of f in
+    if words > 1000.0 then
+      Alcotest.failf "%s allocated %.0f minor words over 100K lookups" name
+        words
+  in
+  assert_alloc_free "Flat_lpm(dir)" (fun a -> ignore (Flat_lpm.lookup dir a));
+  assert_alloc_free "Flat_lpm(pop)" (fun a -> ignore (Flat_lpm.lookup pop a));
+  assert_alloc_free "Lpm.lookup_value" (fun a ->
+      ignore (Lpm.lookup_value lpm a))
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "trie"
@@ -304,4 +449,12 @@ let () =
         ] );
       ( "bintrie-properties",
         qt [ prop_extension_invariant; prop_leaves_cover_address_space ] );
+      ( "flat-lpm",
+        [
+          Alcotest.test_case "basic (all layouts)" `Quick test_flat_basic;
+          Alcotest.test_case "allocation-free lookups" `Quick
+            test_flat_alloc_free;
+        ] );
+      ( "flat-lpm-properties",
+        qt [ prop_flat_vs_lpm_disjoint; prop_flat_vs_lpm_nested ] );
     ]
