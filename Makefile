@@ -34,11 +34,14 @@ bench: build
 quick-bench: build
 	dune exec bench/main.exe -- --scale=0.2 all
 
-# Lookup microbench at smoke scale; correctness-gated (exits non-zero
-# on any divergence from the reference Lpm) and writes BENCH_lookup.json
-# so CI can record the perf trajectory.
+# Lookup + update-churn microbenches at smoke scale; both are
+# correctness-gated (exit non-zero on any divergence — lookup against
+# the reference Lpm, update against the record-trie oracle's Fib_op
+# stream) and write BENCH_lookup.json / BENCH_update.json so CI can
+# record the perf trajectory.
 bench-smoke: build
 	dune exec bench/main.exe -- --scale=0.05 --json lookup
+	dune exec bench/main.exe -- --scale=0.05 --json update
 
 examples: build
 	dune exec examples/quickstart.exe

@@ -187,10 +187,9 @@ let v6_bench mult =
       else (dst, remaining)
     in
     flows.(slot) <- (dst, remaining - 1);
-    match D6.C.Bintrie.lookup_in_fib tree dst with
-    | Some node ->
-        ignore (D6.Pipeline.process pl6 node ~now:(float_of_int i /. 1e6))
-    | None -> assert false
+    let node = D6.C.Bintrie.lookup_in_fib tree dst in
+    assert (not (D6.C.Bintrie.is_nil node));
+    ignore (D6.Pipeline.process pl6 tree node ~now:(float_of_int i /. 1e6))
   done;
   let s6 = D6.Pipeline.stats pl6 in
   Printf.printf
@@ -419,10 +418,13 @@ let lookup_target mult ~emit_json =
   Array.iter
     (fun a ->
       let walked = Cfca_trie.Bintrie.lookup_in_fib tree a in
-      let fast = Cfca_dataplane.Fib_snapshot.lookup snap tree a in
-      match walked with
-      | Some n when n == fast -> ()
-      | _ -> incr snap_div)
+      match Cfca_dataplane.Fib_snapshot.lookup snap tree a with
+      | fast ->
+          if
+            Cfca_trie.Bintrie.is_nil walked
+            || not (Cfca_trie.Bintrie.Node.equal walked fast)
+          then incr snap_div
+      | exception Not_found -> incr snap_div)
     (Array.append warm (Array.sub cold 0 16384));
   let divergences = divergences + oracle_div + !snap_div in
   let probes_total =
@@ -522,10 +524,221 @@ let lookup_target mult ~emit_json =
     exit 1
   end
 
+(* -- update-churn microbench: arena vs record control plane ---------- *)
+
+(* The record backend instantiated through the same control-plane
+   functors the arena production modules come from: identical
+   algorithms, only the node storage differs. *)
+module Rec_trie = Cfca_trie.Bintrie_ref.Make (Cfca_prefix.Family.V4)
+module Rec_cfca = Cfca_core.Control_f.Make_over (Cfca_prefix.Family.V4) (Rec_trie)
+module Rec_pfca = Cfca_pfca.Pfca_f.Make_over (Cfca_prefix.Family.V4) (Rec_trie)
+
+let apply_u announce withdraw (u : Cfca_bgp.Bgp_update.t) =
+  match u.Cfca_bgp.Bgp_update.action with
+  | Cfca_bgp.Bgp_update.Announce nh -> announce u.Cfca_bgp.Bgp_update.prefix nh
+  | Cfca_bgp.Bgp_update.Withdraw -> withdraw u.Cfca_bgp.Bgp_update.prefix
+
+let update_target mult ~emit_json =
+  section "Update-churn microbench -- arena (struct-of-arrays) vs record backend";
+  let scale = scaled mult Experiments.standard_scale in
+  let rib =
+    Rib_gen.generate
+      {
+        Rib_gen.size = scale.Experiments.rib_size;
+        peers = scale.Experiments.peers;
+        locality = 0.90;
+        seed = scale.Experiments.seed;
+      }
+  in
+  let spec = Cfca_traffic.Trace.make ~packets:0 ~updates:[||] () in
+  let flow = Cfca_traffic.Trace.flow_gen spec rib in
+  let updates =
+    Cfca_traffic.Update_gen.generate
+      {
+        Cfca_traffic.Update_gen.default_params with
+        count = scale.Experiments.updates;
+        seed = scale.Experiments.seed + 1;
+      }
+      flow
+  in
+  let n = Array.length updates in
+  let default_nh = Nexthop.of_int 33 in
+  Printf.printf "workload: %d routes, %d BGP updates, seed %d\n" (Rib.size rib)
+    n scale.Experiments.seed;
+  (* -- correctness gate: replay with serializing sinks, then compare
+        the two backends' Fib_op streams, final FIBs and invariants -- *)
+  let norm_entries es =
+    List.map (fun (p, nh) -> (Prefix.to_string p, Nexthop.to_int nh)) es
+  in
+  let cap_cfca_arena () =
+    let ops = ref [] in
+    let rm = Cfca_core.Route_manager.create ~default_nh () in
+    Cfca_core.Route_manager.load rm (Rib.to_seq rib);
+    Cfca_core.Route_manager.set_sink rm (fun tr op ->
+        ops := Format.asprintf "%a" (Cfca_core.Fib_op.pp tr) op :: !ops);
+    Array.iter (Cfca_core.Route_manager.apply rm) updates;
+    ( List.rev !ops,
+      Cfca_core.Route_manager.verify rm,
+      norm_entries (Cfca_core.Route_manager.entries rm) )
+  in
+  let cap_cfca_record () =
+    let ops = ref [] in
+    let rm = Rec_cfca.Route_manager.create ~default_nh () in
+    Rec_cfca.Route_manager.load rm (Rib.to_seq rib);
+    Rec_cfca.Route_manager.set_sink rm (fun tr op ->
+        ops := Format.asprintf "%a" (Rec_cfca.Fib_op.pp tr) op :: !ops);
+    Array.iter
+      (apply_u
+         (Rec_cfca.Route_manager.announce rm)
+         (Rec_cfca.Route_manager.withdraw rm))
+      updates;
+    ( List.rev !ops,
+      Rec_cfca.Route_manager.verify rm,
+      norm_entries (Rec_cfca.Route_manager.entries rm) )
+  in
+  let cap_pfca_arena () =
+    let ops = ref [] in
+    let t = Cfca_pfca.Pfca.create ~default_nh () in
+    Cfca_pfca.Pfca.load t (Rib.to_seq rib);
+    Cfca_pfca.Pfca.set_sink t (fun tr op ->
+        ops := Format.asprintf "%a" (Cfca_core.Fib_op.pp tr) op :: !ops);
+    Array.iter
+      (apply_u (Cfca_pfca.Pfca.announce t) (Cfca_pfca.Pfca.withdraw t))
+      updates;
+    ( List.rev !ops,
+      Cfca_pfca.Pfca.verify t,
+      norm_entries (Cfca_pfca.Pfca.entries t) )
+  in
+  let cap_pfca_record () =
+    let ops = ref [] in
+    let t = Rec_pfca.create ~default_nh () in
+    Rec_pfca.load t (Rib.to_seq rib);
+    Rec_pfca.set_sink t (fun tr op ->
+        ops := Format.asprintf "%a" (Rec_pfca.Fib_op.pp tr) op :: !ops);
+    Array.iter (apply_u (Rec_pfca.announce t) (Rec_pfca.withdraw t)) updates;
+    (List.rev !ops, Rec_pfca.verify t, norm_entries (Rec_pfca.entries t))
+  in
+  let divergences = ref 0 in
+  let ops_compared = ref 0 in
+  let flag fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr divergences;
+        if !divergences <= 5 then Printf.printf "DIVERGENCE %s\n" s)
+      fmt
+  in
+  let gate name (a_ops, a_verify, a_fib) (r_ops, r_verify, r_fib) =
+    (match a_verify with
+    | Ok () -> ()
+    | Error e -> flag "%s arena invariants: %s" name e);
+    (match r_verify with
+    | Ok () -> ()
+    | Error e -> flag "%s record invariants: %s" name e);
+    let a = Array.of_list a_ops and r = Array.of_list r_ops in
+    let common = min (Array.length a) (Array.length r) in
+    ops_compared := !ops_compared + common;
+    for i = 0 to common - 1 do
+      if not (String.equal a.(i) r.(i)) then
+        flag "%s op %d: arena %S, record %S" name i a.(i) r.(i)
+    done;
+    if Array.length a <> Array.length r then
+      flag "%s op stream length: arena %d, record %d" name (Array.length a)
+        (Array.length r);
+    if a_fib <> r_fib then flag "%s final installed FIBs differ" name
+  in
+  gate "cfca" (cap_cfca_arena ()) (cap_cfca_record ());
+  gate "pfca" (cap_pfca_arena ()) (cap_pfca_record ());
+  Printf.printf "correctness gate: %d FIB ops compared, %d divergences\n"
+    !ops_compared !divergences;
+  (* -- timing: fresh instances, null sinks, load outside the clock -- *)
+  let timed replay =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    replay ();
+    Unix.gettimeofday () -. t0
+  in
+  let cfca_arena_dt, cfca_arena_words =
+    let rm = Cfca_core.Route_manager.create ~default_nh () in
+    Cfca_core.Route_manager.load rm (Rib.to_seq rib);
+    ( timed (fun () ->
+          Array.iter (Cfca_core.Route_manager.apply rm) updates),
+      Cfca_trie.Bintrie.approx_heap_words (Cfca_core.Route_manager.tree rm) )
+  in
+  let cfca_record_dt, cfca_record_words =
+    let rm = Rec_cfca.Route_manager.create ~default_nh () in
+    Rec_cfca.Route_manager.load rm (Rib.to_seq rib);
+    ( timed (fun () ->
+          Array.iter
+            (apply_u
+               (Rec_cfca.Route_manager.announce rm)
+               (Rec_cfca.Route_manager.withdraw rm))
+            updates),
+      Rec_trie.approx_heap_words (Rec_cfca.Route_manager.tree rm) )
+  in
+  let pfca_arena_dt, pfca_arena_words =
+    let t = Cfca_pfca.Pfca.create ~default_nh () in
+    Cfca_pfca.Pfca.load t (Rib.to_seq rib);
+    ( timed (fun () ->
+          Array.iter
+            (apply_u (Cfca_pfca.Pfca.announce t) (Cfca_pfca.Pfca.withdraw t))
+            updates),
+      Cfca_trie.Bintrie.approx_heap_words (Cfca_pfca.Pfca.tree t) )
+  in
+  let pfca_record_dt, pfca_record_words =
+    let t = Rec_pfca.create ~default_nh () in
+    Rec_pfca.load t (Rib.to_seq rib);
+    ( timed (fun () ->
+          Array.iter (apply_u (Rec_pfca.announce t) (Rec_pfca.withdraw t))
+            updates),
+      Rec_trie.approx_heap_words (Rec_pfca.tree t) )
+  in
+  let ups dt = if dt <= 0.0 then 0.0 else float_of_int n /. dt in
+  let row system backend dt words =
+    {
+      Report.ub_system = system;
+      ub_backend = backend;
+      ub_rib_size = Rib.size rib;
+      ub_updates = n;
+      ub_updates_per_sec = ups dt;
+      ub_heap_words_per_route =
+        float_of_int words /. float_of_int (max 1 (Rib.size rib));
+    }
+  in
+  let bench_result =
+    {
+      Report.ub_scale = mult;
+      ub_rows =
+        [
+          row "cfca" Cfca_trie.Bintrie.backend_name cfca_arena_dt
+            cfca_arena_words;
+          row "cfca" Rec_trie.backend_name cfca_record_dt cfca_record_words;
+          row "pfca" Cfca_trie.Bintrie.backend_name pfca_arena_dt
+            pfca_arena_words;
+          row "pfca" Rec_trie.backend_name pfca_record_dt pfca_record_words;
+        ];
+      ub_speedup_cfca = ups cfca_arena_dt /. ups cfca_record_dt;
+      ub_speedup_pfca = ups pfca_arena_dt /. ups pfca_record_dt;
+      ub_gate_ops = !ops_compared;
+      ub_gate_divergences = !divergences;
+    }
+  in
+  Report.print_update_bench bench_result;
+  if emit_json then begin
+    let oc = open_out "BENCH_update.json" in
+    output_string oc (Report.json_of_update_bench bench_result);
+    close_out oc;
+    print_endline "wrote BENCH_update.json"
+  end;
+  if !divergences > 0 then begin
+    print_endline "update bench: FAILED (backends diverge)";
+    exit 1
+  end
+
 let usage () =
   print_endline
-    "targets: table2 table3 fig9 fig10a fig10b fig11 fig12 ablations v6 robustness micro lookup all";
-  print_endline "options: --scale=<float> (default 1.0)  --json (write BENCH_lookup.json)"
+    "targets: table2 table3 fig9 fig10a fig10b fig11 fig12 ablations v6 robustness micro lookup update all";
+  print_endline
+    "options: --scale=<float> (default 1.0)  --json (write BENCH_lookup.json / BENCH_update.json)"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -556,6 +769,7 @@ let () =
     | "fig12" -> fig12 !scale
     | "micro" -> micro ()
     | "lookup" -> lookup_target !scale ~emit_json:!json
+    | "update" -> update_target !scale ~emit_json:!json
     | "ablations" -> ablations !scale
     | "v6" -> v6_bench !scale
     | "robustness" -> robustness !scale
@@ -571,7 +785,8 @@ let () =
         v6_bench !scale;
         robustness !scale;
         micro ();
-        lookup_target !scale ~emit_json:!json
+        lookup_target !scale ~emit_json:!json;
+        update_target !scale ~emit_json:!json
     | other ->
         Printf.printf "unknown target %S\n" other;
         usage ();

@@ -55,7 +55,7 @@ let () =
       ( (fun () ->
           if !per_update > !burst then burst := !per_update;
           per_update := 0),
-        create_load (fun (_ : Fib_op.t) ->
+        create_load (fun _ (_ : Fib_op.t) ->
             incr churn;
             incr per_update) )
     in
@@ -92,7 +92,7 @@ let () =
     let t = Aggr.create ~policy ~default_nh () in
     Aggr.load t (Rib.to_seq rib);
     let per_update = ref 0 in
-    Aggr.set_sink t (fun _ ->
+    Aggr.set_sink t (fun _ _ ->
         incr churn;
         incr per_update);
     let (), seconds =

@@ -14,17 +14,20 @@ open Cfca_trie
 open Cfca_dataplane
 
 let build_entries n =
-  (* standalone leaf nodes standing in for cached FIB entries *)
-  Array.init n (fun i ->
-      let t = Bintrie.create ~default_nh:1 in
-      let p = Prefix.make (Ipv4.of_int (i lsl 12)) 20 in
-      let node = Bintrie.add_route t p 1 in
-      node.Bintrie.table <- Bintrie.L1;
-      node)
+  (* one tree of disjoint /20 leaves standing in for cached FIB entries *)
+  let tree = Bintrie.create ~default_nh:1 in
+  let entries =
+    Array.init n (fun i ->
+        let p = Prefix.make (Ipv4.of_int (i lsl 12)) 20 in
+        let node = Bintrie.add_route tree p 1 in
+        Bintrie.Node.set_table tree node Bintrie.L1;
+        node)
+  in
+  (tree, entries)
 
 let () =
   let n = 1_000 in
-  let entries = build_entries n in
+  let tree, entries = build_entries n in
   let zipf = Cfca_traffic.Zipf.create ~exponent:1.2 ~n () in
   let st = Random.State.make [| 2024 |] in
   Printf.printf "%8s %8s | %22s %18s\n" "stages" "width" "victim percentile"
@@ -33,32 +36,36 @@ let () =
   List.iter
     (fun (stages, width) ->
       let lthd = Lthd.create ~stages ~width ~seed:5 in
-      Array.iter (fun e -> e.Bintrie.hits <- 0) entries;
+      Array.iter (fun e -> Bintrie.Node.set_hits tree e 0) entries;
       (* replay 200K skewed hits *)
       for _ = 1 to 200_000 do
         let e = entries.(Cfca_traffic.Zipf.draw zipf st) in
-        e.Bintrie.hits <- e.Bintrie.hits + 1;
-        Lthd.observe lthd e e.Bintrie.hits
+        Bintrie.Node.set_hits tree e (Bintrie.Node.hits tree e + 1);
+        Lthd.observe lthd tree e (Bintrie.Node.hits tree e)
       done;
       (* rank entries by true popularity: percentile 0 = least popular *)
       let sorted = Array.copy entries in
-      Array.sort (fun a b -> compare a.Bintrie.hits b.Bintrie.hits) sorted;
+      Array.sort
+        (fun a b ->
+          compare (Bintrie.Node.hits tree a) (Bintrie.Node.hits tree b))
+        sorted;
       let percentile = Hashtbl.create n in
       Array.iteri
         (fun i e ->
-          Hashtbl.replace percentile e.Bintrie.prefix
+          Hashtbl.replace percentile
+            (Bintrie.Node.prefix tree e)
             (100.0 *. float_of_int i /. float_of_int n))
         sorted;
       let picks = 2_000 in
       let total = ref 0.0 and bottom_decile = ref 0 and found = ref 0 in
       for _ = 1 to picks do
-        match Lthd.pick_victim lthd ~table:Bintrie.L1 st with
-        | Some v ->
-            let pct = Hashtbl.find percentile v.Bintrie.prefix in
-            total := !total +. pct;
-            if pct <= 10.0 then incr bottom_decile;
-            incr found
-        | None -> ()
+        let v = Lthd.pick_victim lthd tree ~table:Bintrie.L1 st in
+        if not (Bintrie.is_nil v) then begin
+          let pct = Hashtbl.find percentile (Bintrie.Node.prefix tree v) in
+          total := !total +. pct;
+          if pct <= 10.0 then incr bottom_decile;
+          incr found
+        end
       done;
       Printf.printf "%8d %8d | %15.1f %% avg %13.1f %% in bottom 10%%\n" stages
         width

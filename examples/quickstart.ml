@@ -18,7 +18,9 @@ let () =
     ]
   in
   (* A sink lets us watch every FIB change the control plane pushes. *)
-  let sink op = Format.printf "  data plane <- %a@." Fib_op.pp op in
+  let sink tree op =
+    Format.printf "  data plane <- %a@." (Fib_op.pp tree) op
+  in
   let rm = Route_manager.create ~default_nh:9 () in
   print_endline "== initial installation (extension + aggregation) ==";
   Route_manager.set_sink rm sink;

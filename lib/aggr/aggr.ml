@@ -38,7 +38,8 @@ let payload_of_leaf t nh =
    next-hop. Falling back to the original — which BGP updates rarely
    move — is what keeps FAQS's churn low at a small cost in compression
    versus the full ORTC candidate sets of FIFA-S. *)
-let combine_faqs n a b = if a = b then a else Nexthop.to_int n.original
+let combine_faqs tr n a b =
+  if a = b then a else Nexthop.to_int (Node.original tr n)
 
 let undecided t payload =
   match t.policy with Faqs -> payload = 0 | Fifa -> false
@@ -58,37 +59,45 @@ let pick t payload =
   | Fifa -> Nhset.pick (Nhset.of_bits payload)
 
 let set_selection t n =
-  n.selected <-
-    (match (n.left, n.right) with
-    | None, None -> payload_of_leaf t n.original
-    | Some l, Some r -> (
-        match t.policy with
-        | Faqs -> combine_faqs n l.selected r.selected
-        | Fifa ->
-            Nhset.to_bits
-              (Nhset.combine (Nhset.of_bits l.selected)
-                 (Nhset.of_bits r.selected)))
-    | _ -> assert false)
+  let tr = t.tree in
+  let l = child tr n false and r = child tr n true in
+  let v =
+    if is_nil l && is_nil r then payload_of_leaf t (Node.original tr n)
+    else begin
+      assert ((not (is_nil l)) && not (is_nil r));
+      match t.policy with
+      | Faqs -> combine_faqs tr n (Node.selected tr l) (Node.selected tr r)
+      | Fifa ->
+          Nhset.to_bits
+            (Nhset.combine
+               (Nhset.of_bits (Node.selected tr l))
+               (Nhset.of_bits (Node.selected tr r)))
+    end
+  in
+  Node.set_selected tr n v
 
 let install t n nh =
-  n.status <- In_fib;
-  n.table <- Dram;
-  n.installed_nh <- nh;
-  t.sink (Fib_op.Install (n, Dram))
+  let tr = t.tree in
+  Node.set_status tr n In_fib;
+  Node.set_table tr n Dram;
+  Node.set_installed_nh tr n nh;
+  t.sink tr (Fib_op.Install (n, Dram))
 
 let uninstall t n =
-  if n.status = In_fib then begin
-    let tbl = n.table in
-    n.status <- Non_fib;
-    n.table <- No_table;
-    n.installed_nh <- Nexthop.none;
-    t.sink (Fib_op.Remove (n, tbl))
+  let tr = t.tree in
+  if Node.status tr n = In_fib then begin
+    let tbl = Node.table tr n in
+    Node.set_status tr n Non_fib;
+    Node.set_table tr n No_table;
+    Node.set_installed_nh tr n Nexthop.none;
+    t.sink tr (Fib_op.Remove (n, tbl))
   end
 
 let refresh t n nh =
-  if not (Nexthop.equal n.installed_nh nh) then begin
-    n.installed_nh <- nh;
-    t.sink (Fib_op.Update (n, n.table, nh))
+  let tr = t.tree in
+  if not (Nexthop.equal (Node.installed_nh tr n) nh) then begin
+    Node.set_installed_nh tr n nh;
+    t.sink tr (Fib_op.Update (n, Node.table tr n, nh))
   end
 
 (* ORTC pass 3 over a subtree, diffing against the current installed
@@ -96,87 +105,94 @@ let refresh t n nh =
    next-hop needs no entry; otherwise it installs a representative and
    becomes the cover for its descendants. *)
 let rec assign t n cover =
+  let tr = t.tree in
   let cover' =
-    if undecided t n.selected then
-      if n.parent = None && Nexthop.is_none cover then begin
+    if undecided t (Node.selected tr n) then
+      if is_nil (Node.parent tr n) && Nexthop.is_none cover then begin
         (* the root must provide total coverage even when its children
            disagree: it installs its own (default) next-hop *)
-        if n.status = Non_fib then install t n n.original
-        else refresh t n n.original;
-        n.original
+        if Node.status tr n = Non_fib then install t n (Node.original tr n)
+        else refresh t n (Node.original tr n);
+        Node.original tr n
       end
       else begin
         uninstall t n;
         cover
       end
-    else if covered t n.selected cover then begin
+    else if covered t (Node.selected tr n) cover then begin
       uninstall t n;
       cover
     end
     else begin
-      let nh = pick t n.selected in
-      if n.status = Non_fib then install t n nh else refresh t n nh;
+      let nh = pick t (Node.selected tr n) in
+      if Node.status tr n = Non_fib then install t n nh else refresh t n nh;
       nh
     end
   in
-  match (n.left, n.right) with
-  | None, None -> ()
-  | Some l, Some r ->
-      assign t l cover';
-      assign t r cover'
-  | _ -> assert false
+  let l = child tr n false and r = child tr n true in
+  if (not (is_nil l)) && not (is_nil r) then begin
+    assign t l cover';
+    assign t r cover'
+  end
+  else assert (is_nil l && is_nil r)
 
 (* Propagate a changed original next-hop through the FAKE-inheritance
    region and recompute selections post-order. *)
 let rec reselect_down t n =
-  (match n.left with
-  | Some l when l.kind = Fake ->
-      l.original <- n.original;
-      reselect_down t l
-  | _ -> ());
-  (match n.right with
-  | Some r when r.kind = Fake ->
-      r.original <- n.original;
-      reselect_down t r
-  | _ -> ());
+  let tr = t.tree in
+  let l = child tr n false in
+  if (not (is_nil l)) && Node.kind tr l = Fake then begin
+    Node.set_original tr l (Node.original tr n);
+    reselect_down t l
+  end;
+  let r = child tr n true in
+  if (not (is_nil r)) && Node.kind tr r = Fake then begin
+    Node.set_original tr r (Node.original tr n);
+    reselect_down t r
+  end;
   set_selection t n
 
 (* Re-select ancestors while their selection keeps changing; returns the
    highest node whose selection changed. *)
 let climb t n =
+  let tr = t.tree in
   let rec go n =
-    match n.parent with
-    | None -> n
-    | Some p ->
-        let old = p.selected in
-        set_selection t p;
-        if old = p.selected then n else go p
+    let p = Node.parent tr n in
+    if is_nil p then n
+    else begin
+      let old = Node.selected tr p in
+      set_selection t p;
+      if old = Node.selected tr p then n else go p
+    end
   in
   go n
 
-let cover_of n =
-  let rec go = function
-    | None -> Nexthop.none
-    | Some a -> if a.status = In_fib then a.installed_nh else go a.parent
+let cover_of t n =
+  let tr = t.tree in
+  let rec go a =
+    if is_nil a then Nexthop.none
+    else if Node.status tr a = In_fib then Node.installed_nh tr a
+    else go (Node.parent tr a)
   in
-  go n.parent
+  go (Node.parent tr n)
 
 let reaggregate t n =
   let h = climb t n in
-  assign t h (cover_of h)
+  assign t h (cover_of t h)
 
 let load t routes =
   if t.loaded then invalid_arg "Aggr.load: already loaded";
   t.loaded <- true;
   Seq.iter (fun (p, nh) -> ignore (Bintrie.add_route t.tree p nh)) routes;
   Bintrie.extend t.tree;
-  Bintrie.iter_post (set_selection t) (Bintrie.root t.tree);
+  Bintrie.iter_post t.tree (set_selection t) (Bintrie.root t.tree);
   assign t (Bintrie.root t.tree) Nexthop.none
 
 let update_root t nh =
-  let root = Bintrie.root t.tree in
-  if not (Nexthop.equal root.original nh) then begin
-    root.original <- nh;
+  let tr = t.tree in
+  let root = Bintrie.root tr in
+  if not (Nexthop.equal (Node.original tr root) nh) then begin
+    Node.set_original tr root nh;
     reselect_down t root;
     assign t root Nexthop.none
   end
@@ -184,40 +200,45 @@ let update_root t nh =
 let announce t p nh =
   if Nexthop.is_none nh then invalid_arg "Aggr.announce: null next-hop";
   if Prefix.length p = 0 then update_root t nh
-  else
-    match Bintrie.find t.tree p with
-    | Some n ->
-        n.kind <- Real;
-        if not (Nexthop.equal n.original nh) then begin
-          n.original <- nh;
-          reselect_down t n;
-          reaggregate t n
-        end
-    | None ->
-        let frag = Bintrie.fragment t.tree p None in
-        frag.target.kind <- Real;
-        frag.target.original <- nh;
-        (* reselect_down skips REAL nodes, so seed the target's own
-           selection first (it is a fresh leaf) *)
-        set_selection t frag.target;
-        reselect_down t frag.anchor;
-        reaggregate t frag.anchor
+  else begin
+    let tr = t.tree in
+    let n = Bintrie.find tr p in
+    if not (is_nil n) then begin
+      Node.set_kind tr n Real;
+      if not (Nexthop.equal (Node.original tr n) nh) then begin
+        Node.set_original tr n nh;
+        reselect_down t n;
+        reaggregate t n
+      end
+    end
+    else begin
+      let target, anchor, _created = Bintrie.fragment tr p nil in
+      Node.set_kind tr target Real;
+      Node.set_original tr target nh;
+      (* reselect_down skips REAL nodes, so seed the target's own
+         selection first (it is a fresh leaf) *)
+      set_selection t target;
+      reselect_down t anchor;
+      reaggregate t anchor
+    end
+  end
 
 let withdraw t p =
   if Prefix.length p = 0 then update_root t t.default_nh
-  else
-    match Bintrie.find t.tree p with
-    | None -> ()
-    | Some n when n.kind = Fake -> ()
-    | Some n ->
-        let inherited =
-          match n.parent with Some parent -> parent.original | None -> assert false
-        in
-        n.kind <- Fake;
-        n.original <- inherited;
-        reselect_down t n;
-        reaggregate t n;
-        ignore (Bintrie.compact_upward t.tree n)
+  else begin
+    let tr = t.tree in
+    let n = Bintrie.find tr p in
+    if (not (is_nil n)) && Node.kind tr n = Real then begin
+      let parent = Node.parent tr n in
+      assert (not (is_nil parent));
+      let inherited = Node.original tr parent in
+      Node.set_kind tr n Fake;
+      Node.set_original tr n inherited;
+      reselect_down t n;
+      reaggregate t n;
+      ignore (Bintrie.compact_upward tr n)
+    end
+  end
 
 let apply t (u : Bgp_update.t) =
   match u.action with
@@ -227,20 +248,24 @@ let apply t (u : Bgp_update.t) =
 let lookup t addr =
   (* deepest installed entry on the address's path: the baselines allow
      overlapping routes, so keep descending past matches *)
+  let tr = t.tree in
   let rec go n best =
-    let best = if n.status = In_fib then n.installed_nh else best in
-    if Bintrie.is_leaf n then best
+    let best =
+      if Node.status tr n = In_fib then Node.installed_nh tr n else best
+    in
+    if Bintrie.is_leaf tr n then best
     else
-      match Bintrie.child n (Ipv4.bit addr n.depth) with
-      | Some c -> go c best
-      | None -> best
+      let c = Bintrie.child tr n (Ipv4.bit addr (Node.depth tr n)) in
+      if is_nil c then best else go c best
   in
-  go (Bintrie.root t.tree) t.default_nh
+  go (Bintrie.root tr) t.default_nh
 
 let fib_size t = Bintrie.in_fib_count t.tree
 
 let route_count t =
-  Bintrie.fold_nodes (fun acc n -> if n.kind = Real then acc + 1 else acc) 0 t.tree
+  Bintrie.fold_nodes
+    (fun acc n -> if Node.kind t.tree n = Real then acc + 1 else acc)
+    0 t.tree
 
 let compression_ratio t =
   float_of_int (fib_size t) /. float_of_int (max 1 (route_count t))
@@ -249,41 +274,49 @@ let entries t =
   List.rev
     (Bintrie.fold_nodes
        (fun acc n ->
-         if n.status = In_fib then (n.prefix, n.installed_nh) :: acc else acc)
+         if Node.status t.tree n = In_fib then
+           (Node.prefix t.tree n, Node.installed_nh t.tree n) :: acc
+         else acc)
        [] t.tree)
 
 let verify t =
   match Bintrie.invariant t.tree with
   | Error _ as e -> e
   | Ok () ->
+      let tr = t.tree in
       let exception Violation of string in
       let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt in
       (try
          Bintrie.fold_nodes
            (fun () n ->
+             let l = child tr n false and r = child tr n true in
              let expected =
-               match (n.left, n.right) with
-               | None, None -> payload_of_leaf t n.original
-               | Some l, Some r -> (
-                   match t.policy with
-                   | Faqs -> combine_faqs n l.selected r.selected
-                   | Fifa ->
-                       Nhset.to_bits
-                         (Nhset.combine (Nhset.of_bits l.selected)
-                            (Nhset.of_bits r.selected)))
-               | _ -> assert false
+               if is_nil l && is_nil r then
+                 payload_of_leaf t (Node.original tr n)
+               else begin
+                 assert ((not (is_nil l)) && not (is_nil r));
+                 match t.policy with
+                 | Faqs ->
+                     combine_faqs tr n (Node.selected tr l) (Node.selected tr r)
+                 | Fifa ->
+                     Nhset.to_bits
+                       (Nhset.combine
+                          (Nhset.of_bits (Node.selected tr l))
+                          (Nhset.of_bits (Node.selected tr r)))
+               end
              in
-             if n.selected <> expected then
-               fail "stale selection at %s" (Prefix.to_string n.prefix);
+             if Node.selected tr n <> expected then
+               fail "stale selection at %s"
+                 (Prefix.to_string (Node.prefix tr n));
              if
-               n.status = In_fib
-               && not (undecided t n.selected)
-               && not (covered t n.selected n.installed_nh)
+               Node.status tr n = In_fib
+               && (not (undecided t (Node.selected tr n)))
+               && not (covered t (Node.selected tr n) (Node.installed_nh tr n))
              then
                fail "installed next-hop of %s not in its candidate set"
-                 (Prefix.to_string n.prefix))
+                 (Prefix.to_string (Node.prefix tr n)))
            () t.tree;
-         if (Bintrie.root t.tree).status <> In_fib then
+         if Node.status tr (Bintrie.root tr) <> In_fib then
            fail "root not installed: incomplete coverage";
          Ok ()
        with Violation msg -> Error msg)

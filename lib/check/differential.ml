@@ -1,0 +1,137 @@
+open Cfca_prefix
+
+module V4 = Family.V4
+module Ref_trie = Cfca_trie.Bintrie_ref.Make (V4)
+module Ref_cfca = Cfca_core.Control_f.Make_over (V4) (Ref_trie)
+module Ref_pfca = Cfca_pfca.Pfca_f.Make_over (V4) (Ref_trie)
+
+(* One line per node, sorted — iteration order is backend-private, the
+   prefix set is not. The counters owned by the data plane (hits,
+   window, table_idx) are excluded: no pipeline runs here and their
+   encoding of "untouched" may legitimately differ. *)
+module Dump (T : Cfca_trie.Bintrie_intf.S with type prefix = Prefix.t) =
+struct
+  open T
+
+  let node_line tr n =
+    Printf.sprintf "%s %c o=%s sel=%d %c %s inst=%s"
+      (Prefix.to_string (Node.prefix tr n))
+      (match Node.kind tr n with Real -> 'R' | Fake -> 'F')
+      (Nexthop.to_string (Node.original tr n))
+      (Nexthop.to_int (Node.selected tr n))
+      (match Node.status tr n with In_fib -> 'I' | Non_fib -> '-')
+      (match Node.table tr n with
+      | No_table -> "none"
+      | L1 -> "L1"
+      | L2 -> "L2"
+      | Dram -> "dram")
+      (Nexthop.to_string (Node.installed_nh tr n))
+
+  let dump tr =
+    let lines = fold_nodes (fun acc n -> node_line tr n :: acc) [] tr in
+    Printf.sprintf "nodes=%d leaves=%d in_fib=%d" (node_count tr)
+      (leaf_count tr) (in_fib_count tr)
+    :: List.sort compare lines
+end
+
+module Arena_dump = Dump (Cfca_trie.Bintrie)
+module Record_dump = Dump (Ref_trie)
+
+let arena_dump = Arena_dump.dump
+
+let record_dump = Record_dump.dump
+
+exception Diverged of string
+
+let compare_dumps ~at a r =
+  let rec go i a r =
+    match (a, r) with
+    | [], [] -> ()
+    | x :: a', y :: r' ->
+        if String.equal x y then go (i + 1) a' r'
+        else
+          raise
+            (Diverged
+               (Printf.sprintf "%s, line %d: arena %S, record %S" at i x y))
+    | x :: _, [] ->
+        raise
+          (Diverged (Printf.sprintf "%s: extra arena node %S" at x))
+    | [], y :: _ ->
+        raise
+          (Diverged (Printf.sprintf "%s: extra record node %S" at y))
+  in
+  go 0 a r
+
+let run_cfca ?(default_nh = Fuzz.default_config.Fuzz.default_nh)
+    (sc : Fuzz.scenario) =
+  let a = Cfca_core.Route_manager.create ~default_nh () in
+  let r = Ref_cfca.Route_manager.create ~default_nh () in
+  let sync at =
+    compare_dumps ~at
+      (arena_dump (Cfca_core.Route_manager.tree a))
+      (record_dump (Ref_cfca.Route_manager.tree r))
+  in
+  try
+    Cfca_core.Route_manager.load a (List.to_seq sc.Fuzz.routes);
+    Ref_cfca.Route_manager.load r (List.to_seq sc.Fuzz.routes);
+    sync "after load";
+    List.iteri
+      (fun i ev ->
+        let at = Printf.sprintf "after event %d" i in
+        match ev with
+        | Fuzz.Announce (p, nh) ->
+            Cfca_core.Route_manager.announce a p nh;
+            Ref_cfca.Route_manager.announce r p nh;
+            sync at
+        | Fuzz.Withdraw p ->
+            Cfca_core.Route_manager.withdraw a p;
+            Ref_cfca.Route_manager.withdraw r p;
+            sync at
+        | Fuzz.Packet addr ->
+            let na = Cfca_core.Route_manager.lookup a addr
+            and nr = Ref_cfca.Route_manager.lookup r addr in
+            if not (Nexthop.equal na nr) then
+              raise
+                (Diverged
+                   (Printf.sprintf "%s: lookup %s: arena %s, record %s" at
+                      (Ipv4.to_string addr) (Nexthop.to_string na)
+                      (Nexthop.to_string nr))))
+      sc.Fuzz.events;
+    Ok ()
+  with Diverged msg -> Error msg
+
+let run_pfca ?(default_nh = Fuzz.default_config.Fuzz.default_nh)
+    (sc : Fuzz.scenario) =
+  let open Cfca_pfca in
+  let a = Pfca.create ~default_nh () in
+  let r = Ref_pfca.create ~default_nh () in
+  let sync at =
+    compare_dumps ~at (arena_dump (Pfca.tree a)) (record_dump (Ref_pfca.tree r))
+  in
+  try
+    Pfca.load a (List.to_seq sc.Fuzz.routes);
+    Ref_pfca.load r (List.to_seq sc.Fuzz.routes);
+    sync "after load";
+    List.iteri
+      (fun i ev ->
+        let at = Printf.sprintf "after event %d" i in
+        match ev with
+        | Fuzz.Announce (p, nh) ->
+            Pfca.announce a p nh;
+            Ref_pfca.announce r p nh;
+            sync at
+        | Fuzz.Withdraw p ->
+            Pfca.withdraw a p;
+            Ref_pfca.withdraw r p;
+            sync at
+        | Fuzz.Packet addr ->
+            let na = Pfca.lookup a addr and nr = Ref_pfca.lookup r addr in
+            if not (Nexthop.equal na nr) then
+              raise
+                (Diverged
+                   (Printf.sprintf "%s: lookup %s: arena %s, record %s" at
+                      (Ipv4.to_string addr) (Nexthop.to_string na)
+                      (Nexthop.to_string nr))))
+      sc.Fuzz.events;
+    Ok ()
+  with Diverged msg -> Error msg

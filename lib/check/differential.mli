@@ -1,0 +1,36 @@
+(** Backend differential oracle: the arena (struct-of-arrays) trie
+    against the original record-per-node backend, kept alive as
+    {!Cfca_trie.Bintrie_ref} precisely for this comparison.
+
+    A scenario's route load and update stream is replayed through two
+    instances of the {e same} control-plane functor
+    ({!Cfca_core.Control_f.Make_over} / {!Cfca_pfca.Pfca_f.Make_over})
+    applied to the two backends, and the complete per-node control
+    state — prefix, REAL/FAKE kind, original and selected next-hops,
+    FIB status, table flag, installed next-hop, plus node/leaf/IN_FIB
+    counts — is compared after {e every} step. Packet events compare
+    the two forwarding functions instead. Any slot-recycling bug in
+    the arena (stale handle resurrection, free-list corruption, missed
+    re-initialisation) shows up as a state divergence at the first
+    event that exposes it. *)
+
+open Cfca_prefix
+
+module Ref_trie :
+  Cfca_trie.Bintrie_intf.S
+    with type prefix = Prefix.t
+     and type addr = Ipv4.t
+
+val arena_dump : Cfca_trie.Bintrie.t -> string list
+(** Canonical sorted state dump (one line per node, preceded by a count
+    line); equal dumps = equal control-plane state. *)
+
+val record_dump : Ref_trie.t -> string list
+
+val run_cfca :
+  ?default_nh:Nexthop.t -> Fuzz.scenario -> (unit, string) result
+(** Replay through CFCA route managers on both backends; [Error] names
+    the first step and node state where the backends diverge. *)
+
+val run_pfca :
+  ?default_nh:Nexthop.t -> Fuzz.scenario -> (unit, string) result

@@ -61,12 +61,13 @@ let cfca ?(l1 = 8) ?(l2 = 16) ~default_nh ~seed () =
     sys_withdraw = Route_manager.withdraw rm;
     sys_packet =
       (fun a ->
-        match Bintrie.lookup_in_fib (Route_manager.tree rm) a with
-        | Some n -> ignore (Pipeline.process pl n ~now:(tick ()))
-        | None ->
-            failwith
-              (Printf.sprintf "packet %s: no IN_FIB entry covers it"
-                 (Ipv4.to_string a)));
+        let tr = Route_manager.tree rm in
+        let n = Bintrie.lookup_in_fib tr a in
+        if Bintrie.is_nil n then
+          failwith
+            (Printf.sprintf "packet %s: no IN_FIB entry covers it"
+               (Ipv4.to_string a))
+        else ignore (Pipeline.process pl tr n ~now:(tick ())));
     sys_lookup = Route_manager.lookup rm;
     sys_entries = (fun () -> Route_manager.entries rm);
     sys_check =
@@ -93,12 +94,13 @@ let pfca ?(l1 = 8) ?(l2 = 16) ~default_nh ~seed () =
     sys_withdraw = Pfca.withdraw sys;
     sys_packet =
       (fun a ->
-        match Bintrie.lookup_in_fib (Pfca.tree sys) a with
-        | Some n -> ignore (Pipeline.process pl n ~now:(tick ()))
-        | None ->
-            failwith
-              (Printf.sprintf "packet %s: no IN_FIB entry covers it"
-                 (Ipv4.to_string a)));
+        let tr = Pfca.tree sys in
+        let n = Bintrie.lookup_in_fib tr a in
+        if Bintrie.is_nil n then
+          failwith
+            (Printf.sprintf "packet %s: no IN_FIB entry covers it"
+               (Ipv4.to_string a))
+        else ignore (Pipeline.process pl tr n ~now:(tick ())));
     sys_lookup = Pfca.lookup sys;
     sys_entries = (fun () -> Pfca.entries sys);
     sys_check =

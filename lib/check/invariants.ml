@@ -12,60 +12,74 @@ let ps = Prefix.to_string
 
 let nhs = Nexthop.to_string
 
+open Bintrie
+
 (* Exactly one IN_FIB node on every root-to-leaf path (non-overlap +
    full coverage), plus per-node flag consistency. *)
-let check_node mode n covered =
-  let open Bintrie in
-  (match n.status with
+let check_node mode t n covered =
+  let prefix = Node.prefix t n in
+  (match Node.status t n with
   | In_fib ->
-      if covered then fail "overlapping IN_FIB entries at %s" (ps n.prefix);
-      if not (Nexthop.is_real n.installed_nh) then
+      if covered then fail "overlapping IN_FIB entries at %s" (ps prefix);
+      if not (Nexthop.is_real (Node.installed_nh t n)) then
         fail "IN_FIB node %s installed with non-forwarding next-hop %s"
-          (ps n.prefix) (nhs n.installed_nh);
-      if n.table = No_table then
-        fail "IN_FIB node %s is in no data-plane table" (ps n.prefix);
+          (ps prefix)
+          (nhs (Node.installed_nh t n));
+      if Node.table t n = No_table then
+        fail "IN_FIB node %s is in no data-plane table" (ps prefix);
       (match mode with
       | Cfca_mode ->
-          if not (Nexthop.equal n.installed_nh n.selected) then
-            fail "IN_FIB node %s: installed %s <> selected %s" (ps n.prefix)
-              (nhs n.installed_nh) (nhs n.selected)
+          if not (Nexthop.equal (Node.installed_nh t n) (Node.selected t n))
+          then
+            fail "IN_FIB node %s: installed %s <> selected %s" (ps prefix)
+              (nhs (Node.installed_nh t n))
+              (nhs (Node.selected t n))
       | Pfca_mode ->
-          if not (is_leaf n) then
-            fail "PFCA installed an internal node %s" (ps n.prefix);
-          if not (Nexthop.equal n.installed_nh n.original) then
-            fail "PFCA leaf %s: installed %s <> original %s" (ps n.prefix)
-              (nhs n.installed_nh) (nhs n.original))
+          if not (is_leaf t n) then
+            fail "PFCA installed an internal node %s" (ps prefix);
+          if not (Nexthop.equal (Node.installed_nh t n) (Node.original t n))
+          then
+            fail "PFCA leaf %s: installed %s <> original %s" (ps prefix)
+              (nhs (Node.installed_nh t n))
+              (nhs (Node.original t n)))
   | Non_fib ->
-      if not (Nexthop.is_none n.installed_nh) then
-        fail "NON_FIB node %s has residual installed next-hop %s" (ps n.prefix)
-          (nhs n.installed_nh);
-      if n.table <> No_table then
-        fail "NON_FIB node %s still flagged in a table" (ps n.prefix);
-      if n.table_idx >= 0 then
-        fail "NON_FIB node %s holds a membership-vector slot" (ps n.prefix);
-      if mode = Pfca_mode && is_leaf n then
-        fail "PFCA leaf %s is not installed" (ps n.prefix));
+      if not (Nexthop.is_none (Node.installed_nh t n)) then
+        fail "NON_FIB node %s has residual installed next-hop %s" (ps prefix)
+          (nhs (Node.installed_nh t n));
+      if Node.table t n <> No_table then
+        fail "NON_FIB node %s still flagged in a table" (ps prefix);
+      if Node.table_idx t n >= 0 then
+        fail "NON_FIB node %s holds a membership-vector slot" (ps prefix);
+      if mode = Pfca_mode && is_leaf t n then
+        fail "PFCA leaf %s is not installed" (ps prefix));
   (* selected-next-hop algebra (Algorithm 3) *)
-  match (n.left, n.right, mode) with
-  | None, None, _ ->
-      if not (Nexthop.equal n.selected n.original) then
-        fail "leaf %s: selected %s <> original %s" (ps n.prefix)
-          (nhs n.selected) (nhs n.original);
-      if not covered && n.status <> In_fib then
-        fail "leaf %s is covered by no IN_FIB entry" (ps n.prefix)
-  | Some l, Some r, Cfca_mode ->
-      let merged =
-        if Nexthop.equal l.selected r.selected then l.selected
-        else Nexthop.none
-      in
-      if not (Nexthop.equal n.selected merged) then
-        fail "internal %s: selected %s, children merge to %s" (ps n.prefix)
-          (nhs n.selected) (nhs merged)
-  | Some _, Some _, Pfca_mode ->
-      if not (Nexthop.is_none n.selected) then
-        fail "PFCA internal %s carries a selected next-hop %s" (ps n.prefix)
-          (nhs n.selected)
-  | _ -> fail "non-full node %s" (ps n.prefix)
+  let l = child t n false and r = child t n true in
+  if is_nil l && is_nil r then begin
+    if not (Nexthop.equal (Node.selected t n) (Node.original t n)) then
+      fail "leaf %s: selected %s <> original %s" (ps prefix)
+        (nhs (Node.selected t n))
+        (nhs (Node.original t n));
+    if (not covered) && Node.status t n <> In_fib then
+      fail "leaf %s is covered by no IN_FIB entry" (ps prefix)
+  end
+  else if (not (is_nil l)) && not (is_nil r) then begin
+    match mode with
+    | Cfca_mode ->
+        let merged =
+          if Nexthop.equal (Node.selected t l) (Node.selected t r) then
+            Node.selected t l
+          else Nexthop.none
+        in
+        if not (Nexthop.equal (Node.selected t n) merged) then
+          fail "internal %s: selected %s, children merge to %s" (ps prefix)
+            (nhs (Node.selected t n))
+            (nhs merged)
+    | Pfca_mode ->
+        if not (Nexthop.is_none (Node.selected t n)) then
+          fail "PFCA internal %s carries a selected next-hop %s" (ps prefix)
+            (nhs (Node.selected t n))
+  end
+  else fail "non-full node %s" (ps prefix)
 
 (* No cache hiding, checked against the actual lookup path: the first
    and last address of every installed region must resolve back to the
@@ -73,21 +87,22 @@ let check_node mode n covered =
    an intermediate address diverging would need another IN_FIB node
    nested inside the region. *)
 let check_no_hiding t =
-  let open Bintrie in
   iter_in_fib
     (fun n ->
       let probe a =
-        match lookup_in_fib t a with
-        | Some m when m == n -> ()
-        | Some m ->
-            fail "cache hiding: %s resolves %s, not its own entry %s"
-              (Ipv4.to_string a) (ps m.prefix) (ps n.prefix)
-        | None ->
-            fail "address %s inside installed %s resolves to nothing"
-              (Ipv4.to_string a) (ps n.prefix)
+        let m = lookup_in_fib t a in
+        if is_nil m then
+          fail "address %s inside installed %s resolves to nothing"
+            (Ipv4.to_string a)
+            (ps (Node.prefix t n))
+        else if not (Node.equal m n) then
+          fail "cache hiding: %s resolves %s, not its own entry %s"
+            (Ipv4.to_string a)
+            (ps (Node.prefix t m))
+            (ps (Node.prefix t n))
       in
-      probe (Prefix.network n.prefix);
-      probe (Prefix.last_address n.prefix))
+      probe (Prefix.network (Node.prefix t n));
+      probe (Prefix.last_address (Node.prefix t n)))
     t
 
 let check_tree ~mode t =
@@ -95,14 +110,15 @@ let check_tree ~mode t =
   | Error _ as e -> e
   | Ok () -> (
       let rec walk n covered =
-        check_node mode n covered;
-        let covered = covered || n.Bintrie.status = Bintrie.In_fib in
-        match (n.Bintrie.left, n.Bintrie.right) with
-        | None, None -> ()
-        | Some l, Some r ->
-            walk l covered;
-            walk r covered
-        | _ -> fail "non-full node %s" (ps n.Bintrie.prefix)
+        check_node mode t n covered;
+        let covered = covered || Node.status t n = In_fib in
+        let l = child t n false and r = child t n true in
+        if is_nil l && is_nil r then ()
+        else if (not (is_nil l)) && not (is_nil r) then begin
+          walk l covered;
+          walk r covered
+        end
+        else fail "non-full node %s" (ps (Node.prefix t n))
       in
       try
         walk (Bintrie.root t) false;
@@ -111,31 +127,42 @@ let check_tree ~mode t =
       with Violation msg -> Error msg)
 
 let check_pipeline t pl =
-  let open Bintrie in
   try
     (* tree flags -> membership vectors *)
     let l1_flags = ref 0 and l2_flags = ref 0 in
     Bintrie.fold_nodes
       (fun () n ->
-        match n.table with
+        match Node.table t n with
         | L1 ->
             incr l1_flags;
-            if n.status <> In_fib then
-              fail "L1 holds uninstalled %s" (ps n.prefix);
-            if Pipeline.resident pl n <> Some L1 then
-              fail "%s flagged L1 but absent from the L1 vector" (ps n.prefix)
+            if Node.status t n <> In_fib then
+              fail "L1 holds uninstalled %s" (ps (Node.prefix t n));
+            (match Pipeline.resident pl t n with
+            | Some L1 -> ()
+            | _ ->
+                fail "%s flagged L1 but absent from the L1 vector"
+                  (ps (Node.prefix t n)))
         | L2 ->
             incr l2_flags;
-            if n.status <> In_fib then
-              fail "L2 holds uninstalled %s" (ps n.prefix);
-            if Pipeline.resident pl n <> Some L2 then
-              fail "%s flagged L2 but absent from the L2 vector" (ps n.prefix)
+            if Node.status t n <> In_fib then
+              fail "L2 holds uninstalled %s" (ps (Node.prefix t n));
+            (match Pipeline.resident pl t n with
+            | Some L2 -> ()
+            | _ ->
+                fail "%s flagged L2 but absent from the L2 vector"
+                  (ps (Node.prefix t n)))
         | Dram ->
-            if Pipeline.resident pl n <> None then
-              fail "%s flagged DRAM but cached in a vector" (ps n.prefix)
-        | No_table ->
-            if Pipeline.resident pl n <> None then
-              fail "uninstalled %s still cached in a vector" (ps n.prefix))
+            (match Pipeline.resident pl t n with
+            | None -> ()
+            | Some _ ->
+                fail "%s flagged DRAM but cached in a vector"
+                  (ps (Node.prefix t n)))
+        | No_table -> (
+            match Pipeline.resident pl t n with
+            | None -> ()
+            | Some _ ->
+                fail "uninstalled %s still cached in a vector"
+                  (ps (Node.prefix t n))))
       () t;
     (* membership vectors -> tree flags, and size agreement *)
     if !l1_flags <> Pipeline.l1_size pl then
@@ -146,16 +173,19 @@ let check_pipeline t pl =
         (Pipeline.l2_size pl);
     Pipeline.iter_l1
       (fun n ->
-        if n.table <> L1 then
-          fail "L1 vector member %s flagged %s" (ps n.prefix)
-            (match n.table with
+        if Node.table t n <> L1 then
+          fail "L1 vector member %s flagged %s"
+            (ps (Node.prefix t n))
+            (match Node.table t n with
             | L1 -> "L1"
             | L2 -> "L2"
             | Dram -> "DRAM"
             | No_table -> "none"))
       pl;
     Pipeline.iter_l2
-      (fun n -> if n.table <> L2 then fail "L2 vector member %s misflagged" (ps n.prefix))
+      (fun n ->
+        if Node.table t n <> L2 then
+          fail "L2 vector member %s misflagged" (ps (Node.prefix t n)))
       pl;
     (* capacity and LTHD occupancy bounds *)
     let cfg = Pipeline.config pl in
@@ -180,24 +210,26 @@ let check_pipeline t pl =
    corrupted table flag: a flipped flag either breaks the flag-count /
    vector-size agreement or the sampled residency cross-check. *)
 let quick_check ?(samples = 32) ?rng t pl =
-  let open Bintrie in
   try
     let l1_flags = ref 0 and l2_flags = ref 0 in
     Bintrie.fold_nodes
       (fun () n ->
-        (match n.table with
+        (match Node.table t n with
         | L1 -> incr l1_flags
         | L2 -> incr l2_flags
         | Dram | No_table -> ());
-        match n.status with
+        match Node.status t n with
         | In_fib ->
-            if n.table = No_table then
-              fail "IN_FIB node %s is in no data-plane table" (ps n.prefix)
+            if Node.table t n = No_table then
+              fail "IN_FIB node %s is in no data-plane table"
+                (ps (Node.prefix t n))
         | Non_fib ->
-            if n.table <> No_table then
-              fail "NON_FIB node %s still flagged in a table" (ps n.prefix);
-            if n.table_idx >= 0 then
-              fail "NON_FIB node %s holds a membership-vector slot" (ps n.prefix))
+            if Node.table t n <> No_table then
+              fail "NON_FIB node %s still flagged in a table"
+                (ps (Node.prefix t n));
+            if Node.table_idx t n >= 0 then
+              fail "NON_FIB node %s holds a membership-vector slot"
+                (ps (Node.prefix t n)))
       () t;
     if !l1_flags <> Pipeline.l1_size pl then
       fail "L1 size drift: %d nodes flagged, vector holds %d" !l1_flags
@@ -223,22 +255,23 @@ let quick_check ?(samples = 32) ?rng t pl =
     | Some st ->
         for _ = 1 to samples do
           let a = Ipv4.random st in
-          match Bintrie.lookup_in_fib t a with
-          | None ->
-              fail "address %s is covered by no IN_FIB entry" (Ipv4.to_string a)
-          | Some n -> (
-              match (n.table, Pipeline.resident pl n) with
-              | L1, Some L1 | L2, Some L2 | Dram, None -> ()
-              | tbl, res ->
-                  let name = function
-                    | Some L1 -> "L1"
-                    | Some L2 -> "L2"
-                    | Some Dram -> "DRAM"
-                    | Some No_table -> "none"
-                    | None -> "no vector"
-                  in
-                  fail "%s flagged %s but vectors say %s" (ps n.prefix)
-                    (name (Some tbl)) (name res))
+          let n = Bintrie.lookup_in_fib t a in
+          if is_nil n then
+            fail "address %s is covered by no IN_FIB entry" (Ipv4.to_string a)
+          else
+            match (Node.table t n, Pipeline.resident pl t n) with
+            | L1, Some L1 | L2, Some L2 | Dram, None -> ()
+            | tbl, res ->
+                let name = function
+                  | Some L1 -> "L1"
+                  | Some L2 -> "L2"
+                  | Some Dram -> "DRAM"
+                  | Some No_table -> "none"
+                  | None -> "no vector"
+                in
+                fail "%s flagged %s but vectors say %s"
+                  (ps (Node.prefix t n))
+                  (name (Some tbl)) (name res)
         done);
     Ok ()
   with Violation msg -> Error msg

@@ -18,33 +18,34 @@
 open Cfca_prefix
 open Cfca_trie
 
-val set_selected_next_hop : Bintrie.node -> unit
+val set_selected_next_hop : Bintrie.t -> Bintrie.node -> unit
 (** Algorithm 3: a leaf selects its original next-hop; an internal node
     selects its children's common selected next-hop, or
     {!Nexthop.none} if they disagree. *)
 
-val set_fib_status : sink:Fib_op.sink -> Bintrie.node -> unit
+val set_fib_status : sink:Fib_op.sink -> Bintrie.t -> Bintrie.node -> unit
 (** Algorithm 4 (corrected, see above): reconcile the FIB status of the
     node's children with the node's selected next-hop, emitting
     install / remove / next-hop-update operations. Newly installed
     entries go to DRAM; removals and updates are addressed to whichever
     table currently holds the entry. No-op on leaves. *)
 
-val aggr_init : sink:Fib_op.sink -> Bintrie.node -> unit
+val aggr_init : sink:Fib_op.sink -> Bintrie.t -> Bintrie.node -> unit
 (** Algorithm 1: aggregate the subtree rooted at the node with a single
     post-order traversal. Used for the initial FIB installation (from
     the root) and to aggregate freshly fragmented branches. The caller
     must fix the subtree root's own status afterwards ({!fix_root} or
     {!bottom_up_update} from the subtree root). *)
 
-val post_order_update : sink:Fib_op.sink -> Bintrie.node -> Nexthop.t -> unit
+val post_order_update :
+  sink:Fib_op.sink -> Bintrie.t -> Bintrie.node -> Nexthop.t -> unit
 (** Algorithm 2: propagate a new original next-hop through the FAKE
     descendants of a node (REAL descendants are unaffected by
     inheritance and are skipped), recomputing selected next-hops and
     FIB statuses on the way back up. The node's own [original] must
     already be set to the new value. *)
 
-val bottom_up_update : sink:Fib_op.sink -> Bintrie.node -> unit
+val bottom_up_update : sink:Fib_op.sink -> Bintrie.t -> Bintrie.node -> unit
 (** Algorithm 5: re-aggregate the ancestors of a node whose selected
     next-hop changed, walking up until an ancestor's selected next-hop
     is unaffected. *)

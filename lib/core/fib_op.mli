@@ -19,7 +19,9 @@ type t =
   | Update of Bintrie.node * Bintrie.table * Nexthop.t
       (** The entry's next-hop was rewritten in place. *)
 
-type sink = t -> unit
+type sink = Bintrie.t -> t -> unit
+(** Sinks receive the tree alongside the operation: a node is an arena
+    handle, meaningless without the tree it indexes. *)
 
 val null_sink : sink
 (** Discards every operation — for pure compression measurements. *)
@@ -27,7 +29,7 @@ val null_sink : sink
 val table : t -> Bintrie.table
 (** The table an operation touches. *)
 
-val pp : Format.formatter -> t -> unit
+val pp : Bintrie.t -> Format.formatter -> t -> unit
 
 val counting_sink : unit -> sink * (unit -> int)
 (** A sink that counts operations, and a function reading the count. *)

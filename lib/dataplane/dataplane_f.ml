@@ -2,7 +2,15 @@
    generic over the address family. The documented IPv4 instantiations
    are {!Table_set}, {!Lthd} and {!Pipeline}; IPv6 gets an identical
    data plane via [Make (Cfca_prefix.Family.V6)]. [Config] and
-   {!Cfca_tcam.Tcam} carry no family types and are shared. *)
+   {!Cfca_tcam.Tcam} carry no family types and are shared.
+
+   Nodes are arena handles, so every operation takes the tree they
+   index. The LTHD sketch keeps its own struct-of-arrays (handle, hash,
+   count per slot) and stores the prefix hash at observation time:
+   displacing a resident later never dereferences its handle, which may
+   have died with a withdrawn subtree — exactly like the frozen prefix
+   of an unreachable record in the old layout. Stale handles are
+   filtered out of victim picks by {!Bintrie.Node.alive}. *)
 
 open Cfca_prefix
 open Cfca_tcam
@@ -11,71 +19,72 @@ module Make (P : Family.PREFIX) = struct
   module C = Cfca_core.Control_f.Make (P)
   module Bintrie = C.Bintrie
   module Fib_op = C.Fib_op
+  module Node = Bintrie.Node
 
   module Table_set = struct
+    type t = { mutable arr : Bintrie.node array; mutable len : int }
 
-    type t = { mutable arr : Bintrie.node option array; mutable len : int }
-
-    let create ~capacity = { arr = Array.make (max 1 capacity) None; len = 0 }
+    let create ~capacity =
+      { arr = Array.make (max 1 capacity) Bintrie.nil; len = 0 }
 
     let size t = t.len
 
     let is_full t = t.len >= Array.length t.arr
 
-    let add t n =
+    let add t tr n =
       if is_full t then invalid_arg "Table_set.add: full";
-      if n.Bintrie.table_idx >= 0 then
+      if Node.table_idx tr n >= 0 then
         invalid_arg "Table_set.add: node already resident";
-      t.arr.(t.len) <- Some n;
-      n.Bintrie.table_idx <- t.len;
+      t.arr.(t.len) <- n;
+      Node.set_table_idx tr n t.len;
       t.len <- t.len + 1
 
-    let remove t n =
-      let i = n.Bintrie.table_idx in
+    let remove t tr n =
+      let i = Node.table_idx tr n in
       if i < 0 || i >= t.len then invalid_arg "Table_set.remove: not resident";
-      (match t.arr.(i) with
-      | Some m when m == n -> ()
-      | _ -> invalid_arg "Table_set.remove: node not in this set");
+      if not (Bintrie.Node.equal t.arr.(i) n) then
+        invalid_arg "Table_set.remove: node not in this set";
       let last = t.len - 1 in
-      (match t.arr.(last) with
-      | Some moved ->
-          t.arr.(i) <- Some moved;
-          moved.Bintrie.table_idx <- i
-      | None -> assert false);
-      t.arr.(last) <- None;
+      let moved = t.arr.(last) in
+      assert (not (Bintrie.is_nil moved));
+      t.arr.(i) <- moved;
+      Node.set_table_idx tr moved i;
+      t.arr.(last) <- Bintrie.nil;
       t.len <- last;
-      n.Bintrie.table_idx <- -1
+      Node.set_table_idx tr n (-1)
 
-    let mem t n =
-      let i = n.Bintrie.table_idx in
-      i >= 0 && i < t.len && (match t.arr.(i) with Some m -> m == n | None -> false)
+    let mem t tr n =
+      let i = Node.table_idx tr n in
+      i >= 0 && i < t.len && Bintrie.Node.equal t.arr.(i) n
 
     let random t st =
-      if t.len = 0 then None else t.arr.(Random.State.int st t.len)
+      if t.len = 0 then Bintrie.nil else t.arr.(Random.State.int st t.len)
 
     let iter f t =
       for i = 0 to t.len - 1 do
-        match t.arr.(i) with Some n -> f n | None -> assert false
+        let n = t.arr.(i) in
+        assert (not (Bintrie.is_nil n));
+        f n
       done
 
-    let clear t =
+    let clear t tr =
       for i = 0 to t.len - 1 do
-        (match t.arr.(i) with
-        | Some n -> n.Bintrie.table_idx <- -1
-        | None -> ());
-        t.arr.(i) <- None
+        let n = t.arr.(i) in
+        if (not (Bintrie.is_nil n)) && Node.alive tr n then
+          Node.set_table_idx tr n (-1);
+        t.arr.(i) <- Bintrie.nil
       done;
       t.len <- 0
-
   end
 
   module Lthd = struct
-
-    type slot = { mutable node : Bintrie.node option; mutable count : int }
-
     type t = {
-      stages : slot array array;
+      (* flattened stage-major struct-of-arrays: idx = stage * width + slot *)
+      nodes : Bintrie.node array;
+      hashes : int array; (* prefix hash captured when the entry was stored *)
+      counts : int array;
       seeds : int array;
+      stages : int;
       width : int;
     }
 
@@ -83,78 +92,78 @@ module Make (P : Family.PREFIX) = struct
       if stages <= 0 || width <= 0 then invalid_arg "Lthd.create";
       let st = Random.State.make [| seed; 0x17D7 |] in
       {
-        stages =
-          Array.init stages (fun _ ->
-              Array.init width (fun _ -> { node = None; count = 0 }));
+        nodes = Array.make (stages * width) Bintrie.nil;
+        hashes = Array.make (stages * width) 0;
+        counts = Array.make (stages * width) 0;
         seeds = Array.init stages (fun _ -> Random.State.bits st);
+        stages;
         width;
       }
 
-    let slot_of t stage n =
-      let h = P.hash n.Bintrie.prefix lxor t.seeds.(stage) in
-      t.stages.(stage).((h land max_int) mod t.width)
+    let slot_of t stage h =
+      (stage * t.width) + ((h lxor t.seeds.(stage)) land max_int) mod t.width
 
-    let observe t node count =
+    let observe t tr node count =
       (* Carry the more popular entry forward; the less popular one stays.
          Whatever is still carried after the last stage is simply dropped —
          it is a heavy hitter, not victim material. The recursion threads
-         the carried entry through arguments so the per-packet path
-         allocates nothing (the stored [Some node] reuses the carried
-         pointer only on displacement, which is rare). *)
-      let stages = Array.length t.stages in
-      let rec go stage node count =
-        if stage < stages then begin
-          let slot = slot_of t stage node in
-          match slot.node with
-          | None ->
-              slot.node <- Some node;
-              slot.count <- count
-          | Some resident when resident == node ->
-              (* refreshed observation of the same entry *)
-              slot.count <- count
-          | Some resident ->
-              if slot.count > count then begin
-                (* resident is more popular: it moves on, we stay *)
-                let c = slot.count in
-                slot.node <- Some node;
-                slot.count <- count;
-                go (stage + 1) resident c
-              end
-              else
-                (* carried is more popular, it moves on unchanged *)
-                go (stage + 1) node count
+         the carried (handle, hash, count) through arguments so the
+         per-packet path allocates nothing and never dereferences a
+         carried handle (which may be stale by the time it is displaced). *)
+      let h0 = P.hash (Node.prefix tr node) in
+      let rec go stage node h count =
+        if stage < t.stages then begin
+          let i = slot_of t stage h in
+          let resident = t.nodes.(i) in
+          if Bintrie.is_nil resident then begin
+            t.nodes.(i) <- node;
+            t.hashes.(i) <- h;
+            t.counts.(i) <- count
+          end
+          else if Bintrie.Node.equal resident node then
+            (* refreshed observation of the same entry *)
+            t.counts.(i) <- count
+          else if t.counts.(i) > count then begin
+            (* resident is more popular: it moves on, we stay *)
+            let rc = t.counts.(i) and rh = t.hashes.(i) in
+            t.nodes.(i) <- node;
+            t.hashes.(i) <- h;
+            t.counts.(i) <- count;
+            go (stage + 1) resident rh rc
+          end
+          else
+            (* carried is more popular, it moves on unchanged *)
+            go (stage + 1) node h count
         end
       in
-      go 0 node count
+      go 0 node h0 count
 
-    let pick_victim t ~table st =
-      let attempts = Array.length t.stages * t.width in
+    let pick_victim t tr ~table st =
+      let attempts = t.stages * t.width in
       let rec go k =
-        if k = 0 then None
-        else
-          let stage = Random.State.int st (Array.length t.stages) in
-          let slot = t.stages.(stage).(Random.State.int st t.width) in
-          match slot.node with
-          | Some n when n.Bintrie.table = table -> Some n
-          | _ -> go (k - 1)
+        if k = 0 then Bintrie.nil
+        else begin
+          let stage = Random.State.int st t.stages in
+          let n = t.nodes.((stage * t.width) + Random.State.int st t.width) in
+          if
+            (not (Bintrie.is_nil n))
+            && Node.alive tr n
+            && Node.table tr n = table
+          then n
+          else go (k - 1)
+        end
       in
       go attempts
 
     let clear t =
-      Array.iter
-        (Array.iter (fun s ->
-             s.node <- None;
-             s.count <- 0))
-        t.stages
+      Array.fill t.nodes 0 (Array.length t.nodes) Bintrie.nil;
+      Array.fill t.hashes 0 (Array.length t.hashes) 0;
+      Array.fill t.counts 0 (Array.length t.counts) 0
 
     let occupancy t =
-      Array.fold_left
-        (fun acc stage ->
-          Array.fold_left
-            (fun acc s -> if s.node = None then acc else acc + 1)
-            acc stage)
-        0 t.stages
-
+      let occ = ref 0 in
+      Array.iter (fun n -> if not (Bintrie.is_nil n) then incr occ) t.nodes;
+      !occ
   end
 
   module Pipeline = struct
@@ -219,11 +228,11 @@ module Make (P : Family.PREFIX) = struct
         l1_set = Table_set.create ~capacity:cfg.Config.l1_capacity;
         l2_set = Table_set.create ~capacity:cfg.Config.l2_capacity;
         lthd_l1 =
-          Lthd.create ~stages:cfg.Config.lthd_stages ~width:cfg.Config.lthd_width
-            ~seed;
+          Lthd.create ~stages:cfg.Config.lthd_stages
+            ~width:cfg.Config.lthd_width ~seed;
         lthd_l2 =
-          Lthd.create ~stages:cfg.Config.lthd_stages ~width:cfg.Config.lthd_width
-            ~seed:(seed lxor 0xA5A5);
+          Lthd.create ~stages:cfg.Config.lthd_stages
+            ~width:cfg.Config.lthd_width ~seed:(seed lxor 0xA5A5);
         rng = Random.State.make [| seed; 0xCAFE |];
         packets = 0;
         l1_misses = 0;
@@ -256,9 +265,9 @@ module Make (P : Family.PREFIX) = struct
        Cfca_check.Invariants). DRAM has no membership vector, so a
        DRAM-resident entry reports [None] here like an uninstalled one;
        the caller distinguishes them by [status]. *)
-    let resident t n =
-      if Table_set.mem t.l1_set n then Some L1
-      else if Table_set.mem t.l2_set n then Some L2
+    let resident t tr n =
+      if Table_set.mem t.l1_set tr n then Some L1
+      else if Table_set.mem t.l2_set tr n then Some L2
       else None
 
     let lthd_occupancy t = (Lthd.occupancy t.lthd_l1, Lthd.occupancy t.lthd_l2)
@@ -267,17 +276,17 @@ module Make (P : Family.PREFIX) = struct
 
     (* Per-window counter maintenance: "100 matches per minute" resets the
        count at every window boundary. *)
-    let touch t n ~now =
+    let touch t tr n ~now =
       let w = int_of_float (now /. t.cfg.Config.threshold_window) in
-      if n.window <> w then begin
-        n.window <- w;
-        n.hits <- 0
+      if Node.window tr n <> w then begin
+        Node.set_window tr n w;
+        Node.set_hits tr n 0
       end;
-      n.hits <- n.hits + 1
+      Node.set_hits tr n (Node.hits tr n + 1)
 
-    let reset_counters n =
-      n.hits <- 0;
-      n.window <- -1
+    let reset_counters tr n =
+      Node.set_hits tr n 0;
+      Node.set_window tr n (-1)
 
     let dram_threshold t =
       if Table_set.is_full t.l2_set then t.cfg.Config.dram_threshold
@@ -287,130 +296,126 @@ module Make (P : Family.PREFIX) = struct
       if Table_set.is_full t.l1_set then t.cfg.Config.l2_threshold
       else t.cfg.Config.l2_threshold_initial
 
-    let lfu_scan set =
-      let best = ref None in
+    let lfu_scan tr set =
+      let best = ref nil in
       Table_set.iter
         (fun n ->
-          match !best with
-          | Some b when b.hits <= n.hits -> ()
-          | _ -> best := Some n)
+          if is_nil !best || Node.hits tr !best > Node.hits tr n then best := n)
         set;
       !best
 
-    let victim t lthd set =
+    let victim t tr lthd set =
       match t.cfg.Config.victim_policy with
       | Config.Random_policy -> Table_set.random set t.rng
-      | Config.Lfu_oracle -> lfu_scan set
-      | Config.Lthd_policy -> (
-          match
-            Lthd.pick_victim lthd ~table:(if set == t.l1_set then L1 else L2) t.rng
-          with
-          | Some v -> Some v
-          | None -> Table_set.random set t.rng)
+      | Config.Lfu_oracle -> lfu_scan tr set
+      | Config.Lthd_policy ->
+          let v =
+            Lthd.pick_victim lthd tr
+              ~table:(if set == t.l1_set then L1 else L2)
+              t.rng
+          in
+          if is_nil v then Table_set.random set t.rng else v
 
     (* L2 -> DRAM demotion. *)
-    let evict_l2 t v =
-      Table_set.remove t.l2_set v;
-      v.table <- Dram;
-      reset_counters v;
+    let evict_l2 t tr v =
+      Table_set.remove t.l2_set tr v;
+      Node.set_table tr v Dram;
+      reset_counters tr v;
       t.l2_evictions <- t.l2_evictions + 1
 
     (* L1 -> L2 demotion (evicting an L2 entry to DRAM first if needed). *)
-    let evict_l1 t v =
-      Table_set.remove t.l1_set v;
-      Tcam.remove t.tcam v.depth;
+    let evict_l1 t tr v =
+      Table_set.remove t.l1_set tr v;
+      Tcam.remove t.tcam (Node.depth tr v);
       t.l1_evictions <- t.l1_evictions + 1;
       if Table_set.is_full t.l2_set then begin
-        match victim t t.lthd_l2 t.l2_set with
-        | Some w -> evict_l2 t w
-        | None -> ()
+        let w = victim t tr t.lthd_l2 t.l2_set in
+        if not (is_nil w) then evict_l2 t tr w
       end;
       if Table_set.is_full t.l2_set then begin
         (* no L2 room could be made: fall all the way back to DRAM *)
-        v.table <- Dram;
-        reset_counters v
+        Node.set_table tr v Dram;
+        reset_counters tr v
       end
       else begin
-        v.table <- L2;
-        reset_counters v;
-        Table_set.add t.l2_set v
+        Node.set_table tr v L2;
+        reset_counters tr v;
+        Table_set.add t.l2_set tr v
       end
 
-    let promote_to_l1 t n =
+    let promote_to_l1 t tr n =
       (* leave L2 before any eviction cascade runs: the L1 victim's demotion
          into a full L2 could otherwise evict [n] itself to DRAM first *)
-      Table_set.remove t.l2_set n;
-      n.table <- Dram;
-      reset_counters n;
+      Table_set.remove t.l2_set tr n;
+      Node.set_table tr n Dram;
+      reset_counters tr n;
       if Table_set.is_full t.l1_set then begin
-        match victim t t.lthd_l1 t.l1_set with
-        | Some v -> evict_l1 t v
-        | None -> ()
+        let v = victim t tr t.lthd_l1 t.l1_set in
+        if not (is_nil v) then evict_l1 t tr v
       end;
       if not (Table_set.is_full t.l1_set) then begin
-        n.table <- L1;
-        Table_set.add t.l1_set n;
-        Tcam.install t.tcam n.depth;
+        Node.set_table tr n L1;
+        Table_set.add t.l1_set tr n;
+        Tcam.install t.tcam (Node.depth tr n);
         t.l1_installs <- t.l1_installs + 1
       end
       else if not (Table_set.is_full t.l2_set) then begin
         (* no room could be made in L1: return to L2 *)
-        n.table <- L2;
-        Table_set.add t.l2_set n
+        Node.set_table tr n L2;
+        Table_set.add t.l2_set tr n
       end
 
-    let promote_to_l2 t n =
+    let promote_to_l2 t tr n =
       if Table_set.is_full t.l2_set then begin
-        match victim t t.lthd_l2 t.l2_set with
-        | Some v -> evict_l2 t v
-        | None -> ()
+        let v = victim t tr t.lthd_l2 t.l2_set in
+        if not (is_nil v) then evict_l2 t tr v
       end;
       if not (Table_set.is_full t.l2_set) then begin
-        n.table <- L2;
-        reset_counters n;
-        Table_set.add t.l2_set n;
+        Node.set_table tr n L2;
+        reset_counters tr n;
+        Table_set.add t.l2_set tr n;
         t.l2_installs <- t.l2_installs + 1
       end
 
-    let process t n ~now =
+    let process t tr n ~now =
       t.packets <- t.packets + 1;
-      match n.table with
+      match Node.table tr n with
       | L1 ->
-          touch t n ~now;
-          Lthd.observe t.lthd_l1 n n.hits;
+          touch t tr n ~now;
+          Lthd.observe t.lthd_l1 tr n (Node.hits tr n);
           L1_hit
       | L2 ->
           t.l1_misses <- t.l1_misses + 1;
-          touch t n ~now;
-          if n.hits >= l2_threshold t then promote_to_l1 t n
-          else Lthd.observe t.lthd_l2 n n.hits;
+          touch t tr n ~now;
+          if Node.hits tr n >= l2_threshold t then promote_to_l1 t tr n
+          else Lthd.observe t.lthd_l2 tr n (Node.hits tr n);
           L2_hit
       | Dram ->
           t.l1_misses <- t.l1_misses + 1;
           t.l2_misses <- t.l2_misses + 1;
-          touch t n ~now;
-          if n.hits >= dram_threshold t then promote_to_l2 t n;
+          touch t tr n ~now;
+          if Node.hits tr n >= dram_threshold t then promote_to_l2 t tr n;
           Dram_hit
       | No_table ->
           (* an IN_FIB entry is always resident somewhere *)
           assert false
 
-    let apply_op t (op : Fib_op.t) =
+    let apply_op t tr (op : Fib_op.t) =
       match op with
       | Fib_op.Install (n, Dram) ->
-          reset_counters n;
+          reset_counters tr n;
           t.bgp_dram <- t.bgp_dram + 1
       | Fib_op.Install (_, (L1 | L2 | No_table)) ->
           invalid_arg "Pipeline.apply_op: control plane installs target DRAM"
       | Fib_op.Remove (n, tbl) -> (
-          reset_counters n;
+          reset_counters tr n;
           match tbl with
           | L1 ->
-              Table_set.remove t.l1_set n;
-              Tcam.remove t.tcam n.depth;
+              Table_set.remove t.l1_set tr n;
+              Tcam.remove t.tcam (Node.depth tr n);
               t.bgp_l1 <- t.bgp_l1 + 1
           | L2 ->
-              Table_set.remove t.l2_set n;
+              Table_set.remove t.l2_set tr n;
               t.bgp_l2 <- t.bgp_l2 + 1
           | Dram -> t.bgp_dram <- t.bgp_dram + 1
           | No_table -> invalid_arg "Pipeline.apply_op: remove from no table")
@@ -423,7 +428,7 @@ module Make (P : Family.PREFIX) = struct
           | Dram -> t.bgp_dram <- t.bgp_dram + 1
           | No_table -> invalid_arg "Pipeline.apply_op: update in no table")
 
-    let sink t op = apply_op t op
+    let sink t tr op = apply_op t tr op
 
     let stats t =
       {
@@ -442,12 +447,13 @@ module Make (P : Family.PREFIX) = struct
     (* Full-reset recovery: drop every cache residency (membership
        vectors, LTHD pipelines, TCAM occupancy) so the control plane
        can rebuild from its authoritative RIB. Cumulative statistics
-       are kept — recovery is churn, not amnesia. The tree nodes the
-       vectors pointed at are NOT re-flagged here; the caller is
-       expected to discard or rebuild the tree itself. *)
-    let clear t =
-      Table_set.clear t.l1_set;
-      Table_set.clear t.l2_set;
+       are kept — recovery is churn, not amnesia. [tr] must be the tree
+       whose nodes currently populate the vectors (i.e. the {e old}
+       tree during watchdog recovery), so residency flags can be reset
+       before the tree is discarded. *)
+    let clear t tr =
+      Table_set.clear t.l1_set tr;
+      Table_set.clear t.l2_set tr;
       Lthd.clear t.lthd_l1;
       Lthd.clear t.lthd_l2;
       Tcam.clear t.tcam
@@ -463,6 +469,5 @@ module Make (P : Family.PREFIX) = struct
       t.bgp_l1 <- 0;
       t.bgp_l2 <- 0;
       t.bgp_dram <- 0
-
   end
 end

@@ -61,7 +61,7 @@ let refresh t tree =
       (fun node ->
         decr i;
         nodes.(!i) <- node;
-        (node.Bintrie.prefix, !i))
+        (Bintrie.Node.prefix tree node, !i))
       !acc
   in
   t.nodes <- nodes;
@@ -71,18 +71,15 @@ let refresh t tree =
   t.epoch <- t.epoch + 1
 
 (* The authoritative walk, equivalent to [Bintrie.lookup_in_fib] but
-   allocation-free (no [Some node] result; the option reads below are
-   the stored child fields themselves). *)
-let rec walk_in_fib node addr =
-  match node.Bintrie.status with
+   raising on a coverage lapse instead of returning a sentinel. *)
+let rec walk_in_fib tree node addr =
+  match Bintrie.Node.status tree node with
   | Bintrie.In_fib -> node
-  | Bintrie.Non_fib -> (
-      match
-        (if Ipv4.bit addr node.Bintrie.depth then node.Bintrie.right
-         else node.Bintrie.left)
-      with
-      | Some c -> walk_in_fib c addr
-      | None -> raise Not_found)
+  | Bintrie.Non_fib ->
+      let c =
+        Bintrie.child tree node (Ipv4.bit addr (Bintrie.Node.depth tree node))
+      in
+      if Bintrie.is_nil c then raise Not_found else walk_in_fib tree c addr
 
 let lookup t tree addr =
   if t.dirty then begin
@@ -94,7 +91,7 @@ let lookup t tree addr =
   end;
   if t.dirty then begin
     t.fallbacks <- t.fallbacks + 1;
-    walk_in_fib (Bintrie.root tree) addr
+    walk_in_fib tree (Bintrie.root tree) addr
   end
   else
     let r = Flat_lpm.lookup t.flat addr in
@@ -106,7 +103,7 @@ let lookup t tree addr =
       (* no IN_FIB coverage compiled for this address: defer to the
          authoritative tree (it will raise if coverage truly lapsed) *)
       t.fallbacks <- t.fallbacks + 1;
-      walk_in_fib (Bintrie.root tree) addr
+      walk_in_fib tree (Bintrie.root tree) addr
     end
 
 let stats t =

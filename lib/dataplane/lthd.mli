@@ -11,7 +11,11 @@
     Slots are never scrubbed when entries leave the cache; instead a
     candidate victim is validated against the cache level it is supposed
     to be resident in (the paper's design runs at line rate precisely
-    because nothing ever scans or cleans the tables). *)
+    because nothing ever scans or cleans the tables). Slots hold arena
+    handles plus the prefix hash captured at observation time, so a
+    stale handle — whose slot may have been recycled by a withdrawal —
+    is never dereferenced while resident and is filtered out of victim
+    picks by {!Bintrie.Node.alive}. *)
 
 open Cfca_trie
 
@@ -19,13 +23,15 @@ type t
 
 val create : stages:int -> width:int -> seed:int -> t
 
-val observe : t -> Bintrie.node -> int -> unit
-(** [observe t node counter] pipelines a cache hit (Fig. 8). *)
+val observe : t -> Bintrie.t -> Bintrie.node -> int -> unit
+(** [observe t tree node counter] pipelines a cache hit (Fig. 8). *)
 
-val pick_victim : t -> table:Bintrie.table -> Random.State.t -> Bintrie.node option
-(** A random slot whose entry is still resident in [table]; a few
-    random probes are attempted before giving up with [None] (caller
-    falls back to a uniformly random cache entry). *)
+val pick_victim :
+  t -> Bintrie.t -> table:Bintrie.table -> Random.State.t -> Bintrie.node
+(** A random slot whose entry is still alive and resident in [table]; a
+    few random probes are attempted before giving up with
+    {!Bintrie.nil} (caller falls back to a uniformly random cache
+    entry). *)
 
 val clear : t -> unit
 

@@ -42,13 +42,15 @@ val create : ?seed:int -> Config.t -> t
 
 val config : t -> Config.t
 
-val process : t -> Bintrie.node -> now:float -> result
+val process : t -> Bintrie.t -> Bintrie.node -> now:float -> result
 (** Route one packet that matched the given IN_FIB entry at simulated
     time [now] (seconds). *)
 
-val apply_op : t -> Fib_op.t -> unit
+val apply_op : t -> Bintrie.t -> Fib_op.t -> unit
 
 val sink : t -> Fib_op.sink
+(** [sink t] partially applied is exactly a {!Fib_op.sink}
+    ([Bintrie.t -> Fib_op.t -> unit]). *)
 
 val l1_tcam : t -> Tcam.t
 
@@ -63,7 +65,7 @@ val iter_l1 : (Bintrie.node -> unit) -> t -> unit
 
 val iter_l2 : (Bintrie.node -> unit) -> t -> unit
 
-val resident : t -> Bintrie.node -> Bintrie.table option
+val resident : t -> Bintrie.t -> Bintrie.node -> Bintrie.table option
 (** The cache whose membership vector holds the node ([None] for DRAM
     and uninstalled entries) — ground truth for invariant checking
     against the node's own [table] flag. *)
@@ -80,9 +82,10 @@ val reset_stats : t -> unit
 (** Zeroes the counters (cache contents are untouched) — used between
     the warm-up and measurement phases. *)
 
-val clear : t -> unit
+val clear : t -> Bintrie.t -> unit
 (** Full-reset recovery: empty both membership vectors (releasing the
-    nodes' vector back-pointers), both LTHD pipelines and the TCAM,
-    keeping cumulative statistics. The caller rebuilds the control
-    plane (e.g. {!Cfca_core.Route_manager.rebuild}) afterwards; tree
-    nodes' own [table] flags are the discarded tree's business. *)
+    back-pointers of the given tree's still-alive nodes), both LTHD
+    pipelines and the TCAM, keeping cumulative statistics. Pass the
+    tree whose nodes currently populate the vectors (the {e old} tree
+    during watchdog recovery); the caller rebuilds the control plane
+    (e.g. {!Cfca_core.Route_manager.rebuild}) afterwards. *)

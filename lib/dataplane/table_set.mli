@@ -13,18 +13,20 @@ val size : t -> int
 
 val is_full : t -> bool
 
-val add : t -> Bintrie.node -> unit
+val add : t -> Bintrie.t -> Bintrie.node -> unit
 (** @raise Invalid_argument if full or if the node is already in a
     table set ([table_idx >= 0]). *)
 
-val remove : t -> Bintrie.node -> unit
+val remove : t -> Bintrie.t -> Bintrie.node -> unit
 (** @raise Invalid_argument if the node is not in this set. *)
 
-val mem : t -> Bintrie.node -> bool
+val mem : t -> Bintrie.t -> Bintrie.node -> bool
 
-val random : t -> Random.State.t -> Bintrie.node option
-(** Uniformly random resident entry; [None] when empty. *)
+val random : t -> Random.State.t -> Bintrie.node
+(** Uniformly random resident entry; {!Bintrie.nil} when empty. *)
 
 val iter : (Bintrie.node -> unit) -> t -> unit
 
-val clear : t -> unit
+val clear : t -> Bintrie.t -> unit
+(** Empty the vector, releasing the back-pointers of entries whose
+    handles are still alive in the given tree. *)

@@ -1,136 +1,158 @@
-(* PFCA generic over the address family; the documented IPv4
-   instantiation is {!Pfca}. It shares the control functor's tree and
-   FIB-operation types so CFCA and PFCA instances of the same family
-   interoperate with one data plane. *)
+(* PFCA generic over the address family and the trie backend; the
+   documented IPv4 instantiation is {!Pfca}. It shares the control
+   functor's tree and FIB-operation types so CFCA and PFCA instances of
+   the same family interoperate with one data plane, and [Make_over]
+   lets the update bench run PFCA on both the arena and the record
+   backend differentially. *)
 
 open Cfca_prefix
 
-module Make (P : Family.PREFIX) = struct
-  module C = Cfca_core.Control_f.Make (P)
+module Make_over
+    (P : Family.PREFIX)
+    (T : Cfca_trie.Bintrie_intf.S
+           with type prefix = P.t
+            and type addr = P.Addr.t) =
+struct
+  module C = Cfca_core.Control_f.Make_over (P) (T)
   module Bintrie = C.Bintrie
   module Fib_op = C.Fib_op
-  open Bintrie
-
+  open T
 
   type t = {
-    tree : Bintrie.t;
+    tree : T.t;
     default_nh : Nexthop.t;
     mutable sink : Fib_op.sink;
     mutable loaded : bool;
   }
 
   let create ?(sink = Fib_op.null_sink) ~default_nh () =
-    { tree = Bintrie.create ~default_nh; default_nh; sink; loaded = false }
+    { tree = T.create ~default_nh; default_nh; sink; loaded = false }
 
   let set_sink t sink = t.sink <- sink
 
   let tree t = t.tree
 
   let install t n =
-    n.status <- In_fib;
-    n.table <- Dram;
-    n.installed_nh <- n.original;
+    let tr = t.tree in
+    Node.set_status tr n In_fib;
+    Node.set_table tr n Dram;
+    Node.set_installed_nh tr n (Node.original tr n);
     (* PFCA keeps [selected] mirroring the leaf's next-hop so shared
        tooling (VeriTable adapters, the simulator) can read either. *)
-    n.selected <- n.original;
-    t.sink (Fib_op.Install (n, Dram))
+    Node.set_selected tr n (Node.original tr n);
+    t.sink tr (Fib_op.Install (n, Dram))
 
   let uninstall t n =
-    let tbl = n.table in
-    n.status <- Non_fib;
-    n.table <- No_table;
-    n.installed_nh <- Nexthop.none;
-    n.selected <- Nexthop.none;
-    t.sink (Fib_op.Remove (n, tbl))
+    let tr = t.tree in
+    let tbl = Node.table tr n in
+    Node.set_status tr n Non_fib;
+    Node.set_table tr n No_table;
+    Node.set_installed_nh tr n Nexthop.none;
+    Node.set_selected tr n Nexthop.none;
+    t.sink tr (Fib_op.Remove (n, tbl))
 
   let refresh t n =
-    if not (Nexthop.equal n.installed_nh n.original) then begin
-      n.installed_nh <- n.original;
-      n.selected <- n.original;
-      t.sink (Fib_op.Update (n, n.table, n.original))
+    let tr = t.tree in
+    if not (Nexthop.equal (Node.installed_nh tr n) (Node.original tr n)) then begin
+      Node.set_installed_nh tr n (Node.original tr n);
+      Node.set_selected tr n (Node.original tr n);
+      t.sink tr (Fib_op.Update (n, Node.table tr n, Node.original tr n))
     end
 
   let load t routes =
     if t.loaded then invalid_arg "Pfca.load: already loaded";
     t.loaded <- true;
-    Seq.iter (fun (p, nh) -> ignore (Bintrie.add_route t.tree p nh)) routes;
-    Bintrie.extend t.tree;
-    Bintrie.iter_leaves (fun n -> install t n) t.tree
+    Seq.iter (fun (p, nh) -> ignore (T.add_route t.tree p nh)) routes;
+    T.extend t.tree;
+    T.iter_leaves (fun n -> install t n) t.tree
 
   (* Propagate a changed original next-hop through the FAKE-inheritance
      region below [n] (REAL descendants are unaffected), refreshing the
-     installed value of every leaf reached. [n.original] is already set. *)
+     installed value of every leaf reached. [n]'s original is already set. *)
   let rec propagate t n =
-    match (n.left, n.right) with
-    | None, None -> refresh t n
-    | Some l, Some r ->
-        if l.kind = Fake then begin
-          l.original <- n.original;
-          propagate t l
-        end;
-        if r.kind = Fake then begin
-          r.original <- n.original;
-          propagate t r
-        end
-    | _ -> assert false
+    let tr = t.tree in
+    if is_leaf tr n then refresh t n
+    else begin
+      let l = child tr n false and r = child tr n true in
+      assert ((not (is_nil l)) && not (is_nil r));
+      if Node.kind tr l = Fake then begin
+        Node.set_original tr l (Node.original tr n);
+        propagate t l
+      end;
+      if Node.kind tr r = Fake then begin
+        Node.set_original tr r (Node.original tr n);
+        propagate t r
+      end
+    end
 
   (* Merge redundant FAKE sibling leaves after a withdrawal: the pair
      leaves the FIB and the parent (now a leaf) enters it. *)
   let rec compact t n =
-    if Bintrie.is_leaf n then
-      match n.parent with
-      | None -> ()
-      | Some parent -> (
-          match (parent.left, parent.right) with
-          | Some l, Some r
-            when Bintrie.is_leaf l && Bintrie.is_leaf r && l.kind = Fake
-                 && r.kind = Fake ->
-              uninstall t l;
-              uninstall t r;
-              Bintrie.remove_children t.tree parent;
-              install t parent;
-              compact t parent
-          | _ -> ())
+    let tr = t.tree in
+    if is_leaf tr n then begin
+      let parent = Node.parent tr n in
+      if not (is_nil parent) then begin
+        let l = child tr parent false and r = child tr parent true in
+        if
+          (not (is_nil l))
+          && (not (is_nil r))
+          && is_leaf tr l && is_leaf tr r && Node.kind tr l = Fake
+          && Node.kind tr r = Fake
+        then begin
+          uninstall t l;
+          uninstall t r;
+          T.remove_children t.tree parent;
+          install t parent;
+          compact t parent
+        end
+      end
+    end
 
   let update_root t nh =
-    let root = Bintrie.root t.tree in
-    if not (Nexthop.equal root.original nh) then begin
-      root.original <- nh;
+    let tr = t.tree in
+    let root = T.root tr in
+    if not (Nexthop.equal (Node.original tr root) nh) then begin
+      Node.set_original tr root nh;
       propagate t root
     end
 
   let announce t p nh =
     if Nexthop.is_none nh then invalid_arg "Pfca.announce: null next-hop";
     if P.length p = 0 then update_root t nh
-    else
-      match Bintrie.find t.tree p with
-      | Some n ->
-          n.kind <- Real;
-          if not (Nexthop.equal n.original nh) then begin
-            n.original <- nh;
-            propagate t n
-          end
-      | None ->
-          let frag = Bintrie.fragment t.tree p None in
-          frag.target.kind <- Real;
-          frag.target.original <- nh;
-          uninstall t frag.anchor;
-          List.iter (fun n -> if Bintrie.is_leaf n then install t n) frag.created
+    else begin
+      let tr = t.tree in
+      let n = T.find tr p in
+      if not (is_nil n) then begin
+        Node.set_kind tr n Real;
+        if not (Nexthop.equal (Node.original tr n) nh) then begin
+          Node.set_original tr n nh;
+          propagate t n
+        end
+      end
+      else begin
+        let target, anchor, created = T.fragment tr p nil in
+        Node.set_kind tr target Real;
+        Node.set_original tr target nh;
+        uninstall t anchor;
+        List.iter (fun n -> if is_leaf tr n then install t n) created
+      end
+    end
 
   let withdraw t p =
     if P.length p = 0 then update_root t t.default_nh
-    else
-      match Bintrie.find t.tree p with
-      | None -> ()
-      | Some n when n.kind = Fake -> ()
-      | Some n ->
-          let inherited =
-            match n.parent with Some parent -> parent.original | None -> assert false
-          in
-          n.kind <- Fake;
-          n.original <- inherited;
-          propagate t n;
-          compact t n
+    else begin
+      let tr = t.tree in
+      let n = T.find tr p in
+      if (not (is_nil n)) && Node.kind tr n = Real then begin
+        let parent = Node.parent tr n in
+        assert (not (is_nil parent));
+        let inherited = Node.original tr parent in
+        Node.set_kind tr n Fake;
+        Node.set_original tr n inherited;
+        propagate t n;
+        compact t n
+      end
+    end
 
   type update = C.Route_manager.update =
     | Announce of P.t * Nexthop.t
@@ -141,46 +163,56 @@ module Make (P : Family.PREFIX) = struct
     | Withdraw p -> withdraw t p
 
   let lookup t addr =
-    match Bintrie.lookup_in_fib t.tree addr with
-    | Some n -> n.installed_nh
-    | None -> t.default_nh
+    let n = T.lookup_in_fib t.tree addr in
+    if is_nil n then t.default_nh else Node.installed_nh t.tree n
 
-  let fib_size t = Bintrie.in_fib_count t.tree
+  let fib_size t = T.in_fib_count t.tree
 
   let route_count t =
-    Bintrie.fold_nodes (fun acc n -> if n.kind = Real then acc + 1 else acc) 0 t.tree
+    T.fold_nodes
+      (fun acc n -> if Node.kind t.tree n = Real then acc + 1 else acc)
+      0 t.tree
 
-  let node_count t = Bintrie.node_count t.tree
+  let node_count t = T.node_count t.tree
 
   let entries t =
     List.rev
-      (Bintrie.fold_nodes
+      (T.fold_nodes
          (fun acc n ->
-           if n.status = In_fib then (n.prefix, n.installed_nh) :: acc else acc)
+           if Node.status t.tree n = In_fib then
+             (Node.prefix t.tree n, Node.installed_nh t.tree n) :: acc
+           else acc)
          [] t.tree)
 
   let verify t =
-    match Bintrie.invariant t.tree with
+    let tr = t.tree in
+    match T.invariant tr with
     | Error _ as e -> e
     | Ok () ->
         let exception Violation of string in
         let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt in
         (try
-           Bintrie.fold_nodes
+           T.fold_nodes
              (fun () n ->
-               if Bintrie.is_leaf n then begin
-                 if n.status <> In_fib then
-                   fail "leaf %s not IN_FIB" (P.to_string n.prefix);
-                 if not (Nexthop.equal n.installed_nh n.original) then
+               if is_leaf tr n then begin
+                 if Node.status tr n <> In_fib then
+                   fail "leaf %s not IN_FIB" (P.to_string (Node.prefix tr n));
+                 if
+                   not
+                     (Nexthop.equal (Node.installed_nh tr n)
+                        (Node.original tr n))
+                 then
                    fail "leaf %s installed %s <> original %s"
-                     (P.to_string n.prefix)
-                     (Nexthop.to_string n.installed_nh)
-                     (Nexthop.to_string n.original)
+                     (P.to_string (Node.prefix tr n))
+                     (Nexthop.to_string (Node.installed_nh tr n))
+                     (Nexthop.to_string (Node.original tr n))
                end
-               else if n.status <> Non_fib then
-                 fail "internal %s is IN_FIB" (P.to_string n.prefix))
+               else if Node.status tr n <> Non_fib then
+                 fail "internal %s is IN_FIB" (P.to_string (Node.prefix tr n)))
              () t.tree;
            Ok ()
          with Violation msg -> Error msg)
-
 end
+
+module Make (P : Family.PREFIX) =
+  Make_over (P) (Cfca_trie.Bintrie_f.Make (P))

@@ -42,6 +42,8 @@ type run_result = {
   r_watchdog_checks : int;
   r_ingest : (string * Errors.report) list;
   r_fastpath : Fib_snapshot.stats;
+  r_arena_live : int;
+  r_arena_free : int;
 }
 
 (* A uniform handle over the two cached control planes. [c_tree] is a
@@ -89,9 +91,9 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
      Every control-plane op can change the set, so the sink doubles as
      the invalidation hook (all IN_FIB transitions emit a Fib_op). *)
   let snapshot = Fib_snapshot.create () in
-  let sink op =
+  let sink tr op =
     Fib_snapshot.invalidate snapshot;
-    Pipeline.sink pipeline op
+    Pipeline.sink pipeline tr op
   in
   let system = make_cached kind ~sink ~default_nh rib in
   (* The authoritative route set: RIB snapshot + replayed updates,
@@ -103,7 +105,9 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
     (Rib.to_seq rib);
   let wd = Watchdog.create ~config:watchdog () in
   let recover ~violation:_ =
-    Pipeline.clear pipeline;
+    (* scrub residency state out of the old tree before it is replaced:
+       afterwards its handles may be dead (arena) or unreachable *)
+    Pipeline.clear pipeline (system.c_tree ());
     Fib_snapshot.invalidate snapshot;
     system.c_rebuild
       (List.to_seq
@@ -150,7 +154,7 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
       | Trace.Packet dst -> (
           match Fib_snapshot.lookup snapshot (system.c_tree ()) dst with
           | node ->
-              ignore (Pipeline.process pipeline node ~now:time);
+              ignore (Pipeline.process pipeline (system.c_tree ()) node ~now:time);
               incr in_window;
               if !in_window >= window then close_window ()
           | exception Not_found ->
@@ -196,6 +200,8 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
     r_watchdog_checks = Watchdog.checks wd;
     r_ingest = [];
     r_fastpath = Fib_snapshot.stats snapshot;
+    r_arena_live = Bintrie.live_slots (system.c_tree ());
+    r_arena_free = Bintrie.free_slots (system.c_tree ());
   }
 
 let run ?window ?seed ?watchdog kind cfg ~default_nh rib spec =
@@ -263,7 +269,7 @@ let run_aggr policy ~default_nh rib updates =
   let t = Aggr.create ~policy ~default_nh () in
   Aggr.load t (Rib.to_seq rib);
   let fib_initial = Aggr.fib_size t in
-  Aggr.set_sink t (fun _ -> incr churn);
+  Aggr.set_sink t (fun _ _ -> incr churn);
   let burst = ref 0 in
   let seconds = ref 0.0 in
   Array.iter

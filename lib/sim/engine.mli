@@ -49,6 +49,10 @@ type run_result = {
   r_fastpath : Fib_snapshot.stats;
       (** compiled fast-path accounting: epochs, rebuilds, and the
           fast-hit/fallback split of the per-packet lookups *)
+  r_arena_live : int;
+      (** arena slots live in the final tree (= node count) *)
+  r_arena_free : int;
+      (** arena slots allocated but free (free list + headroom) *)
 }
 
 val run :

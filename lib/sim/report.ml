@@ -120,8 +120,18 @@ let print_run_summary (r : Engine.run_result) =
     r.Engine.r_burst_l1
     (if r.Engine.r_updates = 0 then 0.0
      else 1e6 *. r.Engine.r_update_seconds /. float_of_int r.Engine.r_updates);
+  Printf.printf "  update path: %s updates/sec\n"
+    (if r.Engine.r_update_seconds <= 0.0 then "-"
+     else
+       Printf.sprintf "%.0f"
+         (float_of_int r.Engine.r_updates /. r.Engine.r_update_seconds));
   Printf.printf "  FIB: %d routes -> %d installed initially, %d at end\n"
     r.Engine.r_rib_size r.Engine.r_fib_initial r.Engine.r_fib_final;
+  Printf.printf "  arena: %d slots live, %d free (%.1f%% occupancy)\n"
+    r.Engine.r_arena_live r.Engine.r_arena_free
+    (let cap = r.Engine.r_arena_live + r.Engine.r_arena_free in
+     if cap = 0 then 0.0
+     else 100.0 *. float_of_int r.Engine.r_arena_live /. float_of_int cap);
   Printf.printf "  TCAM: %s\n"
     (Format.asprintf "%a" Cfca_tcam.Tcam.pp_stats r.Engine.r_tcam);
   let fp = r.Engine.r_fastpath in
@@ -247,6 +257,69 @@ let print_lookup_bench b =
     b.lb_speedup_warm b.lb_speedup_cold;
   Printf.printf "oracle: %d probes, %d divergences\n" b.lb_oracle_probes
     b.lb_oracle_divergences
+
+(* -- update-churn microbench (arena vs record control plane) -------- *)
+
+type update_row = {
+  ub_system : string;  (** ["cfca"] or ["pfca"] *)
+  ub_backend : string;  (** {!Cfca_trie.Bintrie.backend_name} *)
+  ub_rib_size : int;
+  ub_updates : int;
+  ub_updates_per_sec : float;
+  ub_heap_words_per_route : float;
+}
+
+type update_bench = {
+  ub_scale : float;
+  ub_rows : update_row list;
+  ub_speedup_cfca : float;  (** arena updates/sec over record, CFCA *)
+  ub_speedup_pfca : float;
+  ub_gate_ops : int;  (** FIB operations compared across backends *)
+  ub_gate_divergences : int;  (** must be 0 for the bench to pass *)
+}
+
+let json_of_update_bench b =
+  let row r =
+    Printf.sprintf
+      "{\"system\": %s, \"backend\": %s, \"rib_size\": %d, \"updates\": %d, \
+       \"updates_per_sec\": %s, \"heap_words_per_route\": %s}"
+      (json_string r.ub_system) (json_string r.ub_backend) r.ub_rib_size
+      r.ub_updates
+      (json_float r.ub_updates_per_sec)
+      (json_float r.ub_heap_words_per_route)
+  in
+  String.concat ""
+    [
+      "{\n";
+      "  \"bench\": \"update\",\n";
+      Printf.sprintf "  \"scale\": %s,\n" (json_float b.ub_scale);
+      "  \"results\": [\n    ";
+      String.concat ",\n    " (List.map row b.ub_rows);
+      "\n  ],\n";
+      Printf.sprintf "  \"speedup\": {\"cfca\": %s, \"pfca\": %s},\n"
+        (json_float b.ub_speedup_cfca)
+        (json_float b.ub_speedup_pfca);
+      Printf.sprintf
+        "  \"gate\": {\"ops_compared\": %d, \"divergences\": %d}\n"
+        b.ub_gate_ops b.ub_gate_divergences;
+      "}\n";
+    ]
+
+let print_update_bench b =
+  Printf.printf "update-churn microbench (scale %.2f)\n" b.ub_scale;
+  Printf.printf "%-6s %-8s %10s %10s %14s %12s\n" "system" "backend" "routes"
+    "updates" "updates/sec" "words/route";
+  hr 66;
+  List.iter
+    (fun r ->
+      Printf.printf "%-6s %-8s %10d %10d %14.0f %12.1f\n" r.ub_system
+        r.ub_backend r.ub_rib_size r.ub_updates r.ub_updates_per_sec
+        r.ub_heap_words_per_route)
+    b.ub_rows;
+  Printf.printf "arena vs record: %.2fx CFCA, %.2fx PFCA\n" b.ub_speedup_cfca
+    b.ub_speedup_pfca;
+  Printf.printf "gate: %d FIB ops compared, %d divergences\n" b.ub_gate_ops
+    b.ub_gate_divergences
 
 let print_robustness rows =
   Printf.printf "%-8s %8s | %12s %12s %12s\n" "system" "seeds" "mean miss %"

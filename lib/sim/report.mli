@@ -56,3 +56,33 @@ val json_of_lookup_bench : lookup_bench -> string
     numbers are clamped. *)
 
 val print_lookup_bench : lookup_bench -> unit
+
+(** One measured configuration of the update-churn microbench. *)
+type update_row = {
+  ub_system : string;  (** ["cfca"] or ["pfca"] *)
+  ub_backend : string;  (** {!Cfca_trie.Bintrie.backend_name} *)
+  ub_rib_size : int;
+  ub_updates : int;
+  ub_updates_per_sec : float;
+  ub_heap_words_per_route : float;
+      (** {!Cfca_trie.Bintrie.approx_heap_words} / RIB size after replay *)
+}
+
+type update_bench = {
+  ub_scale : float;
+  ub_rows : update_row list;
+  ub_speedup_cfca : float;  (** arena updates/sec over record, CFCA *)
+  ub_speedup_pfca : float;
+  ub_gate_ops : int;  (** FIB operations compared across the backends *)
+  ub_gate_divergences : int;
+      (** must be 0; the bench exits non-zero otherwise *)
+}
+
+val json_of_update_bench : update_bench -> string
+(** Stable machine-readable rendering ([BENCH_update.json]): keys
+    [bench], [scale], [results] (objects with [system], [backend],
+    [rib_size], [updates], [updates_per_sec], [heap_words_per_route]),
+    [speedup.cfca]/[speedup.pfca] and
+    [gate.ops_compared]/[gate.divergences]. Always valid JSON. *)
+
+val print_update_bench : update_bench -> unit

@@ -1,259 +1,460 @@
-(* The binary prefix tree, generic over the address family. The
-   documented IPv4 instantiation lives in {!Bintrie}; see its interface
-   for the semantics of every operation. *)
+(* The binary prefix tree, generic over the address family — arena
+   (struct-of-arrays) backend. The documented IPv4 instantiation lives
+   in {!Bintrie}; see {!Bintrie_intf.S} for the semantics of every
+   operation, and {!Bintrie_ref} for the record-per-node reference
+   implementation this one is differentially tested against.
+
+   Layout: a node is an int handle [(gen lsl 32) lor slot]. Each slot
+   owns one cell in twelve parallel arrays — the prefix, a packed flags
+   word (bit 0 kind, bit 1 status, bits 2-3 table, bits 4+ depth),
+   three next-hops, the data-plane counters, the three links (stored as
+   handles, [-1] for none) and the slot's generation. Withdrawn slots go
+   on an intrusive free list threaded through [left] and are recycled by
+   the next allocation; the generation is bumped on free so any handle
+   taken before the free is detectably dead ({!Node.alive}), mirroring
+   the physical inequality of a collected record and its replacement.
+
+   Assumes 64-bit OCaml ints (as {!Flat_lpm} already does): 32 bits of
+   slot index, 30 of generation. *)
 
 open Cfca_prefix
 
-module Make (P : Family.PREFIX) = struct
+module Make (P : Family.PREFIX) :
+  Bintrie_intf.S with type prefix = P.t and type addr = P.Addr.t = struct
+  type prefix = P.t
 
-  type kind = Real | Fake
+  type addr = P.Addr.t
 
-  type fib_status = In_fib | Non_fib
+  type kind = Bintrie_intf.Flags.kind = Real | Fake
 
-  type table = No_table | L1 | L2 | Dram
+  type fib_status = Bintrie_intf.Flags.fib_status = In_fib | Non_fib
 
-  type node = {
-    prefix : P.t;
-    depth : int;
-    mutable kind : kind;
-    mutable original : Nexthop.t;
-    mutable selected : Nexthop.t;
-    mutable status : fib_status;
-    mutable table : table;
-    mutable installed_nh : Nexthop.t;
-    mutable hits : int;
-    mutable window : int;
-    mutable table_idx : int;
-    mutable left : node option;
-    mutable right : node option;
-    mutable parent : node option;
+  type table = Bintrie_intf.Flags.table = No_table | L1 | L2 | Dram
+
+  type node = int
+
+  let nil = -1
+
+  let is_nil n = n < 0
+
+  let slot_mask = 0xFFFF_FFFF
+
+  let slot h = h land slot_mask
+
+  type t = {
+    mutable prefix : P.t array;
+    mutable flags : int array;
+    mutable original : int array;
+    mutable selected : int array;
+    mutable installed : int array;
+    mutable hits : int array;
+    mutable window : int array;
+    mutable table_idx : int array;
+    mutable left : int array; (* child handle, or free-list link on dead slots *)
+    mutable right : int array;
+    mutable parent : int array;
+    mutable gens : int array;
+    mutable high : int; (* slots ever allocated: [0, high) *)
+    mutable free_head : int; (* raw slot index, -1 when empty *)
+    mutable free_len : int;
+    mutable nodes : int; (* live node count *)
   }
 
-  type t = { root : node; mutable nodes : int }
+  let capacity t = Array.length t.flags
 
-  let make_node ?parent ~kind ~original prefix =
-    {
-      prefix;
-      depth = P.length prefix;
-      kind;
-      original;
-      selected = Nexthop.none;
-      status = Non_fib;
-      table = No_table;
-      installed_nh = Nexthop.none;
-      hits = 0;
-      window = -1;
-      table_idx = -1;
-      left = None;
-      right = None;
-      parent;
-    }
+  (* flags word: bit 0 kind (1 = Real), bit 1 status (1 = In_fib),
+     bits 2-3 table, bits 4+ depth *)
+
+  let flags_word ~kind ~depth =
+    (depth lsl 4) lor (match kind with Real -> 1 | Fake -> 0)
+
+  module Node = struct
+    let equal (a : node) (b : node) = a = b
+
+    let alive t n = t.gens.(n land slot_mask) = n lsr 32
+
+    let prefix t n = t.prefix.(n land slot_mask)
+
+    let depth t n = t.flags.(n land slot_mask) lsr 4
+
+    let kind t n = if t.flags.(n land slot_mask) land 1 = 1 then Real else Fake
+
+    let set_kind t n k =
+      let s = n land slot_mask in
+      t.flags.(s) <-
+        (match k with
+        | Real -> t.flags.(s) lor 1
+        | Fake -> t.flags.(s) land lnot 1)
+
+    let original t n : Nexthop.t = t.original.(n land slot_mask)
+
+    let set_original t n (nh : Nexthop.t) = t.original.(n land slot_mask) <- nh
+
+    let selected t n : Nexthop.t = t.selected.(n land slot_mask)
+
+    let set_selected t n (nh : Nexthop.t) = t.selected.(n land slot_mask) <- nh
+
+    let status t n =
+      if t.flags.(n land slot_mask) land 2 = 2 then In_fib else Non_fib
+
+    let set_status t n st =
+      let s = n land slot_mask in
+      t.flags.(s) <-
+        (match st with
+        | In_fib -> t.flags.(s) lor 2
+        | Non_fib -> t.flags.(s) land lnot 2)
+
+    let table t n =
+      match (t.flags.(n land slot_mask) lsr 2) land 3 with
+      | 0 -> No_table
+      | 1 -> L1
+      | 2 -> L2
+      | _ -> Dram
+
+    let table_code = function No_table -> 0 | L1 -> 1 | L2 -> 2 | Dram -> 3
+
+    let set_table t n tb =
+      let s = n land slot_mask in
+      t.flags.(s) <- t.flags.(s) land lnot 12 lor (table_code tb lsl 2)
+
+    let installed_nh t n : Nexthop.t = t.installed.(n land slot_mask)
+
+    let set_installed_nh t n (nh : Nexthop.t) =
+      t.installed.(n land slot_mask) <- nh
+
+    let hits t n = t.hits.(n land slot_mask)
+
+    let set_hits t n v = t.hits.(n land slot_mask) <- v
+
+    let window t n = t.window.(n land slot_mask)
+
+    let set_window t n v = t.window.(n land slot_mask) <- v
+
+    let table_idx t n = t.table_idx.(n land slot_mask)
+
+    let set_table_idx t n v = t.table_idx.(n land slot_mask) <- v
+
+    let left t n = t.left.(n land slot_mask)
+
+    let right t n = t.right.(n land slot_mask)
+
+    let parent t n = t.parent.(n land slot_mask)
+  end
+
+  let grow t =
+    let cap = capacity t in
+    let cap' = 2 * cap in
+    let extend_int a = Array.append a (Array.make cap 0) in
+    t.prefix <- Array.append t.prefix (Array.make cap P.default);
+    t.flags <- extend_int t.flags;
+    t.original <- extend_int t.original;
+    t.selected <- extend_int t.selected;
+    t.installed <- extend_int t.installed;
+    t.hits <- extend_int t.hits;
+    t.window <- extend_int t.window;
+    t.table_idx <- extend_int t.table_idx;
+    t.left <- Array.append t.left (Array.make cap nil);
+    t.right <- Array.append t.right (Array.make cap nil);
+    t.parent <- Array.append t.parent (Array.make cap nil);
+    t.gens <- extend_int t.gens;
+    assert (capacity t = cap')
+
+  (* Allocate a slot (recycling the free list first) and initialise
+     every field, returning the slot's handle. [p] must be computed by
+     the caller {e before} calling (a [grow] swaps the arrays). *)
+  let alloc t ~parent ~kind ~original p =
+    let s =
+      if t.free_head >= 0 then begin
+        let s = t.free_head in
+        t.free_head <- t.left.(s);
+        t.free_len <- t.free_len - 1;
+        s
+      end
+      else begin
+        if t.high = capacity t then grow t;
+        let s = t.high in
+        t.high <- t.high + 1;
+        s
+      end
+    in
+    t.prefix.(s) <- p;
+    t.flags.(s) <- flags_word ~kind ~depth:(P.length p);
+    t.original.(s) <- original;
+    t.selected.(s) <- Nexthop.none;
+    t.installed.(s) <- Nexthop.none;
+    t.hits.(s) <- 0;
+    t.window.(s) <- -1;
+    t.table_idx.(s) <- -1;
+    t.left.(s) <- nil;
+    t.right.(s) <- nil;
+    t.parent.(s) <- parent;
+    t.nodes <- t.nodes + 1;
+    (t.gens.(s) lsl 32) lor s
+
+  (* Kill a slot: bump the generation (stale handles die), drop the
+     prefix box, thread the slot onto the free list through [left]. *)
+  let free t n =
+    let s = slot n in
+    t.gens.(s) <- t.gens.(s) + 1;
+    t.prefix.(s) <- P.default;
+    t.right.(s) <- nil;
+    t.parent.(s) <- nil;
+    t.left.(s) <- t.free_head;
+    t.free_head <- s;
+    t.free_len <- t.free_len + 1;
+    t.nodes <- t.nodes - 1
 
   let create ~default_nh =
     if Nexthop.is_none default_nh then
       invalid_arg "Bintrie.create: default next-hop must be a real next-hop";
-    let root = make_node ~kind:Real ~original:default_nh P.default in
-    { root; nodes = 1 }
+    let cap = 256 in
+    let t =
+      {
+        prefix = Array.make cap P.default;
+        flags = Array.make cap 0;
+        original = Array.make cap 0;
+        selected = Array.make cap 0;
+        installed = Array.make cap 0;
+        hits = Array.make cap 0;
+        window = Array.make cap 0;
+        table_idx = Array.make cap 0;
+        left = Array.make cap nil;
+        right = Array.make cap nil;
+        parent = Array.make cap nil;
+        gens = Array.make cap 0;
+        high = 0;
+        free_head = -1;
+        free_len = 0;
+        nodes = 0;
+      }
+    in
+    let r = alloc t ~parent:nil ~kind:Real ~original:default_nh P.default in
+    assert (r = 0);
+    t
 
-  let root t = t.root
+  let root _t = 0 (* slot 0, generation 0: allocated first, never freed *)
 
   let node_count t = t.nodes
 
-  let is_leaf n = n.left = None && n.right = None
+  let is_leaf t n =
+    let s = n land slot_mask in
+    t.left.(s) < 0 && t.right.(s) < 0
 
-  let child n right = if right then n.right else n.left
+  let child t n right =
+    if right then t.right.(n land slot_mask) else t.left.(n land slot_mask)
 
-  let set_child parent right c =
-    if right then parent.right <- Some c else parent.left <- Some c
+  let set_child t parent right c =
+    if right then t.right.(slot parent) <- c else t.left.(slot parent) <- c
 
   let new_child t parent right ~kind ~original =
-    let c =
-      make_node ~parent ~kind ~original (P.child parent.prefix right)
-    in
-    set_child parent right c;
-    t.nodes <- t.nodes + 1;
+    let p = P.child t.prefix.(slot parent) right in
+    let c = alloc t ~parent ~kind ~original p in
+    set_child t parent right c;
     c
 
   let add_route t p nh =
     if P.length p = 0 then begin
-      t.root.original <- nh;
-      t.root.kind <- Real;
-      t.root
+      t.original.(0) <- nh;
+      Node.set_kind t 0 Real;
+      root t
     end
     else begin
       let len = P.length p in
       let rec go n depth =
         if depth = len then begin
-          n.kind <- Real;
-          n.original <- nh;
+          Node.set_kind t n Real;
+          t.original.(slot n) <- nh;
           n
         end
         else
           let right = P.bit p depth in
           let next =
-            match child n right with
-            | Some c -> c
-            | None -> new_child t n right ~kind:Fake ~original:Nexthop.none
+            let c = child t n right in
+            if c >= 0 then c
+            else new_child t n right ~kind:Fake ~original:Nexthop.none
           in
           go next (depth + 1)
       in
-      go t.root 0
+      go (root t) 0
     end
 
   let extend t =
     (* Single DFS: fill FAKE originals with the nearest REAL ancestor's
-       next-hop and generate the missing sibling of any single child. *)
+       next-hop and generate the missing sibling of any single child.
+       Creation order (sibling before descending) matches the record
+       backend so slot assignment is deterministic. *)
     let rec go n inherited =
+      let s = slot n in
       let inherited =
-        if n.kind = Real then n.original
+        if t.flags.(s) land 1 = 1 then t.original.(s)
         else begin
-          n.original <- inherited;
+          t.original.(s) <- inherited;
           inherited
         end
       in
-      (match (n.left, n.right) with
-      | None, None -> ()
-      | Some _, None -> ignore (new_child t n true ~kind:Fake ~original:inherited)
-      | None, Some _ -> ignore (new_child t n false ~kind:Fake ~original:inherited)
-      | Some _, Some _ -> ());
-      (match n.left with Some c -> go c inherited | None -> ());
-      match n.right with Some c -> go c inherited | None -> ()
+      let l = t.left.(s) and r = t.right.(s) in
+      if l >= 0 && r < 0 then
+        ignore (new_child t n true ~kind:Fake ~original:inherited)
+      else if l < 0 && r >= 0 then
+        ignore (new_child t n false ~kind:Fake ~original:inherited);
+      let l = t.left.(s) in
+      if l >= 0 then go l inherited;
+      let r = t.right.(s) in
+      if r >= 0 then go r inherited
     in
-    go t.root t.root.original
+    let r = root t in
+    go r t.original.(slot r)
 
   let find t p =
     let len = P.length p in
     let rec go n depth =
-      if depth = len then Some n
+      if depth = len then n
       else
-        match child n (P.bit p depth) with
-        | Some c -> go c (depth + 1)
-        | None -> None
+        let c = child t n (P.bit p depth) in
+        if c < 0 then nil else go c (depth + 1)
     in
-    go t.root 0
+    go (root t) 0
 
   let descend_to_leaf t addr =
     let rec go n =
-      if is_leaf n then n
+      if is_leaf t n then n
       else
-        match child n (P.Addr.bit addr n.depth) with
-        | Some c -> go c
-        | None -> n (* non-full trees only happen pre-extension *)
+        let c = child t n (P.Addr.bit addr (Node.depth t n)) in
+        if c < 0 then n (* non-full trees only happen pre-extension *)
+        else go c
     in
-    go t.root
+    go (root t)
 
   let lookup_in_fib t addr =
     let rec go n =
-      if n.status = In_fib then Some n
-      else if is_leaf n then None
+      let s = n land slot_mask in
+      if t.flags.(s) land 2 = 2 then n
       else
-        match child n (P.Addr.bit addr n.depth) with
-        | Some c -> go c
-        | None -> None
+        let c =
+          if P.Addr.bit addr (t.flags.(s) lsr 4) then t.right.(s)
+          else t.left.(s)
+        in
+        if c < 0 then nil else go c
     in
-    go t.root
-
-  type fragmentation = { target : node; anchor : node; created : node list }
+    go (root t)
 
   let fragment t p anchor_hint =
     let anchor =
-      match anchor_hint with
-      | Some n -> n
-      | None ->
-          let len = P.length p in
-          let rec go n =
-            if is_leaf n || n.depth = len then n
-            else
-              match child n (P.bit p n.depth) with
-              | Some c -> go c
-              | None -> n
-          in
-          go t.root
+      if not (is_nil anchor_hint) then anchor_hint
+      else begin
+        let len = P.length p in
+        let rec go n =
+          if is_leaf t n || Node.depth t n = len then n
+          else
+            let c = child t n (P.bit p (Node.depth t n)) in
+            if c < 0 then n else go c
+        in
+        go (root t)
+      end
     in
-    if not (is_leaf anchor) then
+    if not (is_leaf t anchor) then
       invalid_arg "Bintrie.fragment: anchor is not a leaf";
-    if not (P.contains anchor.prefix p) || P.equal anchor.prefix p then
-      invalid_arg "Bintrie.fragment: prefix does not extend the anchor";
-    let inherited = anchor.original in
+    if
+      (not (P.contains (Node.prefix t anchor) p))
+      || P.equal (Node.prefix t anchor) p
+    then invalid_arg "Bintrie.fragment: prefix does not extend the anchor";
+    let inherited = Node.original t anchor in
     let len = P.length p in
-    let rec grow n created =
-      let right = P.bit p n.depth in
+    let rec grow_path n created =
+      let right = P.bit p (Node.depth t n) in
       let on_path = new_child t n right ~kind:Fake ~original:inherited in
       let sibling = new_child t n (not right) ~kind:Fake ~original:inherited in
       let created = sibling :: on_path :: created in
-      if on_path.depth = len then (on_path, created) else grow on_path created
+      if Node.depth t on_path = len then (on_path, created)
+      else grow_path on_path created
     in
-    let target, created_rev = grow anchor [] in
-    { target; anchor; created = List.rev created_rev }
+    let target, created_rev = grow_path anchor [] in
+    (target, anchor, List.rev created_rev)
 
   let remove_children t n =
-    (match (n.left, n.right) with
-    | Some l, Some r ->
-        if not (is_leaf l && is_leaf r) then
-          invalid_arg "Bintrie.remove_children: children are not leaves";
-        l.parent <- None;
-        r.parent <- None;
-        t.nodes <- t.nodes - 2
-    | _ -> invalid_arg "Bintrie.remove_children: not an internal full node");
-    n.left <- None;
-    n.right <- None
+    let s = slot n in
+    let l = t.left.(s) and r = t.right.(s) in
+    if l < 0 || r < 0 then
+      invalid_arg "Bintrie.remove_children: not an internal full node";
+    if not (is_leaf t l && is_leaf t r) then
+      invalid_arg "Bintrie.remove_children: children are not leaves";
+    free t l;
+    free t r;
+    t.left.(s) <- nil;
+    t.right.(s) <- nil
 
-  let removable n =
-    is_leaf n && n.kind = Fake && n.status = Non_fib
+  let removable t n =
+    is_leaf t n && Node.kind t n = Fake && Node.status t n = Non_fib
 
   let compact_upward t n =
     let rec go n =
-      match n.parent with
-      | None -> n
-      | Some parent -> (
-          match (parent.left, parent.right) with
-          | Some l, Some r
-            when removable l && removable r && Nexthop.equal l.original r.original
-            ->
-              remove_children t parent;
-              go parent
-          | _ -> n)
+      let parent = Node.parent t n in
+      if parent < 0 then n
+      else
+        let l = child t parent false and r = child t parent true in
+        if
+          l >= 0 && r >= 0 && removable t l && removable t r
+          && Nexthop.equal (Node.original t l) (Node.original t r)
+        then begin
+          remove_children t parent;
+          go parent
+        end
+        else n
     in
     go n
 
-  let rec iter_post f n =
-    (match n.left with Some c -> iter_post f c | None -> ());
-    (match n.right with Some c -> iter_post f c | None -> ());
-    f n
+  let iter_post t f n =
+    let rec go n =
+      let l = child t n false in
+      if l >= 0 then go l;
+      let r = child t n true in
+      if r >= 0 then go r;
+      f n
+    in
+    go n
 
   let iter_leaves f t =
     let rec go n =
-      if is_leaf n then f n
+      if is_leaf t n then f n
       else begin
-        (match n.left with Some c -> go c | None -> ());
-        match n.right with Some c -> go c | None -> ()
+        let l = child t n false in
+        if l >= 0 then go l;
+        let r = child t n true in
+        if r >= 0 then go r
       end
     in
-    go t.root
+    go (root t)
 
   let iter_in_fib f t =
     let rec go n =
-      if n.status = In_fib then f n
+      if Node.status t n = In_fib then f n
       else begin
-        (match n.left with Some c -> go c | None -> ());
-        match n.right with Some c -> go c | None -> ()
+        let l = child t n false in
+        if l >= 0 then go l;
+        let r = child t n true in
+        if r >= 0 then go r
       end
     in
-    go t.root
+    go (root t)
 
   let fold_nodes f acc t =
     let rec go acc n =
       let acc = f acc n in
-      let acc = match n.left with Some c -> go acc c | None -> acc in
-      match n.right with Some c -> go acc c | None -> acc
+      let acc =
+        let l = child t n false in
+        if l >= 0 then go acc l else acc
+      in
+      let r = child t n true in
+      if r >= 0 then go acc r else acc
     in
-    go acc t.root
+    go acc (root t)
 
   let leaf_count t =
-    fold_nodes (fun acc n -> if is_leaf n then acc + 1 else acc) 0 t
+    fold_nodes (fun acc n -> if is_leaf t n then acc + 1 else acc) 0 t
 
   let in_fib_count t =
-    fold_nodes (fun acc n -> if n.status = In_fib then acc + 1 else acc) 0 t
+    fold_nodes (fun acc n -> if Node.status t n = In_fib then acc + 1 else acc)
+      0 t
 
   let invariant t =
     let exception Violation of string in
@@ -261,40 +462,70 @@ module Make (P : Family.PREFIX) = struct
     let count = ref 0 in
     let rec check n =
       incr count;
-      (match (n.left, n.right) with
-      | None, None -> ()
-      | Some _, Some _ -> ()
-      | _ -> fail "node %s has exactly one child" (P.to_string n.prefix));
-      if n.kind = Fake then begin
-        (match n.parent with
-        | None -> fail "root is FAKE"
-        | Some p ->
-            if not (Nexthop.equal n.original p.original) then
-              fail "FAKE node %s original %s differs from parent's %s"
-                (P.to_string n.prefix)
-                (Nexthop.to_string n.original)
-                (Nexthop.to_string p.original))
+      if not (Node.alive t n) then
+        fail "dead handle reachable at slot %d" (slot n);
+      let l = child t n false and r = child t n true in
+      if (l >= 0) <> (r >= 0) then
+        fail "node %s has exactly one child" (P.to_string (Node.prefix t n));
+      if Node.kind t n = Fake then begin
+        let p = Node.parent t n in
+        if p < 0 then fail "root is FAKE"
+        else if not (Nexthop.equal (Node.original t n) (Node.original t p))
+        then
+          fail "FAKE node %s original %s differs from parent's %s"
+            (P.to_string (Node.prefix t n))
+            (Nexthop.to_string (Node.original t n))
+            (Nexthop.to_string (Node.original t p))
       end;
-      if Nexthop.is_none n.original then
-        fail "node %s has no original next-hop" (P.to_string n.prefix);
+      if Nexthop.is_none (Node.original t n) then
+        fail "node %s has no original next-hop"
+          (P.to_string (Node.prefix t n));
       let check_child right c =
-        if not (P.equal c.prefix (P.child n.prefix right)) then
-          fail "child prefix mismatch under %s" (P.to_string n.prefix);
-        (match c.parent with
-        | Some p when p == n -> ()
-        | _ -> fail "broken parent link at %s" (P.to_string c.prefix));
+        if not (P.equal (Node.prefix t c) (P.child (Node.prefix t n) right))
+        then
+          fail "child prefix mismatch under %s"
+            (P.to_string (Node.prefix t n));
+        if not (Node.equal (Node.parent t c) n) then
+          fail "broken parent link at %s" (P.to_string (Node.prefix t c));
         check c
       in
-      (match n.left with Some c -> check_child false c | None -> ());
-      match n.right with Some c -> check_child true c | None -> ()
+      if l >= 0 then check_child false l;
+      if r >= 0 then check_child true r
     in
-    match check t.root with
+    match check (root t) with
     | () ->
         if !count <> t.nodes then
           Error
             (Printf.sprintf "node count drift: counted %d, recorded %d" !count
                t.nodes)
-        else Ok ()
+        else begin
+          (* arena accounting: free list length and slot conservation *)
+          let walked = ref 0 and cursor = ref t.free_head in
+          while !cursor >= 0 && !walked <= t.high do
+            incr walked;
+            cursor := t.left.(!cursor)
+          done;
+          if !walked <> t.free_len then
+            Error
+              (Printf.sprintf "free-list drift: walked %d, recorded %d"
+                 !walked t.free_len)
+          else if t.nodes + t.free_len <> t.high then
+            Error
+              (Printf.sprintf
+                 "slot leak: %d live + %d free <> %d allocated" t.nodes
+                 t.free_len t.high)
+          else Ok ()
+        end
     | exception Violation msg -> Error msg
 
+  let live_slots t = t.nodes
+
+  let free_slots t = capacity t - t.nodes
+
+  let approx_heap_words t =
+    (* 12 parallel arrays (one word per slot + header) plus one 3-word
+       boxed prefix per live node *)
+    (12 * (capacity t + 1)) + (3 * t.nodes)
+
+  let backend_name = "arena"
 end

@@ -1,0 +1,226 @@
+(* The binary prefix tree signature shared by every backend.
+
+   Two implementations satisfy [S]:
+   - {!Bintrie_f.Make} — the arena (struct-of-arrays) backend used in
+     production: nodes are int handles into parallel arrays, no
+     per-update allocation, slots recycled through a free list;
+   - {!Bintrie_ref.Make} — the original record-per-node backend, kept
+     as a differential oracle for [lib/check].
+
+   Because [node] is abstract, all state access goes through the [Node]
+   accessor module ([Node.selected t n], [Node.set_table t n L1], ...);
+   absent children/parents are the [nil] sentinel, never an [option],
+   so hot paths neither allocate nor fall into polymorphic-equality
+   traps on boxed values. *)
+
+open Cfca_prefix
+
+(* The per-node annotations of the paper (§3.1), defined once so that
+   every backend and every functor instantiation shares the same
+   variant constructors: [T1.L1] and [T2.L1] are the *same* constructor
+   even when [T1] and [T2] are different backends, which is what lets
+   the differential oracle and the update bench compare table vectors
+   across backends directly. *)
+module Flags = struct
+  type kind = Real | Fake
+
+  type fib_status = In_fib | Non_fib
+
+  type table = No_table | L1 | L2 | Dram
+end
+
+module type S = sig
+  type prefix
+
+  type addr
+
+  type kind = Flags.kind = Real | Fake
+
+  type fib_status = Flags.fib_status = In_fib | Non_fib
+
+  type table = Flags.table = No_table | L1 | L2 | Dram
+
+  type t
+
+  type node
+  (** A node reference. For the arena backend this is a generation-tagged
+      int handle; for the record backend a pointer. Always compare with
+      {!Node.equal}, never [Stdlib.(=)]. *)
+
+  val nil : node
+  (** Sentinel for "no node" (absent child, no parent, failed lookup). *)
+
+  val is_nil : node -> bool
+
+  module Node : sig
+    val equal : node -> node -> bool
+    (** Identity. Two handles to a recycled slot from different
+        generations are {e not} equal, mirroring physical inequality of
+        a freed record and its replacement. *)
+
+    val alive : t -> node -> bool
+    (** Whether the reference still designates a live node. Record nodes
+        are garbage-collected so stale pointers stay "alive" (but
+        detached); arena slots are recycled, so stale handles turn dead
+        the moment the slot is freed. *)
+
+    val prefix : t -> node -> prefix
+
+    val depth : t -> node -> int
+
+    val kind : t -> node -> kind
+
+    val set_kind : t -> node -> kind -> unit
+
+    val original : t -> node -> Nexthop.t
+    (** [n.o] — next-hop from the RIB (inherited for FAKE nodes). *)
+
+    val set_original : t -> node -> Nexthop.t -> unit
+
+    val selected : t -> node -> Nexthop.t
+    (** [n.s] — set by the aggregation algorithm. *)
+
+    val set_selected : t -> node -> Nexthop.t -> unit
+
+    val status : t -> node -> fib_status
+    (** [n.f] — whether this node's prefix belongs in the data plane. *)
+
+    val set_status : t -> node -> fib_status -> unit
+
+    val table : t -> node -> table
+    (** [n.t] — which data-plane table currently holds the entry. *)
+
+    val set_table : t -> node -> table -> unit
+
+    val installed_nh : t -> node -> Nexthop.t
+    (** Next-hop value last pushed to the data plane; {!Nexthop.none}
+        when not installed. Used to suppress no-op pushes. *)
+
+    val set_installed_nh : t -> node -> Nexthop.t -> unit
+
+    val hits : t -> node -> int
+    (** Traffic counter within the current threshold window. Owned by
+        the data plane. *)
+
+    val set_hits : t -> node -> int -> unit
+
+    val window : t -> node -> int
+    (** Threshold-window id of [hits]; [-1] when untouched. Owned by the
+        data plane. *)
+
+    val set_window : t -> node -> int -> unit
+
+    val table_idx : t -> node -> int
+    (** Slot of this entry in its table's membership vector; [-1] when
+        not in a table. Owned by the data plane. *)
+
+    val set_table_idx : t -> node -> int -> unit
+
+    val left : t -> node -> node
+
+    val right : t -> node -> node
+
+    val parent : t -> node -> node
+  end
+
+  val create : default_nh:Nexthop.t -> t
+  (** A tree holding only the root (/0, REAL, [default_nh]).
+      @raise Invalid_argument if [default_nh] is {!Nexthop.none}. *)
+
+  val root : t -> node
+
+  val node_count : t -> int
+  (** Total live nodes. O(1). *)
+
+  val leaf_count : t -> int
+  (** Number of leaves, i.e. size of the non-overlapping prefix set. O(n). *)
+
+  val is_leaf : t -> node -> bool
+
+  val child : t -> node -> bool -> node
+  (** [child t n right]; {!nil} when absent. *)
+
+  val add_route : t -> prefix -> Nexthop.t -> node
+  (** Pre-extension bulk loading: create (or update) the REAL node for a
+      prefix. Intermediate nodes are created FAKE with a placeholder
+      next-hop; the tree may transiently have single-child nodes until
+      {!extend} runs. Adding the /0 prefix re-points the root's next-hop. *)
+
+  val extend : t -> unit
+  (** Prefix extension (Fig. 3): complete the tree into a full binary
+      tree, generating FAKE siblings, and propagate inherited original
+      next-hops into all FAKE nodes. Idempotent. *)
+
+  val find : t -> prefix -> node
+  (** Exact-match node lookup; {!nil} when absent. *)
+
+  val descend_to_leaf : t -> addr -> node
+  (** Follow an address from the root to the unique leaf covering it.
+      Requires a full tree. *)
+
+  val lookup_in_fib : t -> addr -> node
+  (** Walk an address's path from the root and return the node marked
+      IN_FIB on it; {!nil} if the path has none. Because the IN_FIB set
+      is non-overlapping there is at most one. *)
+
+  val fragment : t -> prefix -> node -> node * node * node list
+  (** [fragment t p anchor_hint] implements Algorithm 6: starting from
+      the leaf ancestor of [p] (found by descent, or [anchor_hint] if
+      not {!nil}), grow the path down to [p], creating FAKE siblings
+      inheriting the anchor's original next-hop at every level. Returns
+      [(target, anchor, created)]: the (new, still FAKE) node for [p],
+      the fragmented leaf (internal afterwards), and all freshly created
+      nodes in root-to-leaf order. The caller flips [target] to REAL and
+      assigns its next-hop. Requires that no node for [p] exists and the
+      tree is full. *)
+
+  val remove_children : t -> node -> unit
+  (** Delete both children of a node (they must be leaves), turning it
+      into a leaf. The caller is responsible for having removed the
+      children from the data plane first. Arena backends recycle the two
+      slots, killing any outstanding handles to them.
+      @raise Invalid_argument if the node is not internal or a child is
+      itself internal. *)
+
+  val compact_upward : t -> node -> node
+  (** Remove sibling FAKE leaf pairs (paper §3.1.2, withdrawal): while
+      the given node and its sibling are both FAKE leaves with NON_FIB
+      status and equal original next-hops, delete both and continue from
+      the parent. Returns the highest node that became (or remained) a
+      leaf. Nodes with IN_FIB status are never removed. *)
+
+  val iter_post : t -> (node -> unit) -> node -> unit
+  (** Post-order traversal of the subtree rooted at a node. *)
+
+  val iter_leaves : (node -> unit) -> t -> unit
+
+  val iter_in_fib : (node -> unit) -> t -> unit
+  (** Visit every IN_FIB node (prunes below points of aggregation). *)
+
+  val fold_nodes : ('acc -> node -> 'acc) -> 'acc -> t -> 'acc
+  (** Pre-order fold over every node. *)
+
+  val in_fib_count : t -> int
+
+  val invariant : t -> (unit, string) result
+  (** Structural invariant check (used by tests): fullness, FAKE
+      inheritance, prefix/child consistency, parent links, node count —
+      plus, on the arena backend, free-list and slot-accounting audits. *)
+
+  val live_slots : t -> int
+  (** Slots currently holding a live node (= {!node_count}). *)
+
+  val free_slots : t -> int
+  (** Allocated-but-unused slots (free list + never-used headroom). *)
+
+  val capacity : t -> int
+  (** Total slots allocated (live + free). *)
+
+  val approx_heap_words : t -> int
+  (** Approximate live heap words held by the tree's node storage —
+      comparable across backends (arrays + headers for the arena;
+      records + boxed options for the record backend). *)
+
+  val backend_name : string
+  (** ["arena"] or ["record"] — used in bench output. *)
+end

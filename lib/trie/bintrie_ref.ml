@@ -1,0 +1,385 @@
+(* The record-per-node reference backend of the binary prefix tree —
+   the original implementation, kept alive behind {!Bintrie_intf.S} so
+   [lib/check] can run it as a differential oracle against the arena
+   backend ({!Bintrie_f}), and so the update bench can price the
+   pointer-chasing layout the arena replaces.
+
+   Absent links are a single cyclic [nil] sentinel record rather than
+   [option]s: the accessor API never exposes an option, and the
+   polymorphic-equality-on-options bug class (the old
+   [n.left = None]) is gone by construction. *)
+
+open Cfca_prefix
+
+module Make (P : Family.PREFIX) :
+  Bintrie_intf.S with type prefix = P.t and type addr = P.Addr.t = struct
+  type prefix = P.t
+
+  type addr = P.Addr.t
+
+  type kind = Bintrie_intf.Flags.kind = Real | Fake
+
+  type fib_status = Bintrie_intf.Flags.fib_status = In_fib | Non_fib
+
+  type table = Bintrie_intf.Flags.table = No_table | L1 | L2 | Dram
+
+  type node = {
+    prefix : P.t;
+    depth : int;
+    mutable kind : kind;
+    mutable original : Nexthop.t;
+    mutable selected : Nexthop.t;
+    mutable status : fib_status;
+    mutable table : table;
+    mutable installed_nh : Nexthop.t;
+    mutable hits : int;
+    mutable window : int;
+    mutable table_idx : int;
+    mutable left : node;
+    mutable right : node;
+    mutable parent : node;
+  }
+
+  let rec nil =
+    {
+      prefix = P.default;
+      depth = -1;
+      kind = Fake;
+      original = Nexthop.none;
+      selected = Nexthop.none;
+      status = Non_fib;
+      table = No_table;
+      installed_nh = Nexthop.none;
+      hits = 0;
+      window = -1;
+      table_idx = -1;
+      left = nil;
+      right = nil;
+      parent = nil;
+    }
+
+  let is_nil n = n == nil
+
+  module Node = struct
+    let equal (a : node) b = a == b
+
+    let alive _t _n = true
+
+    let prefix _t n = n.prefix
+
+    let depth _t n = n.depth
+
+    let kind _t n = n.kind
+
+    let set_kind _t n k = n.kind <- k
+
+    let original _t n = n.original
+
+    let set_original _t n nh = n.original <- nh
+
+    let selected _t n = n.selected
+
+    let set_selected _t n nh = n.selected <- nh
+
+    let status _t n = n.status
+
+    let set_status _t n st = n.status <- st
+
+    let table _t n = n.table
+
+    let set_table _t n tb = n.table <- tb
+
+    let installed_nh _t n = n.installed_nh
+
+    let set_installed_nh _t n nh = n.installed_nh <- nh
+
+    let hits _t n = n.hits
+
+    let set_hits _t n v = n.hits <- v
+
+    let window _t n = n.window
+
+    let set_window _t n v = n.window <- v
+
+    let table_idx _t n = n.table_idx
+
+    let set_table_idx _t n v = n.table_idx <- v
+
+    let left _t n = n.left
+
+    let right _t n = n.right
+
+    let parent _t n = n.parent
+  end
+
+  type t = { root : node; mutable nodes : int }
+
+  let make_node ~parent ~kind ~original prefix =
+    {
+      prefix;
+      depth = P.length prefix;
+      kind;
+      original;
+      selected = Nexthop.none;
+      status = Non_fib;
+      table = No_table;
+      installed_nh = Nexthop.none;
+      hits = 0;
+      window = -1;
+      table_idx = -1;
+      left = nil;
+      right = nil;
+      parent;
+    }
+
+  let create ~default_nh =
+    if Nexthop.is_none default_nh then
+      invalid_arg "Bintrie.create: default next-hop must be a real next-hop";
+    let root = make_node ~parent:nil ~kind:Real ~original:default_nh P.default in
+    { root; nodes = 1 }
+
+  let root t = t.root
+
+  let node_count t = t.nodes
+
+  let is_leaf _t n = n.left == nil && n.right == nil
+
+  let child _t n right = if right then n.right else n.left
+
+  let set_child parent right c =
+    if right then parent.right <- c else parent.left <- c
+
+  let new_child t parent right ~kind ~original =
+    let c =
+      make_node ~parent ~kind ~original (P.child parent.prefix right)
+    in
+    set_child parent right c;
+    t.nodes <- t.nodes + 1;
+    c
+
+  let add_route t p nh =
+    if P.length p = 0 then begin
+      t.root.original <- nh;
+      t.root.kind <- Real;
+      t.root
+    end
+    else begin
+      let len = P.length p in
+      let rec go n depth =
+        if depth = len then begin
+          n.kind <- Real;
+          n.original <- nh;
+          n
+        end
+        else
+          let right = P.bit p depth in
+          let next =
+            let c = child t n right in
+            if c != nil then c
+            else new_child t n right ~kind:Fake ~original:Nexthop.none
+          in
+          go next (depth + 1)
+      in
+      go t.root 0
+    end
+
+  let extend t =
+    let rec go n inherited =
+      let inherited =
+        if n.kind = Real then n.original
+        else begin
+          n.original <- inherited;
+          inherited
+        end
+      in
+      if n.left != nil && n.right == nil then
+        ignore (new_child t n true ~kind:Fake ~original:inherited)
+      else if n.left == nil && n.right != nil then
+        ignore (new_child t n false ~kind:Fake ~original:inherited);
+      if n.left != nil then go n.left inherited;
+      if n.right != nil then go n.right inherited
+    in
+    go t.root t.root.original
+
+  let find t p =
+    let len = P.length p in
+    let rec go n depth =
+      if depth = len then n
+      else
+        let c = child t n (P.bit p depth) in
+        if c == nil then nil else go c (depth + 1)
+    in
+    go t.root 0
+
+  let descend_to_leaf t addr =
+    let rec go n =
+      if is_leaf t n then n
+      else
+        let c = child t n (P.Addr.bit addr n.depth) in
+        if c == nil then n (* non-full trees only happen pre-extension *)
+        else go c
+    in
+    go t.root
+
+  let lookup_in_fib t addr =
+    let rec go n =
+      if n.status = In_fib then n
+      else if is_leaf t n then nil
+      else
+        let c = child t n (P.Addr.bit addr n.depth) in
+        if c == nil then nil else go c
+    in
+    go t.root
+
+  let fragment t p anchor_hint =
+    let anchor =
+      if anchor_hint != nil then anchor_hint
+      else begin
+        let len = P.length p in
+        let rec go n =
+          if is_leaf t n || n.depth = len then n
+          else
+            let c = child t n (P.bit p n.depth) in
+            if c == nil then n else go c
+        in
+        go t.root
+      end
+    in
+    if not (is_leaf t anchor) then
+      invalid_arg "Bintrie.fragment: anchor is not a leaf";
+    if not (P.contains anchor.prefix p) || P.equal anchor.prefix p then
+      invalid_arg "Bintrie.fragment: prefix does not extend the anchor";
+    let inherited = anchor.original in
+    let len = P.length p in
+    let rec grow n created =
+      let right = P.bit p n.depth in
+      let on_path = new_child t n right ~kind:Fake ~original:inherited in
+      let sibling = new_child t n (not right) ~kind:Fake ~original:inherited in
+      let created = sibling :: on_path :: created in
+      if on_path.depth = len then (on_path, created) else grow on_path created
+    in
+    let target, created_rev = grow anchor [] in
+    (target, anchor, List.rev created_rev)
+
+  let remove_children t n =
+    if n.left == nil || n.right == nil then
+      invalid_arg "Bintrie.remove_children: not an internal full node";
+    if not (is_leaf t n.left && is_leaf t n.right) then
+      invalid_arg "Bintrie.remove_children: children are not leaves";
+    n.left.parent <- nil;
+    n.right.parent <- nil;
+    t.nodes <- t.nodes - 2;
+    n.left <- nil;
+    n.right <- nil
+
+  let removable t n =
+    is_leaf t n && n.kind = Fake && n.status = Non_fib
+
+  let compact_upward t n =
+    let rec go n =
+      if n.parent == nil then n
+      else
+        let parent = n.parent in
+        let l = parent.left and r = parent.right in
+        if
+          l != nil && r != nil && removable t l && removable t r
+          && Nexthop.equal l.original r.original
+        then begin
+          remove_children t parent;
+          go parent
+        end
+        else n
+    in
+    go n
+
+  let iter_post _t f n =
+    let rec go n =
+      if n.left != nil then go n.left;
+      if n.right != nil then go n.right;
+      f n
+    in
+    go n
+
+  let iter_leaves f t =
+    let rec go n =
+      if is_leaf t n then f n
+      else begin
+        if n.left != nil then go n.left;
+        if n.right != nil then go n.right
+      end
+    in
+    go t.root
+
+  let iter_in_fib f t =
+    let rec go n =
+      if n.status = In_fib then f n
+      else begin
+        if n.left != nil then go n.left;
+        if n.right != nil then go n.right
+      end
+    in
+    go t.root
+
+  let fold_nodes f acc t =
+    let rec go acc n =
+      let acc = f acc n in
+      let acc = if n.left != nil then go acc n.left else acc in
+      if n.right != nil then go acc n.right else acc
+    in
+    go acc t.root
+
+  let leaf_count t =
+    fold_nodes (fun acc n -> if is_leaf t n then acc + 1 else acc) 0 t
+
+  let in_fib_count t =
+    fold_nodes (fun acc n -> if n.status = In_fib then acc + 1 else acc) 0 t
+
+  let invariant t =
+    let exception Violation of string in
+    let fail fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt in
+    let count = ref 0 in
+    let rec check n =
+      incr count;
+      if (n.left == nil) <> (n.right == nil) then
+        fail "node %s has exactly one child" (P.to_string n.prefix);
+      if n.kind = Fake then begin
+        if n.parent == nil then fail "root is FAKE"
+        else if not (Nexthop.equal n.original n.parent.original) then
+          fail "FAKE node %s original %s differs from parent's %s"
+            (P.to_string n.prefix)
+            (Nexthop.to_string n.original)
+            (Nexthop.to_string n.parent.original)
+      end;
+      if Nexthop.is_none n.original then
+        fail "node %s has no original next-hop" (P.to_string n.prefix);
+      let check_child right c =
+        if not (P.equal c.prefix (P.child n.prefix right)) then
+          fail "child prefix mismatch under %s" (P.to_string n.prefix);
+        if c.parent != n then
+          fail "broken parent link at %s" (P.to_string c.prefix);
+        check c
+      in
+      if n.left != nil then check_child false n.left;
+      if n.right != nil then check_child true n.right
+    in
+    match check t.root with
+    | () ->
+        if !count <> t.nodes then
+          Error
+            (Printf.sprintf "node count drift: counted %d, recorded %d" !count
+               t.nodes)
+        else Ok ()
+    | exception Violation msg -> Error msg
+
+  let live_slots t = t.nodes
+
+  let free_slots _t = 0
+
+  let capacity t = t.nodes
+
+  let approx_heap_words t =
+    (* 14 fields + header per record, plus the 3-word boxed prefix *)
+    18 * t.nodes
+
+  let backend_name = "record"
+end

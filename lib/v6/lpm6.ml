@@ -38,20 +38,20 @@ let descend ~create t p =
 let add t p v =
   match descend ~create:true t p with
   | Some node ->
-      if node.value = None then t.count <- t.count + 1;
+      if Option.is_none node.value then t.count <- t.count + 1;
       node.value <- Some v
   | None -> assert false
 
 let find t p =
   match descend ~create:false t p with Some node -> node.value | None -> None
 
-let mem t p = find t p <> None
+let mem t p = Option.is_some (find t p)
 
 let remove t p =
   let len = Prefix6.length p in
   let rec go node depth =
     if depth = len then begin
-      if node.value <> None then t.count <- t.count - 1;
+      if Option.is_some node.value then t.count <- t.count - 1;
       node.value <- None
     end
     else begin
@@ -61,7 +61,8 @@ let remove t p =
       | None -> ()
       | Some c ->
           go c (depth + 1);
-          if c.value = None && c.left = None && c.right = None then
+          if Option.is_none c.value && Option.is_none c.left && Option.is_none c.right
+          then
             if right then node.right <- None else node.left <- None
     end
   in

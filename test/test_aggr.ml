@@ -67,7 +67,7 @@ let test_faqs_not_larger_than_extension () =
 let test_incremental_update () =
   let ops = ref 0 in
   let t = mk Aggr.Fifa paper_routes in
-  Aggr.set_sink t (fun _ -> incr ops);
+  Aggr.set_sink t (fun _ _ -> incr ops);
   (* same update as the paper's Fig. 6: C's next-hop becomes 2 *)
   Aggr.announce t (p "129.10.124.64/26") 2;
   expect_verify t;

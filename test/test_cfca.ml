@@ -30,14 +30,16 @@ let load_rm ?sink routes =
   rm
 
 let status rm q =
-  match Bintrie.find (Route_manager.tree rm) (p q) with
-  | Some n -> n.Bintrie.status
-  | None -> Alcotest.failf "node %s missing" q
+  let tr = Route_manager.tree rm in
+  let n = Bintrie.find tr (p q) in
+  if Bintrie.is_nil n then Alcotest.failf "node %s missing" q
+  else Bintrie.Node.status tr n
 
 let installed rm q =
-  match Bintrie.find (Route_manager.tree rm) (p q) with
-  | Some n -> n.Bintrie.installed_nh
-  | None -> Alcotest.failf "node %s missing" q
+  let tr = Route_manager.tree rm in
+  let n = Bintrie.find tr (p q) in
+  if Bintrie.is_nil n then Alcotest.failf "node %s missing" q
+  else Bintrie.Node.installed_nh tr n
 
 let expect_verify rm =
   match Route_manager.verify rm with
@@ -84,7 +86,7 @@ let test_paper_forwarding () =
 let test_paper_update_c () =
   let ops = ref [] in
   let rm = load_rm paper_routes in
-  Route_manager.set_sink rm (fun op -> ops := op :: !ops);
+  Route_manager.set_sink rm (fun _ op -> ops := op :: !ops);
   Route_manager.announce rm (p "129.10.124.64/26") 2;
   expect_verify rm;
   (* E de-aggregates: F and C enter the FIB, E leaves it. *)
@@ -110,9 +112,10 @@ let test_paper_announce_h () =
   check_int "lookup I region now 2" 2
     (Route_manager.lookup rm (addr "129.10.124.130"));
   (* H flipped FAKE -> REAL in place: no new nodes *)
-  match Bintrie.find (Route_manager.tree rm) (p "129.10.124.128/25") with
-  | Some n -> check "H real" true (n.Bintrie.kind = Bintrie.Real)
-  | None -> Alcotest.fail "H missing"
+  let tr = Route_manager.tree rm in
+  let n = Bintrie.find tr (p "129.10.124.128/25") in
+  if Bintrie.is_nil n then Alcotest.fail "H missing"
+  else check "H real" true (Bintrie.Node.kind tr n = Bintrie.Real)
 
 let test_withdraw_reaggregates () =
   let rm = load_rm paper_routes in
@@ -130,7 +133,7 @@ let test_withdraw_reaggregates () =
 let test_withdraw_unknown_is_noop () =
   let ops = ref 0 in
   let rm = load_rm paper_routes in
-  Route_manager.set_sink rm (fun _ -> incr ops);
+  Route_manager.set_sink rm (fun _ _ -> incr ops);
   Route_manager.withdraw rm (p "1.2.3.0/24");
   (* withdrawing a FAKE (extension-generated) prefix is also a no-op *)
   Route_manager.withdraw rm (p "129.10.124.32/27");
@@ -140,7 +143,7 @@ let test_withdraw_unknown_is_noop () =
 let test_announce_same_nh_is_noop () =
   let ops = ref 0 in
   let rm = load_rm paper_routes in
-  Route_manager.set_sink rm (fun _ -> incr ops);
+  Route_manager.set_sink rm (fun _ _ -> incr ops);
   Route_manager.announce rm (p "129.10.124.0/24") 1;
   check_int "re-announce same nh: no churn" 0 !ops;
   (* flipping a FAKE node REAL with its inherited next-hop changes no
@@ -182,13 +185,15 @@ let test_aggregation_to_single_default () =
   let rm = load_rm [ ("10.0.0.0/8", 9); ("10.1.0.0/16", 9); ("192.168.0.0/16", 9) ] in
   expect_verify rm;
   check_int "one entry" 1 (Route_manager.fib_size rm);
-  check "root in fib" true
-    ((Bintrie.root (Route_manager.tree rm)).Bintrie.status = Bintrie.In_fib);
+  let root_status rm =
+    let tr = Route_manager.tree rm in
+    Bintrie.Node.status tr (Bintrie.root tr)
+  in
+  check "root in fib" true (root_status rm = Bintrie.In_fib);
   (* a single differing announcement de-aggregates the root *)
   Route_manager.announce rm (p "10.0.0.0/8") 3;
   expect_verify rm;
-  check "root out" true
-    ((Bintrie.root (Route_manager.tree rm)).Bintrie.status = Bintrie.Non_fib);
+  check "root out" true (root_status rm = Bintrie.Non_fib);
   check_int "new nh" 3 (Route_manager.lookup rm (addr "10.5.5.5"));
   check_int "rest keeps default" 9 (Route_manager.lookup rm (addr "11.0.0.1"))
 
@@ -202,7 +207,7 @@ let test_compression_vs_extension () =
 let test_burst_counting () =
   let ops = ref [] in
   let rm = load_rm paper_routes in
-  Route_manager.set_sink rm (fun op -> ops := op :: !ops);
+  Route_manager.set_sink rm (fun _ op -> ops := op :: !ops);
   Route_manager.announce rm (p "129.10.124.64/26") 2;
   let tables = List.map Fib_op.table !ops in
   check "all pushed to DRAM initially" true
@@ -378,7 +383,7 @@ let prop_churn_accounting =
     ~name:"data-plane ops account exactly for FIB size changes" arb_scenario
     (fun (routes, ops) ->
       let installs = ref 0 and removes = ref 0 and updates_ = ref 0 in
-      let sink = function
+      let sink _ = function
         | Fib_op.Install _ -> incr installs
         | Fib_op.Remove _ -> incr removes
         | Fib_op.Update _ -> incr updates_

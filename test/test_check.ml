@@ -33,9 +33,8 @@ let expect_error what = function
   | Error _ -> ()
 
 let node_exn tree q =
-  match Bintrie.find tree (p q) with
-  | Some n -> n
-  | None -> Alcotest.failf "node %s missing" q
+  let n = Bintrie.find tree (p q) in
+  if Bintrie.is_nil n then Alcotest.failf "node %s missing" q else n
 
 (* -- Invariants ----------------------------------------------------- *)
 
@@ -63,8 +62,9 @@ let test_invariants_accept_pfca () =
 let test_invariants_catch_bad_installed_nh () =
   let rm = Route_manager.create ~default_nh () in
   Route_manager.load rm (List.to_seq paper_routes);
-  let n = node_exn (Route_manager.tree rm) "129.10.124.192/26" in
-  n.Bintrie.installed_nh <- 7;
+  let tr = Route_manager.tree rm in
+  let n = node_exn tr "129.10.124.192/26" in
+  Bintrie.Node.set_installed_nh tr n 7;
   expect_error "installed <> selected"
     (Invariants.check ~mode:Invariants.Cfca_mode (Route_manager.tree rm))
 
@@ -72,10 +72,11 @@ let test_invariants_catch_overlap () =
   let rm = Route_manager.create ~default_nh () in
   Route_manager.load rm (List.to_seq paper_routes);
   (* force the /24 (an ancestor of installed entries) into the FIB *)
-  let n = node_exn (Route_manager.tree rm) "129.10.124.0/24" in
-  n.Bintrie.status <- Bintrie.In_fib;
-  n.Bintrie.table <- Bintrie.Dram;
-  n.Bintrie.installed_nh <- n.Bintrie.selected;
+  let tr = Route_manager.tree rm in
+  let n = node_exn tr "129.10.124.0/24" in
+  Bintrie.Node.set_status tr n Bintrie.In_fib;
+  Bintrie.Node.set_table tr n Bintrie.Dram;
+  Bintrie.Node.set_installed_nh tr n (Bintrie.Node.selected tr n);
   expect_error "overlapping install"
     (Invariants.check ~mode:Invariants.Cfca_mode (Route_manager.tree rm))
 
@@ -84,10 +85,11 @@ let test_invariants_catch_coverage_hole () =
   Route_manager.load rm (List.to_seq paper_routes);
   (* uninstall a point of aggregation without re-aggregating: the
      region it covered now resolves to nothing *)
-  let n = node_exn (Route_manager.tree rm) "129.10.124.192/26" in
-  n.Bintrie.status <- Bintrie.Non_fib;
-  n.Bintrie.table <- Bintrie.No_table;
-  n.Bintrie.installed_nh <- Nexthop.none;
+  let tr = Route_manager.tree rm in
+  let n = node_exn tr "129.10.124.192/26" in
+  Bintrie.Node.set_status tr n Bintrie.Non_fib;
+  Bintrie.Node.set_table tr n Bintrie.No_table;
+  Bintrie.Node.set_installed_nh tr n Nexthop.none;
   expect_error "coverage hole"
     (Invariants.check ~mode:Invariants.Cfca_mode (Route_manager.tree rm))
 
@@ -100,8 +102,9 @@ let test_invariants_catch_pipeline_drift () =
     (Invariants.check ~mode:Invariants.Cfca_mode ~pipeline:pl
        (Route_manager.tree rm));
   (* claim cache residency without membership-vector backing *)
-  let n = node_exn (Route_manager.tree rm) "129.10.124.192/26" in
-  n.Bintrie.table <- Bintrie.L1;
+  let tr = Route_manager.tree rm in
+  let n = node_exn tr "129.10.124.192/26" in
+  Bintrie.Node.set_table tr n Bintrie.L1;
   expect_error "flag/vector drift"
     (Invariants.check ~mode:Invariants.Cfca_mode ~pipeline:pl
        (Route_manager.tree rm))
@@ -244,6 +247,32 @@ let prop_scenarios_clean =
       && Fuzz.run_scenario ~make:(fun () -> Fuzz.pfca ~default_nh:dnh ~seed ()) sc
          = None)
 
+(* -- property: arena backend vs the record-trie oracle ---------------- *)
+
+(* Replays fuzzed announce/withdraw scenarios (withdrawals exercise
+   slot recycling on the arena side) through both backends and demands
+   byte-identical per-node state dumps — kind, original, selected,
+   status, table, installed — after every single step. *)
+let differential_prop name run =
+  QCheck.Test.make ~count:40 ~name
+    QCheck.(make Gen.(int_range 1 1_000_000))
+    (fun seed ->
+      let cfg =
+        { Fuzz.default_config with Fuzz.events = 80; max_routes = 30 }
+      in
+      let sc = Fuzz.generate ~cfg seed in
+      match run sc with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+let prop_arena_matches_record_cfca =
+  differential_prop "CFCA: arena trie matches the record-trie oracle"
+    (Differential.run_cfca ?default_nh:None)
+
+let prop_arena_matches_record_pfca =
+  differential_prop "PFCA: arena trie matches the record-trie oracle"
+    (Differential.run_pfca ?default_nh:None)
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "check"
@@ -282,5 +311,11 @@ let () =
           Alcotest.test_case "script rejects garbage" `Quick
             test_script_rejects_garbage;
         ] );
-      ("properties", qt [ prop_scenarios_clean ]);
+      ( "properties",
+        qt
+          [
+            prop_scenarios_clean;
+            prop_arena_matches_record_cfca;
+            prop_arena_matches_record_pfca;
+          ] );
     ]

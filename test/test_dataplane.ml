@@ -11,64 +11,67 @@ let p = Prefix.v
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-(* standalone nodes standing in for FIB entries *)
+(* one shared tree of disjoint /24 leaves standing in for FIB entries *)
 let make_nodes n =
-  Array.init n (fun i ->
-      let t = Bintrie.create ~default_nh:1 in
-      let node = Bintrie.add_route t (Prefix.make (Ipv4.of_int (i lsl 8)) 24) 1 in
-      node)
+  let t = Bintrie.create ~default_nh:1 in
+  let nodes =
+    Array.init n (fun i ->
+        Bintrie.add_route t (Prefix.make (Ipv4.of_int (i lsl 8)) 24) 1)
+  in
+  (t, nodes)
 
 (* -- Table_set ------------------------------------------------------- *)
 
 let test_table_set_basics () =
-  let nodes = make_nodes 4 in
+  let tree, nodes = make_nodes 4 in
   let s = Table_set.create ~capacity:3 in
   check_int "empty" 0 (Table_set.size s);
-  Table_set.add s nodes.(0);
-  Table_set.add s nodes.(1);
-  Table_set.add s nodes.(2);
+  Table_set.add s tree nodes.(0);
+  Table_set.add s tree nodes.(1);
+  Table_set.add s tree nodes.(2);
   check "full" true (Table_set.is_full s);
-  check "mem" true (Table_set.mem s nodes.(1));
-  check "not mem" false (Table_set.mem s nodes.(3));
+  check "mem" true (Table_set.mem s tree nodes.(1));
+  check "not mem" false (Table_set.mem s tree nodes.(3));
   check "overflow rejected" true
-    (match Table_set.add s nodes.(3) with
+    (match Table_set.add s tree nodes.(3) with
     | exception Invalid_argument _ -> true
     | _ -> false);
-  Table_set.remove s nodes.(1);
-  check "removed" false (Table_set.mem s nodes.(1));
+  Table_set.remove s tree nodes.(1);
+  check "removed" false (Table_set.mem s tree nodes.(1));
   check_int "size" 2 (Table_set.size s);
   (* the swap-with-last kept the others resident *)
-  check "others kept" true (Table_set.mem s nodes.(0) && Table_set.mem s nodes.(2));
+  check "others kept" true
+    (Table_set.mem s tree nodes.(0) && Table_set.mem s tree nodes.(2));
   check "double add rejected after remove-add" true
-    (Table_set.add s nodes.(1);
-     match Table_set.add s nodes.(1) with
+    (Table_set.add s tree nodes.(1);
+     match Table_set.add s tree nodes.(1) with
      | exception Invalid_argument _ -> true
      | _ -> false)
 
 let test_table_set_random () =
-  let nodes = make_nodes 8 in
+  let tree, nodes = make_nodes 8 in
   let s = Table_set.create ~capacity:8 in
   let st = Random.State.make [| 1 |] in
-  check "random of empty" true (Table_set.random s st = None);
-  Array.iter (Table_set.add s) nodes;
+  check "random of empty" true (Bintrie.is_nil (Table_set.random s st));
+  Array.iter (fun n -> Table_set.add s tree n) nodes;
   let seen = Hashtbl.create 8 in
   for _ = 1 to 1000 do
-    match Table_set.random s st with
-    | Some n -> Hashtbl.replace seen n.Bintrie.prefix ()
-    | None -> Alcotest.fail "no pick"
+    let n = Table_set.random s st in
+    if Bintrie.is_nil n then Alcotest.fail "no pick"
+    else Hashtbl.replace seen (Bintrie.Node.prefix tree n) ()
   done;
   check_int "uniform pick reaches everyone" 8 (Hashtbl.length seen)
 
 let test_table_set_clear () =
-  let nodes = make_nodes 3 in
+  let tree, nodes = make_nodes 3 in
   let s = Table_set.create ~capacity:3 in
-  Array.iter (Table_set.add s) nodes;
-  Table_set.clear s;
+  Array.iter (fun n -> Table_set.add s tree n) nodes;
+  Table_set.clear s tree;
   check_int "cleared" 0 (Table_set.size s);
   check "indices reset" true
-    (Array.for_all (fun n -> n.Bintrie.table_idx = -1) nodes);
+    (Array.for_all (fun n -> Bintrie.Node.table_idx tree n = -1) nodes);
   (* nodes can be re-added after a clear *)
-  Table_set.add s nodes.(0);
+  Table_set.add s tree nodes.(0);
   check_int "re-add" 1 (Table_set.size s)
 
 (* -- LTHD ------------------------------------------------------------- *)
@@ -79,24 +82,24 @@ let test_lthd_retains_light_hitters () =
      real cache hits would arrive, so low indices are the light
      hitters *)
   let n_entries = 200 in
-  let nodes = make_nodes n_entries in
-  Array.iter (fun n -> n.Bintrie.table <- Bintrie.L1) nodes;
+  let tree, nodes = make_nodes n_entries in
+  Array.iter (fun n -> Bintrie.Node.set_table tree n Bintrie.L1) nodes;
   let lthd = Lthd.create ~stages:4 ~width:10 ~seed:7 in
   for c = 1 to n_entries do
     Array.iteri
       (fun i n ->
         if i + 1 >= c then begin
-          n.Bintrie.hits <- c;
-          Lthd.observe lthd n c
+          Bintrie.Node.set_hits tree n c;
+          Lthd.observe lthd tree n c
         end)
       nodes
   done;
   let st = Random.State.make [| 3 |] in
   let total = ref 0 and picks = 500 in
   for _ = 1 to picks do
-    match Lthd.pick_victim lthd ~table:Bintrie.L1 st with
-    | Some v -> total := !total + v.Bintrie.hits
-    | None -> Alcotest.fail "expected a victim"
+    let v = Lthd.pick_victim lthd tree ~table:Bintrie.L1 st in
+    if Bintrie.is_nil v then Alcotest.fail "expected a victim"
+    else total := !total + Bintrie.Node.hits tree v
   done;
   (* a uniformly random victim would average ~100 hits; the pipeline's
      victims must sit far below *)
@@ -104,24 +107,24 @@ let test_lthd_retains_light_hitters () =
   check "victims are unpopular" true (mean < 50.0)
 
 let test_lthd_validates_table () =
-  let nodes = make_nodes 4 in
+  let tree, nodes = make_nodes 4 in
   let lthd = Lthd.create ~stages:2 ~width:4 ~seed:1 in
   Array.iter
     (fun n ->
-      n.Bintrie.table <- Bintrie.L2;
-      Lthd.observe lthd n 1)
+      Bintrie.Node.set_table tree n Bintrie.L2;
+      Lthd.observe lthd tree n 1)
     nodes;
   let st = Random.State.make [| 9 |] in
   check "stale entries rejected" true
-    (Lthd.pick_victim lthd ~table:Bintrie.L1 st = None);
+    (Bintrie.is_nil (Lthd.pick_victim lthd tree ~table:Bintrie.L1 st));
   check "right table accepted" true
-    (Lthd.pick_victim lthd ~table:Bintrie.L2 st <> None)
+    (not (Bintrie.is_nil (Lthd.pick_victim lthd tree ~table:Bintrie.L2 st)))
 
 let test_lthd_clear_occupancy () =
-  let nodes = make_nodes 4 in
+  let tree, nodes = make_nodes 4 in
   let lthd = Lthd.create ~stages:2 ~width:4 ~seed:1 in
   check_int "empty" 0 (Lthd.occupancy lthd);
-  Array.iter (fun n -> Lthd.observe lthd n 1) nodes;
+  Array.iter (fun n -> Lthd.observe lthd tree n 1) nodes;
   check "occupied" true (Lthd.occupancy lthd > 0);
   Lthd.clear lthd;
   check_int "cleared" 0 (Lthd.occupancy lthd)
@@ -155,9 +158,10 @@ let setup () =
   (pl, rm)
 
 let hit pl rm a =
-  match Bintrie.lookup_in_fib (Route_manager.tree rm) (Ipv4.of_string_exn a) with
-  | Some n -> Pipeline.process pl n ~now:0.0
-  | None -> Alcotest.fail "no covering entry"
+  let tr = Route_manager.tree rm in
+  let n = Bintrie.lookup_in_fib tr (Ipv4.of_string_exn a) in
+  if Bintrie.is_nil n then Alcotest.fail "no covering entry"
+  else Pipeline.process pl tr n ~now:0.0
 
 let test_promotion_chain () =
   let pl, rm = setup () in
@@ -196,17 +200,16 @@ let test_eviction_when_full () =
 
 let test_window_resets_counters () =
   let pl, rm = setup () in
-  let node =
-    Option.get
-      (Bintrie.lookup_in_fib (Route_manager.tree rm) (Ipv4.of_string_exn "8.8.8.8"))
-  in
-  ignore (Pipeline.process pl node ~now:0.0);
+  let tree = Route_manager.tree rm in
+  let node = Bintrie.lookup_in_fib tree (Ipv4.of_string_exn "8.8.8.8") in
+  check "found" false (Bintrie.is_nil node);
+  ignore (Pipeline.process pl tree node ~now:0.0);
   (* entry promoted to L2 after one hit; its counter restarts *)
-  ignore (Pipeline.process pl node ~now:1.0);
-  check_int "hits in window" 1 node.Bintrie.hits;
+  ignore (Pipeline.process pl tree node ~now:1.0);
+  check_int "hits in window" 1 (Bintrie.Node.hits tree node);
   (* crossing a 60 s window boundary resets the counter *)
-  ignore (Pipeline.process pl node ~now:61.0);
-  check_int "hits reset at window boundary" 1 node.Bintrie.hits
+  ignore (Pipeline.process pl tree node ~now:61.0);
+  check_int "hits reset at window boundary" 1 (Bintrie.Node.hits tree node)
 
 let test_bgp_ops_update_structures () =
   let pl, rm = setup () in
@@ -240,21 +243,21 @@ let prop_residency_exclusive =
     (fun seed ->
       let st = Random.State.make [| seed |] in
       let pl, rm = setup () in
+      let tr = Route_manager.tree rm in
       for _ = 1 to 500 do
         let a = Ipv4.random st in
-        match Bintrie.lookup_in_fib (Route_manager.tree rm) a with
-        | Some n -> ignore (Pipeline.process pl n ~now:0.0)
-        | None -> ()
+        let n = Bintrie.lookup_in_fib tr a in
+        if not (Bintrie.is_nil n) then ignore (Pipeline.process pl tr n ~now:0.0)
       done;
       let l1 = ref 0 and l2 = ref 0 in
       Bintrie.iter_in_fib
         (fun n ->
-          match n.Bintrie.table with
+          match Bintrie.Node.table tr n with
           | Bintrie.L1 -> incr l1
           | Bintrie.L2 -> incr l2
           | Bintrie.Dram -> ()
           | Bintrie.No_table -> failwith "IN_FIB entry in no table")
-        (Route_manager.tree rm);
+        tr;
       !l1 = Pipeline.l1_size pl
       && !l2 = Pipeline.l2_size pl
       && !l1 = Cfca_tcam.Tcam.size (Pipeline.l1_tcam pl)
@@ -267,7 +270,7 @@ let snapshot_fixture ~rebuild_after seed =
   let snap = Fib_snapshot.create ~rebuild_after () in
   let rm =
     Route_manager.create
-      ~sink:(fun _ -> Fib_snapshot.invalidate snap)
+      ~sink:(fun _ _ -> Fib_snapshot.invalidate snap)
       ~default_nh:9 ()
   in
   let st = Random.State.make [| seed; 0x5A9 |] in
@@ -280,12 +283,11 @@ let assert_agreement label snap rm st n =
   let tree = Route_manager.tree rm in
   for _ = 1 to n do
     let a = Ipv4.random st in
-    match Bintrie.lookup_in_fib tree a with
-    | Some node ->
-        if not (node == Fib_snapshot.lookup snap tree a) then
-          Alcotest.failf "%s: snapshot returned a different node for %s" label
-            (Ipv4.to_string a)
-    | None -> Alcotest.fail "no IN_FIB coverage"
+    let node = Bintrie.lookup_in_fib tree a in
+    if Bintrie.is_nil node then Alcotest.fail "no IN_FIB coverage"
+    else if not (Bintrie.Node.equal node (Fib_snapshot.lookup snap tree a)) then
+      Alcotest.failf "%s: snapshot returned a different node for %s" label
+        (Ipv4.to_string a)
   done
 
 let test_fib_snapshot_agrees () =

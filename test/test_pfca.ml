@@ -51,7 +51,7 @@ let test_forwarding () =
 let test_update_touches_leaves_only () =
   let t = load_pfca paper_routes in
   let ops = ref [] in
-  Cfca_pfca.Pfca.set_sink t (fun op -> ops := op :: !ops);
+  Cfca_pfca.Pfca.set_sink t (fun _ op -> ops := op :: !ops);
   (* a next-hop change of the /24 re-points the FAKE leaves G and I but
      leaves REAL descendants (B, C, D) alone *)
   Cfca_pfca.Pfca.announce t (p "129.10.124.0/24") 5;

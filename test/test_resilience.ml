@@ -164,11 +164,13 @@ let build_system () =
   for _ = 1 to 2_000 do
     let q, _ = List.nth paper_routes (Random.State.int st 4) in
     let a = Prefix.random_member st q in
-    match Bintrie.lookup_in_fib (Route_manager.tree rm) a with
-    | Some n ->
-        incr clock;
-        ignore (Pipeline.process pl n ~now:(float_of_int !clock *. 1e-4))
-    | None -> Alcotest.fail "packet not covered"
+    let tr = Route_manager.tree rm in
+    let n = Bintrie.lookup_in_fib tr a in
+    if Bintrie.is_nil n then Alcotest.fail "packet not covered"
+    else begin
+      incr clock;
+      ignore (Pipeline.process pl tr n ~now:(float_of_int !clock *. 1e-4))
+    end
   done;
   (rm, pl)
 
@@ -200,14 +202,13 @@ let test_watchdog_recovers () =
   let rm, pl = build_system () in
   check "caches warmed" true (Pipeline.l1_size pl > 0);
   (* corruption: a node the L1 membership vector holds claims DRAM *)
-  let victim = ref None in
-  Pipeline.iter_l1 (fun n -> if !victim = None then victim := Some n) pl;
-  (match !victim with
-  | Some n -> n.Bintrie.table <- Bintrie.Dram
-  | None -> Alcotest.fail "empty L1");
+  let victim = ref Bintrie.nil in
+  Pipeline.iter_l1 (fun n -> if Bintrie.is_nil !victim then victim := n) pl;
+  if Bintrie.is_nil !victim then Alcotest.fail "empty L1"
+  else Bintrie.Node.set_table (Route_manager.tree rm) !victim Bintrie.Dram;
   let tree () = Route_manager.tree rm in
   let recover ~violation:_ =
-    Pipeline.clear pl;
+    Pipeline.clear pl (tree ());
     Route_manager.rebuild rm (List.to_seq paper_routes)
   in
   let wd =
@@ -245,20 +246,22 @@ let test_watchdog_repeat_detection () =
   let rm, pl = build_system () in
   let tree () = Route_manager.tree rm in
   let recover ~violation:_ =
-    Pipeline.clear pl;
+    Pipeline.clear pl (tree ());
     Route_manager.rebuild rm (List.to_seq paper_routes)
   in
   let wd = Watchdog.create () in
   let corrupt () =
     (* a DRAM entry claiming L1 residency without vector backing *)
-    let victim = ref None in
+    let tr = tree () in
+    let victim = ref Bintrie.nil in
     Bintrie.iter_in_fib
       (fun n ->
-        if !victim = None && n.Bintrie.table = Bintrie.Dram then victim := Some n)
-      (tree ());
-    match !victim with
-    | Some n -> n.Bintrie.table <- Bintrie.L1
-    | None -> Alcotest.fail "no dram-resident in-fib node"
+        if Bintrie.is_nil !victim && Bintrie.Node.table tr n = Bintrie.Dram then
+          victim := n)
+      tr;
+    if Bintrie.is_nil !victim then
+      Alcotest.fail "no dram-resident in-fib node"
+    else Bintrie.Node.set_table tr !victim Bintrie.L1
   in
   corrupt ();
   check "first hit" true (Watchdog.check_now wd ~tree ~pipeline:pl ~recover);

@@ -508,6 +508,71 @@ let test_lookup_json_golden () =
   check "oracle probes" true (field "probes" oracle = J_num 4_096.0);
   check "oracle divergences" true (field "divergences" oracle = J_num 0.0)
 
+let test_update_json_golden () =
+  let row system backend ups words =
+    {
+      Report.ub_system = system;
+      ub_backend = backend;
+      ub_rib_size = 5_000;
+      ub_updates = 2_500;
+      ub_updates_per_sec = ups;
+      ub_heap_words_per_route = words;
+    }
+  in
+  let b =
+    {
+      Report.ub_scale = 0.05;
+      ub_rows =
+        [
+          row "cfca" "arena" 1.25e6 18.5;
+          row "cfca" "record" 4.0e5 41.0;
+          row "pfca" "arena" nan 18.5;
+          row "pfca" "record" 3.9e5 41.0;
+        ];
+      ub_speedup_cfca = 3.125;
+      ub_speedup_pfca = infinity;
+      ub_gate_ops = 9_999;
+      ub_gate_divergences = 0;
+    }
+  in
+  let j = parse_json (Report.json_of_update_bench b) in
+  check "bench tag" true (field "bench" j = J_str "update");
+  check "scale" true (field "scale" j = J_num 0.05);
+  (match field "results" j with
+  | J_arr rows ->
+      check_int "all rows present" 4 (List.length rows);
+      List.iter
+        (fun row ->
+          (match field "system" row with
+          | J_str ("cfca" | "pfca") -> ()
+          | _ -> Alcotest.fail "system");
+          (match field "backend" row with
+          | J_str ("arena" | "record") -> ()
+          | _ -> Alcotest.fail "backend");
+          (match field "rib_size" row with
+          | J_num 5_000.0 -> ()
+          | _ -> Alcotest.fail "rib_size");
+          (match field "updates" row with
+          | J_num 2_500.0 -> ()
+          | _ -> Alcotest.fail "updates");
+          (match field "updates_per_sec" row with
+          | J_num f -> check "finite ups" true (f = f)
+          | _ -> Alcotest.fail "updates_per_sec");
+          match field "heap_words_per_route" row with
+          | J_num f -> check "finite words" true (f = f)
+          | _ -> Alcotest.fail "heap_words_per_route")
+        rows;
+      (* the NaN row was clamped, not emitted as unparsable [nan] *)
+      check "nan clamped" true
+        (field "updates_per_sec" (List.nth rows 2) = J_num 0.0)
+  | _ -> Alcotest.fail "results must be an array");
+  let speedup = field "speedup" j in
+  check "speedup cfca" true (field "cfca" speedup = J_num 3.125);
+  check "infinite speedup clamped" true (field "pfca" speedup = J_num 0.0);
+  let gate = field "gate" j in
+  check "gate ops" true (field "ops_compared" gate = J_num 9_999.0);
+  check "gate divergences" true (field "divergences" gate = J_num 0.0)
+
 let test_run_capture_missing_file () =
   let workload = (Lazy.force results).Experiments.workload in
   let cfg = Experiments.config_for workload Experiments.cache_ratios.(0) in
@@ -538,6 +603,8 @@ let () =
             test_fastpath_accounting;
           Alcotest.test_case "lookup-bench JSON golden" `Quick
             test_lookup_json_golden;
+          Alcotest.test_case "update-bench JSON golden" `Quick
+            test_update_json_golden;
         ] );
       ( "experiments",
         [

@@ -142,7 +142,7 @@ let test_extension_fullness () =
   let leaves_below_24 = ref 0 in
   Bintrie.iter_leaves
     (fun n ->
-      if Prefix.contains (p "129.10.124.0/24") n.Bintrie.prefix then
+      if Prefix.contains (p "129.10.124.0/24") (Bintrie.Node.prefix t n) then
         incr leaves_below_24)
     t;
   check_int "five leaves under /24" 5 !leaves_below_24
@@ -151,80 +151,150 @@ let test_extension_inheritance () =
   let t = build paper_routes in
   (* G = 129.10.124.32/27 is generated FAKE and inherits B/A's next-hop 1;
      I = 129.10.124.128/26 inherits A's next-hop 1. *)
-  (match Bintrie.find t (p "129.10.124.32/27") with
-  | Some n ->
-      check "G fake" true (n.Bintrie.kind = Bintrie.Fake);
-      check_int "G inherits 1" 1 n.Bintrie.original
-  | None -> Alcotest.fail "node G missing");
-  (match Bintrie.find t (p "129.10.124.128/26") with
-  | Some n ->
-      check "I fake" true (n.Bintrie.kind = Bintrie.Fake);
-      check_int "I inherits 1" 1 n.Bintrie.original
-  | None -> Alcotest.fail "node I missing");
+  (let n = Bintrie.find t (p "129.10.124.32/27") in
+   if Bintrie.is_nil n then Alcotest.fail "node G missing"
+   else begin
+     check "G fake" true (Bintrie.Node.kind t n = Bintrie.Fake);
+     check_int "G inherits 1" 1 (Bintrie.Node.original t n)
+   end);
+  (let n = Bintrie.find t (p "129.10.124.128/26") in
+   if Bintrie.is_nil n then Alcotest.fail "node I missing"
+   else begin
+     check "I fake" true (Bintrie.Node.kind t n = Bintrie.Fake);
+     check_int "I inherits 1" 1 (Bintrie.Node.original t n)
+   end);
   (* outside the /24 everything inherits the default 9 *)
   let leaf = Bintrie.descend_to_leaf t (addr "8.8.8.8") in
-  check_int "outside inherits default" 9 leaf.Bintrie.original
+  check_int "outside inherits default" 9 (Bintrie.Node.original t leaf)
 
 let test_descend_to_leaf () =
   let t = build paper_routes in
   let leaf = Bintrie.descend_to_leaf t (addr "129.10.124.193") in
-  check "leaf is D" true (Prefix.equal leaf.Bintrie.prefix (p "129.10.124.192/26"));
+  check "leaf is D" true
+    (Prefix.equal (Bintrie.Node.prefix t leaf) (p "129.10.124.192/26"));
   let leaf2 = Bintrie.descend_to_leaf t (addr "129.10.124.1") in
-  check "leaf is B" true (Prefix.equal leaf2.Bintrie.prefix (p "129.10.124.0/27"))
+  check "leaf is B" true
+    (Prefix.equal (Bintrie.Node.prefix t leaf2) (p "129.10.124.0/27"))
 
 let test_fragment () =
   let t = build paper_routes in
   let before = Bintrie.node_count t in
   (* fragment I (a /26 FAKE leaf) down to a /28 *)
-  let frag = Bintrie.fragment t (p "129.10.124.144/28") None in
+  let target, anchor, created =
+    Bintrie.fragment t (p "129.10.124.144/28") Bintrie.nil
+  in
   check "anchor is I" true
-    (Prefix.equal frag.Bintrie.anchor.Bintrie.prefix (p "129.10.124.128/26"));
+    (Prefix.equal (Bintrie.Node.prefix t anchor) (p "129.10.124.128/26"));
   check "target prefix" true
-    (Prefix.equal frag.Bintrie.target.Bintrie.prefix (p "129.10.124.144/28"));
+    (Prefix.equal (Bintrie.Node.prefix t target) (p "129.10.124.144/28"));
   check_int "two nodes per level" (before + 4) (Bintrie.node_count t);
   check "still full" true (Bintrie.invariant t = Ok ());
   List.iter
     (fun n ->
-      check "created are FAKE" true (n.Bintrie.kind = Bintrie.Fake);
-      check_int "created inherit anchor" 1 n.Bintrie.original)
-    frag.Bintrie.created
+      check "created are FAKE" true (Bintrie.Node.kind t n = Bintrie.Fake);
+      check_int "created inherit anchor" 1 (Bintrie.Node.original t n))
+    created
 
 let test_fragment_rejects_existing () =
   let t = build paper_routes in
   check "existing prefix rejected" true
-    (match Bintrie.fragment t (p "129.10.124.192/26") None with
+    (match Bintrie.fragment t (p "129.10.124.192/26") Bintrie.nil with
     | exception Invalid_argument _ -> true
     | _ -> false)
 
 let test_compact () =
   let t = build paper_routes in
-  let frag = Bintrie.fragment t (p "129.10.124.144/28") None in
+  let target, _, _ = Bintrie.fragment t (p "129.10.124.144/28") Bintrie.nil in
   let before = Bintrie.node_count t in
   (* all created nodes are FAKE NON_FIB leaves or internals; compacting
      from the target removes the whole fragmentation again *)
-  let top = Bintrie.compact_upward t frag.Bintrie.target in
+  let top = Bintrie.compact_upward t target in
   check "compacted back to anchor" true
-    (Prefix.equal top.Bintrie.prefix (p "129.10.124.128/26"));
+    (Prefix.equal (Bintrie.Node.prefix t top) (p "129.10.124.128/26"));
   check_int "nodes removed" (before - 4) (Bintrie.node_count t);
-  check "anchor is leaf again" true (Bintrie.is_leaf top);
+  check "anchor is leaf again" true (Bintrie.is_leaf t top);
   check "invariant" true (Bintrie.invariant t = Ok ())
 
 let test_compact_stops_at_real () =
   let t = build paper_routes in
   (* B and G are sibling leaves but B is REAL: no compaction. *)
-  match Bintrie.find t (p "129.10.124.32/27") with
-  | Some g ->
-      let top = Bintrie.compact_upward t g in
-      check "no compaction past REAL sibling" true
-        (Prefix.equal top.Bintrie.prefix (p "129.10.124.32/27"))
-  | None -> Alcotest.fail "G missing"
+  let g = Bintrie.find t (p "129.10.124.32/27") in
+  if Bintrie.is_nil g then Alcotest.fail "G missing"
+  else
+    let top = Bintrie.compact_upward t g in
+    check "no compaction past REAL sibling" true
+      (Prefix.equal (Bintrie.Node.prefix t top) (p "129.10.124.32/27"))
 
 let test_add_route_updates_root () =
   let t = Bintrie.create ~default_nh:9 in
   let n = Bintrie.add_route t Prefix.default 4 in
-  check "root returned" true (n == Bintrie.root t);
-  check_int "root nh updated" 4 (Bintrie.root t).Bintrie.original;
+  check "root returned" true (Bintrie.Node.equal n (Bintrie.root t));
+  check_int "root nh updated" 4 (Bintrie.Node.original t (Bintrie.root t));
   check_int "single node" 1 (Bintrie.node_count t)
+
+(* -- arena slot recycling ------------------------------------------- *)
+
+(* Withdck: fragment+compact churn must recycle slots (capacity stays
+   put) and kill outstanding handles to the freed nodes. *)
+let test_arena_slot_reuse () =
+  let t = build paper_routes in
+  let cap_before = Bintrie.capacity t and n0 = Bintrie.node_count t in
+  let target, _, created =
+    Bintrie.fragment t (p "129.10.124.144/28") Bintrie.nil
+  in
+  check "created alive" true
+    (List.for_all (fun n -> Bintrie.Node.alive t n) created);
+  ignore (Bintrie.compact_upward t target);
+  check_int "node count restored" n0 (Bintrie.node_count t);
+  check "stale handles are dead" false
+    (List.exists (fun n -> Bintrie.Node.alive t n) (target :: created));
+  (* the next fragmentation reuses the freed slots: no growth *)
+  let target2, _, _ =
+    Bintrie.fragment t (p "129.10.124.144/28") Bintrie.nil
+  in
+  check "recycled node alive" true (Bintrie.Node.alive t target2);
+  check "old handle still dead" false (Bintrie.Node.alive t target);
+  check_int "capacity unchanged" cap_before (Bintrie.capacity t);
+  check "accounting" true
+    (Bintrie.live_slots t + Bintrie.free_slots t = Bintrie.capacity t);
+  check "invariant" true (Bintrie.invariant t = Ok ())
+
+(* The update-path allocation gate: churn on a warmed tree allocates
+   O(churn), never O(tree). A backend that copied or re-boxed node state
+   per update would blow this bound by orders of magnitude. *)
+let test_update_alloc_gate () =
+  let t = Bintrie.create ~default_nh:9 in
+  List.iter (fun (q, nh) -> ignore (Bintrie.add_route t (p q) nh)) paper_routes;
+  (* several thousand disjoint /24s make the tree large enough that an
+     O(tree) update path would be unmistakable *)
+  for i = 0 to 2_999 do
+    ignore
+      (Bintrie.add_route t
+         (Prefix.make (Ipv4.of_octets 10 (i lsr 8) (i land 255) 0) 24)
+         (1 + (i mod 8)))
+  done;
+  Bintrie.extend t;
+  let cycle () =
+    let target, _, _ =
+      Bintrie.fragment t (p "129.10.124.144/28") Bintrie.nil
+    in
+    ignore (Bintrie.compact_upward t target)
+  in
+  cycle ();
+  (* warmed: slots recycled, arrays at final size *)
+  let before = Gc.minor_words () in
+  for _ = 1 to 1_000 do
+    cycle ()
+  done;
+  let words = Gc.minor_words () -. before in
+  (* each cycle allocates only the constant-size [created] list and
+     fragment tuple; with ~12K nodes an O(tree) path would cost
+     millions of words *)
+  if words > 200_000.0 then
+    Alcotest.failf
+      "update churn allocated %.0f minor words over 1000 cycles on a %d-node \
+       tree"
+      words (Bintrie.node_count t)
 
 let prop_extension_invariant =
   let gen_routes =
@@ -272,7 +342,7 @@ let prop_leaves_cover_address_space =
       for _ = 1 to 100 do
         let a = Ipv4.random st in
         let leaf = Bintrie.descend_to_leaf t a in
-        if not (Prefix.mem a leaf.Bintrie.prefix) then ok := false
+        if not (Prefix.mem a (Bintrie.Node.prefix t leaf)) then ok := false
       done;
       !ok)
 
@@ -446,6 +516,9 @@ let () =
           Alcotest.test_case "compact stops at REAL" `Quick
             test_compact_stops_at_real;
           Alcotest.test_case "default route" `Quick test_add_route_updates_root;
+          Alcotest.test_case "arena slot reuse" `Quick test_arena_slot_reuse;
+          Alcotest.test_case "update allocation gate" `Quick
+            test_update_alloc_gate;
         ] );
       ( "bintrie-properties",
         qt [ prop_extension_invariant; prop_leaves_cover_address_space ] );
