@@ -1,6 +1,7 @@
 # Convenience wrappers around dune; see README.md.
 
-.PHONY: all build test fuzz bench quick-bench bench-smoke examples clean
+.PHONY: all build test doc fuzz bench quick-bench bench-smoke \
+	telemetry-smoke examples clean
 
 all: build
 
@@ -9,6 +10,11 @@ build:
 
 test:
 	dune runtest --force --no-buffer
+
+# API reference from the odoc comments on every public .mli
+# (needs odoc: opam install . --deps-only --with-doc).
+doc:
+	dune build @doc
 
 # Seeded scenario fuzzer (lib/check): invariants + differential oracle
 # after every event, shrunk replayable reproducers on failure.
@@ -42,6 +48,18 @@ quick-bench: build
 bench-smoke: build
 	dune exec bench/main.exe -- --scale=0.05 --json lookup
 	dune exec bench/main.exe -- --scale=0.05 --json update
+
+# Telemetry subsystem end-to-end: verify the windowed series agree
+# exactly with the engine's scalar totals, then produce the CSV/JSON
+# artifacts from an instrumented run and the hit-ratio-over-time
+# comparison at smoke scale.
+telemetry-smoke: build
+	dune exec bin/verify.exe -- timeseries
+	dune exec bin/sim.exe -- run --rib-size 3000 --packets 200000 \
+	  --updates 400 --l1 75 --l2 100 --interval 20000 \
+	  --telemetry out/telemetry
+	dune exec bin/sim.exe -- experiment hitratio --scale 0.05 \
+	  --interval 10000 --telemetry out/telemetry
 
 examples: build
 	dune exec examples/quickstart.exe

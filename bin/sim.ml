@@ -60,6 +60,24 @@ let lenient =
   in
   Arg.(value & flag & info [ "lenient" ] ~doc)
 
+let telemetry_dir =
+  let doc =
+    "Instrument the run and write the telemetry artifacts (windowed CSV \
+     series, histogram and trace CSVs, combined JSON) into this directory."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"DIR" ~doc)
+
+let interval =
+  let doc = "Telemetry window size in events (packets + updates)." in
+  Arg.(value & opt int 100_000 & info [ "interval" ] ~docv:"N" ~doc)
+
+let export_telemetry dir name (tel : Engine.telemetry) =
+  let files =
+    Cfca_telemetry.Export.write ~dir ~name:(String.lowercase_ascii name)
+      tel.Engine.t_series tel.Engine.t_metrics tel.Engine.t_trace
+  in
+  List.iter (fun f -> Printf.printf "telemetry: wrote %s\n" f) files
+
 let policy lenient =
   if lenient then Cfca_resilience.Errors.Lenient
   else Cfca_resilience.Errors.Strict
@@ -76,8 +94,11 @@ let ingest_fail name e =
 
 let run_cmd =
   let run system rib_file pcap_file updates_mrt rib_size packets updates l1 l2
-      seed zipf lenient =
+      seed zipf lenient telemetry_dir interval =
     let policy = policy lenient in
+    let telemetry =
+      Option.map (fun _ -> Engine.telemetry ~interval ()) telemetry_dir
+    in
     let scale =
       {
         Experiments.standard_scale with
@@ -115,7 +136,7 @@ let run_cmd =
       match pcap_file with
       | Some pcap -> (
           match
-            Engine.run_capture ~policy system cfg
+            Engine.run_capture ~policy ?telemetry system cfg
               ~default_nh:workload.Experiments.default_nh
               workload.Experiments.rib ~pcap ~updates:update_stream
           with
@@ -132,10 +153,14 @@ let run_cmd =
                 ~pps:workload.Experiments.spec.Cfca_traffic.Trace.pps ~packets
                 ~updates:update_stream ()
           in
-          Engine.run system cfg ~default_nh:workload.Experiments.default_nh
+          Engine.run ?telemetry system cfg
+            ~default_nh:workload.Experiments.default_nh
             workload.Experiments.rib spec
     in
     Report.print_run_summary result;
+    (match (telemetry_dir, telemetry) with
+    | Some dir, Some tel -> export_telemetry dir result.Engine.r_name tel
+    | _ -> ());
     if pcap_file = None && updates_mrt = None then
       match
         Experiments.verify_forwarding workload
@@ -151,10 +176,11 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ system $ rib_file $ pcap_file $ updates_mrt $ rib_size
-      $ packets $ updates $ l1 $ l2 $ seed $ zipf $ lenient)
+      $ packets $ updates $ l1 $ l2 $ seed $ zipf $ lenient $ telemetry_dir
+      $ interval)
 
 let experiment_cmd =
-  let run name scale_mult =
+  let run name scale_mult telemetry_dir interval =
     let scale (s : Experiments.scale) =
       Experiments.with_size s
         ~rib_size:(int_of_float (scale_mult *. float_of_int s.Experiments.rib_size))
@@ -183,12 +209,26 @@ let experiment_cmd =
     | "fig12" ->
         Report.print_timings
           (Experiments.fig12 ~scale:(scale Experiments.heavy_scale) ())
+    | "hitratio" ->
+        let series =
+          Experiments.hit_ratio_over_time
+            ~scale:(scale Experiments.standard_scale) ~interval ()
+        in
+        Report.print_telemetry_series series;
+        Option.iter
+          (fun dir ->
+            List.iter
+              (fun (name, tel) -> export_telemetry dir name tel)
+              series)
+          telemetry_dir
     | other ->
         Printf.eprintf "unknown experiment %S\n" other;
         exit 2
   in
   let exp_name =
-    let doc = "table2 | table3 | fig9 | fig10a | fig10b | fig11 | fig12" in
+    let doc =
+      "table2 | table3 | fig9 | fig10a | fig10b | fig11 | fig12 | hitratio"
+    in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let mult =
@@ -196,7 +236,8 @@ let experiment_cmd =
     Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"X" ~doc)
   in
   let doc = "regenerate one of the paper's tables or figures" in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ exp_name $ mult)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ exp_name $ mult $ telemetry_dir $ interval)
 
 let () =
   let doc = "trace-driven simulator for Combined FIB Caching and Aggregation" in

@@ -151,6 +151,131 @@ let replay_cmd =
   let doc = "replay a fuzzer reproducer script" in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const replay $ system_arg $ script_arg)
 
+(* -- timeseries ------------------------------------------------------ *)
+
+(* Golden consistency check of the telemetry subsystem: instrumented
+   CFCA and PFCA runs whose windowed series must agree EXACTLY with the
+   engine's scalar totals (Delta columns sum to the [r_totals] fields,
+   final Level samples equal the end-of-run scalars), plus ratio-range
+   and byte-level determinism checks. The packet count is deliberately
+   not a multiple of the window so the trailing flush is exercised. *)
+
+let ts_interval_arg =
+  let doc = "Telemetry window size in events." in
+  Arg.(value & opt int 10_000 & info [ "interval" ] ~docv:"N" ~doc)
+
+let timeseries interval =
+  let module E = Cfca_sim.Engine in
+  let module X = Cfca_sim.Experiments in
+  let module T = Cfca_telemetry.Timeseries in
+  let module P = Cfca_dataplane.Pipeline in
+  let scale =
+    X.with_size X.standard_scale ~rib_size:3_000 ~packets:45_500 ~updates:300
+  in
+  let workload = X.build_workload scale in
+  let cfg = X.config_for workload X.cache_ratios.(2) in
+  let failures = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        incr failures;
+        Printf.printf "FAIL %s\n" m)
+      fmt
+  in
+  let run kind =
+    let tel = E.telemetry ~interval () in
+    let r =
+      E.run ~telemetry:tel kind cfg ~default_nh:workload.X.default_nh
+        workload.X.rib workload.X.spec
+    in
+    (r, tel)
+  in
+  let check kind =
+    let name = E.kind_name kind in
+    let r, tel = run kind in
+    let ts = tel.E.t_series in
+    let sum col = Array.fold_left ( +. ) 0.0 (T.get ts col) in
+    let last col =
+      let a = T.get ts col in
+      a.(Array.length a - 1)
+    in
+    let chk_sum col expected =
+      let got = sum col in
+      if got <> float_of_int expected then
+        fail "%s: sum(%s) = %g, run total says %d" name col got expected
+    in
+    let chk_last col expected =
+      let got = last col in
+      if got <> float_of_int expected then
+        fail "%s: final %s sample = %g, run result says %d" name col got
+          expected
+    in
+    let st = r.E.r_totals in
+    chk_sum "packets" st.P.packets;
+    chk_sum "l1_misses" st.P.l1_misses;
+    chk_sum "l2_misses" st.P.l2_misses;
+    chk_sum "l1_installs" st.P.l1_installs;
+    chk_sum "l1_evictions" st.P.l1_evictions;
+    chk_sum "l2_installs" st.P.l2_installs;
+    chk_sum "l2_evictions" st.P.l2_evictions;
+    chk_sum "bgp_l1" st.P.bgp_l1;
+    chk_sum "victims_lthd" st.P.victims_lthd;
+    chk_sum "victims_fallback" st.P.victims_fallback;
+    chk_sum "updates" r.E.r_updates;
+    chk_sum "updates_l1" r.E.r_updates_l1;
+    chk_sum "fastpath_hits" r.E.r_fastpath.Cfca_dataplane.Fib_snapshot.fast_hits;
+    chk_sum "fastpath_fallbacks"
+      r.E.r_fastpath.Cfca_dataplane.Fib_snapshot.fallbacks;
+    chk_sum "watchdog_checks" r.E.r_watchdog_checks;
+    chk_sum "watchdog_recoveries" r.E.r_recoveries;
+    (match
+       List.assoc_opt "fib_ops"
+         (Cfca_telemetry.Metrics.snapshot tel.E.t_metrics).s_counters
+     with
+    | Some total -> chk_sum "fib_ops" total
+    | None -> fail "%s: fib_ops counter missing from the registry" name);
+    chk_last "fib_size" r.E.r_fib_final;
+    chk_last "arena_live" r.E.r_arena_live;
+    chk_last "arena_free" r.E.r_arena_free;
+    List.iter
+      (fun col ->
+        Array.iteri
+          (fun i v ->
+            if v < 0.0 || v > 1.0 then
+              fail "%s: %s window %d = %g out of [0, 1]" name col i v)
+          (T.get ts col))
+      [ "l1_hit_ratio"; "l2_hit_ratio"; "real_node_ratio" ];
+    let events = T.window_events ts in
+    let total_events = Array.fold_left ( + ) 0 events in
+    if total_events <> st.P.packets + r.E.r_updates then
+      fail "%s: window events sum to %d, trace had %d" name total_events
+        (st.P.packets + r.E.r_updates);
+    let tail = events.(Array.length events - 1) in
+    if (st.P.packets + r.E.r_updates) mod interval <> 0 && tail >= interval
+    then fail "%s: trailing partial window holds %d >= interval" name tail;
+    Printf.printf
+      "%s: %d windows x %d columns consistent with run totals\n%!" name
+      (T.windows ts)
+      (List.length (T.columns ts))
+  in
+  check E.Cfca;
+  check E.Pfca;
+  (* byte-level determinism: same seed, same artifact *)
+  let _, tel1 = run E.Cfca in
+  let _, tel2 = run E.Cfca in
+  let csv tel = Cfca_telemetry.Export.series_csv tel.E.t_series in
+  if csv tel1 <> csv tel2 then
+    fail "cfca: two identically seeded runs exported different series CSVs"
+  else Printf.printf "cfca: telemetry export is deterministic\n%!";
+  exit (if !failures > 0 then 1 else 0)
+
+let timeseries_cmd =
+  let doc =
+    "run instrumented CFCA/PFCA replays and verify the telemetry series \
+     agree exactly with the engine's scalar totals"
+  in
+  Cmd.v (Cmd.info "timeseries" ~doc) Term.(const timeseries $ ts_interval_arg)
+
 (* -- inject ---------------------------------------------------------- *)
 
 let inject_seeds_arg =
@@ -191,4 +316,7 @@ let () =
     "CFCA correctness tooling: equivalence, fuzzing, replay, fault injection"
   in
   let info = Cmd.info "cfca_verify" ~doc ~version:"1.0.0" in
-  exit (Cmd.eval (Cmd.group info [ equiv_cmd; fuzz_cmd; replay_cmd; inject_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ equiv_cmd; fuzz_cmd; replay_cmd; timeseries_cmd; inject_cmd ]))

@@ -6,6 +6,7 @@ type victim_policy =
   | Lfu_oracle  (** ablation upper bound: exact least-frequently-used via a full scan (not implementable at line rate). *)
 
 val policy_name : victim_policy -> string
+(** Short label for reports, e.g. ["lthd"]. *)
 
 type t = {
   l1_capacity : int;  (** TCAM cache entries. *)
@@ -34,5 +35,7 @@ val make : ?base:t -> l1_capacity:int -> l2_capacity:int -> unit -> t
 (** [base] defaults to {!default}; only the cache sizes change. *)
 
 val validate : t -> (unit, string) result
+(** Reject non-positive capacities/dimensions and L2 smaller than L1;
+    {!Pipeline.create} calls this and raises on [Error]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -182,6 +182,8 @@ module Make (P : Family.PREFIX) = struct
       bgp_l1 : int;
       bgp_l2 : int;
       bgp_dram : int;
+      victims_lthd : int;
+      victims_fallback : int;
     }
 
     let zero_stats =
@@ -196,6 +198,8 @@ module Make (P : Family.PREFIX) = struct
         bgp_l1 = 0;
         bgp_l2 = 0;
         bgp_dram = 0;
+        victims_lthd = 0;
+        victims_fallback = 0;
       }
 
     type t = {
@@ -216,6 +220,11 @@ module Make (P : Family.PREFIX) = struct
       mutable bgp_l1 : int;
       mutable bgp_l2 : int;
       mutable bgp_dram : int;
+      mutable victims_lthd : int;
+      mutable victims_fallback : int;
+      (* observability hook: called (when set) on every residency
+         transition; [None] keeps the hot paths branch-and-go *)
+      mutable tracer : (kind:string -> detail:string -> unit) option;
     }
 
     let create ?(seed = 0x5EED) cfg =
@@ -244,9 +253,21 @@ module Make (P : Family.PREFIX) = struct
         bgp_l1 = 0;
         bgp_l2 = 0;
         bgp_dram = 0;
+        victims_lthd = 0;
+        victims_fallback = 0;
+        tracer = None;
       }
 
     let config t = t.cfg
+
+    let set_tracer t tracer = t.tracer <- tracer
+
+    (* The detail string is only built when a tracer is installed, so
+       disabled telemetry costs one branch here. *)
+    let trace t tr kind n =
+      match t.tracer with
+      | None -> ()
+      | Some f -> f ~kind ~detail:(P.to_string (Node.prefix tr n))
 
     let l1_tcam t = t.tcam
 
@@ -304,20 +325,29 @@ module Make (P : Family.PREFIX) = struct
         set;
       !best
 
+    let count_fallback t v =
+      if not (is_nil v) then t.victims_fallback <- t.victims_fallback + 1;
+      v
+
     let victim t tr lthd set =
       match t.cfg.Config.victim_policy with
-      | Config.Random_policy -> Table_set.random set t.rng
-      | Config.Lfu_oracle -> lfu_scan tr set
+      | Config.Random_policy -> count_fallback t (Table_set.random set t.rng)
+      | Config.Lfu_oracle -> count_fallback t (lfu_scan tr set)
       | Config.Lthd_policy ->
           let v =
             Lthd.pick_victim lthd tr
               ~table:(if set == t.l1_set then L1 else L2)
               t.rng
           in
-          if is_nil v then Table_set.random set t.rng else v
+          if is_nil v then count_fallback t (Table_set.random set t.rng)
+          else begin
+            t.victims_lthd <- t.victims_lthd + 1;
+            v
+          end
 
     (* L2 -> DRAM demotion. *)
     let evict_l2 t tr v =
+      trace t tr "evict_l2" v;
       Table_set.remove t.l2_set tr v;
       Node.set_table tr v Dram;
       reset_counters tr v;
@@ -325,6 +355,7 @@ module Make (P : Family.PREFIX) = struct
 
     (* L1 -> L2 demotion (evicting an L2 entry to DRAM first if needed). *)
     let evict_l1 t tr v =
+      trace t tr "evict_l1" v;
       Table_set.remove t.l1_set tr v;
       Tcam.remove t.tcam (Node.depth tr v);
       t.l1_evictions <- t.l1_evictions + 1;
@@ -354,6 +385,7 @@ module Make (P : Family.PREFIX) = struct
         if not (is_nil v) then evict_l1 t tr v
       end;
       if not (Table_set.is_full t.l1_set) then begin
+        trace t tr "promote_l1" n;
         Node.set_table tr n L1;
         Table_set.add t.l1_set tr n;
         Tcam.install t.tcam (Node.depth tr n);
@@ -371,6 +403,7 @@ module Make (P : Family.PREFIX) = struct
         if not (is_nil v) then evict_l2 t tr v
       end;
       if not (Table_set.is_full t.l2_set) then begin
+        trace t tr "promote_l2" n;
         Node.set_table tr n L2;
         reset_counters tr n;
         Table_set.add t.l2_set tr n;
@@ -411,6 +444,7 @@ module Make (P : Family.PREFIX) = struct
           reset_counters tr n;
           match tbl with
           | L1 ->
+              trace t tr "bgp_remove_l1" n;
               Table_set.remove t.l1_set tr n;
               Tcam.remove t.tcam (Node.depth tr n);
               t.bgp_l1 <- t.bgp_l1 + 1
@@ -419,9 +453,10 @@ module Make (P : Family.PREFIX) = struct
               t.bgp_l2 <- t.bgp_l2 + 1
           | Dram -> t.bgp_dram <- t.bgp_dram + 1
           | No_table -> invalid_arg "Pipeline.apply_op: remove from no table")
-      | Fib_op.Update (_, tbl, _) -> (
+      | Fib_op.Update (n, tbl, _) -> (
           match tbl with
           | L1 ->
+              trace t tr "bgp_update_l1" n;
               Tcam.rewrite t.tcam;
               t.bgp_l1 <- t.bgp_l1 + 1
           | L2 -> t.bgp_l2 <- t.bgp_l2 + 1
@@ -442,6 +477,8 @@ module Make (P : Family.PREFIX) = struct
         bgp_l1 = t.bgp_l1;
         bgp_l2 = t.bgp_l2;
         bgp_dram = t.bgp_dram;
+        victims_lthd = t.victims_lthd;
+        victims_fallback = t.victims_fallback;
       }
 
     (* Full-reset recovery: drop every cache residency (membership
@@ -468,6 +505,8 @@ module Make (P : Family.PREFIX) = struct
       t.l2_evictions <- 0;
       t.bgp_l1 <- 0;
       t.bgp_l2 <- 0;
-      t.bgp_dram <- 0
+      t.bgp_dram <- 0;
+      t.victims_lthd <- 0;
+      t.victims_fallback <- 0
   end
 end

@@ -34,6 +34,8 @@ val pick_victim :
     entry). *)
 
 val clear : t -> unit
+(** Empty every slot (full-reset recovery). *)
 
 val occupancy : t -> int
-(** Number of non-empty slots (diagnostics). *)
+(** Number of non-empty slots (diagnostics; also sampled as the
+    [lthd_*_occupancy] telemetry series). *)

@@ -19,6 +19,9 @@ open Cfca_tcam
 
 type result = L1_hit | L2_hit | Dram_hit
 
+(** Cumulative pipeline counters. Monotonic between
+    {!reset_stats} calls: the simulator's windowed series are deltas of
+    consecutive readings. *)
 type stats = {
   packets : int;
   l1_misses : int;  (** packets that had to leave the TCAM (L2 or DRAM hits) *)
@@ -30,6 +33,11 @@ type stats = {
   bgp_l1 : int;  (** control-plane FIB changes that touched L1 (TCAM churn) *)
   bgp_l2 : int;
   bgp_dram : int;
+  victims_lthd : int;
+      (** evictions whose victim came out of the LTHD pipeline *)
+  victims_fallback : int;
+      (** evictions that fell back to a random (or, under the ablation
+          policies, random/LFU-scan) resident entry *)
 }
 
 val zero_stats : stats
@@ -47,18 +55,24 @@ val process : t -> Bintrie.t -> Bintrie.node -> now:float -> result
     time [now] (seconds). *)
 
 val apply_op : t -> Bintrie.t -> Fib_op.t -> unit
+(** Apply one control-plane FIB operation to whichever cache level
+    holds the entry (the [bgp_*] counters account the L1 touches). *)
 
 val sink : t -> Fib_op.sink
 (** [sink t] partially applied is exactly a {!Fib_op.sink}
     ([Bintrie.t -> Fib_op.t -> unit]). *)
 
 val l1_tcam : t -> Tcam.t
+(** The behavioural TCAM model backing L1 (occupancy, slot-write
+    accounting). *)
 
 val l1_size : t -> int
 
 val l2_size : t -> int
 
 val caches_full : t -> bool
+(** Both L1 and L2 at capacity — the switch point from the initial to
+    the steady-state promotion thresholds. *)
 
 val iter_l1 : (Bintrie.node -> unit) -> t -> unit
 (** Visit the entries the L1 membership vector actually holds. *)
@@ -77,6 +91,16 @@ val lthd_slots : t -> int
 (** Slot capacity of each LTHD pipeline (stages x width). *)
 
 val stats : t -> stats
+(** A fresh immutable copy of the counters (cheap; safe to keep). *)
+
+val set_tracer : t -> (kind:string -> detail:string -> unit) option -> unit
+(** Install (or remove) the residency-transition hook: it fires on
+    every traffic-driven migration ([promote_l1], [promote_l2],
+    [evict_l1], [evict_l2]) and every control-plane op touching L1
+    ([bgp_remove_l1], [bgp_update_l1]), with the affected prefix as
+    [detail]. [None] (the default) keeps the hot paths allocation-free
+    — the detail string is only built when a tracer is installed.
+    Wired by the simulator to {!Cfca_telemetry.Trace.emit}. *)
 
 val reset_stats : t -> unit
 (** Zeroes the counters (cache contents are untouched) — used between

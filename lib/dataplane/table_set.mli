@@ -10,8 +10,10 @@ type t
 val create : capacity:int -> t
 
 val size : t -> int
+(** Entries currently resident. *)
 
 val is_full : t -> bool
+(** [size t = capacity]. *)
 
 val add : t -> Bintrie.t -> Bintrie.node -> unit
 (** @raise Invalid_argument if full or if the node is already in a
@@ -21,6 +23,7 @@ val remove : t -> Bintrie.t -> Bintrie.node -> unit
 (** @raise Invalid_argument if the node is not in this set. *)
 
 val mem : t -> Bintrie.t -> Bintrie.node -> bool
+(** Residency test via the node's back-pointer — O(1). *)
 
 val random : t -> Random.State.t -> Bintrie.node
 (** Uniformly random resident entry; {!Bintrie.nil} when empty. *)

@@ -12,6 +12,24 @@ type kind = Cfca | Pfca
 
 let kind_name = function Cfca -> "CFCA" | Pfca -> "PFCA"
 
+(* One bundle per instrumented run: a registry for scalar instruments
+   and the update-latency histogram, the windowed series, and the
+   structured event log. [Cfca_traffic] is opened below, so the
+   telemetry Trace module is always referred to fully qualified. *)
+type telemetry = {
+  t_metrics : Cfca_telemetry.Metrics.t;
+  t_series : Cfca_telemetry.Timeseries.t;
+  t_trace : Cfca_telemetry.Trace.t;
+}
+
+let telemetry ?(interval = 100_000) ?series_capacity ?trace_capacity () =
+  {
+    t_metrics = Cfca_telemetry.Metrics.create ();
+    t_series =
+      Cfca_telemetry.Timeseries.create ?capacity:series_capacity ~interval ();
+    t_trace = Cfca_telemetry.Trace.create ?capacity:trace_capacity ();
+  }
+
 type window = {
   w_packets : int;
   w_l1_misses : int;
@@ -84,15 +102,44 @@ let make_cached kind ~sink ~default_nh rib =
       }
 
 let run_events ?(window = 100_000) ?(seed = 0x5EED)
-    ?(watchdog = Watchdog.default_config) kind cfg ~default_nh rib
+    ?(watchdog = Watchdog.default_config) ?telemetry kind cfg ~default_nh rib
     iter_events =
   let pipeline = Pipeline.create ~seed cfg in
+  (* Scalar instruments live from the start, but stay dormant until
+     [tel_armed] flips after the initial RIB load: the bulk
+     installation is not churn and must not skew the series. *)
+  let tel_instruments =
+    match telemetry with
+    | None -> None
+    | Some tel ->
+        Some
+          ( tel,
+            Cfca_telemetry.Metrics.counter tel.t_metrics "fib_ops",
+            Cfca_telemetry.Metrics.histogram tel.t_metrics "update_ns" )
+  in
+  let tel_armed = ref false in
+  let tel_time = ref 0.0 in
   (* Per-packet fast path: the IN_FIB set compiled into a flat LPM.
      Every control-plane op can change the set, so the sink doubles as
      the invalidation hook (all IN_FIB transitions emit a Fib_op). *)
   let snapshot = Fib_snapshot.create () in
   let sink tr op =
-    Fib_snapshot.invalidate snapshot;
+    (match tel_instruments with
+    | Some (tel, fib_ops, _) when !tel_armed ->
+        Cfca_telemetry.Metrics.incr fib_ops;
+        let dirty_before =
+          (Fib_snapshot.stats snapshot).Fib_snapshot.invalidations
+        in
+        Fib_snapshot.invalidate snapshot;
+        (* invalidations count dirty transitions, not ops: a bump here
+           means this op started a new dirty burst *)
+        if
+          (Fib_snapshot.stats snapshot).Fib_snapshot.invalidations
+          > dirty_before
+        then
+          Cfca_telemetry.Trace.emit tel.t_trace ~time:!tel_time
+            ~kind:"snapshot_invalidate" ""
+    | _ -> Fib_snapshot.invalidate snapshot);
     Pipeline.sink pipeline tr op
   in
   let system = make_cached kind ~sink ~default_nh rib in
@@ -104,7 +151,12 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
     (fun (p, nh) -> Hashtbl.replace authoritative p nh)
     (Rib.to_seq rib);
   let wd = Watchdog.create ~config:watchdog () in
-  let recover ~violation:_ =
+  let recover ~violation =
+    (match telemetry with
+    | Some tel ->
+        Cfca_telemetry.Trace.emit tel.t_trace ~time:!tel_time
+          ~kind:"watchdog_recovery" violation
+    | None -> ());
     (* scrub residency state out of the old tree before it is replaced:
        afterwards its handles may be dead (arena) or unreachable *)
     Pipeline.clear pipeline (system.c_tree ());
@@ -128,6 +180,76 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
   let updates = ref 0 and updates_l1 = ref 0 and burst = ref 0 in
   let update_seconds = ref 0.0 in
   let in_window = ref 0 in
+  (* Register the series columns only now: every Delta/ratio column
+     baselines at registration time, so registering after the
+     stats reset (and after the eager refresh) makes each column sum
+     exactly to the corresponding end-of-run total — the property
+     [verify timeseries] pins. *)
+  (match tel_instruments with
+  | None -> ()
+  | Some (tel, fib_ops, _) ->
+      tel_armed := true;
+      Pipeline.set_tracer pipeline
+        (Some
+           (fun ~kind ~detail ->
+             Cfca_telemetry.Trace.emit tel.t_trace ~time:!tel_time ~kind
+               detail));
+      let ts = tel.t_series in
+      let module T = Cfca_telemetry.Timeseries in
+      let stat read () = read (Pipeline.stats pipeline) in
+      let fp read () = read (Fib_snapshot.stats snapshot) in
+      let count_real () =
+        let tr = system.c_tree () in
+        Bintrie.fold_nodes
+          (fun acc n ->
+            match Bintrie.Node.kind tr n with
+            | Bintrie.Real -> acc + 1
+            | Bintrie.Fake -> acc)
+          0 tr
+      in
+      let live () = Bintrie.live_slots (system.c_tree ()) in
+      T.track_ratio ts "l1_hit_ratio"
+        ~num:(stat (fun s -> s.Pipeline.packets - s.Pipeline.l1_misses))
+        ~den:(stat (fun s -> s.Pipeline.packets));
+      T.track_ratio ts "l2_hit_ratio"
+        ~num:(stat (fun s -> s.Pipeline.packets - s.Pipeline.l2_misses))
+        ~den:(stat (fun s -> s.Pipeline.packets));
+      T.track ts "packets" (stat (fun s -> s.Pipeline.packets));
+      T.track ts "l1_misses" (stat (fun s -> s.Pipeline.l1_misses));
+      T.track ts "l2_misses" (stat (fun s -> s.Pipeline.l2_misses));
+      T.track ts "l1_installs" (stat (fun s -> s.Pipeline.l1_installs));
+      T.track ts "l1_evictions" (stat (fun s -> s.Pipeline.l1_evictions));
+      T.track ts "l2_installs" (stat (fun s -> s.Pipeline.l2_installs));
+      T.track ts "l2_evictions" (stat (fun s -> s.Pipeline.l2_evictions));
+      T.track ts "bgp_l1" (stat (fun s -> s.Pipeline.bgp_l1));
+      T.track ts "victims_lthd" (stat (fun s -> s.Pipeline.victims_lthd));
+      T.track ts "victims_fallback"
+        (stat (fun s -> s.Pipeline.victims_fallback));
+      T.track ts "fib_ops" (fun () -> Cfca_telemetry.Metrics.value fib_ops);
+      T.track ts "updates" (fun () -> !updates);
+      T.track ts "updates_l1" (fun () -> !updates_l1);
+      T.track ts "fastpath_hits" (fp (fun s -> s.Fib_snapshot.fast_hits));
+      T.track ts "fastpath_fallbacks" (fp (fun s -> s.Fib_snapshot.fallbacks));
+      T.track ts "watchdog_checks" (fun () -> Watchdog.checks wd);
+      T.track ts "watchdog_recoveries" (fun () -> Watchdog.recoveries wd);
+      T.track ~mode:`Level ts "tcam_occupancy" (fun () ->
+          Tcam.size (Pipeline.l1_tcam pipeline));
+      T.track ~mode:`Level ts "tcam_limit" (fun () ->
+          Tcam.capacity (Pipeline.l1_tcam pipeline));
+      T.track ~mode:`Level ts "l1_resident" (fun () ->
+          Pipeline.l1_size pipeline);
+      T.track ~mode:`Level ts "l2_resident" (fun () ->
+          Pipeline.l2_size pipeline);
+      T.track ~mode:`Level ts "lthd_l1_occupancy" (fun () ->
+          fst (Pipeline.lthd_occupancy pipeline));
+      T.track ~mode:`Level ts "lthd_l2_occupancy" (fun () ->
+          snd (Pipeline.lthd_occupancy pipeline));
+      T.track ~mode:`Level ts "fib_size" (fun () -> system.c_fib_size ());
+      T.track ~mode:`Level ts "arena_live" live;
+      T.track ~mode:`Level ts "arena_free" (fun () ->
+          Bintrie.free_slots (system.c_tree ()));
+      T.track ~mode:`Level ts "real_nodes" count_real;
+      T.track_level_ratio ts "real_node_ratio" ~num:count_real ~den:live);
   let close_window () =
     let s = Pipeline.stats pipeline in
     let p = !prev in
@@ -150,6 +272,7 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
     in_window := 0
   in
   iter_events (fun ~time event ->
+      tel_time := time;
       (match event with
       | Trace.Packet dst -> (
           match Fib_snapshot.lookup snapshot (system.c_tree ()) dst with
@@ -169,7 +292,13 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
           let l1_before = (Pipeline.stats pipeline).Pipeline.bgp_l1 in
           let t0 = Unix.gettimeofday () in
           system.c_apply u;
-          update_seconds := !update_seconds +. (Unix.gettimeofday () -. t0);
+          let dt = Unix.gettimeofday () -. t0 in
+          update_seconds := !update_seconds +. dt;
+          (match tel_instruments with
+          | Some (_, _, update_ns) ->
+              Cfca_telemetry.Metrics.observe update_ns
+                (int_of_float (dt *. 1e9))
+          | None -> ());
           let l1_delta =
             (Pipeline.stats pipeline).Pipeline.bgp_l1 - l1_before
           in
@@ -180,8 +309,16 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
             incr win_updates_l1
           end;
           if l1_delta > !burst then burst := l1_delta);
+      (match telemetry with
+      | Some tel -> Cfca_telemetry.Timeseries.tick tel.t_series
+      | None -> ());
       observe ());
   if !in_window > 0 then close_window ();
+  (* close a trailing partial sample window so final Level samples see
+     the end-of-run state and Delta columns sum to the run totals *)
+  (match telemetry with
+  | Some tel -> Cfca_telemetry.Timeseries.flush tel.t_series
+  | None -> ());
   {
     r_name = kind_name kind;
     r_config = cfg;
@@ -204,12 +341,12 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
     r_arena_free = Bintrie.free_slots (system.c_tree ());
   }
 
-let run ?window ?seed ?watchdog kind cfg ~default_nh rib spec =
-  run_events ?window ?seed ?watchdog kind cfg ~default_nh rib (fun f ->
-      Trace.iter spec rib f)
+let run ?window ?seed ?watchdog ?telemetry kind cfg ~default_nh rib spec =
+  run_events ?window ?seed ?watchdog ?telemetry kind cfg ~default_nh rib
+    (fun f -> Trace.iter spec rib f)
 
-let run_capture ?window ?seed ?watchdog ?policy kind cfg ~default_nh rib
-    ~pcap ~updates =
+let run_capture ?window ?seed ?watchdog ?telemetry ?policy kind cfg
+    ~default_nh rib ~pcap ~updates =
   let fail e = Error (pcap ^ ": " ^ Errors.to_string e) in
   match Cfca_pcap.Pcap.count_file ?policy pcap with
   | Error e -> fail e
@@ -219,8 +356,8 @@ let run_capture ?window ?seed ?watchdog ?policy kind cfg ~default_nh rib
       let ingest = ref [] in
       try
         let result =
-          run_events ?window ?seed ?watchdog kind cfg ~default_nh rib
-            (fun f ->
+          run_events ?window ?seed ?watchdog ?telemetry kind cfg ~default_nh
+            rib (fun f ->
               let i = ref 0 in
               let next_update = ref 0 in
               let last_time = ref 0.0 in

@@ -15,6 +15,32 @@ type kind = Cfca | Pfca
 
 val kind_name : kind -> string
 
+type telemetry = {
+  t_metrics : Cfca_telemetry.Metrics.t;
+      (** scalar instruments: the [fib_ops] counter and the
+          [update_ns] control-plane latency histogram *)
+  t_series : Cfca_telemetry.Timeseries.t;
+      (** windowed series, one sample every [interval] events *)
+  t_trace : Cfca_telemetry.Trace.t;
+      (** structured events: promotions/evictions, L1-touching BGP
+          ops, snapshot invalidations, watchdog recoveries *)
+}
+(** Everything an instrumented run records. Build one with
+    {!val:telemetry}, pass it to {!run}/{!run_events}/{!run_capture},
+    read or {!Cfca_telemetry.Export.write} it afterwards. *)
+
+val telemetry :
+  ?interval:int ->
+  ?series_capacity:int ->
+  ?trace_capacity:int ->
+  unit ->
+  telemetry
+(** A fresh bundle. [interval] (default 100_000, matching the paper's
+    figure windows) is in {e events} — packets plus BGP updates. The
+    engine registers its columns itself; callers may add their own
+    instruments to [t_metrics] but must not touch [t_series] columns
+    (registration closes at the first window). *)
+
 (** Per-100K-packets measurement window (Fig. 9/10 series). *)
 type window = {
   w_packets : int;
@@ -59,6 +85,7 @@ val run :
   ?window:int ->
   ?seed:int ->
   ?watchdog:Watchdog.config ->
+  ?telemetry:telemetry ->
   kind ->
   Config.t ->
   default_nh:Nexthop.t ->
@@ -74,12 +101,23 @@ val run :
     violation it clears the data plane and rebuilds the control plane
     from the authoritative route set (RIB snapshot + replayed updates),
     then continues the replay. The watchdog uses its own PRNG, so
-    counters are identical with or without it on healthy runs. *)
+    counters are identical with or without it on healthy runs.
+
+    [telemetry], when given, is armed after the initial RIB load (bulk
+    installation is not churn) and ticked once per event. Delta and
+    ratio columns baseline at the post-load stats reset, so each
+    column sums exactly to the corresponding [r_totals] field, and the
+    trailing partial window is flushed before the result is built, so
+    the final Level samples equal the end-of-run scalars
+    ([r_fib_final], [r_arena_live], ...). Telemetry never perturbs the
+    simulation: all instruments observe passively and the run's
+    counters are byte-identical with or without it. *)
 
 val run_events :
   ?window:int ->
   ?seed:int ->
   ?watchdog:Watchdog.config ->
+  ?telemetry:telemetry ->
   kind ->
   Config.t ->
   default_nh:Nexthop.t ->
@@ -93,6 +131,7 @@ val run_capture :
   ?window:int ->
   ?seed:int ->
   ?watchdog:Watchdog.config ->
+  ?telemetry:telemetry ->
   ?policy:Errors.policy ->
   kind ->
   Config.t ->

@@ -348,6 +348,55 @@ let robustness ?(scale = standard_scale) ?(seeds = [ 101; 202; 303; 404; 505 ]) 
   in
   [ summarize "CFCA" Engine.Cfca; summarize "PFCA" Engine.Pfca ]
 
+(* Hit-ratio-over-time, the shape of the paper's §4 evaluation figures:
+   the same workload replayed by CFCA, PFCA and the §2 naive
+   overlapping-route cache, each instrumented with a windowed series.
+   The naive baseline has no control plane, so it is replayed by hand
+   against its own telemetry bundle; it still ticks on update events so
+   its windows align with the engine runs'. *)
+let hit_ratio_over_time ?(scale = standard_scale) ?(interval = 100_000)
+    ?ratios () =
+  let ratios =
+    match ratios with Some r -> r | None -> cache_ratios.(2)
+  in
+  let workload = build_workload scale in
+  let cfg = config_for workload ratios in
+  let cached kind =
+    let tel = Engine.telemetry ~interval () in
+    let (_ : Engine.run_result) =
+      Engine.run ~telemetry:tel kind cfg ~default_nh:workload.default_nh
+        workload.rib workload.spec
+    in
+    (Engine.kind_name kind, tel)
+  in
+  let naive =
+    let tel = Engine.telemetry ~interval () in
+    let cache =
+      Naive_cache.create ~capacity:cfg.Config.l1_capacity
+        ~default_nh:workload.default_nh workload.rib
+    in
+    let module T = Cfca_telemetry.Timeseries in
+    let ts = tel.Engine.t_series in
+    let packets () = Naive_cache.hits cache + Naive_cache.misses cache in
+    T.track_ratio ts "l1_hit_ratio"
+      ~num:(fun () -> Naive_cache.hits cache)
+      ~den:packets;
+    T.track ts "packets" packets;
+    T.track ts "l1_misses" (fun () -> Naive_cache.misses cache);
+    T.track ts "forwarding_errors" (fun () ->
+        Naive_cache.forwarding_errors cache);
+    T.track ~mode:`Level ts "l1_resident" (fun () ->
+        Naive_cache.resident cache);
+    Trace.iter workload.spec workload.rib (fun ~time:_ event ->
+        (match event with
+        | Trace.Packet dst -> ignore (Naive_cache.process cache dst)
+        | Trace.Update _ -> ());
+        T.tick ts);
+    T.flush ts;
+    ("naive", tel)
+  in
+  [ cached Engine.Cfca; cached Engine.Pfca; naive ]
+
 let verify_forwarding workload systems =
   (* reference: a plain LPM table that saw the same final state *)
   let model = Lpm.create () in

@@ -138,6 +138,22 @@ val robustness : ?scale:scale -> ?seeds:int list -> unit -> robustness_row list
     seeded workloads (2.50 % caches): the conclusion must not be a seed
     artifact. Defaults to 5 seeds at 40 %% of the standard scale. *)
 
+val hit_ratio_over_time :
+  ?scale:scale ->
+  ?interval:int ->
+  ?ratios:float * float ->
+  unit ->
+  (string * Engine.telemetry) list
+(** The paper's Figure-style hit-ratio-over-time comparison: the same
+    workload replayed by CFCA, PFCA and the §2 naive overlapping-route
+    cache, each returning its telemetry bundle (series columns include
+    [l1_hit_ratio] per window; the engine runs carry the full column
+    set, the naive baseline also tracks [forwarding_errors] — the
+    cache-hiding misforwards CFCA/PFCA are built to exclude).
+    [interval] defaults to the paper's 100K-event windows; [ratios]
+    defaults to the largest cache configuration,
+    [cache_ratios.(2)]. *)
+
 val verify_forwarding :
   workload -> (string * (Ipv4.t -> Nexthop.t)) list -> (unit, string) result
 (** Post-run sanity check in the spirit of the paper's VeriTable usage:

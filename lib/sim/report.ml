@@ -199,26 +199,12 @@ type lookup_bench = {
 }
 
 (* Hand-rolled JSON: the bench must not grow a dependency for one
-   artifact. Numbers are clamped finite so the output always parses. *)
-let json_float f =
-  if f <> f || f = infinity || f = neg_infinity then "0.0"
-  else Printf.sprintf "%.4f" f
+   artifact. The helpers are the telemetry exporter's (one
+   implementation for every BENCH_*/telemetry artifact): numbers are
+   clamped finite so the output always parses. *)
+let json_float = Cfca_telemetry.Export.json_float
 
-let json_string s =
-  let b = Buffer.create (String.length s + 2) in
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"';
-  Buffer.contents b
+let json_string = Cfca_telemetry.Export.json_string
 
 let json_of_lookup_bench b =
   let row r =
@@ -320,6 +306,36 @@ let print_update_bench b =
     b.ub_speedup_pfca;
   Printf.printf "gate: %d FIB ops compared, %d divergences\n" b.ub_gate_ops
     b.ub_gate_divergences
+
+(* -- telemetry series ----------------------------------------------- *)
+
+let print_telemetry_series ?(cols = [ "l1_hit_ratio"; "l2_hit_ratio";
+                                      "tcam_occupancy"; "forwarding_errors" ])
+    series =
+  let module T = Cfca_telemetry.Timeseries in
+  List.iter
+    (fun (name, (tel : Engine.telemetry)) ->
+      let ts = tel.Engine.t_series in
+      let have = T.columns ts in
+      let cols = List.filter (fun c -> List.mem c have) cols in
+      Printf.printf "\n%s: per-%d-event windows%s\n" name (T.interval ts)
+        (if T.dropped ts > 0 then
+           Printf.sprintf " (%d oldest windows dropped)" (T.dropped ts)
+         else "");
+      Printf.printf "%8s %8s" "window" "events";
+      List.iter (fun c -> Printf.printf " %18s" c) cols;
+      print_newline ();
+      hr (17 + (19 * List.length cols));
+      let events = T.window_events ts in
+      let data = List.map (fun c -> T.get ts c) cols in
+      let first = T.first_window ts in
+      Array.iteri
+        (fun i ev ->
+          Printf.printf "%8d %8d" (first + i) ev;
+          List.iter (fun col -> Printf.printf " %18.4f" col.(i)) data;
+          print_newline ())
+        events)
+    series
 
 let print_robustness rows =
   Printf.printf "%-8s %8s | %12s %12s %12s\n" "system" "seeds" "mean miss %"

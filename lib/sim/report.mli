@@ -31,6 +31,15 @@ val print_ablation : title:string -> Experiments.ablation_row list -> unit
 
 val print_robustness : Experiments.robustness_row list -> unit
 
+val print_telemetry_series :
+  ?cols:string list -> (string * Engine.telemetry) list -> unit
+(** Render named telemetry bundles
+    ({!Experiments.hit_ratio_over_time}'s output) as per-window tables,
+    one row per retained window. [cols] (default [l1_hit_ratio],
+    [l2_hit_ratio], [tcam_occupancy], [forwarding_errors]) is
+    intersected with each bundle's actual columns, so heterogeneous
+    bundles print cleanly. *)
+
 (** One measured configuration of the lookup microbench. *)
 type lookup_row = {
   lb_name : string;  (** table under test, e.g. ["flat-dir24"] *)

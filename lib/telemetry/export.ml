@@ -1,0 +1,208 @@
+(* Hand-rolled output, like the bench harness's BENCH_*.json: one
+   artifact is not worth a serialization dependency, and the formats
+   are pinned byte-for-byte by golden tests so changes are deliberate. *)
+
+let json_float f =
+  if f <> f || f = infinity || f = neg_infinity then "0.0"
+  else Printf.sprintf "%.4f" f
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_number f =
+  if f <> f || f = infinity || f = neg_infinity then "0"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else begin
+    (* up to 6 decimals, trailing zeros trimmed: "0.5", "0.987654" *)
+    let s = Printf.sprintf "%.6f" f in
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = '0' do
+      decr n
+    done;
+    if !n > 0 && s.[!n - 1] = '.' then decr n;
+    String.sub s 0 !n
+  end
+
+(* -- CSV ------------------------------------------------------------- *)
+
+let csv_cell s =
+  if
+    String.exists
+      (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r')
+      s
+  then begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else s
+
+let series_csv ts =
+  let cols = Timeseries.columns ts in
+  let data = List.map (fun c -> Timeseries.get ts c) cols in
+  let events = Timeseries.window_events ts in
+  let first = Timeseries.first_window ts in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "window,events";
+  List.iter
+    (fun c ->
+      Buffer.add_char b ',';
+      Buffer.add_string b (csv_cell c))
+    cols;
+  Buffer.add_char b '\n';
+  Array.iteri
+    (fun i ev ->
+      Buffer.add_string b (string_of_int (first + i));
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int ev);
+      List.iter
+        (fun col ->
+          Buffer.add_char b ',';
+          Buffer.add_string b (json_number col.(i)))
+        data;
+      Buffer.add_char b '\n')
+    events;
+  Buffer.contents b
+
+let hist_quantiles h =
+  Metrics.
+    (quantile h 0.50, quantile h 0.90, quantile h 0.99)
+
+let histograms_csv (s : Metrics.snapshot) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "histogram,count,sum,min,max,p50,p90,p99\n";
+  List.iter
+    (fun (h : Metrics.hist_snapshot) ->
+      let p50, p90, p99 = hist_quantiles h in
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d\n" (csv_cell h.Metrics.h_name)
+           h.Metrics.h_count h.Metrics.h_sum h.Metrics.h_min h.Metrics.h_max
+           p50 p90 p99))
+    s.Metrics.s_histograms;
+  Buffer.contents b
+
+let trace_csv tr =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "seq,time,kind,detail\n";
+  List.iter
+    (fun (e : Trace.event) ->
+      Buffer.add_string b
+        (Printf.sprintf "%d,%s,%s,%s\n" e.Trace.seq (json_number e.Trace.time)
+           (csv_cell e.Trace.kind) (csv_cell e.Trace.detail)))
+    (Trace.events tr);
+  Buffer.contents b
+
+(* -- JSON ------------------------------------------------------------ *)
+
+let json ~name ts (snap : Metrics.snapshot) tr =
+  let b = Buffer.create 4096 in
+  let add = Buffer.add_string b in
+  add "{\n";
+  add (Printf.sprintf "  \"telemetry\": %s,\n" (json_string name));
+  add (Printf.sprintf "  \"interval\": %d,\n" (Timeseries.interval ts));
+  add (Printf.sprintf "  \"windows\": %d,\n" (Timeseries.windows ts));
+  add (Printf.sprintf "  \"first_window\": %d,\n" (Timeseries.first_window ts));
+  add
+    (Printf.sprintf "  \"dropped_windows\": %d,\n" (Timeseries.dropped ts));
+  add "  \"window_events\": [";
+  add
+    (String.concat ", "
+       (Array.to_list
+          (Array.map string_of_int (Timeseries.window_events ts))));
+  add "],\n";
+  add "  \"series\": [\n";
+  add
+    (String.concat ",\n"
+       (List.map
+          (fun col ->
+            let values = Timeseries.get ts col in
+            Printf.sprintf "    {\"name\": %s, \"values\": [%s]}"
+              (json_string col)
+              (String.concat ", "
+                 (Array.to_list (Array.map json_number values))))
+          (Timeseries.columns ts)));
+  add "\n  ],\n";
+  add "  \"counters\": [";
+  add
+    (String.concat ", "
+       (List.map
+          (fun (n, v) ->
+            Printf.sprintf "{\"name\": %s, \"value\": %d}" (json_string n) v)
+          snap.Metrics.s_counters));
+  add "],\n";
+  add "  \"gauges\": [";
+  add
+    (String.concat ", "
+       (List.map
+          (fun (n, v) ->
+            Printf.sprintf "{\"name\": %s, \"value\": %d}" (json_string n) v)
+          snap.Metrics.s_gauges));
+  add "],\n";
+  add "  \"histograms\": [\n";
+  add
+    (String.concat ",\n"
+       (List.map
+          (fun (h : Metrics.hist_snapshot) ->
+            let p50, p90, p99 = hist_quantiles h in
+            Printf.sprintf
+              "    {\"name\": %s, \"count\": %d, \"sum\": %d, \"min\": %d, \
+               \"max\": %d, \"p50\": %d, \"p90\": %d, \"p99\": %d}"
+              (json_string h.Metrics.h_name)
+              h.Metrics.h_count h.Metrics.h_sum h.Metrics.h_min
+              h.Metrics.h_max p50 p90 p99)
+          snap.Metrics.s_histograms));
+  add "\n  ],\n";
+  add
+    (Printf.sprintf "  \"trace\": {\"events\": %d, \"dropped\": %d}\n"
+       (Trace.total tr) (Trace.dropped tr));
+  add "}\n";
+  Buffer.contents b
+
+(* -- files ----------------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write ~dir ~name ts metrics tr =
+  mkdir_p dir;
+  let snap = Metrics.snapshot metrics in
+  let files =
+    [
+      (Filename.concat dir (name ^ "_series.csv"), series_csv ts);
+      (Filename.concat dir (name ^ "_histograms.csv"), histograms_csv snap);
+      (Filename.concat dir (name ^ "_trace.csv"), trace_csv tr);
+      (Filename.concat dir (name ^ "_telemetry.json"), json ~name ts snap tr);
+    ]
+  in
+  List.iter (fun (path, contents) -> write_file path contents) files;
+  List.map fst files

@@ -1,0 +1,61 @@
+(** Render telemetry as CSV and hand-rolled JSON, in the same style as
+    the bench harness's [BENCH_*.json] artifacts (no JSON library
+    dependency, always-parseable output, stable key order — the golden
+    tests pin the byte-for-byte format).
+
+    The number/string helpers are exported so other hand-rolled JSON
+    emitters ({!Cfca_sim.Report}) share one implementation. *)
+
+(** {1 Formatting helpers} *)
+
+val json_string : string -> string
+(** Double-quoted, escaping quote, backslash, newline and control
+    characters. *)
+
+val json_float : float -> string
+(** Fixed 4-decimal rendering; NaN and infinities are clamped to
+    ["0.0"] so the output always parses (the [BENCH_*.json]
+    convention). *)
+
+val json_number : float -> string
+(** Shortest-faithful rendering for series values: integer-valued
+    floats print with no fraction (["100000"]), others with up to 6
+    decimals, trailing zeros trimmed (["0.9876"]). Non-finite values
+    clamp to ["0"]. Also the CSV cell format. *)
+
+(** {1 CSV} *)
+
+val series_csv : Timeseries.t -> string
+(** Header [window,events,<col>,...] (columns in registration order),
+    one row per retained window with its absolute window number. *)
+
+val histograms_csv : Metrics.snapshot -> string
+(** Header [histogram,count,sum,min,max,p50,p90,p99], one row per
+    histogram. *)
+
+val trace_csv : Trace.t -> string
+(** Header [seq,time,kind,detail], one row per retained event; cells
+    are quoted per RFC 4180 when they contain separators. *)
+
+(** {1 JSON} *)
+
+val json :
+  name:string -> Timeseries.t -> Metrics.snapshot -> Trace.t -> string
+(** One self-describing document: [telemetry] (the run name),
+    [interval], [windows]/[first_window]/[dropped_windows],
+    [window_events], [series] (name + retained values per column),
+    [counters], [gauges], [histograms] (count/sum/min/max/p50/p90/p99)
+    and [trace] (emitted/dropped totals). *)
+
+(** {1 Files} *)
+
+val write :
+  dir:string ->
+  name:string ->
+  Timeseries.t ->
+  Metrics.t ->
+  Trace.t ->
+  string list
+(** Write [<name>_series.csv], [<name>_histograms.csv],
+    [<name>_trace.csv] and [<name>_telemetry.json] under [dir]
+    (created, with parents, if missing) and return the paths written. *)

@@ -1,0 +1,252 @@
+(* Instruments are plain mutable records over pre-allocated int
+   storage; the record path (incr/add/observe) is integer-only so the
+   per-packet/per-update hot loops can tick instruments without
+   allocating. All reading goes through immutable snapshots. *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = { g_name : string; g_read : unit -> int }
+
+type histogram = {
+  hh_name : string;
+  hh_sub_bits : int;
+  hh_counts : int array;
+  mutable hh_count : int;
+  mutable hh_sum : int;
+  mutable hh_min : int;
+  mutable hh_max : int;
+}
+
+type t = {
+  (* registration order, kept reversed; snapshot re-reverses *)
+  mutable counters : counter list;
+  mutable gauges : gauge list;
+  mutable histograms : histogram list;
+}
+
+let create () = { counters = []; gauges = []; histograms = [] }
+
+(* -- bucket geometry ------------------------------------------------- *)
+
+(* HdrHistogram-style: each power of two is split into [2^sub_bits]
+   equal sub-buckets. Values below [2 * 2^sub_bits] get an exact bucket
+   each; above that, the bucket of [v] keeps the top [sub_bits + 1]
+   significant bits, so the relative bucket width never exceeds
+   [2^-sub_bits]. The index formula makes consecutive buckets tile the
+   integers with no gaps (pinned by the boundary tests). *)
+
+let rec msb_from v acc = if v <= 1 then acc else msb_from (v lsr 1) (acc + 1)
+
+let msb v = msb_from v 0
+
+let check_sub_bits sub_bits =
+  if sub_bits < 0 || sub_bits > 6 then
+    invalid_arg "Metrics: sub_bits must be in 0..6"
+
+let bucket_index ~sub_bits v =
+  let v = if v < 0 then 0 else v in
+  let sub_count = 1 lsl sub_bits in
+  if v < 2 * sub_count then v
+  else
+    let shift = msb v - sub_bits in
+    ((shift + 1) * sub_count) + (v lsr shift) - sub_count
+
+let bucket_count ~sub_bits =
+  check_sub_bits sub_bits;
+  bucket_index ~sub_bits max_int + 1
+
+let bucket_bounds ~sub_bits idx =
+  let sub_count = 1 lsl sub_bits in
+  if idx < 0 || idx >= bucket_count ~sub_bits then
+    invalid_arg "Metrics.bucket_bounds: index out of range";
+  if idx < 2 * sub_count then (idx, idx)
+  else
+    let shift = (idx / sub_count) - 1 in
+    let lo = (sub_count + (idx mod sub_count)) lsl shift in
+    (lo, lo + (1 lsl shift) - 1)
+
+(* -- registration ---------------------------------------------------- *)
+
+let counter t name =
+  match List.find_opt (fun c -> String.equal c.c_name name) t.counters with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      t.counters <- c :: t.counters;
+      c
+
+let gauge t name read =
+  match List.find_opt (fun g -> String.equal g.g_name name) t.gauges with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_read = read } in
+      t.gauges <- g :: t.gauges;
+      g
+
+let histogram ?(sub_bits = 2) t name =
+  match
+    List.find_opt (fun h -> String.equal h.hh_name name) t.histograms
+  with
+  | Some h -> h
+  | None ->
+      check_sub_bits sub_bits;
+      let h =
+        {
+          hh_name = name;
+          hh_sub_bits = sub_bits;
+          hh_counts = Array.make (bucket_count ~sub_bits) 0;
+          hh_count = 0;
+          hh_sum = 0;
+          hh_min = 0;
+          hh_max = 0;
+        }
+      in
+      t.histograms <- h :: t.histograms;
+      h
+
+(* -- record path ----------------------------------------------------- *)
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotonic";
+  c.c_value <- c.c_value + n
+
+let value c = c.c_value
+
+let counter_name c = c.c_name
+
+let read g = g.g_read ()
+
+let gauge_name g = g.g_name
+
+let observe h v =
+  let v = if v < 0 then 0 else v in
+  let idx = bucket_index ~sub_bits:h.hh_sub_bits v in
+  h.hh_counts.(idx) <- h.hh_counts.(idx) + 1;
+  if h.hh_count = 0 then begin
+    h.hh_min <- v;
+    h.hh_max <- v
+  end
+  else begin
+    if v < h.hh_min then h.hh_min <- v;
+    if v > h.hh_max then h.hh_max <- v
+  end;
+  h.hh_count <- h.hh_count + 1;
+  let s = h.hh_sum + v in
+  (* saturate instead of wrapping: sums feed means and reports *)
+  h.hh_sum <- (if s < 0 then max_int else s)
+
+let histogram_name h = h.hh_name
+
+(* -- snapshots ------------------------------------------------------- *)
+
+type hist_snapshot = {
+  h_name : string;
+  h_sub_bits : int;
+  h_count : int;
+  h_sum : int;
+  h_min : int;
+  h_max : int;
+  h_counts : int array;
+}
+
+let hist_snapshot h =
+  {
+    h_name = h.hh_name;
+    h_sub_bits = h.hh_sub_bits;
+    h_count = h.hh_count;
+    h_sum = h.hh_sum;
+    h_min = h.hh_min;
+    h_max = h.hh_max;
+    h_counts = Array.copy h.hh_counts;
+  }
+
+let quantile s q =
+  if s.h_count = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int s.h_count)) in
+      if r < 1 then 1 else if r > s.h_count then s.h_count else r
+    in
+    let n = Array.length s.h_counts in
+    let rec go i cum =
+      if i >= n then s.h_max
+      else
+        let cum = cum + s.h_counts.(i) in
+        if cum >= rank then
+          let _, hi = bucket_bounds ~sub_bits:s.h_sub_bits i in
+          if hi > s.h_max then s.h_max else hi
+        else go (i + 1) cum
+    in
+    go 0 0
+  end
+
+let merge a b =
+  if a.h_sub_bits <> b.h_sub_bits then
+    invalid_arg "Metrics.merge: sub_bits mismatch";
+  let sum =
+    let s = a.h_sum + b.h_sum in
+    if s < 0 then max_int else s
+  in
+  {
+    h_name = a.h_name;
+    h_sub_bits = a.h_sub_bits;
+    h_count = a.h_count + b.h_count;
+    h_sum = sum;
+    h_min =
+      (if a.h_count = 0 then b.h_min
+       else if b.h_count = 0 then a.h_min
+       else min a.h_min b.h_min);
+    h_max =
+      (if a.h_count = 0 then b.h_max
+       else if b.h_count = 0 then a.h_max
+       else max a.h_max b.h_max);
+    h_counts = Array.init (Array.length a.h_counts) (fun i ->
+        a.h_counts.(i) + b.h_counts.(i));
+  }
+
+type snapshot = {
+  s_counters : (string * int) list;
+  s_gauges : (string * int) list;
+  s_histograms : hist_snapshot list;
+}
+
+let snapshot t =
+  {
+    s_counters =
+      List.rev_map (fun c -> (c.c_name, c.c_value)) t.counters;
+    s_gauges = List.rev_map (fun g -> (g.g_name, g.g_read ())) t.gauges;
+    s_histograms = List.rev_map hist_snapshot t.histograms;
+  }
+
+let delta ~earlier ~later =
+  let counter (name, v) =
+    match List.assoc_opt name earlier.s_counters with
+    | Some v0 -> (name, v - v0)
+    | None -> (name, v)
+  in
+  let hist (h : hist_snapshot) =
+    match
+      List.find_opt
+        (fun (e : hist_snapshot) -> String.equal e.h_name h.h_name)
+        earlier.s_histograms
+    with
+    | Some e when e.h_sub_bits = h.h_sub_bits ->
+        {
+          h with
+          h_count = h.h_count - e.h_count;
+          h_sum = h.h_sum - e.h_sum;
+          (* per-interval extremes are not recoverable from totals:
+             keep the later snapshot's, which bound them *)
+          h_counts =
+            Array.init (Array.length h.h_counts) (fun i ->
+                h.h_counts.(i) - e.h_counts.(i));
+        }
+    | _ -> h
+  in
+  {
+    s_counters = List.map counter later.s_counters;
+    s_gauges = later.s_gauges;
+    s_histograms = List.map hist later.s_histograms;
+  }

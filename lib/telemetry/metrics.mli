@@ -1,0 +1,136 @@
+(** Allocation-conscious instrument registry: monotonic counters,
+    gauges and HDR-style log-bucketed histograms, with a
+    snapshot/delta protocol mirroring how {!Cfca_sim.Engine} already
+    diffs {!Cfca_dataplane.Pipeline} stats.
+
+    Everything on the record path is integer arithmetic over
+    pre-allocated storage: {!incr}, {!add} and {!observe} never box a
+    float, never build a list and never allocate — the test-suite pins
+    this with a [Gc.minor_words] gate. Reading is the expensive side:
+    {!snapshot} copies every instrument into immutable records that can
+    be diffed ({!delta}), merged ({!merge}) and queried
+    ({!quantile}) long after the live registry has moved on.
+
+    Histograms use fixed log-scale buckets ([sub_bits] significant bits
+    per power of two, HdrHistogram-style): values up to
+    [2 * 2^sub_bits] get exact buckets, larger values share a bucket
+    with at most [2^-sub_bits] relative width, so p50/p90/p99 come out
+    within that relative error without storing samples. *)
+
+type t
+(** A registry: a named collection of instruments. Instrument names are
+    unique per registry — re-registering a name returns the existing
+    instrument (same behaviour as Prometheus client libraries), so
+    wiring code can be re-entrant. *)
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+(** A monotonic event count. *)
+
+val counter : t -> string -> counter
+
+val incr : counter -> unit
+(** Add one. Allocation-free. *)
+
+val add : counter -> int -> unit
+(** Add [n] (negative [n] is rejected with [Invalid_argument]:
+    counters are monotonic — use a gauge for levels). *)
+
+val value : counter -> int
+
+val counter_name : counter -> string
+
+(** {1 Gauges} *)
+
+type gauge
+(** An instantaneous level, read through a thunk at sample time (TCAM
+    occupancy, arena live slots, FIB size...). The thunk must be cheap:
+    it runs on every {!snapshot} and every timeseries sample. *)
+
+val gauge : t -> string -> (unit -> int) -> gauge
+
+val read : gauge -> int
+
+val gauge_name : gauge -> string
+
+(** {1 Histograms} *)
+
+type histogram
+(** Log-bucketed distribution of non-negative integer values
+    (latencies in ns, sizes, burst lengths). *)
+
+val histogram : ?sub_bits:int -> t -> string -> histogram
+(** [sub_bits] (default 2, range 0..6) is the precision: each power of
+    two is split into [2^sub_bits] sub-buckets. Re-registering an
+    existing name ignores [sub_bits] and returns the live histogram. *)
+
+val observe : histogram -> int -> unit
+(** Record one value. Negative values are clamped to 0 (the record
+    path must not raise); [max_int] is representable. Allocation-free:
+    no float boxing, no closures, no ref cells. *)
+
+val histogram_name : histogram -> string
+
+(** {2 Bucket geometry}
+
+    Exposed so tests can pin the bucketing and exporters can label
+    axes. Buckets are indexed [0 .. bucket_count - 1]; every
+    non-negative value maps to exactly one bucket and bucket ranges
+    tile the integers without gaps. *)
+
+val bucket_count : sub_bits:int -> int
+(** Buckets needed to cover [0 .. max_int] at this precision. *)
+
+val bucket_index : sub_bits:int -> int -> int
+(** The bucket a value lands in ([v < 0] is clamped to 0). *)
+
+val bucket_bounds : sub_bits:int -> int -> int * int
+(** [(lo, hi)] inclusive value range of a bucket index;
+    [bucket_index lo = bucket_index hi = idx]. *)
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  h_name : string;
+  h_sub_bits : int;
+  h_count : int;  (** observations recorded *)
+  h_sum : int;  (** sum of observed values (clamped at overflow) *)
+  h_min : int;  (** smallest observation; 0 when empty *)
+  h_max : int;  (** largest observation; 0 when empty *)
+  h_counts : int array;  (** per-bucket observation counts *)
+}
+(** An immutable copy of a histogram at snapshot time. *)
+
+val hist_snapshot : histogram -> hist_snapshot
+
+val quantile : hist_snapshot -> float -> int
+(** [quantile h q] for [q] in [0, 1]: an upper bound of the value at
+    rank [ceil (q * count)], i.e. the inclusive upper bound of the
+    bucket holding that rank, clamped to [h_max] (so [quantile h 1.0 =
+    h_max] exactly). 0 when the histogram is empty. *)
+
+val merge : hist_snapshot -> hist_snapshot -> hist_snapshot
+(** Combine two snapshots of the same shape (e.g. per-shard latency
+    histograms): counts add, min/max widen. The name is taken from the
+    first argument.
+    @raise Invalid_argument on mismatched [h_sub_bits]. *)
+
+type snapshot = {
+  s_counters : (string * int) list;
+  s_gauges : (string * int) list;  (** levels read at snapshot time *)
+  s_histograms : hist_snapshot list;
+}
+(** Registry-wide snapshot, instruments in registration order. *)
+
+val snapshot : t -> snapshot
+
+val delta : earlier:snapshot -> later:snapshot -> snapshot
+(** What happened between two snapshots of the same registry: counter
+    values and histogram bucket counts subtract; gauges keep the later
+    level (deltas of levels are meaningless). A histogram delta's
+    [h_min]/[h_max] are inherited from [later] — the bucket counts are
+    exact but the extremes of just the interval are not recoverable.
+    Instruments only present in [later] pass through unchanged. *)

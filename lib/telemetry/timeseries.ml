@@ -1,0 +1,124 @@
+(* Each column owns a ring of [capacity] floats; the shared write
+   cursor is [total mod capacity], so all rings stay aligned as long as
+   no column is added after sampling starts (enforced). [tick] is kept
+   trivial off the boundary — the per-event cost of telemetry is two
+   compares and an increment. *)
+
+type column = {
+  col_name : string;
+  col_sample : unit -> float;  (* encapsulates Delta/Level/ratio state *)
+  col_data : float array;
+}
+
+type t = {
+  ts_interval : int;
+  capacity : int;
+  mutable cols : column list;  (* reversed registration order *)
+  ev_ring : int array;  (* events per sampled window *)
+  mutable total : int;  (* windows sampled ever *)
+  mutable in_window : int;  (* ticks since the last boundary *)
+  mutable ticked : int;  (* ticks ever *)
+}
+
+let create ?(capacity = 4096) ~interval () =
+  if interval <= 0 then invalid_arg "Timeseries.create: interval <= 0";
+  if capacity <= 0 then invalid_arg "Timeseries.create: capacity <= 0";
+  {
+    ts_interval = interval;
+    capacity;
+    cols = [];
+    ev_ring = Array.make capacity 0;
+    total = 0;
+    in_window = 0;
+    ticked = 0;
+  }
+
+type mode = [ `Delta | `Level ]
+
+let register t name sample =
+  if t.total > 0 then
+    invalid_arg "Timeseries.track: cannot add columns after sampling started";
+  if List.exists (fun c -> String.equal c.col_name name) t.cols then
+    invalid_arg ("Timeseries.track: duplicate column " ^ name);
+  t.cols <-
+    { col_name = name; col_sample = sample; col_data = Array.make t.capacity 0.0 }
+    :: t.cols
+
+let track ?(mode = `Delta) t name read =
+  let sample =
+    match mode with
+    | `Level -> fun () -> float_of_int (read ())
+    | `Delta ->
+        (* baseline at registration time: the column sums to the probe's
+           end-of-run total minus its value right now *)
+        let prev = ref (read ()) in
+        fun () ->
+          let v = read () in
+          let d = v - !prev in
+          prev := v;
+          float_of_int d
+  in
+  register t name sample
+
+let track_ratio t name ~num ~den =
+  let pn = ref (num ()) and pd = ref (den ()) in
+  register t name (fun () ->
+      let n = num () and d = den () in
+      let dn = n - !pn and dd = d - !pd in
+      pn := n;
+      pd := d;
+      if dd = 0 then 0.0 else float_of_int dn /. float_of_int dd)
+
+let track_level_ratio t name ~num ~den =
+  register t name (fun () ->
+      let d = den () in
+      if d = 0 then 0.0 else float_of_int (num ()) /. float_of_int d)
+
+let track_counter t c =
+  track t (Metrics.counter_name c) (fun () -> Metrics.value c)
+
+let track_gauge t g =
+  track ~mode:`Level t (Metrics.gauge_name g) (fun () -> Metrics.read g)
+
+let sample t =
+  let idx = t.total mod t.capacity in
+  t.ev_ring.(idx) <- t.in_window;
+  List.iter (fun c -> c.col_data.(idx) <- c.col_sample ()) t.cols;
+  t.total <- t.total + 1;
+  t.in_window <- 0
+
+let tick t =
+  t.ticked <- t.ticked + 1;
+  t.in_window <- t.in_window + 1;
+  if t.in_window >= t.ts_interval then sample t
+
+let flush t = if t.in_window > 0 then sample t
+
+let interval t = t.ts_interval
+
+let ticks t = t.ticked
+
+let columns t = List.rev_map (fun c -> c.col_name) t.cols
+
+let total_windows t = t.total
+
+let windows t = min t.total t.capacity
+
+let dropped t = t.total - windows t
+
+let first_window t = dropped t + 1
+
+let ring_to_array t ring =
+  let n = windows t in
+  if t.total <= t.capacity then Array.sub ring 0 n
+  else Array.init n (fun i -> ring.((t.total + i) mod t.capacity))
+
+let window_events t = ring_to_array t t.ev_ring
+
+let get t name =
+  match List.find_opt (fun c -> String.equal c.col_name name) t.cols with
+  | None -> raise Not_found
+  | Some c ->
+      let n = windows t in
+      if t.total <= t.capacity then Array.sub c.col_data 0 n
+      else Array.init n (fun i -> c.col_data.((t.total + i) mod t.capacity))

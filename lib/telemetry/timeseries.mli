@@ -1,0 +1,97 @@
+(** Windowed series collector: sample a set of registered probes every
+    [interval] events into ring-buffered per-column series — the
+    hit-ratio-over-time / occupancy-over-trace curves of the paper's
+    evaluation figures.
+
+    The driver calls {!tick} once per event (packet or BGP update);
+    every [interval]-th tick closes a window and samples every column.
+    {!tick} itself is three integer mutations off the window boundary,
+    so it is safe on the per-packet path; the sampling work (running
+    the probe thunks) happens once per window.
+
+    Columns come in three flavours:
+    - [`Delta] (the default for {!track}): the probe reads a cumulative
+      total (a {!Metrics.counter}, a {!Cfca_dataplane.Pipeline.stats}
+      field) and the column records the per-window increment. The
+      baseline is captured at registration time, so register {e after}
+      any warm-up/reset and the column sums exactly to the end-of-run
+      total minus the registration-time value.
+    - [`Level] : the probe reads an instantaneous level (TCAM
+      occupancy, arena live slots) recorded as-is.
+    - {!track_ratio}: per-window quotient of two cumulative probes
+      (e.g. hits/packets — the hit ratio {e of that window}, not
+      cumulative).
+
+    Storage is a fixed ring (default 4096 windows): a longer run
+    overwrites the oldest windows and counts them in {!dropped}, the
+    window numbering stays absolute. *)
+
+type t
+
+val create : ?capacity:int -> interval:int -> unit -> t
+(** [capacity] is the ring size in windows (default 4096).
+    @raise Invalid_argument if [interval <= 0] or [capacity <= 0]. *)
+
+type mode = [ `Delta  (** per-window increment of a cumulative probe *)
+            | `Level  (** instantaneous level at window close *) ]
+
+val track : ?mode:mode -> t -> string -> (unit -> int) -> unit
+(** Register a column. Column names are unique; re-registering a name
+    is an error. All registration must happen before the first window
+    closes ([Invalid_argument] otherwise — the rings must stay
+    aligned). *)
+
+val track_ratio : t -> string -> num:(unit -> int) -> den:(unit -> int) -> unit
+(** Per-window [Δnum / Δden] of two cumulative probes; windows where
+    [Δden = 0] record [0.]. *)
+
+val track_level_ratio :
+  t -> string -> num:(unit -> int) -> den:(unit -> int) -> unit
+(** Instantaneous [num () / den ()] at window close ([0.] when
+    [den () = 0]) — occupancy fractions, real/fake node ratios. *)
+
+val track_counter : t -> Metrics.counter -> unit
+(** {!track} the counter's per-window increments under its own name. *)
+
+val track_gauge : t -> Metrics.gauge -> unit
+(** {!track} the gauge as a [`Level] column under its own name. *)
+
+val tick : t -> unit
+(** Count one event; closes and samples a window every [interval]
+    ticks. Allocation-free off the window boundary. *)
+
+val flush : t -> unit
+(** Close a final partial window if any events were ticked since the
+    last boundary (traces are rarely an exact multiple of the
+    interval). The partial window's event count is visible in
+    {!window_events}. No-op on an exact boundary. *)
+
+(** {1 Reading the series} *)
+
+val interval : t -> int
+
+val ticks : t -> int
+(** Events ticked so far (including any not yet in a closed window). *)
+
+val columns : t -> string list
+(** Registration order. *)
+
+val total_windows : t -> int
+(** Windows sampled over the whole run (including dropped ones). *)
+
+val windows : t -> int
+(** Windows currently retained ([min total_windows capacity]). *)
+
+val dropped : t -> int
+(** Windows overwritten by ring wrap-around. *)
+
+val first_window : t -> int
+(** Absolute (1-based) number of the oldest retained window. *)
+
+val window_events : t -> int array
+(** Events in each retained window, oldest first — [interval]
+    everywhere except possibly a trailing {!flush}ed partial window. *)
+
+val get : t -> string -> float array
+(** Retained samples of a column, oldest first.
+    @raise Not_found for an unknown column name. *)

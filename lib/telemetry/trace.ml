@@ -1,0 +1,33 @@
+type event = { seq : int; time : float; kind : string; detail : string }
+
+type t = {
+  ring : event array;
+  mutable total : int;
+  mutable sink : (event -> unit) option;
+}
+
+let dummy = { seq = -1; time = 0.0; kind = ""; detail = "" }
+
+let create ?(capacity = 8192) ?sink () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
+  { ring = Array.make capacity dummy; total = 0; sink }
+
+let emit t ~time ~kind detail =
+  let e = { seq = t.total; time; kind; detail } in
+  t.ring.(t.total mod Array.length t.ring) <- e;
+  t.total <- t.total + 1;
+  match t.sink with None -> () | Some f -> f e
+
+let set_sink t sink = t.sink <- sink
+
+let total t = t.total
+
+let retained t = min t.total (Array.length t.ring)
+
+let dropped t = t.total - retained t
+
+let events t =
+  let cap = Array.length t.ring in
+  let n = retained t in
+  List.init n (fun i ->
+      if t.total <= cap then t.ring.(i) else t.ring.((t.total + i) mod cap))

@@ -1,0 +1,40 @@
+(** Structured event log: the discrete, low-rate happenings a series
+    cannot express — cache installs/evicts/promotions, watchdog
+    recoveries, snapshot invalidations — with bounded buffering and a
+    pluggable sink.
+
+    Events are retained in a fixed ring (default 8192): long runs keep
+    the newest events and count the overwritten ones in {!dropped}. A
+    [sink] sees {e every} event at emit time regardless of the ring, so
+    streaming consumers (a log file, a test harness) never lose any.
+
+    This module shares its name with {!Cfca_traffic.Trace} (the packet
+    trace); code that opens [Cfca_traffic] must refer to this one
+    fully qualified as [Cfca_telemetry.Trace]. *)
+
+type event = {
+  seq : int;  (** 0-based emit sequence number *)
+  time : float;  (** simulated seconds (whatever clock the emitter uses) *)
+  kind : string;  (** event class, e.g. ["evict_l1"], ["watchdog_recovery"] *)
+  detail : string;  (** free-form payload, e.g. the prefix involved *)
+}
+
+type t
+
+val create : ?capacity:int -> ?sink:(event -> unit) -> unit -> t
+(** [capacity] is the ring size in events (default 8192).
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val emit : t -> time:float -> kind:string -> string -> unit
+(** Record one event (and pass it to the sink, if any). *)
+
+val set_sink : t -> (event -> unit) option -> unit
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val total : t -> int
+(** Events emitted over the whole run. *)
+
+val dropped : t -> int
+(** Events overwritten by ring wrap-around ([total - retained]). *)

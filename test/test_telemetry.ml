@@ -1,0 +1,530 @@
+(* Telemetry subsystem tests: histogram bucket geometry and quantiles,
+   snapshot/delta, window alignment of the timeseries collector, the
+   trace ring, allocation gates on the record path, engine integration
+   (series must agree exactly with the run's scalar totals, and
+   instrumentation must not perturb the simulation), and byte-for-byte
+   golden pins of the CSV/JSON exports. *)
+
+open Cfca_telemetry
+open Cfca_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* -- Metrics: bucket geometry ---------------------------------------- *)
+
+let test_bucket_geometry () =
+  List.iter
+    (fun sub_bits ->
+      let index = Metrics.bucket_index ~sub_bits in
+      let bounds = Metrics.bucket_bounds ~sub_bits in
+      let count = Metrics.bucket_count ~sub_bits in
+      (* every small value lands in a bucket whose range contains it,
+         and indices tile upward without gaps *)
+      let prev = ref (-1) in
+      for v = 0 to 4096 do
+        let i = index v in
+        check "monotone" true (i >= !prev);
+        check "no gaps" true (i - !prev <= 1);
+        prev := max !prev i;
+        let lo, hi = bounds i in
+        if not (lo <= v && v <= hi) then
+          Alcotest.failf "sub_bits %d: value %d outside bucket %d = [%d, %d]"
+            sub_bits v i lo hi
+      done;
+      (* the top bucket covers max_int exactly *)
+      check_int "max_int bucket" (count - 1) (index max_int);
+      let _, hi = bounds (count - 1) in
+      check_int "top bound" max_int hi;
+      (* bounds invert the index at both ends of every bucket *)
+      for i = 0 to count - 1 do
+        let lo, hi = bounds i in
+        check_int "lo inverts" i (index lo);
+        check_int "hi inverts" i (index hi)
+      done)
+    [ 0; 2; 6 ]
+
+let test_histogram_edges () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "edges" in
+  Metrics.observe h 0;
+  let s = Metrics.hist_snapshot h in
+  check_int "count" 1 s.Metrics.h_count;
+  check_int "min zero" 0 s.Metrics.h_min;
+  check_int "max zero" 0 s.Metrics.h_max;
+  check_int "q1 of zero" 0 (Metrics.quantile s 1.0);
+  Metrics.observe h max_int;
+  Metrics.observe h (-5);
+  let s = Metrics.hist_snapshot h in
+  check_int "count 3" 3 s.Metrics.h_count;
+  check_int "negative clamps to 0" 0 s.Metrics.h_min;
+  check_int "max_int representable" max_int s.Metrics.h_max;
+  check_int "q1 clamps to max" max_int (Metrics.quantile s 1.0);
+  (* sum saturates instead of wrapping *)
+  Metrics.observe h max_int;
+  check "sum saturated" true ((Metrics.hist_snapshot h).Metrics.h_sum = max_int)
+
+let test_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  for v = 1 to 1000 do
+    Metrics.observe h v
+  done;
+  let s = Metrics.hist_snapshot h in
+  (* sub_bits 2: bucket upper bounds overshoot by at most 1/4 relative *)
+  let p50 = Metrics.quantile s 0.5 in
+  check "p50 lower" true (p50 >= 500);
+  check "p50 upper" true (p50 <= 640);
+  let p99 = Metrics.quantile s 0.99 in
+  check "p99 lower" true (p99 >= 990);
+  check "p99 upper" true (p99 <= 1000);
+  check_int "p100 exact" 1000 (Metrics.quantile s 1.0);
+  check_int "empty quantile" 0
+    (Metrics.quantile (Metrics.hist_snapshot (Metrics.histogram m "empty")) 0.5)
+
+let test_merge () =
+  let m = Metrics.create () in
+  let a = Metrics.histogram m "a" and b = Metrics.histogram m "b" in
+  Metrics.observe a 10;
+  Metrics.observe a 20;
+  Metrics.observe b 1000;
+  let sa = Metrics.hist_snapshot a and sb = Metrics.hist_snapshot b in
+  let u = Metrics.merge sa sb in
+  check_int "counts add" 3 u.Metrics.h_count;
+  check_int "sum adds" 1030 u.Metrics.h_sum;
+  check_int "min widens" 10 u.Metrics.h_min;
+  check_int "max widens" 1000 u.Metrics.h_max;
+  check_str "name from first" "a" u.Metrics.h_name;
+  (* merging with an empty side must not pull min/max toward 0 *)
+  let e = Metrics.hist_snapshot (Metrics.histogram m "e") in
+  let w = Metrics.merge sb e in
+  check_int "empty right min" 1000 w.Metrics.h_min;
+  let w = Metrics.merge e sb in
+  check_int "empty left min" 1000 w.Metrics.h_min;
+  let m2 = Metrics.create () in
+  let fine = Metrics.histogram ~sub_bits:6 m2 "fine" in
+  check "shape mismatch raises" true
+    (try
+       ignore (Metrics.merge sa (Metrics.hist_snapshot fine));
+       false
+     with Invalid_argument _ -> true)
+
+let test_snapshot_delta () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "ops" in
+  let level = ref 5 in
+  let _g = Metrics.gauge m "level" (fun () -> !level) in
+  let h = Metrics.histogram m "lat" in
+  Metrics.add c 10;
+  Metrics.observe h 100;
+  let earlier = Metrics.snapshot m in
+  Metrics.add c 7;
+  Metrics.observe h 200;
+  Metrics.observe h 300;
+  level := 9;
+  let later = Metrics.snapshot m in
+  let d = Metrics.delta ~earlier ~later in
+  check_int "counter delta" 7 (List.assoc "ops" d.Metrics.s_counters);
+  check_int "gauge keeps later" 9 (List.assoc "level" d.Metrics.s_gauges);
+  let dh = List.hd d.Metrics.s_histograms in
+  check_int "hist count delta" 2 dh.Metrics.h_count;
+  check_int "hist sum delta" 500 dh.Metrics.h_sum;
+  check "counters reject negative" true
+    (try
+       Metrics.add c (-1);
+       false
+     with Invalid_argument _ -> true);
+  (* re-registering a name returns the live instrument *)
+  check_int "re-register" 17 (Metrics.value (Metrics.counter m "ops"))
+
+(* -- Timeseries: window alignment ------------------------------------ *)
+
+let test_window_alignment () =
+  let ts = Timeseries.create ~interval:10 () in
+  let n = ref 0 in
+  Timeseries.track ts "n" (fun () -> !n);
+  Timeseries.track ~mode:`Level ts "level" (fun () -> !n);
+  (* 25 events: two full windows and a flushed partial one *)
+  for _ = 1 to 25 do
+    incr n;
+    Timeseries.tick ts
+  done;
+  check_int "ticks" 25 (Timeseries.ticks ts);
+  check_int "windows before flush" 2 (Timeseries.total_windows ts);
+  Timeseries.flush ts;
+  check_int "windows after flush" 3 (Timeseries.total_windows ts);
+  Alcotest.(check (array int))
+    "window events" [| 10; 10; 5 |]
+    (Timeseries.window_events ts);
+  Alcotest.(check (array (float 0.0)))
+    "delta column" [| 10.0; 10.0; 5.0 |]
+    (Timeseries.get ts "n");
+  Alcotest.(check (array (float 0.0)))
+    "level column" [| 10.0; 20.0; 25.0 |]
+    (Timeseries.get ts "level");
+  check "delta sums to total" true
+    (Array.fold_left ( +. ) 0.0 (Timeseries.get ts "n") = 25.0);
+  (* flush is a no-op on an exact boundary and when idempotent *)
+  Timeseries.flush ts;
+  check_int "flush idempotent" 3 (Timeseries.total_windows ts);
+  let ts2 = Timeseries.create ~interval:10 () in
+  Timeseries.track ts2 "n" (fun () -> 0);
+  for _ = 1 to 20 do
+    Timeseries.tick ts2
+  done;
+  Timeseries.flush ts2;
+  check_int "exact boundary" 2 (Timeseries.total_windows ts2)
+
+let test_ring_wraparound () =
+  let ts = Timeseries.create ~capacity:4 ~interval:1 () in
+  let n = ref 0 in
+  Timeseries.track ~mode:`Level ts "n" (fun () -> !n);
+  for _ = 1 to 7 do
+    incr n;
+    Timeseries.tick ts
+  done;
+  check_int "total windows" 7 (Timeseries.total_windows ts);
+  check_int "retained" 4 (Timeseries.windows ts);
+  check_int "dropped" 3 (Timeseries.dropped ts);
+  check_int "first retained window" 4 (Timeseries.first_window ts);
+  Alcotest.(check (array (float 0.0)))
+    "newest samples survive" [| 4.0; 5.0; 6.0; 7.0 |]
+    (Timeseries.get ts "n")
+
+let test_ratio_and_registration () =
+  let ts = Timeseries.create ~interval:5 () in
+  let num = ref 0 in
+  Timeseries.track_ratio ts "r" ~num:(fun () -> !num) ~den:(fun () -> 0);
+  Timeseries.track_level_ratio ts "lr" ~num:(fun () -> 3) ~den:(fun () -> 4);
+  check "duplicate name raises" true
+    (try
+       Timeseries.track ts "r" (fun () -> 0);
+       false
+     with Invalid_argument _ -> true);
+  for _ = 1 to 5 do
+    incr num;
+    Timeseries.tick ts
+  done;
+  Alcotest.(check (array (float 0.0)))
+    "zero denominator yields 0" [| 0.0 |] (Timeseries.get ts "r");
+  Alcotest.(check (array (float 1e-6)))
+    "level ratio" [| 0.75 |] (Timeseries.get ts "lr");
+  check "late registration raises" true
+    (try
+       Timeseries.track ts "late" (fun () -> 0);
+       false
+     with Invalid_argument _ -> true);
+  check "unknown column raises" true
+    (try
+       ignore (Timeseries.get ts "nope");
+       false
+     with Not_found -> true)
+
+(* -- Trace ring ------------------------------------------------------ *)
+
+let test_trace_ring_and_sink () =
+  let seen = ref [] in
+  let tr = Trace.create ~capacity:4 ~sink:(fun e -> seen := e :: !seen) () in
+  for i = 1 to 7 do
+    Trace.emit tr ~time:(float_of_int i) ~kind:"k" (string_of_int i)
+  done;
+  check_int "total" 7 (Trace.total tr);
+  check_int "dropped" 3 (Trace.dropped tr);
+  let retained = Trace.events tr in
+  check_int "retained" 4 (List.length retained);
+  Alcotest.(check (list string))
+    "ring keeps newest, oldest first" [ "4"; "5"; "6"; "7" ]
+    (List.map (fun e -> e.Trace.detail) retained);
+  check_int "seq numbering" 3 (List.hd retained).Trace.seq;
+  (* the sink saw every event, ring notwithstanding *)
+  check_int "sink saw all" 7 (List.length !seen);
+  Trace.set_sink tr None;
+  Trace.emit tr ~time:8.0 ~kind:"k" "8";
+  check_int "sink detached" 7 (List.length !seen)
+
+(* -- allocation gates ------------------------------------------------ *)
+
+let test_record_path_allocation_free () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "ops" in
+  let h = Metrics.histogram m "lat" in
+  let ts = Timeseries.create ~interval:1_000_000 () in
+  Timeseries.track ts "ops" (fun () -> Metrics.value c);
+  let step i =
+    Metrics.incr c;
+    Metrics.observe h i;
+    Timeseries.tick ts
+  in
+  step 1;
+  let before = Gc.minor_words () in
+  for i = 1 to 100_000 do
+    step i
+  done;
+  let words = Gc.minor_words () -. before in
+  if words > 1_000.0 then
+    Alcotest.failf
+      "telemetry record path allocated %.0f minor words over 100K events"
+      words
+
+let test_disabled_path_allocation_free () =
+  (* the per-event work the engine adds when telemetry is DISABLED:
+     a ref store of the (already boxed) timestamp and two option
+     matches — must be exactly free *)
+  let telemetry : Timeseries.t option = None in
+  let tracer : (kind:string -> detail:string -> unit) option = None in
+  let tel_time = ref 0.0 in
+  let now = 123.456 in
+  let step () =
+    tel_time := now;
+    (match tracer with None -> () | Some f -> f ~kind:"x" ~detail:"y");
+    match telemetry with None -> () | Some ts -> Timeseries.tick ts
+  in
+  step ();
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    step ()
+  done;
+  let words = Gc.minor_words () -. before in
+  if words > 100.0 then
+    Alcotest.failf
+      "disabled-telemetry per-packet path allocated %.0f minor words" words
+
+(* -- engine integration ---------------------------------------------- *)
+
+let small_scale =
+  Experiments.with_size Experiments.standard_scale ~rib_size:1_500
+    ~packets:20_000 ~updates:100
+
+let test_engine_series_match_totals () =
+  let workload = Experiments.build_workload small_scale in
+  let cfg = Experiments.config_for workload Experiments.cache_ratios.(2) in
+  (* interval chosen so the trace ends mid-window (flush covered) *)
+  let tel = Engine.telemetry ~interval:4_096 () in
+  let r =
+    Engine.run ~telemetry:tel Engine.Cfca cfg
+      ~default_nh:workload.Experiments.default_nh workload.Experiments.rib
+      workload.Experiments.spec
+  in
+  let ts = tel.Engine.t_series in
+  let sum col = Array.fold_left ( +. ) 0.0 (Timeseries.get ts col) in
+  let last col =
+    let a = Timeseries.get ts col in
+    a.(Array.length a - 1)
+  in
+  let st = r.Engine.r_totals in
+  check "packets" true
+    (sum "packets" = float_of_int st.Cfca_dataplane.Pipeline.packets);
+  check "l1 misses" true
+    (sum "l1_misses" = float_of_int st.Cfca_dataplane.Pipeline.l1_misses);
+  check "l1 installs" true
+    (sum "l1_installs" = float_of_int st.Cfca_dataplane.Pipeline.l1_installs);
+  check "updates" true (sum "updates" = float_of_int r.Engine.r_updates);
+  check "victims split covers evictions" true
+    (st.Cfca_dataplane.Pipeline.victims_lthd
+     + st.Cfca_dataplane.Pipeline.victims_fallback
+    >= st.Cfca_dataplane.Pipeline.l1_evictions);
+  check "final fib level" true
+    (last "fib_size" = float_of_int r.Engine.r_fib_final);
+  check "final arena live" true
+    (last "arena_live" = float_of_int r.Engine.r_arena_live);
+  (* the trace saw the data plane's churn *)
+  check "trace nonempty" true (Trace.total tel.Engine.t_trace > 0);
+  check "promotions traced" true
+    (List.exists
+       (fun e -> e.Trace.kind = "promote_l2")
+       (Trace.events tel.Engine.t_trace));
+  (* the update-latency histogram recorded one sample per update *)
+  let snap = Metrics.snapshot tel.Engine.t_metrics in
+  let h =
+    List.find
+      (fun h -> h.Metrics.h_name = "update_ns")
+      snap.Metrics.s_histograms
+  in
+  check_int "one sample per update" r.Engine.r_updates h.Metrics.h_count
+
+let test_engine_telemetry_not_perturbing () =
+  let workload = Experiments.build_workload small_scale in
+  let cfg = Experiments.config_for workload Experiments.cache_ratios.(2) in
+  let run telemetry =
+    Engine.run ?telemetry Engine.Cfca cfg
+      ~default_nh:workload.Experiments.default_nh workload.Experiments.rib
+      workload.Experiments.spec
+  in
+  let plain = run None in
+  let instrumented = run (Some (Engine.telemetry ~interval:4_096 ())) in
+  check "identical totals" true
+    (plain.Engine.r_totals = instrumented.Engine.r_totals);
+  check_int "identical fib" plain.Engine.r_fib_final
+    instrumented.Engine.r_fib_final;
+  check_int "identical updates_l1" plain.Engine.r_updates_l1
+    instrumented.Engine.r_updates_l1
+
+(* -- golden exports -------------------------------------------------- *)
+
+(* A tiny fully deterministic bundle: 10 events at interval 4 (two full
+   windows + a flushed partial), a counter, a gauge, a histogram and a
+   4-slot trace ring fed 5 events (one dropped; details carry commas to
+   exercise CSV quoting). *)
+let golden_bundle () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "ops" in
+  let level = ref 0 in
+  let _g = Metrics.gauge m "level" (fun () -> !level) in
+  let h = Metrics.histogram m "lat" in
+  let ts = Timeseries.create ~capacity:8 ~interval:4 () in
+  let tr = Trace.create ~capacity:4 () in
+  Timeseries.track ts "ops" (fun () -> Metrics.value c);
+  Timeseries.track ~mode:`Level ts "level" (fun () -> !level);
+  Timeseries.track_ratio ts "half"
+    ~num:(fun () -> Metrics.value c)
+    ~den:(fun () -> 2 * Metrics.value c);
+  for k = 1 to 10 do
+    Metrics.incr c;
+    level := k;
+    Metrics.observe h (k * 3);
+    if k mod 2 = 0 then
+      Trace.emit tr
+        ~time:(float_of_int k /. 10.0)
+        ~kind:"evt"
+        (Printf.sprintf "item,%d" k);
+    Timeseries.tick ts
+  done;
+  Timeseries.flush ts;
+  (m, ts, tr)
+
+let golden_series_csv =
+  "window,events,ops,level,half\n\
+   1,4,4,4,0.5\n\
+   2,4,4,8,0.5\n\
+   3,2,2,10,0.5\n"
+
+let golden_histograms_csv =
+  "histogram,count,sum,min,max,p50,p90,p99\n\
+   lat,10,165,3,30,15,27,30\n"
+
+let golden_trace_csv =
+  "seq,time,kind,detail\n\
+   1,0.4,evt,\"item,4\"\n\
+   2,0.6,evt,\"item,6\"\n\
+   3,0.8,evt,\"item,8\"\n\
+   4,1,evt,\"item,10\"\n"
+
+let golden_json =
+  "{\n\
+  \  \"telemetry\": \"golden\",\n\
+  \  \"interval\": 4,\n\
+  \  \"windows\": 3,\n\
+  \  \"first_window\": 1,\n\
+  \  \"dropped_windows\": 0,\n\
+  \  \"window_events\": [4, 4, 2],\n\
+  \  \"series\": [\n\
+  \    {\"name\": \"ops\", \"values\": [4, 4, 2]},\n\
+  \    {\"name\": \"level\", \"values\": [4, 8, 10]},\n\
+  \    {\"name\": \"half\", \"values\": [0.5, 0.5, 0.5]}\n\
+  \  ],\n\
+  \  \"counters\": [{\"name\": \"ops\", \"value\": 10}],\n\
+  \  \"gauges\": [{\"name\": \"level\", \"value\": 10}],\n\
+  \  \"histograms\": [\n\
+  \    {\"name\": \"lat\", \"count\": 10, \"sum\": 165, \"min\": 3, \"max\": \
+   30, \"p50\": 15, \"p90\": 27, \"p99\": 30}\n\
+  \  ],\n\
+  \  \"trace\": {\"events\": 5, \"dropped\": 1}\n\
+   }\n"
+
+let test_golden_series_csv () =
+  let _, ts, _ = golden_bundle () in
+  check_str "series csv pinned" golden_series_csv (Export.series_csv ts)
+
+let test_golden_histograms_csv () =
+  let m, _, _ = golden_bundle () in
+  check_str "histograms csv pinned" golden_histograms_csv
+    (Export.histograms_csv (Metrics.snapshot m))
+
+let test_golden_trace_csv () =
+  let _, _, tr = golden_bundle () in
+  check_str "trace csv pinned" golden_trace_csv (Export.trace_csv tr)
+
+let test_golden_json () =
+  let m, ts, tr = golden_bundle () in
+  check_str "json pinned" golden_json
+    (Export.json ~name:"golden" ts (Metrics.snapshot m) tr)
+
+let test_export_write_roundtrip () =
+  let m, ts, tr = golden_bundle () in
+  let dir = Filename.temp_file "cfca_telemetry" "" in
+  Sys.remove dir;
+  let files = Export.write ~dir ~name:"golden" ts m tr in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove files;
+      Sys.rmdir dir)
+    (fun () ->
+      check_int "four artifacts" 4 (List.length files);
+      let slurp path = In_channel.with_open_text path In_channel.input_all in
+      check_str "series file" golden_series_csv
+        (slurp (Filename.concat dir "golden_series.csv"));
+      check_str "json file" golden_json
+        (slurp (Filename.concat dir "golden_telemetry.json")))
+
+(* -- json helpers ---------------------------------------------------- *)
+
+let test_json_helpers () =
+  check_str "float 4dp" "1.2346" (Export.json_float 1.23456);
+  check_str "nan clamps" "0.0" (Export.json_float nan);
+  check_str "inf clamps" "0.0" (Export.json_float infinity);
+  check_str "integer number" "100000" (Export.json_number 100000.0);
+  check_str "fraction trimmed" "0.5" (Export.json_number 0.5);
+  check_str "six decimals" "0.333333" (Export.json_number (1.0 /. 3.0));
+  check_str "nan number" "0" (Export.json_number nan);
+  check_str "escapes" "\"a\\\"b\\\\c\\nd\\u0001e\""
+    (Export.json_string "a\"b\\c\nd\001e")
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "bucket geometry" `Quick test_bucket_geometry;
+          Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "snapshot delta" `Quick test_snapshot_delta;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "window alignment" `Quick test_window_alignment;
+          Alcotest.test_case "ring wrap-around" `Quick test_ring_wraparound;
+          Alcotest.test_case "ratios and registration" `Quick
+            test_ratio_and_registration;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring and sink" `Quick test_trace_ring_and_sink;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "record path" `Quick
+            test_record_path_allocation_free;
+          Alcotest.test_case "disabled path" `Quick
+            test_disabled_path_allocation_free;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "series match totals" `Quick
+            test_engine_series_match_totals;
+          Alcotest.test_case "non-perturbing" `Quick
+            test_engine_telemetry_not_perturbing;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "series csv" `Quick test_golden_series_csv;
+          Alcotest.test_case "histograms csv" `Quick
+            test_golden_histograms_csv;
+          Alcotest.test_case "trace csv" `Quick test_golden_trace_csv;
+          Alcotest.test_case "json" `Quick test_golden_json;
+          Alcotest.test_case "write round-trip" `Quick
+            test_export_write_roundtrip;
+          Alcotest.test_case "json helpers" `Quick test_json_helpers;
+        ] );
+    ]
