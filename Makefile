@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; see README.md.
 
 .PHONY: all build test doc fuzz bench quick-bench bench-smoke \
-	telemetry-smoke examples clean
+	telemetry-smoke scenarios examples clean
 
 all: build
 
@@ -60,6 +60,20 @@ telemetry-smoke: build
 	  --telemetry out/telemetry
 	dune exec bin/sim.exe -- experiment hitratio --scale 0.05 \
 	  --interval 10000 --telemetry out/telemetry
+
+# Readiness gates over the adversarial scenario packs: each pack is
+# replayed twice (byte-identical determinism asserted via event-stream
+# digests and score JSON), every phase is audited against the
+# differential oracle and the invariant sweep, and the scores are
+# diffed against the committed SCENARIO_BASELINES.json within
+# per-metric tolerances. Exits non-zero on any gate failure.
+# Re-pin after an intended behaviour change with:
+#   dune exec bin/verify.exe -- scenarios --write-baselines
+SCENARIO_SCALE ?= 0.05
+
+scenarios: build
+	dune exec bin/verify.exe -- scenarios --scale $(SCENARIO_SCALE) \
+	  --out SCENARIO_SCORES.json
 
 examples: build
 	dune exec examples/quickstart.exe

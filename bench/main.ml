@@ -650,47 +650,70 @@ let update_target mult ~emit_json =
   gate "pfca" (cap_pfca_arena ()) (cap_pfca_record ());
   Printf.printf "correctness gate: %d FIB ops compared, %d divergences\n"
     !ops_compared !divergences;
-  (* -- timing: fresh instances, null sinks, load outside the clock -- *)
-  let timed replay =
-    Gc.full_major ();
-    let t0 = Unix.gettimeofday () in
-    replay ();
-    Unix.gettimeofday () -. t0
+  (* -- timing: fresh instances, null sinks, load outside the clock.
+        The batch is short at smoke scale (hundreds of microseconds),
+        so a single-shot measurement is dominated by scheduler and
+        cache noise — earlier baselines recorded swings of 2x between
+        identical runs. Each variant therefore replays on several
+        fresh instances (plus one discarded warm-up) and keeps the
+        fastest replay, the standard minimum-time estimator for short
+        microbench regions. -- *)
+  let reps = if n <= 2_000 then 9 else 3 in
+  let timed_best prepare =
+    let best = ref infinity and words = ref 0 in
+    for i = 0 to reps do
+      let replay, measure_words = prepare () in
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      replay ();
+      let dt = Unix.gettimeofday () -. t0 in
+      words := measure_words ();
+      (* i = 0 is the warm-up: code paths compiled hot, arenas grown *)
+      if i > 0 && dt < !best then best := dt
+    done;
+    (!best, !words)
   in
   let cfca_arena_dt, cfca_arena_words =
-    let rm = Cfca_core.Route_manager.create ~default_nh () in
-    Cfca_core.Route_manager.load rm (Rib.to_seq rib);
-    ( timed (fun () ->
-          Array.iter (Cfca_core.Route_manager.apply rm) updates),
-      Cfca_trie.Bintrie.approx_heap_words (Cfca_core.Route_manager.tree rm) )
+    timed_best (fun () ->
+        let rm = Cfca_core.Route_manager.create ~default_nh () in
+        Cfca_core.Route_manager.load rm (Rib.to_seq rib);
+        ( (fun () -> Array.iter (Cfca_core.Route_manager.apply rm) updates),
+          fun () ->
+            Cfca_trie.Bintrie.approx_heap_words
+              (Cfca_core.Route_manager.tree rm) ))
   in
   let cfca_record_dt, cfca_record_words =
-    let rm = Rec_cfca.Route_manager.create ~default_nh () in
-    Rec_cfca.Route_manager.load rm (Rib.to_seq rib);
-    ( timed (fun () ->
-          Array.iter
-            (apply_u
-               (Rec_cfca.Route_manager.announce rm)
-               (Rec_cfca.Route_manager.withdraw rm))
-            updates),
-      Rec_trie.approx_heap_words (Rec_cfca.Route_manager.tree rm) )
+    timed_best (fun () ->
+        let rm = Rec_cfca.Route_manager.create ~default_nh () in
+        Rec_cfca.Route_manager.load rm (Rib.to_seq rib);
+        ( (fun () ->
+            Array.iter
+              (apply_u
+                 (Rec_cfca.Route_manager.announce rm)
+                 (Rec_cfca.Route_manager.withdraw rm))
+              updates),
+          fun () ->
+            Rec_trie.approx_heap_words (Rec_cfca.Route_manager.tree rm) ))
   in
   let pfca_arena_dt, pfca_arena_words =
-    let t = Cfca_pfca.Pfca.create ~default_nh () in
-    Cfca_pfca.Pfca.load t (Rib.to_seq rib);
-    ( timed (fun () ->
-          Array.iter
-            (apply_u (Cfca_pfca.Pfca.announce t) (Cfca_pfca.Pfca.withdraw t))
-            updates),
-      Cfca_trie.Bintrie.approx_heap_words (Cfca_pfca.Pfca.tree t) )
+    timed_best (fun () ->
+        let t = Cfca_pfca.Pfca.create ~default_nh () in
+        Cfca_pfca.Pfca.load t (Rib.to_seq rib);
+        ( (fun () ->
+            Array.iter
+              (apply_u (Cfca_pfca.Pfca.announce t) (Cfca_pfca.Pfca.withdraw t))
+              updates),
+          fun () -> Cfca_trie.Bintrie.approx_heap_words (Cfca_pfca.Pfca.tree t)
+        ))
   in
   let pfca_record_dt, pfca_record_words =
-    let t = Rec_pfca.create ~default_nh () in
-    Rec_pfca.load t (Rib.to_seq rib);
-    ( timed (fun () ->
-          Array.iter (apply_u (Rec_pfca.announce t) (Rec_pfca.withdraw t))
-            updates),
-      Rec_trie.approx_heap_words (Rec_pfca.tree t) )
+    timed_best (fun () ->
+        let t = Rec_pfca.create ~default_nh () in
+        Rec_pfca.load t (Rib.to_seq rib);
+        ( (fun () ->
+            Array.iter (apply_u (Rec_pfca.announce t) (Rec_pfca.withdraw t))
+              updates),
+          fun () -> Rec_trie.approx_heap_words (Rec_pfca.tree t) ))
   in
   let ups dt = if dt <= 0.0 then 0.0 else float_of_int n /. dt in
   let row system backend dt words =

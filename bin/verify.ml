@@ -276,6 +276,212 @@ let timeseries_cmd =
   in
   Cmd.v (Cmd.info "timeseries" ~doc) Term.(const timeseries $ ts_interval_arg)
 
+(* -- scenarios ------------------------------------------------------- *)
+
+(* Readiness gates over the adversarial scenario packs, ADR-0027 style:
+   G1 replayability (each pack run twice, digests and deterministic
+   score JSON byte-identical), G2 oracle/invariant cleanliness (zero
+   forwarding divergences, clean invariant sweeps at every phase mark,
+   zero watchdog recoveries, counts matching metadata), G3 baseline
+   conformance (scores diffed against the committed pins within
+   per-metric tolerances). Any failure exits non-zero. *)
+
+let sc_scale_arg =
+  let doc = "Workload scale factor (1.0 = full-size packs)." in
+  Arg.(value & opt float 0.05 & info [ "scale" ] ~docv:"S" ~doc)
+
+let sc_seed_arg =
+  let doc = "Workload seed shared by every pack generator." in
+  Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let sc_packs_arg =
+  let doc = "Comma-separated pack names to run (default: all five)." in
+  Arg.(value & opt (some string) None & info [ "packs" ] ~docv:"NAMES" ~doc)
+
+let sc_baselines_arg =
+  let doc = "Baseline file the scores are diffed against." in
+  Arg.(
+    value
+    & opt string "SCENARIO_BASELINES.json"
+    & info [ "baselines" ] ~docv:"FILE" ~doc)
+
+let sc_out_arg =
+  let doc = "Write the scores (plus digests) as a JSON artifact." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let sc_write_arg =
+  let doc =
+    "Re-pin: write $(b,--baselines) from this run's scores with the default \
+     tolerances. Determinism and oracle gates still apply."
+  in
+  Arg.(value & flag & info [ "write-baselines" ] ~doc)
+
+let scenarios scale seed packs_opt baselines_path out write_baselines =
+  let module P = Cfca_scenario.Pack in
+  let module R = Cfca_scenario.Runner in
+  let module Sc = Cfca_scenario.Score in
+  let module B = Cfca_scenario.Baseline in
+  let failed = ref false and warned = ref false in
+  let names =
+    match packs_opt with
+    | None -> P.names
+    | Some s ->
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+  in
+  let packs =
+    List.map
+      (fun name ->
+        match P.find ~scale ~seed name with
+        | Some p -> p
+        | None ->
+            Printf.eprintf "unknown pack %S (known: %s)\n" name
+              (String.concat ", " P.names);
+            exit 2)
+      names
+  in
+  let results =
+    List.map
+      (fun (p : P.t) ->
+        let o1 = R.run_pack p in
+        let o2 = R.run_pack p in
+        (p, o1, o2))
+      packs
+  in
+  List.iter
+    (fun ((p : P.t), o1, o2) ->
+      let name = p.P.meta.P.m_name in
+      let s = o1.R.o_score in
+      Printf.printf
+        "%-11s rib %5d  packets %6d  updates %5d  hit %.4f  l2 %.4f  \
+         miss-p99 %g  churn %d  digest %s\n"
+        name p.P.meta.P.m_rib_size s.Sc.s_packets s.Sc.s_updates
+        s.Sc.s_hit_ratio s.Sc.s_l2_hit_ratio s.Sc.s_miss_p99 s.Sc.s_churn_ops
+        o1.R.o_digest;
+      (* G1: byte-identical determinism across two full replays *)
+      let replayable =
+        String.equal o1.R.o_digest o2.R.o_digest
+        && String.equal
+             (Sc.deterministic_json o1.R.o_score)
+             (Sc.deterministic_json o2.R.o_score)
+      in
+      if not replayable then begin
+        failed := true;
+        Printf.printf
+          "FAIL %s: two replays diverged (digest %s vs %s)\n" name
+          o1.R.o_digest o2.R.o_digest
+      end;
+      (* G2: every machine-checkable oracle clean *)
+      List.iter
+        (fun msg ->
+          failed := true;
+          Printf.printf "FAIL %s: %s\n" name msg)
+        (R.failures o1))
+    results;
+  let scores = List.map (fun (_, o1, _) -> o1.R.o_score) results in
+  (* G3: baseline conformance (or re-pinning) *)
+  if write_baselines then begin
+    let b = B.of_scores ~scale ~seed scores in
+    Out_channel.with_open_text baselines_path (fun oc ->
+        Out_channel.output_string oc (B.to_json b));
+    Printf.printf "pinned %d packs to %s\n" (List.length scores) baselines_path
+  end
+  else begin
+    match B.of_file baselines_path with
+    | Error msg ->
+        failed := true;
+        Printf.printf "FAIL baselines: %s: %s\n" baselines_path msg
+    | Ok b ->
+        if b.B.b_scale <> scale || b.B.b_seed <> seed then begin
+          warned := true;
+          Printf.printf
+            "WARN baselines are pinned at scale %g seed %d but this run is \
+             scale %g seed %d — baseline diff skipped\n"
+            b.B.b_scale b.B.b_seed scale seed
+        end
+        else
+          List.iter
+            (fun (s : Sc.t) ->
+              let name = s.Sc.s_pack in
+              match B.pack b name with
+              | None ->
+                  failed := true;
+                  Printf.printf "FAIL %s: no baseline entry\n" name
+              | Some pb ->
+                  List.iter
+                    (fun (tol : B.tol) ->
+                      match Sc.metric s tol.B.t_metric with
+                      | None ->
+                          failed := true;
+                          Printf.printf
+                            "FAIL %s: baseline pins unknown metric %s\n" name
+                            tol.B.t_metric
+                      | Some got -> (
+                          match B.check tol got with
+                          | B.Pass -> ()
+                          | B.Warn ->
+                              warned := true;
+                              Printf.printf
+                                "WARN %s/%s: %g drifted from pinned %g \
+                                 (allowed ±%g) — consider re-pinning\n"
+                                name tol.B.t_metric got tol.B.t_expected
+                                (B.allowed tol)
+                          | B.Fail ->
+                              failed := true;
+                              Printf.printf
+                                "FAIL %s/%s: %g outside pinned %g ±%g\n" name
+                                tol.B.t_metric got tol.B.t_expected
+                                (B.allowed tol)))
+                    pb.B.pb_metrics)
+            scores
+  end;
+  (match out with
+  | None -> ()
+  | Some path ->
+      let entry ((p : P.t), o1, _) =
+        Printf.sprintf
+          "    { \"digest\": %s,\n      \"phases\": [%s],\n      \"score\": %s }"
+          (Cfca_telemetry.Export.json_string o1.R.o_digest)
+          (String.concat ", "
+             (List.map Cfca_telemetry.Export.json_string p.P.meta.P.m_phases))
+          (Sc.to_json o1.R.o_score)
+      in
+      let doc =
+        Printf.sprintf
+          "{\n\
+          \  \"scenario_scores\": \"cfca\",\n\
+          \  \"version\": 1,\n\
+          \  \"scale\": %s,\n\
+          \  \"seed\": %d,\n\
+          \  \"packs\": [\n\
+           %s\n\
+          \  ]\n\
+           }\n"
+          (Cfca_telemetry.Export.json_number scale)
+          seed
+          (String.concat ",\n" (List.map entry results))
+      in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc doc);
+      Printf.printf "scores written to %s\n" path);
+  Printf.printf "scenarios: %d packs x 2 replays — %s\n" (List.length results)
+    (if !failed then "GATE FAILED"
+     else if !warned then "clean (with warnings)"
+     else "clean");
+  exit (if !failed then 1 else 0)
+
+let scenarios_cmd =
+  let doc =
+    "replay the adversarial scenario packs twice each, assert byte-identical \
+     determinism, check every per-pack oracle, and diff scores against the \
+     committed baselines"
+  in
+  Cmd.v (Cmd.info "scenarios" ~doc)
+    Term.(
+      const scenarios $ sc_scale_arg $ sc_seed_arg $ sc_packs_arg
+      $ sc_baselines_arg $ sc_out_arg $ sc_write_arg)
+
 (* -- inject ---------------------------------------------------------- *)
 
 let inject_seeds_arg =
@@ -319,4 +525,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ equiv_cmd; fuzz_cmd; replay_cmd; timeseries_cmd; inject_cmd ]))
+          [
+            equiv_cmd;
+            fuzz_cmd;
+            replay_cmd;
+            timeseries_cmd;
+            inject_cmd;
+            scenarios_cmd;
+          ]))

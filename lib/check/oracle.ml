@@ -17,6 +17,12 @@ let withdraw t p = t.routes <- List.remove_assoc p t.routes
 
 let load t routes = List.iter (fun (p, nh) -> announce t p nh) routes
 
+let apply t u =
+  let open Cfca_bgp in
+  match u.Bgp_update.action with
+  | Bgp_update.Announce nh -> announce t u.Bgp_update.prefix nh
+  | Bgp_update.Withdraw -> withdraw t u.Bgp_update.prefix
+
 let lookup t a =
   let best = ref None in
   List.iter

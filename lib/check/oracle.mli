@@ -25,6 +25,10 @@ val announce : t -> Prefix.t -> Nexthop.t -> unit
 val withdraw : t -> Prefix.t -> unit
 (** No-op if the prefix holds no route, like the Route Manager. *)
 
+val apply : t -> Cfca_bgp.Bgp_update.t -> unit
+(** Feed one BGP update: dispatches to {!announce} or {!withdraw}, so
+    the oracle can shadow exactly the update stream a replay sees. *)
+
 val lookup : t -> Ipv4.t -> Nexthop.t
 (** Linear-scan LPM; the default next-hop when nothing matches. *)
 

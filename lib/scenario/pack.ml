@@ -1,0 +1,403 @@
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_rib
+open Cfca_traffic
+open Cfca_dataplane
+
+type meta = {
+  m_name : string;
+  m_description : string;
+  m_rib_size : int;
+  m_packets : int;
+  m_updates : int;
+  m_phases : string list;
+  m_blind_withdrawals : bool;
+}
+
+type t = {
+  meta : meta;
+  rib : Rib.t;
+  default_nh : Nexthop.t;
+  config : Config.t;
+  pps : float;
+  iter : (time:float -> Trace.event -> unit) -> unit;
+}
+
+(* All packs share the workload conventions of Experiments: 32 peers
+   with next-hop ids 1..32, the default route on id 33, spatially
+   local synthetic tables. *)
+let peers = 32
+
+let default_nh = Nexthop.of_int (peers + 1)
+
+let pps = 1e6
+
+let scaled scale ~min:lo base =
+  max lo (int_of_float (float_of_int base *. scale))
+
+let make_rib ~seed ~salt ~size =
+  Rib_gen.generate { Rib_gen.size; peers; locality = 0.80; seed = (seed * 31) + salt }
+
+(* Fisher–Yates on a copy; the caller's array is never mutated. *)
+let shuffle rng a =
+  let a = Array.copy a in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+(* Simulated time is carried by the packet count alone: updates and
+   marks ride at the current packet's timestamp, exactly like
+   [Trace.iter] spreads updates. *)
+type emitter = {
+  mutable e_packets : int;
+  e_f : time:float -> Trace.event -> unit;
+}
+
+let now e = float_of_int e.e_packets /. pps
+
+let packet e dst =
+  e.e_f ~time:(now e) (Trace.Packet dst);
+  e.e_packets <- e.e_packets + 1
+
+let update e u = e.e_f ~time:(now e) (Trace.Update u)
+
+let mark e label = e.e_f ~time:(now e) (Trace.Mark label)
+
+(* Event counts in the metadata are measured, not predicted: the pack's
+   generator is replayed once at construction against a counting sink.
+   Generators keep all their state inside [iter], so the counting
+   replay and every later replay see identical streams — the property
+   the qcheck suite and the gate runner both pin. *)
+let count_events iter =
+  let p = ref 0 and u = ref 0 in
+  iter (fun ~time:_ ev ->
+      match ev with
+      | Trace.Packet _ -> incr p
+      | Trace.Update _ -> incr u
+      | Trace.Mark _ -> ());
+  (!p, !u)
+
+let build ~name ~description ~phases ~blind ~rib ~config iter =
+  let packets, updates = count_events iter in
+  {
+    meta =
+      {
+        m_name = name;
+        m_description = description;
+        m_rib_size = Rib.size rib;
+        m_packets = packets;
+        m_updates = updates;
+        m_phases = phases;
+        m_blind_withdrawals = blind;
+      };
+    rib;
+    default_nh;
+    config;
+    pps;
+    iter;
+  }
+
+let zipf_draw zipf perm rng = perm.(Zipf.draw zipf rng)
+
+(* -- thrash ---------------------------------------------------------- *)
+
+let thrash ?(scale = 1.0) ?(seed = 0xC0FFEE) () =
+  let salt = 0x7451 in
+  let rib_size = scaled scale ~min:256 3_000 in
+  let rib = make_rib ~seed ~salt ~size:rib_size in
+  (* deliberately tiny caches: the adversary must be able to overflow
+     them with a working set that still fits the RIB *)
+  let l1 = max 16 (rib_size / 40) in
+  let l2 = max (2 * l1) (rib_size / 16) in
+  let config = Config.make ~l1_capacity:l1 ~l2_capacity:l2 () in
+  let warmup = scaled scale ~min:2_000 30_000 in
+  let thrash_packets = scaled scale ~min:6_000 90_000 in
+  let burst = 8 in
+  let iter f =
+    let e = { e_packets = 0; e_f = f } in
+    let rng = Random.State.make [| seed; salt; 1 |] in
+    let perm = shuffle rng (Rib.prefixes rib) in
+    let zipf = Zipf.create ~exponent:1.0 ~n:(Array.length perm) () in
+    for _ = 1 to warmup do
+      packet e (Prefix.random_member rng (zipf_draw zipf perm rng))
+    done;
+    mark e "warmup";
+    (* LRU-killer: cycle a working set ~4x the L1 in a fixed order, so
+       each prefix is revisited only after the whole set has marched
+       through the cache. [burst] packets per visit give the trains
+       enough weight to keep promoting — and keep evicting. *)
+    let ws = min (Array.length perm) (4 * l1) in
+    let visits = thrash_packets / burst in
+    for v = 0 to visits - 1 do
+      let p = perm.(v mod ws) in
+      for _ = 1 to burst do
+        packet e (Prefix.random_member rng p)
+      done
+    done;
+    mark e "thrash"
+  in
+  build ~name:"thrash"
+    ~description:
+      "working set larger than the cache, cyclic LRU-killer access after a \
+       Zipf warm-up"
+    ~phases:[ "warmup"; "thrash" ] ~blind:false ~rib ~config iter
+
+(* -- flashcrowd ------------------------------------------------------ *)
+
+let flashcrowd ?(scale = 1.0) ?(seed = 0xC0FFEE) () =
+  let salt = 0xF1A5 in
+  let rib_size = scaled scale ~min:256 3_000 in
+  let rib = make_rib ~seed ~salt ~size:rib_size in
+  let l1 = max 16 (rib_size / 20) in
+  let l2 = max (2 * l1) (rib_size / 8) in
+  let config = Config.make ~l1_capacity:l1 ~l2_capacity:l2 () in
+  let steady = scaled scale ~min:4_000 60_000 in
+  let crowd = scaled scale ~min:4_000 60_000 in
+  let iter f =
+    let e = { e_packets = 0; e_f = f } in
+    let rng = Random.State.make [| seed; salt; 1 |] in
+    let perm = shuffle rng (Rib.prefixes rib) in
+    let n = Array.length perm in
+    let z_steady = Zipf.create ~exponent:1.0 ~n () in
+    for _ = 1 to steady do
+      packet e (Prefix.random_member rng (zipf_draw z_steady perm rng))
+    done;
+    mark e "steady";
+    (* popularity inversion: the crowd rushes exactly the prefixes the
+       caches learned to ignore, with a sharper skew *)
+    let z_crowd = Zipf.create ~exponent:1.2 ~n () in
+    for _ = 1 to crowd do
+      packet e (Prefix.random_member rng perm.(n - 1 - Zipf.draw z_crowd rng))
+    done;
+    mark e "crowd"
+  in
+  build ~name:"flashcrowd"
+    ~description:
+      "sudden popularity inversion: the Zipf ranking flips mid-run with a \
+       sharper exponent"
+    ~phases:[ "steady"; "crowd" ] ~blind:false ~rib ~config iter
+
+(* -- bgpstorm -------------------------------------------------------- *)
+
+let bgpstorm ?(scale = 1.0) ?(seed = 0xC0FFEE) () =
+  let salt = 0xB655 in
+  let rib_size = scaled scale ~min:256 3_000 in
+  let rib = make_rib ~seed ~salt ~size:rib_size in
+  let l1 = max 16 (rib_size / 20) in
+  let l2 = max (2 * l1) (rib_size / 8) in
+  let config = Config.make ~l1_capacity:l1 ~l2_capacity:l2 () in
+  let calm = scaled scale ~min:3_000 40_000 in
+  let recovery = scaled scale ~min:3_000 40_000 in
+  let churn_n = max 64 (rib_size / 2) in
+  let iter f =
+    let e = { e_packets = 0; e_f = f } in
+    let rng = Random.State.make [| seed; salt; 1 |] in
+    let perm = shuffle rng (Rib.prefixes rib) in
+    let zipf = Zipf.create ~exponent:1.0 ~n:(Array.length perm) () in
+    let traffic () = Prefix.random_member rng (zipf_draw zipf perm rng) in
+    for _ = 1 to calm do
+      packet e (traffic ())
+    done;
+    mark e "calm";
+    (* withdraw/re-announce half the table in shuffled order, two
+       packets after every update so the caches churn under load; the
+       re-announcement rotates the next-hop so every touched route
+       really changes *)
+    for k = 0 to churn_n - 1 do
+      let p = perm.(k) in
+      update e (Bgp_update.withdraw p);
+      packet e (traffic ());
+      packet e (traffic ());
+      let nh =
+        match Rib.find rib p with Some nh -> nh | None -> assert false
+      in
+      let nh' = Nexthop.of_int (1 + (Nexthop.to_int nh mod peers)) in
+      update e (Bgp_update.announce p nh');
+      packet e (traffic ());
+      packet e (traffic ())
+    done;
+    mark e "storm";
+    for _ = 1 to recovery do
+      packet e (traffic ())
+    done;
+    mark e "recovery"
+  in
+  build ~name:"bgpstorm"
+    ~description:
+      "full-table withdraw/re-announce churn (half the RIB, rotated \
+       next-hops) under concurrent traffic"
+    ~phases:[ "calm"; "storm"; "recovery" ] ~blind:false ~rib ~config iter
+
+(* -- routeleak ------------------------------------------------------- *)
+
+let hijacker_nh = Nexthop.of_int 62
+
+let routeleak ?(scale = 1.0) ?(seed = 0xC0FFEE) () =
+  let salt = 0x1EAC in
+  let rib_size = scaled scale ~min:256 3_000 in
+  let rib = make_rib ~seed ~salt ~size:rib_size in
+  let l1 = max 16 (rib_size / 20) in
+  let l2 = max (2 * l1) (rib_size / 8) in
+  let config = Config.make ~l1_capacity:l1 ~l2_capacity:l2 () in
+  let steady = scaled scale ~min:3_000 40_000 in
+  let settle = scaled scale ~min:2_000 20_000 in
+  let leak_target = max 32 (rib_size / 8) in
+  let iter f =
+    let e = { e_packets = 0; e_f = f } in
+    let rng = Random.State.make [| seed; salt; 1 |] in
+    let perm = shuffle rng (Rib.prefixes rib) in
+    let n = Array.length perm in
+    let zipf = Zipf.create ~exponent:1.0 ~n () in
+    let traffic () = Prefix.random_member rng (zipf_draw zipf perm rng) in
+    for _ = 1 to steady do
+      packet e (traffic ())
+    done;
+    mark e "steady";
+    (* hijack burst: more-specific children of the most popular
+       prefixes, announced by a rogue next-hop. Children of distinct
+       parents are distinct, so only exact collisions with existing
+       RIB entries need skipping. *)
+    let leaked = ref [] in
+    let n_leaked = ref 0 in
+    let r = ref 0 in
+    while !n_leaked < leak_target && !r < n do
+      let p = perm.(!r) in
+      incr r;
+      if Prefix.length p < 28 then begin
+        let child = Prefix.child p (Random.State.bool rng) in
+        if Rib.find rib child = None then begin
+          leaked := child :: !leaked;
+          incr n_leaked;
+          update e (Bgp_update.announce child hijacker_nh);
+          (* traffic pours into the leaked space while the burst is
+             still in flight *)
+          for _ = 1 to 3 do
+            let target =
+              List.nth !leaked (Random.State.int rng !n_leaked)
+            in
+            packet e (Prefix.random_member rng target)
+          done;
+          for _ = 1 to 3 do
+            packet e (traffic ())
+          done
+        end
+      end
+    done;
+    mark e "leak";
+    List.iter
+      (fun p ->
+        update e (Bgp_update.withdraw p);
+        packet e (traffic ());
+        packet e (traffic ()))
+      (List.rev !leaked);
+    mark e "retract";
+    for _ = 1 to settle do
+      packet e (traffic ())
+    done;
+    mark e "settle"
+  in
+  build ~name:"routeleak"
+    ~description:
+      "burst of more-specific hijack prefixes from a rogue next-hop, then \
+       full retraction"
+    ~phases:[ "steady"; "leak"; "retract"; "settle" ] ~blind:false ~rib
+    ~config iter
+
+(* -- fdrc-flows ------------------------------------------------------ *)
+
+let fdrc_flows ?(scale = 1.0) ?(seed = 0xC0FFEE) () =
+  let salt = 0xFD8C in
+  let rib_size = scaled scale ~min:256 3_000 in
+  let rib = make_rib ~seed ~salt ~size:rib_size in
+  let l1 = max 16 (rib_size / 30) in
+  let l2 = max (2 * l1) (rib_size / 12) in
+  let config = Config.make ~l1_capacity:l1 ~l2_capacity:l2 () in
+  let ramp = scaled scale ~min:2_000 30_000 in
+  let peak = scaled scale ~min:4_000 60_000 in
+  let drain_budget = scaled scale ~min:2_000 30_000 in
+  let concurrency = 4 * l1 in
+  let mean_train = 24.0 in
+  let iter f =
+    let e = { e_packets = 0; e_f = f } in
+    let rng = Random.State.make [| seed; salt; 1 |] in
+    let perm = shuffle rng (Rib.prefixes rib) in
+    let zipf = Zipf.create ~exponent:1.0 ~n:(Array.length perm) () in
+    (* FDRC-style flow table: arrivals draw a Zipf destination rule and
+       a geometric packet demand; a flow departs when its demand is
+       spent. Swap-remove keeps slot selection O(1). *)
+    let cap = (4 * concurrency) + 8 in
+    let flow_p = Array.make cap Prefix.default in
+    let flow_r = Array.make cap 0 in
+    let active = ref 0 in
+    let arrive () =
+      if !active < cap then begin
+        let p = zipf_draw zipf perm rng in
+        let u = 1.0 -. Random.State.float rng 1.0 in
+        let len = 1 + int_of_float (-.mean_train *. log u) in
+        flow_p.(!active) <- p;
+        flow_r.(!active) <- len;
+        incr active
+      end
+    in
+    let emit_from i =
+      packet e (Prefix.random_member rng flow_p.(i));
+      flow_r.(i) <- flow_r.(i) - 1;
+      if flow_r.(i) = 0 then begin
+        decr active;
+        flow_p.(i) <- flow_p.(!active);
+        flow_r.(i) <- flow_r.(!active)
+      end
+    in
+    let step target =
+      while !active < target do
+        arrive ()
+      done;
+      if !active > 0 then emit_from (Random.State.int rng !active)
+    in
+    for i = 0 to ramp - 1 do
+      step (1 + (concurrency - 1) * i / ramp)
+    done;
+    mark e "ramp";
+    for _ = 1 to peak do
+      step concurrency
+    done;
+    mark e "peak";
+    (* no more arrivals: the rule demand drains away *)
+    let budget = ref drain_budget in
+    while !budget > 0 && !active > 0 do
+      emit_from (Random.State.int rng !active);
+      decr budget
+    done;
+    mark e "drain"
+  in
+  build ~name:"fdrc-flows"
+    ~description:
+      "flow-driven rule demand: geometric-length flows arrive to a target \
+       concurrency, then drain"
+    ~phases:[ "ramp"; "peak"; "drain" ] ~blind:false ~rib ~config iter
+
+(* -- registry -------------------------------------------------------- *)
+
+let all ?scale ?seed () =
+  [
+    thrash ?scale ?seed ();
+    flashcrowd ?scale ?seed ();
+    bgpstorm ?scale ?seed ();
+    routeleak ?scale ?seed ();
+    fdrc_flows ?scale ?seed ();
+  ]
+
+let names = [ "thrash"; "flashcrowd"; "bgpstorm"; "routeleak"; "fdrc-flows" ]
+
+let find ?scale ?seed name =
+  match name with
+  | "thrash" -> Some (thrash ?scale ?seed ())
+  | "flashcrowd" -> Some (flashcrowd ?scale ?seed ())
+  | "bgpstorm" -> Some (bgpstorm ?scale ?seed ())
+  | "routeleak" -> Some (routeleak ?scale ?seed ())
+  | "fdrc-flows" -> Some (fdrc_flows ?scale ?seed ())
+  | _ -> None

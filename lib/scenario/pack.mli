@@ -1,0 +1,73 @@
+(** Adversarial scenario packs: seeded workload generators that attack
+    the FIB cache where Zipf traffic flatters it.
+
+    Each pack bundles a synthetic RIB, a cache configuration sized so
+    the adversary can actually hurt, and a deterministic event stream —
+    packets, BGP updates, and {!Cfca_traffic.Trace.Mark} phase
+    boundaries. All generator state is created afresh inside each
+    {!field:t.iter} call, so replaying a pack twice yields byte-identical
+    streams: the property the readiness gates
+    ({!Runner}, [verify scenarios]) are built on.
+
+    The five shipped packs:
+    - [thrash] — working set larger than the cache, cyclic LRU-killer
+      access after a Zipf warm-up;
+    - [flashcrowd] — sudden popularity inversion mid-run;
+    - [bgpstorm] — withdraw/re-announce churn over half the table under
+      concurrent traffic;
+    - [routeleak] — burst of more-specific hijack prefixes from a rogue
+      next-hop, then retraction;
+    - [fdrc-flows] — SDN-style flow-driven rule demand with flow
+      arrival and departure (FDRC, PAPERS.md). *)
+
+open Cfca_prefix
+open Cfca_rib
+open Cfca_traffic
+open Cfca_dataplane
+
+type meta = {
+  m_name : string;
+  m_description : string;
+  m_rib_size : int;
+  m_packets : int;  (** exact [Packet] events per replay (measured) *)
+  m_updates : int;  (** exact [Update] events per replay (measured) *)
+  m_phases : string list;
+      (** mark labels, in emission order; every pack ends on a mark *)
+  m_blind_withdrawals : bool;
+      (** whether the pack may withdraw a prefix that was never in the
+          RIB nor announced by it (none of the shipped packs do) *)
+}
+
+type t = {
+  meta : meta;
+  rib : Rib.t;
+  default_nh : Nexthop.t;
+  config : Config.t;  (** pack-specific cache sizing *)
+  pps : float;  (** simulated packet rate (drives threshold windows) *)
+  iter : (time:float -> Trace.event -> unit) -> unit;
+      (** replay the stream; stateless across calls *)
+}
+
+val default_nh : Nexthop.t
+(** Next-hop id 33 — one past the 32 peer ids, as in [Experiments]. *)
+
+val hijacker_nh : Nexthop.t
+(** The rogue next-hop (id 62) announcing [routeleak]'s more-specifics. *)
+
+val thrash : ?scale:float -> ?seed:int -> unit -> t
+val flashcrowd : ?scale:float -> ?seed:int -> unit -> t
+val bgpstorm : ?scale:float -> ?seed:int -> unit -> t
+val routeleak : ?scale:float -> ?seed:int -> unit -> t
+val fdrc_flows : ?scale:float -> ?seed:int -> unit -> t
+(** [scale] (default 1.0) multiplies the RIB and packet volumes, with
+    floors so even tiny scales stay meaningful; [seed] (default
+    0xC0FFEE) derives every random choice. Same [scale] and [seed] —
+    same pack, byte for byte. *)
+
+val all : ?scale:float -> ?seed:int -> unit -> t list
+(** The five packs in canonical order (the order of {!names}). *)
+
+val names : string list
+
+val find : ?scale:float -> ?seed:int -> string -> t option
+(** Construct one pack by name. *)

@@ -1,0 +1,174 @@
+open Cfca_bgp
+open Cfca_rib
+open Cfca_traffic
+open Cfca_check
+module E = Cfca_sim.Engine
+
+type phase_report = {
+  ph_label : string;
+  ph_invariants : (unit, string) result;
+  ph_oracle : (unit, string) result;
+}
+
+type outcome = {
+  o_meta : Pack.meta;
+  o_score : Score.t;
+  o_digest : string;
+  o_phases : phase_report list;
+  o_counts_ok : bool;
+}
+
+(* -- event-stream digest --------------------------------------------- *)
+
+(* FNV-1a over a canonical byte encoding of every event. Int64 keeps
+   the fold exact on 32- and 64-bit hosts alike. *)
+
+let fnv_prime = 0x100000001b3L
+
+let fnv_offset = 0xcbf29ce484222325L
+
+let fold_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fold_int32 h v =
+  let h = fold_byte h (v lsr 24) in
+  let h = fold_byte h (v lsr 16) in
+  let h = fold_byte h (v lsr 8) in
+  fold_byte h v
+
+let fold_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fold_byte !h (Char.code c)) s;
+  !h
+
+let fold_event h ev =
+  match ev with
+  | Trace.Packet dst -> fold_int32 (fold_byte h 1) (Cfca_prefix.Ipv4.to_int dst)
+  | Trace.Update u ->
+      let p = u.Bgp_update.prefix in
+      let h = fold_byte h 2 in
+      let h = fold_int32 h (Cfca_prefix.Ipv4.to_int (Cfca_prefix.Prefix.network p)) in
+      let h = fold_byte h (Cfca_prefix.Prefix.length p) in
+      (match u.Bgp_update.action with
+      | Bgp_update.Announce nh -> fold_byte (fold_byte h 3) (Cfca_prefix.Nexthop.to_int nh)
+      | Bgp_update.Withdraw -> fold_byte h 4)
+  | Trace.Mark label -> fold_string (fold_byte h 5) label
+
+let hex h = Printf.sprintf "%016Lx" h
+
+(* -- the gated replay ------------------------------------------------ *)
+
+let run_pack ?(seed = 0x5EED) (pack : Pack.t) =
+  let meta = pack.Pack.meta in
+  let events = meta.Pack.m_packets + meta.Pack.m_updates in
+  (* ~128 windows per run so the miss-burst tail has real support even
+     at smoke scale *)
+  let interval = max 500 (events / 128) in
+  let tel = E.telemetry ~interval () in
+  let oracle = Oracle.create ~default_nh:pack.Pack.default_nh in
+  Oracle.load oracle (Array.to_list (Rib.entries pack.Pack.rib));
+  let digest = ref fnv_offset in
+  let touched = ref [] in
+  let phases = ref [] in
+  let rng = Random.State.make [| seed; 0x0A11 |] in
+  let on_mark label (a : E.access) =
+    let inv =
+      Invariants.quick_check ~samples:64 ~rng (a.E.a_tree ()) a.E.a_pipeline
+    in
+    let orc =
+      Oracle.equiv oracle ~lookup:a.E.a_lookup
+        (Oracle.probes oracle ~touched:!touched rng)
+    in
+    touched := [];
+    phases := { ph_label = label; ph_invariants = inv; ph_oracle = orc } :: !phases
+  in
+  let iter f =
+    pack.Pack.iter (fun ~time ev ->
+        digest := fold_event !digest ev;
+        (match ev with
+        | Trace.Update u ->
+            (* the oracle shadows the update stream: at every mark the
+               system must forward exactly like this reference *)
+            Oracle.apply oracle u;
+            touched := u.Bgp_update.prefix :: !touched
+        | Trace.Packet _ | Trace.Mark _ -> ());
+        f ~time ev)
+  in
+  let r =
+    E.run_events ~seed ~telemetry:tel ~on_mark E.Cfca pack.Pack.config
+      ~default_nh:pack.Pack.default_nh pack.Pack.rib iter
+  in
+  (* every pack ends on a mark, so the live trie and pipeline were
+     audited at end-of-stream; one last full-table sweep checks the
+     surviving forwarding function once more *)
+  let final =
+    {
+      ph_label = "final";
+      ph_invariants = Ok ();
+      ph_oracle =
+        Oracle.equiv oracle ~lookup:r.E.r_lookup
+          (Oracle.probes oracle ~touched:[] rng);
+    }
+  in
+  let phases = List.rev (final :: !phases) in
+  let count pick =
+    List.length (List.filter (fun p -> Result.is_error (pick p)) phases)
+  in
+  let score =
+    Score.of_run ~pack:meta.Pack.m_name ~pps:pack.Pack.pps
+      ~oracle_divergences:(count (fun p -> p.ph_oracle))
+      ~invariant_violations:(count (fun p -> p.ph_invariants))
+      r tel
+  in
+  let counts_ok =
+    score.Score.s_packets = meta.Pack.m_packets
+    && score.Score.s_updates = meta.Pack.m_updates
+    && List.map (fun p -> p.ph_label) phases
+       = meta.Pack.m_phases @ [ "final" ]
+  in
+  {
+    o_meta = meta;
+    o_score = score;
+    o_digest = hex !digest;
+    o_phases = phases;
+    o_counts_ok = counts_ok;
+  }
+
+let clean o =
+  o.o_counts_ok
+  && o.o_score.Score.s_oracle_divergences = 0
+  && o.o_score.Score.s_invariant_violations = 0
+  && o.o_score.Score.s_recoveries = 0
+
+let failures o =
+  let phase_errs =
+    List.concat_map
+      (fun p ->
+        let err tag = function
+          | Ok () -> []
+          | Error msg ->
+              [ Printf.sprintf "phase %s: %s: %s" p.ph_label tag msg ]
+        in
+        err "invariants" p.ph_invariants @ err "oracle" p.ph_oracle)
+      o.o_phases
+  in
+  let counts =
+    if o.o_counts_ok then []
+    else
+      [
+        Printf.sprintf
+          "event counts diverge from pack metadata (ran %d packets / %d \
+           updates, meta says %d / %d)"
+          o.o_score.Score.s_packets o.o_score.Score.s_updates
+          o.o_meta.Pack.m_packets o.o_meta.Pack.m_updates;
+      ]
+  in
+  let recov =
+    if o.o_score.Score.s_recoveries = 0 then []
+    else
+      [
+        Printf.sprintf "%d watchdog recoveries during the replay"
+          o.o_score.Score.s_recoveries;
+      ]
+  in
+  counts @ phase_errs @ recov

@@ -1,0 +1,41 @@
+(** The readiness-gate replay: run one pack through the CFCA engine
+    with every machine-checkable oracle armed.
+
+    One [run_pack] call replays the pack's event stream while
+
+    - folding an FNV-1a digest over the canonical byte encoding of
+      every event (replayability gate: two runs must produce the same
+      digest {e and} the same {!Score.deterministic_json});
+    - shadowing every BGP update into a {!Cfca_check.Oracle};
+    - at every phase mark, running [Invariants.quick_check] over the
+      live trie/pipeline and a forwarding-equivalence sweep against the
+      oracle, exhaustive over the prefixes the phase touched;
+    - sweeping the final forwarding function against the full oracle
+      table once more after the run. *)
+
+type phase_report = {
+  ph_label : string;
+  ph_invariants : (unit, string) result;
+  ph_oracle : (unit, string) result;
+}
+
+type outcome = {
+  o_meta : Pack.meta;
+  o_score : Score.t;
+  o_digest : string;  (** FNV-1a 64 of the event stream, 16 hex digits *)
+  o_phases : phase_report list;
+      (** one per pack phase, in order, plus a trailing ["final"] sweep *)
+  o_counts_ok : bool;
+      (** replayed event counts and phase labels matched the metadata *)
+}
+
+val run_pack : ?seed:int -> Pack.t -> outcome
+(** [seed] (default 0x5EED) seeds the engine pipeline, the watchdog and
+    the probe sampling — independent of the pack's own workload seed. *)
+
+val clean : outcome -> bool
+(** No oracle divergence, no invariant violation, no watchdog recovery,
+    counts matching metadata. *)
+
+val failures : outcome -> string list
+(** Human-readable description of everything that was not clean. *)

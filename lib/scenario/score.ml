@@ -1,0 +1,103 @@
+open Cfca_dataplane
+module E = Cfca_sim.Engine
+
+type t = {
+  s_pack : string;
+  s_packets : int;
+  s_updates : int;
+  s_hit_ratio : float;
+  s_l2_hit_ratio : float;
+  s_miss_p99 : float;
+  s_miss_max : float;
+  s_churn_ops : int;
+  s_churn_per_sec : float;
+  s_oracle_divergences : int;
+  s_invariant_violations : int;
+  s_recoveries : int;
+  s_update_wall_s : float;
+}
+
+let of_run ~pack ~pps ~oracle_divergences ~invariant_violations
+    (r : E.run_result) (tel : E.telemetry) =
+  let st = r.E.r_totals in
+  let packets = st.Pipeline.packets in
+  let ratio n d = if d = 0 then 1.0 else float_of_int n /. float_of_int d in
+  (* rule churn in the FDRC sense: every cache install/eviction plus
+     every control-plane FIB transition — pure-traffic packs churn the
+     caches even though the FIB never moves *)
+  let churn =
+    Cfca_telemetry.Metrics.value
+      (Cfca_telemetry.Metrics.counter tel.E.t_metrics "fib_ops")
+    + st.Pipeline.l1_installs + st.Pipeline.l1_evictions
+    + st.Pipeline.l2_installs + st.Pipeline.l2_evictions
+  in
+  (* churn rate over *simulated* time, so it is as deterministic as the
+     replay itself; the wall-clock spent in update handling is reported
+     separately and never gated *)
+  let duration = float_of_int packets /. pps in
+  {
+    s_pack = pack;
+    s_packets = packets;
+    s_updates = r.E.r_updates;
+    s_hit_ratio = ratio (packets - st.Pipeline.l1_misses) packets;
+    s_l2_hit_ratio = ratio (packets - st.Pipeline.l2_misses) packets;
+    s_miss_p99 = Cfca_telemetry.Timeseries.quantile tel.E.t_series "l1_misses" 0.99;
+    s_miss_max = Cfca_telemetry.Timeseries.quantile tel.E.t_series "l1_misses" 1.0;
+    s_churn_ops = churn;
+    s_churn_per_sec =
+      (if duration > 0.0 then float_of_int churn /. duration else 0.0);
+    s_oracle_divergences = oracle_divergences;
+    s_invariant_violations = invariant_violations;
+    s_recoveries = r.E.r_recoveries;
+    s_update_wall_s = r.E.r_update_seconds;
+  }
+
+(* the metric names the baseline file may reference *)
+let gated_metrics =
+  [
+    "hit_ratio";
+    "l2_hit_ratio";
+    "miss_p99";
+    "miss_max";
+    "churn_ops";
+    "churn_per_sec";
+  ]
+
+let metric t = function
+  | "hit_ratio" -> Some t.s_hit_ratio
+  | "l2_hit_ratio" -> Some t.s_l2_hit_ratio
+  | "miss_p99" -> Some t.s_miss_p99
+  | "miss_max" -> Some t.s_miss_max
+  | "churn_ops" -> Some (float_of_int t.s_churn_ops)
+  | "churn_per_sec" -> Some t.s_churn_per_sec
+  | _ -> None
+
+let json_fields ?(wall = true) t =
+  let open Cfca_telemetry.Export in
+  let f name v = Printf.sprintf "%s: %s" (json_string name) v in
+  List.concat
+    [
+      [
+        f "pack" (json_string t.s_pack);
+        f "packets" (string_of_int t.s_packets);
+        f "updates" (string_of_int t.s_updates);
+        f "hit_ratio" (json_float t.s_hit_ratio);
+        f "l2_hit_ratio" (json_float t.s_l2_hit_ratio);
+        f "miss_p99" (json_number t.s_miss_p99);
+        f "miss_max" (json_number t.s_miss_max);
+        f "churn_ops" (string_of_int t.s_churn_ops);
+        f "churn_per_sec" (json_float t.s_churn_per_sec);
+        f "oracle_divergences" (string_of_int t.s_oracle_divergences);
+        f "invariant_violations" (string_of_int t.s_invariant_violations);
+        f "recoveries" (string_of_int t.s_recoveries);
+      ];
+      (if wall then [ f "update_wall_s" (json_float t.s_update_wall_s) ]
+       else []);
+    ]
+
+let to_json t = "{" ^ String.concat ", " (json_fields t) ^ "}"
+
+(* the byte string two replays of the same pack must agree on: every
+   deterministic field, nothing wall-clock *)
+let deterministic_json t =
+  "{" ^ String.concat ", " (json_fields ~wall:false t) ^ "}"

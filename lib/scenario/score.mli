@@ -1,0 +1,52 @@
+(** Per-pack score card: the metrics a scenario is gated on.
+
+    Every field except [s_update_wall_s] is a deterministic function of
+    the pack's seed and scale — the churn rate is measured over
+    {e simulated} time — so two replays must agree byte-for-byte on
+    {!deterministic_json}, and the committed baselines never flake on
+    machine speed. *)
+
+type t = {
+  s_pack : string;
+  s_packets : int;  (** packets processed (must equal the pack's meta) *)
+  s_updates : int;  (** BGP updates replayed *)
+  s_hit_ratio : float;  (** L1 hit ratio over the whole run *)
+  s_l2_hit_ratio : float;  (** L1+L2 (SRAM-or-better) hit ratio *)
+  s_miss_p99 : float;
+      (** p99 of L1 misses per telemetry window — the miss-burst tail *)
+  s_miss_max : float;  (** worst window's L1 misses *)
+  s_churn_ops : int;
+      (** rule churn: cache installs + evictions (both levels) plus
+          control-plane FIB transitions *)
+  s_churn_per_sec : float;  (** [s_churn_ops] over simulated seconds *)
+  s_oracle_divergences : int;
+      (** phase audits where the system disagreed with {!Cfca_check.Oracle} *)
+  s_invariant_violations : int;
+      (** phase audits where [Invariants.quick_check] failed *)
+  s_recoveries : int;  (** watchdog full-reset recoveries (must be 0) *)
+  s_update_wall_s : float;
+      (** wall-clock control-plane seconds — informational only, never
+          gated, excluded from {!deterministic_json} *)
+}
+
+val of_run :
+  pack:string ->
+  pps:float ->
+  oracle_divergences:int ->
+  invariant_violations:int ->
+  Cfca_sim.Engine.run_result ->
+  Cfca_sim.Engine.telemetry ->
+  t
+
+val gated_metrics : string list
+(** Metric names a baseline file may pin, in canonical order. *)
+
+val metric : t -> string -> float option
+(** Look up a gated metric by its baseline-file name. *)
+
+val to_json : t -> string
+(** One JSON object, all fields. *)
+
+val deterministic_json : t -> string
+(** {!to_json} minus the wall-clock field — the byte string replay
+    determinism is asserted on. *)

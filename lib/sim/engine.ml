@@ -42,6 +42,13 @@ type window = {
   w_updates_l1 : int;
 }
 
+type access = {
+  a_tree : unit -> Bintrie.t;
+  a_pipeline : Pipeline.t;
+  a_lookup : Ipv4.t -> Nexthop.t;
+  a_fib_size : unit -> int;
+}
+
 type run_result = {
   r_name : string;
   r_config : Config.t;
@@ -102,8 +109,8 @@ let make_cached kind ~sink ~default_nh rib =
       }
 
 let run_events ?(window = 100_000) ?(seed = 0x5EED)
-    ?(watchdog = Watchdog.default_config) ?telemetry kind cfg ~default_nh rib
-    iter_events =
+    ?(watchdog = Watchdog.default_config) ?telemetry ?on_mark kind cfg
+    ~default_nh rib iter_events =
   let pipeline = Pipeline.create ~seed cfg in
   (* Scalar instruments live from the start, but stay dormant until
      [tel_armed] flips after the initial RIB load: the bulk
@@ -273,7 +280,24 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
   in
   iter_events (fun ~time event ->
       tel_time := time;
+      match event with
+      | Trace.Mark label -> (
+          (* phase boundary: no traffic, no routing change. Runs no
+             telemetry tick and no watchdog observation so a marked
+             stream yields byte-identical counters to an unmarked one. *)
+          match on_mark with
+          | None -> ()
+          | Some f ->
+              f label
+                {
+                  a_tree = system.c_tree;
+                  a_pipeline = pipeline;
+                  a_lookup = system.c_lookup;
+                  a_fib_size = system.c_fib_size;
+                })
+      | (Trace.Packet _ | Trace.Update _) as event ->
       (match event with
+      | Trace.Mark _ -> assert false
       | Trace.Packet dst -> (
           match Fib_snapshot.lookup snapshot (system.c_tree ()) dst with
           | node ->

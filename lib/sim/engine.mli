@@ -41,6 +41,18 @@ val telemetry :
     instruments to [t_metrics] but must not touch [t_series] columns
     (registration closes at the first window). *)
 
+type access = {
+  a_tree : unit -> Cfca_trie.Bintrie.t;
+      (** the live control-plane tree (thunk: recovery may swap it) *)
+  a_pipeline : Pipeline.t;  (** the live data plane *)
+  a_lookup : Ipv4.t -> Nexthop.t;  (** full control-plane forwarding *)
+  a_fib_size : unit -> int;  (** installed FIB entries right now *)
+}
+(** Read-only view of the running system handed to the {!run_events}
+    [on_mark] callback, so scenario gates can audit invariants and
+    oracle agreement mid-run without owning the system. Callers must
+    not mutate through it. *)
+
 (** Per-100K-packets measurement window (Fig. 9/10 series). *)
 type window = {
   w_packets : int;
@@ -118,6 +130,7 @@ val run_events :
   ?seed:int ->
   ?watchdog:Watchdog.config ->
   ?telemetry:telemetry ->
+  ?on_mark:(string -> access -> unit) ->
   kind ->
   Config.t ->
   default_nh:Nexthop.t ->
@@ -125,7 +138,14 @@ val run_events :
   ((time:float -> Trace.event -> unit) -> unit) ->
   run_result
 (** Like {!run} but over an arbitrary event iterator — the hook for
-    replaying captured workloads. *)
+    replaying captured workloads and scenario packs.
+
+    [on_mark] fires on every {!Trace.Mark} event with the mark's label
+    and a read-only {!access} view of the live system. Marks are pure
+    audit points: they do not tick telemetry, do not count toward
+    measurement windows, and do not advance the watchdog, so a marked
+    stream produces byte-identical counters to the same stream with
+    marks removed. *)
 
 val run_capture :
   ?window:int ->

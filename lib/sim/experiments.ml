@@ -390,7 +390,7 @@ let hit_ratio_over_time ?(scale = standard_scale) ?(interval = 100_000)
     Trace.iter workload.spec workload.rib (fun ~time:_ event ->
         (match event with
         | Trace.Packet dst -> ignore (Naive_cache.process cache dst)
-        | Trace.Update _ -> ());
+        | Trace.Update _ | Trace.Mark _ -> ());
         T.tick ts);
     T.flush ts;
     ("naive", tel)

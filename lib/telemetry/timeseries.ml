@@ -115,6 +115,24 @@ let ring_to_array t ring =
 
 let window_events t = ring_to_array t t.ev_ring
 
+let quantile t name q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Timeseries.quantile: q outside [0,1]";
+  match List.find_opt (fun c -> String.equal c.col_name name) t.cols with
+  | None -> raise Not_found
+  | Some c ->
+      let n = windows t in
+      if n = 0 then 0.0
+      else begin
+        let a =
+          if t.total <= t.capacity then Array.sub c.col_data 0 n
+          else Array.init n (fun i -> c.col_data.((t.total + i) mod t.capacity))
+        in
+        Array.sort compare a;
+        (* nearest-rank on the retained windows, like Metrics.quantile *)
+        let rank = int_of_float (ceil (q *. float_of_int n)) in
+        a.(max 0 (min (n - 1) (rank - 1)))
+      end
+
 let get t name =
   match List.find_opt (fun c -> String.equal c.col_name name) t.cols with
   | None -> raise Not_found

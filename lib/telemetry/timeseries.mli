@@ -95,3 +95,11 @@ val window_events : t -> int array
 val get : t -> string -> float array
 (** Retained samples of a column, oldest first.
     @raise Not_found for an unknown column name. *)
+
+val quantile : t -> string -> float -> float
+(** Nearest-rank quantile of a column's retained samples — e.g.
+    [quantile ts "l1_misses" 0.99] is the p99 misses-per-window, the
+    miss-burst tail the scenario gates score. [0.] when no window has
+    closed yet.
+    @raise Not_found for an unknown column name.
+    @raise Invalid_argument if the quantile is outside [0, 1]. *)

@@ -1,7 +1,7 @@
 open Cfca_prefix
 open Cfca_bgp
 
-type event = Packet of Ipv4.t | Update of Bgp_update.t
+type event = Packet of Ipv4.t | Update of Bgp_update.t | Mark of string
 
 type spec = {
   flow_params : Flow_gen.params;

@@ -10,7 +10,16 @@
 open Cfca_prefix
 open Cfca_bgp
 
-type event = Packet of Ipv4.t | Update of Bgp_update.t
+type event =
+  | Packet of Ipv4.t
+  | Update of Bgp_update.t
+  | Mark of string
+      (** Phase boundary in a scenario-pack stream: carries no traffic
+          and no routing change, only a label. {!iter} never emits
+          marks; the scenario generators ({!Cfca_scenario.Pack})
+          interleave them so the runner can audit invariants and oracle
+          agreement after every phase. Consumers that only forward
+          packets must ignore marks. *)
 
 type spec = {
   flow_params : Flow_gen.params;

@@ -62,6 +62,15 @@ module Make (P : Family.PREFIX) :
 
   let capacity t = Array.length t.flags
 
+  (* Unchecked array access for the internal hot paths. In-bounds by
+     construction: [node] is abstract, so every non-nil handle was
+     minted by [alloc] with slot < [high] <= capacity, the arrays never
+     shrink, and every traversal guards [c >= 0] before dereferencing a
+     link. The public {!Node} accessors stay bounds-checked. *)
+  let uget = Array.unsafe_get
+
+  let uset = Array.unsafe_set
+
   (* flags word: bit 0 kind (1 = Real), bit 1 status (1 = In_fib),
      bits 2-3 table, bits 4+ depth *)
 
@@ -166,7 +175,7 @@ module Make (P : Family.PREFIX) :
     let s =
       if t.free_head >= 0 then begin
         let s = t.free_head in
-        t.free_head <- t.left.(s);
+        t.free_head <- uget t.left s;
         t.free_len <- t.free_len - 1;
         s
       end
@@ -177,29 +186,29 @@ module Make (P : Family.PREFIX) :
         s
       end
     in
-    t.prefix.(s) <- p;
-    t.flags.(s) <- flags_word ~kind ~depth:(P.length p);
-    t.original.(s) <- original;
-    t.selected.(s) <- Nexthop.none;
-    t.installed.(s) <- Nexthop.none;
-    t.hits.(s) <- 0;
-    t.window.(s) <- -1;
-    t.table_idx.(s) <- -1;
-    t.left.(s) <- nil;
-    t.right.(s) <- nil;
-    t.parent.(s) <- parent;
+    uset t.prefix s p;
+    uset t.flags s (flags_word ~kind ~depth:(P.length p));
+    uset t.original s original;
+    uset t.selected s Nexthop.none;
+    uset t.installed s Nexthop.none;
+    uset t.hits s 0;
+    uset t.window s (-1);
+    uset t.table_idx s (-1);
+    uset t.left s nil;
+    uset t.right s nil;
+    uset t.parent s parent;
     t.nodes <- t.nodes + 1;
-    (t.gens.(s) lsl 32) lor s
+    (uget t.gens s lsl 32) lor s
 
   (* Kill a slot: bump the generation (stale handles die), drop the
      prefix box, thread the slot onto the free list through [left]. *)
   let free t n =
     let s = slot n in
-    t.gens.(s) <- t.gens.(s) + 1;
-    t.prefix.(s) <- P.default;
-    t.right.(s) <- nil;
-    t.parent.(s) <- nil;
-    t.left.(s) <- t.free_head;
+    uset t.gens s (uget t.gens s + 1);
+    uset t.prefix s P.default;
+    uset t.right s nil;
+    uset t.parent s nil;
+    uset t.left s t.free_head;
     t.free_head <- s;
     t.free_len <- t.free_len + 1;
     t.nodes <- t.nodes - 1
@@ -238,16 +247,18 @@ module Make (P : Family.PREFIX) :
 
   let is_leaf t n =
     let s = n land slot_mask in
-    t.left.(s) < 0 && t.right.(s) < 0
+    uget t.left s < 0 && uget t.right s < 0
 
   let child t n right =
-    if right then t.right.(n land slot_mask) else t.left.(n land slot_mask)
+    if right then uget t.right (n land slot_mask)
+    else uget t.left (n land slot_mask)
 
   let set_child t parent right c =
-    if right then t.right.(slot parent) <- c else t.left.(slot parent) <- c
+    if right then uset t.right (slot parent) c
+    else uset t.left (slot parent) c
 
   let new_child t parent right ~kind ~original =
-    let p = P.child t.prefix.(slot parent) right in
+    let p = P.child (uget t.prefix (slot parent)) right in
     let c = alloc t ~parent ~kind ~original p in
     set_child t parent right c;
     c
@@ -263,7 +274,7 @@ module Make (P : Family.PREFIX) :
       let rec go n depth =
         if depth = len then begin
           Node.set_kind t n Real;
-          t.original.(slot n) <- nh;
+          uset t.original (slot n) nh;
           n
         end
         else
@@ -286,24 +297,24 @@ module Make (P : Family.PREFIX) :
     let rec go n inherited =
       let s = slot n in
       let inherited =
-        if t.flags.(s) land 1 = 1 then t.original.(s)
+        if uget t.flags s land 1 = 1 then uget t.original s
         else begin
-          t.original.(s) <- inherited;
+          uset t.original s inherited;
           inherited
         end
       in
-      let l = t.left.(s) and r = t.right.(s) in
+      let l = uget t.left s and r = uget t.right s in
       if l >= 0 && r < 0 then
         ignore (new_child t n true ~kind:Fake ~original:inherited)
       else if l < 0 && r >= 0 then
         ignore (new_child t n false ~kind:Fake ~original:inherited);
-      let l = t.left.(s) in
+      let l = uget t.left s in
       if l >= 0 then go l inherited;
-      let r = t.right.(s) in
+      let r = uget t.right s in
       if r >= 0 then go r inherited
     in
     let r = root t in
-    go r t.original.(slot r)
+    go r (uget t.original (slot r))
 
   let find t p =
     let len = P.length p in
@@ -316,23 +327,27 @@ module Make (P : Family.PREFIX) :
     go (root t) 0
 
   let descend_to_leaf t addr =
-    let rec go n =
-      if is_leaf t n then n
-      else
-        let c = child t n (P.Addr.bit addr (Node.depth t n)) in
-        if c < 0 then n (* non-full trees only happen pre-extension *)
-        else go c
+    (* One link load per step: a leaf's selected child is [nil] anyway
+       (so no separate [is_leaf] probe), and a node's depth equals the
+       recursion level (so no flags load to recover the bit index).
+       [c < 0] on an internal node only happens pre-extension. *)
+    let rec go n depth =
+      let s = n land slot_mask in
+      let c =
+        if P.Addr.bit addr depth then uget t.right s else uget t.left s
+      in
+      if c < 0 then n else go c (depth + 1)
     in
-    go (root t)
+    go (root t) 0
 
   let lookup_in_fib t addr =
     let rec go n =
       let s = n land slot_mask in
-      if t.flags.(s) land 2 = 2 then n
+      let fl = uget t.flags s in
+      if fl land 2 = 2 then n
       else
         let c =
-          if P.Addr.bit addr (t.flags.(s) lsr 4) then t.right.(s)
-          else t.left.(s)
+          if P.Addr.bit addr (fl lsr 4) then uget t.right s else uget t.left s
         in
         if c < 0 then nil else go c
     in
@@ -373,15 +388,15 @@ module Make (P : Family.PREFIX) :
 
   let remove_children t n =
     let s = slot n in
-    let l = t.left.(s) and r = t.right.(s) in
+    let l = uget t.left s and r = uget t.right s in
     if l < 0 || r < 0 then
       invalid_arg "Bintrie.remove_children: not an internal full node";
     if not (is_leaf t l && is_leaf t r) then
       invalid_arg "Bintrie.remove_children: children are not leaves";
     free t l;
     free t r;
-    t.left.(s) <- nil;
-    t.right.(s) <- nil
+    uset t.left s nil;
+    uset t.right s nil
 
   let removable t n =
     is_leaf t n && Node.kind t n = Fake && Node.status t n = Non_fib

@@ -265,7 +265,7 @@ let test_capture_replay_matches_synthetic () =
               packets :=
                 { Cfca_pcap.Pcap.ts = time; src = Cfca_prefix.Ipv4.zero; dst }
                 :: !packets
-          | Cfca_traffic.Trace.Update _ -> ());
+          | Cfca_traffic.Trace.Update _ | Cfca_traffic.Trace.Mark _ -> ());
       Cfca_pcap.Pcap.write_file path (List.to_seq (List.rev !packets));
       match
         Engine.run_capture Engine.Cfca cfg
@@ -330,138 +330,8 @@ let test_fastpath_accounting () =
 
 (* -- lookup-bench JSON: golden structure ----------------------------- *)
 
-(* A minimal recursive-descent JSON reader — just enough to prove the
-   emitter's output parses and carries the pinned keys, sharing no code
-   with the emitter. *)
-type json =
-  | J_obj of (string * json) list
-  | J_arr of json list
-  | J_str of string
-  | J_num of float
-
-let parse_json src =
-  let n = String.length src in
-  let pos = ref 0 in
-  let fail msg =
-    Alcotest.failf "JSON parse error at offset %d: %s" !pos msg
-  in
-  let peek () = if !pos < n then Some src.[!pos] else None in
-  let skip_ws () =
-    while
-      !pos < n
-      && (match src.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false)
-    do
-      incr pos
-    done
-  in
-  let expect c =
-    skip_ws ();
-    if peek () = Some c then incr pos
-    else fail (Printf.sprintf "expected %C" c)
-  in
-  let str () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string"
-      else
-        match src.[!pos] with
-        | '"' -> incr pos
-        | '\\' ->
-            if !pos + 1 >= n then fail "dangling escape";
-            Buffer.add_char b src.[!pos + 1];
-            pos := !pos + 2;
-            go ()
-        | c ->
-            Buffer.add_char b c;
-            incr pos;
-            go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let num () =
-    let start = !pos in
-    while
-      !pos < n
-      &&
-      match src.[!pos] with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    do
-      incr pos
-    done;
-    if start = !pos then fail "expected a number"
-    else
-      match float_of_string_opt (String.sub src start (!pos - start)) with
-      | Some f -> f
-      | None -> fail "malformed number"
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' -> obj ()
-    | Some '[' -> arr ()
-    | Some '"' -> J_str (str ())
-    | Some _ -> J_num (num ())
-    | None -> fail "unexpected end of input"
-  and obj () =
-    expect '{';
-    skip_ws ();
-    if peek () = Some '}' then begin
-      incr pos;
-      J_obj []
-    end
-    else
-      let rec fields acc =
-        skip_ws ();
-        let k = str () in
-        expect ':';
-        let v = value () in
-        skip_ws ();
-        if peek () = Some ',' then begin
-          incr pos;
-          fields ((k, v) :: acc)
-        end
-        else begin
-          expect '}';
-          J_obj (List.rev ((k, v) :: acc))
-        end
-      in
-      fields []
-  and arr () =
-    expect '[';
-    skip_ws ();
-    if peek () = Some ']' then begin
-      incr pos;
-      J_arr []
-    end
-    else
-      let rec elems acc =
-        let v = value () in
-        skip_ws ();
-        if peek () = Some ',' then begin
-          incr pos;
-          elems (v :: acc)
-        end
-        else begin
-          expect ']';
-          J_arr (List.rev (v :: acc))
-        end
-      in
-      elems []
-  in
-  let v = value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-let field name = function
-  | J_obj fields -> (
-      match List.assoc_opt name fields with
-      | Some v -> v
-      | None -> Alcotest.failf "missing key %S" name)
-  | _ -> Alcotest.failf "expected an object around %S" name
+(* The shared mini JSON reader; see json_min.ml. *)
+open Json_min
 
 let test_lookup_json_golden () =
   let b =

@@ -162,7 +162,8 @@ let test_trace_counts () =
       last_time := time;
       match ev with
       | Trace.Packet _ -> incr packets
-      | Trace.Update _ -> incr ups);
+      | Trace.Update _ -> incr ups
+      | Trace.Mark _ -> ());
   check_int "packets" 10_000 !packets;
   check_int "updates all delivered" 37 !ups
 
@@ -174,7 +175,7 @@ let test_trace_determinism_across_iterations () =
     Trace.iter spec rib (fun ~time:_ ev ->
         match ev with
         | Trace.Packet d -> acc := d :: !acc
-        | Trace.Update _ -> ());
+        | Trace.Update _ | Trace.Mark _ -> ());
     !acc
   in
   check "identical replays" true (collect () = collect ())
@@ -191,7 +192,7 @@ let test_trace_no_updates () =
   let ups = ref 0 in
   Trace.iter spec rib (fun ~time:_ -> function
     | Trace.Update _ -> incr ups
-    | Trace.Packet _ -> ());
+    | Trace.Packet _ | Trace.Mark _ -> ());
   check_int "no updates" 0 !ups
 
 let test_trace_more_updates_than_packets () =
@@ -204,7 +205,8 @@ let test_trace_more_updates_than_packets () =
   let ups = ref 0 and pkts = ref 0 in
   Trace.iter spec rib (fun ~time:_ -> function
     | Trace.Update _ -> incr ups
-    | Trace.Packet _ -> incr pkts);
+    | Trace.Packet _ -> incr pkts
+    | Trace.Mark _ -> ());
   check_int "all updates flushed" 50 !ups;
   check_int "all packets" 10 !pkts
 
