@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; see README.md.
 
 .PHONY: all build test doc fuzz bench quick-bench bench-smoke \
-	telemetry-smoke scenarios examples clean
+	telemetry-smoke scenarios crash examples clean
 
 all: build
 
@@ -74,6 +74,20 @@ SCENARIO_SCALE ?= 0.05
 scenarios: build
 	dune exec bin/verify.exe -- scenarios --scale $(SCENARIO_SCALE) \
 	  --out SCENARIO_SCORES.json
+
+# Kill-point recovery gate (lib/durability): seeded BGP churn through
+# the write-ahead journal + checkpoint store, then a simulated crash at
+# EVERY journal-record boundary — plus torn writes, bit flips and
+# corrupt checkpoints at each kill point. Every recovery must rebuild a
+# control plane dump-identical to a clean rebuild at that point, agree
+# with the linear oracle, and pass the invariant suite. Exits non-zero
+# on any divergence. Override e.g.: make crash CRASH_UPDATES=300
+CRASH_UPDATES ?= 120
+CRASH_SAMPLE ?= 1
+
+crash: build
+	dune exec bin/verify.exe -- crash --updates $(CRASH_UPDATES) \
+	  --sample $(CRASH_SAMPLE) --report CRASH_REPORT.json
 
 examples: build
 	dune exec examples/quickstart.exe

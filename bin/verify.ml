@@ -383,8 +383,8 @@ let scenarios scale seed packs_opt baselines_path out write_baselines =
   (* G3: baseline conformance (or re-pinning) *)
   if write_baselines then begin
     let b = B.of_scores ~scale ~seed scores in
-    Out_channel.with_open_text baselines_path (fun oc ->
-        Out_channel.output_string oc (B.to_json b));
+    (* atomic: a crash mid-pin must not leave a torn baseline file *)
+    Cfca_wire.Atomic_file.write baselines_path (B.to_json b);
     Printf.printf "pinned %d packs to %s\n" (List.length scores) baselines_path
   end
   else begin
@@ -462,8 +462,7 @@ let scenarios scale seed packs_opt baselines_path out write_baselines =
           seed
           (String.concat ",\n" (List.map entry results))
       in
-      Out_channel.with_open_text path (fun oc ->
-          Out_channel.output_string oc doc);
+      Cfca_wire.Atomic_file.write path doc;
       Printf.printf "scores written to %s\n" path);
   Printf.printf "scenarios: %d packs x 2 replays — %s\n" (List.length results)
     (if !failed then "GATE FAILED"
@@ -495,7 +494,10 @@ let inject_first_seed_arg =
 let inject seeds first_seed =
   let open Cfca_inject in
   match Inject.sweep ~first_seed ~seeds () with
-  | Ok trials ->
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+  | Ok trials -> (
       let dropped =
         List.fold_left (fun a t -> a + t.Inject.t_dropped) 0 trials
       in
@@ -503,19 +505,332 @@ let inject seeds first_seed =
         "inject: %d seeds, %d corruption trials clean (%d damaged records \
          dropped and accounted)\n"
         seeds (List.length trials) dropped;
-      exit 0
-  | Error msg ->
-      prerr_endline msg;
-      exit 1
+      match Inject.store_sweep ~first_seed ~seeds () with
+      | Error msg ->
+          prerr_endline msg;
+          exit 1
+      | Ok trials ->
+          let dropped =
+            List.fold_left (fun a t -> a + t.Inject.t_dropped) 0 trials
+          in
+          Printf.printf
+            "inject: %d seeds, %d journal/checkpoint trials clean (%d \
+             damaged records dropped and accounted)\n"
+            seeds (List.length trials) dropped;
+          exit 0)
 
 let inject_cmd =
   let doc =
     "corrupt well-formed MRT/pcap corpora (bit flips, truncations, lying \
-     lengths, garbage records, mid-stream EOF) and assert the resilient \
-     decoders never crash and account for every byte"
+     lengths, garbage records, mid-stream EOF) plus journal/checkpoint \
+     stores (torn tails, length-field flips, duplicated records, \
+     stale-checkpoint skew) and assert the resilient decoders and crash \
+     recovery never break and account for every byte"
   in
   Cmd.v (Cmd.info "inject" ~doc)
     Term.(const inject $ inject_seeds_arg $ inject_first_seed_arg)
+
+(* -- crash ------------------------------------------------------------ *)
+
+(* Kill-point recovery gate. A seeded churn run drives a real on-disk
+   durability store (write-ahead journal + periodic checkpoints); the
+   gate then simulates a crash at EVERY journal-record boundary — the
+   exact byte prefixes a kill between two appends leaves behind — plus,
+   at each kill point, a torn write of the next record, a bit-flip in
+   the last record, and a corrupt newest checkpoint. Each recovery must
+   rebuild a control plane dump-identical (Differential.arena_dump) to
+   a clean incremental rebuild at that point, agree with the linear
+   oracle, and pass the full invariant suite. *)
+
+let crash_routes_arg =
+  let doc = "Initial RIB size of the churn workload." in
+  Arg.(value & opt int 400 & info [ "routes" ] ~docv:"R" ~doc)
+
+let crash_updates_arg =
+  let doc = "BGP updates journaled (one kill point per record boundary)." in
+  Arg.(value & opt int 120 & info [ "updates" ] ~docv:"N" ~doc)
+
+let crash_seed_arg =
+  let doc = "Workload seed." in
+  Arg.(value & opt int 0xC4A5 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let crash_ckpt_arg =
+  let doc = "Checkpoint cadence in journal records." in
+  Arg.(value & opt int 32 & info [ "checkpoint-every" ] ~docv:"C" ~doc)
+
+let crash_sample_arg =
+  let doc =
+    "Test every $(docv)-th kill point (1 = all; CI smoke uses a stride)."
+  in
+  Arg.(value & opt int 1 & info [ "sample" ] ~docv:"K" ~doc)
+
+let crash_report_arg =
+  let doc = "Write a JSON recovery report artifact." in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
+let crash routes updates seed checkpoint_every sample report_path =
+  let module D = Cfca_durability in
+  let module RM = Cfca_core.Route_manager in
+  let module P = Cfca_dataplane.Pipeline in
+  let module Cfg = Cfca_dataplane.Config in
+  let module Rib_gen = Cfca_rib.Rib_gen in
+  let module Flow_gen = Cfca_traffic.Flow_gen in
+  let module Update_gen = Cfca_traffic.Update_gen in
+  let module E = Cfca_resilience.Errors in
+  if sample < 1 then begin
+    prerr_endline "crash: --sample must be >= 1";
+    exit 2
+  end;
+  let rib =
+    Rib_gen.generate { Rib_gen.size = routes; peers = 6; locality = 0.8; seed }
+  in
+  let flow =
+    Flow_gen.create { Flow_gen.default_params with Flow_gen.seed } rib
+  in
+  let stream =
+    Update_gen.generate
+      {
+        Update_gen.default_params with
+        Update_gen.count = updates;
+        seed = seed + 1;
+      }
+      flow
+  in
+  let n = Array.length stream in
+  (* the authoritative mirror the engine keeps, and the per-kill-point
+     reference states (route sets after k updates, sorted) *)
+  let tbl = Hashtbl.create (max 16 routes) in
+  Seq.iter (fun (p, nh) -> Hashtbl.replace tbl p nh) (Rib.to_seq rib);
+  let sorted_routes () =
+    Hashtbl.fold (fun p nh acc -> (p, nh) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Cfca_prefix.Prefix.compare a b)
+  in
+  let states = Array.make (n + 1) [] in
+  states.(0) <- sorted_routes ();
+  (* drive a REAL store on disk, recording each record boundary *)
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "cfca-crash-gate" in
+  let store = D.Store.open_ ~checkpoint_every ~dir () in
+  D.Store.arm store ~routes:states.(0) ~summary:D.Checkpoint.empty_summary;
+  let boundaries = Array.make (n + 1) (String.length D.Journal.magic) in
+  Array.iteri
+    (fun i u ->
+      let s = D.Store.append store u in
+      assert (s = i + 1);
+      boundaries.(i + 1) <-
+        boundaries.(i)
+        + String.length (D.Journal.encode_record { D.Journal.seq = s; update = u });
+      let p = Cfca_bgp.Bgp_update.prefix u in
+      (match u.Cfca_bgp.Bgp_update.action with
+      | Cfca_bgp.Bgp_update.Announce nh -> Hashtbl.replace tbl p nh
+      | Cfca_bgp.Bgp_update.Withdraw -> Hashtbl.remove tbl p);
+      states.(i + 1) <- sorted_routes ();
+      if D.Store.checkpoint_due store then
+        D.Store.checkpoint store ~routes:states.(i + 1)
+          ~summary:D.Checkpoint.empty_summary)
+    stream;
+  let jstats = D.Store.stats store in
+  D.Store.close store;
+  let read_file path =
+    In_channel.with_open_bin path (fun ic -> In_channel.input_all ic)
+  in
+  let journal_full = read_file (Filename.concat dir D.Store.journal_file) in
+  if String.length journal_full <> boundaries.(n) then begin
+    Printf.eprintf "crash: journal is %d bytes, boundaries say %d\n"
+      (String.length journal_full) boundaries.(n);
+    exit 2
+  end;
+  let ckpts =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           match D.Checkpoint.seq_of_filename name with
+           | Some s -> Some (s, read_file (Filename.concat dir name))
+           | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+  in
+  (* reference control planes: one RM driven incrementally (clean
+     rebuild at every k), dumped per kill point *)
+  let ref_rm = RM.create ~default_nh () in
+  RM.load ref_rm (Rib.to_seq rib);
+  let ref_dumps = Array.make (n + 1) [] in
+  ref_dumps.(0) <- Differential.arena_dump (RM.tree ref_rm);
+  Array.iteri
+    (fun i u ->
+      RM.apply ref_rm u;
+      ref_dumps.(i + 1) <- Differential.arena_dump (RM.tree ref_rm))
+    stream;
+  let trials = ref 0 and failures = ref [] in
+  let fail_trial k variant fmt =
+    Printf.ksprintf
+      (fun msg ->
+        let m = Printf.sprintf "kill point %d, %s: %s" k variant msg in
+        failures := m :: !failures;
+        Printf.printf "FAIL %s\n%!" m)
+      fmt
+  in
+  let latest_ckpt_seq k =
+    match List.find_opt (fun (s, _) -> s <= k) ckpts with
+    | Some (s, _) -> s
+    | None -> -1
+  in
+  (* one simulated recovery: the on-disk images a crash at kill point k
+     (with [variant] damage) leaves, replayed and audited against the
+     clean rebuild at [expect] *)
+  let recover_and_audit k variant ~checkpoints ~journal ~expect ~min_skipped =
+    incr trials;
+    match D.Store.replay ~checkpoints ~journal with
+    | Error e -> fail_trial k variant "recovery failed: %s" (E.to_string e)
+    | exception e ->
+        fail_trial k variant "recovery raised %s" (Printexc.to_string e)
+    | Ok rc ->
+        if rc.D.Store.rc_skipped_checkpoints < min_skipped then
+          fail_trial k variant "expected a checkpoint fallback, got none";
+        let pl = P.create ~seed Cfg.default in
+        let rm = RM.create ~sink:(P.sink pl) ~default_nh () in
+        RM.load rm (List.to_seq rc.D.Store.rc_routes);
+        let dump = Differential.arena_dump (RM.tree rm) in
+        if dump <> ref_dumps.(expect) then
+          fail_trial k variant
+            "recovered tree differs from the clean rebuild at update %d \
+             (%d vs %d dump lines)"
+            expect (List.length dump)
+            (List.length ref_dumps.(expect))
+        else begin
+          (match Invariants.check ~mode:Invariants.Cfca_mode ~pipeline:pl
+                   (RM.tree rm)
+           with
+          | Ok () -> ()
+          | Error msg -> fail_trial k variant "invariants: %s" msg);
+          (match
+             Invariants.quick_check ~samples:32
+               ~rng:(Random.State.make [| seed; k |])
+               (RM.tree rm) pl
+           with
+          | Ok () -> ()
+          | Error msg -> fail_trial k variant "quick_check: %s" msg);
+          let o = Oracle.create ~default_nh in
+          Oracle.load o states.(expect);
+          let touched =
+            if expect = 0 then []
+            else [ Cfca_bgp.Bgp_update.prefix stream.(expect - 1) ]
+          in
+          let probes =
+            Oracle.probes o ~touched (Random.State.make [| seed; k; 7 |])
+          in
+          match Oracle.equiv o ~lookup:(RM.lookup rm) probes with
+          | Ok () -> ()
+          | Error msg -> fail_trial k variant "oracle: %s" msg
+        end
+  in
+  let kill_points = ref 0 in
+  for k = 0 to n do
+    if k mod sample = 0 || k = n then begin
+      incr kill_points;
+      let checkpoints =
+        List.filter_map
+          (fun (s, img) -> if s <= k then Some img else None)
+          ckpts
+      in
+      let prefix = String.sub journal_full 0 boundaries.(k) in
+      (* 1. clean cut exactly at the record boundary *)
+      recover_and_audit k "clean-cut" ~checkpoints ~journal:prefix ~expect:k
+        ~min_skipped:0;
+      (* 2. torn write: the crash lands inside the next record *)
+      if k < n then begin
+        let next = boundaries.(k + 1) - boundaries.(k) in
+        let torn =
+          String.sub journal_full 0 (boundaries.(k) + 1 + ((next - 2) / 2))
+        in
+        recover_and_audit k "torn-write" ~checkpoints ~journal:torn ~expect:k
+          ~min_skipped:0
+      end;
+      (* 3. bit flip inside the last appended record: it must drop,
+         unless a checkpoint already covers it *)
+      if k >= 1 then begin
+        let lo = boundaries.(k - 1) and hi = boundaries.(k) in
+        let st = Random.State.make [| seed; k; 13 |] in
+        let i = lo + Random.State.int st (hi - lo) in
+        let b = Bytes.of_string prefix in
+        Bytes.set b i
+          (Char.chr (Char.code prefix.[i] lxor (1 lsl Random.State.int st 8)));
+        let expect = max (k - 1) (latest_ckpt_seq k) in
+        recover_and_audit k "bit-flip" ~checkpoints
+          ~journal:(Bytes.to_string b) ~expect ~min_skipped:0
+      end;
+      (* 4. newest checkpoint corrupt: fall back to an older one and
+         replay further *)
+      (match checkpoints with
+      | newest :: (_ :: _ as older) ->
+          let b = Bytes.of_string newest in
+          let i = String.length newest - 3 in
+          Bytes.set b i (Char.chr (Char.code newest.[i] lxor 0x20));
+          recover_and_audit k "ckpt-corrupt"
+            ~checkpoints:(Bytes.to_string b :: older)
+            ~journal:prefix ~expect:k ~min_skipped:1
+      | _ -> ())
+    end
+  done;
+  (* end-to-end: recovery straight from the directory equals the final
+     clean state *)
+  incr trials;
+  (match D.Store.recover ~dir with
+  | Error e -> fail_trial n "dir-recover" "failed: %s" (E.to_string e)
+  | Ok rc ->
+      let rm = RM.create ~default_nh () in
+      RM.load rm (List.to_seq rc.D.Store.rc_routes);
+      if Differential.arena_dump (RM.tree rm) <> ref_dumps.(n) then
+        fail_trial n "dir-recover" "final recovered tree differs");
+  (* clean the gate's scratch directory *)
+  Array.iter
+    (fun name -> try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  let failed = !failures <> [] in
+  (match report_path with
+  | None -> ()
+  | Some path ->
+      let json =
+        Printf.sprintf
+          "{\n\
+          \  \"crash_gate\": \"cfca\",\n\
+          \  \"version\": 1,\n\
+          \  \"seed\": %d,\n\
+          \  \"routes\": %d,\n\
+          \  \"updates\": %d,\n\
+          \  \"checkpoint_every\": %d,\n\
+          \  \"sample\": %d,\n\
+          \  \"kill_points\": %d,\n\
+          \  \"trials\": %d,\n\
+          \  \"journal_records\": %d,\n\
+          \  \"checkpoints\": %d,\n\
+          \  \"failures\": [%s]\n\
+           }\n"
+          seed routes updates checkpoint_every sample !kill_points !trials
+          jstats.D.Store.st_appended jstats.D.Store.st_checkpoints
+          (String.concat ", "
+             (List.rev_map Cfca_telemetry.Export.json_string !failures))
+      in
+      Cfca_wire.Atomic_file.write path json;
+      Printf.printf "recovery report written to %s\n" path);
+  Printf.printf
+    "crash: %d kill points (stride %d), %d recoveries audited, %d journal \
+     records, %d checkpoints — %s\n"
+    !kill_points sample !trials jstats.D.Store.st_appended
+    jstats.D.Store.st_checkpoints
+    (if failed then "GATE FAILED" else "clean");
+  exit (if failed then 1 else 0)
+
+let crash_cmd =
+  let doc =
+    "replay seeded BGP churn through the write-ahead journal, simulate a \
+     crash at every record boundary (plus torn writes, bit flips and \
+     corrupt checkpoints), and require every recovery to rebuild a state \
+     dump-identical to a clean rebuild, oracle-equivalent and \
+     invariant-clean"
+  in
+  Cmd.v (Cmd.info "crash" ~doc)
+    Term.(
+      const crash $ crash_routes_arg $ crash_updates_arg $ crash_seed_arg
+      $ crash_ckpt_arg $ crash_sample_arg $ crash_report_arg)
 
 let () =
   let doc =
@@ -532,4 +847,5 @@ let () =
             timeseries_cmd;
             inject_cmd;
             scenarios_cmd;
+            crash_cmd;
           ]))

@@ -1,0 +1,141 @@
+open Cfca_prefix
+open Cfca_wire
+open Cfca_resilience
+
+type summary = {
+  ck_fib_size : int;
+  ck_l1_resident : int;
+  ck_l2_resident : int;
+  ck_lthd_l1 : int;
+  ck_lthd_l2 : int;
+}
+
+let empty_summary =
+  { ck_fib_size = 0; ck_l1_resident = 0; ck_l2_resident = 0; ck_lthd_l1 = 0; ck_lthd_l2 = 0 }
+
+type t = {
+  ck_seq : int;
+  ck_routes : (Prefix.t * Nexthop.t) list;
+  ck_summary : summary;
+}
+
+let magic = "CFCACKP1"
+
+let encode t =
+  let body = Writer.create ~capacity:(32 + (8 * List.length t.ck_routes)) () in
+  Writer.u32 body t.ck_seq;
+  Writer.u32 body (List.length t.ck_routes);
+  List.iter
+    (fun (p, nh) ->
+      Writer.u32 body (Ipv4.to_int (Prefix.network p));
+      Writer.u8 body (Prefix.length p);
+      Writer.u16 body (Nexthop.to_int nh))
+    t.ck_routes;
+  let s = t.ck_summary in
+  Writer.u32 body s.ck_fib_size;
+  Writer.u32 body s.ck_l1_resident;
+  Writer.u32 body s.ck_l2_resident;
+  Writer.u32 body s.ck_lthd_l1;
+  Writer.u32 body s.ck_lthd_l2;
+  let payload = Writer.contents body in
+  let w = Writer.create ~capacity:(String.length payload + 12) () in
+  Writer.string w magic;
+  Writer.u32 w (Journal.fnv32 payload);
+  Writer.string w payload;
+  Writer.contents w
+
+let decode s =
+  let mlen = String.length magic in
+  let corrupt offset fmt =
+    Printf.ksprintf
+      (fun reason -> Error (Errors.Corrupt_record { offset; reason }))
+      fmt
+  in
+  if String.length s < mlen + 4 then
+    Error
+      (Errors.Truncated
+         { offset = 0; wanted = mlen + 4; available = String.length s })
+  else if not (String.equal (String.sub s 0 mlen) magic) then
+    Error
+      (Errors.Bad_magic
+         { offset = 0; found = String.sub s 0 mlen; expected = magic })
+  else begin
+    let r = Reader.of_string s in
+    Reader.skip r mlen;
+    let checksum = Reader.u32 r in
+    let payload = String.sub s (mlen + 4) (String.length s - mlen - 4) in
+    if Journal.fnv32 payload <> checksum then
+      corrupt 0 "checkpoint checksum mismatch"
+    else begin
+      match
+        let seq = Reader.u32 r in
+        let count = Reader.u32 r in
+        let routes = ref [] in
+        for _ = 1 to count do
+          let bits = Reader.u32 r in
+          let len = Reader.u8 r in
+          let nh = Reader.u16 r in
+          if len > 32 then
+            raise
+              (Errors.Fault
+                 (Errors.Corrupt_record
+                    {
+                      offset = Reader.pos r;
+                      reason = Printf.sprintf "prefix length %d > 32" len;
+                    }));
+          let p = Prefix.make (Ipv4.of_int bits) len in
+          if Ipv4.to_int (Prefix.network p) <> bits then
+            raise
+              (Errors.Fault
+                 (Errors.Corrupt_record
+                    {
+                      offset = Reader.pos r;
+                      reason = "route prefix has host bits below its length";
+                    }));
+          routes := (p, Nexthop.of_int nh) :: !routes
+        done;
+        let summary =
+          let fib = Reader.u32 r in
+          let l1 = Reader.u32 r in
+          let l2 = Reader.u32 r in
+          let lthd1 = Reader.u32 r in
+          let lthd2 = Reader.u32 r in
+          {
+            ck_fib_size = fib;
+            ck_l1_resident = l1;
+            ck_l2_resident = l2;
+            ck_lthd_l1 = lthd1;
+            ck_lthd_l2 = lthd2;
+          }
+        in
+        if not (Reader.at_end r) then
+          raise
+            (Errors.Fault
+               (Errors.Corrupt_record
+                  {
+                    offset = Reader.pos r;
+                    reason =
+                      Printf.sprintf "%d trailing bytes after checkpoint body"
+                        (Reader.remaining r);
+                  }));
+        { ck_seq = seq; ck_routes = List.rev !routes; ck_summary = summary }
+      with
+      | ck -> Ok ck
+      | exception Errors.Fault e -> Error e
+      | exception Reader.Truncated ->
+          Error
+            (Errors.Truncated
+               {
+                 offset = Reader.pos r;
+                 wanted = 1;
+                 available = Reader.remaining r;
+               })
+    end
+  end
+
+let filename ~seq = Printf.sprintf "ckpt-%010d.bin" seq
+
+let seq_of_filename name =
+  match Scanf.sscanf_opt name "ckpt-%d.bin%!" (fun s -> s) with
+  | Some s when s >= 0 -> Some s
+  | _ -> None

@@ -1,0 +1,59 @@
+(** Periodic control-plane checkpoints.
+
+    A checkpoint captures the authoritative route set (RIB snapshot
+    with every journaled update up to [seq] applied) plus an
+    informational cache/LTHD occupancy summary. Recovery loads the
+    latest checkpoint that passes its checksum and replays only the
+    journal records with a higher sequence number.
+
+    Image layout (big-endian):
+    {v
+      8  bytes magic "CFCACKP1"
+      u32 FNV-1a-32 of everything after this field
+      u32 seq              (last journal record the routes cover; 0 =
+                            the freshly loaded RIB)
+      u32 route count
+      route count times:
+        u32 prefix bits / u8 prefix length / u16 next hop
+      u32 fib size / u32 l1 resident / u32 l2 resident
+      u32 lthd l1 occupancy / u32 lthd l2 occupancy
+    v}
+
+    Checkpoints are written atomically ({!Cfca_wire.Atomic_file}), so a
+    crash mid-write leaves the previous checkpoint file intact — the
+    stale-checkpoint/newer-journal skew recovery already handles. *)
+
+open Cfca_prefix
+
+type summary = {
+  ck_fib_size : int;  (** installed FIB entries at checkpoint time *)
+  ck_l1_resident : int;
+  ck_l2_resident : int;
+  ck_lthd_l1 : int;
+  ck_lthd_l2 : int;
+}
+(** Cache/LTHD occupancy at checkpoint time — informational (recovery
+    restarts with cold caches), kept for the recovery report. *)
+
+val empty_summary : summary
+
+type t = {
+  ck_seq : int;
+  ck_routes : (Prefix.t * Nexthop.t) list;  (** in prefix order *)
+  ck_summary : summary;
+}
+
+val magic : string
+
+val encode : t -> string
+
+val decode : string -> (t, Cfca_resilience.Errors.t) result
+(** Never raises: a short image is [Truncated], a wrong magic is
+    [Bad_magic], a checksum or structural mismatch is
+    [Corrupt_record]. *)
+
+val filename : seq:int -> string
+(** ["ckpt-%010d.bin"] — lexicographic order equals seq order, so the
+    latest checkpoint is the last name. *)
+
+val seq_of_filename : string -> int option

@@ -1,0 +1,181 @@
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_wire
+open Cfca_resilience
+
+type record = { seq : int; update : Bgp_update.t }
+
+let magic = "CFCAWAL1"
+
+let frame_header = 6 (* u16 length + u32 checksum *)
+
+(* seq + tag + bits + len + nh: the largest well-formed body. Anything
+   larger in a length field is corruption, not a big record. *)
+let max_body = 4 + 1 + 4 + 1 + 2
+
+(* FNV-1a-32; folded in an OCaml int (fits on 32- and 64-bit hosts,
+   masked to 32 bits each step) *)
+let fnv32 s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let tag_announce = 1
+
+let tag_withdraw = 2
+
+let encode_body r =
+  let w = Writer.create ~capacity:16 () in
+  Writer.u32 w r.seq;
+  let p = Bgp_update.prefix r.update in
+  (match r.update.Bgp_update.action with
+  | Bgp_update.Announce nh ->
+      Writer.u8 w tag_announce;
+      Writer.u32 w (Ipv4.to_int (Prefix.network p));
+      Writer.u8 w (Prefix.length p);
+      Writer.u16 w (Nexthop.to_int nh)
+  | Bgp_update.Withdraw ->
+      Writer.u8 w tag_withdraw;
+      Writer.u32 w (Ipv4.to_int (Prefix.network p));
+      Writer.u8 w (Prefix.length p));
+  Writer.contents w
+
+let append_record w r =
+  let body = encode_body r in
+  Writer.u16 w (String.length body);
+  Writer.u32 w (fnv32 body);
+  Writer.string w body
+
+let encode_record r =
+  let w = Writer.create ~capacity:24 () in
+  append_record w r;
+  Writer.contents w
+
+let encode records =
+  let w = Writer.create ~capacity:(64 + (24 * List.length records)) () in
+  Writer.string w magic;
+  List.iter (append_record w) records;
+  Writer.contents w
+
+(* -- decoding -------------------------------------------------------- *)
+
+let fault offset fmt =
+  Printf.ksprintf
+    (fun reason -> raise (Errors.Fault (Errors.Corrupt_record { offset; reason })))
+    fmt
+
+let parse_body ~offset body =
+  let r = Reader.of_string body in
+  match
+    let seq = Reader.u32 r in
+    let tag = Reader.u8 r in
+    let bits = Reader.u32 r in
+    let len = Reader.u8 r in
+    if len > 32 then fault offset "prefix length %d > 32" len;
+    let prefix = Prefix.make (Ipv4.of_int bits) len in
+    if Ipv4.to_int (Prefix.network prefix) <> bits then
+      fault offset "prefix %s has host bits below its length"
+        (Prefix.to_string prefix);
+    let update =
+      if tag = tag_announce then
+        Bgp_update.announce prefix (Nexthop.of_int (Reader.u16 r))
+      else if tag = tag_withdraw then Bgp_update.withdraw prefix
+      else fault offset "unknown record tag %d" tag
+    in
+    if not (Reader.at_end r) then
+      fault offset "%d trailing bytes in record body" (Reader.remaining r);
+    { seq; update }
+  with
+  | record -> record
+  | exception Reader.Truncated ->
+      fault offset "record body shorter than its fields (%d bytes)"
+        (String.length body)
+
+let decode_string ?(policy = Errors.Lenient) s =
+  let mlen = String.length magic in
+  if String.length s < mlen then
+    Error
+      (Errors.Truncated
+         { offset = 0; wanted = mlen; available = String.length s })
+  else if not (String.equal (String.sub s 0 mlen) magic) then
+    Error
+      (Errors.Bad_magic
+         { offset = 0; found = String.sub s 0 mlen; expected = magic })
+  else begin
+    let rep = Errors.report () in
+    let r = Reader.of_string s in
+    Reader.skip r mlen;
+    let records = ref [] in
+    let fatal = ref None in
+    let stop = ref false in
+    (* Drop from the current record's start to the end of input as one
+       corrupt/torn tail ([consumed] frame bytes were already read):
+       resynchronisation needs an intact length field to jump over a
+       damaged body, and here the framing itself is gone. *)
+    let drop_tail ~consumed err =
+      let bytes = consumed + Reader.remaining r in
+      Reader.skip r (Reader.remaining r);
+      Errors.note_drop rep ~bytes err;
+      (match policy with
+      | Errors.Lenient -> ()
+      | Errors.Strict -> fatal := Some err);
+      stop := true
+    in
+    while (not !stop) && not (Reader.at_end r) do
+      let offset = Reader.pos r in
+      if Reader.remaining r < frame_header then
+        drop_tail ~consumed:0
+          (Errors.Truncated
+             { offset; wanted = frame_header; available = Reader.remaining r })
+      else begin
+        let body_len = Reader.u16 r in
+        let checksum = Reader.u32 r in
+        if body_len > max_body then
+          drop_tail ~consumed:frame_header
+            (Errors.Corrupt_record
+               {
+                 offset;
+                 reason =
+                   Printf.sprintf "length field %d exceeds max body %d"
+                     body_len max_body;
+               })
+        else if Reader.remaining r < body_len then
+          drop_tail ~consumed:frame_header
+            (Errors.Truncated
+               { offset; wanted = body_len; available = Reader.remaining r })
+        else begin
+          let body = Reader.take r body_len in
+          let total = frame_header + body_len in
+          if fnv32 body <> checksum then begin
+            let err =
+              Errors.Corrupt_record
+                { offset; reason = "record checksum mismatch" }
+            in
+            Errors.note_drop rep ~bytes:total err;
+            match policy with
+            | Errors.Lenient -> () (* the frame was intact: resync here *)
+            | Errors.Strict ->
+                fatal := Some err;
+                stop := true
+          end
+          else
+            match parse_body ~offset body with
+            | record ->
+                Errors.note_parsed rep ~bytes:total;
+                records := record :: !records
+            | exception Errors.Fault err -> (
+                Errors.note_drop rep ~bytes:total err;
+                match policy with
+                | Errors.Lenient -> ()
+                | Errors.Strict ->
+                    fatal := Some err;
+                    stop := true)
+        end
+      end
+    done;
+    match (policy, !fatal) with
+    | Errors.Strict, Some err -> Error err
+    | _ -> Ok (List.rev !records, rep)
+  end

@@ -1,0 +1,61 @@
+(** Binary write-ahead journal of control-plane updates.
+
+    The journal is an append-only stream: an 8-byte file magic followed
+    by length-prefixed records, each carrying an FNV-1a-32 checksum of
+    its body. One record = one BGP announce/withdraw plus the journal
+    sequence number assigned at append time, so recovery can skip
+    records a checkpoint already covers and drop duplicates.
+
+    Record frame (big-endian, via {!Cfca_wire.Writer}):
+    {v
+      u16 body length        (bytes after the 6-byte frame header)
+      u32 FNV-1a-32 of body
+      body:
+        u32 sequence number  (1-based, monotonically increasing)
+        u8  tag              (1 = announce, 2 = withdraw)
+        u32 prefix bits      (network byte order)
+        u8  prefix length    (0..32)
+        u16 next hop         (announce only)
+    v}
+
+    Decoding follows the {!Cfca_resilience.Errors} contract of the MRT
+    and pcap codecs: [Lenient] drops a damaged record, counts it in the
+    report and resynchronises at the next frame (the length prefix of a
+    checksum-corrupt record still delimits it; a corrupt {e length}
+    field ends resync and the remaining bytes drop as one corrupt
+    tail), while [Strict] turns the first fault into a typed [Error].
+    Torn tails — the file ending inside a frame header or a declared
+    body — are always a clean single drop, never an exception. *)
+
+open Cfca_bgp
+
+type record = { seq : int; update : Bgp_update.t }
+
+val magic : string
+(** ["CFCAWAL1"] — the 8-byte file header. *)
+
+val max_body : int
+(** Upper bound on a well-formed record body (sanity bound for
+    resynchronisation: a length field beyond it is corrupt). *)
+
+val fnv32 : string -> int
+(** FNV-1a-32 — the per-record and per-checkpoint checksum. *)
+
+val encode_record : record -> string
+(** One framed record (header not included). *)
+
+val append_record : Cfca_wire.Writer.t -> record -> unit
+(** Append the frame to a writer (the file-level layer). *)
+
+val encode : record list -> string
+(** [magic] plus every record — a complete journal image. *)
+
+val decode_string :
+  ?policy:Cfca_resilience.Errors.policy ->
+  string ->
+  (record list * Cfca_resilience.Errors.report, Cfca_resilience.Errors.t)
+  result
+(** Parse a complete journal image (magic included). Never raises:
+    file-level faults (bad magic, empty input) are a typed [Error];
+    record-level faults follow [policy] (default [Lenient]). The
+    report accounts for every byte after the magic. *)

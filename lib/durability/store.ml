@@ -1,0 +1,249 @@
+open Cfca_prefix
+open Cfca_bgp
+open Cfca_resilience
+
+let journal_file = "journal.wal"
+
+type stats = {
+  st_appended : int;
+  st_checkpoints : int;
+  st_recoveries : int;
+  st_replayed : int;
+}
+
+type t = {
+  t_dir : string;
+  checkpoint_every : int;
+  mutable oc : out_channel option;
+  mutable t_seq : int;
+  mutable last_ckpt_seq : int;
+  mutable appended : int;
+  mutable checkpoints : int;
+  mutable recoveries : int;
+  mutable replayed : int;
+}
+
+let open_ ?(checkpoint_every = 4096) ~dir () =
+  Cfca_wire.Atomic_file.mkdir_p dir;
+  {
+    t_dir = dir;
+    checkpoint_every;
+    oc = None;
+    t_seq = 0;
+    last_ckpt_seq = 0;
+    appended = 0;
+    checkpoints = 0;
+    recoveries = 0;
+    replayed = 0;
+  }
+
+let dir t = t.t_dir
+
+let armed t = t.oc <> None
+
+let seq t = t.t_seq
+
+let journal_path t = Filename.concat t.t_dir journal_file
+
+let write_checkpoint t ~routes ~summary =
+  let ck =
+    { Checkpoint.ck_seq = t.t_seq; ck_routes = routes; ck_summary = summary }
+  in
+  let path = Filename.concat t.t_dir (Checkpoint.filename ~seq:t.t_seq) in
+  Cfca_wire.Atomic_file.write path (Checkpoint.encode ck);
+  t.last_ckpt_seq <- t.t_seq;
+  t.checkpoints <- t.checkpoints + 1
+
+let arm t ~routes ~summary =
+  (match t.oc with
+  | Some oc ->
+      close_out_noerr oc;
+      t.oc <- None
+  | None -> ());
+  (* New epoch. Order matters for the crash windows inside [arm]
+     itself: stale checkpoints go first (a crash here leaves an
+     old-epoch journal with no checkpoint — a typed recovery failure,
+     not a silent wrong-epoch recovery), then the journal is reset,
+     then checkpoint 0 lands atomically. *)
+  Array.iter
+    (fun name ->
+      match Checkpoint.seq_of_filename name with
+      | Some _ -> (
+          try Sys.remove (Filename.concat t.t_dir name) with Sys_error _ -> ())
+      | None -> ())
+    (Sys.readdir t.t_dir);
+  t.t_seq <- 0;
+  t.last_ckpt_seq <- 0;
+  t.appended <- 0;
+  t.checkpoints <- 0;
+  t.replayed <- 0;
+  t.recoveries <- 0;
+  let oc = open_out_bin (journal_path t) in
+  output_string oc Journal.magic;
+  flush oc;
+  t.oc <- Some oc;
+  write_checkpoint t ~routes ~summary
+
+let append t update =
+  match t.oc with
+  | None -> invalid_arg "Durability.Store.append: store is not armed"
+  | Some oc ->
+      t.t_seq <- t.t_seq + 1;
+      output_string oc (Journal.encode_record { Journal.seq = t.t_seq; update });
+      (* Write-ahead barrier. [flush] hands the record to the OS; a
+         real router would fsync here — in this simulation the process
+         kill we model (see bin/verify crash) cannot outrun the page
+         cache, so flush is the fsync point. *)
+      flush oc;
+      t.appended <- t.appended + 1;
+      t.t_seq
+
+let checkpoint_due t =
+  armed t && t.checkpoint_every > 0
+  && t.t_seq - t.last_ckpt_seq >= t.checkpoint_every
+
+let checkpoint t ~routes ~summary =
+  if not (armed t) then
+    invalid_arg "Durability.Store.checkpoint: store is not armed";
+  write_checkpoint t ~routes ~summary
+
+let stats t =
+  {
+    st_appended = t.appended;
+    st_checkpoints = t.checkpoints;
+    st_recoveries = t.recoveries;
+    st_replayed = t.replayed;
+  }
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      close_out_noerr oc;
+      t.oc <- None
+
+(* -- recovery ---------------------------------------------------------- *)
+
+type recovery = {
+  rc_routes : (Prefix.t * Nexthop.t) list;
+  rc_checkpoint_seq : int;
+  rc_summary : Checkpoint.summary;
+  rc_applied : int list;
+  rc_skipped_checkpoints : int;
+  rc_report : Errors.report;
+}
+
+(* A journal image that stops inside the 8-byte magic is a crash during
+   journal creation, not foreign data: recover from the checkpoint with
+   nothing to replay. A full-length magic mismatch stays fatal. *)
+let decode_journal image =
+  let mlen = String.length Journal.magic in
+  if
+    String.length image < mlen
+    && String.equal image (String.sub Journal.magic 0 (String.length image))
+  then begin
+    let rep = Errors.report () in
+    if String.length image > 0 then
+      Errors.note_drop rep ~bytes:(String.length image)
+        (Errors.Truncated
+           { offset = 0; wanted = mlen; available = String.length image });
+    Ok ([], rep)
+  end
+  else Journal.decode_string ~policy:Errors.Lenient image
+
+let replay ~checkpoints ~journal =
+  let rec pick skipped = function
+    | [] ->
+        Error
+          (Errors.Corrupt_record
+             {
+               offset = 0;
+               reason =
+                 (if skipped = 0 then "no checkpoint present"
+                  else
+                    Printf.sprintf "all %d checkpoints failed to decode"
+                      skipped);
+             })
+    | image :: rest -> (
+        match Checkpoint.decode image with
+        | Ok ck -> Ok (ck, skipped)
+        | Error _ -> pick (skipped + 1) rest)
+  in
+  match pick 0 checkpoints with
+  | Error _ as e -> e
+  | Ok (ck, skipped) -> (
+      match decode_journal journal with
+      | Error _ as e -> e
+      | Ok (records, rep) ->
+          let tbl = Hashtbl.create 4096 in
+          List.iter
+            (fun (p, nh) -> Hashtbl.replace tbl p nh)
+            ck.Checkpoint.ck_routes;
+          let last = ref ck.Checkpoint.ck_seq in
+          let applied = ref [] in
+          List.iter
+            (fun { Journal.seq; update } ->
+              (* Monotonic-seq filter: skips duplicated records and the
+                 journal prefix an (older) checkpoint already covers. *)
+              if seq > !last then begin
+                last := seq;
+                applied := seq :: !applied;
+                let p = Bgp_update.prefix update in
+                match update.Bgp_update.action with
+                | Bgp_update.Announce nh -> Hashtbl.replace tbl p nh
+                | Bgp_update.Withdraw -> Hashtbl.remove tbl p
+              end)
+            records;
+          let routes = Hashtbl.fold (fun p nh acc -> (p, nh) :: acc) tbl [] in
+          let routes =
+            List.sort (fun (a, _) (b, _) -> Prefix.compare a b) routes
+          in
+          Ok
+            {
+              rc_routes = routes;
+              rc_checkpoint_seq = ck.Checkpoint.ck_seq;
+              rc_summary = ck.Checkpoint.ck_summary;
+              rc_applied = List.rev !applied;
+              rc_skipped_checkpoints = skipped;
+              rc_report = rep;
+            })
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let recover ~dir =
+  match Sys.is_directory dir with
+  | false | (exception Sys_error _) ->
+      Error (Errors.Io_error (Printf.sprintf "%s: not a directory" dir))
+  | true -> (
+      try
+        let ckpt_seqs =
+          Array.to_list (Sys.readdir dir)
+          |> List.filter_map (fun name ->
+                 match Checkpoint.seq_of_filename name with
+                 | Some s -> Some (s, name)
+                 | None -> None)
+          |> List.sort (fun (a, _) (b, _) -> compare b a)
+        in
+        let checkpoints =
+          List.map (fun (_, name) -> read_file (Filename.concat dir name))
+            ckpt_seqs
+        in
+        let jp = Filename.concat dir journal_file in
+        let journal =
+          if Sys.file_exists jp then read_file jp else Journal.magic
+        in
+        replay ~checkpoints ~journal
+      with Sys_error msg -> Error (Errors.Io_error msg))
+
+let recover_live t =
+  (match t.oc with Some oc -> flush oc | None -> ());
+  match recover ~dir:t.t_dir with
+  | Ok rc ->
+      t.recoveries <- t.recoveries + 1;
+      t.replayed <- t.replayed + List.length rc.rc_applied;
+      Ok rc
+  | Error _ as e -> e

@@ -1,0 +1,103 @@
+(** The durability store: one directory holding a write-ahead journal
+    ([journal.wal]) and its checkpoints ([ckpt-<seq>.bin]).
+
+    Lifecycle inside an engine run:
+
+    + {!open_} the directory (nothing is written yet);
+    + after the initial RIB load, {!arm} it — this starts a new epoch:
+      stale checkpoints are removed, the journal is reset to a fresh
+      header, and checkpoint 0 (the loaded RIB itself) is written so
+      recovery always has a base state;
+    + {!append} every BGP update {e before} it is applied to the live
+      tree (write-ahead), each record flushed to the OS immediately;
+    + {!checkpoint} periodically (the engine drives this off
+      {!checkpoint_due}) with the current authoritative route set.
+
+    Recovery ({!recover} / {!replay}) = latest checkpoint that passes
+    its checksum (corrupt ones fall back to older ones, down to
+    checkpoint 0) + replay of the journal records with a sequence
+    number above the checkpoint's, applied to the route set with a
+    monotonic-seq filter (duplicated records are skipped, records a
+    checkpoint already covers are skipped — the
+    stale-checkpoint/newer-journal skew case). Torn or corrupt journal
+    tails are dropped with a typed {!Cfca_resilience.Errors} report,
+    never an exception. *)
+
+open Cfca_prefix
+open Cfca_bgp
+
+type t
+
+type stats = {
+  st_appended : int;  (** journal records written this epoch *)
+  st_checkpoints : int;  (** checkpoints written this epoch (incl. 0) *)
+  st_recoveries : int;  (** {!recover_live} calls served *)
+  st_replayed : int;  (** journal records applied across those calls *)
+}
+
+val journal_file : string
+(** ["journal.wal"]. *)
+
+val open_ : ?checkpoint_every:int -> dir:string -> unit -> t
+(** Create [dir] (with parents) if missing. [checkpoint_every] (default
+    [4096], [0] = never) is the record cadence after which
+    {!checkpoint_due} turns true. *)
+
+val dir : t -> string
+
+val armed : t -> bool
+
+val seq : t -> int
+(** Last sequence number appended (0 before any append). *)
+
+val arm :
+  t -> routes:(Prefix.t * Nexthop.t) list -> summary:Checkpoint.summary -> unit
+(** Start an epoch (see above). Until [arm], {!append} raises. *)
+
+val append : t -> Bgp_update.t -> int
+(** Journal one update (assigns and returns the next seq); the record
+    is flushed to the OS before returning, so a crash immediately
+    after loses at most the in-kernel page cache (the fsync point —
+    see {!Cfca_wire.Atomic_file.write}). *)
+
+val checkpoint_due : t -> bool
+
+val checkpoint :
+  t -> routes:(Prefix.t * Nexthop.t) list -> summary:Checkpoint.summary -> unit
+(** Write [ckpt-<seq>.bin] atomically for the current {!seq}. Keeps
+    every older checkpoint of the epoch on disk — they are the
+    fallbacks when the newest one is damaged. *)
+
+val stats : t -> stats
+
+val close : t -> unit
+
+(** {2 Recovery} *)
+
+type recovery = {
+  rc_routes : (Prefix.t * Nexthop.t) list;
+      (** the recovered authoritative route set, in prefix order *)
+  rc_checkpoint_seq : int;  (** seq of the checkpoint recovery used *)
+  rc_summary : Checkpoint.summary;  (** that checkpoint's summary *)
+  rc_applied : int list;  (** journal seqs replayed, ascending *)
+  rc_skipped_checkpoints : int;  (** corrupt checkpoints skipped over *)
+  rc_report : Cfca_resilience.Errors.report;
+      (** journal decode accounting (drops = torn/corrupt tail) *)
+}
+
+val replay :
+  checkpoints:string list ->
+  journal:string ->
+  (recovery, Cfca_resilience.Errors.t) result
+(** Pure recovery over in-memory images: [checkpoints] newest-first
+    (the first that decodes wins), then the journal tail. [Error] only
+    when no checkpoint decodes or the journal's file-level framing is
+    gone — record-level damage degrades to drops in [rc_report]. *)
+
+val recover : dir:string -> (recovery, Cfca_resilience.Errors.t) result
+(** {!replay} over the files in [dir]. *)
+
+val recover_live : t -> (recovery, Cfca_resilience.Errors.t) result
+(** Recovery from the store's own directory mid-run (tier-2 watchdog
+    escalation): flushes the journal first so every appended record is
+    visible, and counts the call in {!stats}. *)

@@ -366,3 +366,238 @@ let sweep ?(first_seed = 0) ~seeds () =
     done;
     Ok (List.rev !trials)
   with Failure msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Journal/checkpoint store corruptions                                *)
+(* ------------------------------------------------------------------ *)
+
+module J = Cfca_durability.Journal
+module Ck = Cfca_durability.Checkpoint
+module Store = Cfca_durability.Store
+
+type store_corruption = Torn_tail | Length_flip | Dup_record | Stale_skew
+
+let store_corruption_name = function
+  | Torn_tail -> "torn-tail"
+  | Length_flip -> "length-flip"
+  | Dup_record -> "dup-record"
+  | Stale_skew -> "stale-skew"
+
+let all_store_corruptions = [ Torn_tail; Length_flip; Dup_record; Stale_skew ]
+
+(* Independent evaluator of what recovery must produce: the base route
+   set with records in (from_seq, upto_seq] applied, in prefix order.
+   Deliberately NOT Store.replay — the expectation must not come from
+   the code under test. *)
+let apply_updates base records ~from_seq ~upto_seq =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (p, nh) -> Hashtbl.replace tbl p nh) base;
+  List.iter
+    (fun { J.seq; update } ->
+      if seq > from_seq && seq <= upto_seq then begin
+        let p = Bgp_update.prefix update in
+        match update.Bgp_update.action with
+        | Bgp_update.Announce nh -> Hashtbl.replace tbl p nh
+        | Bgp_update.Withdraw -> Hashtbl.remove tbl p
+      end)
+    records;
+  Hashtbl.fold (fun p nh acc -> (p, nh) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
+
+let routes_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (p1, n1) (p2, n2) -> Prefix.equal p1 p2 && n1 = n2)
+       a b
+
+(* Per seed: a base route set (checkpoint 0), a mid-stream checkpoint,
+   and a journal of [n_store_updates] records. *)
+let n_store_updates = 20
+
+let build_store_state seed =
+  let st = Random.State.make [| seed; 0x3d |] in
+  let base_tbl = Hashtbl.create 64 in
+  while Hashtbl.length base_tbl < 24 do
+    let p = Prefix.random st ~min_len:8 ~max_len:24 () in
+    if not (Hashtbl.mem base_tbl p) then
+      Hashtbl.replace base_tbl p
+        (Nexthop.of_int (1 + Random.State.int st 4))
+  done;
+  let base =
+    Hashtbl.fold (fun p nh acc -> (p, nh) :: acc) base_tbl []
+    |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
+  in
+  let base_arr = Array.of_list base in
+  let records =
+    List.init n_store_updates (fun i ->
+        let p =
+          if Random.State.bool st then
+            fst base_arr.(Random.State.int st (Array.length base_arr))
+          else Prefix.random st ~min_len:8 ~max_len:24 ()
+        in
+        let update =
+          if Random.State.int st 4 = 0 then Bgp_update.withdraw p
+          else Bgp_update.announce p (Nexthop.of_int (1 + Random.State.int st 4))
+        in
+        { J.seq = i + 1; update })
+  in
+  let mid = n_store_updates / 2 in
+  let ck image_seq =
+    Ck.encode
+      {
+        Ck.ck_seq = image_seq;
+        ck_routes = apply_updates base records ~from_seq:0 ~upto_seq:image_seq;
+        ck_summary = Ck.empty_summary;
+      }
+  in
+  (base, records, mid, ck 0, ck mid, J.encode records)
+
+(* [(offset, total)] of every journal record frame, from the framing *)
+let journal_extents journal =
+  let rec go off acc =
+    if off >= String.length journal then List.rev acc
+    else
+      let body =
+        (Char.code journal.[off] lsl 8) lor Char.code journal.[off + 1]
+      in
+      let total = 6 + body in
+      go (off + total) ((off, total) :: acc)
+  in
+  go (String.length J.magic) []
+
+let seq_range ~from_seq ~upto_seq =
+  List.init (max 0 (upto_seq - from_seq)) (fun i -> from_seq + 1 + i)
+
+let check_store_trial ~seed corruption ~checkpoints ~journal ~ck_seq ~skipped
+    ~applied ~routes ~dropped ~bytes =
+  let ctx fmt =
+    Printf.ksprintf
+      (fun msg ->
+        failf "seed %d, wal-store/%s: %s" seed
+          (store_corruption_name corruption)
+          msg)
+      fmt
+  in
+  match Store.replay ~checkpoints ~journal with
+  | Error e -> ctx "recovery failed fatally: %s" (Errors.to_string e)
+  | exception e -> ctx "recovery raised %s" (Printexc.to_string e)
+  | Ok rc ->
+      if rc.Store.rc_checkpoint_seq <> ck_seq then
+        ctx "recovered from checkpoint %d, expected %d"
+          rc.Store.rc_checkpoint_seq ck_seq;
+      if rc.Store.rc_skipped_checkpoints <> skipped then
+        ctx "skipped %d checkpoints, expected %d"
+          rc.Store.rc_skipped_checkpoints skipped;
+      if rc.Store.rc_applied <> applied then
+        ctx "replayed seqs [%s], expected [%s]"
+          (String.concat ";" (List.map string_of_int rc.Store.rc_applied))
+          (String.concat ";" (List.map string_of_int applied));
+      if not (routes_equal rc.Store.rc_routes routes) then
+        ctx "recovered %d routes differ from the %d expected"
+          (List.length rc.Store.rc_routes)
+          (List.length routes);
+      let rep = rc.Store.rc_report in
+      if rep.Errors.dropped <> dropped then
+        ctx "expected %d dropped records, saw %d" dropped rep.Errors.dropped;
+      if rep.Errors.dropped > 0 && Errors.total rep.Errors.errors = 0 then
+        ctx "%d drops but no error counted" rep.Errors.dropped;
+      if Errors.total_bytes rep <> bytes then
+        ctx "byte accounting: %d attributed <> %d after the magic"
+          (Errors.total_bytes rep) bytes;
+      {
+        t_seed = seed;
+        t_corpus = "wal-store";
+        t_corruption = store_corruption_name corruption;
+        t_parsed = rep.Errors.parsed;
+        t_dropped = rep.Errors.dropped;
+      }
+
+let run_store_seed seed =
+  let base, records, mid, ck0, ck_mid, journal = build_store_state seed in
+  let exts = Array.of_list (journal_extents journal) in
+  let n = Array.length exts in
+  if n <> n_store_updates then
+    failf "seed %d, wal-store: %d records framed, expected %d" seed n
+      n_store_updates;
+  let st = Random.State.make [| seed; 0x43 |] in
+  let final = apply_updates base records ~from_seq:0 ~upto_seq:n in
+  (* pristine: mid checkpoint + full journal reconcile exactly *)
+  ignore
+    (check_store_trial ~seed Dup_record ~checkpoints:[ ck_mid; ck0 ] ~journal
+       ~ck_seq:mid ~skipped:0
+       ~applied:(seq_range ~from_seq:mid ~upto_seq:n)
+       ~routes:final ~dropped:0
+       ~bytes:(String.length journal - String.length J.magic));
+  let bytes_after_magic j = String.length j - String.length J.magic in
+  List.map
+    (fun corruption ->
+      match corruption with
+      | Torn_tail ->
+          (* cut strictly inside record j's frame: everything before it
+             parses, the tail is one clean drop. Durable state is the
+             checkpoint plus the replay, so a cut before the
+             checkpoint's seq loses nothing. *)
+          let j = Random.State.int st n in
+          let off, total = exts.(j) in
+          let cut = off + 1 + Random.State.int st (total - 1) in
+          let journal' = String.sub journal 0 cut in
+          check_store_trial ~seed corruption ~checkpoints:[ ck_mid; ck0 ]
+            ~journal:journal' ~ck_seq:mid ~skipped:0
+            ~applied:(seq_range ~from_seq:mid ~upto_seq:j)
+            ~routes:
+              (apply_updates base records ~from_seq:0 ~upto_seq:(max j mid))
+            ~dropped:1
+            ~bytes:(bytes_after_magic journal')
+      | Length_flip ->
+          (* the length field's high bit flips: the frame claims a body
+             far beyond [max_body], so the rest drops as corrupt tail *)
+          let j = Random.State.int st n in
+          let off, _ = exts.(j) in
+          let b = Bytes.of_string journal in
+          Bytes.set b off (Char.chr (Char.code journal.[off] lxor 0x80));
+          check_store_trial ~seed corruption ~checkpoints:[ ck_mid; ck0 ]
+            ~journal:(Bytes.to_string b) ~ck_seq:mid ~skipped:0
+            ~applied:(seq_range ~from_seq:mid ~upto_seq:j)
+            ~routes:
+              (apply_updates base records ~from_seq:0 ~upto_seq:(max j mid))
+            ~dropped:1
+            ~bytes:(bytes_after_magic journal)
+      | Dup_record ->
+          (* a record's frame appears twice: both parse, the monotonic
+             sequence filter drops the echo from the replay *)
+          let j = Random.State.int st n in
+          let off, total = exts.(j) in
+          let journal' =
+            String.sub journal 0 (off + total)
+            ^ String.sub journal off total
+            ^ String.sub journal (off + total)
+                (String.length journal - off - total)
+          in
+          check_store_trial ~seed corruption ~checkpoints:[ ck_mid; ck0 ]
+            ~journal:journal' ~ck_seq:mid ~skipped:0
+            ~applied:(seq_range ~from_seq:mid ~upto_seq:n)
+            ~routes:final ~dropped:0
+            ~bytes:(bytes_after_magic journal')
+      | Stale_skew ->
+          (* the newest checkpoint is damaged while the journal runs
+             ahead: recovery falls back to checkpoint 0 and replays the
+             whole journal *)
+          let b = Bytes.of_string ck_mid in
+          let i = String.length ck_mid - 1 - Random.State.int st 4 in
+          Bytes.set b i (Char.chr (Char.code ck_mid.[i] lxor 0x10));
+          check_store_trial ~seed corruption
+            ~checkpoints:[ Bytes.to_string b; ck0 ]
+            ~journal ~ck_seq:0 ~skipped:1
+            ~applied:(seq_range ~from_seq:0 ~upto_seq:n)
+            ~routes:final ~dropped:0
+            ~bytes:(bytes_after_magic journal))
+    all_store_corruptions
+
+let store_sweep ?(first_seed = 0) ~seeds () =
+  try
+    let trials = ref [] in
+    for seed = first_seed to first_seed + seeds - 1 do
+      trials := List.rev_append (run_store_seed seed) !trials
+    done;
+    Ok (List.rev !trials)
+  with Failure msg -> Error msg

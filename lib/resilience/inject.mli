@@ -53,3 +53,33 @@ val run_seed : int -> trial list
 val sweep : ?first_seed:int -> seeds:int -> unit -> (trial list, string) result
 (** [run_seed] over [seeds] consecutive seeds; [Error] carries the
     first failure message. *)
+
+(** {2 Journal/checkpoint store corruptions}
+
+    The same harness over the durability layer: each seed builds a
+    base route set (checkpoint 0), a mid-stream checkpoint and a
+    write-ahead journal, damages them, and asserts
+    {!Cfca_durability.Store.replay} recovers exactly the route set an
+    independent evaluator predicts — never raising, with every journal
+    byte accounted for. *)
+
+type store_corruption =
+  | Torn_tail  (** the journal ends mid-frame (a crash during a write) *)
+  | Length_flip  (** a bit flips in a record's length field *)
+  | Dup_record  (** a record frame is duplicated in place *)
+  | Stale_skew
+      (** the newest checkpoint is corrupt while the journal runs
+          ahead: recovery must fall back and replay further *)
+
+val store_corruption_name : store_corruption -> string
+
+val all_store_corruptions : store_corruption list
+
+val run_store_seed : int -> trial list
+(** All store corruptions for one seed (trials tagged ["wal-store"]),
+    plus a pristine checkpoint-plus-journal reconciliation check.
+    @raise Failure naming seed/corruption on the first violated
+    assertion. *)
+
+val store_sweep :
+  ?first_seed:int -> seeds:int -> unit -> (trial list, string) result

@@ -58,7 +58,7 @@ let hex h = Printf.sprintf "%016Lx" h
 
 (* -- the gated replay ------------------------------------------------ *)
 
-let run_pack ?(seed = 0x5EED) (pack : Pack.t) =
+let run_pack ?(seed = 0x5EED) ?watchdog ?journal ?chaos (pack : Pack.t) =
   let meta = pack.Pack.meta in
   let events = meta.Pack.m_packets + meta.Pack.m_updates in
   (* ~128 windows per run so the miss-burst tail has real support even
@@ -80,7 +80,10 @@ let run_pack ?(seed = 0x5EED) (pack : Pack.t) =
         (Oracle.probes oracle ~touched:!touched rng)
     in
     touched := [];
-    phases := { ph_label = label; ph_invariants = inv; ph_oracle = orc } :: !phases
+    phases := { ph_label = label; ph_invariants = inv; ph_oracle = orc } :: !phases;
+    (* chaos runs after the audits: the damage it does is this phase's
+       successor's problem — and the watchdog's *)
+    match chaos with Some f -> f label a | None -> ()
   in
   let iter f =
     pack.Pack.iter (fun ~time ev ->
@@ -95,8 +98,8 @@ let run_pack ?(seed = 0x5EED) (pack : Pack.t) =
         f ~time ev)
   in
   let r =
-    E.run_events ~seed ~telemetry:tel ~on_mark E.Cfca pack.Pack.config
-      ~default_nh:pack.Pack.default_nh pack.Pack.rib iter
+    E.run_events ~seed ?watchdog ?journal ~telemetry:tel ~on_mark E.Cfca
+      pack.Pack.config ~default_nh:pack.Pack.default_nh pack.Pack.rib iter
   in
   (* every pack ends on a mark, so the live trie and pipeline were
      audited at end-of-stream; one last full-table sweep checks the

@@ -29,9 +29,22 @@ type outcome = {
       (** replayed event counts and phase labels matched the metadata *)
 }
 
-val run_pack : ?seed:int -> Pack.t -> outcome
+val run_pack :
+  ?seed:int ->
+  ?watchdog:Cfca_sim.Watchdog.config ->
+  ?journal:Cfca_durability.Store.t ->
+  ?chaos:(string -> Cfca_sim.Engine.access -> unit) ->
+  Pack.t ->
+  outcome
 (** [seed] (default 0x5EED) seeds the engine pipeline, the watchdog and
-    the probe sampling — independent of the pack's own workload seed. *)
+    the probe sampling — independent of the pack's own workload seed.
+    [watchdog] and [journal] pass through to
+    {!Cfca_sim.Engine.run_events}. [chaos] fires at every phase mark
+    {e after} that phase's audits, with the same live access the audits
+    used — the hook for recovery tests that corrupt the running system
+    mid-pack and let the watchdog repair it before the next audit. The
+    event-stream digest is a pure function of the pack, so neither
+    journaling nor a chaos-triggered recovery changes it. *)
 
 val clean : outcome -> bool
 (** No oracle divergence, no invariant violation, no watchdog recovery,

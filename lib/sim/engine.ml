@@ -64,7 +64,10 @@ type run_result = {
   r_tcam : Tcam.stats;
   r_lookup : Ipv4.t -> Nexthop.t;
   r_recoveries : int;
+  r_memory_rebuilds : int;
+  r_journal_rebuilds : int;
   r_watchdog_checks : int;
+  r_journal : Cfca_durability.Store.stats option;
   r_ingest : (string * Errors.report) list;
   r_fastpath : Fib_snapshot.stats;
   r_arena_live : int;
@@ -109,7 +112,7 @@ let make_cached kind ~sink ~default_nh rib =
       }
 
 let run_events ?(window = 100_000) ?(seed = 0x5EED)
-    ?(watchdog = Watchdog.default_config) ?telemetry ?on_mark kind cfg
+    ?(watchdog = Watchdog.default_config) ?telemetry ?journal ?on_mark kind cfg
     ~default_nh rib iter_events =
   let pipeline = Pipeline.create ~seed cfg in
   (* Scalar instruments live from the start, but stay dormant until
@@ -126,13 +129,17 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
   in
   let tel_armed = ref false in
   let tel_time = ref 0.0 in
+  (* Like the initial bulk load, a watchdog recovery's from-scratch
+     reinstall is not churn: its ops stay out of the fib_ops counter so
+     a recovered run scores like an undisturbed one. *)
+  let in_recovery = ref false in
   (* Per-packet fast path: the IN_FIB set compiled into a flat LPM.
      Every control-plane op can change the set, so the sink doubles as
      the invalidation hook (all IN_FIB transitions emit a Fib_op). *)
   let snapshot = Fib_snapshot.create () in
   let sink tr op =
     (match tel_instruments with
-    | Some (tel, fib_ops, _) when !tel_armed ->
+    | Some (tel, fib_ops, _) when !tel_armed && not !in_recovery ->
         Cfca_telemetry.Metrics.incr fib_ops;
         let dirty_before =
           (Fib_snapshot.stats snapshot).Fib_snapshot.invalidations
@@ -158,19 +165,64 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
     (fun (p, nh) -> Hashtbl.replace authoritative p nh)
     (Rib.to_seq rib);
   let wd = Watchdog.create ~config:watchdog () in
-  let recover ~violation =
-    (match telemetry with
-    | Some tel ->
-        Cfca_telemetry.Trace.emit tel.t_trace ~time:!tel_time
-          ~kind:"watchdog_recovery" violation
-    | None -> ());
+  (* Control-plane only — never touched per packet. The sorted order
+     makes checkpoint images (and thus their checksums) deterministic
+     for a given route set. *)
+  let authoritative_routes () =
+    Hashtbl.fold (fun p nh acc -> (p, nh) :: acc) authoritative []
+    |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
+  in
+  let journal_summary () =
+    let lthd_l1, lthd_l2 = Pipeline.lthd_occupancy pipeline in
+    {
+      Cfca_durability.Checkpoint.ck_fib_size = system.c_fib_size ();
+      ck_l1_resident = Pipeline.l1_size pipeline;
+      ck_l2_resident = Pipeline.l2_size pipeline;
+      ck_lthd_l1 = lthd_l1;
+      ck_lthd_l2 = lthd_l2;
+    }
+  in
+  let rebuild_from routes =
     (* scrub residency state out of the old tree before it is replaced:
        afterwards its handles may be dead (arena) or unreachable *)
     Pipeline.clear pipeline (system.c_tree ());
     Fib_snapshot.invalidate snapshot;
-    system.c_rebuild
-      (List.to_seq
-         (Hashtbl.fold (fun p nh acc -> (p, nh) :: acc) authoritative []))
+    in_recovery := true;
+    Fun.protect
+      ~finally:(fun () -> in_recovery := false)
+      (fun () -> system.c_rebuild (List.to_seq routes))
+  in
+  let recover ~violation ~tier =
+    let emit k detail =
+      match telemetry with
+      | Some tel ->
+          Cfca_telemetry.Trace.emit tel.t_trace ~time:!tel_time ~kind:k detail
+      | None -> ()
+    in
+    match tier with
+    | Watchdog.Rebuild_memory ->
+        emit "watchdog_recovery" violation;
+        rebuild_from (authoritative_routes ());
+        true
+    | Watchdog.Rebuild_journal -> (
+        match journal with
+        | None -> false
+        | Some store -> (
+            match Cfca_durability.Store.recover_live store with
+            | Error _ -> false
+            | Ok rc ->
+                emit "journal_recovery"
+                  (Printf.sprintf "%s: checkpoint %d + %d replayed" violation
+                     rc.Cfca_durability.Store.rc_checkpoint_seq
+                     (List.length rc.Cfca_durability.Store.rc_applied));
+                (* the in-memory set itself is suspect: re-derive it
+                   from the recovered durable state *)
+                Hashtbl.reset authoritative;
+                List.iter
+                  (fun (p, nh) -> Hashtbl.replace authoritative p nh)
+                  rc.Cfca_durability.Store.rc_routes;
+                rebuild_from rc.Cfca_durability.Store.rc_routes;
+                true))
   in
   let observe () =
     Watchdog.observe wd ~tree:system.c_tree ~pipeline ~recover
@@ -181,6 +233,13 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
   Tcam.reset_stats (Pipeline.l1_tcam pipeline);
   (* compile the initial generation so the first packets are fast *)
   Fib_snapshot.refresh snapshot (system.c_tree ());
+  (* Journaling arms only now: the bulk RIB installation is covered by
+     checkpoint 0, not by per-route journal records. *)
+  (match journal with
+  | Some store ->
+      Cfca_durability.Store.arm store ~routes:(authoritative_routes ())
+        ~summary:(journal_summary ())
+  | None -> ());
   let windows = ref [] in
   let prev = ref (Pipeline.stats pipeline) in
   let win_updates = ref 0 and win_updates_l1 = ref 0 in
@@ -308,6 +367,11 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
               (* total coverage is a system invariant *)
               assert false)
       | Trace.Update u ->
+          (* write-ahead: the record is durable before any state —
+             in-memory or tree — reflects the update *)
+          (match journal with
+          | Some store -> ignore (Cfca_durability.Store.append store u)
+          | None -> ());
           (match u.Bgp_update.action with
           | Bgp_update.Announce nh ->
               Hashtbl.replace authoritative u.Bgp_update.prefix nh
@@ -332,7 +396,19 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
             incr updates_l1;
             incr win_updates_l1
           end;
-          if l1_delta > !burst then burst := l1_delta);
+          if l1_delta > !burst then burst := l1_delta;
+          match journal with
+          | Some store when Cfca_durability.Store.checkpoint_due store ->
+              Cfca_durability.Store.checkpoint store
+                ~routes:(authoritative_routes ())
+                ~summary:(journal_summary ());
+              (match telemetry with
+              | Some tel ->
+                  Cfca_telemetry.Trace.emit tel.t_trace ~time:!tel_time
+                    ~kind:"journal_checkpoint"
+                    (string_of_int (Cfca_durability.Store.seq store))
+              | None -> ())
+          | _ -> ());
       (match telemetry with
       | Some tel -> Cfca_telemetry.Timeseries.tick tel.t_series
       | None -> ());
@@ -358,18 +434,22 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
     r_tcam = Tcam.stats (Pipeline.l1_tcam pipeline);
     r_lookup = system.c_lookup;
     r_recoveries = Watchdog.recoveries wd;
+    r_memory_rebuilds = Watchdog.memory_rebuilds wd;
+    r_journal_rebuilds = Watchdog.journal_rebuilds wd;
     r_watchdog_checks = Watchdog.checks wd;
+    r_journal = Option.map Cfca_durability.Store.stats journal;
     r_ingest = [];
     r_fastpath = Fib_snapshot.stats snapshot;
     r_arena_live = Bintrie.live_slots (system.c_tree ());
     r_arena_free = Bintrie.free_slots (system.c_tree ());
   }
 
-let run ?window ?seed ?watchdog ?telemetry kind cfg ~default_nh rib spec =
-  run_events ?window ?seed ?watchdog ?telemetry kind cfg ~default_nh rib
-    (fun f -> Trace.iter spec rib f)
+let run ?window ?seed ?watchdog ?telemetry ?journal kind cfg ~default_nh rib
+    spec =
+  run_events ?window ?seed ?watchdog ?telemetry ?journal kind cfg ~default_nh
+    rib (fun f -> Trace.iter spec rib f)
 
-let run_capture ?window ?seed ?watchdog ?telemetry ?policy kind cfg
+let run_capture ?window ?seed ?watchdog ?telemetry ?journal ?policy kind cfg
     ~default_nh rib ~pcap ~updates =
   let fail e = Error (pcap ^ ": " ^ Errors.to_string e) in
   match Cfca_pcap.Pcap.count_file ?policy pcap with
@@ -380,8 +460,8 @@ let run_capture ?window ?seed ?watchdog ?telemetry ?policy kind cfg
       let ingest = ref [] in
       try
         let result =
-          run_events ?window ?seed ?watchdog ?telemetry kind cfg ~default_nh
-            rib (fun f ->
+          run_events ?window ?seed ?watchdog ?telemetry ?journal kind cfg
+            ~default_nh rib (fun f ->
               let i = ref 0 in
               let next_update = ref 0 in
               let last_time = ref 0.0 in

@@ -81,7 +81,15 @@ type run_result = {
   r_tcam : Tcam.stats;
   r_lookup : Ipv4.t -> Nexthop.t;  (** forwarding function after the run (verification) *)
   r_recoveries : int;  (** watchdog-driven full-reset recoveries *)
+  r_memory_rebuilds : int;
+      (** recoveries settled from the in-memory authoritative set *)
+  r_journal_rebuilds : int;
+      (** recoveries that escalated to checkpoint + journal replay *)
   r_watchdog_checks : int;  (** periodic invariant sweeps run *)
+  r_journal : Cfca_durability.Store.stats option;
+      (** write-ahead journal accounting when a store was attached:
+          records appended, checkpoints written, live recoveries
+          served and records replayed by them *)
   r_ingest : (string * Errors.report) list;
       (** per-input-stream decode accounting (capture replays) *)
   r_fastpath : Fib_snapshot.stats;
@@ -98,6 +106,7 @@ val run :
   ?seed:int ->
   ?watchdog:Watchdog.config ->
   ?telemetry:telemetry ->
+  ?journal:Cfca_durability.Store.t ->
   kind ->
   Config.t ->
   default_nh:Nexthop.t ->
@@ -115,6 +124,17 @@ val run :
     then continues the replay. The watchdog uses its own PRNG, so
     counters are identical with or without it on healthy runs.
 
+    [journal], when given, attaches a durability store: it is armed
+    after the initial RIB load (checkpoint 0 is the loaded RIB), every
+    BGP update is journaled {e before} it is applied anywhere, and
+    checkpoints follow the store's cadence. It also arms the
+    watchdog's second recovery tier ({!Watchdog.Rebuild_journal}):
+    when a rebuild from the in-memory set does not produce a clean
+    state, the authoritative set itself is re-derived from the latest
+    checkpoint plus journal replay. Journaling is control-plane only —
+    the per-packet path never touches it, and golden run counters are
+    unchanged with a journal attached.
+
     [telemetry], when given, is armed after the initial RIB load (bulk
     installation is not churn) and ticked once per event. Delta and
     ratio columns baseline at the post-load stats reset, so each
@@ -130,6 +150,7 @@ val run_events :
   ?seed:int ->
   ?watchdog:Watchdog.config ->
   ?telemetry:telemetry ->
+  ?journal:Cfca_durability.Store.t ->
   ?on_mark:(string -> access -> unit) ->
   kind ->
   Config.t ->
@@ -152,6 +173,7 @@ val run_capture :
   ?seed:int ->
   ?watchdog:Watchdog.config ->
   ?telemetry:telemetry ->
+  ?journal:Cfca_durability.Store.t ->
   ?policy:Errors.policy ->
   kind ->
   Config.t ->

@@ -83,8 +83,20 @@ let print_update_series series =
 
 let print_resilience (r : Engine.run_result) =
   let open Cfca_resilience in
-  Printf.printf "  watchdog: %d checks, %d recoveries\n"
-    r.Engine.r_watchdog_checks r.Engine.r_recoveries;
+  Printf.printf
+    "  watchdog: %d checks, %d recoveries (%d memory, %d journal)\n"
+    r.Engine.r_watchdog_checks r.Engine.r_recoveries
+    r.Engine.r_memory_rebuilds r.Engine.r_journal_rebuilds;
+  (match r.Engine.r_journal with
+  | Some js ->
+      Printf.printf
+        "  journal: %d records, %d checkpoints, %d live recoveries, %d \
+         replayed\n"
+        js.Cfca_durability.Store.st_appended
+        js.Cfca_durability.Store.st_checkpoints
+        js.Cfca_durability.Store.st_recoveries
+        js.Cfca_durability.Store.st_replayed
+  | None -> ());
   List.iter
     (fun (stream, rep) ->
       Printf.printf "  ingest %s: %s\n" stream (Errors.summary rep);

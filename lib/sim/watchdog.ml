@@ -6,9 +6,16 @@ type config = { interval : int; samples : int; seed : int }
 
 let default_config = { interval = 100_000; samples = 32; seed = 0x57a7 }
 
+type tier = Rebuild_memory | Rebuild_journal
+
+let tier_to_string = function
+  | Rebuild_memory -> "memory"
+  | Rebuild_journal -> "journal"
+
 type snapshot = {
   s_event : int;
   s_violation : string;
+  s_tier : tier;
   s_l1_size : int;
   s_l2_size : int;
   s_fib_size : int;
@@ -20,6 +27,8 @@ type t = {
   mutable events : int;
   mutable checks : int;
   mutable recoveries : int;
+  mutable memory_rebuilds : int;
+  mutable journal_rebuilds : int;
   mutable snapshots : snapshot list; (* newest first *)
 }
 
@@ -31,6 +40,8 @@ let create ?(config = default_config) () =
     events = 0;
     checks = 0;
     recoveries = 0;
+    memory_rebuilds = 0;
+    journal_rebuilds = 0;
     snapshots = [];
   }
 
@@ -38,12 +49,17 @@ let checks t = t.checks
 
 let recoveries t = t.recoveries
 
+let memory_rebuilds t = t.memory_rebuilds
+
+let journal_rebuilds t = t.journal_rebuilds
+
 let snapshots t = List.rev t.snapshots
 
-let snap t tree pipeline violation =
+let snap t tree pipeline violation tier =
   {
     s_event = t.events;
     s_violation = violation;
+    s_tier = tier;
     s_l1_size = Pipeline.l1_size pipeline;
     s_l2_size = Pipeline.l2_size pipeline;
     s_fib_size = Bintrie.in_fib_count tree;
@@ -58,20 +74,45 @@ let check_now t ~tree ~pipeline ~recover =
   with
   | Ok () -> false
   | Error violation ->
-      t.snapshots <- snap t (tree ()) pipeline violation :: t.snapshots;
-      recover ~violation;
+      (* Escalate through the tiers until one leaves a provably clean
+         state. A tier can decline ([recover] returns false — e.g. no
+         journal attached) or fail its re-check; either way the next
+         tier runs. Running out of tiers voids the run. *)
+      let attempt tier =
+        if not (recover ~violation ~tier) then `Unavailable
+        else
+          match
+            Invariants.quick_check ~samples:t.cfg.samples ~rng:t.rng (tree ())
+              pipeline
+          with
+          | Ok () -> `Clean
+          | Error still -> `Still still
+      in
+      let fail_void = function
+        | `Still still ->
+            failwith
+              (Printf.sprintf
+                 "Watchdog: state still corrupt after recovery: %s" still)
+        | _ ->
+            failwith
+              (Printf.sprintf
+                 "Watchdog: no recovery tier available for violation: %s"
+                 violation)
+      in
+      let tier =
+        match attempt Rebuild_memory with
+        | `Clean -> Rebuild_memory
+        | (`Unavailable | `Still _) as first -> (
+            match attempt Rebuild_journal with
+            | `Clean -> Rebuild_journal
+            | `Still _ as second -> fail_void second
+            | `Unavailable -> fail_void first)
+      in
+      (match tier with
+      | Rebuild_memory -> t.memory_rebuilds <- t.memory_rebuilds + 1
+      | Rebuild_journal -> t.journal_rebuilds <- t.journal_rebuilds + 1);
+      t.snapshots <- snap t (tree ()) pipeline violation tier :: t.snapshots;
       t.recoveries <- t.recoveries + 1;
-      (* the whole point of recovery is a provably clean state; a
-         rebuild that still violates the invariants is a hard bug *)
-      (match
-         Invariants.quick_check ~samples:t.cfg.samples ~rng:t.rng (tree ())
-           pipeline
-       with
-      | Ok () -> ()
-      | Error still ->
-          failwith
-            (Printf.sprintf "Watchdog: state still corrupt after recovery: %s"
-               still));
       true
 
 let observe t ~tree ~pipeline ~recover =

@@ -1,12 +1,24 @@
-(** Engine watchdog: periodic self-check and full-reset recovery.
+(** Engine watchdog: periodic self-check and tiered recovery.
 
     Every [interval] observed events the watchdog runs the cheap
     invariant subset ({!Cfca_check.Invariants.quick_check}) over the
     live tree/pipeline pair. On a violation it snapshots the offending
-    state, invokes the caller's [recover] closure (which is expected to
-    clear the data plane and rebuild the control plane from an
-    authoritative route set — see {!Cfca_dataplane.Pipeline.clear} and
-    {!Cfca_core.Route_manager.rebuild}), re-checks, and keeps going.
+    state and drives the caller's [recover] closure through escalating
+    tiers:
+
+    + {!Rebuild_memory} — clear the data plane and rebuild the control
+      plane from the in-memory authoritative route set (see
+      {!Cfca_dataplane.Pipeline.clear} and
+      {!Cfca_core.Route_manager.rebuild});
+    + {!Rebuild_journal} — the authoritative set itself is suspect:
+      recover it from the durability store (latest checkpoint + journal
+      replay, {!Cfca_durability.Store.recover_live}) and rebuild from
+      that.
+
+    [recover] returns [false] when a tier is unavailable (no journal
+    attached) — the watchdog then escalates. Each tier's result is
+    re-checked; only a provably clean state stops the escalation, and
+    running out of tiers raises [Failure] — the run is void.
 
     The watchdog draws sample addresses from its own PRNG so that
     enabling it never perturbs the pipeline's replacement decisions —
@@ -24,9 +36,16 @@ type config = {
 val default_config : config
 (** [{ interval = 100_000; samples = 32; seed = 0x57a7 }] *)
 
+type tier =
+  | Rebuild_memory  (** rebuild from the in-memory authoritative set *)
+  | Rebuild_journal  (** re-derive the set from checkpoint + journal *)
+
+val tier_to_string : tier -> string
+
 type snapshot = {
   s_event : int;  (** observed-event count when the violation fired *)
   s_violation : string;  (** the violated invariant, human-readable *)
+  s_tier : tier;  (** the tier that produced a clean state again *)
   s_l1_size : int;
   s_l2_size : int;
   s_fib_size : int;
@@ -42,29 +61,33 @@ val observe :
   t ->
   tree:(unit -> Bintrie.t) ->
   pipeline:Pipeline.t ->
-  recover:(violation:string -> unit) ->
+  recover:(violation:string -> tier:tier -> bool) ->
   unit
 (** Count one event; every [interval]-th call runs the check and, on a
-    violation, drives recovery. [tree] is a thunk because recovery
-    swaps the live tree out from under the engine — the post-recovery
-    re-check must observe the fresh one. *)
+    violation, drives tiered recovery. [tree] is a thunk because
+    recovery swaps the live tree out from under the engine — the
+    post-recovery re-check must observe the fresh one. *)
 
 val check_now :
   t ->
   tree:(unit -> Bintrie.t) ->
   pipeline:Pipeline.t ->
-  recover:(violation:string -> unit) ->
+  recover:(violation:string -> tier:tier -> bool) ->
   bool
 (** Run the check immediately regardless of the interval; [true] iff a
-    violation was found (and recovery run). After [recover] returns the
-    state is re-checked; a still-violating state raises [Failure] —
-    recovery must produce a provably clean state or the run is void. *)
+    violation was found (and recovery run). *)
 
 val checks : t -> int
 (** Invariant sweeps run so far. *)
 
 val recoveries : t -> int
 (** Violations detected (each one triggered a recovery). *)
+
+val memory_rebuilds : t -> int
+(** Recoveries settled by {!Rebuild_memory}. *)
+
+val journal_rebuilds : t -> int
+(** Recoveries that had to escalate to {!Rebuild_journal}. *)
 
 val snapshots : t -> snapshot list
 (** Detection-time snapshots, oldest first. *)

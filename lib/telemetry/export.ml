@@ -179,22 +179,12 @@ let json ~name ts (snap : Metrics.snapshot) tr =
 
 (* -- files ----------------------------------------------------------- *)
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    let parent = Filename.dirname dir in
-    if parent <> dir then mkdir_p parent;
-    try Sys.mkdir dir 0o755
-    with Sys_error _ when Sys.file_exists dir -> ()
-  end
-
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+(* tmp + rename: an interrupted export leaves the previous artifact (or
+   nothing), never a half-written CSV/JSON under the final name *)
+let write_file path contents = Cfca_wire.Atomic_file.write path contents
 
 let write ~dir ~name ts metrics tr =
-  mkdir_p dir;
+  Cfca_wire.Atomic_file.mkdir_p dir;
   let snap = Metrics.snapshot metrics in
   let files =
     [

@@ -58,4 +58,6 @@ val write :
   string list
 (** Write [<name>_series.csv], [<name>_histograms.csv],
     [<name>_trace.csv] and [<name>_telemetry.json] under [dir]
-    (created, with parents, if missing) and return the paths written. *)
+    (created, with parents, if missing) and return the paths written.
+    Each file goes through {!Cfca_wire.Atomic_file.write} (tmp +
+    rename), so an interrupted export never leaves a torn artifact. *)

@@ -1,0 +1,29 @@
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+(* The tmp file lives in the target's directory: [Sys.rename] is only
+   atomic within one filesystem. Concurrent writers of the same path
+   last-write-win, which rename keeps safe (each rename publishes one
+   complete version). *)
+let tmp_name path = path ^ ".tmp"
+
+let write_subst path f =
+  let tmp = tmp_name path in
+  let oc = open_out_bin tmp in
+  (try
+     f oc;
+     (* fsync point: full durability would fsync [oc] and the parent
+        directory here; flush-then-close covers process-kill crashes *)
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let write path contents =
+  write_subst path (fun oc -> output_string oc contents)

@@ -1,0 +1,30 @@
+(** Crash-safe file writing: tmp-file + rename.
+
+    Every artifact this project persists (telemetry exports, scenario
+    scores, baselines, durability checkpoints) goes through {!write}, so
+    an interrupt mid-write can never leave a half-written file under the
+    final name — readers see either the old contents or the new ones,
+    never a torn mixture. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and any missing parents ([0o755]); existing
+    directories are fine. *)
+
+val write : string -> string -> unit
+(** [write path contents] writes [contents] to [path ^ ".tmp"] (same
+    directory, so the rename cannot cross filesystems), closes it, and
+    renames it over [path].
+
+    The rename is atomic at the VFS layer; durability across power loss
+    would additionally need an [fsync] on the file and its directory
+    before the rename — OCaml's stdlib only exposes [flush]/[close],
+    which is the fsync point noted in the implementation. For the
+    crash classes this repo simulates (process kills, torn buffered
+    writes) close-then-rename is exact.
+
+    @raise Sys_error on I/O failure; the temporary file is removed on a
+    failed write. *)
+
+val write_subst : string -> (out_channel -> unit) -> unit
+(** Like {!write} but the caller streams into the channel — for
+    artifacts too large to build as one string. *)

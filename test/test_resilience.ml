@@ -177,7 +177,9 @@ let build_system () =
 let test_watchdog_interval () =
   let rm, pl = build_system () in
   let tree () = Route_manager.tree rm in
-  let recover ~violation = Alcotest.fail ("unexpected recovery: " ^ violation) in
+  let recover ~violation ~tier:_ =
+    Alcotest.fail ("unexpected recovery: " ^ violation)
+  in
   let wd =
     Watchdog.create ~config:{ Watchdog.interval = 5; samples = 8; seed = 1 } ()
   in
@@ -207,9 +209,11 @@ let test_watchdog_recovers () =
   if Bintrie.is_nil !victim then Alcotest.fail "empty L1"
   else Bintrie.Node.set_table (Route_manager.tree rm) !victim Bintrie.Dram;
   let tree () = Route_manager.tree rm in
-  let recover ~violation:_ =
+  let recover ~violation:_ ~tier =
+    check "first tier tried first" true (tier = Watchdog.Rebuild_memory);
     Pipeline.clear pl (tree ());
-    Route_manager.rebuild rm (List.to_seq paper_routes)
+    Route_manager.rebuild rm (List.to_seq paper_routes);
+    true
   in
   let wd =
     Watchdog.create
@@ -219,9 +223,14 @@ let test_watchdog_recovers () =
   let fired = Watchdog.check_now wd ~tree ~pipeline:pl ~recover in
   check "violation detected" true fired;
   check_int "one recovery" 1 (Watchdog.recoveries wd);
+  check_int "settled in memory tier" 1 (Watchdog.memory_rebuilds wd);
+  check_int "no journal escalation" 0 (Watchdog.journal_rebuilds wd);
   (match Watchdog.snapshots wd with
   | [ s ] ->
-      check "violation recorded" true (String.length s.Watchdog.s_violation > 0)
+      check "violation recorded" true
+        (String.length s.Watchdog.s_violation > 0);
+      check "memory tier recorded" true
+        (s.Watchdog.s_tier = Watchdog.Rebuild_memory)
   | _ -> Alcotest.fail "expected one snapshot");
   (* post-recovery: the full (not just quick) invariant suite is clean *)
   (match
@@ -245,9 +254,10 @@ let test_watchdog_recovers () =
 let test_watchdog_repeat_detection () =
   let rm, pl = build_system () in
   let tree () = Route_manager.tree rm in
-  let recover ~violation:_ =
+  let recover ~violation:_ ~tier:_ =
     Pipeline.clear pl (tree ());
-    Route_manager.rebuild rm (List.to_seq paper_routes)
+    Route_manager.rebuild rm (List.to_seq paper_routes);
+    true
   in
   let wd = Watchdog.create () in
   let corrupt () =
@@ -271,6 +281,51 @@ let test_watchdog_repeat_detection () =
   check_int "snapshots accumulate" 2 (List.length (Watchdog.snapshots wd));
   check "clean after second rebuild" false
     (Watchdog.check_now wd ~tree ~pipeline:pl ~recover)
+
+(* Tier escalation: a memory rebuild that does not produce a clean
+   state must escalate to the journal tier; if that tier is
+   unavailable too, the run is void (Failure). *)
+let test_watchdog_escalates () =
+  let rm, pl = build_system () in
+  let tree () = Route_manager.tree rm in
+  let victim = ref Bintrie.nil in
+  Pipeline.iter_l1 (fun n -> if Bintrie.is_nil !victim then victim := n) pl;
+  if Bintrie.is_nil !victim then Alcotest.fail "empty L1";
+  Bintrie.Node.set_table (Route_manager.tree rm) !victim Bintrie.Dram;
+  (* both tiers unavailable: the watchdog must refuse to continue (a
+     declined recovery changes nothing, so the corruption survives for
+     the escalation phase below) *)
+  let wd2 = Watchdog.create () in
+  (match
+     Watchdog.check_now wd2 ~tree ~pipeline:pl
+       ~recover:(fun ~violation:_ ~tier:_ -> false)
+   with
+  | _ -> Alcotest.fail "expected Failure when no tier is available"
+  | exception Failure _ -> ());
+  let memory_attempts = ref 0 in
+  let recover ~violation:_ ~tier =
+    match tier with
+    | Watchdog.Rebuild_memory ->
+        (* claims success but fixes nothing — models a corrupt
+           in-memory authoritative set *)
+        incr memory_attempts;
+        true
+    | Watchdog.Rebuild_journal ->
+        Pipeline.clear pl (tree ());
+        Route_manager.rebuild rm (List.to_seq paper_routes);
+        true
+  in
+  let wd = Watchdog.create () in
+  check "violation detected" true
+    (Watchdog.check_now wd ~tree ~pipeline:pl ~recover);
+  check_int "memory tier was tried" 1 !memory_attempts;
+  check_int "memory tier did not settle" 0 (Watchdog.memory_rebuilds wd);
+  check_int "journal tier settled" 1 (Watchdog.journal_rebuilds wd);
+  (match Watchdog.snapshots wd with
+  | [ s ] ->
+      check "journal tier recorded" true
+        (s.Watchdog.s_tier = Watchdog.Rebuild_journal)
+  | _ -> Alcotest.fail "expected one snapshot")
 
 let () =
   Alcotest.run "resilience"
@@ -297,5 +352,6 @@ let () =
             test_watchdog_recovers;
           Alcotest.test_case "repeat detection" `Quick
             test_watchdog_repeat_detection;
+          Alcotest.test_case "tier escalation" `Quick test_watchdog_escalates;
         ] );
     ]
