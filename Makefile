@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; see README.md.
 
 .PHONY: all build test doc fuzz bench quick-bench bench-smoke \
-	telemetry-smoke scenarios crash examples clean
+	telemetry-smoke scenarios crash mt mt-bench-smoke examples clean
 
 all: build
 
@@ -88,6 +88,31 @@ CRASH_SAMPLE ?= 1
 crash: build
 	dune exec bin/verify.exe -- crash --updates $(CRASH_UPDATES) \
 	  --sample $(CRASH_SAMPLE) --report CRASH_REPORT.json
+
+# Multicore lookup-plane stress gate (lib/mt): N reader domains
+# against a writer that republishes a compiled generation on EVERY
+# update, with per-epoch oracle audit of sampled answers, freed-
+# generation pin detection, exact sharded-counter reconciliation and
+# complete grace-period reclamation required. Exits non-zero on any
+# violation. Override e.g.: make mt MT_DOMAINS=8 MT_LOOKUPS=200000
+MT_DOMAINS ?= 4
+MT_LOOKUPS ?= 60000
+
+mt: build
+	dune exec bin/verify.exe -- mt --domains $(MT_DOMAINS) \
+	  --lookups $(MT_LOOKUPS)
+
+# Multicore lookup bench at smoke scale: aggregate Mlookups/sec and
+# scaling efficiency vs domain count against a live update-churn
+# writer, correctness-gated (per-epoch oracle divergences, freed-
+# generation pins, counter exactness) and recorded as
+# BENCH_mtlookup.json. The speedup gate stays opt-in (--min-speedup=)
+# so single-core runners report honest numbers without failing.
+MT_BENCH_DOMAINS ?= 1,2
+
+mt-bench-smoke: build
+	dune exec bench/main.exe -- --scale=0.05 --json \
+	  --domains=$(MT_BENCH_DOMAINS) mt-lookup
 
 examples: build
 	dune exec examples/quickstart.exe

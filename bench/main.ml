@@ -757,16 +757,142 @@ let update_target mult ~emit_json =
     exit 1
   end
 
+(* -- multicore lookup plane: epoch/RCU generations across N domains -- *)
+
+let mt_lookup_target mult ~emit_json ~domain_counts ~min_speedup =
+  section "Multicore lookup plane -- epoch/RCU generations across N domains";
+  let scale = scaled mult Experiments.standard_scale in
+  let rib =
+    Rib_gen.generate
+      {
+        Rib_gen.size = scale.Experiments.rib_size;
+        peers = scale.Experiments.peers;
+        locality = 0.90;
+        seed = scale.Experiments.seed;
+      }
+  in
+  let cores = Domain.recommended_domain_count () in
+  (* Fixed total work per configuration: the per-domain share shrinks
+     as domains grow, so speedup is wall-clock on identical aggregate
+     load. *)
+  let total_lookups =
+    max 100_000 (int_of_float (mult *. 4_000_000.))
+  in
+  let updates = max 64 scale.Experiments.updates in
+  Printf.printf
+    "table: %d routes, %d total lookups/config, %d updates of churn, %d \
+     cores available\n"
+    (Rib.size rib) total_lookups updates cores;
+  let run_one mode domains =
+    let cfg =
+      {
+        Cfca_sim.Mt_engine.default_config with
+        Cfca_sim.Mt_engine.domains;
+        lookups = total_lookups / domains;
+        updates;
+        publish_every = 16;
+        mode;
+        seed = scale.Experiments.seed;
+      }
+    in
+    let telemetry = Cfca_telemetry.Metrics.create () in
+    Cfca_sim.Mt_engine.run ~telemetry cfg rib
+  in
+  let audit_samples = ref 0 in
+  let audit_divergences = ref 0 in
+  let live_violations = ref 0 in
+  let counters_exact = ref true in
+  let rows = ref [] in
+  List.iter
+    (fun (mode, mode_name) ->
+      let base_rate = ref 0.0 in
+      List.iter
+        (fun domains ->
+          let r = run_one mode domains in
+          if domains = List.hd domain_counts then base_rate := r.Cfca_sim.Mt_engine.mt_rate;
+          audit_samples := !audit_samples + r.Cfca_sim.Mt_engine.mt_audit_samples;
+          audit_divergences :=
+            !audit_divergences + r.Cfca_sim.Mt_engine.mt_audit_divergences;
+          live_violations :=
+            !live_violations + r.Cfca_sim.Mt_engine.mt_live_violations;
+          if not r.Cfca_sim.Mt_engine.mt_counters_exact then
+            counters_exact := false;
+          let speedup =
+            if !base_rate > 0.0 then r.Cfca_sim.Mt_engine.mt_rate /. !base_rate
+            else 0.0
+          in
+          rows :=
+            {
+              Report.mt_r_domains = domains;
+              mt_r_mode = mode_name;
+              mt_r_mlookups = r.Cfca_sim.Mt_engine.mt_rate *. 1e-6;
+              mt_r_speedup = speedup;
+              mt_r_efficiency = speedup /. float_of_int domains;
+              mt_r_published = r.Cfca_sim.Mt_engine.mt_published;
+              mt_r_freed = r.Cfca_sim.Mt_engine.mt_freed;
+              mt_r_retired_peak = r.Cfca_sim.Mt_engine.mt_retired_peak;
+            }
+            :: !rows)
+        domain_counts)
+    [ (Cfca_sim.Mt_engine.Warm, "warm"); (Cfca_sim.Mt_engine.Cold, "cold") ];
+  let bench_result =
+    {
+      Report.mb_scale = mult;
+      mb_cores = cores;
+      mb_rib_size = Rib.size rib;
+      mb_rows = List.rev !rows;
+      mb_audit_samples = !audit_samples;
+      mb_audit_divergences = !audit_divergences;
+      mb_live_violations = !live_violations;
+      mb_counters_exact = !counters_exact;
+    }
+  in
+  Report.print_mt_bench bench_result;
+  if emit_json then begin
+    let oc = open_out "BENCH_mtlookup.json" in
+    output_string oc (Report.json_of_mt_bench bench_result);
+    close_out oc;
+    print_endline "wrote BENCH_mtlookup.json"
+  end;
+  (* Correctness gates are hard: any divergence from the per-epoch
+     oracle, any pin of a freed generation, or an inexact counter merge
+     fails the bench. The speedup gate is opt-in (--min-speedup=) so a
+     single-core CI runner reports honest numbers without failing. *)
+  if !audit_divergences > 0 || !live_violations > 0 || not !counters_exact
+  then begin
+    print_endline "mt-lookup bench: FAILED (correctness gate)";
+    exit 1
+  end;
+  (match min_speedup with
+  | None -> ()
+  | Some floor ->
+      let best_warm =
+        List.fold_left
+          (fun acc (r : Report.mt_row) ->
+            if r.Report.mt_r_mode = "warm" then max acc r.Report.mt_r_speedup
+            else acc)
+          0.0 bench_result.Report.mb_rows
+      in
+      if best_warm < floor then begin
+        Printf.printf "mt-lookup bench: FAILED (best warm speedup %.2fx < %.2fx)\n"
+          best_warm floor;
+        exit 1
+      end)
+
 let usage () =
   print_endline
-    "targets: table2 table3 fig9 fig10a fig10b fig11 fig12 ablations v6 robustness micro lookup update all";
+    "targets: table2 table3 fig9 fig10a fig10b fig11 fig12 ablations v6 robustness micro lookup update mt-lookup all";
   print_endline
-    "options: --scale=<float> (default 1.0)  --json (write BENCH_lookup.json / BENCH_update.json)"
+    "options: --scale=<float> (default 1.0)  --json (write BENCH_lookup.json / BENCH_update.json / BENCH_mtlookup.json)";
+  print_endline
+    "         --domains=<n,n,...> (mt-lookup, default 1,2,4)  --min-speedup=<float> (mt-lookup warm gate, default off)"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let scale = ref 1.0 in
   let json = ref false in
+  let domain_counts = ref [ 1; 2; 4 ] in
+  let min_speedup = ref None in
   let targets =
     List.filter
       (fun a ->
@@ -776,6 +902,17 @@ let () =
         end
         else if a = "--json" then begin
           json := true;
+          false
+        end
+        else if String.length a > 10 && String.sub a 0 10 = "--domains=" then begin
+          domain_counts :=
+            String.sub a 10 (String.length a - 10)
+            |> String.split_on_char ',' |> List.map int_of_string;
+          false
+        end
+        else if String.length a > 14 && String.sub a 0 14 = "--min-speedup=" then begin
+          min_speedup :=
+            Some (float_of_string (String.sub a 14 (String.length a - 14)));
           false
         end
         else true)
@@ -793,6 +930,9 @@ let () =
     | "micro" -> micro ()
     | "lookup" -> lookup_target !scale ~emit_json:!json
     | "update" -> update_target !scale ~emit_json:!json
+    | "mt-lookup" ->
+        mt_lookup_target !scale ~emit_json:!json
+          ~domain_counts:!domain_counts ~min_speedup:!min_speedup
     | "ablations" -> ablations !scale
     | "v6" -> v6_bench !scale
     | "robustness" -> robustness !scale
@@ -809,7 +949,9 @@ let () =
         robustness !scale;
         micro ();
         lookup_target !scale ~emit_json:!json;
-        update_target !scale ~emit_json:!json
+        update_target !scale ~emit_json:!json;
+        mt_lookup_target !scale ~emit_json:!json
+          ~domain_counts:!domain_counts ~min_speedup:!min_speedup
     | other ->
         Printf.printf "unknown target %S\n" other;
         usage ();

@@ -832,6 +832,94 @@ let crash_cmd =
       const crash $ crash_routes_arg $ crash_updates_arg $ crash_seed_arg
       $ crash_ckpt_arg $ crash_sample_arg $ crash_report_arg)
 
+(* -- mt: multicore lookup-plane stress gate -------------------------- *)
+
+(* Worst case for the publication protocol, not the throughput case:
+   every single update republishes (publish_every=1), pins are short
+   (small batch) and the audit samples densely, so generations retire
+   as fast as the grace period allows while every domain is answering
+   from them. *)
+
+let mt_domains_arg =
+  let doc = "Reader domains to spawn." in
+  Arg.(value & opt int 4 & info [ "domains" ] ~docv:"D" ~doc)
+
+let mt_routes_arg =
+  let doc = "Initial RIB size." in
+  Arg.(value & opt int 1_500 & info [ "routes" ] ~docv:"R" ~doc)
+
+let mt_lookups_arg =
+  let doc = "Lookups per domain." in
+  Arg.(value & opt int 60_000 & info [ "lookups" ] ~docv:"N" ~doc)
+
+let mt_updates_arg =
+  let doc = "BGP churn budget (every update republishes a generation)." in
+  Arg.(value & opt int 400 & info [ "updates" ] ~docv:"U" ~doc)
+
+let mt_seed_arg =
+  let doc = "Workload seed." in
+  Arg.(value & opt int 0x3A7 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let mt domains routes lookups updates seed =
+  let module M = Cfca_sim.Mt_engine in
+  let rib =
+    Cfca_rib.Rib_gen.generate
+      { Cfca_rib.Rib_gen.size = routes; peers = 8; locality = 0.90; seed }
+  in
+  let telemetry = Cfca_telemetry.Metrics.create () in
+  let cfg =
+    {
+      M.domains;
+      lookups;
+      batch = 32;
+      updates;
+      publish_every = 1;
+      mode = M.Warm;
+      seed;
+      sample_every = 17;
+    }
+  in
+  let r = M.run ~telemetry cfg rib in
+  Printf.printf
+    "mt stress: %d domains x %d lookups, %d updates applied, %d generations \
+     published (%d freed, retired backlog peak %d)\n"
+    domains lookups r.M.mt_updates_applied r.M.mt_published r.M.mt_freed
+    r.M.mt_retired_peak;
+  Printf.printf "audit: %d samples, %d divergences, %d live violations\n"
+    r.M.mt_audit_samples r.M.mt_audit_divergences r.M.mt_live_violations;
+  let reclaimed = r.M.mt_freed = r.M.mt_published - 1 in
+  Printf.printf "counters: %s; reclamation: %s\n"
+    (if r.M.mt_counters_exact then "exact" else "INEXACT")
+    (if reclaimed then "complete (all non-current generations freed)"
+     else "INCOMPLETE");
+  let epochs_span =
+    Array.for_all
+      (fun d -> d.M.d_min_epoch >= 0 && d.M.d_max_epoch <= r.M.mt_published - 1)
+      r.M.mt_domains
+  in
+  if not epochs_span then
+    print_endline "FAILED: a domain answered from an out-of-range epoch";
+  let ok =
+    r.M.mt_audit_divergences = 0
+    && r.M.mt_live_violations = 0
+    && r.M.mt_counters_exact && reclaimed && epochs_span
+    && r.M.mt_audit_samples > 0
+  in
+  print_endline (if ok then "mt stress gate: PASS" else "mt stress gate: FAIL");
+  exit (if ok then 0 else 1)
+
+let mt_cmd =
+  let doc =
+    "hammer the multicore lookup plane: N reader domains against a writer \
+     republishing on every update, with per-epoch oracle audit of sampled \
+     answers, freed-generation pin detection, exact sharded-counter \
+     reconciliation and complete grace-period reclamation required"
+  in
+  Cmd.v (Cmd.info "mt" ~doc)
+    Term.(
+      const mt $ mt_domains_arg $ mt_routes_arg $ mt_lookups_arg
+      $ mt_updates_arg $ mt_seed_arg)
+
 let () =
   let doc =
     "CFCA correctness tooling: equivalence, fuzzing, replay, fault injection"
@@ -848,4 +936,5 @@ let () =
             inject_cmd;
             scenarios_cmd;
             crash_cmd;
+            mt_cmd;
           ]))

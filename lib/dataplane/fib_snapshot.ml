@@ -9,8 +9,25 @@ type stats = {
   fallbacks : int;
 }
 
+(* Per-domain hit accounting: one padded cell per lookup domain, so
+   concurrent readers of a clean snapshot never contend on a shared
+   counter cache line. The pad fields spread adjacent cells across
+   lines (a cell is 8 words + header). Only the cells are per-domain —
+   the dirty/rebuild machinery below stays single-writer. *)
+type cell = {
+  mutable c_fast_hits : int;
+  mutable c_fallbacks : int;
+  mutable c_pad2 : int;
+  mutable c_pad3 : int;
+  mutable c_pad4 : int;
+  mutable c_pad5 : int;
+  mutable c_pad6 : int;
+  mutable c_pad7 : int;
+}
+
 type t = {
   rebuild_after : int;
+  cells : cell array;  (* one per domain *)
   mutable nodes : Bintrie.node array;  (* payload i of [flat] -> node *)
   mutable flat : Flat_lpm.t;
   mutable dirty : bool;
@@ -18,14 +35,26 @@ type t = {
   mutable epoch : int;
   mutable rebuilds : int;
   mutable invalidations : int;
-  mutable fast_hits : int;
-  mutable fallbacks : int;
 }
 
-let create ?(rebuild_after = 64) () =
+let fresh_cell () =
+  {
+    c_fast_hits = 0;
+    c_fallbacks = 0;
+    c_pad2 = 0;
+    c_pad3 = 0;
+    c_pad4 = 0;
+    c_pad5 = 0;
+    c_pad6 = 0;
+    c_pad7 = 0;
+  }
+
+let create ?(rebuild_after = 64) ?(domains = 1) () =
   if rebuild_after < 0 then invalid_arg "Fib_snapshot.create: rebuild_after";
+  if domains < 1 then invalid_arg "Fib_snapshot.create: domains < 1";
   {
     rebuild_after;
+    cells = Array.init domains (fun _ -> fresh_cell ());
     nodes = [||];
     flat = Flat_lpm.build [];
     dirty = true;
@@ -33,9 +62,9 @@ let create ?(rebuild_after = 64) () =
     epoch = 0;
     rebuilds = 0;
     invalidations = 0;
-    fast_hits = 0;
-    fallbacks = 0;
   }
+
+let domains t = Array.length t.cells
 
 let invalidate t =
   if not t.dirty then begin
@@ -70,6 +99,16 @@ let refresh t tree =
   t.dirty_lookups <- 0;
   t.epoch <- t.epoch + 1
 
+let cover tree =
+  let acc = ref [] in
+  Bintrie.iter_in_fib
+    (fun node ->
+      acc :=
+        (Bintrie.Node.prefix tree node, Bintrie.Node.installed_nh tree node)
+        :: !acc)
+    tree;
+  List.rev !acc
+
 (* The authoritative walk, equivalent to [Bintrie.lookup_in_fib] but
    raising on a coverage lapse instead of returning a sentinel. *)
 let rec walk_in_fib tree node addr =
@@ -81,7 +120,8 @@ let rec walk_in_fib tree node addr =
       in
       if Bintrie.is_nil c then raise Not_found else walk_in_fib tree c addr
 
-let lookup t tree addr =
+let lookup_domain t ~domain tree addr =
+  let cell = t.cells.(domain) in
   if t.dirty then begin
     t.dirty_lookups <- t.dirty_lookups + 1;
     if t.dirty_lookups > t.rebuild_after then begin
@@ -90,27 +130,35 @@ let lookup t tree addr =
     end
   end;
   if t.dirty then begin
-    t.fallbacks <- t.fallbacks + 1;
+    cell.c_fallbacks <- cell.c_fallbacks + 1;
     walk_in_fib tree (Bintrie.root tree) addr
   end
   else
     let r = Flat_lpm.lookup t.flat addr in
     if r >= 0 then begin
-      t.fast_hits <- t.fast_hits + 1;
+      cell.c_fast_hits <- cell.c_fast_hits + 1;
       Array.unsafe_get t.nodes (r lsr 6)
     end
     else begin
       (* no IN_FIB coverage compiled for this address: defer to the
          authoritative tree (it will raise if coverage truly lapsed) *)
-      t.fallbacks <- t.fallbacks + 1;
+      cell.c_fallbacks <- cell.c_fallbacks + 1;
       walk_in_fib tree (Bintrie.root tree) addr
     end
 
+let lookup t tree addr = lookup_domain t ~domain:0 tree addr
+
 let stats t =
+  let fast_hits = ref 0 and fallbacks = ref 0 in
+  Array.iter
+    (fun c ->
+      fast_hits := !fast_hits + c.c_fast_hits;
+      fallbacks := !fallbacks + c.c_fallbacks)
+    t.cells;
   {
     epoch = t.epoch;
     rebuilds = t.rebuilds;
     invalidations = t.invalidations;
-    fast_hits = t.fast_hits;
-    fallbacks = t.fallbacks;
+    fast_hits = !fast_hits;
+    fallbacks = !fallbacks;
   }

@@ -37,11 +37,17 @@ type stats = {
   fallbacks : int;  (** Lookups that walked the authoritative tree. *)
 }
 
-val create : ?rebuild_after:int -> unit -> t
+val create : ?rebuild_after:int -> ?domains:int -> unit -> t
 (** A snapshot in the dirty state (no generation compiled yet).
     [rebuild_after] (default 64) is the number of dirty lookups
     tolerated before recompiling; it trades walk cost against rebuild
-    churn under update bursts. *)
+    churn under update bursts. [domains] (default 1) sizes the
+    per-domain hit-accounting cells: each lookup domain increments its
+    own padded cell, and {!stats} merges them on read-out, so the
+    counts stay exact without shared-counter contention when several
+    domains read a clean snapshot. *)
+
+val domains : t -> int
 
 val invalidate : t -> unit
 (** Mark the compiled generation stale. O(1); idempotent within a
@@ -55,8 +61,27 @@ val lookup : t -> Bintrie.t -> Ipv4.t -> Bintrie.node
 (** The IN_FIB node covering the address. Uses the compiled structure
     when clean; walks [tree] when dirty (recompiling first once the
     dirty-lookup budget is spent). Allocation-free on the compiled
-    path.
+    path. Equivalent to {!lookup_domain} with domain 0.
     @raise Not_found if no IN_FIB node covers the address (cannot
     happen once initial aggregation has installed default coverage). *)
 
+val lookup_domain : t -> domain:int -> Bintrie.t -> Ipv4.t -> Bintrie.node
+(** {!lookup} charging the hit/fallback accounting to [domain]'s cell.
+    Concurrent use from several domains is only contention-free (and
+    only sound) on the {e clean} path: the dirty fallback and the lazy
+    rebuild mutate shared state and walk the mutable tree, so
+    multi-domain deployments publish immutable compiled generations
+    instead (see [Cfca_mt.Plane]) and keep this snapshot
+    single-writer. *)
+
+val cover : Bintrie.t -> (Prefix.t * Nexthop.t) list
+(** The tree's current forwarding cover: every IN_FIB node's prefix
+    with its installed next-hop, in DFS order. This is the publication
+    API of the multicore lookup plane — the writer compiles this list
+    into an immutable generation ([Cfca_mt.Plane.publish]) after each
+    update burst. The result is non-overlapping by the IN_FIB cover
+    invariant. *)
+
 val stats : t -> stats
+(** Cumulative counters; [fast_hits]/[fallbacks] are the sum of every
+    domain's cell, merged at read-out. *)

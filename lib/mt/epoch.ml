@@ -1,0 +1,89 @@
+(* Epoch-based reclamation: see the .mli for the protocol and its
+   memory-model argument. The only subtlety below is the slot layout —
+   each reader's [int Atomic.t] is allocated between cache-line-sized
+   filler blocks that stay referenced from the hub, so the atomics are
+   not packed next to each other by the allocator (best-effort: the GC
+   may still move blocks, but freshly allocated neighbours are what
+   actually ends up sharing lines in steady state). *)
+
+let idle = max_int
+
+type 'a t = {
+  current : (int * 'a) Atomic.t;
+  slots : int Atomic.t array;
+  pads : int array array;  (* keeps the spacing blocks alive *)
+  mutable retired_list : (int * 'a) list;  (* newest first; writer-only *)
+  mutable freed_count : int;
+}
+
+type 'a reader = { hub : 'a t; slot : int Atomic.t }
+
+let line_words = 8
+
+let create ~readers v =
+  if readers < 1 then invalid_arg "Epoch.create: readers < 1";
+  let pads = Array.make (readers + 1) [||] in
+  pads.(0) <- Array.make line_words 0;
+  let slots =
+    Array.init readers (fun i ->
+        let s = Atomic.make idle in
+        pads.(i + 1) <- Array.make line_words 0;
+        s)
+  in
+  {
+    current = Atomic.make (0, v);
+    slots;
+    pads;
+    retired_list = [];
+    freed_count = 0;
+  }
+
+let reader t i =
+  if i < 0 || i >= Array.length t.slots then
+    invalid_arg "Epoch.reader: slot out of range";
+  { hub = t; slot = t.slots.(i) }
+
+let rec pin r =
+  let c = Atomic.get r.hub.current in
+  Atomic.set r.slot (fst c);
+  (* validate: if the epoch moved while we advertised, the writer may
+     already have scanned past us — never use the stale value *)
+  let c' = Atomic.get r.hub.current in
+  if fst c' = fst c then c else pin r
+
+let unpin r = Atomic.set r.slot idle
+
+let pinned r = Atomic.get r.slot
+
+let publish t v =
+  let (e, _) as old = Atomic.get t.current in
+  t.retired_list <- old :: t.retired_list;
+  Atomic.set t.current (e + 1, v);
+  e + 1
+
+let collect t =
+  let min_pinned =
+    Array.fold_left
+      (fun m s ->
+        let e = Atomic.get s in
+        if e < m then e else m)
+      idle t.slots
+  in
+  (* a generation at epoch e is freeable iff e < min advertised epoch:
+     any reader still using it would be advertising exactly e *)
+  let keep, drop =
+    List.partition (fun (e, _) -> e >= min_pinned) t.retired_list
+  in
+  t.retired_list <- keep;
+  t.freed_count <- t.freed_count + List.length drop;
+  List.map snd drop
+
+let epoch t = fst (Atomic.get t.current)
+
+let current t = snd (Atomic.get t.current)
+
+let readers t = Array.length t.slots
+
+let retired t = List.length t.retired_list
+
+let freed t = t.freed_count

@@ -1,0 +1,105 @@
+(** Epoch-based publication of immutable values to concurrent readers
+    — the RCU-style handoff under the multicore lookup plane.
+
+    One {e writer} domain publishes a sequence of immutable
+    generations; [N] {e reader} domains consume whichever generation is
+    current when they {!pin}, without ever blocking and without ever
+    observing a torn value (the epoch and the generation travel in one
+    atomic cell). Old generations are {e retired} on publication and
+    {e freed} only after a grace period: once no reader slot still
+    advertises an epoch that old. In a GC'd runtime "freeing" means
+    dropping the hub's reference (so the arrays behind a compiled
+    generation become collectable) and reporting the value back to the
+    writer, which lets tests mark freed generations and assert
+    use-after-retire can not happen.
+
+    {2 Protocol}
+
+    - The hub holds [(epoch, value)] in a single [Atomic.t]; epochs
+      are consecutive integers starting at 0.
+    - Each reader owns one {e slot}, an [int Atomic.t] advertising the
+      epoch it is using, or {!idle}. Slots are allocated with
+      best-effort cache-line spacing so two domains' pins do not
+      false-share.
+    - {!pin} is the validation handshake: read the current pair,
+      advertise its epoch in the slot, then re-read the current pair.
+      If the epoch moved, retry — the advertised epoch was stale and
+      the value is never used. On success the reader holds a value
+      that can not be freed until it {!unpin}s (or re-pins a newer
+      epoch), because {!collect} only frees generations strictly older
+      than every advertised epoch.
+    - {!publish} (writer only) moves the old pair onto the retired
+      list and installs the new one. {!collect} (writer only) scans
+      the slots and frees every retired generation older than the
+      minimum advertised epoch.
+
+    {2 Memory model}
+
+    OCaml [Atomic] operations are sequentially consistent, which is
+    what makes the handshake sound: the slot store in {!pin} is
+    ordered before the validating re-read, so a writer that observes
+    an idle (or newer) slot after publishing knows the reader can not
+    go on to use the generation it just retired — the reader's
+    validation is bound to fail. No fences beyond [Atomic] are
+    needed; the values themselves must simply be immutable (or only
+    ever mutated by their owner after being freed). *)
+
+type 'a t
+(** A hub: one writer, a fixed set of reader slots. *)
+
+type 'a reader
+(** One reader's handle: its slot plus the hub. Use from exactly one
+    domain at a time. *)
+
+val idle : int
+(** The slot value meaning "not reading" ([max_int]). *)
+
+val create : readers:int -> 'a -> 'a t
+(** A hub whose current generation is the given value at epoch 0.
+    [readers] is the number of slots (≥ 1).
+    @raise Invalid_argument if [readers < 1]. *)
+
+val reader : 'a t -> int -> 'a reader
+(** The handle for slot [i].
+    @raise Invalid_argument if [i] is out of range. *)
+
+val pin : 'a reader -> int * 'a
+(** Advertise and return the current generation [(epoch, value)].
+    Lock-free and allocation-free (the returned pair is the hub's own
+    cell); loops only while the writer concurrently publishes.
+    Re-pinning without {!unpin} is fine — it simply moves the slot
+    forward, releasing the older epoch. *)
+
+val unpin : 'a reader -> unit
+(** Mark the slot {!idle}: the reader holds no generation. *)
+
+val pinned : 'a reader -> int
+(** The slot's currently advertised epoch ({!idle} when idle). *)
+
+(** {1 Writer side} *)
+
+val publish : 'a t -> 'a -> int
+(** Retire the current generation and install [v] as the next epoch;
+    returns the new epoch. Writer-only (not thread-safe against
+    itself). *)
+
+val collect : 'a t -> 'a list
+(** Free every retired generation past its grace period (strictly
+    older than the minimum epoch advertised by any slot) and return
+    the freed values, oldest last. Writer-only. *)
+
+val epoch : 'a t -> int
+(** Epoch of the current generation. *)
+
+val current : 'a t -> 'a
+(** The current generation (writer-side peek; readers use {!pin}). *)
+
+val readers : 'a t -> int
+
+val retired : 'a t -> int
+(** Retired generations still awaiting grace. *)
+
+val freed : 'a t -> int
+(** Generations freed by {!collect} over the hub's lifetime. At all
+    times [epoch t = freed t + retired t] (the current generation is
+    neither). *)

@@ -1,0 +1,125 @@
+open Cfca_prefix
+
+type gen = {
+  g_epoch : int;
+  g_flat : Cfca_trie.Flat_lpm.t;
+  g_routes : int;
+  g_default : int;
+  g_live : bool Atomic.t;
+}
+
+let c_pins = 0
+
+let c_lookups = 1
+
+let c_hits = 2
+
+let c_defaults = 3
+
+let counter_count = 4
+
+let counter_names = [| "mt_pins"; "mt_lookups"; "mt_fast_hits"; "mt_default_hits" |]
+
+let counter_name c =
+  if c < 0 || c >= counter_count then
+    invalid_arg "Plane.counter_name: counter out of range";
+  counter_names.(c)
+
+type t = {
+  hub : gen Epoch.t;
+  shard : Shard.t;
+  default_nh : int;
+  (* telemetry merge state: cumulative totals already folded into the
+     registry, per counter (writer-only) *)
+  mutable synced : int array;
+}
+
+let compile ~epoch ~default_nh routes =
+  let flat =
+    Cfca_trie.Flat_lpm.build
+      (List.map (fun (p, nh) -> (p, Nexthop.to_int nh)) routes)
+  in
+  {
+    g_epoch = epoch;
+    g_flat = flat;
+    g_routes = List.length routes;
+    g_default = default_nh;
+    g_live = Atomic.make true;
+  }
+
+let create ~readers ~default_nh routes =
+  if Nexthop.is_none default_nh then
+    invalid_arg "Plane.create: default next-hop must be real";
+  let default_nh = Nexthop.to_int default_nh in
+  {
+    hub = Epoch.create ~readers (compile ~epoch:0 ~default_nh routes);
+    shard = Shard.create ~domains:readers ~counters:counter_count;
+    default_nh;
+    synced = Array.make counter_count 0;
+  }
+
+let publish t routes =
+  let epoch = Epoch.epoch t.hub + 1 in
+  let e = Epoch.publish t.hub (compile ~epoch ~default_nh:t.default_nh routes) in
+  assert (e = epoch);
+  e
+
+let collect t =
+  let dropped = Epoch.collect t.hub in
+  List.iter (fun g -> Atomic.set g.g_live false) dropped;
+  List.length dropped
+
+let epoch t = Epoch.epoch t.hub
+
+let current t = Epoch.current t.hub
+
+let retired t = Epoch.retired t.hub
+
+let freed t = Epoch.freed t.hub
+
+let readers t = Epoch.readers t.hub
+
+let stats t = t.shard
+
+let sync_telemetry t metrics =
+  let totals = Shard.totals t.shard in
+  Array.iteri
+    (fun c total ->
+      (* clamp: a mid-run read of another domain's row may lag a value
+         this writer already folded in; counters must never regress *)
+      let delta = total - t.synced.(c) in
+      if delta > 0 then begin
+        Cfca_telemetry.Metrics.add
+          (Cfca_telemetry.Metrics.counter metrics counter_names.(c))
+          delta;
+        t.synced.(c) <- total
+      end)
+    totals
+
+module Reader = struct
+  type plane = t
+
+  type t = { er : gen Epoch.reader; row : Shard.row }
+
+  let make (plane : plane) i =
+    { er = Epoch.reader plane.hub i; row = Shard.row plane.shard i }
+
+  let pin r =
+    let _, g = Epoch.pin r.er in
+    Shard.bump r.row c_pins;
+    g
+
+  let unpin r = Epoch.unpin r.er
+
+  let lookup r g addr =
+    Shard.bump r.row c_lookups;
+    let v = Cfca_trie.Flat_lpm.find_value g.g_flat addr in
+    if v >= 0 then begin
+      Shard.bump r.row c_hits;
+      v
+    end
+    else begin
+      Shard.bump r.row c_defaults;
+      g.g_default
+    end
+end

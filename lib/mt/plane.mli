@@ -1,0 +1,118 @@
+(** The multicore lookup plane: immutable compiled forwarding
+    generations published through an {!Epoch} hub to [N] lookup
+    domains, with per-domain {!Shard}ed hit accounting.
+
+    The writer (the control-plane domain) compiles the current
+    non-overlapping forwarding cover — e.g.
+    [Cfca_dataplane.Fib_snapshot.cover] of the live trie — into a
+    {!Cfca_trie.Flat_lpm} whose payloads are next-hop integers, and
+    {!publish}es it. Reader domains {!Reader.pin} the current
+    generation once per batch and answer per-packet lookups with a
+    couple of flat array probes: no lock, no allocation, no shared
+    mutable state besides their own counter row. Old generations are
+    retired on publication and freed by {!collect} after the grace
+    period; a generation's [g_live] flag is cleared exactly when it is
+    freed, so tests (and paranoid readers) can assert that a pinned
+    generation is never a freed one.
+
+    Counter merge: the shard rows are merged on demand —
+    {!sync_telemetry} folds the delta since the previous sync into
+    named {!Cfca_telemetry.Metrics} counters on the writer side, so
+    shared telemetry sees aggregate [mt_*] counts without the readers
+    ever touching a shared cell. Mid-run syncs may observe slightly
+    stale rows (monotonic under-counts, clamped to never regress);
+    a final sync after the reader domains are joined is exact. *)
+
+open Cfca_prefix
+
+type gen = {
+  g_epoch : int;  (** Hub epoch this generation was published at. *)
+  g_flat : Cfca_trie.Flat_lpm.t;  (** Compiled cover; payload = next-hop. *)
+  g_routes : int;  (** Prefixes compiled in. *)
+  g_default : int;  (** Next-hop for addresses the cover misses. *)
+  g_live : bool Atomic.t;
+      (** [true] until the hub frees the generation; cleared by
+          {!collect}. A correctly pinned generation is always live. *)
+}
+
+type t
+
+(** Counter indices of the per-domain stats rows (see {!Shard}). *)
+
+val c_pins : int
+(** Generation pins (one per {!Reader.pin}). *)
+
+val c_lookups : int
+(** Total lookups answered. *)
+
+val c_hits : int
+(** Lookups answered by the compiled cover. *)
+
+val c_defaults : int
+(** Lookups that fell through to the default next-hop. *)
+
+val counter_count : int
+
+val counter_name : int -> string
+(** Telemetry name of a counter index ([mt_pins], [mt_lookups],
+    [mt_fast_hits], [mt_default_hits]). *)
+
+val create :
+  readers:int -> default_nh:Nexthop.t -> (Prefix.t * Nexthop.t) list -> t
+(** Compile the route list as generation 0 and set up [readers] slots
+    and stat rows.
+    @raise Invalid_argument if [readers < 1] or the default next-hop
+    is the sentinel. *)
+
+val publish : t -> (Prefix.t * Nexthop.t) list -> int
+(** Compile and install the next generation; the previous one is
+    retired. Returns the new epoch. Writer-only. *)
+
+val collect : t -> int
+(** Free retired generations past grace (clearing their [g_live]) and
+    return how many were freed. Writer-only. *)
+
+val epoch : t -> int
+
+val current : t -> gen
+(** Writer-side peek at the current generation. *)
+
+val retired : t -> int
+
+val freed : t -> int
+
+val readers : t -> int
+
+val stats : t -> Shard.t
+(** The shared per-domain counter rows (for merge/inspection). *)
+
+val sync_telemetry : t -> Cfca_telemetry.Metrics.t -> unit
+(** Fold the counter deltas since the last sync into counters named
+    {!counter_name} in the registry (registering them on first use).
+    Writer-only; call once more after joining the readers for exact
+    totals. *)
+
+module Reader : sig
+  type plane := t
+
+  type t
+  (** One domain's handle: epoch slot + stats row. Use from exactly
+      one domain. *)
+
+  val make : plane -> int -> t
+  (** Handle for slot/row [i].
+      @raise Invalid_argument if [i] is out of range. *)
+
+  val pin : t -> gen
+  (** Advertise and fetch the current generation (see {!Epoch.pin});
+      counts one {!c_pins}. Never blocks, never returns a freed or
+      torn generation. *)
+
+  val unpin : t -> unit
+
+  val lookup : t -> gen -> Ipv4.t -> int
+  (** The next-hop for one address from a pinned generation:
+      longest-prefix match over the compiled cover, or the
+      generation's default. Allocation-free; bumps this domain's
+      {!c_lookups} and {!c_hits}/{!c_defaults}. *)
+end

@@ -1,0 +1,66 @@
+(* Rows are [stride]-spaced slices of one flat int array. [stride] is
+   the counter count rounded up to a whole cache line plus one guard
+   line, and the first row starts one line in, so no two rows' cells
+   can share a 64-byte line regardless of where the array header
+   lands. *)
+
+let line_words = 8 (* 64-byte line / 8-byte word *)
+
+type t = {
+  data : int array;
+  stride : int;
+  n_domains : int;
+  n_counters : int;
+}
+
+type row = { r_data : int array; r_base : int; r_counters : int }
+
+let create ~domains ~counters =
+  if domains < 1 then invalid_arg "Shard.create: domains < 1";
+  if counters < 1 then invalid_arg "Shard.create: counters < 1";
+  let stride =
+    ((counters + line_words - 1) / line_words * line_words) + line_words
+  in
+  {
+    data = Array.make (line_words + (domains * stride)) 0;
+    stride;
+    n_domains = domains;
+    n_counters = counters;
+  }
+
+let domains t = t.n_domains
+
+let counters t = t.n_counters
+
+let row t d =
+  if d < 0 || d >= t.n_domains then invalid_arg "Shard.row: domain out of range";
+  { r_data = t.data; r_base = line_words + (d * t.stride); r_counters = t.n_counters }
+
+let bump r c =
+  if c < 0 || c >= r.r_counters then invalid_arg "Shard.bump: counter out of range";
+  let i = r.r_base + c in
+  Array.unsafe_set r.r_data i (Array.unsafe_get r.r_data i + 1)
+
+let bump_by r c n =
+  if c < 0 || c >= r.r_counters then
+    invalid_arg "Shard.bump_by: counter out of range";
+  if n < 0 then invalid_arg "Shard.bump_by: negative delta";
+  let i = r.r_base + c in
+  Array.unsafe_set r.r_data i (Array.unsafe_get r.r_data i + n)
+
+let get t ~domain ~counter =
+  if domain < 0 || domain >= t.n_domains then
+    invalid_arg "Shard.get: domain out of range";
+  if counter < 0 || counter >= t.n_counters then
+    invalid_arg "Shard.get: counter out of range";
+  t.data.(line_words + (domain * t.stride) + counter)
+
+let total t c =
+  if c < 0 || c >= t.n_counters then invalid_arg "Shard.total: counter out of range";
+  let sum = ref 0 in
+  for d = 0 to t.n_domains - 1 do
+    sum := !sum + t.data.(line_words + (d * t.stride) + c)
+  done;
+  !sum
+
+let totals t = Array.init t.n_counters (fun c -> total t c)

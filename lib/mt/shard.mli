@@ -1,0 +1,53 @@
+(** Per-domain sharded counters: one padded row of plain [int] cells
+    per domain, so the per-packet accounting of [N] lookup domains
+    never contends on a shared cache line and never needs an atomic
+    RMW on the hot path.
+
+    Each domain increments only its own row (single-writer cells: no
+    data race at all under the OCaml memory model), and rows are
+    padded out to cache-line multiples with a leading guard line, so
+    two domains' hot cells never share a line. The merge side
+    ({!total}/{!totals}) is read-only and may run concurrently with
+    the writers: mid-run reads are monotonic under-approximations of
+    each cell (plain reads may lag but never tear on immediates);
+    after the reader domains have been joined they are exact —
+    [Domain.join] establishes the happens-before that makes the final
+    merge equal to a sequential count. *)
+
+type t
+
+val create : domains:int -> counters:int -> t
+(** [domains] rows of [counters] cells, all zero.
+    @raise Invalid_argument unless both are ≥ 1. *)
+
+val domains : t -> int
+
+val counters : t -> int
+
+type row
+(** One domain's view: a pre-resolved base offset, so the hot path is
+    a bounds-check-free read-modify-write on the shared array (safe
+    because the offset was validated at {!row} time and counter
+    indices are checked against the row width). *)
+
+val row : t -> int -> row
+(** The row for domain [d].
+    @raise Invalid_argument if [d] is out of range. *)
+
+val bump : row -> int -> unit
+(** Add 1 to counter [c] of this row. One compare + unchecked array
+    update; allocation-free.
+    @raise Invalid_argument if [c] is out of range. *)
+
+val bump_by : row -> int -> int -> unit
+(** Add [n] (≥ 0) to counter [c] of this row.
+    @raise Invalid_argument if [c] is out of range or [n < 0]. *)
+
+val get : t -> domain:int -> counter:int -> int
+(** One cell (bounds-checked). *)
+
+val total : t -> int -> int
+(** Sum of counter [c] across all domains. *)
+
+val totals : t -> int array
+(** All counter sums, indexed by counter. *)

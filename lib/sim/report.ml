@@ -319,6 +319,80 @@ let print_update_bench b =
   Printf.printf "gate: %d FIB ops compared, %d divergences\n" b.ub_gate_ops
     b.ub_gate_divergences
 
+(* -- multicore lookup-plane bench ----------------------------------- *)
+
+type mt_row = {
+  mt_r_domains : int;
+  mt_r_mode : string;  (** ["warm"] or ["cold"] *)
+  mt_r_mlookups : float;
+  mt_r_speedup : float;
+  mt_r_efficiency : float;
+  mt_r_published : int;
+  mt_r_freed : int;
+  mt_r_retired_peak : int;
+}
+
+type mt_bench = {
+  mb_scale : float;
+  mb_cores : int;
+  mb_rib_size : int;
+  mb_rows : mt_row list;
+  mb_audit_samples : int;
+  mb_audit_divergences : int;
+  mb_live_violations : int;
+  mb_counters_exact : bool;
+}
+
+let json_of_mt_bench b =
+  let row r =
+    Printf.sprintf
+      "{\"domains\": %d, \"mode\": %s, \"mlookups_per_sec\": %s, \
+       \"speedup\": %s, \"efficiency\": %s, \"published\": %d, \
+       \"freed\": %d, \"retired_peak\": %d}"
+      r.mt_r_domains (json_string r.mt_r_mode)
+      (json_float r.mt_r_mlookups)
+      (json_float r.mt_r_speedup)
+      (json_float r.mt_r_efficiency)
+      r.mt_r_published r.mt_r_freed r.mt_r_retired_peak
+  in
+  String.concat ""
+    [
+      "{\n";
+      "  \"bench\": \"mt-lookup\",\n";
+      Printf.sprintf "  \"scale\": %s,\n" (json_float b.mb_scale);
+      Printf.sprintf "  \"cores\": %d,\n" b.mb_cores;
+      Printf.sprintf "  \"rib_size\": %d,\n" b.mb_rib_size;
+      "  \"results\": [\n    ";
+      String.concat ",\n    " (List.map row b.mb_rows);
+      "\n  ],\n";
+      Printf.sprintf
+        "  \"audit\": {\"samples\": %d, \"divergences\": %d, \
+         \"live_violations\": %d, \"counters_exact\": %b}\n"
+        b.mb_audit_samples b.mb_audit_divergences b.mb_live_violations
+        b.mb_counters_exact;
+      "}\n";
+    ]
+
+let print_mt_bench b =
+  Printf.printf
+    "multicore lookup-plane bench (scale %.2f, %d routes, %d cores \
+     available)\n"
+    b.mb_scale b.mb_rib_size b.mb_cores;
+  Printf.printf "%-8s %-5s %14s %9s %11s %10s %6s %13s\n" "domains" "mode"
+    "Mlookups/sec" "speedup" "efficiency" "published" "freed" "retired_peak";
+  hr 82;
+  List.iter
+    (fun r ->
+      Printf.printf "%-8d %-5s %14.2f %8.2fx %10.0f%% %10d %6d %13d\n"
+        r.mt_r_domains r.mt_r_mode r.mt_r_mlookups r.mt_r_speedup
+        (100. *. r.mt_r_efficiency)
+        r.mt_r_published r.mt_r_freed r.mt_r_retired_peak)
+    b.mb_rows;
+  Printf.printf
+    "audit: %d samples, %d divergences, %d live violations, counters %s\n"
+    b.mb_audit_samples b.mb_audit_divergences b.mb_live_violations
+    (if b.mb_counters_exact then "exact" else "INEXACT")
+
 (* -- telemetry series ----------------------------------------------- *)
 
 let print_telemetry_series ?(cols = [ "l1_hit_ratio"; "l2_hit_ratio";

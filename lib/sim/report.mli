@@ -95,3 +95,37 @@ val json_of_update_bench : update_bench -> string
     [gate.ops_compared]/[gate.divergences]. Always valid JSON. *)
 
 val print_update_bench : update_bench -> unit
+
+(** One measured configuration of the multicore lookup-plane bench. *)
+type mt_row = {
+  mt_r_domains : int;
+  mt_r_mode : string;  (** ["warm"] or ["cold"] *)
+  mt_r_mlookups : float;  (** aggregate Mlookups/sec across domains *)
+  mt_r_speedup : float;  (** vs the 1-domain run of the same mode *)
+  mt_r_efficiency : float;  (** speedup / domains *)
+  mt_r_published : int;
+  mt_r_freed : int;
+  mt_r_retired_peak : int;
+}
+
+type mt_bench = {
+  mb_scale : float;
+  mb_cores : int;  (** {!Domain.recommended_domain_count} on this host *)
+  mb_rib_size : int;
+  mb_rows : mt_row list;
+  mb_audit_samples : int;
+  mb_audit_divergences : int;
+      (** must be 0; the bench exits non-zero otherwise *)
+  mb_live_violations : int;  (** must be 0 *)
+  mb_counters_exact : bool;  (** must be [true] *)
+}
+
+val json_of_mt_bench : mt_bench -> string
+(** Stable machine-readable rendering ([BENCH_mtlookup.json]): keys
+    [bench], [scale], [cores], [rib_size], [results] (objects with
+    [domains], [mode], [mlookups_per_sec], [speedup], [efficiency],
+    [published], [freed], [retired_peak]) and [audit.samples]/
+    [audit.divergences]/[audit.live_violations]/[audit.counters_exact].
+    Always valid JSON. *)
+
+val print_mt_bench : mt_bench -> unit

@@ -354,17 +354,21 @@ module Make (P : Family.PREFIX) :
     go (root t)
 
   let fragment t p anchor_hint =
+    let len = P.length p in
     let anchor =
       if not (is_nil anchor_hint) then anchor_hint
       else begin
-        let len = P.length p in
-        let rec go n =
-          if is_leaf t n || Node.depth t n = len then n
+        (* One link load per step, like [descend_to_leaf]: a leaf's
+           selected child is [nil] (no [is_leaf] double probe) and a
+           node's depth equals the descent level (no flags load). *)
+        let rec go n depth =
+          if depth = len then n
           else
-            let c = child t n (P.bit p (Node.depth t n)) in
-            if c < 0 then n else go c
+            let s = n land slot_mask in
+            let c = if P.bit p depth then uget t.right s else uget t.left s in
+            if c < 0 then n else go c (depth + 1)
         in
-        go (root t)
+        go (root t) 0
       end
     in
     if not (is_leaf t anchor) then
@@ -374,16 +378,30 @@ module Make (P : Family.PREFIX) :
       || P.equal (Node.prefix t anchor) p
     then invalid_arg "Bintrie.fragment: prefix does not extend the anchor";
     let inherited = Node.original t anchor in
-    let len = P.length p in
-    let rec grow_path n created =
-      let right = P.bit p (Node.depth t n) in
-      let on_path = new_child t n right ~kind:Fake ~original:inherited in
-      let sibling = new_child t n (not right) ~kind:Fake ~original:inherited in
+    (* Load the parent prefix once per step and derive both child
+       prefixes before allocating ([alloc] may grow and swap the
+       arrays); creation order (on-path before sibling) matches the
+       record backend so slot assignment stays deterministic. *)
+    let rec grow_path n depth created =
+      let right = P.bit p depth in
+      let pp = uget t.prefix (n land slot_mask) in
+      let p_on = P.child pp right and p_sib = P.child pp (not right) in
+      let on_path = alloc t ~parent:n ~kind:Fake ~original:inherited p_on in
+      let sibling = alloc t ~parent:n ~kind:Fake ~original:inherited p_sib in
+      let s = n land slot_mask in
+      if right then begin
+        uset t.right s on_path;
+        uset t.left s sibling
+      end
+      else begin
+        uset t.left s on_path;
+        uset t.right s sibling
+      end;
       let created = sibling :: on_path :: created in
-      if Node.depth t on_path = len then (on_path, created)
-      else grow_path on_path created
+      if depth + 1 = len then (on_path, created)
+      else grow_path on_path (depth + 1) created
     in
-    let target, created_rev = grow_path anchor [] in
+    let target, created_rev = grow_path anchor (Node.depth t anchor) [] in
     (target, anchor, List.rev created_rev)
 
   let remove_children t n =
@@ -399,17 +417,24 @@ module Make (P : Family.PREFIX) :
     uset t.right s nil
 
   let removable t n =
-    is_leaf t n && Node.kind t n = Fake && Node.status t n = Non_fib
+    (* leaf + FAKE + NON_FIB in three unchecked loads: kind lives in
+       flags bit 0 (REAL = 1) and status in bit 1 (IN_FIB = 2), so
+       [flags land 3 = 0] is exactly FAKE and NON_FIB. *)
+    let s = n land slot_mask in
+    uget t.left s < 0 && uget t.right s < 0 && uget t.flags s land 3 = 0
 
   let compact_upward t n =
     let rec go n =
-      let parent = Node.parent t n in
+      let parent = uget t.parent (n land slot_mask) in
       if parent < 0 then n
       else
-        let l = child t parent false and r = child t parent true in
+        let ps = parent land slot_mask in
+        let l = uget t.left ps and r = uget t.right ps in
         if
           l >= 0 && r >= 0 && removable t l && removable t r
-          && Nexthop.equal (Node.original t l) (Node.original t r)
+          && Nexthop.equal
+               (uget t.original (l land slot_mask))
+               (uget t.original (r land slot_mask))
         then begin
           remove_children t parent;
           go parent

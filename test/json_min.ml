@@ -8,6 +8,7 @@ type json =
   | J_arr of json list
   | J_str of string
   | J_num of float
+  | J_bool of bool
 
 let parse_json src =
   let n = String.length src in
@@ -73,6 +74,16 @@ let parse_json src =
     | Some '{' -> obj ()
     | Some '[' -> arr ()
     | Some '"' -> J_str (str ())
+    | Some ('t' | 'f') ->
+        let lit w v =
+          if !pos + String.length w <= n && String.sub src !pos (String.length w) = w
+          then begin
+            pos := !pos + String.length w;
+            J_bool v
+          end
+          else fail "expected a boolean"
+        in
+        if src.[!pos] = 't' then lit "true" true else lit "false" false
     | Some _ -> J_num (num ())
     | None -> fail "unexpected end of input"
   and obj () =

@@ -443,6 +443,73 @@ let test_update_json_golden () =
   check "gate ops" true (field "ops_compared" gate = J_num 9_999.0);
   check "gate divergences" true (field "divergences" gate = J_num 0.0)
 
+let test_mt_json_golden () =
+  let row domains mode ml sp =
+    {
+      Report.mt_r_domains = domains;
+      mt_r_mode = mode;
+      mt_r_mlookups = ml;
+      mt_r_speedup = sp;
+      mt_r_efficiency = sp /. float_of_int domains;
+      mt_r_published = 26;
+      mt_r_freed = 25;
+      mt_r_retired_peak = 2;
+    }
+  in
+  let b =
+    {
+      Report.mb_scale = 0.05;
+      mb_cores = 4;
+      mb_rib_size = 3_000;
+      mb_rows =
+        [ row 1 "warm" 14.5 1.0; row 4 "warm" 43.5 3.0; row 4 "cold" nan 0.0 ];
+      mb_audit_samples = 3_184;
+      mb_audit_divergences = 0;
+      mb_live_violations = 0;
+      mb_counters_exact = true;
+    }
+  in
+  let j = parse_json (Report.json_of_mt_bench b) in
+  check "bench tag" true (field "bench" j = J_str "mt-lookup");
+  check "scale" true (field "scale" j = J_num 0.05);
+  check "cores" true (field "cores" j = J_num 4.0);
+  check "rib_size" true (field "rib_size" j = J_num 3_000.0);
+  (match field "results" j with
+  | J_arr rows ->
+      check_int "all rows present" 3 (List.length rows);
+      List.iter
+        (fun row ->
+          (match field "domains" row with
+          | J_num (1.0 | 4.0) -> ()
+          | _ -> Alcotest.fail "domains");
+          (match field "mode" row with
+          | J_str ("warm" | "cold") -> ()
+          | _ -> Alcotest.fail "mode");
+          (match field "mlookups_per_sec" row with
+          | J_num f -> check "finite rate" true (f = f)
+          | _ -> Alcotest.fail "mlookups_per_sec");
+          (match field "speedup" row with
+          | J_num _ -> ()
+          | _ -> Alcotest.fail "speedup");
+          (match field "efficiency" row with
+          | J_num _ -> ()
+          | _ -> Alcotest.fail "efficiency");
+          match (field "published" row, field "freed" row,
+                 field "retired_peak" row)
+          with
+          | J_num 26.0, J_num 25.0, J_num 2.0 -> ()
+          | _ -> Alcotest.fail "publication accounting")
+        rows;
+      (* the NaN rate was clamped to parseable JSON *)
+      check "nan clamped" true
+        (field "mlookups_per_sec" (List.nth rows 2) = J_num 0.0)
+  | _ -> Alcotest.fail "results must be an array");
+  let audit = field "audit" j in
+  check "audit samples" true (field "samples" audit = J_num 3_184.0);
+  check "audit divergences" true (field "divergences" audit = J_num 0.0);
+  check "live violations" true (field "live_violations" audit = J_num 0.0);
+  check "counters exact" true (field "counters_exact" audit = J_bool true)
+
 let test_run_capture_missing_file () =
   let workload = (Lazy.force results).Experiments.workload in
   let cfg = Experiments.config_for workload Experiments.cache_ratios.(0) in
@@ -475,6 +542,8 @@ let () =
             test_lookup_json_golden;
           Alcotest.test_case "update-bench JSON golden" `Quick
             test_update_json_golden;
+          Alcotest.test_case "mt-bench JSON golden" `Quick
+            test_mt_json_golden;
         ] );
       ( "experiments",
         [
