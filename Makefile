@@ -43,7 +43,10 @@ quick-bench: build
 # Lookup + update-churn microbenches at smoke scale; both are
 # correctness-gated (exit non-zero on any divergence — lookup against
 # the reference Lpm, update against the record-trie oracle's Fib_op
-# stream) and write BENCH_lookup.json / BENCH_update.json so CI can
+# stream, and the incremental patch path against a from-scratch
+# recompile plus the naive oracle, which must also demonstrably run:
+# zero patched bursts fails) and write BENCH_lookup.json /
+# BENCH_update.json (incl. the patch/incremental stats) so CI can
 # record the perf trajectory.
 bench-smoke: build
 	dune exec bench/main.exe -- --scale=0.05 --json lookup
@@ -106,7 +109,8 @@ mt: build
 # scaling efficiency vs domain count against a live update-churn
 # writer, correctness-gated (per-epoch oracle divergences, freed-
 # generation pins, counter exactness) and recorded as
-# BENCH_mtlookup.json. The speedup gate stays opt-in (--min-speedup=)
+# BENCH_mtlookup.json, including the patched-vs-full republish
+# latency split. The speedup gate stays opt-in (--min-speedup=)
 # so single-core runners report honest numbers without failing.
 MT_BENCH_DOMAINS ?= 1,2
 

@@ -715,6 +715,162 @@ let update_target mult ~emit_json =
               updates),
           fun () -> Rec_trie.approx_heap_words (Rec_pfca.tree t) ))
   in
+  (* -- incremental update path: burst coalescing + snapshot patching.
+        A bounded slice of the same churn replays in small bursts
+        through a CFCA instance backed by a compiled Fib_snapshot with
+        a forced /24 root stride (the churn is /24-heavy, so a narrower
+        stride would refuse almost every patch). Each burst is folded
+        to its net delta by the coalescer, applied, and the snapshot
+        refreshed eagerly — the patch path when the recorded delta
+        qualifies, a full recompile otherwise. The gate replay checks,
+        burst by burst, that the patched snapshot answers exactly like
+        a from-scratch recompile of the same tree (node identity) and
+        like the naive oracle (next-hop), probing the boundaries of
+        every touched prefix plus a background sample. The timed
+        replays then measure snapshot-maintenance throughput with
+        patching enabled vs disabled. -- *)
+  let inc_n = min n 256 in
+  let burst_size = 8 in
+  let inc_root_bits = 24 in
+  let replay_incremental ~patch_budget ~gate =
+    let rm = Cfca_core.Route_manager.create ~default_nh () in
+    Cfca_core.Route_manager.load rm (Rib.to_seq rib);
+    let snap =
+      Cfca_dataplane.Fib_snapshot.create ~patch_budget
+        ~root_bits:inc_root_bits ()
+    in
+    let touched = ref [] in
+    let dirtied = ref false in
+    let want_touched = Option.is_some gate in
+    Cfca_core.Route_manager.set_sink rm (fun tr op ->
+        match op with
+        | Cfca_core.Fib_op.Install (nd, _) | Cfca_core.Fib_op.Remove (nd, _) ->
+            let p = Cfca_trie.Bintrie.Node.prefix tr nd in
+            Cfca_dataplane.Fib_snapshot.invalidate_prefix snap p;
+            dirtied := true;
+            if want_touched then touched := p :: !touched
+        | Cfca_core.Fib_op.Update (nd, _, _) ->
+            (* pure next-hop rewrite: the compiled payloads are node
+               indices, so the snapshot needs no refresh — but the
+               answer the oracle sees moved, so probe the range *)
+            if want_touched then
+              touched := Cfca_trie.Bintrie.Node.prefix tr nd :: !touched);
+    let tree = Cfca_core.Route_manager.tree rm in
+    Cfca_dataplane.Fib_snapshot.refresh snap tree;
+    let co = Cfca_core.Coalesce.create ~expect:burst_size () in
+    let bursts = ref 0 in
+    let run () =
+      let i = ref 0 in
+      while !i < inc_n do
+        let stop = min inc_n (!i + burst_size) in
+        while !i < stop do
+          Cfca_core.Coalesce.add co updates.(!i);
+          incr i
+        done;
+        touched := [];
+        let net = Cfca_core.Coalesce.flush co in
+        List.iter (Cfca_core.Route_manager.apply rm) net;
+        if !dirtied then begin
+          Cfca_dataplane.Fib_snapshot.refresh snap tree;
+          dirtied := false
+        end;
+        incr bursts;
+        match gate with None -> () | Some f -> f net snap tree !touched
+      done
+    in
+    (run, snap, co, bursts)
+  in
+  let inc_checks = ref 0 in
+  let inc_divergences = ref 0 in
+  let inc_flag fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr inc_divergences;
+        if !inc_divergences <= 5 then Printf.printf "PATCH DIVERGENCE %s\n" s)
+      fmt
+  in
+  let oracle = Cfca_check.Oracle.create ~default_nh in
+  Cfca_check.Oracle.load oracle (List.of_seq (Rib.to_seq rib));
+  let inc_rng = Random.State.make [| scale.Experiments.seed; 0x9A7C |] in
+  let last_patches = ref 0 in
+  let gate_burst net snap tree touched =
+    List.iter (Cfca_check.Oracle.apply oracle) net;
+    let addrs =
+      List.concat_map
+        (fun p -> Cfca_check.Oracle.addresses_of p inc_rng)
+        touched
+      @ List.init 32 (fun _ -> Ipv4.random inc_rng)
+    in
+    (* when this burst took the patch path, the patched snapshot must
+       return the very node a from-scratch recompile of the same tree
+       returns (full-recompile bursts would compare a compile to
+       itself, so skip the redundant build) *)
+    let st = Cfca_dataplane.Fib_snapshot.stats snap in
+    let just_patched = st.Cfca_dataplane.Fib_snapshot.patches > !last_patches in
+    last_patches := st.Cfca_dataplane.Fib_snapshot.patches;
+    if just_patched then begin
+      let fresh =
+        Cfca_dataplane.Fib_snapshot.create ~patch_budget:0
+          ~root_bits:inc_root_bits ()
+      in
+      Cfca_dataplane.Fib_snapshot.refresh fresh tree;
+      List.iter
+        (fun a ->
+          incr inc_checks;
+          let np = Cfca_dataplane.Fib_snapshot.lookup snap tree a in
+          let nf = Cfca_dataplane.Fib_snapshot.lookup fresh tree a in
+          if not (Cfca_trie.Bintrie.Node.equal np nf) then
+            inc_flag "patched vs fresh snapshot node at %s" (Ipv4.to_string a))
+        addrs
+    end;
+    (* and forward like the naive route-table oracle *)
+    inc_checks := !inc_checks + List.length addrs;
+    match
+      Cfca_check.Oracle.equiv oracle
+        ~lookup:(fun a ->
+          Cfca_trie.Bintrie.Node.installed_nh tree
+            (Cfca_dataplane.Fib_snapshot.lookup snap tree a))
+        addrs
+    with
+    | Ok () -> ()
+    | Error e -> inc_flag "oracle: %s" e
+  in
+  let run_gate, gate_snap, gate_co, gate_bursts =
+    replay_incremental ~patch_budget:4096 ~gate:(Some gate_burst)
+  in
+  run_gate ();
+  let inc_stats = Cfca_dataplane.Fib_snapshot.stats gate_snap in
+  let inc_rate ~patch_budget =
+    let best = ref infinity in
+    for i = 0 to 2 do
+      let run, _, _, _ = replay_incremental ~patch_budget ~gate:None in
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      run ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if i > 0 && dt < !best then best := dt
+    done;
+    if !best <= 0.0 || !best = infinity then 0.0
+    else float_of_int inc_n /. !best
+  in
+  let up_ups_patched = inc_rate ~patch_budget:4096 in
+  let up_ups_full = inc_rate ~patch_budget:0 in
+  let patch_stats =
+    {
+      Report.up_bursts = !gate_bursts;
+      (* the eager initial compile precedes the first burst; subtract
+         it so patched + full account for the burst refreshes only *)
+      up_patched = inc_stats.Cfca_dataplane.Fib_snapshot.patches;
+      up_full = inc_stats.Cfca_dataplane.Fib_snapshot.full_rebuilds - 1;
+      up_cells = inc_stats.Cfca_dataplane.Fib_snapshot.patched_cells;
+      up_coalesced_seen = Cfca_core.Coalesce.seen gate_co;
+      up_coalesced_emitted = Cfca_core.Coalesce.emitted gate_co;
+      up_checks = !inc_checks;
+      up_divergences = !inc_divergences;
+      up_ups_patched;
+      up_ups_full;
+    }
+  in
   let ups dt = if dt <= 0.0 then 0.0 else float_of_int n /. dt in
   let row system backend dt words =
     {
@@ -743,6 +899,7 @@ let update_target mult ~emit_json =
       ub_speedup_pfca = ups pfca_arena_dt /. ups pfca_record_dt;
       ub_gate_ops = !ops_compared;
       ub_gate_divergences = !divergences;
+      ub_patch = patch_stats;
     }
   in
   Report.print_update_bench bench_result;
@@ -754,6 +911,21 @@ let update_target mult ~emit_json =
   end;
   if !divergences > 0 then begin
     print_endline "update bench: FAILED (backends diverge)";
+    exit 1
+  end;
+  if !inc_divergences > 0 then begin
+    print_endline "update bench: FAILED (patched snapshot diverges)";
+    exit 1
+  end;
+  if
+    patch_stats.Report.up_patched = 0
+    || patch_stats.Report.up_full >= patch_stats.Report.up_bursts
+  then begin
+    Printf.printf
+      "update bench: FAILED (patch path inert: %d patched, %d full over %d \
+       bursts)\n"
+      patch_stats.Report.up_patched patch_stats.Report.up_full
+      patch_stats.Report.up_bursts;
     exit 1
   end
 
@@ -835,6 +1007,98 @@ let mt_lookup_target mult ~emit_json ~domain_counts ~min_speedup =
             :: !rows)
         domain_counts)
     [ (Cfca_sim.Mt_engine.Warm, "warm"); (Cfca_sim.Mt_engine.Cold, "cold") ];
+  (* -- writer-side republish latency: patch a copy of the current
+        compiled generation vs compile the full cover from scratch.
+        The plane is pinned to a /24 root stride so the /24-heavy
+        churn patches in place; bursts whose delta carries longer
+        fresh more-specifics refuse the patch and fall back, so both
+        paths are measured on the same coalesced stream. Bursts whose
+        net delta is empty are skipped — the no-change republish is a
+        record allocation and would flatter the patched mean. -- *)
+  let republish =
+    let default_nh = Nexthop.of_int 33 in
+    let spec = Cfca_traffic.Trace.make ~packets:0 ~updates:[||] () in
+    let flow = Cfca_traffic.Trace.flow_gen spec rib in
+    let burst = 16 in
+    let bursts = 48 in
+    let churn =
+      Cfca_traffic.Update_gen.generate
+        {
+          Cfca_traffic.Update_gen.default_params with
+          count = burst * bursts;
+          seed = scale.Experiments.seed + 2;
+        }
+        flow
+    in
+    let rm = Cfca_core.Route_manager.create ~default_nh () in
+    Cfca_core.Route_manager.load rm (Rib.to_seq rib);
+    let tree = Cfca_core.Route_manager.tree rm in
+    let changed_tbl = Hashtbl.create 64 in
+    let changed = ref [] in
+    Cfca_core.Route_manager.set_sink rm (fun tr op ->
+        (* the plane's payloads are next-hops, so rewrites matter too *)
+        let nd =
+          match op with
+          | Cfca_core.Fib_op.Install (nd, _)
+          | Cfca_core.Fib_op.Remove (nd, _)
+          | Cfca_core.Fib_op.Update (nd, _, _) ->
+              nd
+        in
+        let p = Cfca_trie.Bintrie.Node.prefix tr nd in
+        if not (Hashtbl.mem changed_tbl p) then begin
+          Hashtbl.add changed_tbl p ();
+          changed := p :: !changed
+        end);
+    let plane =
+      Cfca_mt.Plane.create ~root_bits:24 ~readers:1 ~default_nh
+        (Cfca_dataplane.Fib_snapshot.cover tree)
+    in
+    let resolve addr =
+      let nd = Cfca_trie.Bintrie.lookup_in_fib tree addr in
+      if Cfca_trie.Bintrie.is_nil nd then Cfca_trie.Flat_lpm.miss
+      else
+        Cfca_trie.Flat_lpm.encode
+          ~value:
+            (Nexthop.to_int (Cfca_trie.Bintrie.Node.installed_nh tree nd))
+          ~length:(Cfca_trie.Bintrie.Node.depth tree nd)
+    in
+    let co = Cfca_core.Coalesce.create ~expect:burst () in
+    let patched = ref 0 and full = ref 0 in
+    let patched_s = ref 0.0 and full_s = ref 0.0 in
+    for b = 0 to bursts - 1 do
+      for i = b * burst to ((b + 1) * burst) - 1 do
+        Cfca_core.Coalesce.add co churn.(i)
+      done;
+      changed := [];
+      Hashtbl.reset changed_tbl;
+      List.iter (Cfca_core.Route_manager.apply rm) (Cfca_core.Coalesce.flush co);
+      if !changed <> [] then begin
+        let cover = Cfca_dataplane.Fib_snapshot.cover tree in
+        let before = Cfca_mt.Plane.patched_publishes plane in
+        let t0 = Unix.gettimeofday () in
+        ignore (Cfca_mt.Plane.publish_delta plane ~changed:!changed ~resolve cover);
+        let dt = Unix.gettimeofday () -. t0 in
+        if Cfca_mt.Plane.patched_publishes plane > before then begin
+          incr patched;
+          patched_s := !patched_s +. dt
+        end
+        else begin
+          incr full;
+          full_s := !full_s +. dt
+        end;
+        (* a single idle reader: every retired generation frees at once,
+           bounding the 2^24-slot root arrays alive between bursts *)
+        ignore (Cfca_mt.Plane.collect plane)
+      end
+    done;
+    let mean s n = if n = 0 then 0.0 else s *. 1e6 /. float_of_int n in
+    {
+      Report.mr_patched = !patched;
+      mr_full = !full;
+      mr_patched_us = mean !patched_s !patched;
+      mr_full_us = mean !full_s !full;
+    }
+  in
   let bench_result =
     {
       Report.mb_scale = mult;
@@ -845,6 +1109,7 @@ let mt_lookup_target mult ~emit_json ~domain_counts ~min_speedup =
       mb_audit_divergences = !audit_divergences;
       mb_live_violations = !live_violations;
       mb_counters_exact = !counters_exact;
+      mb_republish = republish;
     }
   in
   Report.print_mt_bench bench_result;

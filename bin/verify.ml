@@ -226,6 +226,12 @@ let timeseries interval =
     chk_sum "fastpath_hits" r.E.r_fastpath.Cfca_dataplane.Fib_snapshot.fast_hits;
     chk_sum "fastpath_fallbacks"
       r.E.r_fastpath.Cfca_dataplane.Fib_snapshot.fallbacks;
+    chk_sum "fastpath_patches"
+      r.E.r_fastpath.Cfca_dataplane.Fib_snapshot.patches;
+    (* the eager initial compile precedes column registration, so the
+       delta column's sum excludes exactly that one full rebuild *)
+    chk_sum "fastpath_full_rebuilds"
+      (r.E.r_fastpath.Cfca_dataplane.Fib_snapshot.full_rebuilds - 1);
     chk_sum "watchdog_checks" r.E.r_watchdog_checks;
     chk_sum "watchdog_recoveries" r.E.r_recoveries;
     (match
@@ -877,6 +883,8 @@ let mt domains routes lookups updates seed =
       mode = M.Warm;
       seed;
       sample_every = 17;
+      coalesce = true;
+      verify_publish = true;
     }
   in
   let r = M.run ~telemetry cfg rib in
@@ -887,6 +895,11 @@ let mt domains routes lookups updates seed =
     r.M.mt_retired_peak;
   Printf.printf "audit: %d samples, %d divergences, %d live violations\n"
     r.M.mt_audit_samples r.M.mt_audit_divergences r.M.mt_live_violations;
+  Printf.printf
+    "incremental: %d patched publishes / %d full compiles; coalesced %d -> \
+     %d ops; publish gate: %d probes, %d divergences\n"
+    r.M.mt_patched_publishes r.M.mt_full_compiles r.M.mt_coalesced_seen
+    r.M.mt_coalesced_emitted r.M.mt_publish_checks r.M.mt_publish_divergences;
   let reclaimed = r.M.mt_freed = r.M.mt_published - 1 in
   Printf.printf "counters: %s; reclamation: %s\n"
     (if r.M.mt_counters_exact then "exact" else "INEXACT")
@@ -899,11 +912,16 @@ let mt domains routes lookups updates seed =
   in
   if not epochs_span then
     print_endline "FAILED: a domain answered from an out-of-range epoch";
+  if r.M.mt_publish_divergences > 0 then
+    print_endline "FAILED: a patched publication diverged from a fresh compile";
   let ok =
     r.M.mt_audit_divergences = 0
     && r.M.mt_live_violations = 0
     && r.M.mt_counters_exact && reclaimed && epochs_span
     && r.M.mt_audit_samples > 0
+    && r.M.mt_publish_divergences = 0
+    && r.M.mt_publish_checks > 0
+    && r.M.mt_patched_publishes > 0
   in
   print_endline (if ok then "mt stress gate: PASS" else "mt stress gate: FAIL");
   exit (if ok then 0 else 1)

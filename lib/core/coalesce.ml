@@ -1,0 +1,69 @@
+(* Burst coalescing: fold a BGP update burst into its net per-prefix
+   delta before it touches the Route Manager. The algebra is
+   last-action-wins per prefix — a withdraw after any number of
+   announces nets to a withdraw, a re-announce after a withdraw nets to
+   an announce of the final next-hop — plus true cancellation at flush
+   time: a net withdraw of a prefix the table never knew is a no-op and
+   is dropped entirely when the caller supplies [known].
+
+   Emission order is first-occurrence order of each prefix within the
+   burst. That keeps replay deterministic and preserves the relative
+   order of surviving operations, which matters for byte-identical op
+   streams in the differential gates. *)
+
+open Cfca_prefix
+open Cfca_bgp
+
+module H = Hashtbl.Make (struct
+  type t = Prefix.t
+
+  let equal = Prefix.equal
+
+  let hash = Prefix.hash
+end)
+
+type t = {
+  net : Bgp_update.action H.t;
+  mutable order : Prefix.t list;  (* reverse first-occurrence order *)
+  mutable seen : int;
+  mutable emitted : int;
+}
+
+let create ?(expect = 64) () =
+  { net = H.create expect; order = []; seen = 0; emitted = 0 }
+
+let pending t = H.length t.net
+
+let seen t = t.seen
+
+let emitted t = t.emitted
+
+let add t (u : Bgp_update.t) =
+  t.seen <- t.seen + 1;
+  if not (H.mem t.net u.prefix) then t.order <- u.prefix :: t.order;
+  H.replace t.net u.prefix u.action
+
+let flush ?known t =
+  let keep prefix (action : Bgp_update.action) =
+    match (action, known) with
+    | Announce _, _ | Withdraw, None -> true
+    | Withdraw, Some known -> known prefix
+  in
+  let out =
+    List.fold_left
+      (fun acc prefix ->
+        match H.find_opt t.net prefix with
+        | Some action when keep prefix action ->
+            { Bgp_update.prefix; action } :: acc
+        | _ -> acc)
+      [] t.order
+  in
+  H.reset t.net;
+  t.order <- [];
+  t.emitted <- t.emitted + List.length out;
+  out
+
+let run ?known updates =
+  let t = create ~expect:(List.length updates) () in
+  List.iter (add t) updates;
+  flush ?known t

@@ -1,0 +1,50 @@
+(** Burst coalescing for BGP update streams.
+
+    Real churn arrives in bursts that repeatedly touch the same
+    prefixes — route flaps, path hunting, table transfers. Applying
+    each raw update to the Route Manager pays the full aggregation
+    machinery per operation; folding the burst into its {e net}
+    per-prefix delta first means the trie (and everything downstream:
+    snapshot patching, generation publication) sees only the surviving
+    operations.
+
+    The algebra is last-action-wins per prefix:
+    - repeated announces keep only the final next-hop;
+    - announce then withdraw nets to a withdraw — and when the caller
+      supplies [known] (membership in the pre-burst table) a net
+      withdraw of a prefix that was never installed cancels outright;
+    - withdraw then announce nets to an announce of the final next-hop.
+
+    Surviving updates are emitted in first-occurrence order, keeping
+    replay deterministic. *)
+
+open Cfca_prefix
+open Cfca_bgp
+
+type t
+(** A burst accumulator. Not thread-safe; one per writer. *)
+
+val create : ?expect:int -> unit -> t
+(** [expect] sizes the internal table (default 64). *)
+
+val add : t -> Bgp_update.t -> unit
+(** Fold one update into the pending burst. *)
+
+val pending : t -> int
+(** Distinct prefixes currently pending. *)
+
+val flush : ?known:(Prefix.t -> bool) -> t -> Bgp_update.t list
+(** The net delta, in first-occurrence order; resets the accumulator.
+    [known p] should say whether [p] is present in the table the burst
+    will be applied to — net withdraws of unknown prefixes are dropped
+    (they would be no-ops). Without [known], net withdraws are kept. *)
+
+val seen : t -> int
+(** Raw updates folded in since creation (across flushes). *)
+
+val emitted : t -> int
+(** Net updates emitted by flushes since creation. [seen - emitted] is
+    the work the coalescer saved. *)
+
+val run : ?known:(Prefix.t -> bool) -> Bgp_update.t list -> Bgp_update.t list
+(** One-shot: coalesce a whole burst. *)

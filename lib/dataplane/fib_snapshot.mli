@@ -9,20 +9,36 @@
     mapping addresses to node indices, so the steady-state per-packet
     cost is a couple of flat array reads and zero allocation.
 
-    Epoch protocol: the snapshot is immutable. Writers call
-    {!invalidate} whenever the IN_FIB set may have changed (in the
-    simulator: on every [Fib_op] emitted by the control plane, since all
-    status transitions go through the sink). While dirty, {!lookup}
-    transparently falls back to walking the authoritative tree; after
-    [rebuild_after] dirty lookups it recompiles and bumps the epoch, so
-    an update burst pays one tree walk per packet briefly instead of a
-    rebuild per update.
+    Epoch protocol: writers report changes as they happen — per-prefix
+    through {!invalidate_prefix} (the sink wiring: one call per
+    [Fib_op] that flips IN_FIB membership), or wholesale through
+    {!invalidate} when the extent of the change is unknown (recovery,
+    bulk reload). While dirty, {!lookup} transparently falls back to
+    walking the authoritative tree; after [rebuild_after] dirty lookups
+    it recompiles and bumps the epoch, so an update burst pays one tree
+    walk per packet briefly instead of a rebuild per update.
+
+    Incremental patching: when every change since the last compile was
+    reported per-prefix, the recompile first tries to {e patch} the
+    compiled structure in place ({!Cfca_trie.Flat_lpm.patch}) —
+    re-resolving only the root cells covered by the changed prefixes —
+    instead of rebuilding it from the full IN_FIB set. The patch path
+    falls back to a full recompile whenever it cannot be proven
+    equivalent: poptrie layouts, changed prefixes longer than the root
+    stride, deltas touching spill blocks or exceeding [patch_budget]
+    cells, overflowed delta tracking, or a payload table due for
+    compaction. {!stats} separates [patches] from [full_rebuilds] so
+    callers can see which path a workload takes.
 
     The IN_FIB set is non-overlapping (a cover — see
     {!Cfca_trie.Bintrie.lookup_in_fib}), so the compiled longest-match
     answer is the unique IN_FIB node on the address's path: byte-for-
-    byte the node the authoritative walk returns. This is the invariant
-    the differential tests pin. *)
+    byte the node the authoritative walk returns. Patching preserves
+    this because an address's covering node can only change when some
+    node on its path flips IN_FIB membership, and every flip is
+    reported with its prefix — the changed-prefix ranges therefore
+    cover every cell whose answer changed. This is the invariant the
+    differential tests pin. *)
 
 open Cfca_prefix
 open Cfca_trie
@@ -30,36 +46,65 @@ open Cfca_trie
 type t
 
 type stats = {
-  epoch : int;  (** Generations compiled so far. *)
-  rebuilds : int;  (** Recompilations triggered lazily by dirty lookups. *)
+  epoch : int;  (** Generations published so far (patched or compiled). *)
+  rebuilds : int;  (** Refreshes triggered lazily by dirty lookups. *)
   invalidations : int;  (** Distinct dirty transitions (bursts, not ops). *)
   fast_hits : int;  (** Lookups answered by the compiled structure. *)
   fallbacks : int;  (** Lookups that walked the authoritative tree. *)
+  patches : int;  (** Generations produced by in-place patching. *)
+  full_rebuilds : int;  (** Generations produced by a full compile. *)
+  patched_cells : int;  (** Total root cells rewritten by patches. *)
 }
 
-val create : ?rebuild_after:int -> ?domains:int -> unit -> t
+val create :
+  ?rebuild_after:int ->
+  ?patch_budget:int ->
+  ?root_bits:int ->
+  ?domains:int ->
+  unit ->
+  t
 (** A snapshot in the dirty state (no generation compiled yet).
     [rebuild_after] (default 64) is the number of dirty lookups
     tolerated before recompiling; it trades walk cost against rebuild
-    churn under update bursts. [domains] (default 1) sizes the
-    per-domain hit-accounting cells: each lookup domain increments its
-    own padded cell, and {!stats} merges them on read-out, so the
-    counts stay exact without shared-counter contention when several
-    domains read a clean snapshot. *)
+    churn under update bursts. [patch_budget] (default 4096) caps the
+    root cells an in-place patch may rewrite before falling back to a
+    full recompile; [0] disables patching entirely (every refresh
+    recompiles, the pre-incremental behavior). [root_bits] forces the
+    compiled layout to DIR with that root stride (8–24) — deltas no
+    longer than the stride patch in place, so a larger stride patches
+    more of a /24-heavy churn mix at the price of a [2^root_bits]-slot
+    root array; omitted, the layout heuristic chooses (and patching
+    only applies when it chooses DIR and the churn fits the stride).
+    [domains] (default 1) sizes the per-domain hit-accounting cells:
+    each lookup domain increments its own padded cell, and {!stats}
+    merges them on read-out, so the counts stay exact without
+    shared-counter contention when several domains read a clean
+    snapshot. *)
 
 val domains : t -> int
 
 val invalidate : t -> unit
-(** Mark the compiled generation stale. O(1); idempotent within a
-    burst. *)
+(** Mark the compiled generation stale with {e unknown} extent: delta
+    tracking overflows and the next refresh is a full recompile. O(1);
+    idempotent within a burst. Use {!invalidate_prefix} when the
+    changed prefix is known. *)
+
+val invalidate_prefix : t -> Prefix.t -> unit
+(** Mark the compiled generation stale, recording [p] as a changed
+    prefix so the next refresh may patch instead of recompile. Call it
+    for every IN_FIB membership flip (Install/Remove); pure next-hop
+    rewrites need no call at all — the compiled payloads are node
+    indices, which a next-hop change does not move. Degenerates to
+    {!invalidate} when the tracking table overflows. *)
 
 val refresh : t -> Bintrie.t -> unit
-(** Recompile eagerly from the tree's current IN_FIB set and clear the
-    dirty flag. *)
+(** Publish a fresh generation from the tree's current IN_FIB set and
+    clear the dirty flag: an in-place patch when the recorded delta
+    qualifies, a full recompile otherwise. *)
 
 val lookup : t -> Bintrie.t -> Ipv4.t -> Bintrie.node
 (** The IN_FIB node covering the address. Uses the compiled structure
-    when clean; walks [tree] when dirty (recompiling first once the
+    when clean; walks [tree] when dirty (refreshing first once the
     dirty-lookup budget is spent). Allocation-free on the compiled
     path. Equivalent to {!lookup_domain} with domain 0.
     @raise Not_found if no IN_FIB node covers the address (cannot
@@ -84,4 +129,5 @@ val cover : Bintrie.t -> (Prefix.t * Nexthop.t) list
 
 val stats : t -> stats
 (** Cumulative counters; [fast_hits]/[fallbacks] are the sum of every
-    domain's cell, merged at read-out. *)
+    domain's cell, merged at read-out. [patches + full_rebuilds] is the
+    total number of generations published ([= epoch]). *)

@@ -29,15 +29,24 @@ type t = {
   hub : gen Epoch.t;
   shard : Shard.t;
   default_nh : int;
+  patch_budget : int;
+  root_bits : int option;
+  (* writer-side publication accounting *)
+  mutable patched_publishes : int;
+  mutable full_compiles : int;
   (* telemetry merge state: cumulative totals already folded into the
      registry, per counter (writer-only) *)
   mutable synced : int array;
+  mutable synced_patched : int;
+  mutable synced_full : int;
 }
 
-let compile ~epoch ~default_nh routes =
+let compile ~epoch ~default_nh ?root_bits routes =
+  let routes' = List.map (fun (p, nh) -> (p, Nexthop.to_int nh)) routes in
   let flat =
-    Cfca_trie.Flat_lpm.build
-      (List.map (fun (p, nh) -> (p, Nexthop.to_int nh)) routes)
+    match root_bits with
+    | None -> Cfca_trie.Flat_lpm.build routes'
+    | Some root_bits -> Cfca_trie.Flat_lpm.build ~variant:`Dir ~root_bits routes'
   in
   {
     g_epoch = epoch;
@@ -47,22 +56,75 @@ let compile ~epoch ~default_nh routes =
     g_live = Atomic.make true;
   }
 
-let create ~readers ~default_nh routes =
+let create ?(patch_budget = 4096) ?root_bits ~readers ~default_nh routes =
   if Nexthop.is_none default_nh then
     invalid_arg "Plane.create: default next-hop must be real";
+  if patch_budget < 0 then invalid_arg "Plane.create: patch_budget";
+  (match root_bits with
+  | Some b when b < 8 || b > 24 -> invalid_arg "Plane.create: root_bits"
+  | _ -> ());
   let default_nh = Nexthop.to_int default_nh in
   {
-    hub = Epoch.create ~readers (compile ~epoch:0 ~default_nh routes);
+    hub = Epoch.create ~readers (compile ~epoch:0 ~default_nh ?root_bits routes);
     shard = Shard.create ~domains:readers ~counters:counter_count;
     default_nh;
+    patch_budget;
+    root_bits;
+    patched_publishes = 0;
+    full_compiles = 0;
     synced = Array.make counter_count 0;
+    synced_patched = 0;
+    synced_full = 0;
   }
 
 let publish t routes =
   let epoch = Epoch.epoch t.hub + 1 in
-  let e = Epoch.publish t.hub (compile ~epoch ~default_nh:t.default_nh routes) in
+  let e =
+    Epoch.publish t.hub
+      (compile ~epoch ~default_nh:t.default_nh ?root_bits:t.root_bits routes)
+  in
   assert (e = epoch);
+  t.full_compiles <- t.full_compiles + 1;
   e
+
+let publish_delta t ~changed ~resolve routes =
+  let epoch = Epoch.epoch t.hub + 1 in
+  let module F = Cfca_trie.Flat_lpm in
+  let next =
+    match changed with
+    | [] ->
+        (* nothing moved: republish the same compiled table under a new
+           generation record. The g_live flag must be fresh — the
+           retiring generation's flag is cleared when the hub frees it,
+           and this one outlives it. *)
+        let cur = Epoch.current t.hub in
+        Some { cur with g_epoch = epoch; g_live = Atomic.make true }
+    | _ -> (
+        let cur = Epoch.current t.hub in
+        let flat = F.copy ~entries:(List.length routes) cur.g_flat in
+        match F.patch flat ~budget:t.patch_budget ~resolve changed with
+        | Ok _ ->
+            Some
+              {
+                g_epoch = epoch;
+                g_flat = flat;
+                g_routes = List.length routes;
+                g_default = t.default_nh;
+                g_live = Atomic.make true;
+              }
+        | Error _ -> None)
+  in
+  match next with
+  | Some g ->
+      let e = Epoch.publish t.hub g in
+      assert (e = epoch);
+      t.patched_publishes <- t.patched_publishes + 1;
+      e
+  | None -> publish t routes
+
+let patched_publishes t = t.patched_publishes
+
+let full_compiles t = t.full_compiles
 
 let collect t =
   let dropped = Epoch.collect t.hub in
@@ -94,7 +156,21 @@ let sync_telemetry t metrics =
           delta;
         t.synced.(c) <- total
       end)
-    totals
+    totals;
+  (* writer-side publication counters: exact, no clamping needed *)
+  let fold_writer name total synced set =
+    let delta = total - synced in
+    if delta > 0 then begin
+      Cfca_telemetry.Metrics.add
+        (Cfca_telemetry.Metrics.counter metrics name)
+        delta;
+      set total
+    end
+  in
+  fold_writer "mt_patched_publishes" t.patched_publishes t.synced_patched
+    (fun v -> t.synced_patched <- v);
+  fold_writer "mt_full_compiles" t.full_compiles t.synced_full (fun v ->
+      t.synced_full <- v)
 
 module Reader = struct
   type plane = t

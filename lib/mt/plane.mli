@@ -55,18 +55,62 @@ val counter_count : int
 
 val counter_name : int -> string
 (** Telemetry name of a counter index ([mt_pins], [mt_lookups],
-    [mt_fast_hits], [mt_default_hits]). *)
+    [mt_fast_hits], [mt_default_hits]). {!sync_telemetry} additionally
+    maintains the writer-side [mt_patched_publishes] /
+    [mt_full_compiles] counters. *)
 
 val create :
-  readers:int -> default_nh:Nexthop.t -> (Prefix.t * Nexthop.t) list -> t
+  ?patch_budget:int ->
+  ?root_bits:int ->
+  readers:int ->
+  default_nh:Nexthop.t ->
+  (Prefix.t * Nexthop.t) list ->
+  t
 (** Compile the route list as generation 0 and set up [readers] slots
-    and stat rows.
-    @raise Invalid_argument if [readers < 1] or the default next-hop
-    is the sentinel. *)
+    and stat rows. [patch_budget] (default 4096) caps the root cells a
+    {!publish_delta} patch may rewrite before falling back to a full
+    compile; [0] disables patching. [root_bits] forces every compiled
+    generation to the DIR layout with that root stride (8–24) — a
+    delta only patches when every changed prefix fits the stride, so a
+    deployment whose churn is /24-heavy wants [~root_bits:24] at the
+    price of a [2^24]-slot root array per generation; omitted, the
+    layout heuristic chooses per compile.
+    @raise Invalid_argument if [readers < 1], [patch_budget < 0],
+    [root_bits] is out of range, or the default next-hop is the
+    sentinel. *)
 
 val publish : t -> (Prefix.t * Nexthop.t) list -> int
 (** Compile and install the next generation; the previous one is
     retired. Returns the new epoch. Writer-only. *)
+
+val publish_delta :
+  t ->
+  changed:Prefix.t list ->
+  resolve:(Ipv4.t -> int) ->
+  (Prefix.t * Nexthop.t) list ->
+  int
+(** Install the next generation by patching a {e copy} of the current
+    compiled table instead of compiling [routes] from scratch, so the
+    republish cost scales with the delta, not the table. [changed]
+    lists every prefix whose forwarding mapping may have moved since
+    the current generation (installs, removals, and next-hop rewrites —
+    the compiled payloads here are next-hops, so rewrites matter,
+    unlike the node-indexed [Fib_snapshot]). [resolve] is the
+    authoritative post-update longest-prefix match: for a cell base
+    address it returns the {!Cfca_trie.Flat_lpm.encode}d
+    [(next_hop, length)] covering the {e whole} cell, or
+    [Flat_lpm.miss] when the cover misses (readers then fall through to
+    the default next-hop). An empty [changed] republishes the current
+    table under a fresh generation record without copying. Falls back
+    to {!publish} [routes] whenever the patch refuses (budget, spill,
+    stride, poptrie). Returns the new epoch. Writer-only. *)
+
+val patched_publishes : t -> int
+(** Publications that took the patch (or no-change) path. *)
+
+val full_compiles : t -> int
+(** Publications that compiled the full cover — {!publish} calls plus
+    {!publish_delta} fallbacks. *)
 
 val collect : t -> int
 (** Free retired generations past grace (clearing their [g_live]) and

@@ -14,6 +14,8 @@ type t = {
   s_oracle_divergences : int;
   s_invariant_violations : int;
   s_recoveries : int;
+  s_snapshot_patches : int;
+  s_snapshot_full_rebuilds : int;
   s_update_wall_s : float;
 }
 
@@ -49,6 +51,8 @@ let of_run ~pack ~pps ~oracle_divergences ~invariant_violations
     s_oracle_divergences = oracle_divergences;
     s_invariant_violations = invariant_violations;
     s_recoveries = r.E.r_recoveries;
+    s_snapshot_patches = r.E.r_fastpath.Fib_snapshot.patches;
+    s_snapshot_full_rebuilds = r.E.r_fastpath.Fib_snapshot.full_rebuilds;
     s_update_wall_s = r.E.r_update_seconds;
   }
 
@@ -61,6 +65,8 @@ let gated_metrics =
     "miss_max";
     "churn_ops";
     "churn_per_sec";
+    "snapshot_patches";
+    "snapshot_full_rebuilds";
   ]
 
 let metric t = function
@@ -70,6 +76,8 @@ let metric t = function
   | "miss_max" -> Some t.s_miss_max
   | "churn_ops" -> Some (float_of_int t.s_churn_ops)
   | "churn_per_sec" -> Some t.s_churn_per_sec
+  | "snapshot_patches" -> Some (float_of_int t.s_snapshot_patches)
+  | "snapshot_full_rebuilds" -> Some (float_of_int t.s_snapshot_full_rebuilds)
   | _ -> None
 
 let json_fields ?(wall = true) t =
@@ -90,6 +98,8 @@ let json_fields ?(wall = true) t =
         f "oracle_divergences" (string_of_int t.s_oracle_divergences);
         f "invariant_violations" (string_of_int t.s_invariant_violations);
         f "recoveries" (string_of_int t.s_recoveries);
+        f "snapshot_patches" (string_of_int t.s_snapshot_patches);
+        f "snapshot_full_rebuilds" (string_of_int t.s_snapshot_full_rebuilds);
       ];
       (if wall then [ f "update_wall_s" (json_float t.s_update_wall_s) ]
        else []);

@@ -24,6 +24,10 @@ type t = {
   s_invariant_violations : int;
       (** phase audits where [Invariants.quick_check] failed *)
   s_recoveries : int;  (** watchdog full-reset recoveries (must be 0) *)
+  s_snapshot_patches : int;
+      (** compiled-snapshot generations produced by in-place patching *)
+  s_snapshot_full_rebuilds : int;
+      (** compiled-snapshot generations produced by a full recompile *)
   s_update_wall_s : float;
       (** wall-clock control-plane seconds — informational only, never
           gated, excluded from {!deterministic_json} *)

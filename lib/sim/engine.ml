@@ -134,9 +134,21 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
      a recovered run scores like an undisturbed one. *)
   let in_recovery = ref false in
   (* Per-packet fast path: the IN_FIB set compiled into a flat LPM.
-     Every control-plane op can change the set, so the sink doubles as
-     the invalidation hook (all IN_FIB transitions emit a Fib_op). *)
-  let snapshot = Fib_snapshot.create () in
+     The sink doubles as the invalidation hook, reporting each changed
+     prefix so the next refresh can patch instead of recompile.
+     Install/Remove flip IN_FIB membership; Update only rewrites a
+     next-hop, which the compiled node-index payloads never encode, so
+     the snapshot stays clean across pure next-hop churn. *)
+  let snapshot =
+    Fib_snapshot.create ~rebuild_after:cfg.Config.snapshot_rebuild_after
+      ~patch_budget:cfg.Config.snapshot_patch_budget ()
+  in
+  let invalidate_op tr op =
+    match op with
+    | Fib_op.Install (n, _) | Fib_op.Remove (n, _) ->
+        Fib_snapshot.invalidate_prefix snapshot (Bintrie.Node.prefix tr n)
+    | Fib_op.Update _ -> ()
+  in
   let sink tr op =
     (match tel_instruments with
     | Some (tel, fib_ops, _) when !tel_armed && not !in_recovery ->
@@ -144,7 +156,7 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
         let dirty_before =
           (Fib_snapshot.stats snapshot).Fib_snapshot.invalidations
         in
-        Fib_snapshot.invalidate snapshot;
+        invalidate_op tr op;
         (* invalidations count dirty transitions, not ops: a bump here
            means this op started a new dirty burst *)
         if
@@ -153,7 +165,7 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
         then
           Cfca_telemetry.Trace.emit tel.t_trace ~time:!tel_time
             ~kind:"snapshot_invalidate" ""
-    | _ -> Fib_snapshot.invalidate snapshot);
+    | _ -> invalidate_op tr op);
     Pipeline.sink pipeline tr op
   in
   let system = make_cached kind ~sink ~default_nh rib in
@@ -296,6 +308,9 @@ let run_events ?(window = 100_000) ?(seed = 0x5EED)
       T.track ts "updates_l1" (fun () -> !updates_l1);
       T.track ts "fastpath_hits" (fp (fun s -> s.Fib_snapshot.fast_hits));
       T.track ts "fastpath_fallbacks" (fp (fun s -> s.Fib_snapshot.fallbacks));
+      T.track ts "fastpath_patches" (fp (fun s -> s.Fib_snapshot.patches));
+      T.track ts "fastpath_full_rebuilds"
+        (fp (fun s -> s.Fib_snapshot.full_rebuilds));
       T.track ts "watchdog_checks" (fun () -> Watchdog.checks wd);
       T.track ts "watchdog_recoveries" (fun () -> Watchdog.recoveries wd);
       T.track ~mode:`Level ts "tcam_occupancy" (fun () ->

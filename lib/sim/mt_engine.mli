@@ -44,12 +44,25 @@ type config = {
   mode : mode;
   seed : int;
   sample_every : int;  (** Audit sampling stride; 0 disables the audit. *)
+  coalesce : bool;
+      (** Fold each burst through {!Cfca_core.Coalesce} before applying
+          it: the trie sees only the net per-prefix delta. The cover at
+          each publish point is unchanged (last action wins), so the
+          audit and every published generation are identical either
+          way — only the control-plane work shrinks. *)
+  verify_publish : bool;
+      (** Differentially gate every publication: the published
+          (possibly patched) table is probed against a fresh compile of
+          the same cover at the boundaries of every changed prefix plus
+          a seeded random sample ([mt_publish_checks] /
+          [mt_publish_divergences]). Costs a full compile per burst —
+          for verification runs, not benchmarks. *)
 }
 
 val default_config : config
 (** 2 domains, 200k lookups each in batches of 256, 200 updates
-    republished every 8, warm, seed 0x5EED, audit every 251st
-    lookup. *)
+    republished every 8, warm, seed 0x5EED, audit every 251st lookup,
+    coalescing on, publish verification off. *)
 
 type domain_stats = {
   d_lookups : int;  (** Locally counted lookups (always = [lookups]). *)
@@ -73,6 +86,17 @@ type result = {
   mt_audit_divergences : int;  (** Must be 0. *)
   mt_live_violations : int;  (** Pins of a freed generation; must be 0. *)
   mt_counters_exact : bool;  (** Shard rows == local counts == telemetry. *)
+  mt_patched_publishes : int;
+      (** Publications that patched a copy of the previous generation
+          ({!Cfca_mt.Plane.publish_delta}) instead of recompiling. *)
+  mt_full_compiles : int;  (** Publications that compiled the full cover. *)
+  mt_coalesced_seen : int;  (** Raw updates folded into the coalescer. *)
+  mt_coalesced_emitted : int;
+      (** Net updates that survived coalescing ([seen - emitted] were
+          absorbed). Zero when [coalesce] is off. *)
+  mt_publish_checks : int;  (** Probes run by the publish gate. *)
+  mt_publish_divergences : int;
+      (** Patched-vs-fresh mismatches; must be 0. *)
 }
 
 val run :

@@ -152,6 +152,10 @@ let print_run_summary (r : Engine.run_result) =
      rebuilds, %d invalidations)\n"
     fp.Fib_snapshot.fast_hits fp.Fib_snapshot.fallbacks fp.Fib_snapshot.epoch
     fp.Fib_snapshot.rebuilds fp.Fib_snapshot.invalidations;
+  Printf.printf
+    "  incremental: %d patched generations (%d cells), %d full recompiles\n"
+    fp.Fib_snapshot.patches fp.Fib_snapshot.patched_cells
+    fp.Fib_snapshot.full_rebuilds;
   print_resilience r
 
 let print_timings timings =
@@ -267,6 +271,19 @@ type update_row = {
   ub_heap_words_per_route : float;
 }
 
+type patch_stats = {
+  up_bursts : int;
+  up_patched : int;
+  up_full : int;
+  up_cells : int;
+  up_coalesced_seen : int;
+  up_coalesced_emitted : int;
+  up_checks : int;
+  up_divergences : int;
+  up_ups_patched : float;
+  up_ups_full : float;
+}
+
 type update_bench = {
   ub_scale : float;
   ub_rows : update_row list;
@@ -274,6 +291,7 @@ type update_bench = {
   ub_speedup_pfca : float;
   ub_gate_ops : int;  (** FIB operations compared across backends *)
   ub_gate_divergences : int;  (** must be 0 for the bench to pass *)
+  ub_patch : patch_stats;
 }
 
 let json_of_update_bench b =
@@ -298,8 +316,25 @@ let json_of_update_bench b =
         (json_float b.ub_speedup_cfca)
         (json_float b.ub_speedup_pfca);
       Printf.sprintf
-        "  \"gate\": {\"ops_compared\": %d, \"divergences\": %d}\n"
+        "  \"gate\": {\"ops_compared\": %d, \"divergences\": %d},\n"
         b.ub_gate_ops b.ub_gate_divergences;
+      (let p = b.ub_patch in
+       Printf.sprintf
+         "  \"patch\": {\"bursts\": %d, \"patched\": %d, \
+          \"full_recompiles\": %d, \"patched_cells\": %d, \
+          \"coalesced_seen\": %d, \"coalesced_emitted\": %d, \
+          \"checks\": %d, \"divergences\": %d},\n"
+         p.up_bursts p.up_patched p.up_full p.up_cells p.up_coalesced_seen
+         p.up_coalesced_emitted p.up_checks p.up_divergences);
+      (let p = b.ub_patch in
+       Printf.sprintf
+         "  \"incremental\": {\"updates_per_sec_patched\": %s, \
+          \"updates_per_sec_full\": %s, \"speedup\": %s}\n"
+         (json_float p.up_ups_patched)
+         (json_float p.up_ups_full)
+         (json_float
+            (if p.up_ups_full > 0.0 then p.up_ups_patched /. p.up_ups_full
+             else 0.0)));
       "}\n";
     ]
 
@@ -317,7 +352,21 @@ let print_update_bench b =
   Printf.printf "arena vs record: %.2fx CFCA, %.2fx PFCA\n" b.ub_speedup_cfca
     b.ub_speedup_pfca;
   Printf.printf "gate: %d FIB ops compared, %d divergences\n" b.ub_gate_ops
-    b.ub_gate_divergences
+    b.ub_gate_divergences;
+  let p = b.ub_patch in
+  Printf.printf
+    "incremental: %d bursts -> %d patched / %d full recompiles (%d cells); \
+     coalesced %d -> %d ops\n"
+    p.up_bursts p.up_patched p.up_full p.up_cells p.up_coalesced_seen
+    p.up_coalesced_emitted;
+  Printf.printf "patch gate: %d probes, %d divergences\n" p.up_checks
+    p.up_divergences;
+  if p.up_ups_full > 0.0 then
+    Printf.printf
+      "snapshot maintenance: %.0f updates/sec patched vs %.0f full \
+       (%.2fx)\n"
+      p.up_ups_patched p.up_ups_full
+      (p.up_ups_patched /. p.up_ups_full)
 
 (* -- multicore lookup-plane bench ----------------------------------- *)
 
@@ -332,6 +381,13 @@ type mt_row = {
   mt_r_retired_peak : int;
 }
 
+type republish_stats = {
+  mr_patched : int;
+  mr_full : int;
+  mr_patched_us : float;
+  mr_full_us : float;
+}
+
 type mt_bench = {
   mb_scale : float;
   mb_cores : int;
@@ -341,6 +397,7 @@ type mt_bench = {
   mb_audit_divergences : int;
   mb_live_violations : int;
   mb_counters_exact : bool;
+  mb_republish : republish_stats;
 }
 
 let json_of_mt_bench b =
@@ -367,9 +424,19 @@ let json_of_mt_bench b =
       "\n  ],\n";
       Printf.sprintf
         "  \"audit\": {\"samples\": %d, \"divergences\": %d, \
-         \"live_violations\": %d, \"counters_exact\": %b}\n"
+         \"live_violations\": %d, \"counters_exact\": %b},\n"
         b.mb_audit_samples b.mb_audit_divergences b.mb_live_violations
         b.mb_counters_exact;
+      (let rp = b.mb_republish in
+       Printf.sprintf
+         "  \"republish\": {\"patched\": %d, \"full\": %d, \
+          \"patched_us\": %s, \"full_us\": %s, \"speedup\": %s}\n"
+         rp.mr_patched rp.mr_full
+         (json_float rp.mr_patched_us)
+         (json_float rp.mr_full_us)
+         (json_float
+            (if rp.mr_patched_us > 0.0 then rp.mr_full_us /. rp.mr_patched_us
+             else 0.0)));
       "}\n";
     ]
 
@@ -391,7 +458,15 @@ let print_mt_bench b =
   Printf.printf
     "audit: %d samples, %d divergences, %d live violations, counters %s\n"
     b.mb_audit_samples b.mb_audit_divergences b.mb_live_violations
-    (if b.mb_counters_exact then "exact" else "INEXACT")
+    (if b.mb_counters_exact then "exact" else "INEXACT");
+  let rp = b.mb_republish in
+  Printf.printf
+    "republish: %d patched / %d full compiles; %.1f us patched vs %.1f us \
+     full%s\n"
+    rp.mr_patched rp.mr_full rp.mr_patched_us rp.mr_full_us
+    (if rp.mr_patched_us > 0.0 then
+       Printf.sprintf " (%.1fx)" (rp.mr_full_us /. rp.mr_patched_us)
+     else "")
 
 (* -- telemetry series ----------------------------------------------- *)
 

@@ -77,6 +77,24 @@ type update_row = {
       (** {!Cfca_trie.Bintrie.approx_heap_words} / RIB size after replay *)
 }
 
+(** Incremental update-path statistics of the churn replay: the
+    snapshot patch/recompile split, the coalescer's op reduction, the
+    patched-vs-fresh differential gate, and the snapshot-maintenance
+    throughput with patching on vs off. *)
+type patch_stats = {
+  up_bursts : int;  (** update bursts replayed through the snapshot *)
+  up_patched : int;  (** generations produced by in-place patching *)
+  up_full : int;  (** generations produced by a full recompile *)
+  up_cells : int;  (** total root cells rewritten by patches *)
+  up_coalesced_seen : int;  (** raw updates folded into the coalescer *)
+  up_coalesced_emitted : int;  (** net updates surviving coalescing *)
+  up_checks : int;  (** patched-vs-fresh differential probes *)
+  up_divergences : int;
+      (** must be 0; the bench exits non-zero otherwise *)
+  up_ups_patched : float;  (** updates/sec, patching enabled *)
+  up_ups_full : float;  (** updates/sec, every refresh a full recompile *)
+}
+
 type update_bench = {
   ub_scale : float;
   ub_rows : update_row list;
@@ -85,14 +103,18 @@ type update_bench = {
   ub_gate_ops : int;  (** FIB operations compared across the backends *)
   ub_gate_divergences : int;
       (** must be 0; the bench exits non-zero otherwise *)
+  ub_patch : patch_stats;
 }
 
 val json_of_update_bench : update_bench -> string
 (** Stable machine-readable rendering ([BENCH_update.json]): keys
     [bench], [scale], [results] (objects with [system], [backend],
     [rib_size], [updates], [updates_per_sec], [heap_words_per_route]),
-    [speedup.cfca]/[speedup.pfca] and
-    [gate.ops_compared]/[gate.divergences]. Always valid JSON. *)
+    [speedup.cfca]/[speedup.pfca],
+    [gate.ops_compared]/[gate.divergences], a [patch] object (burst /
+    patched / full-recompile / coalescing / differential-gate counts)
+    and an [incremental] object (snapshot-maintenance updates/sec with
+    patching on vs off). Always valid JSON. *)
 
 val print_update_bench : update_bench -> unit
 
@@ -108,6 +130,15 @@ type mt_row = {
   mt_r_retired_peak : int;
 }
 
+(** Writer-side republish cost: mean latency of a delta-patched
+    publication vs a from-scratch compile of the same covers. *)
+type republish_stats = {
+  mr_patched : int;  (** publications that patched the previous table *)
+  mr_full : int;  (** publications that compiled the full cover *)
+  mr_patched_us : float;  (** mean microseconds per patched publish *)
+  mr_full_us : float;  (** mean microseconds per full compile *)
+}
+
 type mt_bench = {
   mb_scale : float;
   mb_cores : int;  (** {!Domain.recommended_domain_count} on this host *)
@@ -118,14 +149,16 @@ type mt_bench = {
       (** must be 0; the bench exits non-zero otherwise *)
   mb_live_violations : int;  (** must be 0 *)
   mb_counters_exact : bool;  (** must be [true] *)
+  mb_republish : republish_stats;
 }
 
 val json_of_mt_bench : mt_bench -> string
 (** Stable machine-readable rendering ([BENCH_mtlookup.json]): keys
     [bench], [scale], [cores], [rib_size], [results] (objects with
     [domains], [mode], [mlookups_per_sec], [speedup], [efficiency],
-    [published], [freed], [retired_peak]) and [audit.samples]/
-    [audit.divergences]/[audit.live_violations]/[audit.counters_exact].
-    Always valid JSON. *)
+    [published], [freed], [retired_peak]), [audit.samples]/
+    [audit.divergences]/[audit.live_violations]/[audit.counters_exact]
+    and a [republish] object (patched vs full publication counts and
+    mean latencies). Always valid JSON. *)
 
 val print_mt_bench : mt_bench -> unit

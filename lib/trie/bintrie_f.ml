@@ -62,11 +62,16 @@ module Make (P : Family.PREFIX) :
 
   let capacity t = Array.length t.flags
 
-  (* Unchecked array access for the internal hot paths. In-bounds by
-     construction: [node] is abstract, so every non-nil handle was
-     minted by [alloc] with slot < [high] <= capacity, the arrays never
+  (* Unchecked array access throughout. In-bounds by construction:
+     [node] is abstract, so every non-nil handle was minted by [alloc]
+     of this tree with slot < [high] <= capacity, the arrays never
      shrink, and every traversal guards [c >= 0] before dereferencing a
-     link. The public {!Node} accessors stay bounds-checked. *)
+     link. Recycled slots stay in bounds too (the generation word is
+     what detects staleness, not the index). The {!Node} accessors use
+     the same unchecked loads: the control-plane aggregation algebra
+     performs several accessor calls per touched node per update, and
+     the bounds checks were a measurable slice of the arena backend's
+     update-churn gap against the record backend. *)
   let uget = Array.unsafe_get
 
   let uset = Array.unsafe_set
@@ -80,41 +85,44 @@ module Make (P : Family.PREFIX) :
   module Node = struct
     let equal (a : node) (b : node) = a = b
 
-    let alive t n = t.gens.(n land slot_mask) = n lsr 32
+    let alive t n = uget t.gens (n land slot_mask) = n lsr 32
 
-    let prefix t n = t.prefix.(n land slot_mask)
+    let prefix t n = uget t.prefix (n land slot_mask)
 
-    let depth t n = t.flags.(n land slot_mask) lsr 4
+    let depth t n = uget t.flags (n land slot_mask) lsr 4
 
-    let kind t n = if t.flags.(n land slot_mask) land 1 = 1 then Real else Fake
+    let kind t n =
+      if uget t.flags (n land slot_mask) land 1 = 1 then Real else Fake
 
     let set_kind t n k =
       let s = n land slot_mask in
-      t.flags.(s) <-
+      uset t.flags s
         (match k with
-        | Real -> t.flags.(s) lor 1
-        | Fake -> t.flags.(s) land lnot 1)
+        | Real -> uget t.flags s lor 1
+        | Fake -> uget t.flags s land lnot 1)
 
-    let original t n : Nexthop.t = t.original.(n land slot_mask)
+    let original t n : Nexthop.t = uget t.original (n land slot_mask)
 
-    let set_original t n (nh : Nexthop.t) = t.original.(n land slot_mask) <- nh
+    let set_original t n (nh : Nexthop.t) =
+      uset t.original (n land slot_mask) nh
 
-    let selected t n : Nexthop.t = t.selected.(n land slot_mask)
+    let selected t n : Nexthop.t = uget t.selected (n land slot_mask)
 
-    let set_selected t n (nh : Nexthop.t) = t.selected.(n land slot_mask) <- nh
+    let set_selected t n (nh : Nexthop.t) =
+      uset t.selected (n land slot_mask) nh
 
     let status t n =
-      if t.flags.(n land slot_mask) land 2 = 2 then In_fib else Non_fib
+      if uget t.flags (n land slot_mask) land 2 = 2 then In_fib else Non_fib
 
     let set_status t n st =
       let s = n land slot_mask in
-      t.flags.(s) <-
+      uset t.flags s
         (match st with
-        | In_fib -> t.flags.(s) lor 2
-        | Non_fib -> t.flags.(s) land lnot 2)
+        | In_fib -> uget t.flags s lor 2
+        | Non_fib -> uget t.flags s land lnot 2)
 
     let table t n =
-      match (t.flags.(n land slot_mask) lsr 2) land 3 with
+      match (uget t.flags (n land slot_mask) lsr 2) land 3 with
       | 0 -> No_table
       | 1 -> L1
       | 2 -> L2
@@ -124,30 +132,30 @@ module Make (P : Family.PREFIX) :
 
     let set_table t n tb =
       let s = n land slot_mask in
-      t.flags.(s) <- t.flags.(s) land lnot 12 lor (table_code tb lsl 2)
+      uset t.flags s (uget t.flags s land lnot 12 lor (table_code tb lsl 2))
 
-    let installed_nh t n : Nexthop.t = t.installed.(n land slot_mask)
+    let installed_nh t n : Nexthop.t = uget t.installed (n land slot_mask)
 
     let set_installed_nh t n (nh : Nexthop.t) =
-      t.installed.(n land slot_mask) <- nh
+      uset t.installed (n land slot_mask) nh
 
-    let hits t n = t.hits.(n land slot_mask)
+    let hits t n = uget t.hits (n land slot_mask)
 
-    let set_hits t n v = t.hits.(n land slot_mask) <- v
+    let set_hits t n v = uset t.hits (n land slot_mask) v
 
-    let window t n = t.window.(n land slot_mask)
+    let window t n = uget t.window (n land slot_mask)
 
-    let set_window t n v = t.window.(n land slot_mask) <- v
+    let set_window t n v = uset t.window (n land slot_mask) v
 
-    let table_idx t n = t.table_idx.(n land slot_mask)
+    let table_idx t n = uget t.table_idx (n land slot_mask)
 
-    let set_table_idx t n v = t.table_idx.(n land slot_mask) <- v
+    let set_table_idx t n v = uset t.table_idx (n land slot_mask) v
 
-    let left t n = t.left.(n land slot_mask)
+    let left t n = uget t.left (n land slot_mask)
 
-    let right t n = t.right.(n land slot_mask)
+    let right t n = uget t.right (n land slot_mask)
 
-    let parent t n = t.parent.(n land slot_mask)
+    let parent t n = uget t.parent (n land slot_mask)
   end
 
   let grow t =

@@ -337,6 +337,75 @@ let lookup t addr =
   | Dir_repr d -> lookup_dir d (Ipv4.to_int addr)
   | Pop_repr p -> lookup_pop p (Ipv4.to_int addr)
 
+(* -- in-place patching (DIR root cells only) ------------------------ *)
+
+let copy ?entries t =
+  let built_from = match entries with Some n -> n | None -> t.built_from in
+  match t.repr with
+  | Dir_repr d ->
+      (* Only the root is ever patched; the spill blocks are shared
+         with the source snapshot (a delta that would touch them makes
+         [patch] refuse instead). *)
+      { repr = Dir_repr { d with d_root = Array.copy d.d_root }; built_from }
+  | Pop_repr _ -> { t with built_from }
+
+let patch t ~budget ~resolve changed =
+  match t.repr with
+  | Pop_repr _ -> Error "poptrie layout is never patched"
+  | Dir_repr d -> (
+      let rb = d.d_root_bits in
+      let shift = 32 - rb in
+      let exception Refuse of string in
+      try
+        (* Each changed prefix no longer than the root stride covers an
+           aligned run of independently writable root cells. Merge the
+           runs (nested deltas overlap) before budgeting. *)
+        let ranges =
+          List.map
+            (fun p ->
+              let len = Prefix.length p in
+              if len > rb then
+                raise (Refuse "changed prefix extends below the root stride");
+              ( Ipv4.to_int (Prefix.network p) lsr shift,
+                1 lsl (rb - len) ))
+            changed
+        in
+        let ranges = List.sort compare ranges in
+        let merged =
+          List.fold_left
+            (fun acc (lo, n) ->
+              match acc with
+              | (plo, pn) :: rest when lo <= plo + pn ->
+                  (plo, max pn (lo + n - plo)) :: rest
+              | _ -> (lo, n) :: acc)
+            [] ranges
+        in
+        let cells = List.fold_left (fun acc (_, n) -> acc + n) 0 merged in
+        if cells > budget then raise (Refuse "patch budget exceeded");
+        (* Refuse before writing anything: a range holding a spill
+           pointer means prefixes longer than the root stride are
+           compiled under it, and re-leaf-pushing those blocks is the
+           full build's job. *)
+        List.iter
+          (fun (lo, n) ->
+            for i = lo to lo + n - 1 do
+              if Array.unsafe_get d.d_root i < 0 then
+                raise (Refuse "delta touches spill blocks")
+            done)
+          merged;
+        (* Re-leaf-push each cell from the authoritative resolver. *)
+        List.iter
+          (fun (lo, n) ->
+            for i = lo to lo + n - 1 do
+              let r = resolve (Ipv4.of_int (i lsl shift)) in
+              if r >= 0 && result_length r > rb then
+                raise (Refuse "resolved result extends below the root stride");
+              Array.unsafe_set d.d_root i (r + 1)
+            done)
+          merged;
+        Ok cells
+      with Refuse msg -> Error msg)
+
 let find_value t addr =
   let r = lookup t addr in
   if r < 0 then -1 else r lsr 6

@@ -27,10 +27,15 @@
     ints (a next-hop, or an index into a node array — see
     {!Cfca_dataplane.Fib_snapshot}).
 
-    The structure is a build-once snapshot: there is no update
-    operation by design. Writers keep mutating the authoritative
-    {!Lpm}/{!Bintrie} view and rebuild the snapshot when the dirty set
-    warrants it (the epoch protocol of [Fib_snapshot]). *)
+    The structure is a compiled snapshot, not an updatable table — but
+    the [Dir] root cells are independently writable, so small deltas
+    can be {!patch}ed in place (re-leaf-pushing only the covered root
+    range of each changed prefix) instead of paying a full rebuild.
+    Writers keep mutating the authoritative {!Lpm}/{!Bintrie} view and
+    either patch or rebuild the snapshot when the dirty set warrants it
+    (the epoch protocol of [Fib_snapshot]); deltas that touch spill
+    blocks, exceed the patch budget, or land on a poptrie layout fall
+    back to a full rebuild. *)
 
 open Cfca_prefix
 
@@ -76,6 +81,38 @@ val result_length : int -> int
 
 val encode : value:int -> length:int -> int
 (** The encoding used by {!lookup} results (exposed for tests). *)
+
+val copy : ?entries:int -> t -> t
+(** A patchable duplicate: the [Dir] root array is copied, everything
+    else (spill blocks, poptrie node/leaf arrays) is shared — safe
+    because {!patch} writes root cells only and refuses deltas that
+    reach the shared parts. [entries] overrides the {!entries} count of
+    the duplicate (pass the new cover size when the delta installs or
+    removes prefixes). Patching the copy never disturbs the source, so
+    published generations stay immutable. *)
+
+val patch :
+  t ->
+  budget:int ->
+  resolve:(Ipv4.t -> int) ->
+  Prefix.t list ->
+  (int, string) result
+(** [patch t ~budget ~resolve changed] rewrites, in place, every root
+    cell covered by a changed prefix. [resolve] is the authoritative
+    longest-prefix match (typically a walk of the live trie): for the
+    base address of a cell it must return the {!encode}d result valid
+    for the {e entire} cell — i.e. the covering prefix's length must
+    not exceed the root stride — or {!miss} when nothing covers it.
+
+    Returns [Ok cells] (the number of root cells rewritten, after
+    merging nested deltas). Returns [Error reason] — the caller must
+    fall back to a full {!build} — when the layout is poptrie, a
+    changed prefix is longer than the root stride, the merged delta
+    exceeds [budget] cells, any covered cell holds a spill pointer, or
+    [resolve] returns a result longer than the root stride. Refusals
+    are detected before the first write except for the resolver-length
+    check, so on [Error] (or if [resolve] raises) the table must be
+    treated as unspecified and rebuilt or discarded. *)
 
 val variant : t -> variant
 

@@ -401,6 +401,79 @@ let prop_churn_accounting =
       (* in-place next-hop rewrites never change the size *)
       !ok && !updates_ >= 0)
 
+(* -- Coalesce: burst folding into net per-prefix deltas -------------- *)
+
+let test_coalesce_algebra () =
+  let a = p "10.0.0.0/24" and b = p "10.1.0.0/24" and c = p "10.2.0.0/24" in
+  let co = Coalesce.create () in
+  Coalesce.add co (Cfca_bgp.Bgp_update.announce a 1);
+  Coalesce.add co (Cfca_bgp.Bgp_update.announce a 2);
+  Coalesce.add co (Cfca_bgp.Bgp_update.announce b 3);
+  Coalesce.add co (Cfca_bgp.Bgp_update.withdraw b);
+  Coalesce.add co (Cfca_bgp.Bgp_update.withdraw c);
+  Coalesce.add co (Cfca_bgp.Bgp_update.announce c 4);
+  check_int "three prefixes pending" 3 (Coalesce.pending co);
+  (* b is absent from the table, so its net withdraw cancels outright *)
+  let net = Coalesce.flush ~known:(fun q -> not (Prefix.equal q b)) co in
+  (match net with
+  | [ u1; u2 ] ->
+      check "last announce wins" true
+        (Prefix.equal u1.Cfca_bgp.Bgp_update.prefix a
+        && u1.Cfca_bgp.Bgp_update.action = Cfca_bgp.Bgp_update.Announce 2);
+      check "withdraw-then-announce nets to the final announce" true
+        (Prefix.equal u2.Cfca_bgp.Bgp_update.prefix c
+        && u2.Cfca_bgp.Bgp_update.action = Cfca_bgp.Bgp_update.Announce 4)
+  | l -> Alcotest.failf "expected 2 net updates, got %d" (List.length l));
+  check_int "seen counts raw updates" 6 (Coalesce.seen co);
+  check_int "emitted counts survivors" 2 (Coalesce.emitted co);
+  check_int "flush resets the burst" 0 (Coalesce.pending co)
+
+let test_coalesce_known_withdraw_kept () =
+  let a = p "10.0.0.0/24" in
+  let co = Coalesce.create () in
+  Coalesce.add co (Cfca_bgp.Bgp_update.announce a 7);
+  Coalesce.add co (Cfca_bgp.Bgp_update.withdraw a);
+  (match Coalesce.flush ~known:(fun _ -> true) co with
+  | [ u ] ->
+      check "announce-then-withdraw of an installed prefix nets to withdraw"
+        true
+        (u.Cfca_bgp.Bgp_update.action = Cfca_bgp.Bgp_update.Withdraw)
+  | l -> Alcotest.failf "expected 1 net update, got %d" (List.length l));
+  (* without membership knowledge the net withdraw must survive *)
+  Coalesce.add co (Cfca_bgp.Bgp_update.announce a 7);
+  Coalesce.add co (Cfca_bgp.Bgp_update.withdraw a);
+  check_int "unknown membership keeps the withdraw" 1
+    (List.length (Coalesce.flush co))
+
+let prop_coalesce_preserves_final_fib =
+  QCheck.Test.make ~count:50
+    ~name:"coalesced burst reaches the same installed FIB"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 0xC0A |] in
+      let routes =
+        List.init 60 (fun i ->
+            (Prefix.random st ~min_len:8 ~max_len:24 (), (i mod 9) + 1))
+      in
+      (* a small prefix pool so the burst repeatedly touches the same
+         prefixes — the case coalescing exists for *)
+      let pool =
+        Array.init 12 (fun _ -> Prefix.random st ~min_len:8 ~max_len:26 ())
+      in
+      let burst =
+        List.init 120 (fun _ ->
+            let q = pool.(Random.State.int st 12) in
+            if Random.State.int st 3 = 0 then Cfca_bgp.Bgp_update.withdraw q
+            else Cfca_bgp.Bgp_update.announce q (1 + Random.State.int st 9))
+      in
+      let run updates =
+        let rm = Route_manager.create ~default_nh () in
+        Route_manager.load rm (List.to_seq routes);
+        List.iter (Route_manager.apply rm) updates;
+        Route_manager.entries rm
+      in
+      run burst = run (Coalesce.run burst))
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "cfca"
@@ -440,5 +513,12 @@ let () =
             prop_differential_oracle;
             prop_withdraw_all_returns_to_default;
             prop_churn_accounting;
+            prop_coalesce_preserves_final_fib;
           ] );
+      ( "coalesce",
+        [
+          Alcotest.test_case "net-delta algebra" `Quick test_coalesce_algebra;
+          Alcotest.test_case "withdraw membership" `Quick
+            test_coalesce_known_withdraw_kept;
+        ] );
     ]

@@ -329,6 +329,118 @@ let test_fib_snapshot_updates () =
     assert_agreement "under churn" snap rm st 25
   done
 
+(* -- incremental patching -------------------------------------------- *)
+
+(* A snapshot wired for per-prefix invalidation: the sink reports every
+   IN_FIB membership flip with its prefix, so refreshes may patch the
+   compiled structure in place instead of recompiling it. *)
+let patching_fixture ~root_bits ~patch_budget =
+  let snap = Fib_snapshot.create ~patch_budget ~root_bits () in
+  let rm =
+    Route_manager.create
+      ~sink:(fun tr op ->
+        match op with
+        | Fib_op.Install (nd, _) | Fib_op.Remove (nd, _) ->
+            Fib_snapshot.invalidate_prefix snap (Bintrie.Node.prefix tr nd)
+        | Fib_op.Update _ -> ())
+      ~default_nh:9 ()
+  in
+  (snap, rm)
+
+(* Differential property: a snapshot maintained through per-prefix
+   deltas and in-place patching answers exactly like the authoritative
+   walk (and therefore like a from-scratch recompile) after every
+   burst. Probes are boundary-exhaustive over every prefix a burst
+   touched ({!Cfca_check.Oracle.addresses_of}) plus a uniform sample;
+   the length mix keeps most bursts within the root stride so the
+   patch path genuinely runs, with a long tail exercising the
+   stride-refusal fallback. *)
+let prop_patch_differential =
+  QCheck.Test.make ~count:40 ~name:"patched snapshot = authoritative walk"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 0xD1F |] in
+      let root_bits = 16 in
+      let snap, rm = patching_fixture ~root_bits ~patch_budget:4096 in
+      let routes =
+        List.init 150 (fun i ->
+            (Prefix.random st ~min_len:8 ~max_len:24 (), (i mod 30) + 1))
+      in
+      Route_manager.load rm (List.to_seq routes);
+      let tree = Route_manager.tree rm in
+      Fib_snapshot.refresh snap tree;
+      let ok = ref true in
+      for _burst = 1 to 6 do
+        let touched = ref [] in
+        for _ = 1 to 8 do
+          let max_len = if Random.State.int st 4 = 0 then 28 else root_bits in
+          let q = Prefix.random st ~min_len:6 ~max_len () in
+          touched := q :: !touched;
+          Route_manager.apply rm
+            (if Random.State.int st 3 = 0 then Cfca_bgp.Bgp_update.withdraw q
+             else Cfca_bgp.Bgp_update.announce q (1 + Random.State.int st 30))
+        done;
+        Fib_snapshot.refresh snap tree;
+        let probes =
+          List.concat_map
+            (fun q -> Cfca_check.Oracle.addresses_of q st)
+            !touched
+          @ List.init 64 (fun _ -> Ipv4.random st)
+        in
+        List.iter
+          (fun a ->
+            let node = Bintrie.lookup_in_fib tree a in
+            if
+              Bintrie.is_nil node
+              || not (Bintrie.Node.equal node (Fib_snapshot.lookup snap tree a))
+            then ok := false)
+          probes
+      done;
+      !ok)
+
+(* Deterministic patch coverage + allocation gate: a short-prefix flip
+   must take the patch path, and a patched refresh must allocate
+   O(delta) — orders of magnitude under the 2^16-slot root array a
+   full recompile rebuilds. *)
+let test_patch_path_allocation () =
+  let root_bits = 16 in
+  let snap, rm = patching_fixture ~root_bits ~patch_budget:4096 in
+  let routes =
+    List.init 16 (fun i -> (Prefix.make (Ipv4.of_int (i lsl 20)) 12, i + 1))
+  in
+  Route_manager.load rm (List.to_seq routes);
+  let tree = Route_manager.tree rm in
+  Fib_snapshot.refresh snap tree;
+  (* fragment one /12 with a /14 carrying a new next hop: IN_FIB flips
+     at depths within the root stride *)
+  Route_manager.announce rm (Prefix.make (Ipv4.of_int (1 lsl 20)) 14) 40;
+  let b0 = Gc.allocated_bytes () in
+  Fib_snapshot.refresh snap tree;
+  let patched_bytes = Gc.allocated_bytes () -. b0 in
+  let s = Fib_snapshot.stats snap in
+  check_int "refresh took the patch path" 1 s.Fib_snapshot.patches;
+  check "patch rewrote the covered cells" true (s.Fib_snapshot.patched_cells > 0);
+  check "patch allocates O(delta)" true (patched_bytes < 100_000.0);
+  (* contrast: a wholesale invalidation forces the full recompile,
+     which must rebuild the 2^16-slot root (= 512 KB) *)
+  Fib_snapshot.invalidate snap;
+  let b1 = Gc.allocated_bytes () in
+  Fib_snapshot.refresh snap tree;
+  let full_bytes = Gc.allocated_bytes () -. b1 in
+  let s = Fib_snapshot.stats snap in
+  check_int "wholesale invalidation recompiles" 2 s.Fib_snapshot.full_rebuilds;
+  check "full recompile rebuilds the root array" true
+    (full_bytes > 10.0 *. patched_bytes);
+  (* and the patched generation forwards correctly *)
+  let st = Random.State.make [| 0xA110C |] in
+  for _ = 1 to 2_000 do
+    let a = Ipv4.random st in
+    check "agreement" true
+      (Bintrie.Node.equal
+         (Bintrie.lookup_in_fib tree a)
+         (Fib_snapshot.lookup snap tree a))
+  done
+
 let () =
   Alcotest.run "dataplane"
     [
@@ -338,6 +450,8 @@ let () =
             test_fib_snapshot_agrees;
           Alcotest.test_case "stays correct across updates" `Quick
             test_fib_snapshot_updates;
+          Alcotest.test_case "patch path + allocation gate" `Quick
+            test_patch_path_allocation;
         ] );
       ( "table_set",
         [
@@ -360,5 +474,9 @@ let () =
           Alcotest.test_case "bgp ops" `Quick test_bgp_ops_update_structures;
           Alcotest.test_case "bad config" `Quick test_rejects_bad_config;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_residency_exclusive ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_residency_exclusive;
+          QCheck_alcotest.to_alcotest prop_patch_differential;
+        ] );
     ]

@@ -296,12 +296,19 @@ let run_stress mode =
       mode;
       seed = 0xD00D;
       sample_every = 23;
+      coalesce = true;
+      verify_publish = true;
     }
   in
   let r = M.run ~telemetry cfg (stress_rib 0xD00D 800) in
   check "audit ran" true (r.M.mt_audit_samples > 0);
   check_int "zero divergences from per-epoch oracles" 0
     r.M.mt_audit_divergences;
+  check "publish gate ran" true (r.M.mt_publish_checks > 0);
+  check_int "zero patched-vs-fresh publish divergences" 0
+    r.M.mt_publish_divergences;
+  check "patched + full = publishes" true
+    (r.M.mt_patched_publishes + r.M.mt_full_compiles = r.M.mt_published - 1);
   check_int "no pin of a freed generation" 0 r.M.mt_live_violations;
   check "counters exact" true r.M.mt_counters_exact;
   check_int "all updates applied" 150 r.M.mt_updates_applied;

@@ -403,6 +403,19 @@ let test_update_json_golden () =
       ub_speedup_pfca = infinity;
       ub_gate_ops = 9_999;
       ub_gate_divergences = 0;
+      ub_patch =
+        {
+          Report.up_bursts = 64;
+          up_patched = 40;
+          up_full = 24;
+          up_cells = 512;
+          up_coalesced_seen = 512;
+          up_coalesced_emitted = 384;
+          up_checks = 20_000;
+          up_divergences = 0;
+          up_ups_patched = 2.0e6;
+          up_ups_full = 5.0e5;
+        };
     }
   in
   let j = parse_json (Report.json_of_update_bench b) in
@@ -441,7 +454,23 @@ let test_update_json_golden () =
   check "infinite speedup clamped" true (field "pfca" speedup = J_num 0.0);
   let gate = field "gate" j in
   check "gate ops" true (field "ops_compared" gate = J_num 9_999.0);
-  check "gate divergences" true (field "divergences" gate = J_num 0.0)
+  check "gate divergences" true (field "divergences" gate = J_num 0.0);
+  let patch = field "patch" j in
+  check "patch bursts" true (field "bursts" patch = J_num 64.0);
+  check "patch patched" true (field "patched" patch = J_num 40.0);
+  check "patch full" true (field "full_recompiles" patch = J_num 24.0);
+  check "patch cells" true (field "patched_cells" patch = J_num 512.0);
+  check "patch coalesced" true
+    (field "coalesced_seen" patch = J_num 512.0
+    && field "coalesced_emitted" patch = J_num 384.0);
+  check "patch gate" true
+    (field "checks" patch = J_num 20_000.0
+    && field "divergences" patch = J_num 0.0);
+  let incr = field "incremental" j in
+  check "incremental rates" true
+    (field "updates_per_sec_patched" incr = J_num 2.0e6
+    && field "updates_per_sec_full" incr = J_num 5.0e5);
+  check "incremental speedup" true (field "speedup" incr = J_num 4.0)
 
 let test_mt_json_golden () =
   let row domains mode ml sp =
@@ -467,6 +496,13 @@ let test_mt_json_golden () =
       mb_audit_divergences = 0;
       mb_live_violations = 0;
       mb_counters_exact = true;
+      mb_republish =
+        {
+          Report.mr_patched = 6;
+          mr_full = 42;
+          mr_patched_us = 250.0;
+          mr_full_us = 1_000.0;
+        };
     }
   in
   let j = parse_json (Report.json_of_mt_bench b) in
@@ -508,7 +544,15 @@ let test_mt_json_golden () =
   check "audit samples" true (field "samples" audit = J_num 3_184.0);
   check "audit divergences" true (field "divergences" audit = J_num 0.0);
   check "live violations" true (field "live_violations" audit = J_num 0.0);
-  check "counters exact" true (field "counters_exact" audit = J_bool true)
+  check "counters exact" true (field "counters_exact" audit = J_bool true);
+  let republish = field "republish" j in
+  check "republish counts" true
+    (field "patched" republish = J_num 6.0
+    && field "full" republish = J_num 42.0);
+  check "republish latencies" true
+    (field "patched_us" republish = J_num 250.0
+    && field "full_us" republish = J_num 1_000.0);
+  check "republish speedup" true (field "speedup" republish = J_num 4.0)
 
 let test_run_capture_missing_file () =
   let workload = (Lazy.force results).Experiments.workload in
