@@ -1,7 +1,8 @@
 # Convenience wrappers around dune; see README.md.
 
 .PHONY: all build test doc fuzz bench quick-bench bench-smoke \
-	telemetry-smoke scenarios crash mt mt-bench-smoke examples clean
+	telemetry-smoke scenarios crash mt mt-bench-smoke \
+	replay-smoke replay-full perf perf-pin examples clean
 
 all: build
 
@@ -117,6 +118,35 @@ MT_BENCH_DOMAINS ?= 1,2
 mt-bench-smoke: build
 	dune exec bench/main.exe -- --scale=0.05 --json \
 	  --domains=$(MT_BENCH_DOMAINS) mt-lookup
+
+# Full-scale replay harness (lib/sim/replay.ml): RouteViews-sized RIB
+# under sustained BGP churn and Zipf traffic through the complete
+# stack — coalescing -> incremental snapshot patching -> mt plane —
+# with an independent shadow-LPM audit and an enforced arena memory
+# budget (heap words/route). Exits non-zero on any audit divergence,
+# invariant violation, inert patch/publish path, or budget overrun.
+# The smoke variant (scale 0.05, ~35K routes) is what CI runs and what
+# BENCH_replay.json is pinned from; replay-full runs the paper-sized
+# table (~700K routes, a few minutes). See BENCHMARKS.md.
+# Override e.g.: make replay-full REPLAY_SCALE=1.3 (≈900K routes)
+REPLAY_SCALE ?= 1.0
+
+replay-smoke: build
+	dune exec bench/main.exe -- --scale=0.05 --json replay
+
+replay-full: build
+	dune exec bench/main.exe -- --scale=$(REPLAY_SCALE) --json replay
+
+# Perf-regression gate: diff every BENCH_*.json on disk against the
+# committed BENCH_BASELINES.json with per-kind tolerances (exact
+# deterministic counts, banded ratios and memory, warn-only wall-clock
+# timings — see BENCHMARKS.md). Exits non-zero on any hard failure.
+# Re-pin after an intended behaviour change with: make perf-pin
+perf: build
+	dune exec bin/verify.exe -- perf
+
+perf-pin: build
+	dune exec bin/verify.exe -- perf --write-baselines
 
 examples: build
 	dune exec examples/quickstart.exe

@@ -1144,13 +1144,66 @@ let mt_lookup_target mult ~emit_json ~domain_counts ~min_speedup =
         exit 1
       end)
 
+(* -- full-scale replay: the complete stack at RouteViews size -------- *)
+
+let replay_target mult ~emit_json ~mrt =
+  section
+    "Full-scale replay -- coalescing -> snapshot patching -> mt plane under \
+     a memory budget";
+  let cfg = { (Cfca_sim.Replay.config_of_scale mult) with Cfca_sim.Replay.mrt } in
+  Printf.printf
+    "config: %d routes%s, %d packets x 2 paths, %d updates in bursts of %d, \
+     root /%d, budget %.1f words/route\n%!"
+    cfg.Cfca_sim.Replay.routes
+    (match mrt with Some f -> Printf.sprintf " (MRT %s)" f | None -> "")
+    cfg.Cfca_sim.Replay.packets cfg.Cfca_sim.Replay.updates
+    cfg.Cfca_sim.Replay.burst cfg.Cfca_sim.Replay.root_bits
+    cfg.Cfca_sim.Replay.budget_words_per_route;
+  let r =
+    Cfca_sim.Replay.run ~progress:(fun m -> Printf.printf "  %s\n%!" m) cfg
+  in
+  let bench_result = { Report.rb_scale = mult; rb_result = r } in
+  Report.print_replay_bench bench_result;
+  if emit_json then begin
+    let oc = open_out "BENCH_replay.json" in
+    output_string oc (Report.json_of_replay_bench bench_result);
+    close_out oc;
+    print_endline "wrote BENCH_replay.json"
+  end;
+  (* Correctness and budget gates are hard; only the wall-clock rates
+     are machine-dependent and ungated here. *)
+  if r.Cfca_sim.Replay.r_audit_divergences > 0 then begin
+    print_endline "replay bench: FAILED (shadow-LPM audit diverged)";
+    exit 1
+  end;
+  if not r.Cfca_sim.Replay.r_verify_ok then begin
+    print_endline "replay bench: FAILED (route-manager invariants violated)";
+    exit 1
+  end;
+  if r.Cfca_sim.Replay.r_patches = 0 then begin
+    print_endline "replay bench: FAILED (snapshot patch path inert)";
+    exit 1
+  end;
+  if r.Cfca_sim.Replay.r_patched_publishes = 0 then begin
+    print_endline "replay bench: FAILED (plane delta-publish path inert)";
+    exit 1
+  end;
+  if not r.Cfca_sim.Replay.r_budget_ok then begin
+    Printf.printf
+      "replay bench: FAILED (memory budget: %.2f heap words/route > %.2f)\n"
+      r.Cfca_sim.Replay.r_words_per_route r.Cfca_sim.Replay.r_budget_words;
+    exit 1
+  end
+
 let usage () =
   print_endline
-    "targets: table2 table3 fig9 fig10a fig10b fig11 fig12 ablations v6 robustness micro lookup update mt-lookup all";
+    "targets: table2 table3 fig9 fig10a fig10b fig11 fig12 ablations v6 robustness micro lookup update mt-lookup replay all";
   print_endline
-    "options: --scale=<float> (default 1.0)  --json (write BENCH_lookup.json / BENCH_update.json / BENCH_mtlookup.json)";
+    "options: --scale=<float> (default 1.0)  --json (write BENCH_lookup.json / BENCH_update.json / BENCH_mtlookup.json / BENCH_replay.json)";
   print_endline
-    "         --domains=<n,n,...> (mt-lookup, default 1,2,4)  --min-speedup=<float> (mt-lookup warm gate, default off)"
+    "         --domains=<n,n,...> (mt-lookup, default 1,2,4)  --min-speedup=<float> (mt-lookup warm gate, default off)";
+  print_endline
+    "         --mrt=<file> (replay: load the RIB from an MRT table dump instead of generating one)"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1158,6 +1211,7 @@ let () =
   let json = ref false in
   let domain_counts = ref [ 1; 2; 4 ] in
   let min_speedup = ref None in
+  let mrt = ref None in
   let targets =
     List.filter
       (fun a ->
@@ -1180,6 +1234,10 @@ let () =
             Some (float_of_string (String.sub a 14 (String.length a - 14)));
           false
         end
+        else if String.length a > 6 && String.sub a 0 6 = "--mrt=" then begin
+          mrt := Some (String.sub a 6 (String.length a - 6));
+          false
+        end
         else true)
       args
   in
@@ -1198,6 +1256,7 @@ let () =
     | "mt-lookup" ->
         mt_lookup_target !scale ~emit_json:!json
           ~domain_counts:!domain_counts ~min_speedup:!min_speedup
+    | "replay" -> replay_target !scale ~emit_json:!json ~mrt:!mrt
     | "ablations" -> ablations !scale
     | "v6" -> v6_bench !scale
     | "robustness" -> robustness !scale
@@ -1216,7 +1275,8 @@ let () =
         lookup_target !scale ~emit_json:!json;
         update_target !scale ~emit_json:!json;
         mt_lookup_target !scale ~emit_json:!json
-          ~domain_counts:!domain_counts ~min_speedup:!min_speedup
+          ~domain_counts:!domain_counts ~min_speedup:!min_speedup;
+        replay_target !scale ~emit_json:!json ~mrt:!mrt
     | other ->
         Printf.printf "unknown target %S\n" other;
         usage ();

@@ -487,6 +487,195 @@ let scenarios_cmd =
       const scenarios $ sc_scale_arg $ sc_seed_arg $ sc_packs_arg
       $ sc_baselines_arg $ sc_out_arg $ sc_write_arg)
 
+(* -- perf: bench perf-regression gate -------------------------------- *)
+
+(* Diff every committed BENCH_*.json against the pinned baselines
+   (BENCH_BASELINES.json) with per-kind tolerances — see
+   Cfca_scenario.Perf and BENCHMARKS.md. Deterministic metrics gate
+   hard; timing metrics warn unless --gate-timing. *)
+
+let perf_baselines_arg =
+  let doc = "Baseline file the reports are diffed against." in
+  Arg.(
+    value
+    & opt string "BENCH_BASELINES.json"
+    & info [ "baselines" ] ~docv:"FILE" ~doc)
+
+let perf_dir_arg =
+  let doc = "Directory holding the $(b,BENCH_*.json) reports." in
+  Arg.(value & opt string "." & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let perf_bench_arg =
+  let doc = "Comma-separated bench names to diff (default: all pinned)." in
+  Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"NAMES" ~doc)
+
+let perf_gate_timing_arg =
+  let doc =
+    "Enforce timing-kind failures too (off by default: wall-clock rates \
+     are machine-dependent, so on foreign hardware they only warn)."
+  in
+  Arg.(value & flag & info [ "gate-timing" ] ~doc)
+
+let perf_write_arg =
+  let doc =
+    "Re-pin: write $(b,--baselines) from the reports currently on disk, \
+     every metric at its default per-kind tolerance."
+  in
+  Arg.(value & flag & info [ "write-baselines" ] ~doc)
+
+let perf baselines_path dir bench_opt gate_timing write_baselines =
+  let module P = Cfca_scenario.Perf in
+  let module B = Cfca_scenario.Baseline in
+  let failed = ref false and warned = ref false in
+  let wanted =
+    match bench_opt with
+    | None -> None
+    | Some s ->
+        Some
+          (String.split_on_char ',' s
+          |> List.map String.trim
+          |> List.filter (fun x -> x <> ""))
+  in
+  let selected name =
+    match wanted with None -> true | Some ns -> List.mem name ns
+  in
+  let read path =
+    try Some (In_channel.with_open_text path In_channel.input_all)
+    with Sys_error _ -> None
+  in
+  if write_baselines then begin
+    let benches =
+      List.filter_map
+        (fun (name, file) ->
+          if not (selected name) then None
+          else
+            let path = Filename.concat dir file in
+            match read path with
+            | None ->
+                Printf.printf "SKIP %s: %s not found (run `bench %s` first)\n"
+                  name path name;
+                None
+            | Some text -> (
+                match P.pin_document ~bench:name ~file text with
+                | Ok b ->
+                    Printf.printf "pin  %s: %d metrics from %s\n" name
+                      (List.length b.P.pb_metrics)
+                      file;
+                    Some b
+                | Error msg ->
+                    failed := true;
+                    Printf.printf "FAIL %s: %s: %s\n" name path msg;
+                    None))
+        P.catalog
+    in
+    if benches = [] then begin
+      prerr_endline "perf: no reports to pin";
+      exit 2
+    end;
+    if !failed then exit 1;
+    (* atomic: a crash mid-pin must not leave a torn baseline file *)
+    Cfca_wire.Atomic_file.write baselines_path
+      (P.to_json { P.p_version = 1; p_benches = benches });
+    Printf.printf "pinned %d benches to %s\n" (List.length benches)
+      baselines_path;
+    exit 0
+  end;
+  match P.of_file baselines_path with
+  | Error msg ->
+      Printf.printf "FAIL baselines: %s: %s\n" baselines_path msg;
+      exit 1
+  | Ok t ->
+      let diff_bench (b : P.bench) =
+        let name = b.P.pb_bench in
+        let path = Filename.concat dir b.P.pb_file in
+        match read path with
+        | None ->
+            failed := true;
+            Printf.printf "FAIL %s: %s not found (run `bench %s --json`)\n"
+              name path name
+        | Some text -> (
+            match P.diff b text with
+            | Error msg ->
+                failed := true;
+                Printf.printf "FAIL %s: %s: %s\n" name path msg
+            | Ok outcomes ->
+                let pass = ref 0 and warn = ref 0 and fail = ref 0 in
+                List.iter
+                  (fun (o : P.outcome) ->
+                    let tol = o.P.o_tol in
+                    match (P.gate ~gate_timing o, o.P.o_got) with
+                    | B.Pass, _ -> incr pass
+                    | _, None ->
+                        incr fail;
+                        failed := true;
+                        Printf.printf
+                          "FAIL %s/%s: pinned metric missing from the \
+                           report (schema change — re-pin deliberately)\n"
+                          name tol.B.t_metric
+                    | B.Warn, Some got ->
+                        incr warn;
+                        warned := true;
+                        Printf.printf
+                          "WARN %s/%s (%s): %g drifted from pinned %g \
+                           (allowed ±%g)\n"
+                          name tol.B.t_metric
+                          (P.kind_name o.P.o_kind)
+                          got tol.B.t_expected (B.allowed tol)
+                    | B.Fail, Some got ->
+                        incr fail;
+                        failed := true;
+                        Printf.printf "FAIL %s/%s (%s): %g outside pinned %g ±%g\n"
+                          name tol.B.t_metric
+                          (P.kind_name o.P.o_kind)
+                          got tol.B.t_expected (B.allowed tol))
+                  outcomes;
+                (match B.parse_json text with
+                | json ->
+                    List.iter
+                      (fun m ->
+                        warned := true;
+                        Printf.printf
+                          "WARN %s/%s: unpinned metric (re-pin to adopt)\n"
+                          name m)
+                      (P.unpinned b json)
+                | exception B.Parse_error _ -> ());
+                Printf.printf
+                  "%-9s %s: %d metrics — %d pass, %d warn, %d fail\n" name
+                  b.P.pb_file
+                  (List.length outcomes)
+                  !pass !warn !fail)
+      in
+      let benches = List.filter (fun b -> selected b.P.pb_bench) t.P.p_benches in
+      if benches = [] then begin
+        prerr_endline "perf: no pinned benches selected";
+        exit 2
+      end;
+      List.iter diff_bench benches;
+      List.iter
+        (fun (name, _) ->
+          if selected name && P.find t name = None then begin
+            warned := true;
+            Printf.printf "WARN %s: known bench target has no pins\n" name
+          end)
+        P.catalog;
+      Printf.printf "perf: %d benches diffed against %s — %s\n"
+        (List.length benches) baselines_path
+        (if !failed then "GATE FAILED"
+         else if !warned then "clean (with warnings)"
+         else "clean");
+      exit (if !failed then 1 else 0)
+
+let perf_cmd =
+  let doc =
+    "diff the bench reports (BENCH_*.json) against the committed \
+     perf baselines with per-kind tolerances; deterministic metrics \
+     gate hard, timing metrics warn unless $(b,--gate-timing)"
+  in
+  Cmd.v (Cmd.info "perf" ~doc)
+    Term.(
+      const perf $ perf_baselines_arg $ perf_dir_arg $ perf_bench_arg
+      $ perf_gate_timing_arg $ perf_write_arg)
+
 (* -- inject ---------------------------------------------------------- *)
 
 let inject_seeds_arg =
@@ -951,6 +1140,7 @@ let () =
             fuzz_cmd;
             replay_cmd;
             timeseries_cmd;
+            perf_cmd;
             inject_cmd;
             scenarios_cmd;
             crash_cmd;

@@ -22,13 +22,16 @@
     reported per-prefix, the recompile first tries to {e patch} the
     compiled structure in place ({!Cfca_trie.Flat_lpm.patch}) —
     re-resolving only the root cells covered by the changed prefixes —
-    instead of rebuilding it from the full IN_FIB set. The patch path
-    falls back to a full recompile whenever it cannot be proven
-    equivalent: poptrie layouts, changed prefixes longer than the root
-    stride, deltas touching spill blocks or exceeding [patch_budget]
-    cells, overflowed delta tracking, or a payload table due for
-    compaction. {!stats} separates [patches] from [full_rebuilds] so
-    callers can see which path a workload takes.
+    instead of rebuilding it from the full IN_FIB set. Prefixes longer
+    than the root stride patch too: their cells are re-leaf-pushed into
+    fresh spill chains appended past the live blocks (published copies
+    keep the old spill array — see {!Cfca_trie.Flat_lpm.patch}). The
+    patch path falls back to a full recompile whenever it cannot be
+    proven equivalent: poptrie layouts, deltas exceeding [patch_budget]
+    cells, orphaned spill chains grown past the recompile threshold,
+    overflowed delta tracking, or a payload table due for compaction.
+    {!stats} separates [patches] from [full_rebuilds] so callers can
+    see which path a workload takes.
 
     The IN_FIB set is non-overlapping (a cover — see
     {!Cfca_trie.Bintrie.lookup_in_fib}), so the compiled longest-match
@@ -70,11 +73,11 @@ val create :
     root cells an in-place patch may rewrite before falling back to a
     full recompile; [0] disables patching entirely (every refresh
     recompiles, the pre-incremental behavior). [root_bits] forces the
-    compiled layout to DIR with that root stride (8–24) — deltas no
-    longer than the stride patch in place, so a larger stride patches
-    more of a /24-heavy churn mix at the price of a [2^root_bits]-slot
-    root array; omitted, the layout heuristic chooses (and patching
-    only applies when it chooses DIR and the churn fits the stride).
+    compiled layout to DIR with that root stride (8–24) — prefixes
+    longer than the stride patch through appended spill chains, so the
+    stride trades the root array size ([2^root_bits] slots) against
+    how many cells a short-prefix delta covers; omitted, the layout
+    heuristic chooses (and patching only applies when it chooses DIR).
     [domains] (default 1) sizes the per-domain hit-accounting cells:
     each lookup domain increments its own padded cell, and {!stats}
     merges them on read-out, so the counts stay exact without

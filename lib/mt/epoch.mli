@@ -95,6 +95,7 @@ val current : 'a t -> 'a
 (** The current generation (writer-side peek; readers use {!pin}). *)
 
 val readers : 'a t -> int
+(** Number of reader slots the hub was created with. *)
 
 val retired : 'a t -> int
 (** Retired generations still awaiting grace. *)

@@ -52,6 +52,7 @@ val c_defaults : int
 (** Lookups that fell through to the default next-hop. *)
 
 val counter_count : int
+(** Number of counter columns per stats row (the [c_*] indices above). *)
 
 val counter_name : int -> string
 (** Telemetry name of a counter index ([mt_pins], [mt_lookups],
@@ -70,11 +71,11 @@ val create :
     and stat rows. [patch_budget] (default 4096) caps the root cells a
     {!publish_delta} patch may rewrite before falling back to a full
     compile; [0] disables patching. [root_bits] forces every compiled
-    generation to the DIR layout with that root stride (8–24) — a
-    delta only patches when every changed prefix fits the stride, so a
-    deployment whose churn is /24-heavy wants [~root_bits:24] at the
-    price of a [2^24]-slot root array per generation; omitted, the
-    layout heuristic chooses per compile.
+    generation to the DIR layout with that root stride (8–24) —
+    prefixes longer than the stride patch through appended spill
+    chains, so the stride trades the per-generation root array size
+    ([2^root_bits] slots) against how many root cells a short-prefix
+    delta covers; omitted, the layout heuristic chooses per compile.
     @raise Invalid_argument if [readers < 1], [patch_budget < 0],
     [root_bits] is out of range, or the default next-hop is the
     sentinel. *)
@@ -102,8 +103,9 @@ val publish_delta :
     [Flat_lpm.miss] when the cover misses (readers then fall through to
     the default next-hop). An empty [changed] republishes the current
     table under a fresh generation record without copying. Falls back
-    to {!publish} [routes] whenever the patch refuses (budget, spill,
-    stride, poptrie). Returns the new epoch. Writer-only. *)
+    to {!publish} [routes] whenever the patch refuses (budget exceeded,
+    orphaned-spill growth, poptrie layout — see
+    {!Cfca_trie.Flat_lpm.patch}). Returns the new epoch. Writer-only. *)
 
 val patched_publishes : t -> int
 (** Publications that took the patch (or no-change) path. *)
@@ -117,15 +119,19 @@ val collect : t -> int
     return how many were freed. Writer-only. *)
 
 val epoch : t -> int
+(** The hub's current epoch (advances on every publication). *)
 
 val current : t -> gen
 (** Writer-side peek at the current generation. *)
 
 val retired : t -> int
+(** Retired generations still awaiting their grace period. *)
 
 val freed : t -> int
+(** Generations freed by {!collect} over the plane's lifetime. *)
 
 val readers : t -> int
+(** Number of reader slots the plane was created with. *)
 
 val stats : t -> Shard.t
 (** The shared per-domain counter rows (for merge/inspection). *)
@@ -153,6 +159,8 @@ module Reader : sig
       torn generation. *)
 
   val unpin : t -> unit
+  (** Clear this domain's advertised epoch, releasing the pinned
+      generation to the writer's grace-period accounting. *)
 
   val lookup : t -> gen -> Ipv4.t -> int
   (** The next-hop for one address from a pinned generation:

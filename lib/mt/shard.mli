@@ -21,8 +21,10 @@ val create : domains:int -> counters:int -> t
     @raise Invalid_argument unless both are ≥ 1. *)
 
 val domains : t -> int
+(** Number of rows (one per domain). *)
 
 val counters : t -> int
+(** Number of counter cells per row. *)
 
 type row
 (** One domain's view: a pre-resolved base offset, so the hot path is

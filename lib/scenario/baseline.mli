@@ -28,14 +28,18 @@ val magic : string
 (** The [baselines] discriminator field value, ["cfca-scenarios"]. *)
 
 val of_string : string -> (t, string) result
+(** Parse a baseline document; [Error] names the first problem
+    (malformed JSON, wrong {!magic}, missing field). *)
 
 val of_file : string -> (t, string) result
 
 val pack : t -> string -> pack_baseline option
+(** The pinned entry for one pack name, if any. *)
 
 type verdict = Pass | Warn | Fail
 
 val verdict_name : verdict -> string
+(** ["pass"], ["warn"] or ["fail"]. *)
 
 val allowed : tol -> float
 (** The permitted absolute drift: [max t_abs (t_rel *. |t_expected|)]. *)

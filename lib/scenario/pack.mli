@@ -68,6 +68,7 @@ val all : ?scale:float -> ?seed:int -> unit -> t list
 (** The five packs in canonical order (the order of {!names}). *)
 
 val names : string list
+(** The canonical pack names, ["thrash"] … ["fdrc-flows"]. *)
 
 val find : ?scale:float -> ?seed:int -> string -> t option
 (** Construct one pack by name. *)

@@ -1,0 +1,278 @@
+(* Bench-report baselines: the scenario tolerance gate generalized to
+   the BENCH_*.json documents.
+
+   The representation is deliberately schema-free: a report is flattened
+   to dotted metric paths and every number pinned individually, so new
+   bench fields are covered by re-pinning rather than by teaching this
+   module their shape. What *is* schema-aware is the classifier: the
+   path decides whether a metric is deterministic (exact pin),
+   ratio-like, memory-like, or wall-clock (warn-only by default). *)
+
+type kind = Exact | Ratio | Mem | Timing
+
+let kind_name = function
+  | Exact -> "exact"
+  | Ratio -> "ratio"
+  | Mem -> "mem"
+  | Timing -> "timing"
+
+let kind_of_name = function
+  | "exact" -> Some Exact
+  | "ratio" -> Some Ratio
+  | "mem" -> Some Mem
+  | "timing" -> Some Timing
+  | _ -> None
+
+let contains path sub =
+  let n = String.length path and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub path i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+(* Substring classification over the full dotted path. Timing covers
+   everything the machine or the scheduler owns: rates, latencies,
+   speedups derived from them, core counts, and concurrency peaks
+   (retired_peak, audit sample totals under domain interleaving). *)
+let classify path =
+  let has = contains path in
+  if has "ratio" then Ratio
+  else if has "heap" || has "_mb" then Mem
+  else if
+    has "ns_per_op" || has "per_sec" || has "_us" || has "_ns"
+    || has "speedup" || has "efficiency" || has "mlookups" || has "seconds"
+    || has "rate" || has "cores" || has "retired_peak" || has "samples"
+  then Timing
+  else Exact
+
+let default_tol path expected =
+  let abs_tol, rel_tol =
+    match classify path with
+    | Exact -> (0.0, 0.0)
+    | Ratio -> (0.02, 0.03)
+    | Mem -> if contains path "_mb" then (8.0, 0.30) else (1.5, 0.05)
+    | Timing -> (0.0, 0.60)
+  in
+  {
+    Baseline.t_metric = path;
+    t_expected = expected;
+    t_abs = abs_tol;
+    t_rel = rel_tol;
+  }
+
+type metric = { m_kind : kind; m_tol : Baseline.tol }
+
+type bench = { pb_bench : string; pb_file : string; pb_metrics : metric list }
+
+type t = { p_version : int; p_benches : bench list }
+
+let magic = "cfca-bench"
+
+let catalog =
+  [
+    ("lookup", "BENCH_lookup.json");
+    ("update", "BENCH_update.json");
+    ("mt-lookup", "BENCH_mtlookup.json");
+    ("replay", "BENCH_replay.json");
+  ]
+
+(* -- flattening ------------------------------------------------------ *)
+
+let flatten (doc : Baseline.json) =
+  let out = ref [] in
+  let join path k = if path = "" then k else path ^ "." ^ k in
+  let label_of = function
+    | Baseline.J_obj kvs ->
+        String.concat ":"
+          (List.filter_map
+             (function _, Baseline.J_str s -> Some s | _ -> None)
+             kvs)
+    | _ -> ""
+  in
+  let rec go path = function
+    | Baseline.J_num v -> out := (path, v) :: !out
+    | Baseline.J_bool b -> out := (path, if b then 1.0 else 0.0) :: !out
+    | Baseline.J_str _ | Baseline.J_null -> ()
+    | Baseline.J_obj kvs -> List.iter (fun (k, v) -> go (join path k) v) kvs
+    | Baseline.J_arr els ->
+        List.iteri
+          (fun i el ->
+            let seg =
+              match label_of el with
+              | "" -> string_of_int i
+              | lab -> Printf.sprintf "%d:%s" i lab
+            in
+            go (join path seg) el)
+          els
+  in
+  go "" doc;
+  List.rev !out
+
+(* -- pinning --------------------------------------------------------- *)
+
+let pin_document ~bench ~file text =
+  match Baseline.parse_json text with
+  | exception Baseline.Parse_error msg -> Error (file ^ ": " ^ msg)
+  | doc ->
+      Ok
+        {
+          pb_bench = bench;
+          pb_file = file;
+          pb_metrics =
+            List.map
+              (fun (path, v) ->
+                { m_kind = classify path; m_tol = default_tol path v })
+              (flatten doc);
+        }
+
+(* -- reading --------------------------------------------------------- *)
+
+let field name = function
+  | Baseline.J_obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> raise (Baseline.Parse_error ("missing field " ^ name)))
+  | _ -> raise (Baseline.Parse_error ("expected an object holding " ^ name))
+
+let num name j =
+  match field name j with
+  | Baseline.J_num f -> f
+  | _ -> raise (Baseline.Parse_error ("field " ^ name ^ " must be a number"))
+
+let str name j =
+  match field name j with
+  | Baseline.J_str s -> s
+  | _ -> raise (Baseline.Parse_error ("field " ^ name ^ " must be a string"))
+
+let arr name j =
+  match field name j with
+  | Baseline.J_arr l -> l
+  | _ -> raise (Baseline.Parse_error ("field " ^ name ^ " must be an array"))
+
+let of_string text =
+  let bench_magic = magic in
+  (* [Baseline.magic] ("cfca-scenarios") would shadow ours below *)
+  let open Baseline in
+  match parse_json text with
+  | exception Parse_error msg -> Error msg
+  | j -> (
+      try
+        if str "baselines" j <> bench_magic then
+          raise (Parse_error "not a cfca-bench baseline file");
+        let metric_of m =
+          let kname = str "kind" m in
+          match kind_of_name kname with
+          | None -> raise (Parse_error ("unknown metric kind " ^ kname))
+          | Some k ->
+              {
+                m_kind = k;
+                m_tol =
+                  {
+                    t_metric = str "metric" m;
+                    t_expected = num "expected" m;
+                    t_abs = num "tol_abs" m;
+                    t_rel = num "tol_rel" m;
+                  };
+              }
+        in
+        let bench_of b =
+          {
+            pb_bench = str "bench" b;
+            pb_file = str "file" b;
+            pb_metrics = List.map metric_of (arr "metrics" b);
+          }
+        in
+        Ok
+          {
+            p_version = int_of_float (num "version" j);
+            p_benches = List.map bench_of (arr "benches" j);
+          }
+      with Parse_error msg -> Error msg)
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> of_string text
+
+let find t name =
+  List.find_opt (fun b -> String.equal b.pb_bench name) t.p_benches
+
+(* -- writing --------------------------------------------------------- *)
+
+let to_json t =
+  let open Cfca_telemetry.Export in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"baselines\": %s,\n  \"version\": %d,\n"
+       (json_string magic) t.p_version);
+  Buffer.add_string buf "  \"benches\": [\n";
+  List.iteri
+    (fun i b ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"bench\": %s,\n      \"file\": %s,\n\
+                        \      \"metrics\": [\n"
+           (json_string b.pb_bench) (json_string b.pb_file));
+      List.iteri
+        (fun k m ->
+          if k > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf
+            (Printf.sprintf
+               "        { \"metric\": %s, \"kind\": %s, \"expected\": %s, \
+                \"tol_abs\": %s, \"tol_rel\": %s }"
+               (json_string m.m_tol.Baseline.t_metric)
+               (json_string (kind_name m.m_kind))
+               (json_number m.m_tol.Baseline.t_expected)
+               (json_number m.m_tol.Baseline.t_abs)
+               (json_number m.m_tol.Baseline.t_rel)))
+        b.pb_metrics;
+      Buffer.add_string buf "\n      ] }")
+    t.p_benches;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+(* -- diffing --------------------------------------------------------- *)
+
+type outcome = {
+  o_kind : kind;
+  o_tol : Baseline.tol;
+  o_got : float option;
+  o_verdict : Baseline.verdict;
+}
+
+let diff b text =
+  match Baseline.parse_json text with
+  | exception Baseline.Parse_error msg -> Error (b.pb_file ^ ": " ^ msg)
+  | doc ->
+      let fresh = flatten doc in
+      Ok
+        (List.map
+           (fun m ->
+             match List.assoc_opt m.m_tol.Baseline.t_metric fresh with
+             | None ->
+                 {
+                   o_kind = m.m_kind;
+                   o_tol = m.m_tol;
+                   o_got = None;
+                   o_verdict = Baseline.Fail;
+                 }
+             | Some got ->
+                 {
+                   o_kind = m.m_kind;
+                   o_tol = m.m_tol;
+                   o_got = Some got;
+                   o_verdict = Baseline.check m.m_tol got;
+                 })
+           b.pb_metrics)
+
+let gate ?(gate_timing = false) o =
+  match (o.o_kind, o.o_verdict, o.o_got) with
+  | Timing, Baseline.Fail, Some _ when not gate_timing -> Baseline.Warn
+  | _, v, _ -> v
+
+let unpinned b doc =
+  let pinned =
+    List.map (fun m -> m.m_tol.Baseline.t_metric) b.pb_metrics
+  in
+  List.filter_map
+    (fun (path, _) ->
+      if List.mem path pinned then None else Some path)
+    (flatten doc)

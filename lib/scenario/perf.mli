@@ -1,0 +1,113 @@
+(** Committed bench baselines ([BENCH_BASELINES.json]) and the
+    tolerance gate that diffs fresh [BENCH_*.json] documents against
+    them — the generalization of {!Baseline} from scenario scores to
+    arbitrary bench reports.
+
+    A bench report is any JSON document a bench target emits
+    ([BENCH_lookup.json], [BENCH_update.json], [BENCH_mtlookup.json],
+    [BENCH_replay.json]). {!flatten} turns one into a flat list of
+    [(path, value)] metrics: every number becomes a metric named by its
+    dotted path, booleans become [1]/[0], and array elements are
+    labelled with their index plus the element's string-valued fields
+    (so a lookup row renders as [results.0:flat-dir24:warm.ns_per_op]).
+    Row order is part of the schema — reordering rows is a schema
+    change and re-pins.
+
+    Each pinned metric carries a {!kind} deciding how its drift is
+    judged:
+
+    - {!Exact} — deterministic for a fixed seed/scale/code (counts,
+      sizes, divergence totals, gate booleans). Pinned with zero
+      tolerance: any drift is either a real behaviour change (re-pin
+      deliberately) or a regression.
+    - {!Ratio} — hit ratios; deterministic but deliberately given a
+      small band so threshold tuning doesn't thrash the pins.
+    - {!Mem} — heap footprints. The arena words/route figure is
+      deterministic (tight band); process-heap high-water marks move
+      with GC scheduling (wide band).
+    - {!Timing} — wall-clock rates and latencies. These are
+      machine-dependent, so their failures are demoted to warnings by
+      {!gate} unless the caller opts in ([--gate-timing] in
+      [verify perf]); the pins still document the reference machine's
+      numbers and catch order-of-magnitude collapses when gating is on.
+
+    The drift rule is {!Baseline.check}:
+    [allowed = max tol_abs (tol_rel * |expected|)], pass within half
+    the allowance, warn within it, fail beyond. *)
+
+type kind = Exact | Ratio | Mem | Timing
+
+val kind_name : kind -> string
+(** ["exact"], ["ratio"], ["mem"] or ["timing"] — the [kind] field of
+    the baseline file. *)
+
+val kind_of_name : string -> kind option
+
+val classify : string -> kind
+(** The default kind of a metric path, by substring: [ratio] →
+    {!Ratio}; [heap]/[_mb] → {!Mem}; rates, latencies, speedups,
+    efficiencies, core counts and scheduler-dependent peaks →
+    {!Timing}; everything else {!Exact}. *)
+
+val default_tol : string -> float -> Baseline.tol
+(** The pin for one metric with the default per-kind tolerances. *)
+
+type metric = { m_kind : kind; m_tol : Baseline.tol }
+
+type bench = {
+  pb_bench : string;  (** target name, e.g. ["lookup"] *)
+  pb_file : string;  (** the report it pins, e.g. ["BENCH_lookup.json"] *)
+  pb_metrics : metric list;
+}
+
+type t = { p_version : int; p_benches : bench list }
+
+val magic : string
+(** The [baselines] discriminator field value, ["cfca-bench"]. *)
+
+val catalog : (string * string) list
+(** Every known bench target and the report file it writes:
+    [lookup], [update], [mt-lookup], [replay]. *)
+
+val flatten : Baseline.json -> (string * float) list
+(** Flat [(path, value)] metrics of a bench document, in document
+    order. Strings contribute to array-element labels but are not
+    metrics themselves. *)
+
+val pin_document : bench:string -> file:string -> string -> (bench, string) result
+(** Pin every metric of one report text with {!default_tol}. *)
+
+val of_string : string -> (t, string) result
+(** Parse a baseline document; [Error] names the first problem
+    (malformed JSON, wrong {!magic}, unknown kind, missing field). *)
+
+val of_file : string -> (t, string) result
+
+val to_json : t -> string
+(** Pretty-printed, committable baseline file; [of_string] of the
+    result round-trips. *)
+
+val find : t -> string -> bench option
+(** The pinned entry for one bench target name, if any. *)
+
+(** {1 Diffing} *)
+
+type outcome = {
+  o_kind : kind;
+  o_tol : Baseline.tol;
+  o_got : float option;  (** [None]: pinned metric missing from the report *)
+  o_verdict : Baseline.verdict;  (** raw {!Baseline.check}; see {!gate} *)
+}
+
+val diff : bench -> string -> (outcome list, string) result
+(** Diff one baseline entry against fresh report text. A pinned metric
+    absent from the report is a {!Baseline.Fail} (schema break). *)
+
+val gate : ?gate_timing:bool -> outcome -> Baseline.verdict
+(** The enforced verdict of an outcome: {!Timing} failures demote to
+    {!Baseline.Warn} unless [gate_timing] (missing metrics always
+    fail). Other kinds pass through unchanged. *)
+
+val unpinned : bench -> Baseline.json -> string list
+(** Metric paths present in a report but absent from the baseline —
+    schema drift the pins don't cover yet (re-pin to adopt them). *)

@@ -41,6 +41,8 @@ val of_run :
   Cfca_sim.Engine.run_result ->
   Cfca_sim.Engine.telemetry ->
   t
+(** Distil one engine run (plus the runner's audit totals) into a
+    score card; [pps] converts simulated time to churn per second. *)
 
 val gated_metrics : string list
 (** Metric names a baseline file may pin, in canonical order. *)

@@ -1,0 +1,104 @@
+(** The full-scale replay harness: a RouteViews-sized table under
+    sustained BGP churn and Zipf packet traffic through the complete
+    stack — burst coalescing ({!Cfca_core.Coalesce}), incremental
+    snapshot patching ({!Cfca_dataplane.Fib_snapshot}), delta-patched
+    generation publication to the multicore plane ({!Cfca_mt.Plane}) —
+    under an enforced memory budget.
+
+    The committed bench numbers are 0.05-scale smoke runs (~3K routes);
+    the paper evaluates on a ~599K-route RouteViews table. This driver
+    closes that gap: it generates (or loads from MRT) a full-size RIB
+    with the real table's /24-heavy shape, then alternates churn bursts
+    with packet batches:
+
+    - each burst is folded to its net per-prefix delta by the
+      coalescer, applied to the Route Manager, the compiled snapshot
+      refreshed (in-place patch when the recorded delta qualifies), and
+      the change published to the lookup plane as a patched copy
+      ({!Cfca_mt.Plane.publish_delta});
+    - each packet batch replays Zipf-distributed addresses through the
+      snapshot fast path plus the caching pipeline (L1/L2 hit ratios),
+      and a second batch through a pinned plane generation (the
+      reader-domain protocol, one pin per batch);
+    - every [audit_every]-th burst, boundary addresses of the burst's
+      changed prefixes plus a random background sample are checked
+      against an independent shadow table (hash-per-length naive LPM,
+      sharing no code with the tries) on both the snapshot and the
+      plane paths;
+    - the process heap high-water mark is sampled per burst
+      ([Gc.quick_stat]), and the arena heap-words/route figure is
+      measured at the end against [budget_words_per_route].
+
+    Everything is seeded and single-domain, so all counts in the
+    result are deterministic; only the [*_per_sec] rates and the heap
+    high-water mark move between machines. *)
+
+type config = {
+  routes : int;  (** generated RIB size (ignored when [mrt] is set) *)
+  peers : int;  (** distinct next-hops of the generated table *)
+  packets : int;  (** Zipf packets through snapshot + pipeline (and again through the plane) *)
+  updates : int;  (** raw churn updates before coalescing *)
+  burst : int;  (** updates folded per coalescing burst *)
+  seed : int;
+  l1_pct : float;  (** L1 cache capacity, percent of the table *)
+  l2_pct : float;
+  root_bits : int;  (** forced DIR root stride of snapshot and plane *)
+  patch_budget : int;  (** root cells a patch may rewrite before falling back *)
+  audit_every : int;  (** audit every k-th burst; [0] disables *)
+  budget_words_per_route : float;
+      (** arena heap-words/route ceiling; [<= 0.] records but does not
+          judge *)
+  mrt : string option;  (** load the RIB from this MRT file instead *)
+}
+
+val full_config : config
+(** The full-scale defaults: 700K routes (paper: ~599K RouteViews
+    entries, PAPERS.md cites 711K+ live v4), 3M packets per lookup
+    path, 16K updates in bursts of 32, /24 root stride, 45.0
+    words/route budget. *)
+
+val config_of_scale : float -> config
+(** {!full_config} scaled by a multiplier with smoke floors (3K routes,
+    100K packets, 512 updates — the same floors the other bench targets
+    use), auditing every 4th burst below 50K routes. *)
+
+type result = {
+  r_routes : int;  (** table size after load *)
+  r_fib_entries : int;  (** non-overlapping cover installed in the FIB *)
+  r_load_seconds : float;
+  r_packets : int;
+  r_lookups_per_sec : float;  (** snapshot + pipeline path *)
+  r_l1_hit_ratio : float;
+  r_l2_hit_ratio : float;
+  r_fastpath_hit_ratio : float;  (** compiled hits / snapshot lookups *)
+  r_plane_lookups : int;
+  r_plane_per_sec : float;
+  r_plane_hit_ratio : float;  (** cover hits / plane lookups *)
+  r_updates : int;
+  r_updates_per_sec : float;  (** raw updates through the whole write path *)
+  r_bursts : int;
+  r_coalesced_seen : int;
+  r_coalesced_emitted : int;
+  r_patches : int;  (** snapshot generations produced by in-place patching *)
+  r_full_rebuilds : int;
+  r_patched_cells : int;
+  r_published : int;  (** plane generations published *)
+  r_patched_publishes : int;
+  r_full_compiles : int;
+  r_freed : int;  (** plane generations reclaimed *)
+  r_audit_probes : int;
+  r_audit_divergences : int;  (** must be 0 *)
+  r_verify_ok : bool;  (** Route Manager invariants after the run *)
+  r_words_per_route : float;  (** arena heap words per route *)
+  r_heap_mb_peak : float;  (** process major-heap high-water, MB *)
+  r_budget_words : float;  (** the configured ceiling, echoed *)
+  r_budget_ok : bool;
+      (** [r_words_per_route <= r_budget_words] (or budget disabled) *)
+}
+
+val run : ?progress:(string -> unit) -> config -> result
+(** Replay one configuration. [progress] receives coarse phase
+    messages (table built, N bursts replayed, …).
+    @raise Invalid_argument on a config the stack cannot honour
+    (non-positive sizes, [burst <= 0], bad [root_bits]) and on an
+    unreadable MRT file. *)

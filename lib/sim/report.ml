@@ -368,6 +368,101 @@ let print_update_bench b =
       p.up_ups_patched p.up_ups_full
       (p.up_ups_patched /. p.up_ups_full)
 
+(* -- full-scale replay harness -------------------------------------- *)
+
+type replay_bench = { rb_scale : float; rb_result : Replay.result }
+
+let json_of_replay_bench b =
+  let r = b.rb_result in
+  String.concat ""
+    [
+      "{\n";
+      "  \"bench\": \"replay\",\n";
+      Printf.sprintf "  \"scale\": %s,\n" (json_float b.rb_scale);
+      Printf.sprintf
+        "  \"rib\": {\"routes\": %d, \"fib_entries\": %d, \
+         \"load_seconds\": %s},\n"
+        r.Replay.r_routes r.Replay.r_fib_entries
+        (json_float r.Replay.r_load_seconds);
+      Printf.sprintf
+        "  \"lookup\": {\"packets\": %d, \"per_sec\": %s, \
+         \"l1_hit_ratio\": %s, \"l2_hit_ratio\": %s, \
+         \"fastpath_hit_ratio\": %s},\n"
+        r.Replay.r_packets
+        (json_float r.Replay.r_lookups_per_sec)
+        (json_float r.Replay.r_l1_hit_ratio)
+        (json_float r.Replay.r_l2_hit_ratio)
+        (json_float r.Replay.r_fastpath_hit_ratio);
+      Printf.sprintf
+        "  \"plane\": {\"lookups\": %d, \"per_sec\": %s, \
+         \"hit_ratio\": %s, \"published\": %d, \"patched_publishes\": %d, \
+         \"full_compiles\": %d, \"freed\": %d},\n"
+        r.Replay.r_plane_lookups
+        (json_float r.Replay.r_plane_per_sec)
+        (json_float r.Replay.r_plane_hit_ratio)
+        r.Replay.r_published r.Replay.r_patched_publishes
+        r.Replay.r_full_compiles r.Replay.r_freed;
+      Printf.sprintf
+        "  \"update\": {\"updates\": %d, \"per_sec\": %s, \"bursts\": %d, \
+         \"coalesced_seen\": %d, \"coalesced_emitted\": %d},\n"
+        r.Replay.r_updates
+        (json_float r.Replay.r_updates_per_sec)
+        r.Replay.r_bursts r.Replay.r_coalesced_seen
+        r.Replay.r_coalesced_emitted;
+      Printf.sprintf
+        "  \"patch\": {\"patched\": %d, \"full_recompiles\": %d, \
+         \"patched_cells\": %d},\n"
+        r.Replay.r_patches r.Replay.r_full_rebuilds r.Replay.r_patched_cells;
+      Printf.sprintf
+        "  \"audit\": {\"probes\": %d, \"divergences\": %d, \
+         \"invariants_ok\": %b},\n"
+        r.Replay.r_audit_probes r.Replay.r_audit_divergences
+        r.Replay.r_verify_ok;
+      Printf.sprintf
+        "  \"memory\": {\"heap_words_per_route\": %s, \"heap_mb_peak\": %s, \
+         \"budget_words_per_route\": %s, \"within_budget\": %b}\n"
+        (json_float r.Replay.r_words_per_route)
+        (json_float r.Replay.r_heap_mb_peak)
+        (json_float r.Replay.r_budget_words)
+        r.Replay.r_budget_ok;
+      "}\n";
+    ]
+
+let print_replay_bench b =
+  let r = b.rb_result in
+  Printf.printf
+    "full-scale replay (scale %.2f): %d routes -> %d FIB entries, loaded in \
+     %.2fs\n"
+    b.rb_scale r.Replay.r_routes r.Replay.r_fib_entries
+    r.Replay.r_load_seconds;
+  Printf.printf
+    "lookups:  %d packets at %.0f/s; hit ratios: l1 %.4f, l2 %.4f, fastpath \
+     %.4f\n"
+    r.Replay.r_packets r.Replay.r_lookups_per_sec r.Replay.r_l1_hit_ratio
+    r.Replay.r_l2_hit_ratio r.Replay.r_fastpath_hit_ratio;
+  Printf.printf
+    "plane:    %d lookups at %.0f/s (hit %.4f); %d published (%d patched, %d \
+     full), %d freed\n"
+    r.Replay.r_plane_lookups r.Replay.r_plane_per_sec
+    r.Replay.r_plane_hit_ratio r.Replay.r_published
+    r.Replay.r_patched_publishes r.Replay.r_full_compiles r.Replay.r_freed;
+  Printf.printf
+    "updates:  %d in %d bursts at %.0f/s through the full write path; \
+     coalesced %d -> %d\n"
+    r.Replay.r_updates r.Replay.r_bursts r.Replay.r_updates_per_sec
+    r.Replay.r_coalesced_seen r.Replay.r_coalesced_emitted;
+  Printf.printf "snapshot: %d patched / %d full recompiles (%d cells)\n"
+    r.Replay.r_patches r.Replay.r_full_rebuilds r.Replay.r_patched_cells;
+  Printf.printf "audit:    %d probes, %d divergences, invariants %s\n"
+    r.Replay.r_audit_probes r.Replay.r_audit_divergences
+    (if r.Replay.r_verify_ok then "ok" else "VIOLATED");
+  Printf.printf
+    "memory:   %.1f heap words/route (budget %.1f: %s); heap high-water %.1f \
+     MB\n"
+    r.Replay.r_words_per_route r.Replay.r_budget_words
+    (if r.Replay.r_budget_ok then "within" else "OVER")
+    r.Replay.r_heap_mb_peak
+
 (* -- multicore lookup-plane bench ----------------------------------- *)
 
 type mt_row = {

@@ -152,6 +152,26 @@ type mt_bench = {
   mb_republish : republish_stats;
 }
 
+type replay_bench = {
+  rb_scale : float;
+  rb_result : Replay.result;
+}
+(** The full-scale replay harness's result ({!Replay.run}) plus the
+    scale it ran at. *)
+
+val json_of_replay_bench : replay_bench -> string
+(** Stable machine-readable rendering ([BENCH_replay.json]): keys
+    [bench], [scale], [rib] (routes / fib_entries / load_seconds),
+    [lookup] (packets, per_sec, l1/l2/fastpath hit ratios), [plane]
+    (lookups, per_sec, hit_ratio, published / patched_publishes /
+    full_compiles / freed), [update] (updates, per_sec, bursts,
+    coalesced counts), [patch] (patched / full_recompiles /
+    patched_cells), [audit] (probes, divergences, invariants_ok) and
+    [memory] (heap_words_per_route, heap_mb_peak,
+    budget_words_per_route, within_budget). Always valid JSON. *)
+
+val print_replay_bench : replay_bench -> unit
+
 val json_of_mt_bench : mt_bench -> string
 (** Stable machine-readable rendering ([BENCH_mtlookup.json]): keys
     [bench], [scale], [cores], [rib_size], [results] (objects with

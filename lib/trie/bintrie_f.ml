@@ -158,11 +158,10 @@ module Make (P : Family.PREFIX) :
     let parent t n = uget t.parent (n land slot_mask)
   end
 
-  let grow t =
-    let cap = capacity t in
-    let cap' = 2 * cap in
-    let extend_int a = Array.append a (Array.make cap 0) in
-    t.prefix <- Array.append t.prefix (Array.make cap P.default);
+  let grow_to t cap' =
+    let extra = cap' - capacity t in
+    let extend_int a = Array.append a (Array.make extra 0) in
+    t.prefix <- Array.append t.prefix (Array.make extra P.default);
     t.flags <- extend_int t.flags;
     t.original <- extend_int t.original;
     t.selected <- extend_int t.selected;
@@ -170,11 +169,21 @@ module Make (P : Family.PREFIX) :
     t.hits <- extend_int t.hits;
     t.window <- extend_int t.window;
     t.table_idx <- extend_int t.table_idx;
-    t.left <- Array.append t.left (Array.make cap nil);
-    t.right <- Array.append t.right (Array.make cap nil);
-    t.parent <- Array.append t.parent (Array.make cap nil);
+    t.left <- Array.append t.left (Array.make extra nil);
+    t.right <- Array.append t.right (Array.make extra nil);
+    t.parent <- Array.append t.parent (Array.make extra nil);
     t.gens <- extend_int t.gens;
     assert (capacity t = cap')
+
+  let grow t = grow_to t (2 * capacity t)
+
+  (* Presize to [n] slots exactly. A bulk load that can estimate its
+     node count avoids the doubling slack of [grow] (up to 2x unused
+     capacity, directly visible in [approx_heap_words]). *)
+  let reserve t n =
+    if n > slot_mask + 1 then
+      invalid_arg "Bintrie.reserve: beyond the 32-bit slot space";
+    if n > capacity t then grow_to t n
 
   (* Allocate a slot (recycling the free list first) and initialise
      every field, returning the slot's handle. [p] must be computed by

@@ -216,6 +216,14 @@ module type S = sig
   val capacity : t -> int
   (** Total slots allocated (live + free). *)
 
+  val reserve : t -> int -> unit
+  (** [reserve t n] presizes node storage to at least [n] slots, so a
+      bulk load with a known size lands without the up-to-2x headroom
+      that doubling growth leaves behind (the slack is directly visible
+      in {!approx_heap_words}). No-op when [n <= capacity t] and on
+      backends without preallocated storage.
+      @raise Invalid_argument when [n] exceeds the 32-bit slot space. *)
+
   val approx_heap_words : t -> int
   (** Approximate live heap words held by the tree's node storage —
       comparable across backends (arrays + headers for the arena;

@@ -377,6 +377,9 @@ module Make (P : Family.PREFIX) :
 
   let capacity t = t.nodes
 
+  (* records are allocated per node; nothing to presize *)
+  let reserve _t _n = ()
+
   let approx_heap_words t =
     (* 14 fields + header per record, plus the 3-word boxed prefix *)
     18 * t.nodes

@@ -19,7 +19,8 @@ type dir = {
   d_root_bits : int;
   d_pad : int;  (* zero-padding bits so 8-bit levels never under-shift *)
   d_root : int array;
-  d_spill : int array;  (* chained 256-slot blocks *)
+  mutable d_spill : int array;  (* chained 256-slot blocks *)
+  d_spill_base : int;  (* spill length at build time (orphan accounting) *)
 }
 
 type pop = {
@@ -183,7 +184,14 @@ let build_dir ~root_bits node =
       let b = Gbuf.reserve spill 256 lsr 8 in
       fill_spill spill (b lsl 8) 8 n inherited;
       -(b + 1));
-  { d_root_bits = root_bits; d_pad = pad; d_root = root; d_spill = Gbuf.contents spill }
+  let spill = Gbuf.contents spill in
+  {
+    d_root_bits = root_bits;
+    d_pad = pad;
+    d_root = root;
+    d_spill = spill;
+    d_spill_base = Array.length spill;
+  }
 
 let rec dir_find spill a e shift =
   if e >= 0 then e - 1
@@ -343,9 +351,10 @@ let copy ?entries t =
   let built_from = match entries with Some n -> n | None -> t.built_from in
   match t.repr with
   | Dir_repr d ->
-      (* Only the root is ever patched; the spill blocks are shared
-         with the source snapshot (a delta that would touch them makes
-         [patch] refuse instead). *)
+      (* The spill array is shared with the source snapshot: [patch]
+         never rewrites existing blocks, it only swaps in an extended
+         copy of the array when a re-pushed cell needs fresh ones, so
+         the source keeps answering from its own reference untouched. *)
       { repr = Dir_repr { d with d_root = Array.copy d.d_root }; built_from }
   | Pop_repr _ -> { t with built_from }
 
@@ -357,17 +366,22 @@ let patch t ~budget ~resolve changed =
       let shift = 32 - rb in
       let exception Refuse of string in
       try
-        (* Each changed prefix no longer than the root stride covers an
-           aligned run of independently writable root cells. Merge the
-           runs (nested deltas overlap) before budgeting. *)
+        (* Cells re-pushed away from their old spill blocks orphan
+           them (blocks are append-only so shared generations stay
+           valid); once the orphans have doubled the build-time spill,
+           force a recompile to compact it. *)
+        if Array.length d.d_spill > (2 * d.d_spill_base) + 65_536 then
+          raise (Refuse "orphaned spill blocks need a recompile");
+        (* Each changed prefix covers an aligned run of independently
+           writable root cells — a single cell when it is longer than
+           the root stride. Merge the runs (nested deltas overlap)
+           before budgeting. *)
         let ranges =
           List.map
             (fun p ->
               let len = Prefix.length p in
-              if len > rb then
-                raise (Refuse "changed prefix extends below the root stride");
               ( Ipv4.to_int (Prefix.network p) lsr shift,
-                1 lsl (rb - len) ))
+                if len >= rb then 1 else 1 lsl (rb - len) ))
             changed
         in
         let ranges = List.sort compare ranges in
@@ -382,27 +396,48 @@ let patch t ~budget ~resolve changed =
         in
         let cells = List.fold_left (fun acc (_, n) -> acc + n) 0 merged in
         if cells > budget then raise (Refuse "patch budget exceeded");
-        (* Refuse before writing anything: a range holding a spill
-           pointer means prefixes longer than the root stride are
-           compiled under it, and re-leaf-pushing those blocks is the
-           full build's job. *)
-        List.iter
-          (fun (lo, n) ->
-            for i = lo to lo + n - 1 do
-              if Array.unsafe_get d.d_root i < 0 then
-                raise (Refuse "delta touches spill blocks")
-            done)
-          merged;
-        (* Re-leaf-push each cell from the authoritative resolver. *)
-        List.iter
-          (fun (lo, n) ->
-            for i = lo to lo + n - 1 do
-              let r = resolve (Ipv4.of_int (i lsl shift)) in
-              if r >= 0 && result_length r > rb then
-                raise (Refuse "resolved result extends below the root stride");
-              Array.unsafe_set d.d_root i (r + 1)
-            done)
-          merged;
+        (* Re-leaf-push each cell from the authoritative resolver,
+           compiling fresh spill chains for cells that still hold
+           prefixes longer than the root stride. The resolver's encoded
+           match length lets uniform ranges be recognised from a single
+           probe (the common, leaf-only case), so a cell costs one
+           probe per leaf run under it. *)
+        let pad = d.d_pad in
+        let cell_bits = 32 + pad - rb in
+        let base_blocks = Array.length d.d_spill lsr 8 in
+        let gb = Gbuf.create 256 in
+        (* probe at padded address [pa]: the result holds for the rest
+           of the matched prefix's aligned run (one address on miss) *)
+        let probe pa =
+          let r = resolve (Ipv4.of_int (pa lsr pad)) in
+          let s = if r < 0 then pad else 32 + pad - result_length r in
+          (r, ((pa lsr s) + 1) lsl s)
+        in
+        let rec fill pa bits =
+          let r0, run0 = probe pa in
+          if run0 >= pa + (1 lsl bits) then r0 + 1
+          else begin
+            let b = Gbuf.reserve gb 256 lsr 8 in
+            let sub = bits - 8 in
+            for v = 0 to 255 do
+              Gbuf.set gb ((b lsl 8) + v) (fill (pa + (v lsl sub)) sub)
+            done;
+            -(base_blocks + b + 1)
+          end
+        in
+        (* compile every cell before touching the table, then install
+           the extended spill before the root pointers into it *)
+        let writes =
+          List.concat_map
+            (fun (lo, n) ->
+              List.init n (fun k ->
+                  let i = lo + k in
+                  (i, fill (i lsl cell_bits) cell_bits)))
+            merged
+        in
+        if Gbuf.length gb > 0 then
+          d.d_spill <- Array.append d.d_spill (Gbuf.contents gb);
+        List.iter (fun (i, e) -> Array.unsafe_set d.d_root i e) writes;
         Ok cells
       with Refuse msg -> Error msg)
 

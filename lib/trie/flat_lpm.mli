@@ -85,11 +85,13 @@ val encode : value:int -> length:int -> int
 val copy : ?entries:int -> t -> t
 (** A patchable duplicate: the [Dir] root array is copied, everything
     else (spill blocks, poptrie node/leaf arrays) is shared — safe
-    because {!patch} writes root cells only and refuses deltas that
-    reach the shared parts. [entries] overrides the {!entries} count of
-    the duplicate (pass the new cover size when the delta installs or
-    removes prefixes). Patching the copy never disturbs the source, so
-    published generations stay immutable. *)
+    because {!patch} writes root cells only and, when a re-pushed cell
+    needs fresh spill blocks, appends them to a private extended copy
+    of the spill array rather than rewriting the shared one. [entries]
+    overrides the {!entries} count of the duplicate (pass the new cover
+    size when the delta installs or removes prefixes). Patching the
+    copy never disturbs the source, so published generations stay
+    immutable. *)
 
 val patch :
   t ->
@@ -97,22 +99,27 @@ val patch :
   resolve:(Ipv4.t -> int) ->
   Prefix.t list ->
   (int, string) result
-(** [patch t ~budget ~resolve changed] rewrites, in place, every root
-    cell covered by a changed prefix. [resolve] is the authoritative
-    longest-prefix match (typically a walk of the live trie): for the
-    base address of a cell it must return the {!encode}d result valid
-    for the {e entire} cell — i.e. the covering prefix's length must
-    not exceed the root stride — or {!miss} when nothing covers it.
+(** [patch t ~budget ~resolve changed] re-leaf-pushes, in place, every
+    root cell covered by a changed prefix — a prefix longer than the
+    root stride covers exactly its one enclosing cell. [resolve] is the
+    authoritative longest-prefix match (typically a walk of the live
+    trie) returning the {!encode}d result for an address, or {!miss}
+    when nothing covers it; the encoded match length lets the patcher
+    recognise uniform ranges from a single probe, so a cell costs one
+    probe per leaf run under it. Cells that still hold prefixes longer
+    than the root stride are compiled into fresh spill chains appended
+    past the live spill blocks (never rewriting existing ones — see
+    {!copy}); re-pushing a previously spilled cell orphans its old
+    chain until the next full {!build} compacts the table.
 
     Returns [Ok cells] (the number of root cells rewritten, after
     merging nested deltas). Returns [Error reason] — the caller must
-    fall back to a full {!build} — when the layout is poptrie, a
-    changed prefix is longer than the root stride, the merged delta
-    exceeds [budget] cells, any covered cell holds a spill pointer, or
-    [resolve] returns a result longer than the root stride. Refusals
-    are detected before the first write except for the resolver-length
-    check, so on [Error] (or if [resolve] raises) the table must be
-    treated as unspecified and rebuilt or discarded. *)
+    fall back to a full {!build} — when the layout is poptrie, the
+    merged delta exceeds [budget] cells, or orphaned chains have grown
+    the spill past twice its build-time size (the signal to recompile
+    and compact). Refusals are all detected before the first write, so
+    on [Error] the table is untouched; if [resolve] raises mid-patch
+    the table must be treated as unspecified and rebuilt. *)
 
 val variant : t -> variant
 

@@ -71,6 +71,170 @@ let test_tolerance_boundaries () =
   check "relative pass" true (Baseline.check rel (-190.0) = Baseline.Pass);
   check "relative fail" true (Baseline.check rel (-221.0) = Baseline.Fail)
 
+(* -- the bench perf gate (Perf) -------------------------------------- *)
+
+let test_perf_classifier () =
+  let k = Perf.classify in
+  check "counts are exact" true (k "update.gate.divergences" = Perf.Exact);
+  check "patch counts are exact" true (k "patch.patched" = Perf.Exact);
+  check "hit ratios are banded" true (k "lookup.l1_hit_ratio" = Perf.Ratio);
+  check "arena words are memory" true
+    (k "memory.heap_words_per_route" = Perf.Mem);
+  check "process heap is memory" true (k "memory.heap_mb_peak" = Perf.Mem);
+  check "rates are timing" true (k "plane.per_sec" = Perf.Timing);
+  check "latencies are timing" true (k "republish.patched_us" = Perf.Timing);
+  check "wall clock is timing" true (k "rib.load_seconds" = Perf.Timing);
+  (* exact metrics pin with zero allowance: any drift fails *)
+  let t = Perf.default_tol "patch.patched" 15.0 in
+  check "exact allowance is zero" true (Baseline.allowed t = 0.0);
+  check "exact: equal passes" true (Baseline.check t 15.0 = Baseline.Pass);
+  check "exact: off by one fails" true (Baseline.check t 14.0 = Baseline.Fail)
+
+(* For every non-exact kind the documented boundaries must hold at any
+   magnitude: pass inside half the allowance, warn inside it, fail
+   beyond — in both directions. Probe points sit at 45/95/150% of the
+   allowance so float rounding cannot cross a boundary. *)
+let qcheck_perf_boundaries =
+  QCheck.Test.make ~count:200
+    ~name:"perf tolerances gate at the documented boundaries"
+    QCheck.(
+      make Gen.(pair (int_range 0 3) (float_range 0.5 1_000_000.0)))
+    (fun (which, expected) ->
+      let path =
+        List.nth
+          [
+            "lookup.l1_hit_ratio";
+            "memory.heap_words_per_route";
+            "memory.heap_mb_peak";
+            "plane.per_sec";
+          ]
+          which
+      in
+      let tol = Perf.default_tol path expected in
+      let a = Baseline.allowed tol in
+      let dev d = Baseline.check tol (expected +. d) in
+      a > 0.0
+      && dev 0.0 = Baseline.Pass
+      && dev (0.45 *. a) = Baseline.Pass
+      && dev (-0.45 *. a) = Baseline.Pass
+      && dev (0.95 *. a) = Baseline.Warn
+      && dev (-0.95 *. a) = Baseline.Warn
+      && dev (1.5 *. a) = Baseline.Fail
+      && dev (-1.5 *. a) = Baseline.Fail)
+
+let test_perf_reject_garbage () =
+  let bad s = Result.is_error (Perf.of_string s) in
+  check "malformed JSON rejected" true (bad "{ not json");
+  check "wrong discriminator rejected" true
+    (bad "{\"baselines\": \"other\", \"version\": 1, \"benches\": []}");
+  (* the scenario gate's magic must not satisfy the bench gate *)
+  check "scenario baselines rejected" true
+    (bad "{\"baselines\": \"cfca-scenarios\", \"version\": 1, \"benches\": []}");
+  check "missing fields rejected" true (bad "{\"baselines\": \"cfca-bench\"}");
+  check "unknown metric kind rejected" true
+    (bad
+       ("{\"baselines\": \"cfca-bench\", \"version\": 1, \"benches\": "
+      ^ "[{\"bench\": \"x\", \"file\": \"x.json\", \"metrics\": "
+      ^ "[{\"metric\": \"m\", \"kind\": \"bogus\", \"expected\": 1, "
+      ^ "\"tol_abs\": 0, \"tol_rel\": 0}]}]}"))
+
+(* A toy report exercising every value shape the flattener handles:
+   numbers, a boolean, a ratio and a timing metric. *)
+let toy_report counts_events per_sec =
+  Printf.sprintf
+    "{\"bench\": \"toy\", \"counts\": {\"events\": %d, \"clean\": true}, \
+     \"lookup\": {\"l1_hit_ratio\": 0.9, \"per_sec\": %d}}"
+    counts_events per_sec
+
+let test_perf_pin_roundtrip () =
+  match
+    Perf.pin_document ~bench:"toy" ~file:"BENCH_toy.json"
+      (toy_report 42 1_000_000)
+  with
+  | Error msg -> Alcotest.failf "pin failed: %s" msg
+  | Ok b -> (
+      check_int "all four numeric metrics pinned" 4
+        (List.length b.Perf.pb_metrics);
+      let t = { Perf.p_version = 1; p_benches = [ b ] } in
+      match Perf.of_string (Perf.to_json t) with
+      | Error msg -> Alcotest.failf "writer output does not re-parse: %s" msg
+      | Ok t' -> check "writer round-trips" true (t = t'))
+
+let test_perf_diff_gates () =
+  let b =
+    Result.get_ok
+      (Perf.pin_document ~bench:"toy" ~file:"f" (toy_report 42 1_000_000))
+  in
+  let verdicts ?gate_timing text =
+    match Perf.diff b text with
+    | Error msg -> Alcotest.failf "diff failed: %s" msg
+    | Ok os ->
+        List.map
+          (fun o -> (o.Perf.o_tol.Baseline.t_metric, Perf.gate ?gate_timing o))
+          os
+  in
+  (* identical report: everything passes *)
+  check "identical report is clean" true
+    (List.for_all (fun (_, v) -> v = Baseline.Pass)
+       (verdicts (toy_report 42 1_000_000)));
+  (* injected regression on an exact count: hard fail *)
+  check "exact-count regression fails" true
+    (List.assoc "counts.events" (verdicts (toy_report 43 1_000_000))
+    = Baseline.Fail);
+  (* a timing collapse only warns unless the caller opts in *)
+  check "timing collapse warns by default" true
+    (List.assoc "lookup.per_sec" (verdicts (toy_report 42 10))
+    = Baseline.Warn);
+  check "timing collapse fails when gated" true
+    (List.assoc "lookup.per_sec"
+       (verdicts ~gate_timing:true (toy_report 42 10))
+    = Baseline.Fail);
+  (* a pinned metric vanishing from the report is a schema break *)
+  let dropped = "{\"bench\": \"toy\", \"counts\": {\"events\": 42}}" in
+  let os = Result.get_ok (Perf.diff b dropped) in
+  List.iter
+    (fun o ->
+      let m = o.Perf.o_tol.Baseline.t_metric in
+      if m <> "counts.events" then (
+        check (m ^ " reported missing") true (o.Perf.o_got = None);
+        (* missing timing metrics must NOT be demoted to warnings *)
+        check (m ^ " fails even ungated") true
+          (Perf.gate o = Baseline.Fail)))
+    os;
+  (* and a brand-new metric shows up as unpinned schema drift *)
+  let grown =
+    Baseline.parse_json
+      "{\"counts\": {\"events\": 42, \"clean\": true, \"extra\": 7}, \
+       \"lookup\": {\"l1_hit_ratio\": 0.9, \"per_sec\": 1}}"
+  in
+  Alcotest.(check (list string))
+    "unpinned drift detected" [ "counts.extra" ] (Perf.unpinned b grown)
+
+(* The committed BENCH_BASELINES.json (a declared test dep, like the
+   scenario baselines) must parse and pin every catalog target. *)
+let test_perf_committed_baselines () =
+  match
+    Perf.of_string
+      (In_channel.with_open_text "../BENCH_BASELINES.json"
+         In_channel.input_all)
+  with
+  | Error msg -> Alcotest.failf "committed bench baselines: %s" msg
+  | Ok t ->
+      check_int "version" 1 t.Perf.p_version;
+      List.iter
+        (fun (name, file) ->
+          match Perf.find t name with
+          | None -> Alcotest.failf "catalog target %s not pinned" name
+          | Some b ->
+              check_str (name ^ " pins its report file") file b.Perf.pb_file;
+              check (name ^ " pins at least one metric") true
+                (b.Perf.pb_metrics <> []);
+              check (name ^ " pins some deterministic metric") true
+                (List.exists
+                   (fun m -> m.Perf.m_kind = Perf.Exact)
+                   b.Perf.pb_metrics))
+        Perf.catalog
+
 (* -- the adversary adverses ------------------------------------------ *)
 
 let test_thrash_collapses_below_zipf () =
@@ -251,6 +415,19 @@ let () =
           Alcotest.test_case "malformed baselines rejected" `Quick
             test_baselines_reject_garbage;
         ] );
+      ( "perf gate",
+        [
+          Alcotest.test_case "metric classifier" `Quick test_perf_classifier;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_perf_reject_garbage;
+          Alcotest.test_case "pin/write/parse round-trip" `Quick
+            test_perf_pin_roundtrip;
+          Alcotest.test_case "regressions gate, timings warn" `Quick
+            test_perf_diff_gates;
+          Alcotest.test_case "committed bench baselines parse" `Quick
+            test_perf_committed_baselines;
+        ]
+        @ qt [ qcheck_perf_boundaries ] );
       ( "adversaries",
         [
           Alcotest.test_case "thrash collapses the hit ratio" `Quick

@@ -554,6 +554,130 @@ let test_mt_json_golden () =
     && field "full_us" republish = J_num 1_000.0);
   check "republish speedup" true (field "speedup" republish = J_num 4.0)
 
+(* -- replay-bench JSON: golden structure ----------------------------- *)
+
+(* BENCH_replay.json is what the perf gate pins, so its key groups are
+   schema: a renamed or dropped field must fail here before it fails as
+   a missing-metric FAIL in `verify perf`. *)
+let test_replay_json_golden () =
+  let r =
+    {
+      Replay.r_routes = 3_000;
+      r_fib_entries = 2_100;
+      r_load_seconds = 0.01;
+      r_packets = 100_000;
+      r_lookups_per_sec = 1.0e6;
+      r_l1_hit_ratio = 0.93;
+      r_l2_hit_ratio = 0.97;
+      r_fastpath_hit_ratio = 0.999;
+      r_plane_lookups = 100_000;
+      r_plane_per_sec = 9.0e6;
+      r_plane_hit_ratio = 1.0;
+      r_updates = 512;
+      r_updates_per_sec = 80.0;
+      r_bursts = 16;
+      r_coalesced_seen = 512;
+      r_coalesced_emitted = 490;
+      r_patches = 15;
+      r_full_rebuilds = 1;
+      r_patched_cells = 1_234;
+      r_published = 16;
+      r_patched_publishes = 15;
+      r_full_compiles = 1;
+      r_freed = 15;
+      r_audit_probes = 800;
+      r_audit_divergences = 0;
+      r_verify_ok = true;
+      r_words_per_route = 42.5;
+      r_heap_mb_peak = 18.25;
+      r_budget_words = 45.0;
+      r_budget_ok = true;
+    }
+  in
+  let j =
+    parse_json
+      (Report.json_of_replay_bench { Report.rb_scale = 0.05; rb_result = r })
+  in
+  check "bench tag" true (field "bench" j = J_str "replay");
+  check "scale" true (field "scale" j = J_num 0.05);
+  let rib = field "rib" j in
+  check "rib accounting" true
+    (field "routes" rib = J_num 3_000.0
+    && field "fib_entries" rib = J_num 2_100.0);
+  (match field "load_seconds" rib with
+  | J_num _ -> ()
+  | _ -> Alcotest.fail "load_seconds must be a number");
+  let lookup = field "lookup" j in
+  check "lookup accounting" true (field "packets" lookup = J_num 100_000.0);
+  check "hit ratios" true
+    (field "l1_hit_ratio" lookup = J_num 0.93
+    && field "l2_hit_ratio" lookup = J_num 0.97
+    && field "fastpath_hit_ratio" lookup = J_num 0.999);
+  let plane = field "plane" j in
+  check "plane accounting" true
+    (field "lookups" plane = J_num 100_000.0
+    && field "published" plane = J_num 16.0
+    && field "patched_publishes" plane = J_num 15.0
+    && field "full_compiles" plane = J_num 1.0
+    && field "freed" plane = J_num 15.0);
+  let update = field "update" j in
+  check "update accounting" true
+    (field "updates" update = J_num 512.0
+    && field "bursts" update = J_num 16.0
+    && field "coalesced_seen" update = J_num 512.0
+    && field "coalesced_emitted" update = J_num 490.0);
+  let patch = field "patch" j in
+  check "patched/full split" true
+    (field "patched" patch = J_num 15.0
+    && field "full_recompiles" patch = J_num 1.0
+    && field "patched_cells" patch = J_num 1_234.0);
+  let audit = field "audit" j in
+  check "audit accounting" true
+    (field "probes" audit = J_num 800.0
+    && field "divergences" audit = J_num 0.0
+    && field "invariants_ok" audit = J_bool true);
+  let memory = field "memory" j in
+  check "memory accounting" true
+    (field "heap_words_per_route" memory = J_num 42.5
+    && field "heap_mb_peak" memory = J_num 18.25
+    && field "budget_words_per_route" memory = J_num 45.0
+    && field "within_budget" memory = J_bool true)
+
+(* -- the replay driver itself, at toy scale -------------------------- *)
+
+(* Soak runs multiply the workload with CFCA_REPLAY_SOAK=<n>, the same
+   protocol as test_mt.ml's CFCA_MT_STRESS (CI keeps the default). *)
+let soak_mult =
+  match Sys.getenv_opt "CFCA_REPLAY_SOAK" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 1 -> n | _ -> 1)
+  | None -> 1
+
+let test_replay_driver () =
+  let base = Replay.config_of_scale 0.01 in
+  let cfg =
+    {
+      base with
+      Replay.packets = base.Replay.packets * soak_mult;
+      updates = base.Replay.updates * soak_mult;
+      audit_every = 1;
+    }
+  in
+  let r = Replay.run cfg in
+  check "table loaded" true (r.Replay.r_routes >= 3_000);
+  check "fib cover smaller than the table" true
+    (r.Replay.r_fib_entries > 0 && r.Replay.r_fib_entries <= r.Replay.r_routes);
+  check "audit ran" true (r.Replay.r_audit_probes > 0);
+  check_int "no shadow-LPM divergences" 0 r.Replay.r_audit_divergences;
+  check "route-manager invariants hold" true r.Replay.r_verify_ok;
+  check "snapshot patch path live" true (r.Replay.r_patches > 0);
+  check "plane delta-publish path live" true
+    (r.Replay.r_patched_publishes > 0);
+  check "coalescer folds, never amplifies" true
+    (r.Replay.r_coalesced_emitted <= r.Replay.r_coalesced_seen);
+  check "every burst published" true
+    (r.Replay.r_published <= r.Replay.r_bursts);
+  check "within the arena memory budget" true r.Replay.r_budget_ok
+
 let test_run_capture_missing_file () =
   let workload = (Lazy.force results).Experiments.workload in
   let cfg = Experiments.config_for workload Experiments.cache_ratios.(0) in
@@ -586,6 +710,10 @@ let () =
             test_lookup_json_golden;
           Alcotest.test_case "update-bench JSON golden" `Quick
             test_update_json_golden;
+          Alcotest.test_case "replay-bench JSON golden" `Quick
+            test_replay_json_golden;
+          Alcotest.test_case "replay driver end to end" `Quick
+            test_replay_driver;
           Alcotest.test_case "mt-bench JSON golden" `Quick
             test_mt_json_golden;
         ] );
